@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Gc Gofree_core Gofree_interp Gofree_runtime Gofree_stats Gofree_workloads Int64 List Option Printf Stats String Ttest

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Bench_common Gofree_core Gofree_interp Gofree_runtime Gofree_stats Gofree_workloads Int64 List

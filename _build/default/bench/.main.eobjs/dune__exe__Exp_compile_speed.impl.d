@@ -1,0 +1,1 @@
+bench/exp_compile_speed.ml: Array Bechamel Bench_common Gofree_baselines Gofree_core Gofree_escape Gofree_stats Gofree_workloads List Minigo Printf Staged String Test Unix

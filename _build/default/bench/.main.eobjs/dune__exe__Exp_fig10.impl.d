@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Bench_common Gofree_runtime Gofree_stats Gofree_workloads List Printf

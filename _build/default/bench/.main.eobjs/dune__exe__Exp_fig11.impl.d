@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Bench_common Gofree_stats Gofree_workloads List Option Printf

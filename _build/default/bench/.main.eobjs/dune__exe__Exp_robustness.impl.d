@@ -1,0 +1,1 @@
+bench/exp_robustness.ml: Bench_common Gofree_core Gofree_interp Gofree_runtime Gofree_workloads List Printf String

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Bench_common Gofree_baselines Gofree_core Gofree_escape Gofree_stats List Minigo Option Printf String

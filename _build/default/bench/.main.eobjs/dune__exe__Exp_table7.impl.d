@@ -1,0 +1,1 @@
+bench/exp_table7.ml: Array Bench_common Gofree_stats Gofree_workloads List Printf String

@@ -1,0 +1,1 @@
+bench/exp_table9.ml: Array Bench_common Gofree_runtime Gofree_stats Gofree_workloads List Printf

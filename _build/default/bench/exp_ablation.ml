@@ -1,0 +1,64 @@
+(** Ablations of the design choices DESIGN.md calls out:
+
+    - no-IPA: conservative default tags at every call site — kills the
+      cross-function freeing of §4.4;
+    - all-targets: also free raw pointers, not only slices and maps —
+      quantifies what §6.5's target selection leaves on the table;
+    - GrowMapAndFreeOld off: isolates the runtime-only map-growth
+      optimization from the compiler-inserted frees. *)
+
+open Bench_common
+module Rt = Gofree_runtime
+module W = Gofree_workloads.Workloads
+module Table = Gofree_stats.Table
+
+let run_variant ~options ~gofree_config ?(grow = true) source =
+  let run_config =
+    {
+      Gofree_interp.Interp.default_config with
+      heap_config =
+        {
+          Rt.Heap.default_config with
+          grow_map_free_old =
+            grow && gofree_config.Gofree_core.Config.insert_tcfree;
+        };
+      seed = Int64.of_int options.seed;
+    }
+  in
+  (Gofree_interp.Runner.compile_and_run ~gofree_config ~run_config source)
+    .Gofree_interp.Runner.metrics
+
+let run ~options () =
+  heading "Ablations: free ratio under restricted GoFree variants";
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right; Right; Right ]
+      [ "Project"; "full"; "no-IPA"; "no-growfree"; "all-targets";
+        "tcfree count (full)" ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      let source = W.source_of ~size:(scaled_size ~options w) w in
+      let fr m = Table.pct1 (Rt.Metrics.free_ratio m) in
+      let full = run_variant ~options ~gofree_config:Gofree_core.Config.gofree source in
+      let noipa = run_variant ~options ~gofree_config:Gofree_core.Config.no_ipa source in
+      let nogrow =
+        run_variant ~options ~gofree_config:Gofree_core.Config.gofree
+          ~grow:false source
+      in
+      let all =
+        run_variant ~options ~gofree_config:Gofree_core.Config.all_targets
+          source
+      in
+      Table.add_row table
+        [
+          w.W.w_name; fr full; fr noipa; fr nogrow; fr all;
+          string_of_int full.Rt.Metrics.tcfree_success;
+        ])
+    W.all;
+  print_string (Table.render table);
+  print_endline
+    "\nno-IPA: content tags off (cross-function frees disappear); \
+     no-growfree: GrowMapAndFreeOld off (map-growth reclaim disappears); \
+     all-targets: raw pointers also freed (the paper's 6.5 decides the \
+     extra benefit does not pay for the overhead)."

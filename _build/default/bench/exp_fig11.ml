@@ -1,0 +1,45 @@
+(** Fig. 11: run-time distribution across repeated runs under the three
+    settings (GoFree, Go, Go with GC off).  The paper plots 99 runs; we
+    print the five-number summary per setting. *)
+
+open Bench_common
+module Stats = Gofree_stats.Stats
+module Table = Gofree_stats.Table
+
+let run ~options () =
+  heading
+    (Printf.sprintf
+       "Fig 11: run-time distribution across %d runs, per setting (json \
+        workload)"
+       options.runs);
+  let w = Gofree_workloads.Workloads.find "json" |> Option.get in
+  let source =
+    Gofree_workloads.Workloads.source_of ~size:(scaled_size ~options w) w
+  in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right; Right; Right; Right ]
+      [ "setting"; "min"; "p25"; "median"; "p75"; "max"; "mean" ]
+  in
+  let med = ref [] in
+  let results =
+    run_interleaved ~options ~settings:[ Gofree; Go; Go_gcoff ] source
+  in
+  List.iter
+    (fun setting ->
+      let rs = List.assoc setting results in
+      let times = metric (fun r -> r.r_time_ms) rs in
+      let q p = Printf.sprintf "%.1fms" (Stats.percentile p times) in
+      med := (setting, Stats.median times) :: !med;
+      Table.add_row table
+        [
+          setting_name setting; q 0.0; q 25.0; q 50.0; q 75.0; q 100.0;
+          Printf.sprintf "%.1fms" (Stats.mean times);
+        ])
+    [ Gofree; Go; Go_gcoff ];
+  print_string (Table.render table);
+  let find s = List.assoc s !med in
+  Printf.printf
+    "\nShape check (paper fig 11): GC-off fastest, GoFree between GC-off \
+     and Go — observed medians: GoFree %.1fms, Go %.1fms, GC-off %.1fms.\n"
+    (find Gofree) (find Go) (find Go_gcoff)

@@ -1,0 +1,74 @@
+(** Table 3: points-to sets for the fig. 1 program under the three escape
+    analyses, regenerated from our implementations of each. *)
+
+open Bench_common
+module Table = Gofree_stats.Table
+
+let fig1 =
+  {|
+type Big struct {
+  fat int
+  p *float
+}
+
+func dd(s *float) *float {
+  bigObj := Big{fat: 42, p: s}
+  c := 1.0
+  d := 2.0
+  pc := &c
+  pd := &d
+  ppd := &pd
+  *ppd = pc
+  pd2 := *ppd
+  if bigObj.fat > 0 {
+    return pd2
+  }
+  return pd
+}
+
+func main() {
+  x := 3.0
+  r := dd(&x)
+  println(*r)
+}
+|}
+
+let run () =
+  heading "Table 3: points-to sets in different escape analyses (fig 1)";
+  let program = Gofree_core.Pipeline.parse_and_check fig1 in
+  let f = Minigo.Tast.find_func program "dd" |> Option.get in
+  let fast = Gofree_baselines.Fast_ea.analyze f in
+  let conn = Gofree_baselines.Conn_graph.analyze f in
+  let compiled = Gofree_core.Pipeline.compile fig1 in
+  let set xs = "{" ^ String.concat ", " xs ^ "}" in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Left; Left; Left ]
+      [ "Method"; "Fast Esc. O(N)"; "Go esc. graph O(N^2)";
+        "Conn. graph O(N^3)" ]
+  in
+  Table.add_row table
+    [ "Omitted dataflow"; "*ppd = pc; pd2 = *ppd"; "*ppd = pc"; "none" ];
+  List.iter
+    (fun var ->
+      Table.add_row table
+        [
+          "PointsTo(" ^ var ^ ")";
+          set (Gofree_baselines.Fast_ea.points_to fast f ~var);
+          set
+            (Gofree_core.Report.points_to_of_var
+               compiled.Gofree_core.Pipeline.c_analysis ~func:"dd" ~var);
+          set (Gofree_baselines.Conn_graph.points_to conn f ~var);
+        ])
+    [ "pd2"; "pc"; "pd" ];
+  print_string (Table.render table);
+  let pd2 =
+    Gofree_core.Report.var_properties compiled.Gofree_core.Pipeline.c_analysis
+      ~func:"dd" ~var:"pd2"
+    |> Option.get
+  in
+  Printf.printf
+    "\nGoFree on the O(N^2) graph: Incomplete(pd2) = %b — it recognizes \
+     PointsTo(pd2) as untrustworthy and refuses to deallocate pd2, \
+     matching the paper's Table 3 narrative.\n"
+    (Gofree_escape.Loc.incomplete pd2)

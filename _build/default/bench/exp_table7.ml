@@ -1,0 +1,102 @@
+(** Table 7: effect of GoFree's optimizations on the six subject
+    programs — time / GC time / GCs / free ratio / maxheap, each as a
+    GoFree-over-Go ratio with stdev and Welch p-value.
+
+    GC time follows the paper's subtraction method:
+    (time_GoFree − time_GoGCOff) / (time_Go − time_GoGCOff). *)
+
+open Bench_common
+module W = Gofree_workloads.Workloads
+module Stats = Gofree_stats.Stats
+module Table = Gofree_stats.Table
+
+type row = {
+  name : string;
+  time : float * float * float;  (** ratio, stdev, p *)
+  gc_time_ratio : float;
+  gcs : float * float * float;
+  free_ratio : float;
+  maxheap : float * float * float;
+}
+
+let measure ~options (w : W.t) : row =
+  let source = W.source_of ~size:(scaled_size ~options w) w in
+  let results =
+    run_interleaved ~options ~settings:[ Go; Gofree; Go_gcoff ] source
+  in
+  let go = List.assoc Go results in
+  let gf = List.assoc Gofree results in
+  let gcoff = List.assoc Go_gcoff results in
+  (* sanity: identical observable behaviour *)
+  Array.iter
+    (fun (r : run_result) ->
+      if not (String.equal r.r_output go.(0).r_output) then
+        failwith (w.W.w_name ^ ": outputs diverged"))
+    gf;
+  let time f rs = metric f rs in
+  let t_go = time (fun r -> r.r_time_ms) go in
+  let t_gf = time (fun r -> r.r_time_ms) gf in
+  let t_off = time (fun r -> r.r_time_ms) gcoff in
+  let gc_time_ratio =
+    let den = Stats.mean t_go -. Stats.mean t_off in
+    if abs_float den < 1e-9 then 1.0
+    else (Stats.mean t_gf -. Stats.mean t_off) /. den
+  in
+  {
+    name = w.W.w_name;
+    time = ratio_cell ~treatment:t_gf ~control:t_go;
+    gc_time_ratio;
+    gcs =
+      ratio_cell
+        ~treatment:(time (fun r -> r.r_gcs) gf)
+        ~control:(time (fun r -> r.r_gcs) go);
+    free_ratio =
+      Stats.mean (time (fun r -> r.r_freed /. max 1.0 r.r_alloced) gf);
+    maxheap =
+      ratio_cell
+        ~treatment:(time (fun r -> r.r_maxheap) gf)
+        ~control:(time (fun r -> r.r_maxheap) go);
+  }
+
+let run ~options () =
+  heading
+    "Table 7: effect of GoFree's optimizations (ratios are GoFree/Go; \
+     <100% means GoFree is better)";
+  let rows = List.map (measure ~options) W.all in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right; Right; Right; Right;
+                Right; Right; Right; Right ]
+      [ "Project"; "time"; "±"; "p"; "GCtime"; "GCs"; "±"; "p"; "free";
+        "maxheap"; "p" ]
+  in
+  let pct = Table.pct and pv = Table.pvalue in
+  List.iter
+    (fun r ->
+      let t, ts, tp = r.time in
+      let g, gs, gp = r.gcs in
+      let m, _, mp = r.maxheap in
+      Table.add_row table
+        [
+          r.name; pct t; pct ts; pv tp; pct r.gc_time_ratio; pct g; pct gs;
+          pv gp; pct r.free_ratio; pct m; pv mp;
+        ])
+    rows;
+  let avg f = Stats.mean (Array.of_list (List.map f rows)) in
+  Table.add_row table
+    [
+      "average";
+      pct (avg (fun r -> let t, _, _ = r.time in t));
+      ""; "";
+      pct (avg (fun r -> r.gc_time_ratio));
+      pct (avg (fun r -> let g, _, _ = r.gcs in g));
+      ""; "";
+      pct (avg (fun r -> r.free_ratio));
+      pct (avg (fun r -> let m, _, _ = r.maxheap in m));
+      "";
+    ];
+  print_string (Table.render table);
+  Printf.printf
+    "\nPaper (Table 7) averages for comparison: time 98%%, GC time 87%%, \
+     GCs 93%%, free 14%%, maxheap 96%%.\n";
+  rows

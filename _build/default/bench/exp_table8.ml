@@ -1,0 +1,69 @@
+(** Table 8: stack/heap allocation decisions for slices, maps, and other
+    data structures, and the fraction of heap objects reclaimed by tcfree
+    versus left to GC — the data that motivates restricting explicit
+    deallocation to slices and maps (§6.5). *)
+
+open Bench_common
+module Rt = Gofree_runtime
+module W = Gofree_workloads.Workloads
+module Table = Gofree_stats.Table
+
+let run ~options () =
+  heading
+    "Table 8: stack/heap allocation decisions of slices, maps and others \
+     (dynamic counts, GoFree setting)";
+  let table =
+    Table.create
+      ~aligns:
+        [ Table.Left; Right; Right; Right; Right; Right; Right; Right;
+          Right; Right; Right ]
+      [ "Project"; "stack oth"; "heapGC oth"; "stack sl"; "tcfree sl";
+        "heapGC sl"; "sl%"; "stack map"; "tcfree map"; "heapGC map";
+        "map%" ]
+  in
+  let slice_pcts = ref [] and map_pcts = ref [] in
+  List.iter
+    (fun (w : W.t) ->
+      let source = W.source_of ~size:(scaled_size ~options w) w in
+      let r = run_once ~options ~setting:Gofree source in
+      let m = r.r_metrics in
+      let s = m.Rt.Metrics.stack_allocs in
+      let tc = m.Rt.Metrics.tcfreed_objects in
+      let gc = m.Rt.Metrics.gc_freed_objects in
+      let idx c = Rt.Metrics.category_index c in
+      let sl = idx Rt.Metrics.Cat_slice in
+      let mp = idx Rt.Metrics.Cat_map in
+      let ot = idx Rt.Metrics.Cat_other in
+      let pct_of tcfree gcfree =
+        if tcfree + gcfree = 0 then 0.0
+        else float_of_int tcfree /. float_of_int (tcfree + gcfree)
+      in
+      let slp = pct_of tc.(sl) gc.(sl) in
+      let mpp = pct_of tc.(mp) gc.(mp) in
+      slice_pcts := slp :: !slice_pcts;
+      map_pcts := mpp :: !map_pcts;
+      Table.add_row table
+        [
+          w.W.w_name;
+          string_of_int s.(ot);
+          string_of_int gc.(ot);
+          string_of_int s.(sl);
+          string_of_int tc.(sl);
+          string_of_int gc.(sl);
+          Table.pct slp;
+          string_of_int s.(mp);
+          string_of_int tc.(mp);
+          string_of_int gc.(mp);
+          Table.pct mpp;
+        ])
+    W.all;
+  let mean xs = Gofree_stats.Stats.mean (Array.of_list xs) in
+  Table.add_row table
+    [ "average"; ""; ""; ""; ""; ""; Table.pct (mean !slice_pcts); "";
+      ""; ""; Table.pct (mean !map_pcts) ];
+  print_string (Table.render table);
+  Printf.printf
+    "\nsl%% / map%% = tcfree / (tcfree + GC) per category.  Paper \
+     averages: slices 10%%, maps 34%%; stack allocation already covers \
+     the \"others\" column, which is why GoFree only frees slices and \
+     maps.\n"

@@ -1,0 +1,31 @@
+(** Table 9: contribution breakdown of the reclaimed space across the
+    three deallocation categories — FreeSlice, FreeMap, and
+    GrowMapAndFreeOld (§6.6). *)
+
+open Bench_common
+module Rt = Gofree_runtime
+module W = Gofree_workloads.Workloads
+module Table = Gofree_stats.Table
+
+let run ~options () =
+  heading
+    "Table 9: contribution breakdown of total space reclaimed by the \
+     three deallocation categories";
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Right; Right; Right ]
+      [ "Project"; "FreeSlice()"; "FreeMap()"; "GrowMapAndFreeOld()" ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      let source = W.source_of ~size:(scaled_size ~options w) w in
+      let r = run_once ~options ~setting:Gofree source in
+      let src = r.r_metrics.Rt.Metrics.freed_by_source in
+      let total = max 1 (src.(0) + src.(1) + src.(2)) in
+      let pct i = Printf.sprintf "%d%%" (100 * src.(i) / total) in
+      Table.add_row table [ w.W.w_name; pct 0; pct 1; pct 2 ])
+    W.all;
+  print_string (Table.render table);
+  Printf.printf
+    "\nPaper (Table 9): Go 56/14/30, hugo 56/14/30, badger 0/0/100, \
+     json 0/0/100, scheck 2/50/48, slayout 1/0/99.\n"

@@ -1,0 +1,210 @@
+(** gofreec — the GoFree reproduction's command-line driver.
+
+    Subcommands:
+    - [run FILE]      compile and execute a MiniGo program, with flags to
+                      select stock Go vs GoFree, GC off, poison mode, and
+                      metric reporting;
+    - [analyze FILE]  print escape-analysis properties and points-to sets;
+    - [instrument FILE]  print the program with inserted tcfree calls;
+    - [compare FILE]  run under Go and GoFree and print both metric sets. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let gofree_config ~go ~all_targets ~no_ipa =
+  if go then Gofree_core.Config.go
+  else if all_targets then Gofree_core.Config.all_targets
+  else if no_ipa then Gofree_core.Config.no_ipa
+  else Gofree_core.Config.gofree
+
+let run_config ~gcoff ~poison ~gogc ~seed ~insert_tcfree =
+  {
+    Gofree_interp.Interp.default_config with
+    heap_config =
+      {
+        Gofree_runtime.Heap.default_config with
+        gc_disabled = gcoff;
+        poison_on_free = poison;
+        gogc;
+        grow_map_free_old = insert_tcfree;
+      };
+    seed = Int64.of_int seed;
+  }
+
+let handle_errors f =
+  try f () with
+  | Gofree_core.Pipeline.Compile_error msg ->
+    Printf.eprintf "gofreec: %s\n" msg;
+    exit 1
+  | Gofree_interp.Interp.Runtime_error msg ->
+    Printf.eprintf "gofreec: runtime error: %s\n" msg;
+    exit 2
+  | Gofree_interp.Value.Corruption msg ->
+    Printf.eprintf "gofreec: MEMORY CORRUPTION DETECTED: %s\n" msg;
+    exit 3
+
+(* shared flags *)
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"MiniGo source file")
+
+let go_flag =
+  Arg.(value & flag & info [ "go" ] ~doc:"Compile with stock Go (no tcfree)")
+
+let all_targets_flag =
+  Arg.(value & flag & info [ "all-targets" ]
+         ~doc:"Free all pointer types, not only slices and maps")
+
+let no_ipa_flag =
+  Arg.(value & flag & info [ "no-ipa" ]
+         ~doc:"Disable inter-procedural content tags (ablation)")
+
+let gcoff_flag =
+  Arg.(value & flag & info [ "gc-off" ] ~doc:"Disable the garbage collector")
+
+let poison_flag =
+  Arg.(value & flag & info [ "poison" ]
+         ~doc:"Mock tcfree: corrupt freed memory to detect wrong frees \
+               (paper 6.8)")
+
+let gogc_arg =
+  Arg.(value & opt int 100 & info [ "gogc" ] ~doc:"GOGC pacing percentage")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for rand()")
+
+let metrics_flag =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print runtime metrics")
+
+(* run *)
+let run_cmd =
+  let run file go all_targets no_ipa gcoff poison gogc seed metrics =
+    handle_errors (fun () ->
+        let cfg = gofree_config ~go ~all_targets ~no_ipa in
+        let rc =
+          run_config ~gcoff ~poison ~gogc ~seed
+            ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree
+        in
+        let result =
+          Gofree_interp.Runner.compile_and_run ~gofree_config:cfg
+            ~run_config:rc (read_file file)
+        in
+        print_string result.Gofree_interp.Runner.output;
+        if metrics then
+          Format.printf "%a@." Gofree_runtime.Metrics.pp
+            result.Gofree_interp.Runner.metrics;
+        if result.Gofree_interp.Runner.panicked then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a MiniGo program")
+    Term.(
+      const run $ file_arg $ go_flag $ all_targets_flag $ no_ipa_flag
+      $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag)
+
+(* analyze *)
+let analyze_cmd =
+  let func_arg =
+    Arg.(value & opt (some string) None & info [ "func" ]
+           ~doc:"Only print this function")
+  in
+  let dot_flag =
+    Arg.(value & flag & info [ "dot" ]
+           ~doc:"Emit the escape graph as Graphviz DOT instead of text")
+  in
+  let analyze file go func dot =
+    handle_errors (fun () ->
+        let cfg = gofree_config ~go ~all_targets:false ~no_ipa:false in
+        let compiled =
+          Gofree_core.Pipeline.compile ~config:cfg (read_file file)
+        in
+        let funcs =
+          match func with
+          | Some f -> [ f ]
+          | None ->
+            List.map
+              (fun (f : Minigo.Tast.func) -> f.Minigo.Tast.f_name)
+              compiled.Gofree_core.Pipeline.c_program.Minigo.Tast.p_funcs
+        in
+        if dot then
+          List.iter
+            (fun name ->
+              match
+                Gofree_core.Report.to_dot
+                  compiled.Gofree_core.Pipeline.c_analysis name
+              with
+              | Some dot -> print_string dot
+              | None -> Printf.eprintf "no analysis for %s\n" name)
+            funcs
+        else begin
+          List.iter
+            (fun name ->
+              Format.printf "%a@."
+                (fun fmt () ->
+                  Gofree_core.Report.pp_function fmt
+                    compiled.Gofree_core.Pipeline.c_analysis name)
+                ())
+            funcs;
+          Format.printf "%a@." Gofree_core.Report.pp_inserted
+            compiled.Gofree_core.Pipeline.c_inserted
+        end)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Print escape-analysis properties and points-to sets")
+    Term.(const analyze $ file_arg $ go_flag $ func_arg $ dot_flag)
+
+(* instrument *)
+let instrument_cmd =
+  let instrument file all_targets no_ipa =
+    handle_errors (fun () ->
+        let cfg = gofree_config ~go:false ~all_targets ~no_ipa in
+        let compiled =
+          Gofree_core.Pipeline.compile ~config:cfg (read_file file)
+        in
+        print_string
+          (Minigo.Pretty.program_to_string
+             compiled.Gofree_core.Pipeline.c_program))
+  in
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:"Print the program with inserted tcfree calls")
+    Term.(const instrument $ file_arg $ all_targets_flag $ no_ipa_flag)
+
+(* compare *)
+let compare_cmd =
+  let compare_run file gogc seed =
+    handle_errors (fun () ->
+        let source = read_file file in
+        let run cfg =
+          Gofree_interp.Runner.compile_and_run ~gofree_config:cfg
+            ~run_config:
+              (run_config ~gcoff:false ~poison:false ~gogc ~seed
+                 ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree)
+            source
+        in
+        let go = run Gofree_core.Config.go in
+        let gf = run Gofree_core.Config.gofree in
+        Format.printf "== Go ==@.%a@.@.== GoFree ==@.%a@.@."
+          Gofree_runtime.Metrics.pp go.Gofree_interp.Runner.metrics
+          Gofree_runtime.Metrics.pp gf.Gofree_interp.Runner.metrics;
+        Printf.printf "outputs identical: %b\n"
+          (String.equal go.Gofree_interp.Runner.output
+             gf.Gofree_interp.Runner.output))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run under Go and GoFree; print both metrics")
+    Term.(const compare_run $ file_arg $ gogc_arg $ seed_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "gofreec" ~version:"1.0.0"
+       ~doc:"GoFree reproduction: compiler-inserted freeing for MiniGo")
+    [ run_cmd; analyze_cmd; instrument_cmd; compare_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/escape_explorer.ml: Format Gofree_baselines Gofree_core Gofree_escape List Minigo Option Printf String

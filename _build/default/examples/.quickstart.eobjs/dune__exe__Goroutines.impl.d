@@ -1,0 +1,1 @@
+examples/goroutines.ml: Array Gofree_core Gofree_interp Gofree_runtime Gofree_stats Printf String

@@ -1,0 +1,1 @@
+examples/json_pipeline.ml: Array Gofree_core Gofree_interp Gofree_runtime Gofree_stats Gofree_workloads Int64 List Option Printf String

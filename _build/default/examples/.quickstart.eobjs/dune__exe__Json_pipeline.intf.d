@@ -1,0 +1,1 @@
+examples/json_pipeline.mli:

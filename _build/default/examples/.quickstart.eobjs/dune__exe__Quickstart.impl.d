@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Gofree_core Gofree_interp Gofree_runtime Minigo Printf

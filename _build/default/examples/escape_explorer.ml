@@ -1,0 +1,76 @@
+(** Escape-analysis explorer: reproduce the paper's fig. 1 walk-through.
+
+    Prints every escape-graph location of the example function with its
+    Table-1 properties and points-to set, then compares the three
+    analyses of Table 3 on the interesting variable.
+
+    Run with:  dune exec examples/escape_explorer.exe *)
+
+let fig1 =
+  {|
+type Big struct {
+  fat int
+  p *float
+}
+
+func dd(s *float) *float {
+  bigObj := Big{fat: 42, p: s}
+  c := 1.0
+  d := 2.0
+  pc := &c
+  pd := &d
+  ppd := &pd
+  *ppd = pc     // the indirect store Go's escape graph does not track
+  pd2 := *ppd
+  if bigObj.fat > 0 {
+    return pd2
+  }
+  return pd
+}
+
+func main() {
+  x := 3.0
+  r := dd(&x)
+  println(*r)
+}
+|}
+
+let () =
+  print_endline "=== paper fig. 1: the escape graph of dd ===";
+  let compiled = Gofree_core.Pipeline.compile fig1 in
+  Format.printf "%a@."
+    (fun fmt () ->
+      Gofree_core.Report.pp_function fmt
+        compiled.Gofree_core.Pipeline.c_analysis "dd")
+    ();
+
+  print_endline "=== paper table 3: PointsTo(pd2) under three analyses ===";
+  let program = Gofree_core.Pipeline.parse_and_check fig1 in
+  let f = Minigo.Tast.find_func program "dd" |> Option.get in
+  let fast = Gofree_baselines.Fast_ea.analyze f in
+  let conn = Gofree_baselines.Conn_graph.analyze f in
+  let show label pts = Printf.printf "%-28s {%s}\n" label (String.concat ", " pts) in
+  show "Fast Escape Analysis O(N):"
+    (Gofree_baselines.Fast_ea.points_to fast f ~var:"pd2");
+  show "Go escape graph O(N^2):"
+    (Gofree_core.Report.points_to_of_var
+       compiled.Gofree_core.Pipeline.c_analysis ~func:"dd" ~var:"pd2");
+  show "Connection graph O(N^3):"
+    (Gofree_baselines.Conn_graph.points_to conn f ~var:"pd2");
+  print_newline ();
+  print_endline
+    "GoFree keeps the O(N^2) graph but detects that PointsTo(pd2) is\n\
+     incomplete (the connection graph shows it misses c), so it refuses\n\
+     to insert a tcfree for pd2 — precision bookkeeping instead of a\n\
+     more expensive analysis.";
+  let pd2 =
+    Gofree_core.Report.var_properties compiled.Gofree_core.Pipeline.c_analysis
+      ~func:"dd" ~var:"pd2"
+    |> Option.get
+  in
+  Printf.printf "Incomplete(pd2) = %b, tcfree inserted for pd2: %b\n"
+    (Gofree_escape.Loc.incomplete pd2)
+    (List.exists
+       (fun i ->
+         i.Gofree_core.Instrument.ins_var.Minigo.Tast.v_name = "pd2")
+       compiled.Gofree_core.Pipeline.c_inserted)

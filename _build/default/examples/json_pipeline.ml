@@ -1,0 +1,90 @@
+(** JSON pipeline: the workload where GoFree wins the most (paper Table 7
+    shows json with the best time ratio and the highest free ratio).
+
+    Runs the json subject proxy under all three evaluation settings of
+    fig. 11 — stock Go, GoFree, and Go with GC disabled — and prints the
+    Table-5 metrics side by side.
+
+    Run with:  dune exec examples/json_pipeline.exe *)
+
+module Rt = Gofree_runtime
+
+let settings =
+  [
+    ("Go", Gofree_core.Config.go, false);
+    ("GoFree", Gofree_core.Config.gofree, false);
+    ("Go-GCOff", Gofree_core.Config.go, true);
+  ]
+
+let () =
+  let workload =
+    Gofree_workloads.Workloads.find "json" |> Option.get
+  in
+  let source = Gofree_workloads.Workloads.source_of ~size:400 workload in
+  let results =
+    List.map
+      (fun (name, config, gc_disabled) ->
+        let run_config =
+          {
+            Gofree_interp.Interp.default_config with
+            heap_config =
+              {
+                Rt.Heap.default_config with
+                gc_disabled;
+                grow_map_free_old = config.Gofree_core.Config.insert_tcfree;
+              };
+          }
+        in
+        let r =
+          Gofree_interp.Runner.compile_and_run ~gofree_config:config
+            ~run_config source
+        in
+        (name, r))
+      settings
+  in
+  (* all settings must compute the same answer *)
+  (match results with
+  | (_, first) :: rest ->
+    List.iter
+      (fun (name, r) ->
+        if
+          not
+            (String.equal first.Gofree_interp.Runner.output
+               r.Gofree_interp.Runner.output)
+        then failwith (name ^ ": output mismatch"))
+      rest;
+    print_string ("program output: " ^ first.Gofree_interp.Runner.output)
+  | [] -> ());
+  print_newline ();
+  let table =
+    Gofree_stats.Table.create
+      ~aligns:[ Gofree_stats.Table.Left; Right; Right; Right; Right; Right ]
+      [ "setting"; "time(ms)"; "GCs"; "freed"; "free%"; "maxheap" ]
+  in
+  List.iter
+    (fun (name, (r : Gofree_interp.Runner.result)) ->
+      let m = r.Gofree_interp.Runner.metrics in
+      Gofree_stats.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f"
+            (Int64.to_float r.Gofree_interp.Runner.wall_ns /. 1e6);
+          string_of_int m.Rt.Metrics.gc_cycles;
+          Gofree_stats.Table.bytes m.Rt.Metrics.freed_bytes;
+          Printf.sprintf "%.1f" (100.0 *. Rt.Metrics.free_ratio m);
+          Gofree_stats.Table.bytes m.Rt.Metrics.max_heap;
+        ])
+    results;
+  print_string (Gofree_stats.Table.render table);
+  print_newline ();
+  (match results with
+  | (_, go) :: (_, gofree) :: _ ->
+    let src = gofree.Gofree_interp.Runner.metrics.Rt.Metrics.freed_by_source in
+    Printf.printf
+      "Reclaim attribution (Table 9 shape): FreeSlice %dB, FreeMap %dB, \
+       GrowMapAndFreeOld %dB\n"
+      src.(0) src.(1) src.(2);
+    Printf.printf "GC cycles: %d -> %d\n"
+      go.Gofree_interp.Runner.metrics.Rt.Metrics.gc_cycles
+      gofree.Gofree_interp.Runner.metrics.Rt.Metrics.gc_cycles
+  | _ -> ())

@@ -1,0 +1,1 @@
+lib/baselines/conn_graph.ml: Domain Hashtbl List Minigo String Tast

@@ -1,0 +1,1 @@
+lib/baselines/conn_graph.mli: Minigo Tast

@@ -1,0 +1,1 @@
+lib/baselines/domain.ml: List Minigo Printf Set Tast

@@ -1,0 +1,1 @@
+lib/baselines/fast_ea.ml: Domain Hashtbl List Minigo String Tast

@@ -1,0 +1,1 @@
+lib/baselines/fast_ea.mli: Minigo Tast

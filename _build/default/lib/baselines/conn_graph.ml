@@ -1,0 +1,198 @@
+(** Connection-graph baseline: an Andersen-style inclusion-based
+    points-to analysis that does track indirect stores (paper §2.1.2,
+    Table 3's rightmost column).
+
+    Constraint forms over the shared {!Domain} (field-insensitive):
+
+    - [p = &q]   →  q ∈ pts(p)
+    - [p = q]    →  pts(q) ⊆ pts(p)
+    - [p = *q]   →  ∀r ∈ pts(q): pts(r) ⊆ pts(p)
+    - [*p = q]   →  ∀r ∈ pts(p): pts(q) ⊆ pts(r)
+
+    The complex forms can materialize O(N) new inclusion edges per
+    statement, which is where the O(N^3) worst case comes from — the
+    compile-speed benchmark measures exactly this against the O(N^2)
+    escape graph. *)
+
+open Minigo
+
+type node = {
+  n_loc : Domain.loc;
+  mutable pts : Domain.Loc_set.t;
+  mutable subset_of : int list;  (** pts(this) ⊆ pts(target) *)
+  mutable load_into : int list;  (** p = *this: ∀r∈pts(this): r ⊆ target *)
+  mutable store_from : int list;  (** *this = q: ∀r∈pts(this): q ⊆ r *)
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t;
+  mutable work : int list;
+  mutable edge_insertions : int;  (** complexity counter *)
+}
+
+let node t (l : Domain.loc) : node =
+  let i = Domain.id l in
+  match Hashtbl.find_opt t.nodes i with
+  | Some n -> n
+  | None ->
+    let n =
+      { n_loc = l; pts = Domain.Loc_set.empty; subset_of = [];
+        load_into = []; store_from = [] }
+    in
+    Hashtbl.replace t.nodes i n;
+    n
+
+let add_pts t (n : node) (l : Domain.loc) =
+  if not (Domain.Loc_set.mem l n.pts) then begin
+    n.pts <- Domain.Loc_set.add l n.pts;
+    t.work <- Domain.id n.n_loc :: t.work
+  end
+
+let add_subset t (src : node) (dst : node) =
+  let di = Domain.id dst.n_loc in
+  if Domain.id src.n_loc <> di && not (List.mem di src.subset_of) then begin
+    src.subset_of <- di :: src.subset_of;
+    t.edge_insertions <- t.edge_insertions + 1;
+    t.work <- Domain.id src.n_loc :: t.work
+  end
+
+(* Normalize a flow with arbitrary derefs into the four canonical forms
+   by introducing no new locations: derefs ≥ 2 collapse through pts
+   chains during solving, so we keep a (loc, derefs) pair per constraint
+   and expand lazily. *)
+type constraintt =
+  | Caddr of int * Domain.loc  (** dst, q:  q ∈ pts(dst) *)
+  | Ccopy of int * int  (** dst ⊇ src *)
+  | Cload of int * int * int  (** dst ⊇ *^derefs src *)
+  | Cstore of int * int  (** *dst ⊇ src *)
+
+let build (f : Tast.func) : t * constraintt list =
+  let t = { nodes = Hashtbl.create 64; work = []; edge_insertions = 0 } in
+  let heap = node t Domain.Lheap in
+  add_pts t heap Domain.Lheap;
+  let cs = ref [] in
+  List.iter
+    (fun { Domain.a_dst; a_dst_derefs; a_src; a_src_derefs } ->
+      let src = node t a_src in
+      let dst =
+        match a_dst with Some d -> node t d | None -> node t Domain.Lheap
+      in
+      let di = Domain.id dst.n_loc and si = Domain.id src.n_loc in
+      if a_dst_derefs > 0 then begin
+        (* *dst = src (src possibly with its own derefs: conservatively
+           load first into a virtual role of src itself) *)
+        match a_src_derefs with
+        | -1 ->
+          (* *dst = &q is not expressible directly; route through pts *)
+          cs := Cstore (di, si) :: Caddr (si, a_src) :: !cs
+        | 0 -> cs := Cstore (di, si) :: !cs
+        | k -> cs := Cstore (di, si) :: Cload (si, si, k) :: !cs
+      end
+      else begin
+        match a_src_derefs with
+        | -1 -> cs := Caddr (di, a_src) :: !cs
+        | 0 -> cs := Ccopy (di, si) :: !cs
+        | k -> cs := Cload (di, si, k) :: !cs
+      end)
+    (Domain.assignments_of f);
+  (t, !cs)
+
+let solve (t : t) (cs : constraintt list) =
+  (* seed simple constraints; keep complex ones for the fixpoint *)
+  let complex = ref [] in
+  List.iter
+    (fun c ->
+      match c with
+      | Caddr (d, q) -> add_pts t (Hashtbl.find t.nodes d) q
+      | Ccopy (d, s) ->
+        add_subset t (Hashtbl.find t.nodes s) (Hashtbl.find t.nodes d)
+      | Cload _ | Cstore _ -> complex := c :: !complex)
+    cs;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 1000 do
+    changed := false;
+    incr rounds;
+    (* propagate subset edges to a local fixpoint *)
+    let prop = ref true in
+    while !prop do
+      prop := false;
+      Hashtbl.iter
+        (fun _ (n : node) ->
+          List.iter
+            (fun di ->
+              let d = Hashtbl.find t.nodes di in
+              let united = Domain.Loc_set.union d.pts n.pts in
+              if not (Domain.Loc_set.equal united d.pts) then begin
+                d.pts <- united;
+                prop := true
+              end)
+            n.subset_of)
+        t.nodes
+    done;
+    (* expand complex constraints against current pts *)
+    List.iter
+      (fun c ->
+        match c with
+        | Cload (d, s, k) ->
+          (* pts-chain of length k from s, then subset into d *)
+          let rec chase set k =
+            if k = 0 then set
+            else
+              chase
+                (Domain.Loc_set.fold
+                   (fun l acc ->
+                     let n = node t l in
+                     Domain.Loc_set.union acc n.pts)
+                   set Domain.Loc_set.empty)
+                (k - 1)
+          in
+          let sources = chase (node t (Hashtbl.find t.nodes s).n_loc).pts (k - 1) in
+          Domain.Loc_set.iter
+            (fun r ->
+              let before = t.edge_insertions in
+              add_subset t (node t r) (Hashtbl.find t.nodes d);
+              if t.edge_insertions <> before then changed := true)
+            sources
+        | Cstore (d, s) ->
+          Domain.Loc_set.iter
+            (fun r ->
+              let before = t.edge_insertions in
+              add_subset t (Hashtbl.find t.nodes s) (node t r);
+              if t.edge_insertions <> before then changed := true)
+            (Hashtbl.find t.nodes d).pts
+        | Caddr _ | Ccopy _ -> ())
+      !complex
+  done
+
+(** Analyze one function. *)
+let analyze (f : Tast.func) : t =
+  let t, cs = build f in
+  solve t cs;
+  t
+
+(** Points-to set of a variable by name (location names, sorted). *)
+let points_to (t : t) (f : Tast.func) ~var : string list =
+  let result = ref [] in
+  let visit (v : Tast.var) =
+    if String.equal v.Tast.v_name var then
+      match Hashtbl.find_opt t.nodes v.Tast.v_id with
+      | Some n ->
+        result :=
+          List.filter_map
+            (fun l ->
+              match l with
+              | Domain.Lheap -> None
+              | l -> Some (Domain.name l))
+            (Domain.Loc_set.elements n.pts)
+      | None -> ()
+  in
+  List.iter visit f.Tast.f_params;
+  Tast.iter_stmts
+    (fun s ->
+      match s with
+      | Tast.Sdecl (v, _) -> visit v
+      | Tast.Smulti_decl (vs, _) -> List.iter visit vs
+      | _ -> ())
+    f.Tast.f_body;
+  List.sort_uniq compare !result

@@ -1,0 +1,15 @@
+(** Connection-graph baseline: Andersen-style inclusion-based points-to
+    analysis that does track indirect stores (paper §2.1.2, Table 3).
+    Complex constraints can materialize O(N) inclusion edges per
+    statement — the O(N^3) worst case the escape graph avoids. *)
+
+open Minigo
+
+type t
+
+(** Analyze one function (intra-procedural) to its points-to fixpoint. *)
+val analyze : Tast.func -> t
+
+(** Points-to set of a variable by name (sorted location names, heapLoc
+    elided). *)
+val points_to : t -> Tast.func -> var:string -> string list

@@ -1,0 +1,163 @@
+(** Shared location domain for the baseline analyses (paper §2.1.2,
+    Table 3): named variables and allocation sites, using the same
+    printable names as the escape analysis so points-to sets can be
+    compared side by side. *)
+
+open Minigo
+
+type loc =
+  | Lvar of Tast.var
+  | Lsite of Tast.alloc_site
+  | Lheap  (** the conservative unknown *)
+
+let name = function
+  | Lvar v -> v.Tast.v_name
+  | Lsite s -> Printf.sprintf "alloc#%d" s.Tast.site_id
+  | Lheap -> "heapLoc"
+
+let id = function
+  | Lvar v -> v.Tast.v_id
+  | Lsite s -> 1_000_000 + s.Tast.site_id
+  | Lheap -> -1
+
+let compare_loc a b = compare (id a) (id b)
+
+module Loc_set = Set.Make (struct
+  type t = loc
+
+  let compare = compare_loc
+end)
+
+(** The assignment skeleton both baselines consume: each MiniGo statement
+    reduced to the four canonical forms of the paper's Table 2, plus
+    explicit allocation bindings.  [derefs] follows the same convention:
+    -1 address-of, 0 copy, +1 load through. *)
+type assignment = {
+  a_dst : loc option;  (** [None]: flows to an untracked sink (heap) *)
+  a_dst_derefs : int;  (** 0 = direct store, 1 = store through dst *)
+  a_src : loc;
+  a_src_derefs : int;
+}
+
+(* Flows of an expression as (location, derefs) pairs, like the escape
+   analysis but without any graph side effects. *)
+let rec flows (e : Tast.expr) : (loc * int) list =
+  match e.Tast.desc with
+  | Tast.Tvar v -> [ (Lvar v, 0) ]
+  | Tast.Tderef a -> List.map (fun (l, d) -> (l, d + 1)) (flows a)
+  | Tast.Tindex (a, _) -> begin
+    match a.Tast.ty with
+    | Minigo.Types.String -> []
+    | _ -> List.map (fun (l, d) -> (l, d + 1)) (flows a)
+  end
+  | Tast.Tmap_get (m, _) | Tast.Tmap_get_ok (m, _) ->
+    List.map (fun (l, d) -> (l, d + 1)) (flows m)
+  | Tast.Tfield (a, _, _) ->
+    let extra = match a.Tast.ty with Minigo.Types.Ptr _ -> 1 | _ -> 0 in
+    List.map (fun (l, d) -> (l, d + extra)) (flows a)
+  | Tast.Taddr lv -> addr_flows lv
+  | Tast.Tmake_slice (site, _, _, _)
+  | Tast.Tmake_map (site, _, _)
+  | Tast.Tnew (site, _)
+  | Tast.Tslice_lit (site, _, _)
+  | Tast.Taddr_struct_lit (site, _, _) ->
+    [ (Lsite site, -1) ]
+  | Tast.Tappend (site, s, _) -> (Lsite site, -1) :: flows s
+  | Tast.Tslice_sub (e, _, _) -> begin
+    match e.Tast.ty with Minigo.Types.String -> [] | _ -> flows e
+  end
+  | Tast.Tstruct_lit (_, es) -> List.concat_map flows es
+  | Tast.Tcall _ -> [ (Lheap, 0) ]  (* both baselines are intra-procedural *)
+  | _ -> []
+
+and addr_flows (lv : Tast.lvalue) : (loc * int) list =
+  match lv with
+  | Tast.Lvar v -> [ (Lvar v, -1) ]
+  | Tast.Lderef e -> flows e
+  | Tast.Lindex (a, _) -> flows a
+  | Tast.Lmap (m, _) -> flows m
+  | Tast.Lfield (e, _, _) -> begin
+    match e.Tast.ty with
+    | Minigo.Types.Ptr _ -> flows e
+    | _ -> begin
+      match e.Tast.desc with
+      | Tast.Tvar v -> [ (Lvar v, -1) ]
+      | _ -> flows e
+    end
+  end
+
+(** Collect the assignment skeleton of one function. *)
+let assignments_of (f : Tast.func) : assignment list =
+  let acc = ref [] in
+  let emit ?(dst_derefs = 0) dst (src, src_derefs) =
+    acc :=
+      { a_dst = dst; a_dst_derefs = dst_derefs; a_src = src;
+        a_src_derefs = src_derefs }
+      :: !acc
+  in
+  let emit_flows ?(dst_derefs = 0) dst e =
+    List.iter (fun fl -> emit ~dst_derefs dst fl) (flows e)
+  in
+  let store_lvalue lv (e : Tast.expr) =
+    match lv with
+    | Tast.Lvar v -> emit_flows (Some (Lvar v)) e
+    | Tast.Lderef p ->
+      List.iter
+        (fun (pl, pd) ->
+          if pd = 0 then emit_flows ~dst_derefs:1 (Some pl) e
+          else emit_flows None e)
+        (flows p)
+    | Tast.Lindex (a, _) ->
+      List.iter
+        (fun (al, ad) ->
+          if ad = 0 then emit_flows ~dst_derefs:1 (Some al) e
+          else emit_flows None e)
+        (flows a)
+    | Tast.Lmap (m, _) ->
+      List.iter
+        (fun (ml, md) ->
+          if md = 0 then emit_flows ~dst_derefs:1 (Some ml) e
+          else emit_flows None e)
+        (flows m)
+    | Tast.Lfield (base, _, _) -> begin
+      match base.Tast.ty with
+      | Minigo.Types.Ptr _ ->
+        List.iter
+          (fun (bl, bd) ->
+            if bd = 0 then emit_flows ~dst_derefs:1 (Some bl) e
+            else emit_flows None e)
+          (flows base)
+      | _ -> begin
+        match base.Tast.desc with
+        | Tast.Tvar v -> emit_flows (Some (Lvar v)) e
+        | _ -> emit_flows None e
+      end
+    end
+  in
+  Tast.iter_stmts
+    (fun s ->
+      match s with
+      | Tast.Sdecl (v, Some e) -> emit_flows (Some (Lvar v)) e
+      | Tast.Sdecl (_, None) -> ()
+      | Tast.Smulti_decl (vars, _) ->
+        List.iter (fun v -> emit (Some (Lvar v)) (Lheap, 0)) vars
+      | Tast.Sassign (lv, e) -> store_lvalue lv e
+      | Tast.Smulti_assign (lvs, _) ->
+        List.iter
+          (fun lv ->
+            match lv with
+            | Tast.Lvar v -> emit (Some (Lvar v)) (Lheap, 0)
+            | _ -> ())
+          lvs
+      | Tast.Sreturn es | Tast.Sprint es ->
+        List.iter (fun e -> emit_flows None e) es
+      | Tast.Sgo (_, es) | Tast.Sdefer (_, es) ->
+        List.iter (fun e -> emit_flows None e) es
+      | Tast.Spanic e -> emit_flows None e
+      | Tast.Sforrange_map (v, m, _) ->
+        List.iter
+          (fun (l, d) -> emit (Some (Lvar v)) (l, d + 1))
+          (flows m)
+      | _ -> ())
+    f.Tast.f_body;
+  List.rev !acc

@@ -1,0 +1,140 @@
+(** Fast Escape Analysis baseline (Gay–Steensgaard, paper §2.1.2).
+
+    An O(N) analysis: equivalence classes of references are merged on
+    copies (Steensgaard-style unification) and each class carries the set
+    of objects directly bound into it by address-of / allocation.  Loads
+    through a pointer ([p = *q]) and stores through a pointer ([*p = q])
+    are not tracked at all: the class involved is tainted, its points-to
+    set collapses to the conservative unknown and everything flowing
+    through it escapes.
+
+    Consequences (Table 3): [PointsTo] is empty for anything obtained by
+    dereferencing, so Fast EA supports stack allocation of directly-bound
+    objects only and cannot support explicit deallocation. *)
+
+open Minigo
+
+type class_data = {
+  mutable pts : Domain.Loc_set.t;
+  mutable tainted : bool;  (** touched by an untracked dereference *)
+  mutable escapes : bool;
+}
+
+type t = {
+  parent : (int, int) Hashtbl.t;  (** union-find over Domain.id *)
+  data : (int, class_data) Hashtbl.t;
+  names : (int, Domain.loc) Hashtbl.t;
+}
+
+let create () =
+  { parent = Hashtbl.create 64; data = Hashtbl.create 64;
+    names = Hashtbl.create 64 }
+
+let rec find t i =
+  match Hashtbl.find_opt t.parent i with
+  | None ->
+    Hashtbl.replace t.parent i i;
+    Hashtbl.replace t.data i
+      { pts = Domain.Loc_set.empty; tainted = false; escapes = false };
+    i
+  | Some p when p = i -> i
+  | Some p ->
+    let root = find t p in
+    Hashtbl.replace t.parent i root;
+    root
+
+let class_of t (l : Domain.loc) =
+  let i = Domain.id l in
+  Hashtbl.replace t.names i l;
+  find t i
+
+let data t root = Hashtbl.find t.data root
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let da = data t ra and db = data t rb in
+    Hashtbl.replace t.parent rb ra;
+    da.pts <- Domain.Loc_set.union da.pts db.pts;
+    da.tainted <- da.tainted || db.tainted;
+    da.escapes <- da.escapes || db.escapes
+  end
+
+let taint t root =
+  let d = data t root in
+  d.tainted <- true;
+  d.escapes <- true
+
+let escape t root = (data t root).escapes <- true
+
+(** Run Fast EA over one function's assignment skeleton. *)
+let analyze (f : Tast.func) : t =
+  let t = create () in
+  let heap = class_of t Domain.Lheap in
+  taint t heap;
+  List.iter
+    (fun { Domain.a_dst; a_dst_derefs; a_src; a_src_derefs } ->
+      let src_class = class_of t a_src in
+      match a_dst with
+      | None ->
+        (* flows to an untracked sink *)
+        escape t src_class;
+        if a_src_derefs < 0 then
+          Domain.Loc_set.iter
+            (fun _ -> ())
+            Domain.Loc_set.empty  (* nothing more to record *)
+      | Some dst ->
+        let dst_class = class_of t dst in
+        if a_dst_derefs > 0 then begin
+          (* store through a pointer: untracked *)
+          taint t dst_class;
+          escape t src_class
+        end
+        else begin
+          match a_src_derefs with
+          | -1 ->
+            (* direct binding: dst's class points at src *)
+            let d = data t dst_class in
+            d.pts <- Domain.Loc_set.add a_src d.pts
+          | 0 ->
+            (* reference copy: unify, Steensgaard-style *)
+            union t dst_class src_class
+          | _ ->
+            (* load through a pointer: untracked *)
+            taint t dst_class;
+            taint t src_class
+        end)
+    (Domain.assignments_of f);
+  t
+
+(** Points-to set of a variable by name; empty when the class is tainted
+    (Fast EA provides no usable information there). *)
+let points_to (t : t) (f : Tast.func) ~var : string list =
+  let result = ref [] in
+  let visit (v : Tast.var) =
+    if String.equal v.Tast.v_name var then begin
+      let root = class_of t (Domain.Lvar v) in
+      let d = data t root in
+      if not d.tainted then
+        result :=
+          List.map Domain.name (Domain.Loc_set.elements d.pts)
+    end
+  in
+  List.iter visit f.Tast.f_params;
+  Tast.iter_stmts
+    (fun s ->
+      match s with
+      | Tast.Sdecl (v, _) -> visit v
+      | Tast.Smulti_decl (vs, _) -> List.iter visit vs
+      | _ -> ())
+    f.Tast.f_body;
+  List.sort compare !result
+
+(** Whether the object bound at an allocation can live on the stack:
+    the reference it is immediately bound to must not escape. *)
+let site_on_stack (t : t) (site : Tast.alloc_site) ~bound_to :
+    bool =
+  let root = class_of t (Domain.Lvar bound_to) in
+  let d = data t root in
+  ignore site;
+  (not d.escapes) && not d.tainted

@@ -1,0 +1,18 @@
+(** Fast Escape Analysis baseline (Gay–Steensgaard, paper §2.1.2): O(N)
+    unification-based classes with direct bindings only; anything touched
+    by a dereference is tainted and provides no points-to information. *)
+
+open Minigo
+
+type t
+
+(** Analyze one function (intra-procedural). *)
+val analyze : Tast.func -> t
+
+(** Points-to set of a variable by name, as sorted location names; empty
+    when the class is tainted. *)
+val points_to : t -> Tast.func -> var:string -> string list
+
+(** Stack-allocation test: the reference the object is immediately bound
+    to must not escape. *)
+val site_on_stack : t -> Tast.alloc_site -> bound_to:Tast.var -> bool

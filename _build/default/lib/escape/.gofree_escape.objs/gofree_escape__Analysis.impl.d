@@ -1,0 +1,1 @@
+lib/escape/analysis.ml: Array Build Graph Hashtbl List Loc Minigo Propagate String Summary Tast

@@ -1,0 +1,1 @@
+lib/escape/analysis.mli: Build Hashtbl Loc Minigo Propagate Summary Tast

@@ -1,0 +1,1 @@
+lib/escape/build.ml: Array Graph Hashtbl List Loc Minigo Option Printf Summary Tast Types

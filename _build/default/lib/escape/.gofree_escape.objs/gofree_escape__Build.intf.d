@@ -1,0 +1,1 @@
+lib/escape/build.mli: Graph Hashtbl Loc Minigo Summary Tast Types

@@ -1,0 +1,1 @@
+lib/escape/graph.ml: Hashtbl List Loc Queue

@@ -1,0 +1,1 @@
+lib/escape/graph.mli: Hashtbl Loc

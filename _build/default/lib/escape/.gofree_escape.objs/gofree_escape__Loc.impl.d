@@ -1,0 +1,1 @@
+lib/escape/loc.ml: Format Minigo Printf

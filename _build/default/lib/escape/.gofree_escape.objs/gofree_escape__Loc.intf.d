@@ -1,0 +1,1 @@
+lib/escape/loc.mli: Format Minigo

@@ -1,0 +1,1 @@
+lib/escape/propagate.ml: Array Graph List Loc Queue

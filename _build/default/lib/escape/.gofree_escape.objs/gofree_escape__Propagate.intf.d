@@ -1,0 +1,1 @@
+lib/escape/propagate.mli: Graph Loc

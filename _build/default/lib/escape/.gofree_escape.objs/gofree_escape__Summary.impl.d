@@ -1,0 +1,1 @@
+lib/escape/summary.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/escape/summary.mli: Format

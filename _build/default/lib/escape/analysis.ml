@@ -1,0 +1,247 @@
+(** Whole-program escape analysis driver.
+
+    Functions are analyzed callees-first (Go orders intra-procedural
+    analysis inner-to-outer so call sites find known parameter tags, §4.4).
+    We compute strongly connected components of the call graph with
+    Tarjan's algorithm and process them in reverse topological order;
+    calls into a not-yet-summarized function (recursion or a forward cycle)
+    use the conservative default tag. *)
+
+open Minigo
+
+type func_result = {
+  fr_func : Tast.func;
+  fr_ctx : Build.ctx;
+  fr_stats : Propagate.stats;
+}
+
+type t = {
+  mode : Propagate.mode;
+  funcs : (string, func_result) Hashtbl.t;
+  summaries : (string, Summary.t) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let callees_of (f : Tast.func) : string list =
+  let acc = ref [] in
+  let add name = if not (List.mem name !acc) then acc := name :: !acc in
+  let visit_expr (e : Tast.expr) =
+    match e.Tast.desc with Tast.Tcall (name, _) -> add name | _ -> ()
+  in
+  Tast.iter_stmts
+    (fun s ->
+      (match s with
+      | Tast.Sgo (name, _) | Tast.Sdefer (name, _) -> add name
+      | _ -> ());
+      Tast.iter_stmt_exprs (fun e -> Tast.iter_expr visit_expr e) s)
+    f.Tast.f_body;
+  !acc
+
+(* Tarjan SCC; returns components in reverse topological order (callees
+   before callers). *)
+let scc_order (funcs : Tast.func list) : Tast.func list list =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace by_name f.Tast.f_name f) funcs;
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect name =
+    Hashtbl.replace index name !counter;
+    Hashtbl.replace lowlink name !counter;
+    incr counter;
+    stack := name :: !stack;
+    Hashtbl.replace on_stack name true;
+    (match Hashtbl.find_opt by_name name with
+    | None -> ()
+    | Some f ->
+      List.iter
+        (fun callee ->
+          if Hashtbl.mem by_name callee then
+            if not (Hashtbl.mem index callee) then begin
+              strongconnect callee;
+              Hashtbl.replace lowlink name
+                (min (Hashtbl.find lowlink name)
+                   (Hashtbl.find lowlink callee))
+            end
+            else if Hashtbl.find_opt on_stack callee = Some true then
+              Hashtbl.replace lowlink name
+                (min (Hashtbl.find lowlink name) (Hashtbl.find index callee)))
+        (callees_of f));
+    if Hashtbl.find lowlink name = Hashtbl.find index name then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | top :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack top false;
+          if String.equal top name then top :: acc else pop (top :: acc)
+      in
+      let comp = pop [] in
+      let comp_funcs =
+        List.filter_map (fun n -> Hashtbl.find_opt by_name n) comp
+      in
+      components := comp_funcs :: !components
+    end
+  in
+  List.iter
+    (fun f -> if not (Hashtbl.mem index f.Tast.f_name) then
+        strongconnect f.Tast.f_name)
+    funcs;
+  (* Tarjan emits components in reverse topological order already
+     (a component is finished only after everything it reaches), so the
+     accumulated list (which reversed them once more) must be reversed
+     back. *)
+  List.rev !components
+
+(* ------------------------------------------------------------------ *)
+(* Summary extraction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Compress a function's analyzed graph into its extended parameter tag.
+    [precise_contents = false] produces what stock Go knows: the
+    param→return/heap flows of the classic parameter tag, with the
+    conservative "returns come from the heap, incomplete" contents —
+    content tags are GoFree's addition (§4.4). *)
+let extract_summary ?(precise_contents = true) (f : Tast.func)
+    (ctx : Build.ctx) : Summary.t =
+  let g = ctx.Build.g in
+  let params =
+    List.map (fun p -> Build.var_loc ctx p) f.Tast.f_params
+  in
+  let flows = ref [] in
+  (* param → return_j flows, with MinDerefs weights *)
+  Array.iteri
+    (fun j ret ->
+      Graph.walk_one g ret (fun leaf derefs ->
+          List.iteri
+            (fun i p ->
+              if p.Loc.id = leaf.Loc.id then
+                flows :=
+                  { Summary.pf_param = i; pf_target = `Return j;
+                    pf_derefs = derefs }
+                  :: !flows)
+            params))
+    g.Graph.returns;
+  (* param → heap flows *)
+  Graph.walk_one g g.Graph.heap (fun leaf derefs ->
+      List.iteri
+        (fun i p ->
+          if p.Loc.id = leaf.Loc.id then
+            flows :=
+              { Summary.pf_param = i; pf_target = `Heap; pf_derefs = derefs }
+              :: !flows)
+        params);
+  let contents =
+    Array.map
+      (fun (ret : Loc.t) ->
+        if precise_contents then
+          {
+            Summary.ct_heap_alloc = ret.Loc.points_to_heap;
+            (* Only store-origin incompleteness is recorded: the
+               parameter-seeded component is a potential false positive
+               that the caller re-derives from its actual arguments
+               (§4.4). *)
+            ct_incomplete = ret.Loc.inc_store;
+            ret_incomplete = ret.Loc.inc_store;
+          }
+        else
+          { Summary.ct_heap_alloc = true; ct_incomplete = true;
+            ret_incomplete = true })
+      g.Graph.returns
+  in
+  {
+    Summary.s_name = f.Tast.f_name;
+    s_nparams = List.length params;
+    s_flows = !flows;
+    s_contents = contents;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Analyze a whole program.  With [mode = Go_base] the result carries
+    only stack/heap decisions (what stock Go computes); with [Gofree] it
+    also carries completeness/lifetime properties and ToFree flags.
+    [use_ipa = false] keeps every call site on the conservative default
+    tag; [backprop = false] disables GoFree's leaf→root rules (unsound —
+    ablation only). *)
+let analyze ?(mode = Propagate.Gofree) ?(use_ipa = true) ?(backprop = true)
+    (p : Tast.program) : t =
+  let summaries = Hashtbl.create 16 in
+  let funcs = Hashtbl.create 16 in
+  let components = scc_order p.Tast.p_funcs in
+  List.iter
+    (fun component ->
+      (* Functions within one SCC see default tags for in-SCC calls
+         (their summaries are published only after the component). *)
+      let results =
+        List.map
+          (fun f ->
+            let ctx =
+              Build.build_function ~tenv:p.Tast.p_tenv ~summaries f
+            in
+            let stats = Propagate.walkall ~mode ~backprop ctx.Build.g in
+            (f, ctx, stats))
+          component
+      in
+      List.iter
+        (fun (f, ctx, stats) ->
+          Hashtbl.replace funcs f.Tast.f_name
+            { fr_func = f; fr_ctx = ctx; fr_stats = stats };
+          if use_ipa then
+            (* Go's own parameter tags exist in both modes; only their
+               content-tag refinement is GoFree-specific. *)
+            Hashtbl.replace summaries f.Tast.f_name
+              (extract_summary
+                 ~precise_contents:(mode = Propagate.Gofree)
+                 f ctx))
+        results)
+    components;
+  { mode; funcs; summaries }
+
+let func_result t name = Hashtbl.find_opt t.funcs name
+
+(** Location of a variable in its function's analyzed graph. *)
+let var_loc t ~func (v : Tast.var) : Loc.t option =
+  match func_result t func with
+  | None -> None
+  | Some fr -> Hashtbl.find_opt fr.fr_ctx.Build.var_locs v.Tast.v_id
+
+(** Stack/heap decision for an allocation site: [true] when the site must
+    be heap-allocated.  Sites never touched by the graph (dead code) stay
+    stack-allocatable. *)
+let site_is_heap t ~func (site : Tast.alloc_site) : bool =
+  match func_result t func with
+  | None -> true
+  | Some fr -> begin
+    match
+      Hashtbl.find_opt fr.fr_ctx.Build.site_locs site.Tast.site_id
+    with
+    | Some l -> l.Loc.heap_alloc
+    | None -> false
+  end
+
+(** All variables of [func] whose location satisfies ToFree (Def 4.17). *)
+let to_free_vars t ~func : (Tast.var * Loc.t) list =
+  match func_result t func with
+  | None -> []
+  | Some fr ->
+    Hashtbl.fold
+      (fun _ (l : Loc.t) acc ->
+        match l.Loc.kind with
+        | Loc.Kvar v when Propagate.to_free l -> (v, l) :: acc
+        | _ -> acc)
+      fr.fr_ctx.Build.var_locs []
+
+(** Aggregate walk statistics, for the compilation-speed experiment. *)
+let total_walk_steps t =
+  Hashtbl.fold
+    (fun _ fr acc -> acc + fr.fr_ctx.Build.g.Graph.walk_steps)
+    t.funcs 0

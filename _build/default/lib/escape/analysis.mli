@@ -1,0 +1,53 @@
+(** Whole-program escape analysis driver: functions are analyzed
+    callees-first (Tarjan SCCs of the call graph in reverse topological
+    order); calls into not-yet-summarized functions use the default tag. *)
+
+open Minigo
+
+type func_result = {
+  fr_func : Tast.func;
+  fr_ctx : Build.ctx;
+  fr_stats : Propagate.stats;
+}
+
+type t = {
+  mode : Propagate.mode;
+  funcs : (string, func_result) Hashtbl.t;
+  summaries : (string, Summary.t) Hashtbl.t;
+}
+
+(** Callee names reachable from a function body (including go/defer). *)
+val callees_of : Tast.func -> string list
+
+(** Strongly connected components of the call graph, callees first. *)
+val scc_order : Tast.func list -> Tast.func list list
+
+(** Compress one analyzed function into its extended parameter tag.
+    [precise_contents = false] yields what stock Go knows: real
+    param→return/heap flows but conservative contents (content tags are
+    GoFree's addition). *)
+val extract_summary :
+  ?precise_contents:bool -> Tast.func -> Build.ctx -> Summary.t
+
+(** Analyze a whole program.  [mode = Go_base] computes only stack/heap
+    decisions; [Gofree] adds completeness/lifetime/ToFree.
+    [use_ipa = false] forces default tags everywhere (ablation);
+    [backprop = false] disables GoFree's leaf→root rules (unsound —
+    robustness ablation only). *)
+val analyze :
+  ?mode:Propagate.mode -> ?use_ipa:bool -> ?backprop:bool -> Tast.program ->
+  t
+
+val func_result : t -> string -> func_result option
+
+(** Location of a variable in its function's analyzed graph. *)
+val var_loc : t -> func:string -> Tast.var -> Loc.t option
+
+(** [true] when the allocation site must be heap-allocated. *)
+val site_is_heap : t -> func:string -> Tast.alloc_site -> bool
+
+(** Variables of [func] whose location satisfies ToFree (Def 4.17). *)
+val to_free_vars : t -> func:string -> (Tast.var * Loc.t) list
+
+(** Total SPFA relaxations across all functions (complexity stats). *)
+val total_walk_steps : t -> int

@@ -1,0 +1,549 @@
+(** Escape-graph construction: one graph per function (paper §4.1).
+
+    Each assignment-like construct contributes a constant number of nodes
+    and edges (Table 2), keeping |L| and |E| linear in program size:
+
+    - [p = q]   adds  [q --0--> p]
+    - [p = &q]  adds  [q --(-1)--> p]
+    - [p = *q]  adds  [q --1--> p]
+    - [*p = q]  adds  [q --0--> heapLoc]  and seeds [Exposes(p)]
+
+    Indirect stores are {e not} tracked further — exactly the
+    simplification that makes Go's analysis O(N^2) and the points-to sets
+    of some locations incomplete (the completeness analysis recovers which
+    ones are trustworthy).
+
+    Go-specific features follow §4.6: slice [append] adds a dummy content
+    location with [HeapAlloc] (the possible growth array); call sites embed
+    the callee's extended parameter tag (§4.4); [defer]/[panic] arguments
+    flow to a function-lifetime sink; [go] arguments flow to the heap. *)
+
+open Minigo
+
+type ctx = {
+  g : Graph.t;
+  tenv : Types.env;
+  var_locs : (int, Loc.t) Hashtbl.t;  (** var id → location *)
+  site_locs : (int, Loc.t) Hashtbl.t;  (** site id → location *)
+  append_locs : (int, Loc.t) Hashtbl.t;  (** append site id → content loc *)
+  summaries : (string, Summary.t) Hashtbl.t;
+  mutable cur_depth : int;
+  mutable cur_loop : int;
+  mutable call_instances : (string * Loc.t array) list;
+      (** call-site result locations, for tests/debugging *)
+}
+
+(** Objects larger than this are never stack-allocated (Go's
+    [maxStackVarSize] is 10 MB for explicit variables but 64 KB for
+    implicitly allocated backing stores such as [make] slices; we use the
+    latter since all MiniGo allocation sites are of that kind). *)
+let max_stack_bytes = 64 * 1024
+
+let var_loc ctx (v : Tast.var) : Loc.t =
+  match Hashtbl.find_opt ctx.var_locs v.Tast.v_id with
+  | Some l -> l
+  | None ->
+    let l =
+      Graph.fresh_loc ctx.g (Loc.Kvar v) ~loop_depth:v.Tast.v_loop_depth
+        ~decl_depth:v.Tast.v_decl_depth
+    in
+    (match v.Tast.v_kind with
+    | Tast.Vparam ->
+      (* Def 4.12: a formal parameter's points-to set is incomplete. *)
+      l.Loc.inc_param <- true
+    | Tast.Vglobal ->
+      (* Globals behave like the heap: always heap-allocated, mutable
+         from anywhere. *)
+      l.Loc.heap_alloc <- true;
+      l.Loc.exposes <- true;
+      l.Loc.inc_store <- true;
+      l.Loc.loop_depth <- -1;
+      l.Loc.decl_depth <- -1;
+      l.Loc.outermost_ref <- -1
+    | Tast.Vlocal | Tast.Vresult _ -> ());
+    Hashtbl.replace ctx.var_locs v.Tast.v_id l;
+    l
+
+let site_loc ctx (site : Tast.alloc_site) : Loc.t =
+  match Hashtbl.find_opt ctx.site_locs site.Tast.site_id with
+  | Some l -> l
+  | None ->
+    let l =
+      Graph.fresh_loc ctx.g (Loc.Ksite site) ~loop_depth:ctx.cur_loop
+        ~decl_depth:ctx.cur_depth
+    in
+    (* Base HeapAlloc: dynamic size (fig. 3's make2), or too large for a
+       stack frame. *)
+    (match site.Tast.site_const_len with
+    | None -> l.Loc.heap_alloc <- true
+    | Some n ->
+      if n * max 1 site.Tast.site_elem_size > max_stack_bytes then
+        l.Loc.heap_alloc <- true);
+    Hashtbl.replace ctx.site_locs site.Tast.site_id l;
+    l
+
+(* The dummy content location of an append site: a possible implicit
+   growth allocation (§4.6.1), always heap. *)
+let append_content_loc ctx (site : Tast.alloc_site) : Loc.t =
+  match Hashtbl.find_opt ctx.append_locs site.Tast.site_id with
+  | Some l -> l
+  | None ->
+    let l =
+      Graph.fresh_loc ctx.g
+        (Loc.Kcontent (Printf.sprintf "append#%d" site.Tast.site_id))
+        ~loop_depth:ctx.cur_loop ~decl_depth:ctx.cur_depth
+    in
+    l.Loc.heap_alloc <- true;
+    Hashtbl.replace ctx.append_locs site.Tast.site_id l;
+    (* The growth allocation is this site's allocation: register it so the
+       stack/heap decision (always heap) is visible to the runtime. *)
+    Hashtbl.replace ctx.site_locs site.Tast.site_id l;
+    l
+
+let pointer_bearing ctx (ty : Types.t) = Types.contains_pointers ctx.tenv ty
+
+let connect ctx flows (dst : Loc.t) =
+  List.iter
+    (fun (src, derefs) -> Graph.add_edge ctx.g ~src ~dst ~weight:derefs)
+    flows
+
+(* Seed Exposes on the destination of an indirect store (Def 4.11 third
+   bullet): for a pointer expression used as a store destination, every
+   source holding its value or address is exposed. *)
+let expose_store_dest flows =
+  List.iter
+    (fun ((l : Loc.t), derefs) -> if derefs <= 0 then l.Loc.exposes <- true)
+    flows
+
+(** Flows of an expression: the locations (with dereference counts) whose
+    value the expression may yield.  Always traverses the whole expression
+    so that nested calls and appends contribute their edges exactly once. *)
+let rec flow_expr ctx (e : Tast.expr) : (Loc.t * int) list =
+  match e.Tast.desc with
+  | Tast.Tint _ | Tast.Tfloat _ | Tast.Tbool _ | Tast.Tstring _ | Tast.Tnil
+    ->
+    []
+  | Tast.Tvar v -> [ (var_loc ctx v, 0) ]
+  | Tast.Tbinop (_, a, b) ->
+    ignore (flow_expr ctx a);
+    ignore (flow_expr ctx b);
+    []
+  | Tast.Tunop (_, a) | Tast.Tlen a | Tast.Tcap a | Tast.Titoa a
+  | Tast.Trand a ->
+    ignore (flow_expr ctx a);
+    []
+  | Tast.Tsubstr (s, a, b) ->
+    ignore (flow_expr ctx s);
+    ignore (flow_expr ctx a);
+    ignore (flow_expr ctx b);
+    []
+  | Tast.Tslice_sub (e, lo, hi) -> begin
+    Option.iter (fun b -> ignore (flow_expr ctx b)) lo;
+    Option.iter (fun b -> ignore (flow_expr ctx b)) hi;
+    match e.Tast.ty with
+    | Types.String ->
+      ignore (flow_expr ctx e);
+      []
+    | _ ->
+      (* a sub-slice aliases the same backing array: pure value flow *)
+      flow_expr ctx e
+  end
+  | Tast.Tcopy (dst, src) ->
+    let fd = flow_expr ctx dst in
+    let fs = flow_expr ctx src in
+    (match dst.Tast.ty with
+    | Types.Slice elem when pointer_bearing ctx elem ->
+      (* element-wise store through dst: untracked, like a[i] = v *)
+      connect ctx (List.map (fun (l, d) -> (l, d + 1)) fs)
+        ctx.g.Graph.heap;
+      expose_store_dest fd
+    | _ -> ());
+    []
+  | Tast.Tderef a -> List.map (fun (l, d) -> (l, d + 1)) (flow_expr ctx a)
+  | Tast.Tindex (a, i) -> begin
+    ignore (flow_expr ctx i);
+    match a.Tast.ty with
+    | Types.String ->
+      ignore (flow_expr ctx a);
+      []
+    | _ -> List.map (fun (l, d) -> (l, d + 1)) (flow_expr ctx a)
+  end
+  | Tast.Tmap_get (m, k) | Tast.Tmap_get_ok (m, k) ->
+    ignore (flow_expr ctx k);
+    List.map (fun (l, d) -> (l, d + 1)) (flow_expr ctx m)
+  | Tast.Trecover -> []
+  | Tast.Tfield (a, _, _) ->
+    let extra =
+      match a.Tast.ty with Types.Ptr _ -> 1 | _ -> 0
+    in
+    List.map (fun (l, d) -> (l, d + extra)) (flow_expr ctx a)
+  | Tast.Taddr lv -> addr_of_lvalue ctx lv
+  | Tast.Tcall (name, args) -> begin
+    let results = instantiate_call ctx name args in
+    match Array.to_list results with
+    | [] -> []
+    | [ r ] -> [ (r, 0) ]
+    | rs ->
+      (* Multi-value call in expression position only occurs under
+         Smulti_decl/Smulti_assign, which unpack the array directly. *)
+      List.map (fun r -> (r, 0)) rs
+  end
+  | Tast.Tmake_slice (site, _, len, cap) ->
+    ignore (flow_expr ctx len);
+    Option.iter (fun c -> ignore (flow_expr ctx c)) cap;
+    [ (site_loc ctx site, -1) ]
+  | Tast.Tmake_map (site, _, _) -> [ (site_loc ctx site, -1) ]
+  | Tast.Tnew (site, _) -> [ (site_loc ctx site, -1) ]
+  | Tast.Tslice_lit (site, elem, es) ->
+    let sl = site_loc ctx site in
+    List.iter
+      (fun e ->
+        let fe = flow_expr ctx e in
+        if pointer_bearing ctx elem then connect ctx fe sl)
+      es;
+    [ (sl, -1) ]
+  | Tast.Tstruct_lit (_, es) ->
+    (* A struct value holds its field values (field-insensitive). *)
+    List.concat_map (fun e -> flow_expr ctx e) es
+  | Tast.Taddr_struct_lit (site, _, es) ->
+    let sl = site_loc ctx site in
+    List.iter
+      (fun (e : Tast.expr) ->
+        let fe = flow_expr ctx e in
+        if pointer_bearing ctx e.Tast.ty then connect ctx fe sl)
+      es;
+    [ (sl, -1) ]
+  | Tast.Tappend (site, s, vs) ->
+    let fs = flow_expr ctx s in
+    let content = append_content_loc ctx site in
+    let elem_ty =
+      match s.Tast.ty with Types.Slice t -> t | _ -> Types.Int
+    in
+    List.iter
+      (fun v ->
+        let fv = flow_expr ctx v in
+        if pointer_bearing ctx elem_ty then begin
+          (* The element may be stored into the existing backing array
+             (untracked indirect store) or into the fresh growth array. *)
+          connect ctx fv ctx.g.Graph.heap;
+          connect ctx fv content;
+          expose_store_dest fs
+        end)
+      vs;
+    (content, -1) :: fs
+
+and addr_of_lvalue ctx (lv : Tast.lvalue) : (Loc.t * int) list =
+  match lv with
+  | Tast.Lvar v -> [ (var_loc ctx v, -1) ]
+  | Tast.Lderef e -> flow_expr ctx e  (* &*e ≡ e *)
+  | Tast.Lindex (a, i) ->
+    ignore (flow_expr ctx i);
+    flow_expr ctx a  (* &a[i]: the array's address is a's value *)
+  | Tast.Lmap (m, k) ->
+    ignore (flow_expr ctx k);
+    flow_expr ctx m
+  | Tast.Lfield (e, _, _) -> begin
+    match e.Tast.ty with
+    | Types.Ptr _ -> flow_expr ctx e  (* &p.f: within *p, address is p *)
+    | _ -> addr_of_base ctx e  (* &s.f: address of the base variable *)
+  end
+
+(* Address of the storage of a struct-valued expression. *)
+and addr_of_base ctx (e : Tast.expr) : (Loc.t * int) list =
+  match e.Tast.desc with
+  | Tast.Tvar v -> [ (var_loc ctx v, -1) ]
+  | Tast.Tfield (inner, _, _) -> begin
+    match inner.Tast.ty with
+    | Types.Ptr _ -> flow_expr ctx inner
+    | _ -> addr_of_base ctx inner
+  end
+  | Tast.Tindex (a, _) -> flow_expr ctx a
+  | Tast.Tderef p -> flow_expr ctx p
+  | _ ->
+    (* address of a temporary: no named storage to track *)
+    ignore (flow_expr ctx e);
+    []
+
+(* Embed the callee's extended parameter tag at a call site (§4.4).
+   Fresh instance locations keep the composition of dereference counts
+   exact: the SPFA recomputes TrackDerefs through them. *)
+and instantiate_call ctx name (args : Tast.expr list) : Loc.t array =
+  let arg_flows = List.map (flow_expr ctx) args in
+  let summary =
+    match Hashtbl.find_opt ctx.summaries name with
+    | Some s -> s
+    | None ->
+      Summary.default ~name ~nparams:(List.length args) ~nresults:1
+  in
+  let nresults = Array.length summary.Summary.s_contents in
+  let params =
+    Array.of_list
+      (List.mapi
+         (fun i flows ->
+           let p =
+             Graph.fresh_loc ctx.g
+               (Loc.Kcontent (Printf.sprintf "%s.param%d" name i))
+               ~loop_depth:ctx.cur_loop ~decl_depth:ctx.cur_depth
+           in
+           connect ctx flows p;
+           p)
+         arg_flows)
+  in
+  let results =
+    Array.init nresults (fun j ->
+        let r =
+          Graph.fresh_loc ctx.g
+            (Loc.Kresult (name, j))
+            ~loop_depth:ctx.cur_loop ~decl_depth:ctx.cur_depth
+        in
+        let ct = summary.Summary.s_contents.(j) in
+        r.Loc.inc_store <- ct.Summary.ret_incomplete;
+        (* The content tag: a stand-in for whatever fresh allocation the
+           callee's j-th return value points at.  Depths are +∞ so that it
+           never looks referenced from an outer scope (§4.4). *)
+        let m =
+          Graph.fresh_loc ctx.g
+            (Loc.Kcontent (Printf.sprintf "%s.content%d" name j))
+            ~loop_depth:Loc.infinity_depth ~decl_depth:Loc.infinity_depth
+        in
+        m.Loc.heap_alloc <- ct.Summary.ct_heap_alloc;
+        m.Loc.inc_store <- ct.Summary.ct_incomplete;
+        Graph.add_edge ctx.g ~src:m ~dst:r ~weight:(-1);
+        r)
+  in
+  List.iter
+    (fun { Summary.pf_param; pf_target; pf_derefs } ->
+      if pf_param < Array.length params then
+        let src = params.(pf_param) in
+        let dst =
+          match pf_target with
+          | `Return j -> results.(j)
+          | `Heap -> ctx.g.Graph.heap
+          | `Defer -> ctx.g.Graph.defer
+        in
+        Graph.add_edge ctx.g ~src ~dst ~weight:pf_derefs)
+    summary.Summary.s_flows;
+  ctx.call_instances <- (name, results) :: ctx.call_instances;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A store through an lvalue.  Direct stores into tracked storage add
+   ordinary edges; stores through pointers/slices/maps are the untracked
+   indirect stores of Table 2. *)
+let rec store_lvalue ctx (lv : Tast.lvalue) (rhs : Tast.expr) =
+  let frhs = flow_expr ctx rhs in
+  let relevant = pointer_bearing ctx rhs.Tast.ty in
+  match lv with
+  | Tast.Lvar v ->
+    connect ctx frhs (var_loc ctx v);
+    (* Values stored into a global are reachable from anywhere: they also
+       flow to the heap so that function summaries record the leak. *)
+    if v.Tast.v_kind = Tast.Vglobal && relevant then
+      connect ctx frhs ctx.g.Graph.heap
+  | Tast.Lderef p ->
+    let fp = flow_expr ctx p in
+    if relevant then begin
+      connect ctx frhs ctx.g.Graph.heap;
+      expose_store_dest fp
+    end
+  | Tast.Lindex (a, i) ->
+    ignore (flow_expr ctx i);
+    let fa = flow_expr ctx a in
+    if relevant then begin
+      connect ctx frhs ctx.g.Graph.heap;
+      expose_store_dest fa
+    end
+  | Tast.Lmap (m, k) ->
+    ignore (flow_expr ctx k);
+    let fm = flow_expr ctx m in
+    if relevant then begin
+      connect ctx frhs ctx.g.Graph.heap;
+      expose_store_dest fm
+    end
+  | Tast.Lfield (base, _, _) -> begin
+    match base.Tast.ty with
+    | Types.Ptr _ ->
+      let fb = flow_expr ctx base in
+      if relevant then begin
+        connect ctx frhs ctx.g.Graph.heap;
+        expose_store_dest fb
+      end
+    | _ -> store_into_base ctx base frhs relevant
+  end
+
+(* Store into the storage of a struct-valued expression. *)
+and store_into_base ctx (base : Tast.expr) frhs relevant =
+  match base.Tast.desc with
+  | Tast.Tvar v -> if relevant then connect ctx frhs (var_loc ctx v)
+  | Tast.Tfield (inner, _, _) -> begin
+    match inner.Tast.ty with
+    | Types.Ptr _ ->
+      let fi = flow_expr ctx inner in
+      if relevant then begin
+        connect ctx frhs ctx.g.Graph.heap;
+        expose_store_dest fi
+      end
+    | _ -> store_into_base ctx inner frhs relevant
+  end
+  | Tast.Tindex (a, _) | Tast.Tderef a ->
+    let fa = flow_expr ctx a in
+    if relevant then begin
+      connect ctx frhs ctx.g.Graph.heap;
+      expose_store_dest fa
+    end
+  | _ -> ignore (flow_expr ctx base)
+
+let rec build_stmt ctx (s : Tast.stmt) =
+  match s with
+  | Tast.Sdecl (v, init) ->
+    let dst = var_loc ctx v in
+    Option.iter (fun e -> connect ctx (flow_expr ctx e) dst) init
+  | Tast.Smulti_decl (vars, e) -> begin
+    match e.Tast.desc with
+    | Tast.Tcall (name, args) ->
+      let results = instantiate_call ctx name args in
+      List.iteri
+        (fun j v ->
+          if j < Array.length results then
+            Graph.add_edge ctx.g ~src:results.(j) ~dst:(var_loc ctx v)
+              ~weight:0)
+        vars
+    | _ -> ignore (flow_expr ctx e)
+  end
+  | Tast.Sassign (lv, e) -> store_lvalue ctx lv e
+  | Tast.Smulti_assign (lvs, e) -> begin
+    match e.Tast.desc with
+    | Tast.Tcall (name, args) ->
+      let results = instantiate_call ctx name args in
+      List.iteri
+        (fun j lv ->
+          if j < Array.length results then begin
+            (* route result j through a temp expression-less store *)
+            let r = results.(j) in
+            match lv with
+            | Tast.Lvar v ->
+              Graph.add_edge ctx.g ~src:r ~dst:(var_loc ctx v) ~weight:0
+            | Tast.Lderef p ->
+              let fp = flow_expr ctx p in
+              Graph.add_edge ctx.g ~src:r ~dst:ctx.g.Graph.heap ~weight:0;
+              expose_store_dest fp
+            | Tast.Lindex (a, i) ->
+              ignore (flow_expr ctx i);
+              let fa = flow_expr ctx a in
+              Graph.add_edge ctx.g ~src:r ~dst:ctx.g.Graph.heap ~weight:0;
+              expose_store_dest fa
+            | Tast.Lmap (m, k) ->
+              ignore (flow_expr ctx k);
+              let fm = flow_expr ctx m in
+              Graph.add_edge ctx.g ~src:r ~dst:ctx.g.Graph.heap ~weight:0;
+              expose_store_dest fm
+            | Tast.Lfield (base, _, _) ->
+              store_into_base ctx base [ (r, 0) ] true
+          end)
+        lvs
+    | _ -> ignore (flow_expr ctx e)
+  end
+  | Tast.Sexpr e -> ignore (flow_expr ctx e)
+  | Tast.Sif (c, b1, b2) ->
+    ignore (flow_expr ctx c);
+    build_block ctx b1;
+    Option.iter (build_block ctx) b2
+  | Tast.Sfor (init, cond, post, body) ->
+    let saved = ctx.cur_loop in
+    ctx.cur_loop <- saved + 1;
+    Option.iter (build_stmt ctx) init;
+    Option.iter (fun c -> ignore (flow_expr ctx c)) cond;
+    Option.iter (build_stmt ctx) post;
+    build_block ctx body;
+    ctx.cur_loop <- saved
+  | Tast.Sforrange_map (v, m, body) ->
+    let saved = ctx.cur_loop in
+    ctx.cur_loop <- saved + 1;
+    (* the key variable receives values from inside the map *)
+    connect ctx
+      (List.map (fun (l, d) -> (l, d + 1)) (flow_expr ctx m))
+      (var_loc ctx v);
+    build_block ctx body;
+    ctx.cur_loop <- saved
+  | Tast.Sreturn es ->
+    List.iteri
+      (fun i e ->
+        if i < Array.length ctx.g.Graph.returns then
+          connect ctx (flow_expr ctx e) ctx.g.Graph.returns.(i))
+      es
+  | Tast.Sblock b -> build_block ctx b
+  | Tast.Sgo (name, args) ->
+    (* The goroutine may outlive the whole call: arguments escape. *)
+    let results = instantiate_call ctx name args in
+    ignore results;
+    List.iter
+      (fun (a : Tast.expr) ->
+        if pointer_bearing ctx a.Tast.ty then
+          connect ctx (flow_expr ctx a) ctx.g.Graph.heap)
+      args
+  | Tast.Sdefer (name, args) ->
+    (* The deferred call runs at function exit: arguments live to the end
+       of the function body (depth 0 sink), banning scope-local frees of
+       their referents (§5, "Safety upon Defer() and Panic()"). *)
+    let results = instantiate_call ctx name args in
+    ignore results;
+    List.iter
+      (fun (a : Tast.expr) ->
+        if pointer_bearing ctx a.Tast.ty then
+          connect ctx (flow_expr ctx a) ctx.g.Graph.defer)
+      args
+  | Tast.Spanic e ->
+    if pointer_bearing ctx e.Tast.ty then
+      connect ctx (flow_expr ctx e) ctx.g.Graph.defer
+    else ignore (flow_expr ctx e)
+  | Tast.Sdelete (m, k) ->
+    ignore (flow_expr ctx m);
+    ignore (flow_expr ctx k)
+  | Tast.Sprint es ->
+    List.iter (fun e -> ignore (flow_expr ctx e)) es
+  | Tast.Sbreak | Tast.Scontinue -> ()
+  | Tast.Stcfree _ -> ()
+
+and build_block ctx (b : Tast.block) =
+  let saved = ctx.cur_depth in
+  ctx.cur_depth <- b.Tast.b_depth;
+  List.iter (build_stmt ctx) b.Tast.b_stmts;
+  ctx.cur_depth <- saved
+
+(** Build the escape graph of one function.  [summaries] provides the
+    already-computed extended parameter tags of callees (inner-to-outer
+    processing order, §4.4). *)
+let build_function ~tenv ~summaries (f : Tast.func) : ctx =
+  let g = Graph.create () in
+  g.Graph.returns <-
+    Array.init (List.length f.Tast.f_results) (fun i ->
+        let r =
+          Graph.fresh_loc g (Loc.Kreturn i) ~loop_depth:(-1) ~decl_depth:(-1)
+        in
+        (* Def 4.10: return values are heap-allocated storage.  We do not
+           seed Exposes here: caller-side exposure is analyzed in the
+           caller after tag instantiation (see Summary). *)
+        r.Loc.heap_alloc <- true;
+        r)
+      ;
+  let ctx =
+    {
+      g;
+      tenv;
+      var_locs = Hashtbl.create 64;
+      site_locs = Hashtbl.create 64;
+      append_locs = Hashtbl.create 16;
+      summaries;
+      cur_depth = 1;
+      cur_loop = 0;
+      call_instances = [];
+    }
+  in
+  (* Materialize parameter locations up front so the summary extraction
+     can find them even if a parameter is never used. *)
+  List.iter (fun p -> ignore (var_loc ctx p)) f.Tast.f_params;
+  build_block ctx f.Tast.f_body;
+  ctx

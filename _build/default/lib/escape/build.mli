@@ -1,0 +1,43 @@
+(** Escape-graph construction: one graph per function (paper §4.1), with
+    the edge rules of Table 2 and the Go-feature handling of §4.6
+    (slice append content locations, call-site tag instantiation,
+    defer/panic/go sinks). *)
+
+open Minigo
+
+type ctx = {
+  g : Graph.t;
+  tenv : Types.env;
+  var_locs : (int, Loc.t) Hashtbl.t;  (** var id → location *)
+  site_locs : (int, Loc.t) Hashtbl.t;  (** site id → location *)
+  append_locs : (int, Loc.t) Hashtbl.t;  (** append site → content loc *)
+  summaries : (string, Summary.t) Hashtbl.t;
+  mutable cur_depth : int;
+  mutable cur_loop : int;
+  mutable call_instances : (string * Loc.t array) list;
+}
+
+(** Objects larger than this never go on the stack (Go's implicit
+    allocation limit). *)
+val max_stack_bytes : int
+
+(** Location of a variable, created on first use (parameters seeded
+    [Incomplete], globals heap/exposed/incomplete). *)
+val var_loc : ctx -> Tast.var -> Loc.t
+
+(** Location of an allocation site, created on first use with its base
+    HeapAlloc decision (dynamic or oversized → heap). *)
+val site_loc : ctx -> Tast.alloc_site -> Loc.t
+
+(** Flows of an expression: the (location, derefs) sources of its value.
+    Traverses the whole expression, so nested calls and appends
+    contribute their edges exactly once. *)
+val flow_expr : ctx -> Tast.expr -> (Loc.t * int) list
+
+(** Build the escape graph of one function, using [summaries] for
+    already-analyzed callees. *)
+val build_function :
+  tenv:Types.env ->
+  summaries:(string, Summary.t) Hashtbl.t ->
+  Tast.func ->
+  ctx

@@ -1,0 +1,66 @@
+(** Escape-graph locations and their properties (paper Table 1).
+
+    A location represents a storage space: a program variable, an
+    allocation site, or one of the dummy locations ([heapLoc], per-return
+    [return_i], content tags, the per-function defer sink).
+
+    Properties are mutable and monotone: booleans only go from [false] to
+    [true]; [outermost_ref] only decreases.  This keeps the fixpoint of
+    {!Propagate.walkall} at the paper's O(N^2) bound: each location can be
+    re-queued at most a constant number of times. *)
+
+type kind =
+  | Kvar of Minigo.Tast.var  (** a named variable *)
+  | Ksite of Minigo.Tast.alloc_site  (** an allocation expression *)
+  | Kheap  (** the global dummy heapLoc *)
+  | Kreturn of int  (** the function's i-th return value *)
+  | Kcontent of string
+      (** dummy content location: slice-append growth (§4.6.1) or an
+          instantiated content tag (§4.4); the string describes it *)
+  | Kdefer  (** per-function sink for defer/panic arguments (§5) *)
+  | Kresult of string * int
+      (** caller-side instance of callee [name]'s i-th return value *)
+
+(** Incompleteness is tracked as two independent monotone bits so that
+    content tags can record only the incompleteness that originates from
+    indirect stores inside the callee, excluding the conservative
+    [Incomplete(param) = true] seed that §4.4 explains may be a false
+    positive once the caller is known. *)
+type t = {
+  id : int;
+  kind : kind;
+  mutable loop_depth : int;  (** Def 4.3; −1 for dummies *)
+  mutable decl_depth : int;  (** Def 4.13; −1 for dummies *)
+  mutable heap_alloc : bool;  (** Def 4.10 *)
+  mutable exposes : bool;  (** Def 4.11 *)
+  mutable inc_param : bool;  (** Def 4.12, parameter-seeded component *)
+  mutable inc_store : bool;  (** Def 4.12, indirect-store component *)
+  mutable outermost_ref : int;  (** Def 4.14; starts at [decl_depth] *)
+  mutable outlived : bool;  (** Def 4.15 *)
+  mutable points_to_heap : bool;  (** Def 4.16 *)
+  (* Transient per-walk state for the SPFA in {!Graph.walk_one}. *)
+  mutable walk_derefs : int;
+  mutable walk_epoch : int;
+  mutable walk_queued : bool;
+}
+
+let infinity_depth = max_int / 2
+
+let incomplete l = l.inc_param || l.inc_store
+
+let name l =
+  match l.kind with
+  | Kvar v -> v.Minigo.Tast.v_name
+  | Ksite s -> Printf.sprintf "alloc#%d" s.Minigo.Tast.site_id
+  | Kheap -> "heapLoc"
+  | Kreturn i -> Printf.sprintf "return%d" i
+  | Kcontent what -> Printf.sprintf "content(%s)" what
+  | Kdefer -> "deferLoc"
+  | Kresult (f, i) -> Printf.sprintf "%s.result%d" f i
+
+let pp fmt l =
+  Format.fprintf fmt
+    "%s{heap=%b exposes=%b incomplete=%b outermost=%d outlived=%b \
+     ptsheap=%b}"
+    (name l) l.heap_alloc l.exposes (incomplete l) l.outermost_ref
+    l.outlived l.points_to_heap

@@ -1,0 +1,45 @@
+(** Escape-graph locations and their properties (paper Table 1). *)
+
+(** What storage a location stands for. *)
+type kind =
+  | Kvar of Minigo.Tast.var  (** a named variable *)
+  | Ksite of Minigo.Tast.alloc_site  (** an allocation expression *)
+  | Kheap  (** the global dummy heapLoc *)
+  | Kreturn of int  (** the function's i-th return value *)
+  | Kcontent of string
+      (** dummy content location: slice-append growth (§4.6.1), a call
+          argument role, or an instantiated content tag (§4.4) *)
+  | Kdefer  (** per-function sink for defer/panic arguments (§5) *)
+  | Kresult of string * int
+      (** caller-side instance of callee [name]'s i-th return value *)
+
+(** Mutable, monotone analysis state per location.  Booleans only go from
+    false to true; [outermost_ref] only decreases — the lattice-height
+    argument behind the O(N^2) bound of {!Propagate.walkall}. *)
+type t = {
+  id : int;
+  kind : kind;
+  mutable loop_depth : int;  (** Def 4.3; −1 for dummies *)
+  mutable decl_depth : int;  (** Def 4.13; −1 for dummies *)
+  mutable heap_alloc : bool;  (** Def 4.10 *)
+  mutable exposes : bool;  (** Def 4.11 *)
+  mutable inc_param : bool;  (** Def 4.12, parameter-seeded component *)
+  mutable inc_store : bool;  (** Def 4.12, indirect-store component *)
+  mutable outermost_ref : int;  (** Def 4.14; starts at [decl_depth] *)
+  mutable outlived : bool;  (** Def 4.15 *)
+  mutable points_to_heap : bool;  (** Def 4.16 *)
+  mutable walk_derefs : int;  (** transient SPFA state *)
+  mutable walk_epoch : int;
+  mutable walk_queued : bool;
+}
+
+(** Depth value standing in for +∞ (content tags, §4.4). *)
+val infinity_depth : int
+
+(** [Incomplete(l)] (Def 4.12): either incompleteness component. *)
+val incomplete : t -> bool
+
+(** Human-readable name, stable across runs. *)
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

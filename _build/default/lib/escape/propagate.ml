@@ -1,0 +1,159 @@
+(** Property propagation over the escape graph: the paper's [walkall]
+    (fig. 5) with Go's original constraints (Def 4.10) and GoFree's
+    completeness (Defs 4.11–4.12) and lifetime (Defs 4.13–4.16)
+    constraints.
+
+    The algorithm keeps a unique-membership work queue of locations; each
+    popped root is walked ({!Graph.walk_one}) and constraints are applied
+    between the root and every leaf in [Holds(root)].  Go's base constraints
+    only update leaves; GoFree's extension also updates the root
+    (fig. 5 lines 10–13) — the root has a constant number of monotone
+    properties, so it can be re-queued at most a constant number of times
+    and the overall complexity stays O(N^2). *)
+
+type mode =
+  | Go_base  (** only [HeapAlloc]: what the stock Go compiler computes *)
+  | Gofree  (** all of Table 1 *)
+
+type stats = {
+  mutable roots_walked : int;
+  mutable constraint_updates : int;
+}
+
+(* A queue whose elements appear at most once (the paper's UniqueQueue). *)
+module Unique_queue = struct
+  type t = { q : Loc.t Queue.t; mutable members : bool array }
+
+  let create n = { q = Queue.create (); members = Array.make (max n 1) false }
+
+  let push t (l : Loc.t) =
+    if l.Loc.id >= Array.length t.members then begin
+      let bigger = Array.make (max (l.Loc.id + 1) (2 * Array.length t.members)) false in
+      Array.blit t.members 0 bigger 0 (Array.length t.members);
+      t.members <- bigger
+    end;
+    if not t.members.(l.Loc.id) then begin
+      t.members.(l.Loc.id) <- true;
+      Queue.add l t.q
+    end
+
+  let pop t =
+    match Queue.take_opt t.q with
+    | None -> None
+    | Some l ->
+      t.members.(l.Loc.id) <- false;
+      Some l
+end
+
+(** Apply constraints between [root] and one [leaf] with
+    [MinDerefs(leaf, root) = derefs].  Returns [(leaf_updated,
+    root_updated)].  [backprop = false] disables the leaf→root rules —
+    deliberately unsound, exercised by the robustness ablation. *)
+let apply_constraints ?(backprop = true) mode (root : Loc.t) (leaf : Loc.t)
+    derefs =
+  let leaf_updated = ref false in
+  let root_updated = ref false in
+  let set_leaf cond (get, set) =
+    if cond && not (get ()) then begin
+      set ();
+      leaf_updated := true
+    end
+  in
+  let set_root cond (get, set) =
+    if cond && not (get ()) then begin
+      set ();
+      root_updated := true
+    end
+  in
+  let points_to = derefs = -1 in
+  (* Def 4.10: leaf ∈ PointsTo(root) ∧ HeapAlloc(root) ⇒ HeapAlloc(leaf);
+     and a pointer declared at a smaller loop depth than its referent
+     forces the referent to the heap (the referent may outlive one
+     iteration). *)
+  set_leaf
+    (points_to
+    && (root.Loc.heap_alloc || root.Loc.loop_depth < leaf.Loc.loop_depth))
+    ( (fun () -> leaf.Loc.heap_alloc),
+      fun () -> leaf.Loc.heap_alloc <- true );
+  if mode = Gofree then begin
+    (* Def 4.11 rule 4: leaf's value reaches an exposing root without
+       enough dereferences ⇒ the leaf's referents are exposed too. *)
+    set_leaf
+      (derefs <= 0 && root.Loc.exposes)
+      ((fun () -> leaf.Loc.exposes), fun () -> leaf.Loc.exposes <- true);
+    (* Def 4.12 rule 2: leaf ∈ PointsTo(root) ∧ Exposes(root) ⇒ leaf may be
+       written through an untracked path (store-origin incompleteness). *)
+    set_leaf
+      (points_to && root.Loc.exposes)
+      ((fun () -> leaf.Loc.inc_store), fun () -> leaf.Loc.inc_store <- true);
+    (* Def 4.12 rule 3 (back-propagation, fig. 5 lines 10–13):
+       leaf ∈ Holds(root) ∧ Incomplete(leaf) ⇒ Incomplete(root),
+       component-wise. *)
+    if backprop then begin
+      set_root
+        leaf.Loc.inc_param
+        ( (fun () -> root.Loc.inc_param),
+          fun () -> root.Loc.inc_param <- true );
+      set_root
+        leaf.Loc.inc_store
+        ( (fun () -> root.Loc.inc_store),
+          fun () -> root.Loc.inc_store <- true )
+    end;
+    (* Def 4.14: leaf ∈ PointsTo(root) ⇒
+       OutermostRef(leaf) ≤ DeclDepth(root). *)
+    if points_to && root.Loc.decl_depth < leaf.Loc.outermost_ref then begin
+      leaf.Loc.outermost_ref <- root.Loc.decl_depth;
+      leaf_updated := true
+    end;
+    (* Def 4.16 (root update): leaf ∈ PointsTo(root) ∧ HeapAlloc(leaf) ⇒
+       PointsToHeap(root). *)
+    set_root
+      (points_to && leaf.Loc.heap_alloc)
+      ( (fun () -> root.Loc.points_to_heap),
+        fun () -> root.Loc.points_to_heap <- true );
+    (* Def 4.15 (root update): leaf ∈ PointsTo(root) ∧
+       OutermostRef(leaf) < DeclDepth(root) ⇒ Outlived(root). *)
+    set_root
+      (points_to && leaf.Loc.outermost_ref < root.Loc.decl_depth)
+      ((fun () -> root.Loc.outlived), fun () -> root.Loc.outlived <- true)
+  end;
+  (!leaf_updated, !root_updated)
+
+(** Run the fixpoint.  All locations start queued; constraint applications
+    re-queue whichever side changed. *)
+let walkall ?(mode = Gofree) ?(backprop = true) (g : Graph.t) : stats =
+  let stats = { roots_walked = 0; constraint_updates = 0 } in
+  let work = Unique_queue.create g.Graph.n_locs in
+  List.iter (fun l -> Unique_queue.push work l) (Graph.all_locs g);
+  let rec drain () =
+    match Unique_queue.pop work with
+    | None -> ()
+    | Some root ->
+      stats.roots_walked <- stats.roots_walked + 1;
+      let root_changed = ref false in
+      Graph.walk_one g root (fun leaf derefs ->
+          if not !root_changed then begin
+            let leaf_updated, root_updated =
+              apply_constraints ~backprop mode root leaf derefs
+            in
+            if leaf_updated then begin
+              stats.constraint_updates <- stats.constraint_updates + 1;
+              Unique_queue.push work leaf
+            end;
+            if root_updated then begin
+              stats.constraint_updates <- stats.constraint_updates + 1;
+              (* fig. 5: re-queue the root and stop this walk; its data
+                 changed under us. *)
+              Unique_queue.push work root;
+              root_changed := true
+            end
+          end);
+      drain ()
+  in
+  drain ();
+  stats
+
+(** Def 4.17: [ToFree(m)] — the location is safe and worthwhile to free.
+    Only meaningful after {!walkall} in {!Gofree} mode. *)
+let to_free (l : Loc.t) =
+  (not (Loc.incomplete l)) && (not l.Loc.outlived) && l.Loc.points_to_heap

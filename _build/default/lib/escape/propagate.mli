@@ -1,0 +1,26 @@
+(** Property propagation over the escape graph: the paper's [walkall]
+    (fig. 5) with Go's original constraint (Def 4.10) and GoFree's
+    completeness and lifetime constraints (Defs 4.11–4.16). *)
+
+type mode =
+  | Go_base  (** only [HeapAlloc]: what the stock Go compiler computes *)
+  | Gofree  (** all of Table 1 *)
+
+type stats = {
+  mutable roots_walked : int;
+  mutable constraint_updates : int;
+}
+
+(** Apply constraints between a root and one leaf at [derefs =
+    MinDerefs(leaf, root)]; returns [(leaf_updated, root_updated)].
+    [backprop = false] disables the leaf→root rules of fig. 5 lines 10–13
+    — deliberately unsound, used only by the robustness ablation. *)
+val apply_constraints :
+  ?backprop:bool -> mode -> Loc.t -> Loc.t -> int -> bool * bool
+
+(** Run the fixpoint to completion.  O(N^2): each location re-enters the
+    unique work queue at most a constant number of times. *)
+val walkall : ?mode:mode -> ?backprop:bool -> Graph.t -> stats
+
+(** Def 4.17: the location is safe and worthwhile to deallocate. *)
+val to_free : Loc.t -> bool

@@ -1,0 +1,75 @@
+(** Function summaries: Go's parameter tags extended with GoFree's content
+    tags (paper §4.4).
+
+    A summary compresses a callee's escape graph into:
+    - flows from each parameter to each return value (with [MinDerefs]
+      weights), and from each parameter to the heap — Go's parameter tag;
+    - per return value, a content tag recording whether the returned value
+      may point at a fresh heap allocation ([ct_heap_alloc], from the
+      callee's [PointsToHeap]) and whether its points-to set may be
+      incomplete because of indirect stores {e inside the callee}
+      ([ct_incomplete]); plus the return value's own store-origin
+      incompleteness ([ret_incomplete], the paper's
+      [Incomplete(l) = Incomplete(m)] adjustment).
+
+    The [default] summary is used for unknown callees (recursion, §4.4):
+    all parameters flow to the heap, all return values come from the heap
+    with incomplete points-to sets. *)
+
+type param_flow = {
+  pf_param : int;  (** parameter index *)
+  pf_target : [ `Return of int | `Heap | `Defer ];
+  pf_derefs : int;  (** MinDerefs along the compressed edge *)
+}
+
+type content_tag = {
+  ct_heap_alloc : bool;
+      (** the return value may point at a heap allocation made by the
+          callee: a deallocation opportunity for the caller *)
+  ct_incomplete : bool;
+      (** indirect stores inside the callee may have put untracked values
+          behind this return value *)
+  ret_incomplete : bool;
+      (** store-origin incompleteness of the return value itself *)
+}
+
+type t = {
+  s_name : string;
+  s_nparams : int;
+  s_flows : param_flow list;
+  s_contents : content_tag array;  (** one per return value *)
+}
+
+(** Conservative summary for an unknown callee. *)
+let default ~name ~nparams ~nresults =
+  {
+    s_name = name;
+    s_nparams = nparams;
+    s_flows =
+      List.init nparams (fun i ->
+          { pf_param = i; pf_target = `Heap; pf_derefs = 0 });
+    s_contents =
+      Array.init nresults (fun _ ->
+          { ct_heap_alloc = true; ct_incomplete = true;
+            ret_incomplete = true });
+  }
+
+let pp fmt s =
+  let target_str = function
+    | `Return i -> Printf.sprintf "return%d" i
+    | `Heap -> "heapLoc"
+    | `Defer -> "deferLoc"
+  in
+  Format.fprintf fmt "@[<v 2>summary %s:" s.s_name;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@,param%d --%d--> %s" f.pf_param f.pf_derefs
+        (target_str f.pf_target))
+    s.s_flows;
+  Array.iteri
+    (fun i ct ->
+      Format.fprintf fmt
+        "@,content%d: heap_alloc=%b incomplete=%b ret_incomplete=%b" i
+        ct.ct_heap_alloc ct.ct_incomplete ct.ret_incomplete)
+    s.s_contents;
+  Format.fprintf fmt "@]"

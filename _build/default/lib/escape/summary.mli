@@ -1,0 +1,37 @@
+(** Function summaries: Go's parameter tags extended with GoFree's
+    content tags (paper §4.4). *)
+
+(** A compressed dataflow from one parameter to a return value or the
+    heap, with the [MinDerefs] weight along the path. *)
+type param_flow = {
+  pf_param : int;
+  pf_target : [ `Return of int | `Heap | `Defer ];
+  pf_derefs : int;
+}
+
+(** Per-return-value content tag: what the caller may assume about the
+    object the return value points at. *)
+type content_tag = {
+  ct_heap_alloc : bool;
+      (** the return value may point at a callee heap allocation — a
+          deallocation opportunity for the caller *)
+  ct_incomplete : bool;
+      (** indirect stores inside the callee compromised the points-to
+          set; the caller must not free through this value *)
+  ret_incomplete : bool;
+      (** store-origin incompleteness of the return value itself (the
+          paper's [Incomplete(l) = Incomplete(m)] adjustment) *)
+}
+
+type t = {
+  s_name : string;
+  s_nparams : int;
+  s_flows : param_flow list;
+  s_contents : content_tag array;
+}
+
+(** Conservative tag for an unknown callee (recursion, §4.4): parameters
+    flow to the heap, returns come from the heap, incomplete. *)
+val default : name:string -> nparams:int -> nresults:int -> t
+
+val pp : Format.formatter -> t -> unit

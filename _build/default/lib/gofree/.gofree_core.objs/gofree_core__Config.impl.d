@@ -1,0 +1,1 @@
+lib/gofree/config.ml:

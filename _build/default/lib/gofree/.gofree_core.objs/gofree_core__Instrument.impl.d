@@ -1,0 +1,1 @@
+lib/gofree/instrument.ml: Config Gofree_escape List Minigo Option Tast Types

@@ -1,0 +1,1 @@
+lib/gofree/instrument.mli: Config Gofree_escape Minigo Tast Types

@@ -1,0 +1,1 @@
+lib/gofree/pipeline.ml: Config Gofree_escape Instrument Lexer Minigo Parser Printf Tast Token Typecheck

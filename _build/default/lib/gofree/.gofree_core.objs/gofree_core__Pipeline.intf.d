@@ -1,0 +1,1 @@
+lib/gofree/pipeline.mli: Config Gofree_escape Instrument Minigo Tast

@@ -1,0 +1,1 @@
+lib/gofree/report.ml: Buffer Format Gofree_escape Hashtbl Instrument List Minigo Pretty Printf String Tast

@@ -1,0 +1,1 @@
+lib/gofree/report.mli: Format Gofree_escape Instrument Minigo Tast

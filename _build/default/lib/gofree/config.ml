@@ -1,0 +1,35 @@
+(** GoFree pipeline configuration.
+
+    The defaults match the paper's shipped configuration: explicit
+    deallocation of slices and maps only (§6.5 motivates the choice via
+    Table 8), inter-procedural content tags enabled, map-growth freeing
+    enabled. The other combinations exist for the ablation benchmarks. *)
+
+type free_targets =
+  | Slices_and_maps  (** the paper's choice (§6.5) *)
+  | All_pointers  (** also free [new]/[&T{}] objects through raw pointers *)
+
+type t = {
+  insert_tcfree : bool;
+      (** master switch: [false] reproduces stock Go compilation *)
+  targets : free_targets;
+  ipa : bool;
+      (** use extended parameter tags; [false] forces default summaries at
+          every call site (ablation: kills cross-function freeing) *)
+  backprop : bool;
+      (** GoFree's leaf→root propagation (fig. 5 lines 10–13); disabling
+          it makes the completeness analysis unsound — used only by the
+          robustness ablation to show the poison test catching it *)
+}
+
+let gofree =
+  { insert_tcfree = true; targets = Slices_and_maps; ipa = true;
+    backprop = true }
+
+let go = { gofree with insert_tcfree = false }
+
+let all_targets = { gofree with targets = All_pointers }
+
+let no_ipa = { gofree with ipa = false }
+
+let unsound_no_backprop = { gofree with backprop = false }

@@ -1,0 +1,27 @@
+(** GoFree pipeline configuration; the defaults match the paper's shipped
+    system (§6.5: slices and maps only, IPA on, map-growth freeing on). *)
+
+type free_targets =
+  | Slices_and_maps  (** the paper's choice (§6.5) *)
+  | All_pointers  (** also free [new]/[&T{}] objects (ablation) *)
+
+type t = {
+  insert_tcfree : bool;  (** [false] reproduces stock Go *)
+  targets : free_targets;
+  ipa : bool;  (** extended parameter tags (§4.4) *)
+  backprop : bool;
+      (** fig. 5 lines 10–13; disabling is unsound — robustness ablation
+          only *)
+}
+
+(** The paper's configuration. *)
+val gofree : t
+
+(** Stock Go: no tcfree insertion. *)
+val go : t
+
+val all_targets : t
+
+val no_ipa : t
+
+val unsound_no_backprop : t

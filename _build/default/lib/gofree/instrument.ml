@@ -1,0 +1,124 @@
+(** tcfree instrumentation (paper §4.5).
+
+    For every variable whose location satisfies [ToFree] (Def 4.17) and
+    whose type is in the configured target set, a [Stcfree] statement is
+    inserted as the last statement of the variable's declaration scope —
+    before a trailing [return]/[break]/[continue]/[panic] so the free is
+    live.  If the trailing return still mentions the variable, the free is
+    skipped (left to GC) rather than risking a use-after-free in the
+    return expression. *)
+
+open Minigo
+
+type inserted = {
+  ins_func : string;
+  ins_var : Tast.var;
+  ins_kind : Tast.free_kind;
+}
+
+let free_kind_of_type (targets : Config.free_targets) (ty : Types.t) :
+    Tast.free_kind option =
+  match (ty, targets) with
+  | Types.Slice _, _ -> Some Tast.Free_slice
+  | Types.Map _, _ -> Some Tast.Free_map
+  | Types.Ptr _, Config.All_pointers -> Some Tast.Free_obj
+  | Types.Ptr _, Config.Slices_and_maps -> None
+  | _ -> None
+
+(* Does the expression mention variable [v]? *)
+let mentions_var (v : Tast.var) (e : Tast.expr) =
+  let found = ref false in
+  Tast.iter_expr
+    (fun e ->
+      match e.Tast.desc with
+      | Tast.Tvar v' when v'.Tast.v_id = v.Tast.v_id -> found := true
+      | _ -> ())
+    e;
+  !found
+
+let stmt_mentions_var v s =
+  let found = ref false in
+  Tast.iter_stmt_exprs (fun e -> if mentions_var v e then found := true) s;
+  !found
+
+(* Insert [free_stmt] at the end of [stmts], before a trailing control
+   transfer.  Returns None when the insertion would be unsafe (the
+   trailing statement still uses the variable). *)
+let insert_at_end (v : Tast.var) free_stmt stmts =
+  let rec split_last acc = function
+    | [] -> (List.rev acc, None)
+    | [ last ] -> (List.rev acc, Some last)
+    | s :: rest -> split_last (s :: acc) rest
+  in
+  match split_last [] stmts with
+  | prefix, Some ((Tast.Sreturn _ | Tast.Spanic _) as last) ->
+    if stmt_mentions_var v last then None
+    else Some (prefix @ [ free_stmt; last ])
+  | prefix, Some ((Tast.Sbreak | Tast.Scontinue) as last) ->
+    Some (prefix @ [ free_stmt; last ])
+  | _, Some _ | _, None -> Some (stmts @ [ free_stmt ])
+
+(* Find the block with scope id [scope] inside [b]. *)
+let rec find_block (b : Tast.block) scope : Tast.block option =
+  if b.Tast.b_scope = scope then Some b
+  else begin
+    let found = ref None in
+    let check_block b' =
+      if !found = None then found := find_block b' scope
+    in
+    List.iter
+      (fun s ->
+        match s with
+        | Tast.Sif (_, b1, b2) ->
+          check_block b1;
+          Option.iter check_block b2
+        | Tast.Sfor (_, _, _, body) -> check_block body
+        | Tast.Sforrange_map (_, _, body) -> check_block body
+        | Tast.Sblock b' -> check_block b'
+        | _ -> ())
+      b.Tast.b_stmts;
+    !found
+  end
+
+(** Instrument one function in place; returns the inserted frees. *)
+let instrument_function (analysis : Gofree_escape.Analysis.t)
+    (config : Config.t) (f : Tast.func) : inserted list =
+  if not config.Config.insert_tcfree then []
+  else begin
+    let candidates =
+      Gofree_escape.Analysis.to_free_vars analysis ~func:f.Tast.f_name
+    in
+    (* Deterministic order: by variable id. *)
+    let candidates =
+      List.sort
+        (fun ((a : Tast.var), _) (b, _) -> compare a.Tast.v_id b.Tast.v_id)
+        candidates
+    in
+    List.filter_map
+      (fun ((v : Tast.var), _loc) ->
+        match free_kind_of_type config.Config.targets v.Tast.v_ty with
+        | None -> None
+        | Some kind -> begin
+          match v.Tast.v_kind with
+          | Tast.Vglobal -> None  (* globals live forever *)
+          | Tast.Vparam | Tast.Vlocal | Tast.Vresult _ -> begin
+            match find_block f.Tast.f_body v.Tast.v_scope with
+            | None -> None
+            | Some block -> begin
+              let free_stmt = Tast.Stcfree (v, kind) in
+              match insert_at_end v free_stmt block.Tast.b_stmts with
+              | None -> None
+              | Some stmts ->
+                block.Tast.b_stmts <- stmts;
+                Some { ins_func = f.Tast.f_name; ins_var = v;
+                       ins_kind = kind }
+            end
+          end
+        end)
+      candidates
+  end
+
+(** Instrument a whole program in place. *)
+let instrument (analysis : Gofree_escape.Analysis.t) (config : Config.t)
+    (p : Tast.program) : inserted list =
+  List.concat_map (instrument_function analysis config) p.Tast.p_funcs

@@ -1,0 +1,25 @@
+(** tcfree instrumentation (paper §4.5): inserts [Stcfree] statements at
+    the end of each ToFree variable's declaration scope — before a
+    trailing control transfer, skipped entirely when the trailing return
+    still mentions the variable. *)
+
+open Minigo
+
+type inserted = {
+  ins_func : string;
+  ins_var : Tast.var;
+  ins_kind : Tast.free_kind;
+}
+
+(** Which runtime free variant (if any) applies to a value of this type
+    under the configured target set. *)
+val free_kind_of_type :
+  Config.free_targets -> Types.t -> Tast.free_kind option
+
+(** Instrument one function in place; returns the inserted frees. *)
+val instrument_function :
+  Gofree_escape.Analysis.t -> Config.t -> Tast.func -> inserted list
+
+(** Instrument a whole program in place. *)
+val instrument :
+  Gofree_escape.Analysis.t -> Config.t -> Tast.program -> inserted list

@@ -1,0 +1,56 @@
+(** The GoFree compilation pipeline: source → parse → typecheck →
+    escape analysis → tcfree instrumentation.
+
+    [compile] is what [gofreec], the examples, the workload harness and
+    the benchmarks all call. *)
+
+open Minigo
+
+type compiled = {
+  c_program : Tast.program;  (** instrumented in place *)
+  c_analysis : Gofree_escape.Analysis.t;
+  c_inserted : Instrument.inserted list;
+  c_config : Config.t;
+}
+
+exception Compile_error of string
+
+let parse_and_check (source : string) : Tast.program =
+  let ast =
+    try Parser.parse source with
+    | Lexer.Error (msg, pos) ->
+      raise
+        (Compile_error
+           (Printf.sprintf "lex error at %s: %s" (Token.string_of_pos pos)
+              msg))
+    | Parser.Error (msg, pos) ->
+      raise
+        (Compile_error
+           (Printf.sprintf "parse error at %s: %s" (Token.string_of_pos pos)
+              msg))
+  in
+  try Typecheck.check ast
+  with Typecheck.Error (msg, pos) ->
+    raise
+      (Compile_error
+         (Printf.sprintf "type error at %s: %s" (Token.string_of_pos pos)
+            msg))
+
+(** Compile a MiniGo source string under [config]. *)
+let compile ?(config = Config.gofree) (source : string) : compiled =
+  let program = parse_and_check source in
+  let mode =
+    if config.Config.insert_tcfree then Gofree_escape.Propagate.Gofree
+    else Gofree_escape.Propagate.Go_base
+  in
+  let analysis =
+    Gofree_escape.Analysis.analyze ~mode ~use_ipa:config.Config.ipa
+      ~backprop:config.Config.backprop program
+  in
+  let inserted = Instrument.instrument analysis config program in
+  { c_program = program; c_analysis = analysis; c_inserted = inserted;
+    c_config = config }
+
+(** Compile with stock-Go settings (no tcfree, Go's base analysis for the
+    stack/heap decisions). *)
+let compile_go source = compile ~config:Config.go source

@@ -1,0 +1,24 @@
+(** The GoFree compilation pipeline: source → parse → typecheck → escape
+    analysis → tcfree instrumentation. *)
+
+open Minigo
+
+type compiled = {
+  c_program : Tast.program;  (** instrumented in place *)
+  c_analysis : Gofree_escape.Analysis.t;
+  c_inserted : Instrument.inserted list;
+  c_config : Config.t;
+}
+
+exception Compile_error of string
+
+(** Parse and typecheck only; wraps lexer/parser/typechecker errors in
+    {!Compile_error} with positions. *)
+val parse_and_check : string -> Tast.program
+
+(** Compile a MiniGo source string under [config]
+    (default {!Config.gofree}). *)
+val compile : ?config:Config.t -> string -> compiled
+
+(** Compile with stock-Go settings (no tcfree). *)
+val compile_go : string -> compiled

@@ -1,0 +1,151 @@
+(** Human-readable dumps of the analysis results: escape-graph locations,
+    their Table-1 properties, points-to sets, stack/heap decisions and the
+    inserted tcfrees.  Used by [gofreec --print-escape] and the
+    escape_explorer example. *)
+
+open Minigo
+
+(* Heap decision and property table for one analyzed function. *)
+let pp_function fmt (analysis : Gofree_escape.Analysis.t) name =
+  match Gofree_escape.Analysis.func_result analysis name with
+  | None -> Format.fprintf fmt "function %s: not analyzed@." name
+  | Some fr ->
+    let g = fr.Gofree_escape.Analysis.fr_ctx.Gofree_escape.Build.g in
+    Format.fprintf fmt "@[<v>== escape analysis of %s ==@," name;
+    Format.fprintf fmt "locations: %d, edges: %d@," g.Gofree_escape.Graph.n_locs
+      g.Gofree_escape.Graph.n_edges;
+    List.iter
+      (fun (l : Gofree_escape.Loc.t) ->
+        let pts = Gofree_escape.Graph.points_to g l in
+        let pts_names =
+          String.concat ", "
+            (List.map Gofree_escape.Loc.name
+               (List.sort
+                  (fun (a : Gofree_escape.Loc.t) b ->
+                    compare a.Gofree_escape.Loc.id b.Gofree_escape.Loc.id)
+                  pts))
+        in
+        Format.fprintf fmt
+          "%-24s heap=%-5b exposes=%-5b incomplete=%-5b outlived=%-5b \
+           ptsHeap=%-5b toFree=%-5b pointsTo={%s}@,"
+          (Gofree_escape.Loc.name l)
+          l.Gofree_escape.Loc.heap_alloc l.Gofree_escape.Loc.exposes
+          (Gofree_escape.Loc.incomplete l)
+          l.Gofree_escape.Loc.outlived l.Gofree_escape.Loc.points_to_heap
+          (Gofree_escape.Propagate.to_free l)
+          pts_names)
+      (Gofree_escape.Graph.all_locs g);
+    Format.fprintf fmt "@]"
+
+let pp_inserted fmt (inserted : Instrument.inserted list) =
+  Format.fprintf fmt "@[<v>inserted tcfree calls: %d@,"
+    (List.length inserted);
+  List.iter
+    (fun { Instrument.ins_func; ins_var; ins_kind } ->
+      Format.fprintf fmt "  %s: %s(%s)@," ins_func
+        (Pretty.free_kind_str ins_kind)
+        ins_var.Tast.v_name)
+    inserted;
+  Format.fprintf fmt "@]"
+
+(** Points-to set of a named variable in a function, as location names —
+    the Table 3 comparison uses this. *)
+let points_to_of_var (analysis : Gofree_escape.Analysis.t) ~func ~var :
+    string list =
+  match Gofree_escape.Analysis.func_result analysis func with
+  | None -> []
+  | Some fr ->
+    let ctx = fr.Gofree_escape.Analysis.fr_ctx in
+    let found = ref [] in
+    Hashtbl.iter
+      (fun _ (l : Gofree_escape.Loc.t) ->
+        match l.Gofree_escape.Loc.kind with
+        | Gofree_escape.Loc.Kvar v when String.equal v.Tast.v_name var ->
+          found :=
+            List.map Gofree_escape.Loc.name
+              (Gofree_escape.Graph.points_to ctx.Gofree_escape.Build.g l)
+        | _ -> ())
+      ctx.Gofree_escape.Build.var_locs;
+    List.sort compare !found
+
+(** Table-1 style property record of a named variable. *)
+let var_properties (analysis : Gofree_escape.Analysis.t) ~func ~var :
+    Gofree_escape.Loc.t option =
+  match Gofree_escape.Analysis.func_result analysis func with
+  | None -> None
+  | Some fr ->
+    let ctx = fr.Gofree_escape.Analysis.fr_ctx in
+    Hashtbl.fold
+      (fun _ (l : Gofree_escape.Loc.t) acc ->
+        match l.Gofree_escape.Loc.kind with
+        | Gofree_escape.Loc.Kvar v when String.equal v.Tast.v_name var ->
+          Some l
+        | _ -> acc)
+      ctx.Gofree_escape.Build.var_locs None
+
+(** Heap decision of the [n]-th allocation site (program order) in
+    [func]. *)
+let site_decisions (analysis : Gofree_escape.Analysis.t)
+    (p : Tast.program) ~func : (Tast.alloc_site * bool) list =
+  List.filter_map
+    (fun (site : Tast.alloc_site) ->
+      if String.equal site.Tast.site_func func then
+        Some (site, Gofree_escape.Analysis.site_is_heap analysis ~func site)
+      else None)
+    p.Tast.p_sites
+
+(* ------------------------------------------------------------------ *)
+(* Graphviz export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Render one analyzed function's escape graph as Graphviz DOT, in the
+    style of the paper's fig. 1: blue for stack-allocated locations,
+    green for heap-allocated ones, dashed boxes for dummy locations, and
+    edge labels carrying the Derefs weights of Table 2. *)
+let to_dot (analysis : Gofree_escape.Analysis.t) name : string option =
+  match Gofree_escape.Analysis.func_result analysis name with
+  | None -> None
+  | Some fr ->
+    let g = fr.Gofree_escape.Analysis.fr_ctx.Gofree_escape.Build.g in
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    add "digraph escape_graph_%s {\n" name;
+    add "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+    List.iter
+      (fun (l : Gofree_escape.Loc.t) ->
+        let dummy =
+          match l.Gofree_escape.Loc.kind with
+          | Gofree_escape.Loc.Kvar _ | Gofree_escape.Loc.Ksite _ -> false
+          | _ -> true
+        in
+        let color =
+          if l.Gofree_escape.Loc.heap_alloc then "palegreen"
+          else "lightblue"
+        in
+        let extras =
+          String.concat ""
+            [
+              (if Gofree_escape.Loc.incomplete l then "\\nincomplete"
+               else "");
+              (if l.Gofree_escape.Loc.exposes then "\\nexposes" else "");
+              (if Gofree_escape.Propagate.to_free l then "\\nToFree"
+               else "");
+            ]
+        in
+        add "  n%d [label=\"%s%s\", style=\"filled%s\", fillcolor=%s];\n"
+          l.Gofree_escape.Loc.id
+          (Gofree_escape.Loc.name l)
+          extras
+          (if dummy then ",dashed" else "")
+          color)
+      (Gofree_escape.Graph.all_locs g);
+    List.iter
+      (fun (l : Gofree_escape.Loc.t) ->
+        List.iter
+          (fun { Gofree_escape.Graph.src; weight } ->
+            add "  n%d -> n%d [label=\"%d\"];\n"
+              src.Gofree_escape.Loc.id l.Gofree_escape.Loc.id weight)
+          (Gofree_escape.Graph.incoming_edges g l))
+      (Gofree_escape.Graph.all_locs g);
+    add "}\n";
+    Some (Buffer.contents buf)

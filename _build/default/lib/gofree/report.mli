@@ -1,0 +1,30 @@
+(** Human-readable and Graphviz dumps of analysis results, used by
+    [gofreec analyze] and the examples. *)
+
+open Minigo
+
+(** Property table and points-to sets of one analyzed function. *)
+val pp_function :
+  Format.formatter -> Gofree_escape.Analysis.t -> string -> unit
+
+val pp_inserted : Format.formatter -> Instrument.inserted list -> unit
+
+(** Points-to set of a named variable as sorted location names (the
+    Table 3 comparison). *)
+val points_to_of_var :
+  Gofree_escape.Analysis.t -> func:string -> var:string -> string list
+
+(** The analyzed location of a named variable, if any. *)
+val var_properties :
+  Gofree_escape.Analysis.t -> func:string -> var:string ->
+  Gofree_escape.Loc.t option
+
+(** Stack/heap decision per allocation site of a function. *)
+val site_decisions :
+  Gofree_escape.Analysis.t -> Tast.program -> func:string ->
+  (Tast.alloc_site * bool) list
+
+(** Escape graph as Graphviz DOT in the paper's fig. 1 style: blue =
+    stack, green = heap, dashed = dummy locations, edge labels = Derefs
+    weights. *)
+val to_dot : Gofree_escape.Analysis.t -> string -> string option

@@ -1,0 +1,1 @@
+lib/interp/decisions.ml: Array Gofree_escape Hashtbl List Minigo Tast

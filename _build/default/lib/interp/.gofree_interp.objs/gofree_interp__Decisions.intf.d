@@ -1,0 +1,1 @@
+lib/interp/decisions.mli: Gofree_escape Minigo Tast

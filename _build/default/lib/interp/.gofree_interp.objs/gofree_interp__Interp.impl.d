@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Ast Buffer Char Decisions Gofree_runtime Hashtbl Int64 List Minigo Option Printf Sched String Tast Types Value

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Buffer Decisions Gofree_runtime Hashtbl Minigo Sched Tast Value

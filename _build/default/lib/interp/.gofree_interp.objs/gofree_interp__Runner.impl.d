@@ -1,0 +1,1 @@
+lib/interp/runner.ml: Buffer Decisions Gofree_core Gofree_runtime Hashtbl Int64 Interp List Minigo Sched Tast Unix Value

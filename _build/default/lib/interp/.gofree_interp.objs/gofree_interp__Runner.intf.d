@@ -1,0 +1,1 @@
+lib/interp/runner.mli: Gofree_core Gofree_runtime Interp

@@ -1,0 +1,1 @@
+lib/interp/sched.ml: Effect Queue

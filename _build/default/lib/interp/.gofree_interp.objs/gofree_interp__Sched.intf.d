@@ -1,0 +1,1 @@
+lib/interp/sched.mli: Effect Queue

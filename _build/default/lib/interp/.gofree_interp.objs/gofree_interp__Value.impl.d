@@ -1,0 +1,1 @@
+lib/interp/value.ml: Array Gofree_runtime Hashtbl List Minigo Printf String

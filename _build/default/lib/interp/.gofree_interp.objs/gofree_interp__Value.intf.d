@@ -1,0 +1,1 @@
+lib/interp/value.mli: Gofree_runtime Minigo

@@ -1,0 +1,42 @@
+(** Static decisions handed from the compiler to the runtime: which
+    allocation sites are heap-allocated and which variables must be boxed
+    (their storage moved to the heap because their address escapes). *)
+
+open Minigo
+
+type t = {
+  site_heap : bool array;  (** indexed by [site_id] *)
+  var_boxed : bool array;  (** indexed by [v_id] *)
+}
+
+let of_analysis (analysis : Gofree_escape.Analysis.t) (p : Tast.program) : t
+    =
+  let site_heap = Array.make (max 1 (List.length p.Tast.p_sites)) false in
+  List.iter
+    (fun (site : Tast.alloc_site) ->
+      site_heap.(site.Tast.site_id) <-
+        Gofree_escape.Analysis.site_is_heap analysis
+          ~func:site.Tast.site_func site)
+    p.Tast.p_sites;
+  let var_boxed = Array.make (max 1 p.Tast.p_nvars) false in
+  Hashtbl.iter
+    (fun _ (fr : Gofree_escape.Analysis.func_result) ->
+      Hashtbl.iter
+        (fun var_id (l : Gofree_escape.Loc.t) ->
+          match l.Gofree_escape.Loc.kind with
+          | Gofree_escape.Loc.Kvar v
+            when v.Tast.v_kind <> Tast.Vglobal
+                 && l.Gofree_escape.Loc.heap_alloc ->
+            if var_id < Array.length var_boxed then
+              var_boxed.(var_id) <- true
+          | _ -> ())
+        fr.Gofree_escape.Analysis.fr_ctx.Gofree_escape.Build.var_locs)
+    analysis.Gofree_escape.Analysis.funcs;
+  { site_heap; var_boxed }
+
+let site_is_heap t (site : Tast.alloc_site) =
+  site.Tast.site_id < Array.length t.site_heap
+  && t.site_heap.(site.Tast.site_id)
+
+let var_is_boxed t (v : Tast.var) =
+  v.Tast.v_id < Array.length t.var_boxed && t.var_boxed.(v.Tast.v_id)

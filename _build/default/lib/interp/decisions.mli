@@ -1,0 +1,16 @@
+(** Static decisions handed from the compiler to the runtime: which
+    allocation sites are heap-allocated, and which variables must be
+    boxed because their address escapes. *)
+
+open Minigo
+
+type t = {
+  site_heap : bool array;  (** indexed by [site_id] *)
+  var_boxed : bool array;  (** indexed by [v_id] *)
+}
+
+val of_analysis : Gofree_escape.Analysis.t -> Tast.program -> t
+
+val site_is_heap : t -> Tast.alloc_site -> bool
+
+val var_is_boxed : t -> Tast.var -> bool

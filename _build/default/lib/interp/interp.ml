@@ -1,0 +1,1065 @@
+(** Tree-walking interpreter for instrumented MiniGo over the simulated
+    GoFree runtime.
+
+    Design notes that matter for fidelity of the measurements:
+
+    - every allocation site goes through the simulated heap, on the stack
+      or heap side according to the escape analysis decision, so the
+      paper's Table 5 metrics fall out of real allocator/GC work;
+    - GC cycles run only at {e safepoints} (statement boundaries and loop
+      back-edges); within one statement all freshly allocated values are
+      additionally pinned in a per-frame temp list, so a collection
+      triggered inside a callee can never reclaim a value the caller is
+      still holding in OCaml locals;
+    - [Stcfree] statements call the runtime's tcfree family; map growth
+      calls GrowMapAndFreeOld internally (§4.6.2);
+    - goroutines are cooperative fibers, each allocating from the mcache
+      of its current logical processor. *)
+
+open Minigo
+module Rt = Gofree_runtime
+
+exception Runtime_error of string
+
+exception Panic of Value.value
+
+(* Function return carrier. *)
+exception Return_values of Value.value list
+
+(* Loop control carriers. *)
+exception Break_loop
+
+exception Continue_loop
+
+type binding =
+  | Bdirect of Value.cell
+  | Bboxed of int * Value.cell  (** heap box address + its cell *)
+
+type frame = {
+  fn : Tast.func;
+  bindings : (int, binding) Hashtbl.t;
+  mutable defers : (string * Value.value list) list;
+  mutable stack_objs : Rt.Heap.obj list list;
+      (** per open scope, innermost first *)
+  mutable temps : Value.value list;  (** GC pins for the current statement *)
+  gid : int;
+}
+
+type goroutine = { g_id : int; mutable g_frames : frame list }
+
+type run_config = {
+  heap_config : Rt.Heap.config;
+  seed : int64;
+  max_steps : int;  (** hard budget; exceeded = Runtime_error *)
+  yield_every : int;
+  nprocs : int;
+  migrate_every : int;
+}
+
+let default_config =
+  {
+    heap_config = Rt.Heap.default_config;
+    seed = 42L;
+    max_steps = 500_000_000;
+    yield_every = 512;
+    nprocs = 4;
+    (* Goroutine-to-P migration is rare in Go; the ownership-change
+       give-up path is still exercised by multi-goroutine programs whose
+       fibers share spans through mcentral. *)
+    migrate_every = 2048;
+  }
+
+type state = {
+  program : Tast.program;
+  decisions : Decisions.t;
+  heap : Rt.Heap.t;
+  sched : Sched.t;
+  output : Buffer.t;
+  globals : (int, Value.cell) Hashtbl.t;
+  funcs : (string, Tast.func) Hashtbl.t;
+  config : run_config;
+  mutable goroutines : goroutine list;
+  mutable current : goroutine;
+  mutable steps : int;
+  mutable rng : int64;
+  mutable next_scope_token : int;
+  mutable unwinding : Value.value option;
+      (** the active panic value while defers run during unwinding;
+          [recover] clears it *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* RNG: splitmix64, deterministic per run                              *)
+(* ------------------------------------------------------------------ *)
+
+let rng_next st =
+  let z = Int64.add st.rng 0x9E3779B97F4A7C15L in
+  st.rng <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_int st bound =
+  if bound <= 0 then 0
+  else
+    Int64.to_int (Int64.rem (Int64.logand (rng_next st) Int64.max_int)
+        (Int64.of_int bound))
+
+(* ------------------------------------------------------------------ *)
+(* Frames, scopes and roots                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cur_frame st =
+  match st.current.g_frames with
+  | f :: _ -> f
+  | [] -> raise (Runtime_error "no active frame")
+
+let cur_thread st = Sched.pid_for st.sched ~gid:st.current.g_id
+
+let push_scope st =
+  let f = cur_frame st in
+  f.stack_objs <- [] :: f.stack_objs;
+  st.next_scope_token <- st.next_scope_token + 1;
+  st.next_scope_token
+
+let pop_scope st =
+  let f = cur_frame st in
+  match f.stack_objs with
+  | objs :: rest ->
+    List.iter (fun o -> Rt.Heap.release_stack st.heap o) objs;
+    f.stack_objs <- rest
+  | [] -> ()
+
+let register_stack_obj st obj =
+  let f = cur_frame st in
+  match f.stack_objs with
+  | objs :: rest -> f.stack_objs <- (obj :: objs) :: rest
+  | [] -> f.stack_objs <- [ [ obj ] ]
+
+(* Pin a value for the rest of the current statement so an in-callee GC
+   cannot reclaim it before it reaches rooted storage. *)
+let pin st v =
+  let f = cur_frame st in
+  f.temps <- v :: f.temps;
+  v
+
+let iter_roots st (k : int -> unit) =
+  Hashtbl.iter (fun _ (c : Value.cell) -> Value.trace c.Value.v k)
+    st.globals;
+  List.iter
+    (fun g ->
+      List.iter
+        (fun f ->
+          Hashtbl.iter
+            (fun _ b ->
+              match b with
+              | Bdirect c -> Value.trace c.Value.v k
+              | Bboxed (addr, c) ->
+                k addr;
+                Value.trace c.Value.v k)
+            f.bindings;
+          List.iter (fun v -> Value.trace v k) f.temps;
+          List.iter
+            (fun (_, args) -> List.iter (fun v -> Value.trace v k) args)
+            f.defers)
+        g.g_frames)
+    st.goroutines
+
+(* Safepoint: maybe run a GC cycle; also the yield point. *)
+let safepoint st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.config.max_steps then
+    raise (Runtime_error "step budget exhausted (infinite loop?)");
+  (cur_frame st).temps <- [];
+  Rt.Gc_collector.maybe_collect st.heap;
+  if st.steps mod st.config.yield_every = 0 then Sched.yield ()
+
+(* ------------------------------------------------------------------ *)
+(* Allocation helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_obj st ~(site : Tast.alloc_site) ~category ~size ~payload :
+    Rt.Heap.obj =
+  if Decisions.site_is_heap st.decisions site then
+    Rt.Heap.alloc_heap st.heap ~thread:(cur_thread st) ~category ~size
+      ~payload
+  else begin
+    let obj =
+      Rt.Heap.alloc_stack st.heap ~scope:st.next_scope_token ~category ~size
+        ~payload
+    in
+    register_stack_obj st obj;
+    obj
+  end
+
+(* Heap allocation regardless of site (append growth, map growth). *)
+let alloc_heap_obj st ~category ~size ~payload =
+  Rt.Heap.alloc_heap st.heap ~thread:(cur_thread st) ~category ~size
+    ~payload
+
+let make_slice_obj st ~site ~elem_size ~len ~cap ~zero_of : Value.value =
+  let cap = max cap len in
+  let cells = Array.init cap (fun _ -> Value.cell (zero_of ())) in
+  let size = max 1 (cap * elem_size) in
+  let obj =
+    alloc_obj st ~site ~category:Rt.Metrics.Cat_slice ~size
+      ~payload:(Value.Pcells cells)
+  in
+  pin st (Value.VSlice { Value.s_addr = obj.Rt.Heap.addr; s_cells = cells;
+                         s_off = 0; s_len = len })
+
+let bucket_overhead = 16
+
+let buckets_bytes ~entry_size ~nbuckets =
+  nbuckets * ((8 * entry_size) + bucket_overhead)
+
+let make_map_obj st ~(site : Tast.alloc_site) : Value.value =
+  let entry_size = max 2 site.Tast.site_elem_size in
+  let nbuckets = 1 in
+  let bsize = buckets_bytes ~entry_size ~nbuckets in
+  let buckets_obj =
+    alloc_obj st ~site ~category:Rt.Metrics.Cat_map ~size:bsize
+      ~payload:(Value.Pbuckets (Array.make nbuckets []))
+  in
+  let md =
+    {
+      Value.md_buckets = buckets_obj.Rt.Heap.addr;
+      md_nbuckets = nbuckets;
+      md_count = 0;
+      md_entry_size = entry_size;
+    }
+  in
+  let header =
+    alloc_obj st ~site ~category:Rt.Metrics.Cat_map ~size:48
+      ~payload:(Value.Pmap md)
+  in
+  pin st (Value.VMap header.Rt.Heap.addr)
+
+(* ------------------------------------------------------------------ *)
+(* Map operations (§4.6.2)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let map_data st addr : Value.map_data * (Value.value * Value.value) list array =
+  match Rt.Heap.find_obj st.heap addr with
+  | Some { Rt.Heap.payload = Value.Pmap md; _ } -> begin
+    match Rt.Heap.find_obj st.heap md.Value.md_buckets with
+    | Some { Rt.Heap.payload = Value.Pbuckets buckets; _ } -> (md, buckets)
+    | Some { Rt.Heap.poisoned = true; _ } | None ->
+      raise
+        (Value.Corruption
+           (Printf.sprintf "map buckets freed while map is live (%s)"
+              (Rt.Heap.death_of st.heap md.Value.md_buckets)))
+    | Some _ -> raise (Runtime_error "corrupt map buckets")
+  end
+  | Some { Rt.Heap.poisoned = true; _ } | None ->
+    raise
+      (Value.Corruption
+         (Printf.sprintf "map header %d freed while map is live (%s)" addr
+            (Rt.Heap.death_of st.heap addr)))
+  | Some _ -> raise (Runtime_error "not a map")
+
+let map_grow st addr (md : Value.map_data) old_buckets =
+  let nbuckets = md.Value.md_nbuckets * 2 in
+  let buckets = Array.make nbuckets [] in
+  Array.iter
+    (fun entries ->
+      List.iter
+        (fun (k, v) ->
+          let idx = Value.hash_key k land max_int mod nbuckets in
+          buckets.(idx) <- (k, v) :: buckets.(idx))
+        entries)
+    old_buckets;
+  let bsize =
+    buckets_bytes ~entry_size:md.Value.md_entry_size ~nbuckets
+  in
+  let old_addr = md.Value.md_buckets in
+  (* New bucket arrays of a growing map always come from the heap: growth
+     happens inside the runtime where no static size is known — exactly
+     Go's behaviour, where only the initial buckets of a non-escaping map
+     can live on the stack. *)
+  let new_obj =
+    alloc_heap_obj st ~category:Rt.Metrics.Cat_map ~size:bsize
+      ~payload:(Value.Pbuckets buckets)
+  in
+  md.Value.md_buckets <- new_obj.Rt.Heap.addr;
+  md.Value.md_nbuckets <- nbuckets;
+  ignore addr;
+  (* GrowMapAndFreeOld (§4.6.2): the abandoned bucket array is in the
+     map's exclusive ownership — free it explicitly.  Only the GoFree
+     runtime does this; stock Go leaves the old array to GC. *)
+  if st.heap.Rt.Heap.config.Rt.Heap.grow_map_free_old then
+    ignore
+      (Rt.Tcfree.tcfree st.heap ~thread:(cur_thread st)
+         ~source:Rt.Metrics.Src_map_grow old_addr)
+
+let map_store st addr key v =
+  let md, buckets = map_data st addr in
+  let idx = Value.hash_key key land max_int mod md.Value.md_nbuckets in
+  let entries = buckets.(idx) in
+  let existed = List.exists (fun (k, _) -> Value.equal_key k key) entries in
+  let entries =
+    if existed then
+      List.map
+        (fun (k, old) -> if Value.equal_key k key then (k, v) else (k, old))
+        entries
+    else (key, v) :: entries
+  in
+  buckets.(idx) <- entries;
+  if not existed then begin
+    md.Value.md_count <- md.Value.md_count + 1;
+    (* Go grows at load factor 6.5 entries per bucket. *)
+    if md.Value.md_count * 2 > 13 * md.Value.md_nbuckets then
+      map_grow st addr md buckets
+  end
+
+let map_get st addr key ~zero =
+  let md, buckets = map_data st addr in
+  let idx = Value.hash_key key land max_int mod md.Value.md_nbuckets in
+  match
+    List.find_opt (fun (k, _) -> Value.equal_key k key) buckets.(idx)
+  with
+  | Some (_, v) -> v
+  | None -> zero ()
+
+let map_delete st addr key =
+  let md, buckets = map_data st addr in
+  let idx = Value.hash_key key land max_int mod md.Value.md_nbuckets in
+  let before = List.length buckets.(idx) in
+  buckets.(idx) <-
+    List.filter (fun (k, _) -> not (Value.equal_key k key)) buckets.(idx);
+  if List.length buckets.(idx) < before then
+    md.Value.md_count <- md.Value.md_count - 1
+
+let map_len st addr =
+  let md, _ = map_data st addr in
+  md.Value.md_count
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_binding st (v : Tast.var) : binding =
+  match v.Tast.v_kind with
+  | Tast.Vglobal -> begin
+    match Hashtbl.find_opt st.globals v.Tast.v_id with
+    | Some c -> Bdirect c
+    | None -> raise (Runtime_error ("unbound global " ^ v.Tast.v_name))
+  end
+  | _ -> begin
+    let f = cur_frame st in
+    match Hashtbl.find_opt f.bindings v.Tast.v_id with
+    | Some b -> b
+    | None -> raise (Runtime_error ("unbound variable " ^ v.Tast.v_name))
+  end
+
+let binding_cell = function Bdirect c -> c | Bboxed (_, c) -> c
+
+let zero_of st ty () = Value.zero st.program.Tast.p_tenv ty
+
+(* Declare a variable: boxed variables get a 1-cell heap object. *)
+let declare_var st (v : Tast.var) (value : Value.value) =
+  let f = cur_frame st in
+  let binding =
+    if Decisions.var_is_boxed st.decisions v then begin
+      let c = Value.cell value in
+      let size = Types.size_of st.program.Tast.p_tenv v.Tast.v_ty in
+      let obj =
+        alloc_heap_obj st ~category:Rt.Metrics.Cat_other ~size:(max 8 size)
+          ~payload:(Value.Pcells [| c |])
+      in
+      Bboxed (obj.Rt.Heap.addr, c)
+    end
+    else Bdirect (Value.cell value)
+  in
+  Hashtbl.replace f.bindings v.Tast.v_id binding
+
+let truthy = function
+  | Value.VBool b -> b
+  | _ -> raise (Runtime_error "condition is not a bool")
+
+let as_int = function
+  | Value.VInt n -> n
+  | _ -> raise (Runtime_error "expected an int")
+
+let rec eval_binop op (a : Value.value) (b : Value.value) : Value.value =
+  let open Value in
+  match (op, a, b) with
+  | Ast.Badd, VInt x, VInt y -> VInt (x + y)
+  | Ast.Badd, VFloat x, VFloat y -> VFloat (x +. y)
+  | Ast.Badd, VStr x, VStr y -> VStr (x ^ y)
+  | Ast.Bsub, VInt x, VInt y -> VInt (x - y)
+  | Ast.Bsub, VFloat x, VFloat y -> VFloat (x -. y)
+  | Ast.Bmul, VInt x, VInt y -> VInt (x * y)
+  | Ast.Bmul, VFloat x, VFloat y -> VFloat (x *. y)
+  | Ast.Bdiv, VInt _, VInt 0 -> raise (Panic (VStr "integer divide by zero"))
+  | Ast.Bdiv, VInt x, VInt y -> VInt (x / y)
+  | Ast.Bdiv, VFloat x, VFloat y -> VFloat (x /. y)
+  | Ast.Bmod, VInt _, VInt 0 -> raise (Panic (VStr "integer divide by zero"))
+  | Ast.Bmod, VInt x, VInt y -> VInt (x mod y)
+  | Ast.Band_bits, VInt x, VInt y -> VInt (x land y)
+  | Ast.Bor_bits, VInt x, VInt y -> VInt (x lor y)
+  | Ast.Bxor, VInt x, VInt y -> VInt (x lxor y)
+  | Ast.Bshl, VInt _, VInt y when y < 0 ->
+    raise (Panic (VStr "negative shift amount"))
+  | Ast.Bshl, VInt x, VInt y -> VInt (if y >= 63 then 0 else x lsl y)
+  | Ast.Bshr, VInt _, VInt y when y < 0 ->
+    raise (Panic (VStr "negative shift amount"))
+  | Ast.Bshr, VInt x, VInt y -> VInt (if y >= 63 then 0 else x asr y)
+  | Ast.Blt, VInt x, VInt y -> VBool (x < y)
+  | Ast.Ble, VInt x, VInt y -> VBool (x <= y)
+  | Ast.Bgt, VInt x, VInt y -> VBool (x > y)
+  | Ast.Bge, VInt x, VInt y -> VBool (x >= y)
+  | Ast.Blt, VFloat x, VFloat y -> VBool (x < y)
+  | Ast.Ble, VFloat x, VFloat y -> VBool (x <= y)
+  | Ast.Bgt, VFloat x, VFloat y -> VBool (x > y)
+  | Ast.Bge, VFloat x, VFloat y -> VBool (x >= y)
+  | Ast.Blt, VStr x, VStr y -> VBool (String.compare x y < 0)
+  | Ast.Ble, VStr x, VStr y -> VBool (String.compare x y <= 0)
+  | Ast.Bgt, VStr x, VStr y -> VBool (String.compare x y > 0)
+  | Ast.Bge, VStr x, VStr y -> VBool (String.compare x y >= 0)
+  | Ast.Beq, x, y -> VBool (value_eq x y)
+  | Ast.Bne, x, y -> VBool (not (value_eq x y))
+  | (Ast.Band | Ast.Bor), _, _ ->
+    raise (Runtime_error "logical operators are handled lazily")
+  | _ -> raise (Runtime_error "invalid binary operands")
+
+and value_eq (a : Value.value) (b : Value.value) =
+  let open Value in
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y -> x = y
+  | VBool x, VBool y -> x = y
+  | VStr x, VStr y -> String.equal x y
+  | VNil, VNil -> true
+  | VNil, (VPtr _ | VSlice _ | VMap _) | (VPtr _ | VSlice _ | VMap _), VNil
+    ->
+    false
+  | VPtr x, VPtr y -> x.p_cell == y.p_cell
+  | VMap x, VMap y -> x = y
+  | VSlice x, VSlice y ->
+    x.s_cells == y.s_cells && x.s_off = y.s_off && x.s_len = y.s_len
+  | VPoison, _ | _, VPoison -> raise (Corruption "comparison with freed memory")
+  | _ -> false
+
+let rec eval st (e : Tast.expr) : Value.value =
+  match e.Tast.desc with
+  | Tast.Tint n -> Value.VInt n
+  | Tast.Tfloat f -> Value.VFloat f
+  | Tast.Tbool b -> Value.VBool b
+  | Tast.Tstring s -> Value.VStr s
+  | Tast.Tnil -> Value.VNil
+  | Tast.Tvar v -> Value.read_cell (binding_cell (lookup_binding st v))
+  | Tast.Tbinop (Ast.Band, a, b) ->
+    if truthy (eval st a) then eval st b else Value.VBool false
+  | Tast.Tbinop (Ast.Bor, a, b) ->
+    if truthy (eval st a) then Value.VBool true else eval st b
+  | Tast.Tbinop (op, a, b) ->
+    let va = eval st a in
+    let vb = eval st b in
+    eval_binop op va vb
+  | Tast.Tunop (Ast.Uneg, a) -> begin
+    match eval st a with
+    | Value.VInt n -> Value.VInt (-n)
+    | Value.VFloat f -> Value.VFloat (-.f)
+    | _ -> raise (Runtime_error "cannot negate")
+  end
+  | Tast.Tunop (Ast.Unot, a) -> Value.VBool (not (truthy (eval st a)))
+  | Tast.Taddr lv -> eval_addr st lv
+  | Tast.Tderef a -> begin
+    match eval st a with
+    | Value.VPtr p -> Value.read_cell p.Value.p_cell
+    | Value.VNil -> raise (Panic (Value.VStr "nil pointer dereference"))
+    | _ -> raise (Runtime_error "dereference of a non-pointer")
+  end
+  | Tast.Tindex (a, i) -> begin
+    let va = eval st a in
+    let vi = as_int (eval st i) in
+    match va with
+    | Value.VSlice s ->
+      if vi < 0 || vi >= s.Value.s_len then
+        raise (Panic (Value.VStr "index out of range"));
+      Value.read_cell s.Value.s_cells.(s.Value.s_off + vi)
+    | Value.VStr s ->
+      if vi < 0 || vi >= String.length s then
+        raise (Panic (Value.VStr "index out of range"));
+      Value.VInt (Char.code s.[vi])
+    | Value.VNil -> raise (Panic (Value.VStr "index of nil slice"))
+    | _ -> raise (Runtime_error "cannot index this value")
+  end
+  | Tast.Tmap_get (m, k) -> begin
+    let vm = eval st m in
+    let vk = eval st k in
+    let zero = zero_of st e.Tast.ty in
+    match vm with
+    | Value.VMap addr -> map_get st addr vk ~zero
+    | Value.VNil -> zero ()  (* reading a nil map yields the zero value *)
+    | _ -> raise (Runtime_error "not a map")
+  end
+  | Tast.Tfield (a, idx, name) -> begin
+    let base =
+      match eval st a with
+      | Value.VPtr p -> Value.read_cell p.Value.p_cell
+      | Value.VNil -> raise (Panic (Value.VStr "nil pointer dereference"))
+      | v -> v
+    in
+    match base with
+    | Value.VStruct cells -> Value.read_cell cells.(idx)
+    | _ -> raise (Runtime_error ("field access ." ^ name ^ " on non-struct"))
+  end
+  | Tast.Tcall (name, args) -> begin
+    match call_function st name (List.map (fun a -> eval st a) args) with
+    | [] -> Value.VUnit
+    | [ v ] -> pin st v
+    | vs -> pin st (Value.VTuple vs)
+  end
+  | Tast.Tmake_slice (site, elem, len, cap) ->
+    let len = as_int (eval st len) in
+    if len < 0 then raise (Panic (Value.VStr "makeslice: negative length"));
+    let cap =
+      match cap with Some c -> as_int (eval st c) | None -> len
+    in
+    make_slice_obj st ~site ~elem_size:site.Tast.site_elem_size ~len ~cap
+      ~zero_of:(zero_of st elem)
+  | Tast.Tmake_map (site, _, _) -> make_map_obj st ~site
+  | Tast.Tnew (site, ty) ->
+    let c = Value.cell (Value.zero st.program.Tast.p_tenv ty) in
+    let obj =
+      alloc_obj st ~site ~category:Rt.Metrics.Cat_other
+        ~size:(max 8 site.Tast.site_elem_size)
+        ~payload:(Value.Pcells [| c |])
+    in
+    pin st (Value.VPtr { Value.p_owner = obj.Rt.Heap.addr; p_cell = c })
+  | Tast.Tslice_lit (site, _, es) ->
+    let vs = List.map (fun e -> Value.copy (eval st e)) es in
+    let cells = Array.of_list (List.map Value.cell vs) in
+    let size = max 1 (Array.length cells * site.Tast.site_elem_size) in
+    let obj =
+      alloc_obj st ~site ~category:Rt.Metrics.Cat_slice ~size
+        ~payload:(Value.Pcells cells)
+    in
+    pin st
+      (Value.VSlice
+         { Value.s_addr = obj.Rt.Heap.addr; s_cells = cells; s_off = 0;
+           s_len = Array.length cells })
+  | Tast.Tstruct_lit (_, es) ->
+    Value.VStruct
+      (Array.of_list
+         (List.map (fun e -> Value.cell (Value.copy (eval st e))) es))
+  | Tast.Taddr_struct_lit (site, _, es) ->
+    let v =
+      Value.VStruct
+        (Array.of_list
+           (List.map (fun e -> Value.cell (Value.copy (eval st e))) es))
+    in
+    let c = Value.cell v in
+    let obj =
+      alloc_obj st ~site ~category:Rt.Metrics.Cat_other
+        ~size:(max 8 site.Tast.site_elem_size)
+        ~payload:(Value.Pcells [| c |])
+    in
+    pin st (Value.VPtr { Value.p_owner = obj.Rt.Heap.addr; p_cell = c })
+  | Tast.Tappend (site, s, vs) ->
+    let base = eval st s in
+    let elems = List.map (fun v -> Value.copy (eval st v)) vs in
+    eval_append st ~site base elems
+  | Tast.Tlen a -> begin
+    match eval st a with
+    | Value.VSlice s -> Value.VInt s.Value.s_len
+    | Value.VStr s -> Value.VInt (String.length s)
+    | Value.VMap addr -> Value.VInt (map_len st addr)
+    | Value.VNil -> Value.VInt 0
+    | _ -> raise (Runtime_error "len of unsupported value")
+  end
+  | Tast.Tcap a -> begin
+    match eval st a with
+    | Value.VSlice s ->
+      Value.VInt (Array.length s.Value.s_cells - s.Value.s_off)
+    | Value.VNil -> Value.VInt 0
+    | _ -> raise (Runtime_error "cap of unsupported value")
+  end
+  | Tast.Titoa a -> Value.VStr (string_of_int (as_int (eval st a)))
+  | Tast.Trand a -> Value.VInt (rand_int st (as_int (eval st a)))
+  | Tast.Tsubstr (s, a, b) -> begin
+    match eval st s with
+    | Value.VStr s ->
+      let lo = as_int (eval st a) in
+      let hi = as_int (eval st b) in
+      if lo < 0 || hi > String.length s || lo > hi then
+        raise (Panic (Value.VStr "substr out of range"))
+      else Value.VStr (String.sub s lo (hi - lo))
+    | _ -> raise (Runtime_error "substr on non-string")
+  end
+  | Tast.Tslice_sub (a, lo, hi) -> begin
+    let base = eval st a in
+    let bound default = function
+      | Some e -> as_int (eval st e)
+      | None -> default
+    in
+    match base with
+    | Value.VSlice s ->
+      let cap = Array.length s.Value.s_cells - s.Value.s_off in
+      let lo = bound 0 lo in
+      let hi = bound s.Value.s_len hi in
+      if lo < 0 || hi > cap || lo > hi then
+        raise (Panic (Value.VStr "slice bounds out of range"));
+      Value.VSlice
+        { s with Value.s_off = s.Value.s_off + lo; s_len = hi - lo }
+    | Value.VStr str ->
+      let lo = bound 0 lo in
+      let hi = bound (String.length str) hi in
+      if lo < 0 || hi > String.length str || lo > hi then
+        raise (Panic (Value.VStr "slice bounds out of range"));
+      Value.VStr (String.sub str lo (hi - lo))
+    | Value.VNil ->
+      let lo = bound 0 lo and hi = bound 0 hi in
+      if lo <> 0 || hi <> 0 then
+        raise (Panic (Value.VStr "slice bounds out of range"));
+      Value.VNil
+    | _ -> raise (Runtime_error "slice of unsupported value")
+  end
+  | Tast.Tcopy (dst, src) -> begin
+    let vd = eval st dst in
+    let vs = eval st src in
+    match (vd, vs) with
+    | Value.VSlice d, Value.VSlice s ->
+      (* memmove semantics: snapshot the source first so overlapping
+         views of one backing array copy correctly, like Go *)
+      let n = min d.Value.s_len s.Value.s_len in
+      let snapshot =
+        Array.init n (fun i ->
+            Value.copy (Value.read_cell s.Value.s_cells.(s.Value.s_off + i)))
+      in
+      for i = 0 to n - 1 do
+        d.Value.s_cells.(d.Value.s_off + i).Value.v <- snapshot.(i)
+      done;
+      Value.VInt n
+    | (Value.VNil, _ | _, Value.VNil) -> Value.VInt 0
+    | _ -> raise (Runtime_error "copy on non-slices")
+  end
+  | Tast.Tmap_get_ok (m, k) -> begin
+    let vm = eval st m in
+    let vk = eval st k in
+    let zero () =
+      match e.Tast.ty with
+      | Types.Tuple [ vt; _ ] -> Value.zero st.program.Tast.p_tenv vt
+      | _ -> Value.VUnit
+    in
+    match vm with
+    | Value.VMap addr ->
+      let present = ref true in
+      let v = map_get st addr vk ~zero:(fun () -> present := false; zero ()) in
+      Value.VTuple [ v; Value.VBool !present ]
+    | Value.VNil -> Value.VTuple [ zero (); Value.VBool false ]
+    | _ -> raise (Runtime_error "not a map")
+  end
+  | Tast.Trecover -> begin
+    match st.unwinding with
+    | Some v ->
+      (* stop the unwind; hand the panic message to the program *)
+      st.unwinding <- None;
+      Value.VStr (Value.to_string v)
+    | None -> Value.VStr ""
+  end
+
+and eval_append st ~site base elems : Value.value =
+  let open Value in
+  let old_len, old_off, old_cells =
+    match base with
+    | VSlice s -> (s.s_len, s.s_off, s.s_cells)
+    | VNil -> (0, 0, [||])
+    | VPoison -> raise (Corruption "append to freed slice")
+    | _ -> raise (Runtime_error "append to non-slice")
+  in
+  let n = List.length elems in
+  let new_len = old_len + n in
+  if old_off + new_len <= Array.length old_cells then begin
+    (* room within the view's capacity: write in place *)
+    List.iteri
+      (fun i v -> old_cells.(old_off + old_len + i).v <- v)
+      elems;
+    match base with
+    | VSlice s -> VSlice { s with s_len = new_len }
+    | _ -> assert false
+  end
+  else begin
+    let old_cap = Array.length old_cells - old_off in
+    let new_cap = max (max (2 * old_cap) new_len) 4 in
+    let cells =
+      Array.init new_cap (fun i ->
+          if i < old_len then
+            Value.cell (Value.read_cell old_cells.(old_off + i))
+          else Value.cell VNil)
+    in
+    List.iteri (fun i v -> cells.(old_len + i).v <- v) elems;
+    let size = max 1 (new_cap * site.Tast.site_elem_size) in
+    (* growth arrays always come from the heap (§4.6.1) *)
+    let obj =
+      alloc_heap_obj st ~category:Rt.Metrics.Cat_slice ~size
+        ~payload:(Pcells cells)
+    in
+    ignore site;
+    pin st
+      (VSlice
+         { s_addr = obj.Rt.Heap.addr; s_cells = cells; s_off = 0;
+           s_len = new_len })
+  end
+
+(* Address-of: produce a pointer value. *)
+and eval_addr st (lv : Tast.lvalue) : Value.value =
+  match lv with
+  | Tast.Lvar v -> begin
+    match lookup_binding st v with
+    | Bdirect c -> Value.VPtr { Value.p_owner = 0; p_cell = c }
+    | Bboxed (addr, c) -> Value.VPtr { Value.p_owner = addr; p_cell = c }
+  end
+  | Tast.Lderef e -> eval st e
+  | Tast.Lindex (a, i) -> begin
+    let va = eval st a in
+    let vi = as_int (eval st i) in
+    match va with
+    | Value.VSlice s ->
+      if vi < 0 || vi >= s.Value.s_len then
+        raise (Panic (Value.VStr "index out of range"));
+      Value.VPtr
+        { Value.p_owner = s.Value.s_addr;
+          p_cell = s.Value.s_cells.(s.Value.s_off + vi) }
+    | _ -> raise (Runtime_error "cannot take address of this element")
+  end
+  | Tast.Lmap _ -> raise (Runtime_error "cannot take address of map element")
+  | Tast.Lfield (base, idx, _) -> begin
+    let owner, cells =
+      match base.Tast.ty with
+      | Types.Ptr _ -> begin
+        (* pointer base: the field cell lives inside the pointee *)
+        match eval st base with
+        | Value.VPtr p -> begin
+          match Value.read_cell p.Value.p_cell with
+          | Value.VStruct cells -> (p.Value.p_owner, cells)
+          | _ -> raise (Runtime_error "field of non-struct")
+        end
+        | Value.VNil -> raise (Panic (Value.VStr "nil pointer dereference"))
+        | _ -> raise (Runtime_error "field of non-pointer")
+      end
+      | _ -> begin
+        (* struct-valued base: find its storage without copying *)
+        match base.Tast.desc with
+        | Tast.Tvar v -> begin
+          let c, owner =
+            match lookup_binding st v with
+            | Bdirect c -> (c, 0)
+            | Bboxed (addr, c) -> (c, addr)
+          in
+          match Value.read_cell c with
+          | Value.VStruct cells -> (owner, cells)
+          | _ -> raise (Runtime_error "field of non-struct")
+        end
+        | _ -> begin
+          (* nested struct value (s.inner.f, a[i].f, …): VStruct shares
+             its cells, so evaluating the base still aliases the
+             storage.  The owner is conservatively the base's owning
+             object when it is an element/deref; for pure temporaries
+             there is no owner. *)
+          match eval st base with
+          | Value.VStruct cells -> (owner_of_struct_base st base, cells)
+          | _ -> raise (Runtime_error "field of non-struct")
+        end
+      end
+    in
+    Value.VPtr { Value.p_owner = owner; p_cell = cells.(idx) }
+  end
+
+(* The heap object owning the storage of a struct-valued expression, for
+   pointers created into nested fields; 0 when it is frame-local. *)
+and owner_of_struct_base st (e : Tast.expr) : int =
+  match e.Tast.desc with
+  | Tast.Tfield (inner, _, _) -> begin
+    match inner.Tast.ty with
+    | Types.Ptr _ -> begin
+      match eval st inner with
+      | Value.VPtr p -> p.Value.p_owner
+      | _ -> 0
+    end
+    | _ -> owner_of_struct_base st inner
+  end
+  | Tast.Tindex (arr, _) -> begin
+    match eval st arr with Value.VSlice s -> s.Value.s_addr | _ -> 0
+  end
+  | Tast.Tderef p -> begin
+    match eval st p with Value.VPtr ptr -> ptr.Value.p_owner | _ -> 0
+  end
+  | _ -> 0
+
+(* An lvalue resolved to mutable storage. *)
+and eval_lvalue_target st (lv : Tast.lvalue) :
+    [ `Cell of Value.cell | `Map of int * Value.value ] =
+  match lv with
+  | Tast.Lvar v -> `Cell (binding_cell (lookup_binding st v))
+  | Tast.Lderef e -> begin
+    match eval st e with
+    | Value.VPtr p -> `Cell p.Value.p_cell
+    | Value.VNil -> raise (Panic (Value.VStr "nil pointer dereference"))
+    | _ -> raise (Runtime_error "assignment through non-pointer")
+  end
+  | Tast.Lindex (a, i) -> begin
+    let va = eval st a in
+    let vi = as_int (eval st i) in
+    match va with
+    | Value.VSlice s ->
+      if vi < 0 || vi >= s.Value.s_len then
+        raise (Panic (Value.VStr "index out of range"));
+      `Cell s.Value.s_cells.(s.Value.s_off + vi)
+    | Value.VNil -> raise (Panic (Value.VStr "index of nil slice"))
+    | _ -> raise (Runtime_error "cannot assign into this value")
+  end
+  | Tast.Lmap (m, k) -> begin
+    let vm = eval st m in
+    let vk = eval st k in
+    match vm with
+    | Value.VMap addr -> `Map (addr, vk)
+    | Value.VNil ->
+      raise (Panic (Value.VStr "assignment to entry in nil map"))
+    | _ -> raise (Runtime_error "not a map")
+  end
+  | Tast.Lfield (base, idx, _) -> begin
+    match eval_addr st (Tast.Lfield (base, idx, "")) with
+    | Value.VPtr p -> `Cell p.Value.p_cell
+    | _ -> raise (Runtime_error "bad field target")
+  end
+
+and assign st (lv : Tast.lvalue) (v : Value.value) =
+  match eval_lvalue_target st lv with
+  | `Cell c -> c.Value.v <- Value.copy v
+  | `Map (addr, key) -> map_store st addr key (Value.copy v)
+
+(* ------------------------------------------------------------------ *)
+(* Calls, defers, panics                                               *)
+(* ------------------------------------------------------------------ *)
+
+and call_function st name (args : Value.value list) : Value.value list =
+  let f =
+    match Hashtbl.find_opt st.funcs name with
+    | Some f -> f
+    | None -> raise (Runtime_error ("undefined function " ^ name))
+  in
+  let frame =
+    {
+      fn = f;
+      bindings = Hashtbl.create 16;
+      defers = [];
+      stack_objs = [];
+      temps = args;  (* keep args pinned until bound *)
+      gid = st.current.g_id;
+    }
+  in
+  st.current.g_frames <- frame :: st.current.g_frames;
+  let finish results =
+    run_defers st frame;
+    pop_all_scopes st frame;
+    st.current.g_frames <- List.tl st.current.g_frames;
+    results
+  in
+  match
+    List.iter2
+      (fun p arg -> declare_var st p (Value.copy arg))
+      f.Tast.f_params args;
+    exec_block st f.Tast.f_body
+  with
+  | () ->
+    (* fell off the end: zero values if the function declares results *)
+    finish
+      (List.map
+         (fun ty -> Value.zero st.program.Tast.p_tenv ty)
+         f.Tast.f_results)
+  | exception Return_values vs -> finish vs
+  | exception Panic v ->
+    (* run this frame's defers while unwinding; a recover() inside one of
+       them clears the panic and the function returns zero values *)
+    let outer = st.unwinding in
+    st.unwinding <- Some v;
+    run_defers st frame;
+    pop_all_scopes st frame;
+    st.current.g_frames <- List.tl st.current.g_frames;
+    (match st.unwinding with
+    | None ->
+      (* recovered *)
+      st.unwinding <- outer;
+      List.map
+        (fun ty -> Value.zero st.program.Tast.p_tenv ty)
+        f.Tast.f_results
+    | Some v ->
+      st.unwinding <- outer;
+      raise (Panic v))
+
+and run_defers st frame =
+  let defers = frame.defers in
+  frame.defers <- [];
+  List.iter (fun (name, args) -> ignore (call_function st name args)) defers
+
+and pop_all_scopes st frame =
+  List.iter
+    (fun objs -> List.iter (fun o -> Rt.Heap.release_stack st.heap o) objs)
+    frame.stack_objs;
+  frame.stack_objs <- []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and exec_block st (b : Tast.block) =
+  ignore (push_scope st);
+  match List.iter (exec_stmt st) b.Tast.b_stmts with
+  | () -> pop_scope st
+  | exception e ->
+    pop_scope st;
+    raise e
+
+and exec_stmt st (s : Tast.stmt) =
+  safepoint st;
+  match s with
+  | Tast.Sdecl (v, init) ->
+    let value =
+      match init with
+      | Some e -> Value.copy (eval st e)
+      | None -> Value.zero st.program.Tast.p_tenv v.Tast.v_ty
+    in
+    declare_var st v value
+  | Tast.Smulti_decl (vars, e) -> begin
+    match eval st e with
+    | Value.VTuple vs when List.length vs = List.length vars ->
+      List.iter2 (fun v value -> declare_var st v (Value.copy value)) vars
+        vs
+    | _ -> raise (Runtime_error "multi-value declaration mismatch")
+  end
+  | Tast.Sassign (lv, e) -> assign st lv (eval st e)
+  | Tast.Smulti_assign (lvs, e) -> begin
+    match eval st e with
+    | Value.VTuple vs when List.length vs = List.length lvs ->
+      (* resolve targets left to right, then assign *)
+      List.iter2 (fun lv v -> assign st lv v) lvs vs
+    | _ -> raise (Runtime_error "multi-value assignment mismatch")
+  end
+  | Tast.Sexpr e -> ignore (eval st e)
+  | Tast.Sif (c, b1, b2) ->
+    if truthy (eval st c) then exec_block st b1
+    else Option.iter (exec_block st) b2
+  | Tast.Sfor (init, cond, post, body) ->
+    ignore (push_scope st);
+    let cleanup f = match f () with
+      | x -> pop_scope st; x
+      | exception e -> pop_scope st; raise e
+    in
+    cleanup (fun () ->
+        Option.iter (exec_stmt st) init;
+        let rec loop () =
+          safepoint st;
+          let continue_loop =
+            match cond with Some c -> truthy (eval st c) | None -> true
+          in
+          if continue_loop then begin
+            (match exec_block st body with
+            | () -> Option.iter (exec_stmt st) post
+            | exception Break_loop -> raise Exit
+            | exception Continue_loop -> Option.iter (exec_stmt st) post);
+            loop ()
+          end
+        in
+        try loop () with Exit -> ())
+  | Tast.Sforrange_map (v, m, body) -> begin
+    match eval st m with
+    | Value.VMap addr ->
+      (* snapshot the keys so mutation during iteration is well-defined *)
+      let _, buckets = map_data st addr in
+      let keys =
+        Array.fold_left
+          (fun acc entries -> List.rev_append (List.map fst entries) acc)
+          [] buckets
+      in
+      (try
+         List.iter
+           (fun key ->
+             safepoint st;
+             declare_var st v (Value.copy key);
+             match exec_block st body with
+             | () -> ()
+             | exception Break_loop -> raise Exit
+             | exception Continue_loop -> ())
+           (List.rev keys)
+       with Exit -> ())
+    | Value.VNil -> ()
+    | _ -> raise (Runtime_error "range over non-map")
+  end
+  | Tast.Sreturn es ->
+    let vs = List.map (fun e -> Value.copy (eval st e)) es in
+    raise (Return_values vs)
+  | Tast.Sblock b -> exec_block st b
+  | Tast.Sgo (name, args) ->
+    let args = List.map (fun a -> Value.copy (eval st a)) args in
+    spawn_goroutine st name args
+  | Tast.Sdefer (name, args) ->
+    let args = List.map (fun a -> Value.copy (eval st a)) args in
+    let f = cur_frame st in
+    f.defers <- (name, args) :: f.defers
+  | Tast.Spanic e -> raise (Panic (eval st e))
+  | Tast.Sbreak -> raise Break_loop
+  | Tast.Scontinue -> raise Continue_loop
+  | Tast.Sdelete (m, k) -> begin
+    let vm = eval st m in
+    let vk = eval st k in
+    match vm with
+    | Value.VMap addr -> map_delete st addr vk
+    | Value.VNil -> ()
+    | _ -> raise (Runtime_error "delete on non-map")
+  end
+  | Tast.Sprint es ->
+    let parts = List.map (fun e -> Value.to_string (eval st e)) es in
+    Buffer.add_string st.output (String.concat " " parts);
+    Buffer.add_char st.output '\n'
+  | Tast.Stcfree (v, kind) -> exec_tcfree st v kind
+
+and spawn_goroutine st name args =
+  let g = { g_id = Sched.fresh_gid st.sched; g_frames = [] } in
+  st.goroutines <- g :: st.goroutines;
+  Sched.spawn st.sched
+    ~on_resume:(fun () -> st.current <- g)
+    (fun () ->
+      (match call_function st name args with
+      | _ -> ()
+      | exception Panic v ->
+        Buffer.add_string st.output ("panic: " ^ Value.to_string v ^ "\n");
+        raise (Panic v));
+      st.goroutines <- List.filter (fun g' -> g' != g) st.goroutines)
+
+(* The inserted explicit free (§4.5): read the pointer's current value
+   and hand the referent to the matching tcfree variant (Table 4). *)
+and exec_tcfree st (v : Tast.var) (kind : Tast.free_kind) =
+  let thread = cur_thread st in
+  match Hashtbl.find_opt (cur_frame st).bindings v.Tast.v_id with
+  | None -> ()  (* declaration never executed on this path *)
+  | Some b -> begin
+    match (binding_cell b).Value.v with
+    | Value.VSlice s when kind = Tast.Free_slice ->
+      (* TcfreeSlice: unwrap the backing array's address *)
+      ignore
+        (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_slice
+           s.Value.s_addr)
+    | Value.VMap addr when kind = Tast.Free_map -> begin
+      (* TcfreeMap: unwrap the bucket array's address *)
+      match Rt.Heap.find_obj st.heap addr with
+      | Some { Rt.Heap.payload = Value.Pmap md; _ } ->
+        ignore
+          (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_map
+             md.Value.md_buckets);
+        ignore
+          (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_map addr)
+      | _ -> ()
+    end
+    | Value.VPtr p when kind = Tast.Free_obj ->
+      if p.Value.p_owner > 0 then
+        ignore
+          (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_slice
+             p.Value.p_owner)
+    | Value.VNil | Value.VPoison -> ()
+    | _ -> ()
+  end

@@ -1,0 +1,76 @@
+(** Tree-walking interpreter for instrumented MiniGo over the simulated
+    GoFree runtime.  Goroutines are cooperative fibers; GC runs only at
+    statement-boundary safepoints; tcfree statements call the runtime's
+    free family. *)
+
+open Minigo
+module Rt = Gofree_runtime
+
+exception Runtime_error of string
+
+exception Panic of Value.value
+
+exception Return_values of Value.value list
+
+exception Break_loop
+
+exception Continue_loop
+
+(** A variable's storage: a frame cell, or a 1-cell heap box when its
+    address escapes (the analysis decides). *)
+type binding =
+  | Bdirect of Value.cell
+  | Bboxed of int * Value.cell
+
+type frame = {
+  fn : Tast.func;
+  bindings : (int, binding) Hashtbl.t;
+  mutable defers : (string * Value.value list) list;
+  mutable stack_objs : Rt.Heap.obj list list;
+  mutable temps : Value.value list;
+      (** GC pins for values produced in the current statement *)
+  gid : int;
+}
+
+type goroutine = { g_id : int; mutable g_frames : frame list }
+
+type run_config = {
+  heap_config : Rt.Heap.config;
+  seed : int64;  (** PRNG seed for MiniGo's [rand] *)
+  max_steps : int;  (** hard budget; exceeded = [Runtime_error] *)
+  yield_every : int;  (** steps between goroutine switches *)
+  nprocs : int;  (** logical processors (mcaches) *)
+  migrate_every : int;  (** yields between simulated P migrations *)
+}
+
+val default_config : run_config
+
+type state = {
+  program : Tast.program;
+  decisions : Decisions.t;
+  heap : Rt.Heap.t;
+  sched : Sched.t;
+  output : Buffer.t;
+  globals : (int, Value.cell) Hashtbl.t;
+  funcs : (string, Tast.func) Hashtbl.t;
+  config : run_config;
+  mutable goroutines : goroutine list;
+  mutable current : goroutine;
+  mutable steps : int;
+  mutable rng : int64;
+  mutable next_scope_token : int;
+  mutable unwinding : Value.value option;
+      (** the active panic value while defers run during unwinding *)
+}
+
+(** Enumerate every root address: globals, all goroutines' frame
+    bindings, statement pins and pending defer arguments. *)
+val iter_roots : state -> (int -> unit) -> unit
+
+val eval : state -> Tast.expr -> Value.value
+
+(** Call a MiniGo function with already-evaluated arguments; runs its
+    defers on both normal exit and panic unwind. *)
+val call_function : state -> string -> Value.value list -> Value.value list
+
+val exec_block : state -> Tast.block -> unit

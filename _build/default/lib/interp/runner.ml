@@ -1,0 +1,146 @@
+(** Top-level execution of a compiled MiniGo program: sets up the heap,
+    scheduler and globals, runs [main] (plus all goroutines) to
+    completion, performs the final accounting sweep and returns the
+    collected output and metrics. *)
+
+open Minigo
+module Rt = Gofree_runtime
+
+type result = {
+  output : string;
+  metrics : Rt.Metrics.t;
+  wall_ns : int64;
+  steps : int;
+  panicked : bool;
+}
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(** Run a compiled program.  Raises {!Value.Corruption} if poison mode
+    detects a wrong explicit free, and {!Interp.Runtime_error} on
+    interpreter-level failures. *)
+let run ?(config = Interp.default_config)
+    (compiled : Gofree_core.Pipeline.compiled) : result =
+  let program = compiled.Gofree_core.Pipeline.c_program in
+  let decisions =
+    Decisions.of_analysis compiled.Gofree_core.Pipeline.c_analysis program
+  in
+  let heap =
+    Rt.Heap.create ~config:config.Interp.heap_config
+      ~nprocs:config.Interp.nprocs ()
+  in
+  let sched =
+    Sched.create ~nprocs:config.Interp.nprocs
+      ~migrate_every:config.Interp.migrate_every
+  in
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Tast.func) -> Hashtbl.replace funcs f.Tast.f_name f)
+    program.Tast.p_funcs;
+  let main_g = { Interp.g_id = 0; g_frames = [] } in
+  let st =
+    {
+      Interp.program;
+      decisions;
+      heap;
+      sched;
+      output = Buffer.create 256;
+      globals = Hashtbl.create 16;
+      funcs;
+      config;
+      goroutines = [ main_g ];
+      current = main_g;
+      steps = 0;
+      rng = config.Interp.seed;
+      next_scope_token = 0;
+      unwinding = None;
+    }
+  in
+  heap.Rt.Heap.trace_payload <- Value.trace_payload;
+  heap.Rt.Heap.poison_payload <- Value.poison_payload;
+  heap.Rt.Heap.iter_roots <- (fun k -> Interp.iter_roots st k);
+  let panicked = ref false in
+  let t0 = now_ns () in
+  (* Globals are evaluated in a synthetic frame of main's goroutine. *)
+  let boot () =
+    let boot_frame =
+      {
+        Interp.fn =
+          (match Hashtbl.find_opt funcs "main" with
+          | Some f -> f
+          | None -> raise (Interp.Runtime_error "no main function"));
+        bindings = Hashtbl.create 4;
+        defers = [];
+        stack_objs = [];
+        temps = [];
+        gid = 0;
+      }
+    in
+    main_g.Interp.g_frames <- [ boot_frame ];
+    List.iter
+      (fun ((v : Tast.var), init) ->
+        let value =
+          match init with
+          | Some e -> Value.copy (Interp.eval st e)
+          | None -> Value.zero program.Tast.p_tenv v.Tast.v_ty
+        in
+        Hashtbl.replace st.Interp.globals v.Tast.v_id (Value.cell value))
+      program.Tast.p_globals;
+    main_g.Interp.g_frames <- [];
+    match Interp.call_function st "main" [] with
+    | _ -> ()
+    | exception Interp.Panic v ->
+      Buffer.add_string st.Interp.output
+        ("panic: " ^ Value.to_string v ^ "\n");
+      panicked := true
+  in
+  (match Sched.run sched ~on_resume:(fun () -> st.Interp.current <- main_g)
+           boot
+   with
+  | () -> ()
+  | exception Interp.Panic v ->
+    (* a goroutine's unrecovered panic aborts the program, like Go *)
+    Buffer.add_string st.Interp.output
+      ("panic: " ^ Value.to_string v ^ "\n");
+    panicked := true);
+  let t1 = now_ns () in
+  (* Final accounting sweep: everything still live is attributed to GC
+     reclamation for the Table 8 denominators, without counting an extra
+     cycle. *)
+  st.Interp.goroutines <- [];
+  heap.Rt.Heap.iter_roots <- (fun _ -> ());
+  let saved_cycles = heap.Rt.Heap.metrics.Rt.Metrics.gc_cycles in
+  let saved_time = heap.Rt.Heap.metrics.Rt.Metrics.gc_time_ns in
+  Rt.Gc_collector.collect heap;
+  heap.Rt.Heap.metrics.Rt.Metrics.gc_cycles <- saved_cycles;
+  heap.Rt.Heap.metrics.Rt.Metrics.gc_time_ns <- saved_time;
+  heap.Rt.Heap.metrics.Rt.Metrics.max_heap_pages <-
+    Rt.Pageheap.max_used_bytes heap.Rt.Heap.pages;
+  {
+    output = Buffer.contents st.Interp.output;
+    metrics = heap.Rt.Heap.metrics;
+    wall_ns = Int64.sub t1 t0;
+    steps = st.Interp.steps;
+    panicked = !panicked;
+  }
+
+(** Convenience: compile under [gofree_config] and run.  The runtime's
+    map-growth freeing follows the compile-time setting unless the caller
+    supplies an explicit [run_config]. *)
+let compile_and_run ?(gofree_config = Gofree_core.Config.gofree)
+    ?run_config (source : string) : result =
+  let compiled = Gofree_core.Pipeline.compile ~config:gofree_config source in
+  let config =
+    match run_config with
+    | Some c -> c
+    | None ->
+      {
+        Interp.default_config with
+        heap_config =
+          {
+            Rt.Heap.default_config with
+            grow_map_free_old = gofree_config.Gofree_core.Config.insert_tcfree;
+          };
+      }
+  in
+  run ~config compiled

@@ -1,0 +1,27 @@
+(** Top-level execution of a compiled MiniGo program against the
+    simulated GoFree runtime. *)
+
+module Rt = Gofree_runtime
+
+type result = {
+  output : string;  (** everything [println] produced *)
+  metrics : Rt.Metrics.t;
+  wall_ns : int64;
+  steps : int;
+  panicked : bool;
+}
+
+(** Run a compiled program to completion (main plus all goroutines), then
+    perform the final accounting sweep.  Raises
+    {!Gofree_interp.Value.Corruption} when poison mode detects a wrong
+    free. *)
+val run : ?config:Interp.run_config -> Gofree_core.Pipeline.compiled -> result
+
+(** Compile under [gofree_config] and run; the runtime's map-growth
+    freeing follows the compile-time setting unless [run_config] is
+    given. *)
+val compile_and_run :
+  ?gofree_config:Gofree_core.Config.t ->
+  ?run_config:Interp.run_config ->
+  string ->
+  result

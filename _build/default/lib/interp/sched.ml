@@ -1,0 +1,83 @@
+(** Cooperative goroutine scheduler on OCaml 5 effect handlers.
+
+    Every goroutine is a fiber; the interpreter performs {!Yield} at
+    regular step intervals and the scheduler round-robins the run queue.
+    Each goroutine is pinned to a logical processor (P) whose mcache it
+    allocates from; periodic migration between Ps reproduces the
+    "mspan ownership changed" give-up path of the paper's tcfree (§5). *)
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+type t = {
+  runq : (unit -> unit) Queue.t;
+  mutable next_gid : int;
+  nprocs : int;
+  migrate_every : int;  (** yield count between simulated P migrations *)
+  mutable yields : int;
+}
+
+let create ~nprocs ~migrate_every =
+  { runq = Queue.create (); next_gid = 0; nprocs; migrate_every; yields = 0 }
+
+let yield () = perform Yield
+
+(** Wrap [body] as a fiber whose [Yield]s re-enqueue it.  [on_resume] runs
+    before the body starts and before every resumption — the interpreter
+    uses it to reinstall the goroutine as the current one. *)
+let rec run_task (t : t) ~(on_resume : unit -> unit) (body : unit -> unit) :
+    unit =
+  match_with
+    (fun () ->
+      on_resume ();
+      body ())
+    ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                t.yields <- t.yields + 1;
+                Queue.add
+                  (fun () ->
+                    on_resume ();
+                    continue k ())
+                  t.runq)
+          | _ -> None);
+    }
+
+and drain (t : t) =
+  match Queue.take_opt t.runq with
+  | None -> ()
+  | Some task ->
+    task ();
+    drain t
+
+(** Run [main] plus every goroutine it spawns, to completion.  Exceptions
+    escape (a MiniGo panic aborts the whole program, like Go). *)
+let run (t : t) ?(on_resume = fun () -> ()) (main : unit -> unit) =
+  run_task t ~on_resume main;
+  drain t
+
+let spawn (t : t) ?(on_resume = fun () -> ()) (body : unit -> unit) =
+  t.next_gid <- t.next_gid + 1;
+  Queue.add (fun () -> run_task t ~on_resume body) t.runq
+
+let fresh_gid (t : t) =
+  t.next_gid <- t.next_gid + 1;
+  t.next_gid
+
+(** The P a goroutine should currently use: base assignment plus a slow
+    round-robin drift with the global yield count, so long-running
+    goroutines occasionally change mcache. *)
+let pid_for (t : t) ~gid =
+  let drift =
+    if t.migrate_every <= 0 then 0 else t.yields / t.migrate_every
+  in
+  (gid + drift) mod t.nprocs

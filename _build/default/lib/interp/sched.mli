@@ -1,0 +1,36 @@
+(** Cooperative goroutine scheduler on OCaml 5 effect handlers.
+
+    The interpreter performs {!Yield} at regular step intervals; the
+    scheduler round-robins a run queue of fibers.  Goroutines are pinned
+    to logical processors with occasional migration, exercising the
+    mspan-ownership give-up path of the paper's tcfree (§5). *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+type t = {
+  runq : (unit -> unit) Queue.t;
+  mutable next_gid : int;
+  nprocs : int;
+  migrate_every : int;
+  mutable yields : int;
+}
+
+val create : nprocs:int -> migrate_every:int -> t
+
+(** Suspend the current fiber; it re-enters the run queue. *)
+val yield : unit -> unit
+
+(** Run [main] and every fiber it spawns, to completion.  [on_resume]
+    fires before the main body and before each of its resumptions.
+    Exceptions escape (a MiniGo panic aborts the program, like Go). *)
+val run : t -> ?on_resume:(unit -> unit) -> (unit -> unit) -> unit
+
+(** Enqueue a new fiber. *)
+val spawn : t -> ?on_resume:(unit -> unit) -> (unit -> unit) -> unit
+
+val fresh_gid : t -> int
+
+(** The logical processor a goroutine currently uses: its base
+    assignment plus a slow round-robin drift with the global yield
+    count. *)
+val pid_for : t -> gid:int -> int

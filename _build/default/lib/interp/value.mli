@@ -1,0 +1,78 @@
+(** Runtime values of MiniGo and their payload representation inside the
+    simulated heap.
+
+    All mutable storage is a {!cell}; a pointer is an (owner address,
+    cell) pair so the GC can keep the owning heap object alive while the
+    interpreter mutates through the cell directly. *)
+
+type cell = { mutable v : value }
+
+and value =
+  | VUnit
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VStr of string
+  | VNil
+  | VPtr of ptr
+  | VSlice of slice
+  | VMap of int  (** address of the map header object *)
+  | VStruct of cell array  (** value semantics: copied on assignment *)
+  | VTuple of value list  (** multi-value call result *)
+  | VPoison  (** contents of mock-freed memory (§6.8) *)
+
+and ptr = {
+  p_owner : int;  (** heap/stack object owning the cell; 0 = frame slot *)
+  p_cell : cell;
+}
+
+and slice = {
+  s_addr : int;  (** backing-array object *)
+  s_cells : cell array;  (** shared backing store *)
+  s_off : int;  (** view offset into the backing array *)
+  s_len : int;  (** view length; capacity = Array.length s_cells − s_off *)
+}
+
+type map_data = {
+  mutable md_buckets : int;
+  mutable md_nbuckets : int;
+  mutable md_count : int;
+  md_entry_size : int;
+}
+
+type Gofree_runtime.Heap.payload +=
+  | Pcells of cell array  (** slice backing array, or a 1-cell box *)
+  | Pmap of map_data
+  | Pbuckets of (value * value) list array
+
+exception Corruption of string
+(** read of poisoned memory: a wrong explicit free was observed *)
+
+val cell : value -> cell
+
+(** Read a cell; raises {!Corruption} on poison. *)
+val read_cell : cell -> value
+
+(** Assignment copy: deep for struct values, identity otherwise. *)
+val copy : value -> value
+
+(** Zero value of a type (Go semantics). *)
+val zero : Minigo.Types.env -> Minigo.Types.t -> value
+
+(** Heap addresses referenced by a value (GC tracing). *)
+val trace : value -> (int -> unit) -> unit
+
+(** Payload tracer registered with the heap. *)
+val trace_payload : Gofree_runtime.Heap.payload -> (int -> unit) -> unit
+
+(** Poison-mode payload corruption: every owned cell becomes [VPoison]. *)
+val poison_payload : Gofree_runtime.Heap.payload -> unit
+
+(** Structural equality for map keys. *)
+val equal_key : value -> value -> bool
+
+val hash_key : value -> int
+
+(** Deterministic textual form for [println] (addresses hidden so output
+    is identical across compiler settings). *)
+val to_string : value -> string

@@ -1,0 +1,1 @@
+lib/minigo/ast.ml: Token

@@ -1,0 +1,1 @@
+lib/minigo/lexer.ml: Buffer Format List String Token

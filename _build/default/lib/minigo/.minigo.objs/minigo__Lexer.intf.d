@@ -1,0 +1,1 @@
+lib/minigo/lexer.mli: Token

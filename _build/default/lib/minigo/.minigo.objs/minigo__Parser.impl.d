@@ -1,0 +1,1 @@
+lib/minigo/parser.ml: Ast Format Lexer List Token

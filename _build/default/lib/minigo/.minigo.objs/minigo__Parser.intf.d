@@ -1,0 +1,1 @@
+lib/minigo/parser.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/minigo/pretty.ml: Ast Format List Printf String Tast Types

@@ -1,0 +1,1 @@
+lib/minigo/pretty.mli: Ast Format Tast

@@ -1,0 +1,1 @@
+lib/minigo/tast.ml: Ast List Option String Token Types

@@ -1,0 +1,1 @@
+lib/minigo/token.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/minigo/typecheck.ml: Ast Format Hashtbl List Option Printf Tast Token Types

@@ -1,0 +1,1 @@
+lib/minigo/typecheck.mli: Ast Tast Token

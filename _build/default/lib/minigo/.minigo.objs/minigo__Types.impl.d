@@ -1,0 +1,1 @@
+lib/minigo/types.ml: Hashtbl List Printf String

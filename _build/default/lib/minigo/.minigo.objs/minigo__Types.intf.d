@@ -1,0 +1,1 @@
+lib/minigo/types.mli: Hashtbl

@@ -1,0 +1,134 @@
+(** Surface (parsed, untyped) abstract syntax of MiniGo.
+
+    The parser produces this AST; {!Typecheck} resolves names, checks types
+    and lowers it to the typed AST ({!Tast}) consumed by the escape analysis
+    and the interpreter. *)
+
+type pos = Token.pos
+
+(** Surface types as written by the programmer. [Tyname] refers to a
+    declared struct type. *)
+type ty =
+  | Tyint
+  | Tybool
+  | Tystring
+  | Tyfloat
+  | Typtr of ty
+  | Tyslice of ty
+  | Tymap of ty * ty
+  | Tyname of string
+
+type unop =
+  | Uneg  (** arithmetic negation *)
+  | Unot  (** boolean not *)
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Band_bits  (** [&] *)
+  | Bor_bits  (** [|] *)
+  | Bxor  (** [^] *)
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Band
+  | Bor
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Eint of int
+  | Efloat of float
+  | Ebool of bool
+  | Estring of string
+  | Enil
+  | Eident of string
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+  | Eaddr of expr  (** [&e] *)
+  | Ederef of expr  (** [*e] *)
+  | Eindex of expr * expr  (** [e1\[e2\]] on slices, maps and strings *)
+  | Eslice of expr * expr option * expr option
+      (** [e\[lo:hi\]] on slices and strings; either bound may be omitted *)
+  | Efield of expr * string  (** [e.f]; auto-dereferences pointer receivers *)
+  | Ecall of string * expr list
+  | Emake of ty * expr list  (** [make(\[\]T, len\[, cap\])], [make(map\[K\]V)] *)
+  | Enew of ty  (** [new(T)] *)
+  | Ecomposite of ty * (string option * expr) list
+      (** struct literal [T{f: e, ...}] or slice literal [\[\]T{e, ...}] *)
+  | Eappend of expr * expr list
+  | Elen of expr
+  | Ecap of expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sdecl of string list * ty option * expr list
+      (** [var x T = e] or [x, y := e1, e2]; one rhs call may produce
+          several values *)
+  | Sassign of expr list * expr list  (** lhs must be addressable *)
+  | Sop_assign of expr * binop * expr  (** [x += e] and friends *)
+  | Sincr of expr  (** [x++] *)
+  | Sdecr of expr  (** [x--] *)
+  | Sexpr of expr
+  | Sif of expr * block * stmt option
+      (** else branch is [Sblock] or a nested [Sif] *)
+  | Sfor of stmt option * expr option * stmt option * block
+  | Sforrange of string * expr * block  (** [for i := range e] *)
+  | Sreturn of expr list
+  | Sblock of block
+  | Sgo of expr  (** argument must be a call *)
+  | Sdefer of expr  (** argument must be a call *)
+  | Spanic of expr
+  | Sbreak
+  | Scontinue
+  | Sdelete of expr * expr  (** [delete(m, k)] *)
+  | Sprint of expr list  (** [println(...)]: observable output *)
+
+and block = stmt list
+
+type func_decl = {
+  fd_name : string;
+  fd_params : (string * ty) list;
+  fd_results : ty list;
+  fd_body : block;
+  fd_pos : pos;
+}
+
+type struct_decl = {
+  sd_name : string;
+  sd_fields : (string * ty) list;
+  sd_pos : pos;
+}
+
+type global_decl = {
+  gd_name : string;
+  gd_ty : ty option;
+  gd_init : expr option;
+  gd_pos : pos;
+}
+
+type top_decl =
+  | Dfunc of func_decl
+  | Dstruct of struct_decl
+  | Dglobal of global_decl
+
+type program = top_decl list
+
+let rec ty_to_string = function
+  | Tyint -> "int"
+  | Tybool -> "bool"
+  | Tystring -> "string"
+  | Tyfloat -> "float"
+  | Typtr t -> "*" ^ ty_to_string t
+  | Tyslice t -> "[]" ^ ty_to_string t
+  | Tymap (k, v) -> "map[" ^ ty_to_string k ^ "]" ^ ty_to_string v
+  | Tyname s -> s

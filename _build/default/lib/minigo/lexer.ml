@@ -1,0 +1,241 @@
+(** Hand-written lexer for MiniGo with Go-style automatic semicolon
+    insertion: a newline terminates a statement when the last token on the
+    line could end one (see {!Token.ends_statement}). *)
+
+exception Error of string * Token.pos
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Error (s, pos))) fmt
+
+type state = {
+  src : string;
+  mutable off : int;  (** byte offset of the next unread character *)
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+  mutable last : Token.t;  (** last emitted significant token *)
+  mutable pending_semi : bool;
+}
+
+let make src =
+  { src; off = 0; line = 1; bol = 0; last = Token.EOF; pending_semi = false }
+
+let pos st : Token.pos = { line = st.line; col = st.off - st.bol + 1 }
+
+let at_end st = st.off >= String.length st.src
+
+let peek st = if at_end st then '\000' else st.src.[st.off]
+
+let peek2 st =
+  if st.off + 1 >= String.length st.src then '\000' else st.src.[st.off + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.src.[st.off] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.off + 1
+    end;
+    st.off <- st.off + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Skip whitespace and comments.  When a newline is crossed and the last
+   token ends a statement, record a pending semicolon to be emitted before
+   the next token. *)
+let rec skip_trivia st =
+  if at_end st then ()
+  else
+    match peek st with
+    | ' ' | '\t' | '\r' ->
+      advance st;
+      skip_trivia st
+    | '\n' ->
+      if Token.ends_statement st.last then st.pending_semi <- true;
+      advance st;
+      skip_trivia st
+    | '/' when peek2 st = '/' ->
+      while (not (at_end st)) && peek st <> '\n' do
+        advance st
+      done;
+      skip_trivia st
+    | '/' when peek2 st = '*' ->
+      let start = pos st in
+      advance st;
+      advance st;
+      let rec loop () =
+        if at_end st then error start "unterminated block comment"
+        else if peek st = '*' && peek2 st = '/' then begin
+          advance st;
+          advance st
+        end
+        else begin
+          (* A block comment containing a newline also triggers semicolon
+             insertion, as in Go. *)
+          if peek st = '\n' && Token.ends_statement st.last then
+            st.pending_semi <- true;
+          advance st;
+          loop ()
+        end
+      in
+      loop ();
+      skip_trivia st
+    | _ -> ()
+
+let lex_number st =
+  let start = st.off in
+  let start_pos = pos st in
+  while is_digit (peek st) do
+    advance st
+  done;
+  if peek st = '.' && is_digit (peek2 st) then begin
+    advance st;
+    while is_digit (peek st) do
+      advance st
+    done;
+    let s = String.sub st.src start (st.off - start) in
+    match float_of_string_opt s with
+    | Some f -> Token.FLOAT_LIT f
+    | None -> error start_pos "invalid float literal %S" s
+  end
+  else
+    let s = String.sub st.src start (st.off - start) in
+    match int_of_string_opt s with
+    | Some n -> Token.INT_LIT n
+    | None -> error start_pos "invalid integer literal %S" s
+
+let lex_string st =
+  let start_pos = pos st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if at_end st then error start_pos "unterminated string literal"
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\n' -> error start_pos "newline in string literal"
+      | '\\' ->
+        advance st;
+        let c =
+          match peek st with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '\\' -> '\\'
+          | '"' -> '"'
+          | '0' -> '\000'
+          | c -> error (pos st) "unknown escape sequence '\\%c'" c
+        in
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Token.STRING_LIT (Buffer.contents buf)
+
+let lex_ident st =
+  let start = st.off in
+  while is_ident_char (peek st) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.off - start) in
+  match Token.keyword_of_string s with Some kw -> kw | None -> Token.IDENT s
+
+(* Lex one raw token, assuming trivia has been skipped. *)
+let lex_raw st =
+  let p = pos st in
+  let tok =
+    if at_end st then Token.EOF
+    else
+      match peek st with
+      | c when is_digit c -> lex_number st
+      | c when is_ident_start c -> lex_ident st
+      | '"' -> lex_string st
+      | '(' -> advance st; Token.LPAREN
+      | ')' -> advance st; Token.RPAREN
+      | '{' -> advance st; Token.LBRACE
+      | '}' -> advance st; Token.RBRACE
+      | '[' -> advance st; Token.LBRACKET
+      | ']' -> advance st; Token.RBRACKET
+      | ',' -> advance st; Token.COMMA
+      | ';' -> advance st; Token.SEMI
+      | '.' -> advance st; Token.DOT
+      | ':' ->
+        advance st;
+        if peek st = '=' then (advance st; Token.DEFINE) else Token.COLON
+      | '=' ->
+        advance st;
+        if peek st = '=' then (advance st; Token.EQ) else Token.ASSIGN
+      | '!' ->
+        advance st;
+        if peek st = '=' then (advance st; Token.NE) else Token.BANG
+      | '<' ->
+        advance st;
+        if peek st = '=' then (advance st; Token.LE)
+        else if peek st = '<' then (advance st; Token.SHL)
+        else Token.LT
+      | '>' ->
+        advance st;
+        if peek st = '=' then (advance st; Token.GE)
+        else if peek st = '>' then (advance st; Token.SHR)
+        else Token.GT
+      | '+' ->
+        advance st;
+        if peek st = '+' then (advance st; Token.PLUSPLUS)
+        else if peek st = '=' then (advance st; Token.PLUS_ASSIGN)
+        else Token.PLUS
+      | '-' ->
+        advance st;
+        if peek st = '-' then (advance st; Token.MINUSMINUS)
+        else if peek st = '=' then (advance st; Token.MINUS_ASSIGN)
+        else Token.MINUS
+      | '*' ->
+        advance st;
+        if peek st = '=' then (advance st; Token.STAR_ASSIGN) else Token.STAR
+      | '/' -> advance st; Token.SLASH
+      | '%' -> advance st; Token.PERCENT
+      | '&' ->
+        advance st;
+        if peek st = '&' then (advance st; Token.AMPAMP) else Token.AMP
+      | '|' ->
+        advance st;
+        if peek st = '|' then (advance st; Token.BARBAR) else Token.BAR
+      | '^' -> advance st; Token.CARET
+      | c -> error p "unexpected character %C" c
+  in
+  (tok, p)
+
+let next st : Token.t * Token.pos =
+  skip_trivia st;
+  if st.pending_semi then begin
+    st.pending_semi <- false;
+    st.last <- Token.SEMI;
+    (Token.SEMI, pos st)
+  end
+  else begin
+    let tok, p = lex_raw st in
+    (* At end of file, terminate a dangling statement as Go does. *)
+    let tok, p =
+      if tok = Token.EOF && Token.ends_statement st.last then (Token.SEMI, p)
+      else (tok, p)
+    in
+    st.last <- tok;
+    (tok, p)
+  end
+
+(** Tokenize a whole source string (used by tests and the parser). *)
+let tokenize src =
+  let st = make src in
+  let rec loop acc =
+    let tok, p = next st in
+    if tok = Token.EOF then List.rev ((tok, p) :: acc)
+    else loop ((tok, p) :: acc)
+  in
+  loop []

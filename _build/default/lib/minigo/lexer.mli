@@ -1,0 +1,19 @@
+(** Hand-written lexer for MiniGo with Go-style automatic semicolon
+    insertion: a newline terminates a statement when the last token on
+    the line could end one. *)
+
+exception Error of string * Token.pos
+
+type state
+
+val make : string -> state
+
+(** Current position (1-based line/column). *)
+val pos : state -> Token.pos
+
+(** Next token, applying semicolon insertion; returns [EOF] forever once
+    exhausted. *)
+val next : state -> Token.t * Token.pos
+
+(** Tokenize a whole source string (tests, tooling). *)
+val tokenize : string -> (Token.t * Token.pos) list

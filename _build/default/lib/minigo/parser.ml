@@ -1,0 +1,639 @@
+(** Recursive-descent parser for MiniGo.
+
+    Precedence (loosest to tightest), following Go:
+    [||]  <  [&&]  <  comparisons  <  [+ -]  <  [* / %]  <  unary. *)
+
+exception Error of string * Token.pos
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Error (s, pos))) fmt
+
+type state = {
+  lexer : Lexer.state;
+  mutable tok : Token.t;
+  mutable pos : Token.pos;
+  mutable peeked : (Token.t * Token.pos) option;
+  mutable allow_composite : bool;
+      (** Go's composite-literal ambiguity: [T{...}] is not allowed at the
+          top level of an if/for header expression (the [{] would read as
+          the statement block); parentheses or brackets re-enable it. *)
+}
+
+let make src =
+  let lexer = Lexer.make src in
+  let tok, pos = Lexer.next lexer in
+  { lexer; tok; pos; peeked = None; allow_composite = true }
+
+(* Parse a control-flow header fragment with composite literals off. *)
+let in_header st f =
+  let saved = st.allow_composite in
+  st.allow_composite <- false;
+  match f () with
+  | result ->
+    st.allow_composite <- saved;
+    result
+  | exception e ->
+    st.allow_composite <- saved;
+    raise e
+
+(* Re-enable composite literals inside bracketing tokens. *)
+let in_brackets st f =
+  let saved = st.allow_composite in
+  st.allow_composite <- true;
+  match f () with
+  | result ->
+    st.allow_composite <- saved;
+    result
+  | exception e ->
+    st.allow_composite <- saved;
+    raise e
+
+let advance st =
+  match st.peeked with
+  | Some (tok, pos) ->
+    st.peeked <- None;
+    st.tok <- tok;
+    st.pos <- pos
+  | None ->
+    let tok, pos = Lexer.next st.lexer in
+    st.tok <- tok;
+    st.pos <- pos
+
+(* One-token lookahead beyond the current token. *)
+let peek_ahead st =
+  match st.peeked with
+  | Some (tok, _) -> tok
+  | None ->
+    let tok, pos = Lexer.next st.lexer in
+    st.peeked <- Some (tok, pos);
+    tok
+
+let expect st tok =
+  if st.tok = tok then advance st
+  else error st.pos "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string st.tok)
+
+let expect_ident st =
+  match st.tok with
+  | Token.IDENT s -> advance st; s
+  | t -> error st.pos "expected identifier but found %s" (Token.to_string t)
+
+let accept st tok = if st.tok = tok then (advance st; true) else false
+
+let skip_semis st =
+  while st.tok = Token.SEMI do
+    advance st
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Types                                                                 *)
+(* -------------------------------------------------------------------- *)
+
+let rec parse_type st : Ast.ty =
+  match st.tok with
+  | Token.IDENT "int" -> advance st; Ast.Tyint
+  | Token.IDENT "bool" -> advance st; Ast.Tybool
+  | Token.IDENT "string" -> advance st; Ast.Tystring
+  | Token.IDENT "float" -> advance st; Ast.Tyfloat
+  | Token.IDENT name -> advance st; Ast.Tyname name
+  | Token.STAR ->
+    advance st;
+    Ast.Typtr (parse_type st)
+  | Token.LBRACKET ->
+    advance st;
+    expect st Token.RBRACKET;
+    Ast.Tyslice (parse_type st)
+  | Token.KW_MAP ->
+    advance st;
+    expect st Token.LBRACKET;
+    let k = parse_type st in
+    expect st Token.RBRACKET;
+    let v = parse_type st in
+    Ast.Tymap (k, v)
+  | t -> error st.pos "expected a type but found %s" (Token.to_string t)
+
+(* -------------------------------------------------------------------- *)
+(* Expressions                                                           *)
+(* -------------------------------------------------------------------- *)
+
+let binop_of_token = function
+  | Token.PLUS -> Some Ast.Badd
+  | Token.MINUS -> Some Ast.Bsub
+  | Token.STAR -> Some Ast.Bmul
+  | Token.SLASH -> Some Ast.Bdiv
+  | Token.PERCENT -> Some Ast.Bmod
+  | Token.EQ -> Some Ast.Beq
+  | Token.NE -> Some Ast.Bne
+  | Token.LT -> Some Ast.Blt
+  | Token.LE -> Some Ast.Ble
+  | Token.GT -> Some Ast.Bgt
+  | Token.GE -> Some Ast.Bge
+  | Token.AMPAMP -> Some Ast.Band
+  | Token.BARBAR -> Some Ast.Bor
+  | Token.AMP -> Some Ast.Band_bits
+  | Token.BAR -> Some Ast.Bor_bits
+  | Token.CARET -> Some Ast.Bxor
+  | Token.SHL -> Some Ast.Bshl
+  | Token.SHR -> Some Ast.Bshr
+  | _ -> None
+
+let precedence = function
+  | Ast.Bor -> 1
+  | Ast.Band -> 2
+  | Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge -> 3
+  | Ast.Badd | Ast.Bsub | Ast.Bor_bits | Ast.Bxor -> 4
+  | Ast.Bmul | Ast.Bdiv | Ast.Bmod | Ast.Band_bits | Ast.Bshl | Ast.Bshr ->
+    5
+
+let mk pos desc : Ast.expr = { Ast.desc; pos }
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token st.tok with
+    | Some op when precedence op >= min_prec ->
+      let pos = st.pos in
+      advance st;
+      let rhs = parse_binary st (precedence op + 1) in
+      loop (mk pos (Ast.Ebinop (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let pos = st.pos in
+  match st.tok with
+  | Token.MINUS ->
+    advance st;
+    mk pos (Ast.Eunop (Ast.Uneg, parse_unary st))
+  | Token.BANG ->
+    advance st;
+    mk pos (Ast.Eunop (Ast.Unot, parse_unary st))
+  | Token.STAR ->
+    advance st;
+    mk pos (Ast.Ederef (parse_unary st))
+  | Token.AMP ->
+    advance st;
+    mk pos (Ast.Eaddr (parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    match st.tok with
+    | Token.LBRACKET ->
+      let pos = st.pos in
+      advance st;
+      let e' =
+        in_brackets st (fun () ->
+            if accept st Token.COLON then begin
+              (* e[:hi] or e[:] *)
+              let hi =
+                if st.tok = Token.RBRACKET then None
+                else Some (parse_expr st)
+              in
+              expect st Token.RBRACKET;
+              mk pos (Ast.Eslice (e, None, hi))
+            end
+            else begin
+              let first = parse_expr st in
+              if accept st Token.COLON then begin
+                let hi =
+                  if st.tok = Token.RBRACKET then None
+                  else Some (parse_expr st)
+                in
+                expect st Token.RBRACKET;
+                mk pos (Ast.Eslice (e, Some first, hi))
+              end
+              else begin
+                expect st Token.RBRACKET;
+                mk pos (Ast.Eindex (e, first))
+              end
+            end)
+      in
+      loop e'
+    | Token.DOT ->
+      let pos = st.pos in
+      advance st;
+      let f = expect_ident st in
+      loop (mk pos (Ast.Efield (e, f)))
+    | _ -> e
+  in
+  loop e
+
+and parse_call_args st =
+  expect st Token.LPAREN;
+  if accept st Token.RPAREN then []
+  else
+    in_brackets st (fun () ->
+        let rec loop acc =
+          let e = parse_expr st in
+          if accept st Token.COMMA then loop (e :: acc)
+          else begin
+            expect st Token.RPAREN;
+            List.rev (e :: acc)
+          end
+        in
+        loop [])
+
+and parse_primary st =
+  let pos = st.pos in
+  match st.tok with
+  | Token.INT_LIT n -> advance st; mk pos (Ast.Eint n)
+  | Token.FLOAT_LIT f -> advance st; mk pos (Ast.Efloat f)
+  | Token.STRING_LIT s -> advance st; mk pos (Ast.Estring s)
+  | Token.KW_TRUE -> advance st; mk pos (Ast.Ebool true)
+  | Token.KW_FALSE -> advance st; mk pos (Ast.Ebool false)
+  | Token.KW_NIL -> advance st; mk pos Ast.Enil
+  | Token.LPAREN ->
+    advance st;
+    let e = in_brackets st (fun () -> parse_expr st) in
+    expect st Token.RPAREN;
+    e
+  | Token.LBRACKET ->
+    (* slice literal: []T{e1, e2, ...} *)
+    let ty = parse_type st in
+    parse_composite st pos ty
+  | Token.KW_MAP ->
+    let ty = parse_type st in
+    parse_composite st pos ty
+  | Token.IDENT "make" when peek_ahead st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let ty = parse_type st in
+    let args =
+      if accept st Token.COMMA then
+        let rec loop acc =
+          let e = parse_expr st in
+          if accept st Token.COMMA then loop (e :: acc) else List.rev (e :: acc)
+        in
+        loop []
+      else []
+    in
+    expect st Token.RPAREN;
+    mk pos (Ast.Emake (ty, args))
+  | Token.IDENT "new" when peek_ahead st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let ty = parse_type st in
+    expect st Token.RPAREN;
+    mk pos (Ast.Enew ty)
+  | Token.IDENT "append" when peek_ahead st = Token.LPAREN ->
+    advance st;
+    let args = parse_call_args st in
+    (match args with
+    | s :: (_ :: _ as rest) -> mk pos (Ast.Eappend (s, rest))
+    | _ -> error pos "append needs a slice and at least one element")
+  | Token.IDENT "len" when peek_ahead st = Token.LPAREN ->
+    advance st;
+    (match parse_call_args st with
+    | [ e ] -> mk pos (Ast.Elen e)
+    | _ -> error pos "len takes exactly one argument")
+  | Token.IDENT "cap" when peek_ahead st = Token.LPAREN ->
+    advance st;
+    (match parse_call_args st with
+    | [ e ] -> mk pos (Ast.Ecap e)
+    | _ -> error pos "cap takes exactly one argument")
+  | Token.IDENT name -> begin
+    advance st;
+    match st.tok with
+    | Token.LPAREN ->
+      let args = parse_call_args st in
+      mk pos (Ast.Ecall (name, args))
+    | Token.LBRACE when st.allow_composite ->
+      parse_composite st pos (Ast.Tyname name)
+    | _ -> mk pos (Ast.Eident name)
+  end
+  | t -> error pos "expected an expression but found %s" (Token.to_string t)
+
+(* T{...}: struct literal with optional field names, or slice literal. *)
+and parse_composite st pos ty =
+  expect st Token.LBRACE;
+  skip_semis st;
+  let fields = ref [] in
+  let rec loop () =
+    if st.tok = Token.RBRACE then ()
+    else begin
+      let entry =
+        match st.tok with
+        | Token.IDENT f when peek_ahead st = Token.COLON ->
+          advance st;
+          advance st;
+          (Some f, parse_expr st)
+        | _ -> (None, parse_expr st)
+      in
+      fields := entry :: !fields;
+      skip_semis st;
+      if accept st Token.COMMA then begin
+        skip_semis st;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  expect st Token.RBRACE;
+  mk pos (Ast.Ecomposite (ty, List.rev !fields))
+
+(* -------------------------------------------------------------------- *)
+(* Statements                                                            *)
+(* -------------------------------------------------------------------- *)
+
+let mks pos sdesc : Ast.stmt = { Ast.sdesc; spos = pos }
+
+let name_of_lhs (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Eident s -> s
+  | _ -> error e.Ast.pos "left-hand side of ':=' must be an identifier"
+
+(* A "simple statement": expression, assignment, short declaration,
+   increment.  Used both standalone and in for/if headers. *)
+let rec parse_simple_stmt st : Ast.stmt =
+  let pos = st.pos in
+  let lhs = parse_expr_list st in
+  match st.tok with
+  | Token.DEFINE ->
+    advance st;
+    let names = List.map name_of_lhs lhs in
+    let rhs = parse_expr_list st in
+    mks pos (Ast.Sdecl (names, None, rhs))
+  | Token.ASSIGN ->
+    advance st;
+    let rhs = parse_expr_list st in
+    mks pos (Ast.Sassign (lhs, rhs))
+  | Token.PLUS_ASSIGN | Token.MINUS_ASSIGN | Token.STAR_ASSIGN ->
+    let op =
+      match st.tok with
+      | Token.PLUS_ASSIGN -> Ast.Badd
+      | Token.MINUS_ASSIGN -> Ast.Bsub
+      | _ -> Ast.Bmul
+    in
+    advance st;
+    let rhs = parse_expr st in
+    (match lhs with
+    | [ l ] -> mks pos (Ast.Sop_assign (l, op, rhs))
+    | _ -> error pos "compound assignment needs a single left-hand side")
+  | Token.PLUSPLUS ->
+    advance st;
+    (match lhs with
+    | [ l ] -> mks pos (Ast.Sincr l)
+    | _ -> error pos "'++' needs a single operand")
+  | Token.MINUSMINUS ->
+    advance st;
+    (match lhs with
+    | [ l ] -> mks pos (Ast.Sdecr l)
+    | _ -> error pos "'--' needs a single operand")
+  | _ ->
+    (match lhs with
+    | [ e ] -> mks pos (Ast.Sexpr e)
+    | _ -> error pos "expected assignment after expression list")
+
+and parse_expr_list st =
+  let rec loop acc =
+    let e = parse_expr st in
+    if accept st Token.COMMA then loop (e :: acc) else List.rev (e :: acc)
+  in
+  loop []
+
+and parse_block st : Ast.block =
+  expect st Token.LBRACE;
+  skip_semis st;
+  let rec loop acc =
+    if st.tok = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let s = parse_stmt st in
+      skip_semis st;
+      loop (s :: acc)
+    end
+  in
+  loop []
+
+and parse_stmt st : Ast.stmt =
+  let pos = st.pos in
+  match st.tok with
+  | Token.KW_VAR ->
+    advance st;
+    let name = expect_ident st in
+    let names = ref [ name ] in
+    while accept st Token.COMMA do
+      names := expect_ident st :: !names
+    done;
+    let ty = if st.tok <> Token.ASSIGN then Some (parse_type st) else None in
+    let init = if accept st Token.ASSIGN then parse_expr_list st else [] in
+    mks pos (Ast.Sdecl (List.rev !names, ty, init))
+  | Token.KW_IF -> parse_if st
+  | Token.KW_FOR -> parse_for st
+  | Token.KW_RETURN ->
+    advance st;
+    let exprs =
+      if st.tok = Token.SEMI || st.tok = Token.RBRACE then []
+      else parse_expr_list st
+    in
+    mks pos (Ast.Sreturn exprs)
+  | Token.LBRACE -> mks pos (Ast.Sblock (parse_block st))
+  | Token.KW_GO ->
+    advance st;
+    mks pos (Ast.Sgo (parse_expr st))
+  | Token.KW_DEFER ->
+    advance st;
+    mks pos (Ast.Sdefer (parse_expr st))
+  | Token.KW_PANIC ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    mks pos (Ast.Spanic e)
+  | Token.KW_BREAK -> advance st; mks pos Ast.Sbreak
+  | Token.KW_CONTINUE -> advance st; mks pos Ast.Scontinue
+  | Token.IDENT "delete" when peek_ahead st = Token.LPAREN ->
+    advance st;
+    (match parse_call_args st with
+    | [ m; k ] -> mks pos (Ast.Sdelete (m, k))
+    | _ -> error pos "delete takes a map and a key")
+  | Token.IDENT "println" when peek_ahead st = Token.LPAREN ->
+    advance st;
+    let args = parse_call_args st in
+    mks pos (Ast.Sprint args)
+  | _ -> parse_simple_stmt st
+
+and parse_if st : Ast.stmt =
+  let pos = st.pos in
+  expect st Token.KW_IF;
+  let cond = in_header st (fun () -> parse_expr st) in
+  let body = parse_block st in
+  let else_branch =
+    if accept st Token.KW_ELSE then
+      if st.tok = Token.KW_IF then Some (parse_if st)
+      else Some (mks st.pos (Ast.Sblock (parse_block st)))
+    else None
+  in
+  mks pos (Ast.Sif (cond, body, else_branch))
+
+and parse_for st : Ast.stmt =
+  let pos = st.pos in
+  expect st Token.KW_FOR;
+  if st.tok = Token.LBRACE then
+    (* for {} : infinite loop *)
+    mks pos (Ast.Sfor (None, None, None, parse_block st))
+  else begin
+    (* Distinguish:  for i := range e {...}
+                     for cond {...}
+                     for init; cond; post {...} *)
+    match st.tok with
+    | Token.IDENT name
+      when peek_ahead st = Token.DEFINE -> begin
+      (* could be range or a 3-clause with := init *)
+      let saved_name = name in
+      advance st;
+      (* now at := *)
+      advance st;
+      if st.tok = Token.KW_RANGE then begin
+        advance st;
+        let e = in_header st (fun () -> parse_expr st) in
+        let body = parse_block st in
+        mks pos (Ast.Sforrange (saved_name, e, body))
+      end
+      else begin
+        let rhs = in_header st (fun () -> parse_expr_list st) in
+        let init = mks pos (Ast.Sdecl ([ saved_name ], None, rhs)) in
+        expect st Token.SEMI;
+        let cond =
+          if st.tok = Token.SEMI then None
+          else Some (in_header st (fun () -> parse_expr st))
+        in
+        expect st Token.SEMI;
+        let post =
+          if st.tok = Token.LBRACE then None
+          else Some (in_header st (fun () -> parse_simple_stmt st))
+        in
+        let body = parse_block st in
+        mks pos (Ast.Sfor (Some init, cond, post, body))
+      end
+    end
+    | _ ->
+      let first = in_header st (fun () -> parse_simple_stmt st) in
+      if st.tok = Token.SEMI then begin
+        advance st;
+        let cond =
+          if st.tok = Token.SEMI then None
+          else Some (in_header st (fun () -> parse_expr st))
+        in
+        expect st Token.SEMI;
+        let post =
+          if st.tok = Token.LBRACE then None
+          else Some (in_header st (fun () -> parse_simple_stmt st))
+        in
+        let body = parse_block st in
+        mks pos (Ast.Sfor (Some first, cond, post, body))
+      end
+      else begin
+        (* "for cond { ... }" — first must be a bare expression *)
+        match first.Ast.sdesc with
+        | Ast.Sexpr cond ->
+          let body = parse_block st in
+          mks pos (Ast.Sfor (None, Some cond, None, body))
+        | _ -> error pos "expected ';' in for clause"
+      end
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Top-level declarations                                                *)
+(* -------------------------------------------------------------------- *)
+
+let parse_func st : Ast.func_decl =
+  let pos = st.pos in
+  expect st Token.KW_FUNC;
+  let name = expect_ident st in
+  expect st Token.LPAREN;
+  let params = ref [] in
+  if st.tok <> Token.RPAREN then begin
+    let rec loop () =
+      let pname = expect_ident st in
+      let pty = parse_type st in
+      params := (pname, pty) :: !params;
+      if accept st Token.COMMA then loop ()
+    in
+    loop ()
+  end;
+  expect st Token.RPAREN;
+  let results =
+    match st.tok with
+    | Token.LBRACE -> []
+    | Token.LPAREN ->
+      advance st;
+      let tys = ref [] in
+      let rec loop () =
+        (* allow "(r0 []int, r1 []int)" named results: name is optional *)
+        (match (st.tok, peek_ahead st) with
+        | Token.IDENT _, (Token.IDENT _ | Token.STAR | Token.LBRACKET | Token.KW_MAP) ->
+          ignore (expect_ident st)
+        | _ -> ());
+        tys := parse_type st :: !tys;
+        if accept st Token.COMMA then loop ()
+      in
+      loop ();
+      expect st Token.RPAREN;
+      List.rev !tys
+    | _ -> [ parse_type st ]
+  in
+  let body = parse_block st in
+  { Ast.fd_name = name; fd_params = List.rev !params; fd_results = results;
+    fd_body = body; fd_pos = pos }
+
+let parse_struct st : Ast.struct_decl =
+  let pos = st.pos in
+  expect st Token.KW_TYPE;
+  let name = expect_ident st in
+  expect st Token.KW_STRUCT;
+  expect st Token.LBRACE;
+  skip_semis st;
+  let fields = ref [] in
+  while st.tok <> Token.RBRACE do
+    let fname = expect_ident st in
+    let fnames = ref [ fname ] in
+    while accept st Token.COMMA do
+      fnames := expect_ident st :: !fnames
+    done;
+    let fty = parse_type st in
+    List.iter (fun n -> fields := (n, fty) :: !fields) (List.rev !fnames);
+    skip_semis st
+  done;
+  expect st Token.RBRACE;
+  { Ast.sd_name = name; sd_fields = List.rev !fields; sd_pos = pos }
+
+let parse_global st : Ast.global_decl =
+  let pos = st.pos in
+  expect st Token.KW_VAR;
+  let name = expect_ident st in
+  let ty = if st.tok <> Token.ASSIGN then Some (parse_type st) else None in
+  let init = if accept st Token.ASSIGN then Some (parse_expr st) else None in
+  { Ast.gd_name = name; gd_ty = ty; gd_init = init; gd_pos = pos }
+
+let parse_program st : Ast.program =
+  skip_semis st;
+  let rec loop acc =
+    match st.tok with
+    | Token.EOF -> List.rev acc
+    | Token.KW_FUNC ->
+      let f = parse_func st in
+      skip_semis st;
+      loop (Ast.Dfunc f :: acc)
+    | Token.KW_TYPE ->
+      let s = parse_struct st in
+      skip_semis st;
+      loop (Ast.Dstruct s :: acc)
+    | Token.KW_VAR ->
+      let g = parse_global st in
+      skip_semis st;
+      loop (Ast.Dglobal g :: acc)
+    | t ->
+      error st.pos "expected a top-level declaration but found %s"
+        (Token.to_string t)
+  in
+  loop []
+
+(** Parse a complete MiniGo source string. *)
+let parse src = parse_program (make src)

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for MiniGo.
+
+    Implements Go's composite-literal restriction: [T{...}] is not
+    recognized at the top level of an if/for header (the brace would read
+    as the statement block); parentheses or brackets re-enable it. *)
+
+exception Error of string * Token.pos
+
+(** Parse a complete source string into the surface AST. *)
+val parse : string -> Ast.program

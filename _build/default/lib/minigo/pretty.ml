@@ -1,0 +1,181 @@
+(** Pretty-printer for the typed AST.
+
+    Used by [gofreec --print-instrumented] to show where tcfree calls were
+    inserted, and by tests to check instrumentation placement. *)
+
+open Format
+
+let binop_str = function
+  | Ast.Badd -> "+"
+  | Ast.Bsub -> "-"
+  | Ast.Bmul -> "*"
+  | Ast.Bdiv -> "/"
+  | Ast.Bmod -> "%"
+  | Ast.Band_bits -> "&"
+  | Ast.Bor_bits -> "|"
+  | Ast.Bxor -> "^"
+  | Ast.Bshl -> "<<"
+  | Ast.Bshr -> ">>"
+  | Ast.Beq -> "=="
+  | Ast.Bne -> "!="
+  | Ast.Blt -> "<"
+  | Ast.Ble -> "<="
+  | Ast.Bgt -> ">"
+  | Ast.Bge -> ">="
+  | Ast.Band -> "&&"
+  | Ast.Bor -> "||"
+
+let rec pp_expr fmt (e : Tast.expr) =
+  match e.Tast.desc with
+  | Tast.Tint n -> fprintf fmt "%d" n
+  | Tast.Tfloat f -> fprintf fmt "%g" f
+  | Tast.Tbool b -> fprintf fmt "%b" b
+  | Tast.Tstring s -> fprintf fmt "%S" s
+  | Tast.Tnil -> pp_print_string fmt "nil"
+  | Tast.Tvar v -> pp_print_string fmt v.Tast.v_name
+  | Tast.Tbinop (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Tast.Tunop (Ast.Uneg, a) -> fprintf fmt "-%a" pp_expr a
+  | Tast.Tunop (Ast.Unot, a) -> fprintf fmt "!%a" pp_expr a
+  | Tast.Taddr lv -> fprintf fmt "&%a" pp_lvalue lv
+  | Tast.Tderef a -> fprintf fmt "*%a" pp_expr a
+  | Tast.Tindex (a, i) | Tast.Tmap_get (a, i) ->
+    fprintf fmt "%a[%a]" pp_expr a pp_expr i
+  | Tast.Tfield (a, _, name) -> fprintf fmt "%a.%s" pp_expr a name
+  | Tast.Tcall (name, args) -> fprintf fmt "%s(%a)" name pp_args args
+  | Tast.Tmake_slice (_, elem, len, None) ->
+    fprintf fmt "make([]%s, %a)" (Types.to_string elem) pp_expr len
+  | Tast.Tmake_slice (_, elem, len, Some cap) ->
+    fprintf fmt "make([]%s, %a, %a)" (Types.to_string elem) pp_expr len
+      pp_expr cap
+  | Tast.Tmake_map (_, k, v) ->
+    fprintf fmt "make(map[%s]%s)" (Types.to_string k) (Types.to_string v)
+  | Tast.Tnew (_, t) -> fprintf fmt "new(%s)" (Types.to_string t)
+  | Tast.Tslice_lit (_, elem, es) ->
+    fprintf fmt "[]%s{%a}" (Types.to_string elem) pp_args es
+  | Tast.Tstruct_lit (name, es) -> fprintf fmt "%s{%a}" name pp_args es
+  | Tast.Taddr_struct_lit (_, name, es) ->
+    fprintf fmt "&%s{%a}" name pp_args es
+  | Tast.Tappend (_, s, es) ->
+    fprintf fmt "append(%a, %a)" pp_expr s pp_args es
+  | Tast.Tlen a -> fprintf fmt "len(%a)" pp_expr a
+  | Tast.Tcap a -> fprintf fmt "cap(%a)" pp_expr a
+  | Tast.Titoa a -> fprintf fmt "itoa(%a)" pp_expr a
+  | Tast.Trand a -> fprintf fmt "rand(%a)" pp_expr a
+  | Tast.Tsubstr (s, a, b) ->
+    fprintf fmt "substr(%a, %a, %a)" pp_expr s pp_expr a pp_expr b
+  | Tast.Tslice_sub (e, lo, hi) ->
+    let pp_opt fmt = function
+      | Some e -> pp_expr fmt e
+      | None -> ()
+    in
+    fprintf fmt "%a[%a:%a]" pp_expr e pp_opt lo pp_opt hi
+  | Tast.Tcopy (dst, src) ->
+    fprintf fmt "copy(%a, %a)" pp_expr dst pp_expr src
+  | Tast.Tmap_get_ok (m, k) -> fprintf fmt "%a[%a]" pp_expr m pp_expr k
+  | Tast.Trecover -> fprintf fmt "recover()"
+
+and pp_args fmt args =
+  pp_print_list
+    ~pp_sep:(fun fmt () -> pp_print_string fmt ", ")
+    pp_expr fmt args
+
+and pp_lvalue fmt = function
+  | Tast.Lvar v -> pp_print_string fmt v.Tast.v_name
+  | Tast.Lderef e -> fprintf fmt "*%a" pp_expr e
+  | Tast.Lindex (a, i) | Tast.Lmap (a, i) ->
+    fprintf fmt "%a[%a]" pp_expr a pp_expr i
+  | Tast.Lfield (e, _, name) -> fprintf fmt "%a.%s" pp_expr e name
+
+let free_kind_str = function
+  | Tast.Free_slice -> "TcfreeSlice"
+  | Tast.Free_map -> "TcfreeMap"
+  | Tast.Free_obj -> "Tcfree"
+
+let rec pp_stmt ind fmt (s : Tast.stmt) =
+  let pad = String.make ind ' ' in
+  match s with
+  | Tast.Sdecl (v, None) ->
+    fprintf fmt "%svar %s %s" pad v.Tast.v_name (Types.to_string v.Tast.v_ty)
+  | Tast.Sdecl (v, Some e) ->
+    fprintf fmt "%s%s := %a" pad v.Tast.v_name pp_expr e
+  | Tast.Smulti_decl (vs, e) ->
+    fprintf fmt "%s%s := %a" pad
+      (String.concat ", " (List.map (fun v -> v.Tast.v_name) vs))
+      pp_expr e
+  | Tast.Sassign (lv, e) ->
+    fprintf fmt "%s%a = %a" pad pp_lvalue lv pp_expr e
+  | Tast.Smulti_assign (lvs, e) ->
+    fprintf fmt "%s%a = %a" pad
+      (pp_print_list
+         ~pp_sep:(fun fmt () -> pp_print_string fmt ", ")
+         pp_lvalue)
+      lvs pp_expr e
+  | Tast.Sexpr e -> fprintf fmt "%s%a" pad pp_expr e
+  | Tast.Sif (c, b1, b2) -> begin
+    fprintf fmt "%sif %a %a" pad pp_expr c (pp_block ind) b1;
+    match b2 with
+    | Some b -> fprintf fmt " else %a" (pp_block ind) b
+    | None -> ()
+  end
+  | Tast.Sfor (init, cond, post, body) ->
+    let pp_opt_stmt fmt = function
+      | Some s -> pp_stmt 0 fmt s
+      | None -> ()
+    in
+    let pp_opt_expr fmt = function
+      | Some e -> pp_expr fmt e
+      | None -> ()
+    in
+    fprintf fmt "%sfor %a; %a; %a %a" pad pp_opt_stmt init pp_opt_expr cond
+      pp_opt_stmt post (pp_block ind) body
+  | Tast.Sforrange_map (v, m, body) ->
+    fprintf fmt "%sfor %s := range %a %a" pad v.Tast.v_name pp_expr m
+      (pp_block ind) body
+  | Tast.Sreturn [] -> fprintf fmt "%sreturn" pad
+  | Tast.Sreturn es -> fprintf fmt "%sreturn %a" pad pp_args es
+  | Tast.Sblock b -> fprintf fmt "%s%a" pad (pp_block ind) b
+  | Tast.Sgo (name, args) ->
+    fprintf fmt "%sgo %s(%a)" pad name pp_args args
+  | Tast.Sdefer (name, args) ->
+    fprintf fmt "%sdefer %s(%a)" pad name pp_args args
+  | Tast.Spanic e -> fprintf fmt "%spanic(%a)" pad pp_expr e
+  | Tast.Sbreak -> fprintf fmt "%sbreak" pad
+  | Tast.Scontinue -> fprintf fmt "%scontinue" pad
+  | Tast.Sdelete (m, k) ->
+    fprintf fmt "%sdelete(%a, %a)" pad pp_expr m pp_expr k
+  | Tast.Sprint es -> fprintf fmt "%sprintln(%a)" pad pp_args es
+  | Tast.Stcfree (v, kind) ->
+    fprintf fmt "%s%s(%s) // inserted" pad (free_kind_str kind)
+      v.Tast.v_name
+
+and pp_block ind fmt (b : Tast.block) =
+  fprintf fmt "{";
+  List.iter
+    (fun s -> fprintf fmt "@\n%a" (pp_stmt (ind + 2)) s)
+    b.Tast.b_stmts;
+  fprintf fmt "@\n%s}" (String.make ind ' ')
+
+let pp_func fmt (f : Tast.func) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun v ->
+           Printf.sprintf "%s %s" v.Tast.v_name (Types.to_string v.Tast.v_ty))
+         f.Tast.f_params)
+  in
+  let results =
+    match f.Tast.f_results with
+    | [] -> ""
+    | [ t ] -> " " ^ Types.to_string t
+    | ts -> " (" ^ String.concat ", " (List.map Types.to_string ts) ^ ")"
+  in
+  fprintf fmt "func %s(%s)%s %a" f.Tast.f_name params results (pp_block 0)
+    f.Tast.f_body
+
+let pp_program fmt (p : Tast.program) =
+  List.iter (fun f -> fprintf fmt "%a@\n@\n" pp_func f) p.Tast.p_funcs
+
+let program_to_string p = asprintf "%a" pp_program p
+
+let func_to_string f = asprintf "%a" pp_func f

@@ -1,0 +1,19 @@
+(** Pretty-printer for the typed AST; shows inserted tcfree calls with an
+    [// inserted] marker. *)
+
+val binop_str : Ast.binop -> string
+
+val free_kind_str : Tast.free_kind -> string
+
+val pp_expr : Format.formatter -> Tast.expr -> unit
+
+val pp_stmt : int -> Format.formatter -> Tast.stmt -> unit
+(** [pp_stmt indent fmt stmt] *)
+
+val pp_func : Format.formatter -> Tast.func -> unit
+
+val pp_program : Format.formatter -> Tast.program -> unit
+
+val program_to_string : Tast.program -> string
+
+val func_to_string : Tast.func -> string

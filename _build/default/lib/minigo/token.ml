@@ -1,0 +1,172 @@
+(** Lexical tokens of MiniGo.
+
+    MiniGo is the Go subset that the GoFree reproduction analyzes: functions
+    with multiple return values, pointers, slices, maps, structs, loops,
+    [defer]/[panic], and goroutines. *)
+
+type pos = {
+  line : int;  (** 1-based line *)
+  col : int;  (** 1-based column *)
+}
+
+let dummy_pos = { line = 0; col = 0 }
+
+let pp_pos fmt p = Format.fprintf fmt "%d:%d" p.line p.col
+
+let string_of_pos p = Format.asprintf "%a" pp_pos p
+
+type t =
+  (* literals and identifiers *)
+  | IDENT of string
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STRING_LIT of string
+  (* keywords *)
+  | KW_FUNC
+  | KW_VAR
+  | KW_TYPE
+  | KW_STRUCT
+  | KW_MAP
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_RANGE
+  | KW_RETURN
+  | KW_GO
+  | KW_DEFER
+  | KW_PANIC
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NIL
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  (* operators *)
+  | ASSIGN  (** [=] *)
+  | DEFINE  (** [:=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AMPAMP
+  | BARBAR
+  | BANG
+  | AMP
+  | BAR  (** bitwise or *)
+  | CARET  (** bitwise xor *)
+  | SHL
+  | SHR
+  | PLUSPLUS
+  | MINUSMINUS
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | EOF
+
+let keyword_of_string = function
+  | "func" -> Some KW_FUNC
+  | "var" -> Some KW_VAR
+  | "type" -> Some KW_TYPE
+  | "struct" -> Some KW_STRUCT
+  | "map" -> Some KW_MAP
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "for" -> Some KW_FOR
+  | "range" -> Some KW_RANGE
+  | "return" -> Some KW_RETURN
+  | "go" -> Some KW_GO
+  | "defer" -> Some KW_DEFER
+  | "panic" -> Some KW_PANIC
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "nil" -> Some KW_NIL
+  | _ -> None
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | FLOAT_LIT f -> Printf.sprintf "float %g" f
+  | STRING_LIT s -> Printf.sprintf "string %S" s
+  | KW_FUNC -> "'func'"
+  | KW_VAR -> "'var'"
+  | KW_TYPE -> "'type'"
+  | KW_STRUCT -> "'struct'"
+  | KW_MAP -> "'map'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_FOR -> "'for'"
+  | KW_RANGE -> "'range'"
+  | KW_RETURN -> "'return'"
+  | KW_GO -> "'go'"
+  | KW_DEFER -> "'defer'"
+  | KW_PANIC -> "'panic'"
+  | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_NIL -> "'nil'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | ASSIGN -> "'='"
+  | DEFINE -> "':='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | AMPAMP -> "'&&'"
+  | BARBAR -> "'||'"
+  | BANG -> "'!'"
+  | AMP -> "'&'"
+  | BAR -> "'|'"
+  | CARET -> "'^'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | PLUSPLUS -> "'++'"
+  | MINUSMINUS -> "'--'"
+  | PLUS_ASSIGN -> "'+='"
+  | MINUS_ASSIGN -> "'-='"
+  | STAR_ASSIGN -> "'*='"
+  | EOF -> "end of file"
+
+(** Tokens after which Go's automatic semicolon insertion applies at a
+    newline (a subset of the Go spec rule sufficient for MiniGo). *)
+let ends_statement = function
+  | IDENT _ | INT_LIT _ | FLOAT_LIT _ | STRING_LIT _ | KW_RETURN | KW_BREAK
+  | KW_CONTINUE | KW_TRUE | KW_FALSE | KW_NIL | RPAREN | RBRACE | RBRACKET
+  | PLUSPLUS | MINUSMINUS ->
+    true
+  | _ -> false

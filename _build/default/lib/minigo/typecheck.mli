@@ -1,0 +1,9 @@
+(** Name resolution and type checking: lowers the surface {!Ast} to the
+    typed {!Tast}, assigning unique variable ids, the scope and loop
+    depths the escape analysis needs (Defs 4.3, 4.13), and one allocation
+    site per allocating expression. *)
+
+exception Error of string * Token.pos
+
+(** Check a whole program; raises {!Error} on the first problem. *)
+val check : Ast.program -> Tast.program

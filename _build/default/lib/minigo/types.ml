@@ -1,0 +1,108 @@
+(** Resolved MiniGo types, sizes and pointer-shape queries.
+
+    Sizes follow Go on 64-bit targets: words are 8 bytes, slice headers are
+    3 words, string headers 2 words.  Sizes drive both the stack/heap size
+    thresholds of the escape analysis and the simulated allocator. *)
+
+type t =
+  | Int
+  | Bool
+  | String
+  | Float
+  | Ptr of t
+  | Slice of t
+  | Map of t * t
+  | Struct of string  (** named struct; fields resolved via {!env} *)
+  | Tuple of t list  (** internal: multi-value call result *)
+  | Unit  (** internal: void function call *)
+  | Nil  (** internal: type of the [nil] literal before unification *)
+
+(** Struct environment: field names and types per declared struct. *)
+type env = { structs : (string, (string * t) list) Hashtbl.t }
+
+let create_env () = { structs = Hashtbl.create 16 }
+
+let add_struct env name fields = Hashtbl.replace env.structs name fields
+
+let struct_fields env name =
+  match Hashtbl.find_opt env.structs name with
+  | Some fields -> fields
+  | None -> invalid_arg (Printf.sprintf "unknown struct type %s" name)
+
+let field_index env sname fname =
+  let fields = struct_fields env sname in
+  let rec loop i = function
+    | [] -> None
+    | (n, ty) :: _ when n = fname -> Some (i, ty)
+    | _ :: rest -> loop (i + 1) rest
+  in
+  loop 0 fields
+
+let rec to_string = function
+  | Int -> "int"
+  | Bool -> "bool"
+  | String -> "string"
+  | Float -> "float"
+  | Ptr t -> "*" ^ to_string t
+  | Slice t -> "[]" ^ to_string t
+  | Map (k, v) -> "map[" ^ to_string k ^ "]" ^ to_string v
+  | Struct s -> s
+  | Tuple ts -> "(" ^ String.concat ", " (List.map to_string ts) ^ ")"
+  | Unit -> "()"
+  | Nil -> "nil"
+
+let word_size = 8
+
+(** Size in bytes of a value of this type when stored inline (in a
+    variable, field or slice element). *)
+let rec size_of env = function
+  | Int | Float | Bool -> word_size
+  | String -> 2 * word_size  (* data pointer + length *)
+  | Ptr _ -> word_size
+  | Slice _ -> 3 * word_size  (* data pointer + len + cap *)
+  | Map _ -> word_size  (* pointer to the map header *)
+  | Struct name ->
+    List.fold_left (fun acc (_, ty) -> acc + size_of env ty) 0
+      (struct_fields env name)
+  | Tuple ts -> List.fold_left (fun acc ty -> acc + size_of env ty) 0 ts
+  | Unit | Nil -> 0
+
+(** Whether values of this type can contain pointers into the heap: such
+    values must be traced by the GC, and only such values matter to the
+    completeness analysis (the paper notes Exposes/Incomplete need not be
+    computed for pointer-free data). *)
+let rec contains_pointers env = function
+  | Int | Float | Bool -> false
+  | String -> false
+    (* MiniGo strings are immutable byte payloads without internal
+       pointers; the payload itself is a heap object but string values are
+       traced via their owning object. *)
+  | Ptr _ | Slice _ | Map _ -> true
+  | Struct name ->
+    List.exists (fun (_, ty) -> contains_pointers env ty)
+      (struct_fields env name)
+  | Tuple ts -> List.exists (contains_pointers env) ts
+  | Unit | Nil -> false
+
+(** Types [nil] can inhabit. *)
+let nilable = function
+  | Ptr _ | Slice _ | Map _ -> true
+  | _ -> false
+
+let rec equal a b =
+  match (a, b) with
+  | Int, Int | Bool, Bool | String, String | Float, Float | Unit, Unit
+  | Nil, Nil ->
+    true
+  | Ptr a, Ptr b | Slice a, Slice b -> equal a b
+  | Map (ka, va), Map (kb, vb) -> equal ka kb && equal va vb
+  | Struct a, Struct b -> String.equal a b
+  | Tuple a, Tuple b ->
+    List.length a = List.length b && List.for_all2 equal a b
+  | (Int | Bool | String | Float | Ptr _ | Slice _ | Map _ | Struct _
+    | Tuple _ | Unit | Nil), _ ->
+    false
+
+(** [compatible a b] allows [nil] where a nilable type is expected. *)
+let compatible a b =
+  equal a b || (a = Nil && nilable b) || (b = Nil && nilable a)

@@ -1,0 +1,47 @@
+(** Resolved MiniGo types, sizes and pointer-shape queries (64-bit Go
+    layout: 8-byte words, 3-word slice headers, 2-word strings). *)
+
+type t =
+  | Int
+  | Bool
+  | String
+  | Float
+  | Ptr of t
+  | Slice of t
+  | Map of t * t
+  | Struct of string  (** named struct; fields resolved via {!env} *)
+  | Tuple of t list  (** internal: multi-value call result *)
+  | Unit  (** internal: void function call *)
+  | Nil  (** internal: type of the [nil] literal *)
+
+(** Struct environment: declared field lists by struct name. *)
+type env = { structs : (string, (string * t) list) Hashtbl.t }
+
+val create_env : unit -> env
+
+val add_struct : env -> string -> (string * t) list -> unit
+
+(** Raises [Invalid_argument] for unknown structs. *)
+val struct_fields : env -> string -> (string * t) list
+
+(** Field position and type, or [None] if absent. *)
+val field_index : env -> string -> string -> (int * t) option
+
+val to_string : t -> string
+
+val word_size : int
+
+(** Inline size in bytes of a value of this type. *)
+val size_of : env -> t -> int
+
+(** Whether values can carry heap pointers (GC-traced; the only types the
+    completeness analysis must track). *)
+val contains_pointers : env -> t -> bool
+
+(** Types [nil] inhabits. *)
+val nilable : t -> bool
+
+val equal : t -> t -> bool
+
+(** Equality up to [nil] against a nilable type. *)
+val compatible : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/runtime/gc_collector.ml: Hashtbl Heap Int64 List Mcentral Metrics Mspan Pageheap Printf Stack Sys Unix

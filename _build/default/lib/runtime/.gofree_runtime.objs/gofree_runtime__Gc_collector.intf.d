@@ -1,0 +1,1 @@
+lib/runtime/gc_collector.mli: Heap

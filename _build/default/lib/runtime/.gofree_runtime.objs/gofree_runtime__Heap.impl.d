@@ -1,0 +1,1 @@
+lib/runtime/heap.ml: Array Hashtbl Mcache Mcentral Metrics Mspan Pageheap Sizeclass

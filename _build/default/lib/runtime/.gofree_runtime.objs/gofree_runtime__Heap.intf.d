@@ -1,0 +1,1 @@
+lib/runtime/heap.mli: Hashtbl Mcache Mcentral Metrics Mspan Pageheap

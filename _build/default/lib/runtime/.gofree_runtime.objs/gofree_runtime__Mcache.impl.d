@@ -1,0 +1,1 @@
+lib/runtime/mcache.ml: Array Mcentral Mspan Sizeclass

@@ -1,0 +1,1 @@
+lib/runtime/mcache.mli: Mcentral Mspan

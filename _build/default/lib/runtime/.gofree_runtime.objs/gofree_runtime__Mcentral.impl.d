@@ -1,0 +1,1 @@
+lib/runtime/mcentral.ml: Array List Mspan Pageheap Sizeclass

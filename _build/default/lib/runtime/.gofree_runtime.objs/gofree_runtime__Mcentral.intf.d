@@ -1,0 +1,1 @@
+lib/runtime/mcentral.mli: Mspan Pageheap

@@ -1,0 +1,1 @@
+lib/runtime/metrics.ml: Array Format Int64

@@ -1,0 +1,1 @@
+lib/runtime/mspan.ml: Bytes List Sizeclass

@@ -1,0 +1,1 @@
+lib/runtime/pageheap.mli: Mspan

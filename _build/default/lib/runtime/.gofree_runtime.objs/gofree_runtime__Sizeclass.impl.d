@@ -1,0 +1,1 @@
+lib/runtime/sizeclass.ml: Array List

@@ -1,0 +1,1 @@
+lib/runtime/tcfree.ml: Array Hashtbl Heap Mcache Metrics Mspan Pageheap

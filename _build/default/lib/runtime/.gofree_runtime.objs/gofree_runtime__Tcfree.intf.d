@@ -1,0 +1,1 @@
+lib/runtime/tcfree.mli: Heap Metrics

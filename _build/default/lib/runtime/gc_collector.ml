@@ -1,0 +1,132 @@
+(** Non-moving mark-sweep collector with GOGC pacing (paper §3.3).
+
+    Mark: walk from the mutator's registered roots through payload
+    tracers, setting mark bits.  Heap objects that reference stack objects
+    are Go memory-invariant violations and are counted (they must never
+    occur if the escape analysis is sound).
+
+    Sweep: every unmarked heap object is freed — its span slot is
+    released and the object disappears from the store.  Dangling spans
+    from the 2-step large-object tcfree (fig. 9) are retired here, and
+    completely empty spans hand their pages back to the page heap.
+
+    Pacing: the next cycle triggers when live heap grows past
+    [heap_marked * (1 + GOGC/100)], Go's soft-goal mechanism (§6.4). *)
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let mark (heap : Heap.t) =
+  let stack = Stack.create () in
+  let push_addr from_heap addr =
+    if addr > 0 then
+      match Heap.find_obj heap addr with
+      | None -> ()  (* dangling value: object already freed *)
+      | Some obj ->
+        if from_heap && Heap.is_stack_obj obj then
+          heap.Heap.metrics.Metrics.heap_to_stack_pointers <-
+            heap.Heap.metrics.Metrics.heap_to_stack_pointers + 1;
+        if not obj.Heap.marked then begin
+          obj.Heap.marked <- true;
+          heap.Heap.metrics.Metrics.gc_marked_objects <-
+            heap.Heap.metrics.Metrics.gc_marked_objects + 1;
+          Stack.push obj stack
+        end
+  in
+  (if Sys.getenv_opt "GOFREE_GC_DEBUG" <> None then begin
+     let n = ref 0 in
+     heap.Heap.iter_roots (fun _ -> incr n);
+     Printf.eprintf "[gc] root addrs yielded: %d\n%!" !n
+   end);
+  heap.Heap.iter_roots (push_addr false);
+  while not (Stack.is_empty stack) do
+    let obj = Stack.pop stack in
+    let from_heap = not (Heap.is_stack_obj obj) in
+    (* A dangling large span's contents are skipped by marking (fig. 9):
+       its object is already freed and no longer in the store, so it can
+       never be popped here; nothing to special-case. *)
+    heap.Heap.trace_payload obj.Heap.payload (push_addr from_heap)
+  done
+
+let sweep (heap : Heap.t) =
+  let metrics = heap.Heap.metrics in
+  let dead =
+    Hashtbl.fold
+      (fun _ (o : Heap.obj) acc ->
+        if Heap.is_stack_obj o then begin
+          (* stack objects are never swept, but their mark bits must be
+             reset or the next cycle would skip tracing through them *)
+          o.Heap.marked <- false;
+          acc
+        end
+        else if o.Heap.marked then begin
+          o.Heap.marked <- false;
+          acc
+        end
+        else o :: acc)
+      heap.Heap.objects []
+  in
+  if Sys.getenv_opt "GOFREE_GC_DEBUG" <> None then begin
+    Printf.eprintf "[gc] cycle %d: marked %d, dead %d\n%!"
+      (metrics.Metrics.gc_cycles + 1) metrics.Metrics.gc_marked_objects
+      (List.length dead);
+    List.iter (fun (o : Heap.obj) ->
+        Printf.eprintf "  dead addr=%d size=%d cat=%d\n%!" o.Heap.addr o.Heap.size
+          (Metrics.category_index o.Heap.category)) dead
+  end;
+  List.iter
+    (fun (o : Heap.obj) ->
+      metrics.Metrics.gc_swept_objects <-
+        metrics.Metrics.gc_swept_objects + 1;
+      (match o.Heap.placement with
+      | Heap.On_heap (span, slot) ->
+        if span.Mspan.class_idx >= 0 then Mspan.free_slot span slot
+        else begin
+          (* unreferenced large object: free its dedicated span now *)
+          Mspan.free_slot span slot;
+          span.Mspan.state <- Mspan.Free;
+          Pageheap.free_pages heap.Heap.pages span.Mspan.npages
+        end
+      | Heap.On_stack _ -> assert false);
+      o.Heap.freed <- true;
+      if heap.Heap.config.Heap.poison_on_free then begin
+        o.Heap.poisoned <- true;
+        heap.Heap.poison_payload o.Heap.payload
+      end;
+      Metrics.count_gc_free metrics ~category:o.Heap.category
+        ~bytes:o.Heap.size;
+      Heap.bury heap o.Heap.addr
+        (Printf.sprintf "swept by GC cycle %d"
+           (metrics.Metrics.gc_cycles + 1));
+      Hashtbl.remove heap.Heap.objects o.Heap.addr)
+    dead;
+  (* Step 2 of the large-object tcfree (fig. 9): dangling span structs
+     join the idle pool after the mark phase. *)
+  List.iter
+    (fun (span : Mspan.t) -> span.Mspan.state <- Mspan.Free)
+    heap.Heap.dangling_spans;
+  heap.Heap.dangling_spans <- [];
+  Mcentral.rebucket_after_sweep heap.Heap.central
+
+(** Run one full GC cycle and update pacing. *)
+let collect (heap : Heap.t) =
+  let metrics = heap.Heap.metrics in
+  let t0 = now_ns () in
+  mark heap;
+  sweep heap;
+  let t1 = now_ns () in
+  metrics.Metrics.gc_cycles <- metrics.Metrics.gc_cycles + 1;
+  metrics.Metrics.gc_time_ns <-
+    Int64.add metrics.Metrics.gc_time_ns (Int64.sub t1 t0);
+  let marked = metrics.Metrics.heap_live in
+  heap.Heap.next_gc <-
+    max heap.Heap.config.Heap.min_heap
+      (marked + (marked * heap.Heap.config.Heap.gogc / 100));
+  (* Open the simulated concurrent-mark window: for the next few
+     allocations, tcfree behaves as if GC were still running. *)
+  heap.Heap.gc_window_left <- heap.Heap.config.Heap.concurrent_gc_window;
+  heap.Heap.gc_requested <- false
+
+(** Safepoint check: run a cycle if the pacer requested one. *)
+let maybe_collect (heap : Heap.t) =
+  if heap.Heap.gc_requested && not heap.Heap.config.Heap.gc_disabled then
+    collect heap

@@ -1,0 +1,211 @@
+(** The simulated Go heap: object store, allocation entry points, GC
+    pacing, and hooks connecting the mutator (the MiniGo interpreter) to
+    the collector.
+
+    Every MiniGo heap object is a record here, placed in a real
+    mspan/mcache/mcentral slot so that tcfree's ownership and span-state
+    checks behave like the paper's runtime.  Stack-allocated objects get
+    records too (pointers need uniform addresses) but occupy no span and
+    cost the GC nothing; the interpreter releases them when their scope
+    exits.
+
+    Payloads are an extensible variant so the runtime library stays
+    independent of the interpreter's value type; the interpreter registers
+    a tracer that enumerates the heap addresses a payload references. *)
+
+type payload = ..
+
+type payload += No_payload
+
+type placement =
+  | On_heap of Mspan.t * int  (** span and slot *)
+  | On_stack of int  (** owning scope token *)
+
+type obj = {
+  addr : int;
+  size : int;  (** requested bytes *)
+  category : Metrics.category;
+  mutable payload : payload;
+  placement : placement;
+  mutable marked : bool;
+  mutable freed : bool;
+  mutable poisoned : bool;
+}
+
+type config = {
+  gogc : int;  (** heap growth percentage between GCs (GOGC) *)
+  gc_disabled : bool;  (** the Go-GCOff setting of fig. 11 *)
+  poison_on_free : bool;  (** §6.8's mock tcfree: corrupt freed memory *)
+  concurrent_gc_window : int;
+      (** bytes of allocation after a GC cycle during which the collector
+          is considered "running concurrently" and tcfree backs off (§5);
+          byte-based so the window has the same duration for small- and
+          large-object workloads *)
+  min_heap : int;  (** first GC trigger threshold *)
+  grow_map_free_old : bool;
+      (** GrowMapAndFreeOld (§4.6.2): explicitly free a growing map's
+          abandoned bucket array.  Off in the stock-Go runtime. *)
+}
+
+let default_config =
+  {
+    gogc = 100;
+    gc_disabled = false;
+    poison_on_free = false;
+    concurrent_gc_window = 16 * 1024;
+    min_heap = 512 * 1024;
+    grow_map_free_old = true;
+  }
+
+type t = {
+  config : config;
+  metrics : Metrics.t;
+  pages : Pageheap.t;
+  central : Mcentral.t;
+  mutable caches : Mcache.t array;  (** one per logical processor *)
+  objects : (int, obj) Hashtbl.t;  (** live (and stack) objects by address *)
+  mutable next_addr : int;
+  mutable next_gc : int;  (** heap_live threshold for the next cycle *)
+  mutable gc_window_left : int;
+      (** remaining bytes of the simulated concurrent-mark window *)
+  mutable dangling_spans : Mspan.t list;  (** fig. 9 step-1 output *)
+  (* mutator hooks, registered by the interpreter *)
+  mutable trace_payload : payload -> (int -> unit) -> unit;
+  mutable poison_payload : payload -> unit;
+      (** poison mode: overwrite the payload's contents so any later read
+          through a stale reference fails loudly (§6.8) *)
+  mutable iter_roots : (int -> unit) -> unit;
+  mutable gc_requested : bool;
+  tombstones : (int, string) Hashtbl.t;
+      (** freed address → how it died; diagnostic detail for corruption
+          reports *)
+}
+
+let create ?(config = default_config) ?(nprocs = 4) () =
+  let pages = Pageheap.create () in
+  {
+    config;
+    metrics = Metrics.create ();
+    pages;
+    central = Mcentral.create pages;
+    caches = Array.init nprocs Mcache.create;
+    objects = Hashtbl.create 4096;
+    next_addr = 1;
+    next_gc = config.min_heap;
+    gc_window_left = 0;
+    dangling_spans = [];
+    trace_payload = (fun _ _ -> ());
+    poison_payload = (fun _ -> ());
+    iter_roots = (fun _ -> ());
+    gc_requested = false;
+    tombstones = Hashtbl.create 64;
+  }
+
+let nprocs t = Array.length t.caches
+
+(** Is the (simulated concurrent) collector currently running?  tcfree
+    refuses to race it (§5). *)
+let gc_running t = t.gc_window_left > 0
+
+let find_obj t addr = Hashtbl.find_opt t.objects addr
+
+let fresh_addr t =
+  let a = t.next_addr in
+  t.next_addr <- a + 1;
+  a
+
+(** Allocate a heap object of [size] bytes on behalf of [thread].
+    Checks GC pacing first (setting [gc_requested] — the interpreter runs
+    the cycle at its next safepoint, keeping collection out of the middle
+    of an allocation). *)
+let alloc_heap t ~thread ~category ~size ~payload : obj =
+  if
+    (not t.config.gc_disabled)
+    && t.metrics.Metrics.heap_live >= t.next_gc
+  then t.gc_requested <- true;
+  if t.gc_window_left > 0 then
+    t.gc_window_left <- max 0 (t.gc_window_left - max 1 size);
+  let thread = thread mod Array.length t.caches in
+  let placement =
+    match Sizeclass.class_for_size (max 1 size) with
+    | Some class_idx ->
+      let span, slot =
+        Mcache.alloc t.caches.(thread) t.central class_idx
+      in
+      On_heap (span, slot)
+    | None ->
+      (* Large object: dedicated span, pushed straight to mcentral-like
+         shared ownership (fig. 9 treats it outside any mcache). *)
+      let span = Mspan.create_large size in
+      Pageheap.alloc_pages t.pages span.Mspan.npages;
+      span.Mspan.state <- Mspan.In_mcentral;
+      ignore (Mspan.alloc_slot span);
+      On_heap (span, 0)
+  in
+  let obj =
+    {
+      addr = fresh_addr t;
+      size;
+      category;
+      payload;
+      placement;
+      marked = false;
+      freed = false;
+      poisoned = false;
+    }
+  in
+  Hashtbl.replace t.objects obj.addr obj;
+  Metrics.count_alloc t.metrics ~category ~heap:true ~bytes:size;
+  obj
+
+(** Allocate a stack object: no span, no GC cost; released when scope
+    [scope] exits. *)
+let alloc_stack t ~scope ~category ~size ~payload : obj =
+  let obj =
+    {
+      addr = fresh_addr t;
+      size;
+      category;
+      payload;
+      placement = On_stack scope;
+      marked = false;
+      freed = false;
+      poisoned = false;
+    }
+  in
+  Hashtbl.replace t.objects obj.addr obj;
+  Metrics.count_alloc t.metrics ~category ~heap:false ~bytes:size;
+  obj
+
+let is_stack_obj obj =
+  match obj.placement with On_stack _ -> true | On_heap _ -> false
+
+(* Tombstones are diagnostic detail for corruption reports; they are only
+   recorded in poison mode, where wrong frees are being hunted — normal
+   runs skip the bookkeeping entirely. *)
+let bury t addr reason =
+  if t.config.poison_on_free then Hashtbl.replace t.tombstones addr reason
+
+let death_of t addr =
+  match Hashtbl.find_opt t.tombstones addr with
+  | Some reason -> reason
+  | None ->
+    if t.config.poison_on_free then "never existed"
+    else "tombstones disabled outside poison mode"
+
+(** Drop a stack object at scope exit. *)
+let release_stack t obj =
+  if not obj.freed then begin
+    obj.freed <- true;
+    if t.config.poison_on_free then begin
+      obj.poisoned <- true;
+      t.poison_payload obj.payload
+    end;
+    bury t obj.addr "stack scope exit";
+    Hashtbl.remove t.objects obj.addr
+  end
+
+let live_heap_objects t =
+  Hashtbl.fold
+    (fun _ o acc -> if is_stack_obj o then acc else o :: acc)
+    t.objects []

@@ -1,0 +1,90 @@
+(** The simulated Go heap: object store, allocation entry points, GC
+    pacing, and the hooks connecting the mutator (the MiniGo interpreter)
+    to the collector. *)
+
+(** Payloads are an extensible variant so this library stays independent
+    of the interpreter's value type. *)
+type payload = ..
+
+type payload += No_payload
+
+type placement =
+  | On_heap of Mspan.t * int  (** span and slot *)
+  | On_stack of int  (** owning scope token *)
+
+type obj = {
+  addr : int;
+  size : int;  (** requested bytes *)
+  category : Metrics.category;
+  mutable payload : payload;
+  placement : placement;
+  mutable marked : bool;
+  mutable freed : bool;
+  mutable poisoned : bool;
+}
+
+type config = {
+  gogc : int;  (** heap growth percentage between GCs (GOGC) *)
+  gc_disabled : bool;  (** the Go-GCOff setting of fig. 11 *)
+  poison_on_free : bool;  (** §6.8's mock tcfree *)
+  concurrent_gc_window : int;
+      (** bytes of allocation after a GC cycle during which tcfree treats
+          the collector as still running and backs off (§5) *)
+  min_heap : int;  (** first GC trigger threshold *)
+  grow_map_free_old : bool;  (** GrowMapAndFreeOld (§4.6.2) *)
+}
+
+val default_config : config
+
+type t = {
+  config : config;
+  metrics : Metrics.t;
+  pages : Pageheap.t;
+  central : Mcentral.t;
+  mutable caches : Mcache.t array;  (** one per logical processor *)
+  objects : (int, obj) Hashtbl.t;
+  mutable next_addr : int;
+  mutable next_gc : int;
+  mutable gc_window_left : int;
+  mutable dangling_spans : Mspan.t list;  (** fig. 9 step-1 output *)
+  mutable trace_payload : payload -> (int -> unit) -> unit;
+  mutable poison_payload : payload -> unit;
+  mutable iter_roots : (int -> unit) -> unit;
+  mutable gc_requested : bool;
+  tombstones : (int, string) Hashtbl.t;
+}
+
+val create : ?config:config -> ?nprocs:int -> unit -> t
+
+val nprocs : t -> int
+
+(** Is the simulated concurrent collector running? (§5 give-up check.) *)
+val gc_running : t -> bool
+
+val find_obj : t -> int -> obj option
+
+(** Allocate on the heap: picks a span via the thread's mcache (or a
+    dedicated span for large objects), updates metrics, and requests a GC
+    cycle when pacing demands one (the cycle itself runs at the
+    interpreter's next safepoint). *)
+val alloc_heap :
+  t -> thread:int -> category:Metrics.category -> size:int ->
+  payload:payload -> obj
+
+(** Allocate a stack object: no span, no GC cost; released at scope
+    exit. *)
+val alloc_stack :
+  t -> scope:int -> category:Metrics.category -> size:int ->
+  payload:payload -> obj
+
+val is_stack_obj : obj -> bool
+
+(** Record how an address died (poison mode only — diagnostics). *)
+val bury : t -> int -> string -> unit
+
+val death_of : t -> int -> string
+
+(** Drop a stack object at scope exit (poisons it in poison mode). *)
+val release_stack : t -> obj -> unit
+
+val live_heap_objects : t -> obj list

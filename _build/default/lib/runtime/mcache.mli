@@ -1,0 +1,20 @@
+(** Per-thread (per-P) span cache: the lock-free top allocation layer
+    (paper §3.3). *)
+
+type t = {
+  thread_id : int;
+  spans : Mspan.t option array;  (** current span per size class *)
+}
+
+val create : int -> t
+
+(** Allocate a slot of the class, swapping in a new span from mcentral
+    when the cached one fills up.  Returns the span and slot index. *)
+val alloc : t -> Mcentral.t -> int -> Mspan.t * int
+
+(** Whether this cache currently owns [span] — the TcfreeSmall fast-path
+    condition. *)
+val owns : t -> Mspan.t -> bool
+
+(** Return every cached span to mcentral (thread exit / migration). *)
+val flush : t -> Mcentral.t -> unit

@@ -1,0 +1,22 @@
+(** mcentral: the shared middle layer between mcaches and the page heap
+    (paper §3.3). *)
+
+type t = {
+  partial : Mspan.t list array;  (** per class: spans with free slots *)
+  full : Mspan.t list array;
+  pages : Pageheap.t;
+}
+
+val create : Pageheap.t -> t
+
+(** A span with free capacity for the class: a partial span if one
+    exists, otherwise a fresh span from the page heap.  The span becomes
+    owned by [for_thread]. *)
+val acquire_span : t -> int -> for_thread:int -> Mspan.t
+
+(** Hand a span back from an mcache. *)
+val release_span : t -> Mspan.t -> unit
+
+(** Post-sweep maintenance: re-bucket partial/full spans and return empty
+    spans' pages to the page heap. *)
+val rebucket_after_sweep : t -> unit

@@ -1,0 +1,140 @@
+(** Runtime metrics (paper Table 5, plus the accounting that Tables 8–9
+    need).
+
+    One record per program execution; the interpreter's heap owns it and
+    every allocation / free / GC event updates it. *)
+
+(** What kind of data an allocation carries, for Table 8's
+    slices/maps/others split. *)
+type category = Cat_slice | Cat_map | Cat_other
+
+(** Where reclaimed bytes come from, for Table 9. *)
+type free_source =
+  | Src_slice  (** TcfreeSlice at a slice's end of life *)
+  | Src_map  (** TcfreeMap at a map's end of life *)
+  | Src_map_grow  (** GrowMapAndFreeOld: the abandoned bucket array *)
+
+(** Why a tcfree call gave up (§5). *)
+type giveup =
+  | Gc_running
+  | Ownership_changed
+  | Span_swapped_out
+  | Already_freed  (** double free, tolerated *)
+  | Stack_object
+  | Not_an_object  (** nil or dangling value *)
+
+type t = {
+  (* Table 5 *)
+  mutable alloced_bytes : int;  (** total heap allocation *)
+  mutable freed_bytes : int;  (** total reclaimed by tcfree *)
+  mutable gc_cycles : int;
+  mutable gc_time_ns : int64;  (** wall time spent in mark+sweep *)
+  mutable max_heap : int;  (** peak live heap bytes *)
+  mutable max_heap_pages : int;
+      (** peak span-backed heap bytes (pages in use): the paper's
+          "maxheap" — filled in from the page heap at end of run *)
+  mutable heap_live : int;
+  (* Table 8: dynamic stack/heap decisions per category *)
+  mutable stack_allocs : int array;  (** indexed by category *)
+  mutable heap_allocs : int array;
+  mutable tcfreed_objects : int array;  (** heap objects freed by tcfree *)
+  mutable gc_freed_objects : int array;  (** heap objects reclaimed by GC *)
+  (* Table 9 *)
+  mutable freed_by_source : int array;  (** bytes, indexed by free_source *)
+  (* tcfree behaviour *)
+  mutable tcfree_calls : int;
+  mutable tcfree_success : int;
+  mutable giveups : int array;
+  (* soundness counters *)
+  mutable heap_to_stack_pointers : int;
+      (** Go memory invariant 1 violations observed while marking; must
+          stay 0 *)
+  mutable poison_reads : int;
+      (** reads of poisoned (mock-freed) memory; must stay 0 *)
+  (* GC work, in objects *)
+  mutable gc_marked_objects : int;
+  mutable gc_swept_objects : int;
+}
+
+let category_index = function Cat_slice -> 0 | Cat_map -> 1 | Cat_other -> 2
+
+let source_index = function Src_slice -> 0 | Src_map -> 1 | Src_map_grow -> 2
+
+let giveup_index = function
+  | Gc_running -> 0
+  | Ownership_changed -> 1
+  | Span_swapped_out -> 2
+  | Already_freed -> 3
+  | Stack_object -> 4
+  | Not_an_object -> 5
+
+let create () =
+  {
+    alloced_bytes = 0;
+    freed_bytes = 0;
+    gc_cycles = 0;
+    gc_time_ns = 0L;
+    max_heap = 0;
+    max_heap_pages = 0;
+    heap_live = 0;
+    stack_allocs = Array.make 3 0;
+    heap_allocs = Array.make 3 0;
+    tcfreed_objects = Array.make 3 0;
+    gc_freed_objects = Array.make 3 0;
+    freed_by_source = Array.make 3 0;
+    tcfree_calls = 0;
+    tcfree_success = 0;
+    giveups = Array.make 6 0;
+    heap_to_stack_pointers = 0;
+    poison_reads = 0;
+    gc_marked_objects = 0;
+    gc_swept_objects = 0;
+  }
+
+let free_ratio m =
+  if m.alloced_bytes = 0 then 0.0
+  else float_of_int m.freed_bytes /. float_of_int m.alloced_bytes
+
+let count_alloc m ~category ~heap ~bytes =
+  let idx = category_index category in
+  if heap then begin
+    m.heap_allocs.(idx) <- m.heap_allocs.(idx) + 1;
+    m.alloced_bytes <- m.alloced_bytes + bytes;
+    m.heap_live <- m.heap_live + bytes;
+    if m.heap_live > m.max_heap then m.max_heap <- m.heap_live
+  end
+  else m.stack_allocs.(idx) <- m.stack_allocs.(idx) + 1
+
+let count_tcfree m ~category ~source ~bytes =
+  let cidx = category_index category in
+  m.tcfreed_objects.(cidx) <- m.tcfreed_objects.(cidx) + 1;
+  m.freed_bytes <- m.freed_bytes + bytes;
+  m.heap_live <- m.heap_live - bytes;
+  let sidx = source_index source in
+  m.freed_by_source.(sidx) <- m.freed_by_source.(sidx) + bytes
+
+let count_gc_free m ~category ~bytes =
+  let cidx = category_index category in
+  m.gc_freed_objects.(cidx) <- m.gc_freed_objects.(cidx) + 1;
+  m.heap_live <- m.heap_live - bytes
+
+let count_giveup m reason =
+  let idx = giveup_index reason in
+  m.giveups.(idx) <- m.giveups.(idx) + 1
+
+let pp fmt m =
+  Format.fprintf fmt
+    "@[<v>alloced      %d bytes@,freed        %d bytes (ratio %.1f%%)@,\
+     GCs          %d@,GC time      %.3f ms@,maxheap      %d live bytes (%d span bytes)@,\
+     tcfree       %d calls, %d freed@,\
+     stack allocs slices=%d maps=%d others=%d@,\
+     heap allocs  slices=%d maps=%d others=%d@,\
+     freed via    slice=%dB map=%dB mapgrow=%dB@]"
+    m.alloced_bytes m.freed_bytes
+    (100.0 *. free_ratio m)
+    m.gc_cycles
+    (Int64.to_float m.gc_time_ns /. 1e6)
+    m.max_heap m.max_heap_pages m.tcfree_calls m.tcfree_success m.stack_allocs.(0)
+    m.stack_allocs.(1) m.stack_allocs.(2) m.heap_allocs.(0)
+    m.heap_allocs.(1) m.heap_allocs.(2) m.freed_by_source.(0)
+    m.freed_by_source.(1) m.freed_by_source.(2)

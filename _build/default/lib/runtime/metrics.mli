@@ -1,0 +1,61 @@
+(** Runtime metrics (paper Table 5, plus the accounting behind Tables
+    8–9). *)
+
+type category = Cat_slice | Cat_map | Cat_other
+
+type free_source =
+  | Src_slice  (** TcfreeSlice at a slice's end of life *)
+  | Src_map  (** TcfreeMap at a map's end of life *)
+  | Src_map_grow  (** GrowMapAndFreeOld *)
+
+type giveup =
+  | Gc_running
+  | Ownership_changed
+  | Span_swapped_out
+  | Already_freed
+  | Stack_object
+  | Not_an_object
+
+type t = {
+  mutable alloced_bytes : int;
+  mutable freed_bytes : int;
+  mutable gc_cycles : int;
+  mutable gc_time_ns : int64;
+  mutable max_heap : int;  (** peak live bytes *)
+  mutable max_heap_pages : int;  (** peak span-backed bytes: the paper's maxheap *)
+  mutable heap_live : int;
+  mutable stack_allocs : int array;  (** by category *)
+  mutable heap_allocs : int array;
+  mutable tcfreed_objects : int array;
+  mutable gc_freed_objects : int array;
+  mutable freed_by_source : int array;  (** bytes, by free_source *)
+  mutable tcfree_calls : int;
+  mutable tcfree_success : int;
+  mutable giveups : int array;
+  mutable heap_to_stack_pointers : int;  (** invariant-1 violations; must be 0 *)
+  mutable poison_reads : int;
+  mutable gc_marked_objects : int;
+  mutable gc_swept_objects : int;
+}
+
+val category_index : category -> int
+
+val source_index : free_source -> int
+
+val giveup_index : giveup -> int
+
+val create : unit -> t
+
+(** freed / alloced, the paper's headline per-program metric. *)
+val free_ratio : t -> float
+
+val count_alloc : t -> category:category -> heap:bool -> bytes:int -> unit
+
+val count_tcfree :
+  t -> category:category -> source:free_source -> bytes:int -> unit
+
+val count_gc_free : t -> category:category -> bytes:int -> unit
+
+val count_giveup : t -> giveup -> unit
+
+val pp : Format.formatter -> t -> unit

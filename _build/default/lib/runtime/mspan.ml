@@ -1,0 +1,97 @@
+(** mspans: runs of pages carved into equally-sized slots (paper §3.3).
+
+    A span is owned by exactly one place at a time: a thread's mcache (so
+    allocation and tcfree on it are lock-free), the mcentral (shared,
+    requires "locking" — modelled as a tcfree give-up), dangling (large
+    span in the middle of the 2-step free of fig. 9), or free. *)
+
+type state =
+  | In_mcache of int  (** owned by thread/P [i] *)
+  | In_mcentral
+  | Dangling  (** large span: pages already returned, struct awaiting GC *)
+  | Free
+
+type t = {
+  span_id : int;
+  class_idx : int;  (** −1 for a dedicated large-object span *)
+  npages : int;
+  slot_size : int;
+  nslots : int;
+  alloc_bits : Bytes.t;
+  mutable free_index : int;  (** next never-used slot (bump pointer) *)
+  mutable free_list : int list;  (** slots freed by tcfree/sweep *)
+  mutable allocated : int;  (** live slots *)
+  mutable state : state;
+}
+
+let next_id = ref 0
+
+let create ~class_idx ~npages ~slot_size ~nslots =
+  incr next_id;
+  {
+    span_id = !next_id;
+    class_idx;
+    npages;
+    slot_size;
+    nslots;
+    alloc_bits = Bytes.make nslots '\000';
+    free_index = 0;
+    free_list = [];
+    allocated = 0;
+    state = Free;
+  }
+
+let create_small class_idx =
+  let npages = Sizeclass.pages_for_class class_idx in
+  let slot_size = Sizeclass.class_size class_idx in
+  let nslots = npages * Sizeclass.page_size / slot_size in
+  create ~class_idx ~npages ~slot_size ~nslots
+
+let create_large bytes =
+  let npages = Sizeclass.pages_for_large bytes in
+  create ~class_idx:(-1) ~npages ~slot_size:bytes ~nslots:1
+
+let slot_allocated t slot = Bytes.get t.alloc_bits slot <> '\000'
+
+let set_slot t slot b =
+  Bytes.set t.alloc_bits slot (if b then '\001' else '\000')
+
+let is_full t = t.free_index >= t.nslots && t.free_list = []
+
+(** Allocate one slot: pop the free list, else bump the free index. *)
+let alloc_slot t : int option =
+  match t.free_list with
+  | slot :: rest ->
+    t.free_list <- rest;
+    set_slot t slot true;
+    t.allocated <- t.allocated + 1;
+    Some slot
+  | [] ->
+    if t.free_index < t.nslots then begin
+      let slot = t.free_index in
+      t.free_index <- slot + 1;
+      set_slot t slot true;
+      t.allocated <- t.allocated + 1;
+      Some slot
+    end
+    else None
+
+(** Free one slot.  If it is the top of the bump region, the free index
+    is reverted (cascading over already-freed slots below it) — the
+    cheap path the paper's TcfreeSmall relies on; otherwise it goes on
+    the span's free list. *)
+let free_slot t slot =
+  assert (slot_allocated t slot);
+  set_slot t slot false;
+  t.allocated <- t.allocated - 1;
+  if slot = t.free_index - 1 then begin
+    (* revert the allocator pointer over the trailing run of free slots *)
+    let idx = ref slot in
+    while !idx >= 0 && not (slot_allocated t !idx) do
+      decr idx
+    done;
+    t.free_index <- !idx + 1;
+    (* drop reverted slots from the free list *)
+    t.free_list <- List.filter (fun s -> s < t.free_index) t.free_list
+  end
+  else t.free_list <- slot :: t.free_list

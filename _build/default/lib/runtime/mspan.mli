@@ -1,0 +1,40 @@
+(** mspans: runs of pages carved into equally-sized slots (paper §3.3). *)
+
+(** Ownership state; tcfree's fast path requires [In_mcache] of the
+    allocating thread. *)
+type state =
+  | In_mcache of int  (** owned by thread/P [i] *)
+  | In_mcentral
+  | Dangling  (** large span mid-way through the 2-step free (fig. 9) *)
+  | Free
+
+type t = {
+  span_id : int;
+  class_idx : int;  (** −1 for a dedicated large-object span *)
+  npages : int;
+  slot_size : int;
+  nslots : int;
+  alloc_bits : Bytes.t;
+  mutable free_index : int;  (** next never-used slot (bump pointer) *)
+  mutable free_list : int list;  (** slots freed by tcfree/sweep *)
+  mutable allocated : int;  (** live slots *)
+  mutable state : state;
+}
+
+val create_small : int -> t
+(** [create_small class_idx]: a span sized by
+    {!Sizeclass.pages_for_class}. *)
+
+val create_large : int -> t
+(** [create_large bytes]: a one-slot dedicated span. *)
+
+val slot_allocated : t -> int -> bool
+
+val is_full : t -> bool
+
+(** Pop the free list or bump the free index; [None] when full. *)
+val alloc_slot : t -> int option
+
+(** Free one slot; reverts the bump pointer when the slot is on top
+    (cascading over already-freed slots), otherwise free-lists it. *)
+val free_slot : t -> int -> unit

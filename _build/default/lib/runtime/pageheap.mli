@@ -1,0 +1,21 @@
+(** Page-level accounting: the bottom of the allocator stack.  Pages are
+    never unmapped during a run; freed spans' pages go to a reuse pool. *)
+
+type t = {
+  mutable mapped_pages : int;
+  mutable free_pages : int;
+  mutable used_pages : int;
+  mutable max_used_pages : int;
+      (** peak pages backing live spans — the paper's "maxheap" *)
+  mutable idle_spans : Mspan.t list;
+}
+
+val create : unit -> t
+
+val alloc_pages : t -> int -> unit
+
+val free_pages : t -> int -> unit
+
+val mapped_bytes : t -> int
+
+val max_used_bytes : t -> int

@@ -1,0 +1,61 @@
+(** TCMalloc-style size classes (paper §3.3).
+
+    Small objects are rounded up to one of ~60 size classes and allocated
+    from per-class spans; anything above {!max_small} gets a dedicated
+    span of whole pages, like Go's large-object path.  The class table is
+    generated the way Go's is: 8-byte steps at the bottom, growing by
+    roughly 12.5% per class above 128 bytes, capped at 32 KiB. *)
+
+let page_size = 8192
+
+let max_small = 32768
+
+(* Class sizes, ascending.  Generated once at startup. *)
+let sizes : int array =
+  let round_up v align = (v + align - 1) / align * align in
+  let rec gen acc size =
+    if size >= max_small then List.rev (max_small :: acc)
+    else begin
+      let align =
+        if size <= 128 then 8
+        else if size <= 1024 then 16
+        else if size <= 8192 then 128
+        else 1024
+      in
+      let next = round_up (size + (size / 8) + 1) align in
+      gen (size :: acc) next
+    end
+  in
+  Array.of_list (gen [] 8)
+
+let n_classes = Array.length sizes
+
+(** Smallest class index whose size fits [bytes]; [None] for large
+    objects. *)
+let class_for_size bytes =
+  if bytes > max_small then None
+  else begin
+    (* binary search for the first class >= bytes *)
+    let lo = ref 0 and hi = ref (n_classes - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sizes.(mid) >= bytes then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+let class_size idx = sizes.(idx)
+
+(** Number of pages a span of this class occupies: enough that slot waste
+    stays under ~12.5%, like Go's class_to_allocnpages table. *)
+let pages_for_class idx =
+  let size = sizes.(idx) in
+  let rec try_pages n =
+    let span_bytes = n * page_size in
+    let slots = span_bytes / size in
+    let waste = span_bytes - (slots * size) in
+    if slots >= 1 && waste * 8 <= span_bytes then n else try_pages (n + 1)
+  in
+  try_pages 1
+
+let pages_for_large bytes = (bytes + page_size - 1) / page_size

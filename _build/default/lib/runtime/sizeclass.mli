@@ -1,0 +1,21 @@
+(** TCMalloc-style size classes (paper §3.3). *)
+
+val page_size : int
+
+(** Largest small-object size; anything above gets a dedicated span. *)
+val max_small : int
+
+(** Class sizes, ascending; first 8, last {!max_small}. *)
+val sizes : int array
+
+val n_classes : int
+
+(** Smallest class whose slot fits [bytes]; [None] for large objects. *)
+val class_for_size : int -> int option
+
+val class_size : int -> int
+
+(** Pages per span of a class, keeping slot waste under ~12.5%. *)
+val pages_for_class : int -> int
+
+val pages_for_large : int -> int

@@ -1,0 +1,90 @@
+(** The tcfree family (paper §5, Table 4): best-effort explicit
+    deallocation that never compromises safety — whenever freeing would be
+    unsafe or too costly, it gives up and leaves the object for GC.
+
+    Give-up conditions implemented (§5):
+    - GC is running concurrently (the simulated mark window);
+    - the object's mspan has been swapped out of the allocating thread's
+      mcache, or is owned by a different thread;
+    - the object was already freed (tolerated double free);
+    - the address is a stack object or not an object at all (ignored).
+
+    Small objects are freed on the mcache fast path (clear the alloc bit,
+    revert the span's free index when possible).  Large objects take the
+    2-step path of fig. 9: pages are returned and the span is marked
+    dangling immediately; the span struct itself is retired at the next
+    GC sweep. *)
+
+type outcome =
+  | Freed of int  (** bytes reclaimed *)
+  | Gave_up of Metrics.giveup
+
+(* Shared bookkeeping once a free has been decided. *)
+let reclaim (heap : Heap.t) (obj : Heap.obj) ~source =
+  obj.Heap.freed <- true;
+  if heap.Heap.config.Heap.poison_on_free then begin
+    obj.Heap.poisoned <- true;
+    heap.Heap.poison_payload obj.Heap.payload
+  end
+  else obj.Heap.payload <- Heap.No_payload;
+  Heap.bury heap obj.Heap.addr "tcfree";
+  Hashtbl.remove heap.Heap.objects obj.Heap.addr;
+  Metrics.count_tcfree heap.Heap.metrics ~category:obj.Heap.category
+    ~source ~bytes:obj.Heap.size;
+  heap.Heap.metrics.Metrics.tcfree_success <-
+    heap.Heap.metrics.Metrics.tcfree_success + 1;
+  Freed obj.Heap.size
+
+let tcfree_small (heap : Heap.t) ~thread (obj : Heap.obj) span slot ~source
+    =
+  let cache = heap.Heap.caches.(thread mod Array.length heap.Heap.caches) in
+  match span.Mspan.state with
+  | Mspan.In_mcache owner
+    when owner = cache.Mcache.thread_id && Mcache.owns cache span ->
+    Mspan.free_slot span slot;
+    reclaim heap obj ~source
+  | Mspan.In_mcache _ -> Gave_up Metrics.Ownership_changed
+  | Mspan.In_mcentral | Mspan.Dangling | Mspan.Free ->
+    (* span filled up and was swapped out since the allocation: freeing
+       would require locking mcentral, so give up (§5) *)
+    Gave_up Metrics.Span_swapped_out
+
+let tcfree_large (heap : Heap.t) (obj : Heap.obj) span slot ~source =
+  (* Step 1 of fig. 9: return the pages and mark the span dangling; the
+     GC mark phase skips dangling spans and the sweep retires them. *)
+  Mspan.free_slot span slot;
+  span.Mspan.state <- Mspan.Dangling;
+  Pageheap.free_pages heap.Heap.pages span.Mspan.npages;
+  heap.Heap.dangling_spans <- span :: heap.Heap.dangling_spans;
+  reclaim heap obj ~source
+
+(** [tcfree heap ~thread ~source addr] — the dispatching primitive of
+    Table 4.  [source] records the Table 9 attribution
+    (slice / map / map-growth). *)
+let tcfree (heap : Heap.t) ~thread ~source addr : outcome =
+  let metrics = heap.Heap.metrics in
+  metrics.Metrics.tcfree_calls <- metrics.Metrics.tcfree_calls + 1;
+  let give_up reason =
+    Metrics.count_giveup metrics reason;
+    Gave_up reason
+  in
+  if addr <= 0 then give_up Metrics.Not_an_object
+  else
+    match Heap.find_obj heap addr with
+    | None -> give_up Metrics.Already_freed
+    | Some obj ->
+      if obj.Heap.freed then give_up Metrics.Already_freed
+      else if Heap.is_stack_obj obj then give_up Metrics.Stack_object
+      else if Heap.gc_running heap then give_up Metrics.Gc_running
+      else begin
+        match obj.Heap.placement with
+        | Heap.On_stack _ -> give_up Metrics.Stack_object
+        | Heap.On_heap (span, slot) ->
+          if span.Mspan.class_idx >= 0 then
+            let outcome = tcfree_small heap ~thread obj span slot ~source in
+            (match outcome with
+            | Gave_up reason -> Metrics.count_giveup metrics reason
+            | Freed _ -> ());
+            outcome
+          else tcfree_large heap obj span slot ~source
+      end

@@ -1,0 +1,1 @@
+lib/stats/ttest.ml: Array Float Stats

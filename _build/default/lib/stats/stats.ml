@@ -1,0 +1,52 @@
+(** Basic sample statistics for the evaluation harness. *)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    in
+    ss /. float_of_int (n - 1)
+  end
+
+let stdev xs = sqrt (variance xs)
+
+let min_max xs =
+  Array.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (infinity, neg_infinity) xs
+
+(** [percentile p xs] with linear interpolation; [p] in [0, 100]. *)
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "percentile: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile 50.0 xs
+
+(** Ratio of the means, the paper's "ratio" columns (GoFree / Go). *)
+let ratio ~treatment ~control =
+  let c = mean control in
+  if c = 0.0 then 1.0 else mean treatment /. c
+
+(** Coefficient of variation of the ratio sample, the paper's "stdev"
+    columns: per-run treatment values normalized by the control mean. *)
+let ratio_stdev ~treatment ~control =
+  let c = mean control in
+  if c = 0.0 then 0.0
+  else stdev (Array.map (fun x -> x /. c) treatment)

@@ -1,0 +1,23 @@
+(** Basic sample statistics for the evaluation harness. *)
+
+val mean : float array -> float
+
+(** Unbiased sample variance (n − 1 denominator). *)
+val variance : float array -> float
+
+val stdev : float array -> float
+
+val min_max : float array -> float * float
+
+(** Linear-interpolation percentile; [p] in [0, 100].
+    Raises [Invalid_argument] on an empty sample. *)
+val percentile : float -> float array -> float
+
+val median : float array -> float
+
+(** Ratio of means (the paper's "ratio" columns, treatment / control). *)
+val ratio : treatment:float array -> control:float array -> float
+
+(** Stdev of the per-run treatment values normalized by the control
+    mean — the paper's "stdev" columns. *)
+val ratio_stdev : treatment:float array -> control:float array -> float

@@ -1,0 +1,69 @@
+(** Minimal ASCII table rendering for the benchmark harness: the paper's
+    tables are regenerated as aligned plain-text rows. *)
+
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list;  (** reverse order *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let render t : string =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i c ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+        row)
+    all;
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i c ->
+           let align = try List.nth t.aligns i with _ -> Right in
+           pad align widths.(i) c)
+         row)
+  in
+  let sep =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n"
+    ((render_row t.headers :: sep :: List.map render_row rows) @ [ "" ])
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+
+let pct1 x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let pvalue p =
+  if p < 0.001 then "<0.001" else Printf.sprintf "%.3f" p
+
+let bytes n =
+  if n >= 10 * 1024 * 1024 then Printf.sprintf "%.1fMB"
+      (float_of_int n /. 1048576.0)
+  else if n >= 10 * 1024 then Printf.sprintf "%.1fKB"
+      (float_of_int n /. 1024.0)
+  else Printf.sprintf "%dB" n

@@ -1,0 +1,21 @@
+(** Welch's unequal-variance t-test (Table 7's significance column) with
+    a self-contained Student-t CDF. *)
+
+(** Log-gamma via the Lanczos approximation (~15 digits). *)
+val log_gamma : float -> float
+
+(** Regularized incomplete beta I_x(a, b), continued-fraction
+    evaluation. *)
+val incomplete_beta : float -> float -> float -> float
+
+(** Two-sided p-value of Student's t with [df] degrees of freedom. *)
+val t_two_sided : t:float -> df:float -> float
+
+type result = {
+  t_stat : float;
+  df : float;  (** Welch–Satterthwaite degrees of freedom *)
+  p_value : float;
+  significant : bool;  (** at the paper's p = 0.01 threshold *)
+}
+
+val welch : float array -> float array -> result

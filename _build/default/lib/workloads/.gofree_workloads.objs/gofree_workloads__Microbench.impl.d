@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: List Printf String

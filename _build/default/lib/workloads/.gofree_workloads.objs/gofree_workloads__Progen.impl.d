@@ -1,0 +1,1 @@
+lib/workloads/progen.ml: Buffer Int64 Printf

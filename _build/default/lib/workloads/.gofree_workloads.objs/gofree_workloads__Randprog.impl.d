@@ -1,0 +1,1 @@
+lib/workloads/randprog.ml: Buffer Int64 List Printf String

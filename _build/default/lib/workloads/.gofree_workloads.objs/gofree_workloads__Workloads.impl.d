@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List Option String Wl_badger Wl_compiler Wl_hugo Wl_json Wl_scheck Wl_slayout

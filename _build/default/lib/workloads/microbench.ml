@@ -1,0 +1,79 @@
+(** Fig. 10 microbenchmark: the map experiment.
+
+    A loop obtains a map from a factory, inserts a fixed number of
+    entries, and drops it; the map is explicitly freed at the end of each
+    iteration and its growth steps free the abandoned bucket arrays.
+
+    The sweep parameter [c] is the inline size of the map's value type
+    (a generated struct of [c/8] int fields, mirroring Go's inline bucket
+    storage): a bigger [c] makes the average deallocated object bigger
+    while the number of deallocations per iteration stays the same —
+    reproducing the paper's trade-off where small [c] benefits run time /
+    GC frequency and large [c] benefits heap size.  Iterations scale as
+    [work / c] so each sweep point allocates a comparable total volume. *)
+
+let source ~c ~iters =
+  let nfields = max 1 (c / 8) in
+  let fields =
+    String.concat "\n"
+      (List.init nfields (fun i -> Printf.sprintf "  f%d int" i))
+  in
+  Printf.sprintf
+    {|
+type Payload struct {
+%s
+}
+
+var kept map[int]map[int]Payload
+
+func newTable() map[int]Payload {
+  return make(map[int]Payload)
+}
+
+// Most rounds: a short-lived table, explicitly freed at scope end.
+func fill(round int) int {
+  m := newTable()
+  var p Payload
+  p.f0 = round
+  for k := 0; k < 64; k++ {
+    m[k*7+round] = p
+  }
+  n := len(m)
+  return n
+}
+
+// A fraction of rounds build tables that stay live: their buckets pin
+// span pages, which is what limits the heap-size benefit of freeing
+// small objects.
+func fillKeep(round int) int {
+  m := newTable()
+  var p Payload
+  p.f0 = round
+  for k := 0; k < 64; k++ {
+    m[k*7+round] = p
+  }
+  kept[round] = m
+  return len(m)
+}
+
+func main() {
+  kept = make(map[int]map[int]Payload)
+  total := 0
+  for i := 0; i < %d; i++ {
+    if i %% 4 == 0 {
+      total += fillKeep(i)
+    } else {
+      total += fill(i)
+    }
+  }
+  println("rounds", %d, "total", total, "kept", len(kept))
+}
+|}
+    fields iters iters
+
+(** The sweep points of fig. 10 (inline value bytes). *)
+let sweep = [ 8; 32; 128; 512; 2048 ]
+
+let iters_for ~c ~work = max 20 (work / (64 * max 8 c))
+
+let default_work = 4_000_000

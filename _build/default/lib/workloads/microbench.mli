@@ -1,0 +1,14 @@
+(** Fig. 10 microbenchmark: short-lived maps whose inline value size is
+    the sweep parameter [c]; a fraction of tables is retained so span
+    pages stay pinned like a real heap. *)
+
+(** MiniGo source for one sweep point. *)
+val source : c:int -> iters:int -> string
+
+(** The sweep points (inline value bytes). *)
+val sweep : int list
+
+(** Iterations for a point, scaled to keep total allocation ≈ [work]. *)
+val iters_for : c:int -> work:int -> int
+
+val default_work : int

@@ -1,0 +1,102 @@
+(** Synthetic program generator for the compilation-speed experiment
+    (paper §6.7: compiling the ssa package 99 times) and the complexity
+    scaling comparison.
+
+    Generates a "package" of [funcs] functions, each with [stmts] pointer
+    and slice manipulating statements plus calls to earlier functions, so
+    the analysis sees realistic escape graphs and a deep call DAG. *)
+
+type st = { b : Buffer.t; mutable seed : int64 }
+
+let next t =
+  let z = Int64.add t.seed 0x9E3779B97F4A7C15L in
+  t.seed <- z;
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.to_int (Int64.logand (Int64.shift_right_logical z 33) 0xFFFFFFL)
+
+let rnd t n = if n <= 0 then 0 else next t mod n
+
+let add t fmt = Printf.ksprintf (Buffer.add_string t.b) fmt
+
+(** A package of [funcs] functions with roughly [stmts] statements each.
+    Total program size is Θ(funcs × stmts). *)
+let package ?(seed = 7L) ~funcs ~stmts () =
+  let t = { b = Buffer.create (funcs * stmts * 32); seed } in
+  add t "type Node struct {\n  id int\n  next *Node\n  payload []int\n}\n\n";
+  for f = 0 to funcs - 1 do
+    add t "func fn%d(n int, inp []int) []int {\n" f;
+    add t "  buf := make([]int, n+1)\n";
+    add t "  node := &Node{id: n, next: nil, payload: buf}\n";
+    for s = 0 to stmts - 1 do
+      match rnd t 8 with
+      | 0 -> add t "  v%d := make([]int, n+%d)\n  buf = v%d\n" s (s + 1) s
+      | 1 -> add t "  buf = append(buf, n+%d)\n" s
+      | 2 -> add t "  node.payload = buf\n"
+      | 3 ->
+        add t "  p%d := &buf\n  *p%d = inp\n" s s
+      | 4 when f > 0 ->
+        add t "  buf = fn%d(n, buf)\n" (rnd t f)
+      | 5 ->
+        add t "  if len(buf) > %d {\n    buf[%d] = n\n  }\n" s s
+      | 6 ->
+        add t
+          "  for i%d := 0; i%d < 3; i%d++ {\n    t%d := make([]int, \
+           i%d+1)\n    t%d[0] = n\n    buf = append(buf, t%d[0])\n  }\n"
+          s s s s s s s
+      | _ -> add t "  node.id = node.id + %d\n" s
+    done;
+    add t "  if node.id > 0 {\n    return node.payload\n  }\n";
+    add t "  return buf\n}\n\n"
+  done;
+  add t "func main() {\n  seedv := make([]int, 4)\n";
+  add t "  out := fn%d(3, seedv)\n  println(len(out))\n}\n" (funcs - 1);
+  Buffer.contents t.b
+
+(** One big function of [stmts] pointer-heavy statements with dense
+    aliasing: pools of buffers and pointers are cross-assigned and stored
+    through, so an inclusion-based points-to analysis accumulates O(N)
+    targets per pointer and its indirect-store constraints cascade into
+    O(N) edge insertions each — the O(N^3) behaviour of §3.2.  The escape
+    graph collapses every indirect store into a single heapLoc edge and
+    stays O(N^2). *)
+let big_function ?(seed = 11L) ~stmts () =
+  let t = { b = Buffer.create (stmts * 40); seed } in
+  add t "func big(inp []int) int {\n";
+  add t "  v0 := make([]int, 8)\n";
+  add t "  p0 := &v0\n";
+  let bufs = ref 1 and ptrs = ref 1 in
+  for s = 1 to stmts do
+    match rnd t 6 with
+    | 0 ->
+      add t "  v%d := make([]int, %d)\n" !bufs (s mod 7 + 1);
+      incr bufs
+    | 1 ->
+      add t "  p%d := &v%d\n" !ptrs (rnd t !bufs);
+      incr ptrs
+    | 2 ->
+      (* pointer copy: inclusion edge *)
+      add t "  p%d := p%d\n" !ptrs (rnd t !ptrs);
+      incr ptrs
+    | 3 ->
+      (* indirect store: the statement Andersen expands per pointee *)
+      add t "  *p%d = v%d\n" (rnd t !ptrs) (rnd t !bufs)
+    | 4 ->
+      add t "  v%d := *p%d\n" !bufs (rnd t !ptrs);
+      incr bufs
+    | _ -> add t "  v%d = append(v%d, %d)\n" (rnd t !bufs) (rnd t !bufs) s
+  done;
+  add t "  total := 0\n";
+  for i = 0 to !bufs - 1 do
+    add t "  total += len(v%d)\n" i
+  done;
+  add t
+    "  return total\n}\n\nfunc main() {\n  s := make([]int, 3)\n  \
+     println(big(s))\n}\n";
+  Buffer.contents t.b

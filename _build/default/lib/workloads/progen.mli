@@ -1,0 +1,11 @@
+(** Synthetic program generators for the compilation-speed experiments
+    (§6.7). *)
+
+(** A package of [funcs] functions with ≈[stmts] statements each and a
+    deep call DAG — the "compile the ssa package" proxy. *)
+val package : ?seed:int64 -> funcs:int -> stmts:int -> unit -> string
+
+(** One big function with dense pointer aliasing: the shape that
+    separates the O(N^2) escape analyses from the O(N^3) connection
+    graph. *)
+val big_function : ?seed:int64 -> stmts:int -> unit -> string

@@ -1,0 +1,251 @@
+(** Random MiniGo program generator for the property-based soundness
+    tests.
+
+    Generated programs are well-typed by construction and always
+    terminate (loops have constant bounds).  They exercise the features
+    the escape analysis reasons about: dynamically-sized slices, maps,
+    appends, pointers with address-of and indirect stores, nested scopes,
+    helper functions returning fresh or passed-through values, globals,
+    and defers. *)
+
+(* Generation randomness is a self-contained splitmix64 stream keyed by
+   the qcheck-provided seed integer, so shrinking stays meaningful (the
+   whole program is a function of one int). *)
+type gen_state = { mutable seed : int64 }
+
+let next st =
+  let z = Int64.add st.seed 0x9E3779B97F4A7C15L in
+  st.seed <- z;
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.to_int
+    (Int64.logand
+       (Int64.logxor z (Int64.shift_right_logical z 31))
+       0x3FFFFFFFL)
+
+type t = {
+  b : Buffer.t;
+  st : gen_state;
+  mutable depth : int;
+  mutable vid : int;
+  mutable ints : string list;
+  mutable slices : string list;
+  mutable maps : string list;
+}
+
+let rnd t n = if n <= 0 then 0 else next t.st mod n
+
+let pick t xs = List.nth xs (rnd t (List.length xs))
+
+let line t fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string t.b (String.make (2 * t.depth) ' ');
+      Buffer.add_string t.b s;
+      Buffer.add_char t.b '\n')
+    fmt
+
+let fresh t prefix =
+  t.vid <- t.vid + 1;
+  Printf.sprintf "%s%d" prefix t.vid
+
+(* An int-valued expression from in-scope material. *)
+let int_expr t =
+  match rnd t 6 with
+  | 0 -> string_of_int (rnd t 100)
+  | 1 when t.ints <> [] -> pick t t.ints
+  | 2 when t.slices <> [] -> Printf.sprintf "len(%s)" (pick t t.slices)
+  | 3 when t.maps <> [] -> Printf.sprintf "len(%s)" (pick t t.maps)
+  | 4 when t.ints <> [] ->
+    Printf.sprintf "(%s + %d)" (pick t t.ints) (rnd t 10)
+  | _ -> string_of_int (1 + rnd t 20)
+
+let rec gen_stmt t ~fuel =
+  if fuel <= 0 then line t "// fuel exhausted"
+  else
+    match rnd t 20 with
+    | 0 ->
+      let v = fresh t "n" in
+      line t "%s := %s" v (int_expr t);
+      t.ints <- v :: t.ints
+    | 1 ->
+      let v = fresh t "s" in
+      line t "%s := make([]int, %s+1)" v (int_expr t);
+      t.slices <- v :: t.slices
+    | 2 ->
+      let v = fresh t "m" in
+      line t "%s := make(map[int]int)" v;
+      t.maps <- v :: t.maps
+    | 3 when t.slices <> [] ->
+      let s = pick t t.slices in
+      line t "if len(%s) > 0 { %s[len(%s)-1] = %s }" s s s (int_expr t)
+    | 4 when t.slices <> [] ->
+      let s = pick t t.slices in
+      line t "%s = append(%s, %s)" s s (int_expr t)
+    | 5 when t.maps <> [] ->
+      let m = pick t t.maps in
+      line t "%s[%s] = %s" m (int_expr t) (int_expr t)
+    | 6 when t.ints <> [] ->
+      let v = pick t t.ints in
+      line t "%s += %s" v (int_expr t)
+    | 7 ->
+      (* nested scope with its own allocations *)
+      line t "{";
+      let saved = (t.ints, t.slices, t.maps) in
+      t.depth <- t.depth + 1;
+      gen_block t ~fuel:(fuel / 2) ~stmts:(1 + rnd t 3);
+      t.depth <- t.depth - 1;
+      let i, s, m = saved in
+      t.ints <- i;
+      t.slices <- s;
+      t.maps <- m;
+      line t "}"
+    | 8 ->
+      (* bounded loop *)
+      let i = fresh t "i" in
+      line t "for %s := 0; %s < %d; %s++ {" i i (2 + rnd t 6) i;
+      let saved = (t.ints, t.slices, t.maps) in
+      t.depth <- t.depth + 1;
+      t.ints <- i :: t.ints;
+      gen_block t ~fuel:(fuel / 3) ~stmts:(1 + rnd t 3);
+      t.depth <- t.depth - 1;
+      let ii, s, m = saved in
+      t.ints <- ii;
+      t.slices <- s;
+      t.maps <- m;
+      line t "}"
+    | 9 when t.ints <> [] ->
+      line t "if %s %% 2 == 0 {" (pick t t.ints);
+      let saved = (t.ints, t.slices, t.maps) in
+      t.depth <- t.depth + 1;
+      gen_stmt t ~fuel:(fuel / 2);
+      t.depth <- t.depth - 1;
+      let i, s, m = saved in
+      t.ints <- i;
+      t.slices <- s;
+      t.maps <- m;
+      line t "}"
+    | 10 ->
+      (* call a helper: fresh slice from a factory *)
+      let v = fresh t "f" in
+      line t "%s := factory(%s + 1)" v (int_expr t);
+      t.slices <- v :: t.slices
+    | 11 when t.slices <> [] ->
+      (* pass a slice through the identity helper (aliasing) *)
+      let v = fresh t "al" in
+      line t "%s := passthrough(%s)" v (pick t t.slices);
+      t.slices <- v :: t.slices
+    | 12 when t.slices <> [] ->
+      (* leak into the global sink *)
+      line t "sink = %s" (pick t t.slices)
+    | 13 when t.slices <> [] ->
+      let s = pick t t.slices in
+      line t "if len(%s) > 0 { acc += %s[0] }" s s
+    | 14 when t.slices <> [] ->
+      (* fig-1-style trap: the whole aliasing chain lives in an inner
+         scope; the indirect store redirects it at a long-lived slice.
+         Only the completeness back-propagation (Incomplete through
+         Holds, fig. 5 lines 10-13) stops GoFree from freeing through
+         the alias — which at run time would free the outer slice's
+         array while it is still in use *)
+      let s2 = pick t t.slices in
+      let s1 = fresh t "tr" and ps = fresh t "ps" and al = fresh t "al" in
+      line t "{";
+      t.depth <- t.depth + 1;
+      line t "%s := make([]int, %d+1)" s1 (rnd t 6);
+      line t "%s := &%s" ps s1;
+      line t "*%s = %s" ps s2;
+      line t "%s := *%s" al ps;
+      line t "if len(%s) > 0 { acc += %s[0] }" al al;
+      t.depth <- t.depth - 1;
+      line t "}"
+    | 16 when t.slices <> [] ->
+      (* sub-slice view: aliases the parent's backing array *)
+      let s = pick t t.slices in
+      let v = fresh t "vw" in
+      line t "%s := %s[:len(%s)/2]" v s s;
+      t.slices <- v :: t.slices
+    | 17 when t.slices <> [] ->
+      let s = pick t t.slices in
+      let v = fresh t "tl" in
+      line t "%s := %s[len(%s)/3:]" v s s;
+      t.slices <- v :: t.slices
+    | 18 when List.length t.slices >= 2 ->
+      let a = pick t t.slices in
+      let b = pick t t.slices in
+      line t "acc += copy(%s, %s)" a b
+    | 19 when t.maps <> [] ->
+      let m = pick t t.maps in
+      let k = fresh t "mk" in
+      line t "for %s := range %s {" k m;
+      t.depth <- t.depth + 1;
+      line t "acc += %s[%s] + %s" m k k;
+      t.depth <- t.depth - 1;
+      line t "}"
+    | _ ->
+      let v = fresh t "k" in
+      line t "%s := %s * 2" v (int_expr t);
+      t.ints <- v :: t.ints
+
+and gen_block t ~fuel ~stmts =
+  for _ = 1 to stmts do
+    gen_stmt t ~fuel
+  done
+
+(** Generate a complete program from an integer seed.  The trailing
+    checksum println makes every run observably comparable. *)
+let generate seed =
+  let t =
+    {
+      b = Buffer.create 1024;
+      st = { seed = Int64.of_int seed };
+      depth = 0;
+      vid = 0;
+      ints = [];
+      slices = [];
+      maps = [];
+    }
+  in
+  Buffer.add_string t.b
+    {|var sink []int
+var acc int
+
+func factory(n int) []int {
+  out := make([]int, n)
+  for i := 0; i < n; i++ {
+    out[i] = i * 3
+  }
+  return out
+}
+
+func passthrough(s []int) []int {
+  return s
+}
+
+func checksum(s []int) int {
+  total := 0
+  for i := 0; i < len(s); i++ {
+    total += s[i]
+  }
+  return total
+}
+
+func main() {
+|};
+  t.depth <- 1;
+  gen_block t ~fuel:24 ~stmts:(6 + rnd t 10);
+  (* observable summary: every live slice/map/int feeds the checksum *)
+  line t "total := acc";
+  List.iter (fun v -> line t "total += %s" v) t.ints;
+  List.iter (fun v -> line t "total += checksum(%s)" v) t.slices;
+  List.iter (fun v -> line t "total += len(%s)" v) t.maps;
+  line t "if sink != nil { total += checksum(sink) }";
+  line t "println(\"checksum\", total)";
+  Buffer.add_string t.b "}\n";
+  Buffer.contents t.b

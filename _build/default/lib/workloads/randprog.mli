@@ -1,0 +1,13 @@
+(** Random well-typed MiniGo programs for the property-based soundness
+    tests and the §6.8 robustness benchmark.
+
+    Programs terminate by construction, end with a checksum [println]
+    over every live value (so runs are observably comparable), and
+    exercise the constructs the escape analysis reasons about: dynamic
+    slices, maps, appends, sub-slice views, [copy], factory and
+    pass-through helpers, global leaks, map iteration, and the
+    fig-1-style indirect-store trap that distinguishes a sound
+    completeness analysis from an unsound one. *)
+
+(** Deterministic: the program is a pure function of the seed. *)
+val generate : int -> string

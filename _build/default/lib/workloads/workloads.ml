@@ -1,0 +1,58 @@
+(** Registry of the six subject-program proxies (paper Table 6) and the
+    fig. 10 microbenchmark.
+
+    Each entry yields MiniGo source parameterized by a size knob; the
+    default sizes are tuned so one run takes tens of milliseconds, and the
+    harness can scale them with [--scale]. *)
+
+type t = {
+  w_name : string;  (** the paper's project name *)
+  w_description : string;
+  w_source : size:int -> string;
+  w_default_size : int;
+}
+
+let all : t list =
+  [
+    {
+      w_name = "Go";
+      w_description = "the Go compiler: slice-heavy basic-block buffers";
+      w_source = Wl_compiler.source;
+      w_default_size = Wl_compiler.default_size;
+    };
+    {
+      w_name = "hugo";
+      w_description = "webpage generator converting markdown into HTML";
+      w_source = Wl_hugo.source;
+      w_default_size = Wl_hugo.default_size;
+    };
+    {
+      w_name = "badger";
+      w_description = "key-value database with LSM memtables";
+      w_source = Wl_badger.source;
+      w_default_size = Wl_badger.default_size;
+    };
+    {
+      w_name = "json";
+      w_description = "JSON parsing and manipulation";
+      w_source = Wl_json.source;
+      w_default_size = Wl_json.default_size;
+    };
+    {
+      w_name = "scheck";
+      w_description = "static checking tool (per-function fact maps)";
+      w_source = Wl_scheck.source;
+      w_default_size = Wl_scheck.default_size;
+    };
+    {
+      w_name = "slayout";
+      w_description = "struct layout analysis tool";
+      w_source = Wl_slayout.source;
+      w_default_size = Wl_slayout.default_size;
+    };
+  ]
+
+let find name = List.find_opt (fun w -> String.equal w.w_name name) all
+
+let source_of ?size (w : t) =
+  w.w_source ~size:(Option.value size ~default:w.w_default_size)

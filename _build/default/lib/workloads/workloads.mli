@@ -1,0 +1,16 @@
+(** Registry of the six subject-program proxies (paper Table 6). *)
+
+type t = {
+  w_name : string;  (** the paper's project name *)
+  w_description : string;
+  w_source : size:int -> string;
+  w_default_size : int;
+}
+
+(** All six, in the paper's Table 6 order. *)
+val all : t list
+
+val find : string -> t option
+
+(** MiniGo source at [size] (default: the workload's default size). *)
+val source_of : ?size:int -> t -> string

@@ -1,0 +1,1 @@
+test/gen_program.ml: Gofree_workloads

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Gofree_core Gofree_interp Gofree_runtime List Minigo

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Gofree_baselines Helpers Minigo Option

@@ -1,0 +1,1 @@
+test/test_escape.ml: Alcotest Analysis Buffer Gofree_core Gofree_escape Graph Helpers List Loc Minigo Printf

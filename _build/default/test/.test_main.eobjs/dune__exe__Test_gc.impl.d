@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Array Gc_collector Gofree_runtime Heap List Mcache Metrics Mspan Pageheap Tcfree

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Gofree_core Helpers List Minigo Option Tast

@@ -1,0 +1,1 @@
+test/test_ipa.ml: Alcotest Analysis Array Gofree_core Gofree_escape Hashtbl Helpers List Loc Summary

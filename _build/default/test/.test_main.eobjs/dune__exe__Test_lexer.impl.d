@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Fmt Lexer List Minigo Token

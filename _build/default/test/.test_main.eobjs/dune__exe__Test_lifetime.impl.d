@@ -1,0 +1,1 @@
+test/test_lifetime.ml: Alcotest Analysis Build Gofree_core Gofree_escape Hashtbl Helpers List Loc Minigo Option String

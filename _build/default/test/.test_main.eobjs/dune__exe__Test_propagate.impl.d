@@ -1,0 +1,1 @@
+test/test_propagate.ml: Alcotest Gofree_escape Graph Loc Propagate

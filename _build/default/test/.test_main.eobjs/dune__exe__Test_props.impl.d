@@ -1,0 +1,1 @@
+test/test_props.ml: Gen_program Gofree_core Gofree_interp Gofree_runtime Hashtbl Helpers List Minigo Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Gofree_core Gofree_interp Gofree_runtime Gofree_workloads Helpers List Printf

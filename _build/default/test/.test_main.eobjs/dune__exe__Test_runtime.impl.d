@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Gofree_runtime Heap List Mcache Mcentral Metrics Mspan Option Pageheap Printf Sizeclass

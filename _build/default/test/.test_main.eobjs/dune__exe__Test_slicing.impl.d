@@ -1,0 +1,1 @@
+test/test_slicing.ml: Alcotest Gofree_escape Helpers List

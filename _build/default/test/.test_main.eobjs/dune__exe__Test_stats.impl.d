@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gofree_stats List Stats String Table Ttest

@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Analysis Array Gofree_core Gofree_escape Hashtbl Helpers List Minigo Option Summary Tast

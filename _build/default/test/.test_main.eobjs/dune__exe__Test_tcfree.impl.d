@@ -1,0 +1,1 @@
+test/test_tcfree.ml: Alcotest Array Gc_collector Gofree_runtime Heap List Metrics Mspan Pageheap Sizeclass Tcfree

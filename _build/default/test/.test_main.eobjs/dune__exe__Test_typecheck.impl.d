@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Gofree_core Helpers List Minigo Option String Tast Types

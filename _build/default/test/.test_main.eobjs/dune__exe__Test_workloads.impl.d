@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Gofree_core Gofree_interp Gofree_runtime Gofree_workloads List Option Printf String

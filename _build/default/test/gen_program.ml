@@ -1,0 +1,5 @@
+(** Test-side alias of the random MiniGo program generator (the
+    implementation lives in the workloads library so the robustness
+    benchmark can reuse it). *)
+
+let generate = Gofree_workloads.Randprog.generate

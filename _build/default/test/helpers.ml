@@ -1,0 +1,63 @@
+(** Shared helpers for the test suites. *)
+
+let compile ?(config = Gofree_core.Config.gofree) src =
+  Gofree_core.Pipeline.compile ~config src
+
+let compile_go src = Gofree_core.Pipeline.compile_go src
+
+let parse_check src = Gofree_core.Pipeline.parse_and_check src
+
+(** Run a source string; returns (output, metrics). *)
+let run ?(config = Gofree_core.Config.gofree) ?run_config src =
+  let r =
+    Gofree_interp.Runner.compile_and_run ~gofree_config:config ?run_config
+      src
+  in
+  (r.Gofree_interp.Runner.output, r.Gofree_interp.Runner.metrics)
+
+(** Run under the mock poison tcfree of §6.8; any wrong free raises
+    {!Gofree_interp.Value.Corruption}. *)
+let run_poison ?(config = Gofree_core.Config.gofree) src =
+  let run_config =
+    {
+      Gofree_interp.Interp.default_config with
+      heap_config =
+        { Gofree_runtime.Heap.default_config with poison_on_free = true };
+    }
+  in
+  run ~config ~run_config src
+
+let output ?config src = fst (run ?config src)
+
+(** Assert that the program produces the same output under stock Go,
+    GoFree, and GoFree-with-poison — the robustness check. *)
+let check_all_settings_agree ~name src =
+  let go = output ~config:Gofree_core.Config.go src in
+  let gf = output ~config:Gofree_core.Config.gofree src in
+  let gp = fst (run_poison src) in
+  Alcotest.(check string) (name ^ ": Go vs GoFree") go gf;
+  Alcotest.(check string) (name ^ ": Go vs GoFree+poison") go gp
+
+(** Names of variables with tcfree inserted, per function. *)
+let inserted_vars compiled =
+  List.map
+    (fun { Gofree_core.Instrument.ins_func; ins_var; ins_kind } ->
+      ( ins_func,
+        ins_var.Minigo.Tast.v_name,
+        match ins_kind with
+        | Minigo.Tast.Free_slice -> "slice"
+        | Minigo.Tast.Free_map -> "map"
+        | Minigo.Tast.Free_obj -> "obj" ))
+    compiled.Gofree_core.Pipeline.c_inserted
+
+let var_props compiled ~func ~var =
+  match
+    Gofree_core.Report.var_properties
+      compiled.Gofree_core.Pipeline.c_analysis ~func ~var
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no location for %s.%s" func var
+
+let points_to compiled ~func ~var =
+  Gofree_core.Report.points_to_of_var
+    compiled.Gofree_core.Pipeline.c_analysis ~func ~var

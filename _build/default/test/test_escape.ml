@@ -1,0 +1,260 @@
+(** Escape analysis tests: graph mechanics (Holds/MinDerefs/PointsTo,
+    Defs 4.6–4.9) and the paper's fig. 1 / fig. 3 behaviours. *)
+
+open Gofree_escape
+
+let fig1 =
+  {|
+type Big struct {
+  fat int
+  p *float
+}
+
+func dd(s *float) *float {
+  bigObj := Big{fat: 42, p: s}
+  c := 1.0
+  d := 2.0
+  pc := &c
+  pd := &d
+  ppd := &pd
+  *ppd = pc
+  pd2 := *ppd
+  if bigObj.fat > 0 {
+    return pd2
+  }
+  return pd
+}
+
+func main() {
+  x := 3.0
+  r := dd(&x)
+  println(*r)
+}
+|}
+
+let fig3 =
+  {|
+func analyses(n int) {
+  s1 := make([]int, 335)
+  s1[0] = 1
+  for i := 1; i < n; i++ {
+    s2 := make([]int, i)
+    s2[0] = i
+  }
+}
+func main() { analyses(10) }
+|}
+
+(* ---- raw graph mechanics ------------------------------------------- *)
+
+let mkloc g name =
+  Graph.fresh_loc g (Loc.Kcontent name) ~loop_depth:0 ~decl_depth:1
+
+let test_min_derefs () =
+  (* p = &q; r = *p  ⇒  q's value reaches r at derefs 0 *)
+  let g = Graph.create () in
+  let q = mkloc g "q" and p = mkloc g "p" and r = mkloc g "r" in
+  Graph.add_edge g ~src:q ~dst:p ~weight:(-1);
+  Graph.add_edge g ~src:p ~dst:r ~weight:1;
+  Alcotest.(check (option int)) "q in PointsTo(p)" (Some (-1))
+    (Graph.min_derefs g q p);
+  Alcotest.(check (option int)) "q to r" (Some 0) (Graph.min_derefs g q r);
+  Alcotest.(check (option int)) "p to r" (Some 1) (Graph.min_derefs g p r);
+  Alcotest.(check (option int)) "unreachable" None (Graph.min_derefs g r q)
+
+let test_track_derefs_floor () =
+  (* the max(0, ·) floor of Def 4.7: derefs never drop below −1 along a
+     track, even over several address-of edges *)
+  let g = Graph.create () in
+  let a = mkloc g "a" and b = mkloc g "b" and c = mkloc g "c" in
+  Graph.add_edge g ~src:a ~dst:b ~weight:(-1);
+  Graph.add_edge g ~src:b ~dst:c ~weight:(-1);
+  Alcotest.(check (option int)) "a to c floors at -1" (Some (-1))
+    (Graph.min_derefs g a c)
+
+let test_min_over_tracks () =
+  (* two tracks with different derefs: the minimum wins (Def 4.8) *)
+  let g = Graph.create () in
+  let src = mkloc g "src" and mid = mkloc g "mid" and dst = mkloc g "dst" in
+  Graph.add_edge g ~src ~dst ~weight:1;
+  Graph.add_edge g ~src ~dst:mid ~weight:(-1);
+  Graph.add_edge g ~src:mid ~dst ~weight:0;
+  Alcotest.(check (option int)) "min of 1 and -1" (Some (-1))
+    (Graph.min_derefs g src dst)
+
+let test_points_to_materialization () =
+  let g = Graph.create () in
+  let o1 = mkloc g "o1" and o2 = mkloc g "o2" and p = mkloc g "p" in
+  Graph.add_edge g ~src:o1 ~dst:p ~weight:(-1);
+  Graph.add_edge g ~src:o2 ~dst:p ~weight:(-1);
+  let pts = List.map Loc.name (Graph.points_to g p) in
+  Alcotest.(check (list string)) "points-to set"
+    [ "content(o1)"; "content(o2)" ]
+    (List.sort compare pts)
+
+(* ---- paper figures -------------------------------------------------- *)
+
+let test_fig3_stack_vs_heap () =
+  let compiled = Helpers.compile fig3 in
+  let program = compiled.Gofree_core.Pipeline.c_program in
+  let analysis = compiled.Gofree_core.Pipeline.c_analysis in
+  let sites =
+    List.filter
+      (fun (s : Minigo.Tast.alloc_site) ->
+        s.Minigo.Tast.site_kind = Minigo.Tast.Site_slice)
+      program.Minigo.Tast.p_sites
+  in
+  match sites with
+  | [ make1; make2 ] ->
+    Alcotest.(check bool) "make1 (constant size) on stack" false
+      (Analysis.site_is_heap analysis ~func:"analyses" make1);
+    Alcotest.(check bool) "make2 (dynamic size) on heap" true
+      (Analysis.site_is_heap analysis ~func:"analyses" make2)
+  | _ -> Alcotest.fail "expected two slice sites"
+
+let test_fig3_tcfree () =
+  let compiled = Helpers.compile fig3 in
+  Alcotest.(check (list (triple string string string)))
+    "only s2 freed, as a slice"
+    [ ("analyses", "s2", "slice") ]
+    (Helpers.inserted_vars compiled)
+
+let test_fig1_properties () =
+  let compiled = Helpers.compile fig1 in
+  let prop var = Helpers.var_props compiled ~func:"dd" ~var in
+  (* pc exposes c's address via the indirect store *ppd = pc *)
+  Alcotest.(check bool) "Exposes(pc)" true (prop "pc").Loc.exposes;
+  (* but pc's own points-to set stays complete *)
+  Alcotest.(check (list string)) "PointsTo(pc)" [ "c" ]
+    (Helpers.points_to compiled ~func:"dd" ~var:"pc");
+  (* pd2's points-to set is incomplete: the escape graph cannot see that
+     it may also point at c *)
+  Alcotest.(check bool) "Incomplete(pd2)" true
+    (Loc.incomplete (prop "pd2"));
+  Alcotest.(check (list string)) "PointsTo(pd2) misses c" [ "d" ]
+    (Helpers.points_to compiled ~func:"dd" ~var:"pd2");
+  (* c and d are returned (via pointers): heap-allocated *)
+  Alcotest.(check bool) "HeapAlloc(c)" true (prop "c").Loc.heap_alloc;
+  Alcotest.(check bool) "HeapAlloc(d)" true (prop "d").Loc.heap_alloc;
+  (* nothing in dd is freed: pd2 incomplete, pd outlived by the return *)
+  Alcotest.(check (list (triple string string string)))
+    "no frees in dd" []
+    (List.filter (fun (f, _, _) -> f = "dd")
+       (Helpers.inserted_vars compiled))
+
+let test_heap_forcing_through_indirection () =
+  (* storing a pointer through an untracked path forces the pointee to
+     the heap (Table 2's q → heapLoc edge) *)
+  let compiled =
+    Helpers.compile
+      {|
+func f(pp **int) {
+  x := 42
+  *pp = &x
+}
+func main() {
+  y := 0
+  p := &y
+  f(&p)
+  println(*p)
+}
+|}
+  in
+  let x = Helpers.var_props compiled ~func:"f" ~var:"x" in
+  Alcotest.(check bool) "x forced to heap" true x.Loc.heap_alloc
+
+let test_loop_depth_forcing () =
+  (* a pointer declared outside a loop keeps each iteration's allocation
+     alive: the allocation must be heap (Def 4.10's LoopDepth rule) *)
+  let compiled =
+    Helpers.compile
+      {|
+func f(n int) int {
+  var keep []int
+  for i := 0; i < n; i++ {
+    s := make([]int, 3)
+    s[0] = i
+    keep = s
+  }
+  return keep[0]
+}
+func main() { println(f(3)) }
+|}
+  in
+  let program = compiled.Gofree_core.Pipeline.c_program in
+  let site =
+    List.find
+      (fun (s : Minigo.Tast.alloc_site) ->
+        s.Minigo.Tast.site_kind = Minigo.Tast.Site_slice)
+      program.Minigo.Tast.p_sites
+  in
+  Alcotest.(check bool) "loop allocation escapes iteration" true
+    (Analysis.site_is_heap compiled.Gofree_core.Pipeline.c_analysis
+       ~func:"f" site);
+  (* and s must not be freed inside the loop: keep outlives it *)
+  Alcotest.(check (list (triple string string string))) "no frees" []
+    (Helpers.inserted_vars compiled)
+
+let test_globals_escape () =
+  let compiled =
+    Helpers.compile
+      {|
+var g []int
+func f() {
+  s := make([]int, 4)
+  g = s
+}
+func main() { f()
+  println(len(g)) }
+|}
+  in
+  let s = Helpers.var_props compiled ~func:"f" ~var:"s" in
+  Alcotest.(check bool) "global-stored slice not freed" false
+    (Gofree_escape.Propagate.to_free s);
+  Alcotest.(check (list (triple string string string))) "no frees" []
+    (Helpers.inserted_vars compiled)
+
+let test_walk_steps_scale () =
+  (* sanity on the O(N^2) claim: doubling program size should not blow
+     up walk steps by more than ~8x (allowing constant factors) *)
+  let gen n =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "func main() {\n  a0 := make([]int, 1)\n";
+    for i = 1 to n do
+      Buffer.add_string buf (Printf.sprintf "  a%d := a%d\n" i (i - 1))
+    done;
+    Buffer.add_string buf (Printf.sprintf "  println(len(a%d))\n}\n" n);
+    Buffer.contents buf
+  in
+  let steps n =
+    let compiled = Helpers.compile (gen n) in
+    Analysis.total_walk_steps compiled.Gofree_core.Pipeline.c_analysis
+  in
+  let s1 = steps 50 and s2 = steps 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "quadratic-ish growth (%d -> %d)" s1 s2)
+    true
+    (s2 < 10 * s1)
+
+let suite =
+  [
+    Alcotest.test_case "MinDerefs over tracks" `Quick test_min_derefs;
+    Alcotest.test_case "TrackDerefs floor" `Quick test_track_derefs_floor;
+    Alcotest.test_case "minimum over multiple tracks" `Quick
+      test_min_over_tracks;
+    Alcotest.test_case "PointsTo materialization" `Quick
+      test_points_to_materialization;
+    Alcotest.test_case "fig 3: stack vs heap make" `Quick
+      test_fig3_stack_vs_heap;
+    Alcotest.test_case "fig 3: tcfree for make2 only" `Quick
+      test_fig3_tcfree;
+    Alcotest.test_case "fig 1: exposes/incomplete/heap" `Quick
+      test_fig1_properties;
+    Alcotest.test_case "indirect store forces heap" `Quick
+      test_heap_forcing_through_indirection;
+    Alcotest.test_case "loop depth forces heap" `Quick
+      test_loop_depth_forcing;
+    Alcotest.test_case "globals escape" `Quick test_globals_escape;
+    Alcotest.test_case "walk steps stay polynomial" `Quick
+      test_walk_steps_scale;
+  ]

@@ -1,0 +1,181 @@
+(** Instrumentation tests (paper §4.5): placement of inserted tcfree
+    statements and target filtering. *)
+
+open Minigo
+
+let last_stmts_of_block (b : Tast.block) = b.Tast.b_stmts
+
+let find_func compiled name =
+  Tast.find_func compiled.Gofree_core.Pipeline.c_program name |> Option.get
+
+let test_free_before_trailing_return () =
+  let compiled =
+    Helpers.compile
+      {|
+func f(n int) int {
+  s := make([]int, n)
+  s[0] = 7
+  x := s[0]
+  return x
+}
+func main() { println(f(3)) }
+|}
+  in
+  let f = find_func compiled "f" in
+  match List.rev (last_stmts_of_block f.Tast.f_body) with
+  | Tast.Sreturn _ :: Tast.Stcfree (v, Tast.Free_slice) :: _ ->
+    Alcotest.(check string) "frees s" "s" v.Tast.v_name
+  | _ -> Alcotest.fail "expected tcfree immediately before return"
+
+let test_free_skipped_when_return_uses_var () =
+  (* `return len(s)` uses s: inserting before it would be a
+     use-after-free — the instrumentation must skip it *)
+  let compiled =
+    Helpers.compile
+      {|
+func f(n int) int {
+  s := make([]int, n)
+  s[0] = 7
+  return len(s) + s[0]
+}
+func main() { println(f(3)) }
+|}
+  in
+  Alcotest.(check (list (triple string string string)))
+    "no free when trailing return mentions the var" []
+    (List.filter (fun (fn, _, _) -> fn = "f")
+       (Helpers.inserted_vars compiled));
+  Helpers.check_all_settings_agree ~name:"return-mentions-var"
+    {|
+func f(n int) int {
+  s := make([]int, n)
+  s[0] = 7
+  return len(s) + s[0]
+}
+func main() { println(f(3)) }
+|}
+
+let test_free_appended_at_block_end () =
+  let compiled =
+    Helpers.compile
+      {|
+func f(n int) {
+  s := make([]int, n)
+  s[0] = 1
+}
+func main() { f(2) }
+|}
+  in
+  let f = find_func compiled "f" in
+  match List.rev (last_stmts_of_block f.Tast.f_body) with
+  | Tast.Stcfree (_, Tast.Free_slice) :: _ -> ()
+  | _ -> Alcotest.fail "expected tcfree as last statement"
+
+let test_target_filtering () =
+  let src =
+    {|
+type T struct { a int }
+func sink(m map[int]int) map[int]int {
+  m[1] = 2
+  return m
+}
+func mk(n int) *T {
+  return &T{a: n}
+}
+func f(n int) int {
+  s := make([]int, n)
+  m := sink(make(map[int]int))
+  p := mk(n)
+  s[0] = 1
+  m[0] = 1
+  x := s[0] + m[0] + p.a
+  return x
+}
+func main() { println(f(9)) }
+|}
+  in
+  let default = Helpers.compile src in
+  let kinds = List.map (fun (_, _, k) -> k) (Helpers.inserted_vars default) in
+  Alcotest.(check bool) "slices freed by default" true
+    (List.mem "slice" kinds);
+  Alcotest.(check bool) "raw pointers not freed by default" false
+    (List.mem "obj" kinds);
+  let all = Helpers.compile ~config:Gofree_core.Config.all_targets src in
+  let kinds_all =
+    List.map (fun (_, _, k) -> k) (Helpers.inserted_vars all)
+  in
+  Alcotest.(check bool) "pointers freed with all-targets" true
+    (List.mem "obj" kinds_all)
+
+let test_go_mode_inserts_nothing () =
+  let compiled =
+    Helpers.compile ~config:Gofree_core.Config.go
+      {|
+func f(n int) int {
+  s := make([]int, n)
+  s[0] = 1
+  x := s[0]
+  return x
+}
+func main() { println(f(3)) }
+|}
+  in
+  Alcotest.(check (list (triple string string string))) "stock Go" []
+    (Helpers.inserted_vars compiled)
+
+let test_double_free_adjacent_aliases () =
+  (* two aliases of the same object, both eligible: the paper accepts
+     the adjacent double free because tcfree tolerates it (§5) — the
+     program must still behave identically, even under poison *)
+  Helpers.check_all_settings_agree ~name:"adjacent aliases"
+    {|
+func f(n int) int {
+  s := make([]int, n)
+  t := s
+  t[0] = 3
+  return s[0] + t[0]
+}
+func main() { println(f(4)) }
+|}
+
+let test_multiple_frees_in_one_scope () =
+  let compiled =
+    Helpers.compile
+      {|
+func f(n int) int {
+  a := make([]int, n)
+  b := make([]int, n+1)
+  c := make(map[int]int)
+  a[0] = 1
+  b[0] = 2
+  c[0] = 3
+  x := a[0] + b[0] + c[0]
+  return x
+}
+func main() { println(f(5)) }
+|}
+  in
+  let freed =
+    List.filter (fun (fn, _, _) -> fn = "f") (Helpers.inserted_vars compiled)
+  in
+  (* a and b are heap (dynamic size) and freed; c's map is non-escaping
+     with constant initial size, so Go stack-allocates it and there is
+     nothing for tcfree to do (Def 4.16) *)
+  Alcotest.(check int) "two frees" 2 (List.length freed)
+
+let suite =
+  [
+    Alcotest.test_case "free before trailing return" `Quick
+      test_free_before_trailing_return;
+    Alcotest.test_case "skip when return mentions var" `Quick
+      test_free_skipped_when_return_uses_var;
+    Alcotest.test_case "free at block end" `Quick
+      test_free_appended_at_block_end;
+    Alcotest.test_case "target filtering" `Quick test_target_filtering;
+    Alcotest.test_case "stock Go inserts nothing" `Quick
+      test_go_mode_inserts_nothing;
+    Alcotest.test_case "adjacent alias double-free" `Quick
+      test_double_free_adjacent_aliases;
+    Alcotest.test_case "several frees per scope" `Quick
+      test_multiple_frees_in_one_scope;
+  ]

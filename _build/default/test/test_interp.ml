@@ -1,0 +1,600 @@
+(** Interpreter semantics tests: one small program per language feature,
+    checked against its expected output, plus panic/defer/goroutine
+    behaviour and the Go-vs-GoFree output-equality guarantee. *)
+
+let expect name src want =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name want (Helpers.output src);
+      (* every semantics test doubles as a robustness test *)
+      Helpers.check_all_settings_agree ~name src)
+
+let suite =
+  [
+    expect "arithmetic"
+      {|
+func main() {
+  println(2+3*4, 10/3, 10%3, -7/2)
+}
+|}
+      "14 3 1 -3\n";
+    expect "float arithmetic"
+      {|
+func main() {
+  x := 1.5
+  y := x * 2.0 + 0.25
+  println(y, y > 3.0)
+}
+|}
+      "3.25 true\n";
+    expect "strings"
+      {|
+func main() {
+  s := "foo" + "bar"
+  println(s, len(s), s < "fox", substr(s, 1, 4), itoa(42))
+}
+|}
+      "foobar 6 true oob 42\n";
+    expect "string indexing"
+      {|
+func main() {
+  s := "AZ"
+  println(s[0], s[1])
+}
+|}
+      "65 90\n";
+    expect "booleans and shortcut evaluation"
+      {|
+func boom() bool {
+  panic("must not run")
+}
+func main() {
+  println(true || boom(), false && boom())
+}
+|}
+      "true false\n";
+    expect "if else chain"
+      {|
+func grade(x int) string {
+  if x > 90 {
+    return "A"
+  } else if x > 80 {
+    return "B"
+  } else {
+    return "C"
+  }
+}
+func main() {
+  println(grade(95), grade(85), grade(10))
+}
+|}
+      "A B C\n";
+    expect "for loops with break and continue"
+      {|
+func main() {
+  sum := 0
+  for i := 0; i < 100; i++ {
+    if i % 2 == 0 {
+      continue
+    }
+    if i > 10 {
+      break
+    }
+    sum += i
+  }
+  println(sum)
+}
+|}
+      "25\n";
+    expect "range over int and slice"
+      {|
+func main() {
+  s := make([]int, 4)
+  for i := range s {
+    s[i] = i * i
+  }
+  total := 0
+  for i := range 4 {
+    total += s[i]
+  }
+  println(total)
+}
+|}
+      "14\n";
+    expect "nested functions and recursion"
+      {|
+func fib(n int) int {
+  if n < 2 {
+    return n
+  }
+  return fib(n-1) + fib(n-2)
+}
+func main() { println(fib(15)) }
+|}
+      "610\n";
+    expect "multiple return values"
+      {|
+func divmod(a int, b int) (int, int) {
+  return a / b, a % b
+}
+func main() {
+  q, r := divmod(17, 5)
+  println(q, r)
+}
+|}
+      "3 2\n";
+    expect "swap"
+      {|
+func main() {
+  a := 1
+  b := 2
+  a, b = b, a
+  println(a, b)
+}
+|}
+      "2 1\n";
+    expect "pointers"
+      {|
+func bump(p *int) {
+  *p = *p + 1
+}
+func main() {
+  x := 41
+  bump(&x)
+  p := &x
+  pp := &p
+  **pp = **pp + 1
+  println(x)
+}
+|}
+      "43\n";
+    expect "struct values copy on assignment"
+      {|
+type P struct { x int
+ y int }
+func main() {
+  a := P{x: 1, y: 2}
+  b := a
+  b.x = 99
+  println(a.x, b.x)
+}
+|}
+      "1 99\n";
+    expect "struct pointers share"
+      {|
+type P struct { x int }
+func main() {
+  a := &P{x: 1}
+  b := a
+  b.x = 99
+  println(a.x)
+}
+|}
+      "99\n";
+    expect "nested struct fields"
+      {|
+type Inner struct { v int }
+type Outer struct { inner Inner
+ pi *Inner }
+func main() {
+  o := Outer{inner: Inner{v: 1}, pi: &Inner{v: 2}}
+  o.inner.v = 10
+  o.pi.v = 20
+  println(o.inner.v, o.pi.v)
+}
+|}
+      "10 20\n";
+    expect "address of field and element"
+      {|
+type P struct { x int }
+func main() {
+  s := make([]int, 3)
+  p := &s[1]
+  *p = 7
+  t := P{x: 1}
+  q := &t.x
+  *q = 9
+  println(s[1], t.x)
+}
+|}
+      "7 9\n";
+    expect "slices: make, len, cap, append growth"
+      {|
+func main() {
+  s := make([]int, 2, 4)
+  println(len(s), cap(s))
+  s = append(s, 10)
+  s = append(s, 11)
+  println(len(s), cap(s))
+  s = append(s, 12)
+  println(len(s), cap(s) >= 5, s[4])
+}
+|}
+      "2 4\n4 4\n5 true 12\n";
+    expect "append aliasing semantics"
+      {|
+func main() {
+  s := make([]int, 1, 4)
+  t := append(s, 5)
+  t[0] = 9
+  println(s[0], t[1])
+}
+|}
+      "9 5\n";
+    expect "slice literals"
+      {|
+func main() {
+  s := []int{3, 1, 4, 1, 5}
+  sum := 0
+  for i := range s {
+    sum += s[i]
+  }
+  println(sum)
+}
+|}
+      "14\n";
+    expect "nil slices"
+      {|
+func main() {
+  var s []int
+  println(len(s), s == nil)
+  s = append(s, 1)
+  println(len(s), s == nil)
+}
+|}
+      "0 true\n1 false\n";
+    expect "maps: store, load, delete, zero value"
+      {|
+func main() {
+  m := make(map[string]int)
+  m["a"] = 1
+  m["b"] = 2
+  m["a"] = 3
+  println(len(m), m["a"], m["missing"])
+  delete(m, "a")
+  println(len(m), m["a"])
+}
+|}
+      "2 3 0\n1 0\n";
+    expect "map growth preserves entries"
+      {|
+func main() {
+  m := make(map[int]int)
+  for i := 0; i < 1000; i++ {
+    m[i] = i * 3
+  }
+  ok := true
+  for i := 0; i < 1000; i++ {
+    if m[i] != i*3 {
+      ok = false
+    }
+  }
+  println(len(m), ok)
+}
+|}
+      "1000 true\n";
+    expect "nil map reads"
+      {|
+func main() {
+  var m map[string]int
+  println(len(m), m["x"])
+}
+|}
+      "0 0\n";
+    expect "defer runs LIFO at exit"
+      {|
+func say(s string) {
+  println(s)
+}
+func f() {
+  defer say("first-deferred")
+  defer say("second-deferred")
+  println("body")
+}
+func main() { f()
+  println("after") }
+|}
+      "body\nsecond-deferred\nfirst-deferred\nafter\n";
+    expect "defer captures argument values at defer time"
+      {|
+func show(x int) {
+  println(x)
+}
+func main() {
+  x := 1
+  defer show(x)
+  x = 99
+  println(x)
+}
+|}
+      "99\n1\n";
+    expect "panic unwinds and runs defers"
+      {|
+func cleanup() {
+  println("cleanup")
+}
+func f() {
+  defer cleanup()
+  panic("boom")
+}
+func main() {
+  f()
+  println("unreachable")
+}
+|}
+      "cleanup\npanic: boom\n";
+    expect "runtime panics"
+      {|
+func main() {
+  s := make([]int, 2)
+  i := 5
+  println(s[i])
+}
+|}
+      "panic: index out of range\n";
+    expect "division by zero panics"
+      {|
+func main() {
+  x := 0
+  println(10 / x)
+}
+|}
+      "panic: integer divide by zero\n";
+    expect "nil dereference panics"
+      {|
+func main() {
+  var p *int
+  println(*p)
+}
+|}
+      "panic: nil pointer dereference\n";
+    expect "goroutines run to completion"
+      {|
+var done map[int]bool
+func worker(id int) {
+  done[id] = true
+}
+func main() {
+  done = make(map[int]bool)
+  for i := 0; i < 8; i++ {
+    go worker(i)
+  }
+}
+|}
+      "";
+    expect "goroutine interleaving is deterministic"
+      {|
+func count(label string, n int) {
+  total := 0
+  for i := 0; i < n; i++ {
+    total += i
+  }
+  println(label, total)
+}
+func main() {
+  go count("a", 2000)
+  go count("b", 1000)
+  println("main done")
+}
+|}
+      "main done\nb 499500\na 1999000\n";
+    expect "globals"
+      {|
+var counter = 10
+var table map[string]int
+func bump() {
+  counter++
+}
+func main() {
+  table = make(map[string]int)
+  table["x"] = counter
+  bump()
+  bump()
+  println(counter, table["x"])
+}
+|}
+      "12 10\n";
+    expect "rand is deterministic per seed"
+      {|
+func main() {
+  a := rand(1000)
+  b := rand(1000)
+  same := a == rand(0) + a
+  println(same, a >= 0, a < 1000, b >= 0, b < 1000)
+}
+|}
+      "true true true true true\n";
+    expect "compound assignment and increments"
+      {|
+func main() {
+  x := 10
+  x += 5
+  x -= 3
+  x *= 2
+  x++
+  x--
+  println(x)
+}
+|}
+      "24\n";
+    expect "zero values"
+      {|
+type T struct { n int
+ s string
+ sl []int
+ p *int }
+func main() {
+  var t T
+  var i int
+  var b bool
+  var str string
+  println(t.n, t.s == "", t.sl == nil, t.p == nil, i, b, str == "")
+}
+|}
+      "0 true true true 0 false true\n";
+    expect "bitwise and shift operators"
+      {|
+func main() {
+  x := 12
+  y := 10
+  println(x&y, x|y, x^y, 1<<6, 256>>4)
+  println(2*3<<1, 1|2&3, 8>>1<<2)
+}
+|}
+      "8 14 6 64 16\n12 3 16\n";
+    expect "map range iterates every key"
+      {|
+func main() {
+  m := make(map[int]int)
+  for i := 0; i < 50; i++ {
+    m[i*3] = i
+  }
+  keys := 0
+  sum := 0
+  for k := range m {
+    keys++
+    sum += m[k]
+  }
+  println(keys, sum)
+}
+|}
+      "50 1225\n";
+    expect "map range with break and delete"
+      {|
+func main() {
+  m := make(map[string]int)
+  m["a"] = 1
+  m["b"] = 2
+  m["c"] = 3
+  seen := 0
+  for k := range m {
+    seen++
+    if m[k] == 2 {
+      break
+    }
+  }
+  for k := range m {
+    delete(m, k)
+  }
+  println(seen >= 1, len(m))
+}
+|}
+      "true 0\n";
+    expect "range over nil map"
+      {|
+func main() {
+  var m map[int]int
+  n := 0
+  for k := range m {
+    n += k
+  }
+  println(n)
+}
+|}
+      "0\n";
+    expect "comma-ok map lookup"
+      {|
+func main() {
+  m := make(map[string]int)
+  m["hit"] = 3
+  v, ok := m["hit"]
+  w, ok2 := m["miss"]
+  println(v, ok, w, ok2)
+  var nilmap map[string]int
+  x, ok3 := nilmap["any"]
+  println(x, ok3)
+}
+|}
+      "3 true 0 false\n0 false\n";
+    expect "comma-ok distinguishes stored zero from missing"
+      {|
+func main() {
+  m := make(map[int]int)
+  m[1] = 0
+  a, okA := m[1]
+  b, okB := m[2]
+  println(a, okA, b, okB)
+}
+|}
+      "0 true 0 false\n";
+    expect "recover stops unwinding"
+      {|
+func guard() {
+  msg := recover()
+  if msg != "" {
+    println("recovered:", msg)
+  }
+}
+func risky(n int) int {
+  defer guard()
+  if n == 0 {
+    panic("zero input")
+  }
+  return 100 / n
+}
+func main() {
+  println(risky(5))
+  println(risky(0))
+  println("still running")
+}
+|}
+      "20\nrecovered: zero input\n0\nstill running\n";
+    expect "recover outside a panic returns empty"
+      {|
+func main() {
+  println(recover() == "", "ok")
+}
+|}
+      "true ok\n";
+    expect "panic propagates past frames without recover"
+      {|
+func inner() {
+  panic("deep")
+}
+func middle() {
+  inner()
+  println("unreachable")
+}
+func shield() {
+  msg := recover()
+  println("caught", msg)
+}
+func outer() {
+  defer shield()
+  middle()
+}
+func main() {
+  outer()
+  println("done")
+}
+|}
+      "caught deep\ndone\n";
+    expect "recover catches runtime panics"
+      {|
+func guard() {
+  msg := recover()
+  println("guard:", msg)
+}
+func f(s []int, i int) int {
+  defer guard()
+  return s[i]
+}
+func main() {
+  s := make([]int, 2)
+  println(f(s, 9))
+}
+|}
+      "guard: index out of range\n0\n";
+    expect "shadowing"
+      {|
+func main() {
+  x := 1
+  {
+    x := 2
+    x++
+    println(x)
+  }
+  println(x)
+}
+|}
+      "3\n1\n";
+  ]

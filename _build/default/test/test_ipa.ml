@@ -1,0 +1,295 @@
+(** Inter-procedural analysis tests (paper §4.4, fig. 7): extended
+    parameter tags, content tags, multiple return values, and the
+    no-IPA ablation. *)
+
+open Gofree_escape
+
+(* Reconstruction of fig. 7: partialNew returns one fresh allocation and
+   one value obtained through an indirect-store-compromised chain. *)
+let fig7 =
+  {|
+func partialNew(ps *[]int) ([]int, []int) {
+  pps := &ps
+  *pps = ps
+  made := make([]int, 3)
+  return made, **pps
+}
+
+func caller() int {
+  s := make([]int, 3)
+  fresh, old := partialNew(&s)
+  n := len(fresh) + len(old)
+  return n
+}
+
+func main() { println(caller()) }
+|}
+
+let test_fig7_content_tags () =
+  let compiled = Helpers.compile fig7 in
+  let analysis = compiled.Gofree_core.Pipeline.c_analysis in
+  let summary =
+    Hashtbl.find analysis.Analysis.summaries "partialNew"
+  in
+  Alcotest.(check int) "two content tags" 2
+    (Array.length summary.Summary.s_contents);
+  let fresh_ct = summary.Summary.s_contents.(0) in
+  let old_ct = summary.Summary.s_contents.(1) in
+  Alcotest.(check bool) "fresh content is a heap allocation" true
+    fresh_ct.Summary.ct_heap_alloc;
+  Alcotest.(check bool) "fresh content is complete" false
+    fresh_ct.Summary.ct_incomplete;
+  Alcotest.(check bool) "old content is incomplete (indirect store)" true
+    old_ct.Summary.ct_incomplete
+
+let test_fig7_frees () =
+  let compiled = Helpers.compile fig7 in
+  let freed =
+    List.filter (fun (f, _, _) -> f = "caller")
+      (Helpers.inserted_vars compiled)
+  in
+  (* fresh (the callee's allocation) is freeable in the caller; old is
+     refused because of the callee's indirect store *)
+  Alcotest.(check bool) "fresh freed in caller" true
+    (List.mem ("caller", "fresh", "slice") freed);
+  Alcotest.(check bool) "old not freed" false
+    (List.mem ("caller", "old", "slice") freed)
+
+let test_factory_free () =
+  (* the classic factory-method pattern: the caller frees the callee's
+     allocation, across the function boundary *)
+  let compiled =
+    Helpers.compile
+      {|
+func build(n int) []int {
+  s := make([]int, n)
+  for i := 0; i < n; i++ {
+    s[i] = i
+  }
+  return s
+}
+func main() {
+  total := 0
+  for k := 0; k < 10; k++ {
+    v := build(100 + k)
+    total += v[0] + v[99]
+  }
+  println(total)
+}
+|}
+  in
+  Alcotest.(check bool) "v freed in main" true
+    (List.mem ("main", "v", "slice") (Helpers.inserted_vars compiled))
+
+let test_param_passthrough_not_freed () =
+  (* identity function: the "returned" object belongs to the caller's
+     argument; the callee's tag must not present it as a fresh heap
+     allocation that could be double-freed unsafely while aliased *)
+  let compiled =
+    Helpers.compile
+      {|
+func id(s []int) []int {
+  return s
+}
+func main() {
+  base := make([]int, 4)
+  alias := id(base)
+  alias[0] = 1
+  println(base[0], len(alias))
+}
+|}
+  in
+  (* alias aliases base; both complete; freeing either at scope end is
+     the tolerated adjacent-double-free of §5 at worst, but `base` flows
+     into id whose param tag returns it: check analysis doesn't crash and
+     runs agree under poison *)
+  ignore compiled;
+  Helpers.check_all_settings_agree ~name:"param passthrough"
+    {|
+func id(s []int) []int {
+  return s
+}
+func main() {
+  base := make([]int, 4)
+  alias := id(base)
+  alias[0] = 1
+  println(base[0], len(alias))
+}
+|}
+
+let test_callee_stores_to_global () =
+  (* the callee leaks its allocation through a global: the content tag
+     must be incomplete, so the caller must not free it *)
+  let compiled =
+    Helpers.compile
+      {|
+var stash []int
+func sneaky(n int) []int {
+  s := make([]int, n)
+  stash = s
+  return s
+}
+func main() {
+  v := sneaky(5)
+  v[0] = 1
+  println(stash[0])
+}
+|}
+  in
+  Alcotest.(check (list (triple string string string)))
+    "nothing freed in main" []
+    (List.filter (fun (f, _, _) -> f = "main")
+       (Helpers.inserted_vars compiled));
+  Helpers.check_all_settings_agree ~name:"global leak"
+    {|
+var stash []int
+func sneaky(n int) []int {
+  s := make([]int, n)
+  stash = s
+  return s
+}
+func main() {
+  v := sneaky(5)
+  v[0] = 1
+  println(stash[0])
+}
+|}
+
+let test_recursion_default_tag () =
+  (* recursive functions get the conservative default tag: their results
+     are never freed, and analysis terminates *)
+  let compiled =
+    Helpers.compile
+      {|
+func build(n int) []int {
+  if n <= 0 {
+    return make([]int, 1)
+  }
+  inner := build(n - 1)
+  out := append(inner, n)
+  return out
+}
+func main() {
+  println(len(build(5)))
+}
+|}
+  in
+  Alcotest.(check (list (triple string string string)))
+    "recursion: no frees" []
+    (Helpers.inserted_vars compiled)
+
+let test_mutual_recursion () =
+  let compiled =
+    Helpers.compile
+      {|
+func even(n int) bool {
+  if n == 0 {
+    return true
+  }
+  return odd(n - 1)
+}
+func odd(n int) bool {
+  if n == 0 {
+    return false
+  }
+  return even(n - 1)
+}
+func main() { println(even(10), odd(10)) }
+|}
+  in
+  ignore compiled;
+  Alcotest.(check string) "mutual recursion runs" "true false\n"
+    (Helpers.output
+       {|
+func even(n int) bool {
+  if n == 0 {
+    return true
+  }
+  return odd(n - 1)
+}
+func odd(n int) bool {
+  if n == 0 {
+    return false
+  }
+  return even(n - 1)
+}
+func main() { println(even(10), odd(10)) }
+|})
+
+let test_no_ipa_ablation () =
+  (* without content tags the factory pattern yields no frees *)
+  let src =
+    {|
+func build(n int) []int {
+  return make([]int, n)
+}
+func main() {
+  v := build(64)
+  v[0] = 1
+  println(v[0])
+}
+|}
+  in
+  let with_ipa = Helpers.compile src in
+  let without = Helpers.compile ~config:Gofree_core.Config.no_ipa src in
+  Alcotest.(check bool) "IPA finds the cross-function free" true
+    (List.mem ("main", "v", "slice") (Helpers.inserted_vars with_ipa));
+  Alcotest.(check (list (triple string string string)))
+    "no-IPA ablation finds nothing" []
+    (Helpers.inserted_vars without)
+
+let test_arg_to_heap_forces_heap () =
+  (* a callee that stores its argument into a global forces the caller's
+     object to the heap through the param tag *)
+  let compiled =
+    Helpers.compile
+      {|
+var sink *int
+func keep(p *int) {
+  sink = p
+}
+func main() {
+  x := 1
+  keep(&x)
+  println(*sink)
+}
+|}
+  in
+  let x = Helpers.var_props compiled ~func:"main" ~var:"x" in
+  Alcotest.(check bool) "x heap via param tag" true x.Loc.heap_alloc
+
+let test_arg_not_leaked_stays_stack () =
+  let compiled =
+    Helpers.compile
+      {|
+func reads(p *int) int {
+  return *p
+}
+func main() {
+  x := 1
+  println(reads(&x))
+}
+|}
+  in
+  let x = Helpers.var_props compiled ~func:"main" ~var:"x" in
+  Alcotest.(check bool) "x stays on the stack" false x.Loc.heap_alloc
+
+let suite =
+  [
+    Alcotest.test_case "fig 7: content tags" `Quick test_fig7_content_tags;
+    Alcotest.test_case "fig 7: fresh freed, old kept" `Quick
+      test_fig7_frees;
+    Alcotest.test_case "factory free across call" `Quick test_factory_free;
+    Alcotest.test_case "param passthrough" `Quick
+      test_param_passthrough_not_freed;
+    Alcotest.test_case "callee global leak blocks free" `Quick
+      test_callee_stores_to_global;
+    Alcotest.test_case "recursion uses default tag" `Quick
+      test_recursion_default_tag;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "no-IPA ablation" `Quick test_no_ipa_ablation;
+    Alcotest.test_case "leaking callee forces arg to heap" `Quick
+      test_arg_to_heap_forces_heap;
+    Alcotest.test_case "non-leaking callee keeps arg on stack" `Quick
+      test_arg_not_leaked_stays_stack;
+  ]

@@ -1,0 +1,105 @@
+(** Lexer tests: tokens, positions, automatic semicolon insertion. *)
+
+open Minigo
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let token = Alcotest.testable (Fmt.of_to_string Token.to_string) ( = )
+
+let check_tokens name src expected =
+  Alcotest.(check (list token)) name expected (toks src)
+
+let test_idents_and_keywords () =
+  check_tokens "idents" "foo bar" [ IDENT "foo"; IDENT "bar"; SEMI; EOF ];
+  check_tokens "keywords" "func var if else"
+    [ KW_FUNC; KW_VAR; KW_IF; KW_ELSE; EOF ];
+  check_tokens "ident with digits" "x1 _y"
+    [ IDENT "x1"; IDENT "_y"; SEMI; EOF ]
+
+let test_numbers () =
+  check_tokens "ints" "0 42 1000000"
+    [ INT_LIT 0; INT_LIT 42; INT_LIT 1000000; SEMI; EOF ];
+  check_tokens "float" "3.25" [ FLOAT_LIT 3.25; SEMI; EOF ];
+  check_tokens "int dot ident" "a.b" [ IDENT "a"; DOT; IDENT "b"; SEMI; EOF ]
+
+let test_strings () =
+  check_tokens "plain" {|"hello"|} [ STRING_LIT "hello"; SEMI; EOF ];
+  check_tokens "escapes" {|"a\nb\t\"c\""|}
+    [ STRING_LIT "a\nb\t\"c\""; SEMI; EOF ];
+  check_tokens "empty" {|""|} [ STRING_LIT ""; SEMI; EOF ]
+
+let test_operators () =
+  check_tokens "compare" "< <= > >= == !="
+    [ LT; LE; GT; GE; EQ; NE; EOF ];
+  check_tokens "assign family" "= := += -= *="
+    [ ASSIGN; DEFINE; PLUS_ASSIGN; MINUS_ASSIGN; STAR_ASSIGN; EOF ];
+  check_tokens "incr" "x++" [ IDENT "x"; PLUSPLUS; SEMI; EOF ];
+  check_tokens "logic" "&& || !" [ AMPAMP; BARBAR; BANG; EOF ];
+  check_tokens "amp vs ampamp" "&x && y"
+    [ AMP; IDENT "x"; AMPAMP; IDENT "y"; SEMI; EOF ];
+  check_tokens "bitwise" "a | b ^ c & d"
+    [ IDENT "a"; BAR; IDENT "b"; CARET; IDENT "c"; AMP; IDENT "d"; SEMI;
+      EOF ];
+  check_tokens "shifts vs comparisons" "a << 2 >> 1 < b <= c"
+    [ IDENT "a"; SHL; INT_LIT 2; SHR; INT_LIT 1; LT; IDENT "b"; LE;
+      IDENT "c"; SEMI; EOF ]
+
+let test_semicolon_insertion () =
+  (* newline after an expression-ending token inserts a SEMI *)
+  check_tokens "after ident" "x\ny"
+    [ IDENT "x"; SEMI; IDENT "y"; SEMI; EOF ];
+  (* but not after an operator *)
+  check_tokens "after plus" "x +\ny"
+    [ IDENT "x"; PLUS; IDENT "y"; SEMI; EOF ];
+  check_tokens "after rparen" "f()\ng()"
+    [ IDENT "f"; LPAREN; RPAREN; SEMI; IDENT "g"; LPAREN; RPAREN; SEMI;
+      EOF ];
+  check_tokens "after return" "return\nx"
+    [ KW_RETURN; SEMI; IDENT "x"; SEMI; EOF ];
+  check_tokens "after lbrace none" "{\nx"
+    [ LBRACE; IDENT "x"; SEMI; EOF ]
+
+let test_comments () =
+  check_tokens "line comment" "x // comment\ny"
+    [ IDENT "x"; SEMI; IDENT "y"; SEMI; EOF ];
+  check_tokens "block comment" "x /* y */ z"
+    [ IDENT "x"; IDENT "z"; SEMI; EOF ];
+  check_tokens "block comment with newline still inserts semi"
+    "x /* a\nb */ z" [ IDENT "x"; SEMI; IDENT "z"; SEMI; EOF ]
+
+let test_positions () =
+  let all = Lexer.tokenize "ab\n  cd" in
+  match all with
+  | [ (Token.IDENT "ab", p1); (Token.SEMI, _); (Token.IDENT "cd", p2);
+      (Token.SEMI, _); (Token.EOF, _) ] ->
+    Alcotest.(check int) "line 1" 1 p1.Token.line;
+    Alcotest.(check int) "col 1" 1 p1.Token.col;
+    Alcotest.(check int) "line 2" 2 p2.Token.line;
+    Alcotest.(check int) "col 3" 3 p2.Token.col
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_errors () =
+  let lex_error src =
+    match toks src with
+    | exception Lexer.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unterminated string" true (lex_error "\"abc");
+  Alcotest.(check bool) "bad char" true (lex_error "x # y");
+  Alcotest.(check bool) "unterminated block comment" true
+    (lex_error "/* abc");
+  Alcotest.(check bool) "bad escape" true (lex_error {|"a\q"|})
+
+let suite =
+  [
+    Alcotest.test_case "identifiers and keywords" `Quick
+      test_idents_and_keywords;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "semicolon insertion" `Quick
+      test_semicolon_insertion;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "errors" `Quick test_errors;
+  ]

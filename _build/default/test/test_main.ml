@@ -1,0 +1,25 @@
+(** Test entry point: one alcotest run over every suite. *)
+
+let () =
+  Alcotest.run "gofree"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("escape", Test_escape.suite);
+      ("propagate", Test_propagate.suite);
+      ("lifetime", Test_lifetime.suite);
+      ("ipa", Test_ipa.suite);
+      ("summary", Test_summary.suite);
+      ("instrument", Test_instrument.suite);
+      ("runtime", Test_runtime.suite);
+      ("tcfree", Test_tcfree.suite);
+      ("gc", Test_gc.suite);
+      ("interp", Test_interp.suite);
+      ("slicing", Test_slicing.suite);
+      ("baselines", Test_baselines.suite);
+      ("stats", Test_stats.suite);
+      ("workloads", Test_workloads.suite);
+      ("robustness", Test_robustness.suite);
+      ("properties", Test_props.suite);
+    ]

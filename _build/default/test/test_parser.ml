@@ -1,0 +1,173 @@
+(** Parser tests: declaration forms, statement forms, expression
+    precedence, error reporting. *)
+
+open Minigo
+
+let parse src = Parser.parse src
+
+let parse_ok name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse src with
+      | _ -> ()
+      | exception Parser.Error (msg, pos) ->
+        Alcotest.failf "parse error at %s: %s" (Token.string_of_pos pos) msg
+      | exception Lexer.Error (msg, pos) ->
+        Alcotest.failf "lex error at %s: %s" (Token.string_of_pos pos) msg)
+
+let parse_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse src with
+      | exception (Parser.Error _ | Lexer.Error _) -> ()
+      | _ -> Alcotest.failf "expected a parse error")
+
+let func_body src =
+  match parse ("func f() {\n" ^ src ^ "\n}") with
+  | [ Ast.Dfunc fd ] -> fd.Ast.fd_body
+  | _ -> Alcotest.fail "expected one function"
+
+let test_precedence () =
+  (* a + b * c parses as a + (b * c) *)
+  (match func_body "x := a + b * c" with
+  | [ { Ast.sdesc =
+          Ast.Sdecl
+            ( [ "x" ], None,
+              [ { Ast.desc =
+                    Ast.Ebinop
+                      ( Ast.Badd,
+                        { Ast.desc = Ast.Eident "a"; _ },
+                        { Ast.desc = Ast.Ebinop (Ast.Bmul, _, _); _ } );
+                  _ } ] );
+        _ } ] ->
+    ()
+  | _ -> Alcotest.fail "wrong precedence for + *");
+  (* comparison binds looser than arithmetic *)
+  (match func_body "x := a + 1 < b" with
+  | [ { Ast.sdesc =
+          Ast.Sdecl ([ "x" ], None,
+            [ { Ast.desc = Ast.Ebinop (Ast.Blt, _, _); _ } ]);
+        _ } ] ->
+    ()
+  | _ -> Alcotest.fail "wrong precedence for + <");
+  (* && binds tighter than || *)
+  match func_body "x := a || b && c" with
+  | [ { Ast.sdesc =
+          Ast.Sdecl ([ "x" ], None,
+            [ { Ast.desc =
+                  Ast.Ebinop (Ast.Bor, _,
+                    { Ast.desc = Ast.Ebinop (Ast.Band, _, _); _ });
+                _ } ]);
+        _ } ] ->
+    ()
+  | _ -> Alcotest.fail "wrong precedence for || &&"
+
+let test_unary () =
+  (match func_body "x := -a * b" with
+  | [ { Ast.sdesc =
+          Ast.Sdecl ([ "x" ], None,
+            [ { Ast.desc = Ast.Ebinop (Ast.Bmul,
+                  { Ast.desc = Ast.Eunop (Ast.Uneg, _); _ }, _);
+                _ } ]);
+        _ } ] ->
+    ()
+  | _ -> Alcotest.fail "unary minus should bind tighter than *");
+  match func_body "p := &x" with
+  | [ { Ast.sdesc =
+          Ast.Sdecl ([ "p" ], None, [ { Ast.desc = Ast.Eaddr _; _ } ]);
+        _ } ] ->
+    ()
+  | _ -> Alcotest.fail "address-of"
+
+let test_postfix_chains () =
+  match func_body "x := a.b[i].c" with
+  | [ { Ast.sdesc =
+          Ast.Sdecl ([ "x" ], None,
+            [ { Ast.desc =
+                  Ast.Efield
+                    ({ Ast.desc = Ast.Eindex
+                         ({ Ast.desc = Ast.Efield _; _ }, _); _ }, "c");
+                _ } ]);
+        _ } ] ->
+    ()
+  | _ -> Alcotest.fail "postfix chain a.b[i].c"
+
+let test_multi_return_decl () =
+  match func_body "a, b := f()" with
+  | [ { Ast.sdesc = Ast.Sdecl ([ "a"; "b" ], None, [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "a, b := f()"
+
+let test_for_forms () =
+  (match func_body "for i := 0; i < n; i++ {\nx := i\nx++\n}" with
+  | [ { Ast.sdesc = Ast.Sfor (Some _, Some _, Some _, _); _ } ] -> ()
+  | _ -> Alcotest.fail "three-clause for");
+  (match func_body "for x < 10 {\nx++\n}" with
+  | [ { Ast.sdesc = Ast.Sfor (None, Some _, None, _); _ } ] -> ()
+  | _ -> Alcotest.fail "condition-only for");
+  (match func_body "for i := range xs {\ny := i\ny++\n}" with
+  | [ { Ast.sdesc = Ast.Sforrange ("i", _, _); _ } ] -> ()
+  | _ -> Alcotest.fail "range for");
+  match func_body "for {\nbreak\n}" with
+  | [ { Ast.sdesc = Ast.Sfor (None, None, None, _); _ } ] -> ()
+  | _ -> Alcotest.fail "infinite for"
+
+let test_composite_literals () =
+  (match func_body "p := Point{x: 1, y: 2}" with
+  | [ { Ast.sdesc =
+          Ast.Sdecl ([ "p" ], None,
+            [ { Ast.desc =
+                  Ast.Ecomposite (Ast.Tyname "Point",
+                    [ (Some "x", _); (Some "y", _) ]);
+                _ } ]);
+        _ } ] ->
+    ()
+  | _ -> Alcotest.fail "named struct literal");
+  match func_body "s := []int{1, 2, 3}" with
+  | [ { Ast.sdesc =
+          Ast.Sdecl ([ "s" ], None,
+            [ { Ast.desc =
+                  Ast.Ecomposite (Ast.Tyslice Ast.Tyint,
+                    [ (None, _); (None, _); (None, _) ]);
+                _ } ]);
+        _ } ] ->
+    ()
+  | _ -> Alcotest.fail "slice literal"
+
+let test_types () =
+  match parse "func f(a *int, b []string, c map[string][]*Pt) {\n}" with
+  | [ Ast.Dfunc fd ] -> begin
+    match fd.Ast.fd_params with
+    | [ (_, Ast.Typtr Ast.Tyint);
+        (_, Ast.Tyslice Ast.Tystring);
+        (_, Ast.Tymap (Ast.Tystring, Ast.Tyslice (Ast.Typtr (Ast.Tyname "Pt"))))
+      ] ->
+      ()
+    | _ -> Alcotest.fail "parameter types"
+  end
+  | _ -> Alcotest.fail "expected function"
+
+let suite =
+  [
+    Alcotest.test_case "binary precedence" `Quick test_precedence;
+    Alcotest.test_case "unary operators" `Quick test_unary;
+    Alcotest.test_case "postfix chains" `Quick test_postfix_chains;
+    Alcotest.test_case "multi-value declaration" `Quick
+      test_multi_return_decl;
+    Alcotest.test_case "for statement forms" `Quick test_for_forms;
+    Alcotest.test_case "composite literals" `Quick test_composite_literals;
+    Alcotest.test_case "type syntax" `Quick test_types;
+    parse_ok "struct declaration"
+      "type T struct {\n  a int\n  b, c string\n}";
+    parse_ok "multiple results" "func f() (int, string) {\nreturn 1, \"x\"\n}";
+    parse_ok "named results" "func f() (r0 []int, r1 []int) {\nreturn nil, nil\n}";
+    parse_ok "globals" "var g = 10\nvar h map[string]int";
+    parse_ok "defer and go" "func f() {\n}\nfunc m() {\ngo f()\ndefer f()\n}";
+    parse_ok "panic" "func m() {\npanic(\"boom\")\n}";
+    parse_ok "else if chain"
+      "func m(x int) {\nif x > 0 {\n} else if x < 0 {\n} else {\n}\n}";
+    parse_ok "delete and println"
+      "func m(m1 map[int]int) {\ndelete(m1, 3)\nprintln(len(m1))\n}";
+    parse_fails "missing paren" "func f( {\n}";
+    parse_fails "bad statement" "func f() {\n:= 3\n}";
+    parse_fails "top-level expression" "1 + 2";
+    parse_fails "unclosed block" "func f() {";
+    parse_fails "define non-ident" "func f() {\nf() := 3\n}";
+  ]

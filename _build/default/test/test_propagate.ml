@@ -1,0 +1,186 @@
+(** Constraint-level tests of the propagation engine: each rule of
+    Defs 4.10–4.16 exercised on hand-built graphs, plus the fixpoint
+    behaviour of [walkall] (fig. 5). *)
+
+open Gofree_escape
+
+let mkloc g name ~decl ~loop =
+  Graph.fresh_loc g (Loc.Kcontent name) ~loop_depth:loop ~decl_depth:decl
+
+let test_heapalloc_via_pointsto () =
+  (* l ∈ PointsTo(m) ∧ HeapAlloc(m) ⇒ HeapAlloc(l) *)
+  let g = Graph.create () in
+  let obj = mkloc g "obj" ~decl:2 ~loop:0 in
+  let p = mkloc g "p" ~decl:1 ~loop:0 in
+  Graph.add_edge g ~src:obj ~dst:p ~weight:(-1);
+  p.Loc.heap_alloc <- true;
+  ignore (Propagate.walkall g);
+  Alcotest.(check bool) "obj forced heap" true obj.Loc.heap_alloc
+
+let test_heapalloc_via_loop_depth () =
+  (* a pointer at smaller loop depth than its referent forces heap *)
+  let g = Graph.create () in
+  let obj = mkloc g "obj" ~decl:2 ~loop:1 in
+  let p = mkloc g "p" ~decl:1 ~loop:0 in
+  Graph.add_edge g ~src:obj ~dst:p ~weight:(-1);
+  ignore (Propagate.walkall g);
+  Alcotest.(check bool) "loop-born obj forced heap" true obj.Loc.heap_alloc;
+  (* same loop depth: no forcing *)
+  let g2 = Graph.create () in
+  let obj2 = mkloc g2 "obj" ~decl:2 ~loop:1 in
+  let p2 = mkloc g2 "p" ~decl:2 ~loop:1 in
+  Graph.add_edge g2 ~src:obj2 ~dst:p2 ~weight:(-1);
+  ignore (Propagate.walkall g2);
+  Alcotest.(check bool) "same-depth obj stays" false obj2.Loc.heap_alloc
+
+let test_transitive_heapalloc () =
+  (* heapLoc ← p ← &obj: obj's address reaches the heap through a chain *)
+  let g = Graph.create () in
+  let obj = mkloc g "obj" ~decl:1 ~loop:0 in
+  let p = mkloc g "p" ~decl:1 ~loop:0 in
+  Graph.add_edge g ~src:obj ~dst:p ~weight:(-1);
+  Graph.add_edge g ~src:p ~dst:g.Graph.heap ~weight:0;
+  ignore (Propagate.walkall g);
+  Alcotest.(check bool) "obj heap through chain" true obj.Loc.heap_alloc;
+  Alcotest.(check bool) "p itself is a value, not forced" false
+    p.Loc.heap_alloc
+
+let test_exposes_backflow () =
+  (* Def 4.11 rule 4: exposure flows back along value flow at derefs ≤ 0 *)
+  let g = Graph.create () in
+  let pc = mkloc g "pc" ~decl:1 ~loop:0 in
+  Graph.add_edge g ~src:pc ~dst:g.Graph.heap ~weight:0;
+  ignore (Propagate.walkall g);
+  Alcotest.(check bool) "Exposes(pc) from heap flow" true pc.Loc.exposes;
+  (* but not through a dereference *)
+  let g2 = Graph.create () in
+  let q = mkloc g2 "q" ~decl:1 ~loop:0 in
+  Graph.add_edge g2 ~src:q ~dst:g2.Graph.heap ~weight:1;
+  ignore (Propagate.walkall g2);
+  Alcotest.(check bool) "no Exposes through deref" false q.Loc.exposes
+
+let test_incomplete_from_exposed_pointer () =
+  (* Def 4.12 rule 2: pointees of an exposed pointer become incomplete *)
+  let g = Graph.create () in
+  let c = mkloc g "c" ~decl:1 ~loop:0 in
+  let pc = mkloc g "pc" ~decl:1 ~loop:0 in
+  Graph.add_edge g ~src:c ~dst:pc ~weight:(-1);
+  pc.Loc.exposes <- true;
+  ignore (Propagate.walkall g);
+  Alcotest.(check bool) "Incomplete(c)" true (Loc.incomplete c)
+
+let test_incomplete_backprop () =
+  (* Def 4.12 rule 3: receiving an incomplete value makes the receiver
+     incomplete — the leaf→root extension of fig. 5 *)
+  let g = Graph.create () in
+  let src = mkloc g "src" ~decl:1 ~loop:0 in
+  let dst = mkloc g "dst" ~decl:1 ~loop:0 in
+  src.Loc.inc_store <- true;
+  Graph.add_edge g ~src ~dst ~weight:0;
+  ignore (Propagate.walkall g);
+  Alcotest.(check bool) "Incomplete propagates forward" true
+    (Loc.incomplete dst);
+  (* with back-propagation disabled, it must not *)
+  let g2 = Graph.create () in
+  let src2 = mkloc g2 "src" ~decl:1 ~loop:0 in
+  let dst2 = mkloc g2 "dst" ~decl:1 ~loop:0 in
+  src2.Loc.inc_store <- true;
+  Graph.add_edge g2 ~src:src2 ~dst:dst2 ~weight:0;
+  ignore (Propagate.walkall ~backprop:false g2);
+  Alcotest.(check bool) "no propagation without backprop" false
+    (Loc.incomplete dst2)
+
+let test_outermost_ref_and_outlived () =
+  (* Def 4.14/4.15: an outer-scope pointer drags OutermostRef down and
+     marks inner pointers outlived *)
+  let g = Graph.create () in
+  let obj = mkloc g "obj" ~decl:3 ~loop:0 in
+  let inner = mkloc g "inner" ~decl:3 ~loop:0 in
+  let outer = mkloc g "outer" ~decl:1 ~loop:0 in
+  obj.Loc.heap_alloc <- true;
+  Graph.add_edge g ~src:obj ~dst:inner ~weight:(-1);
+  Graph.add_edge g ~src:obj ~dst:outer ~weight:(-1);
+  ignore (Propagate.walkall g);
+  Alcotest.(check int) "OutermostRef(obj) = outer's depth" 1
+    obj.Loc.outermost_ref;
+  Alcotest.(check bool) "inner is outlived" true inner.Loc.outlived;
+  Alcotest.(check bool) "outer is not outlived" false outer.Loc.outlived;
+  Alcotest.(check bool) "inner not freeable" false (Propagate.to_free inner);
+  Alcotest.(check bool) "outer freeable" true (Propagate.to_free outer)
+
+let test_points_to_heap () =
+  let g = Graph.create () in
+  let obj = mkloc g "obj" ~decl:1 ~loop:0 in
+  let p = mkloc g "p" ~decl:1 ~loop:0 in
+  let q = mkloc g "q" ~decl:1 ~loop:0 in
+  obj.Loc.heap_alloc <- true;
+  Graph.add_edge g ~src:obj ~dst:p ~weight:(-1);
+  (* q holds obj's VALUE, not address: not PointsToHeap *)
+  Graph.add_edge g ~src:obj ~dst:q ~weight:0;
+  ignore (Propagate.walkall g);
+  Alcotest.(check bool) "PointsToHeap(p)" true p.Loc.points_to_heap;
+  Alcotest.(check bool) "not PointsToHeap(q)" false q.Loc.points_to_heap
+
+let test_go_base_skips_gofree_rules () =
+  let g = Graph.create () in
+  let c = mkloc g "c" ~decl:1 ~loop:0 in
+  let pc = mkloc g "pc" ~decl:1 ~loop:0 in
+  pc.Loc.exposes <- true;
+  pc.Loc.heap_alloc <- true;
+  Graph.add_edge g ~src:c ~dst:pc ~weight:(-1);
+  ignore (Propagate.walkall ~mode:Propagate.Go_base g);
+  Alcotest.(check bool) "HeapAlloc still computed" true c.Loc.heap_alloc;
+  Alcotest.(check bool) "Incomplete not computed" false (Loc.incomplete c);
+  Alcotest.(check bool) "PointsToHeap not computed" false
+    pc.Loc.points_to_heap
+
+let test_fixpoint_terminates_on_cycles () =
+  (* a cyclic graph with mixed weights must reach a fixpoint *)
+  let g = Graph.create () in
+  let a = mkloc g "a" ~decl:1 ~loop:0 in
+  let b = mkloc g "b" ~decl:2 ~loop:1 in
+  let c = mkloc g "c" ~decl:3 ~loop:2 in
+  Graph.add_edge g ~src:a ~dst:b ~weight:(-1);
+  Graph.add_edge g ~src:b ~dst:c ~weight:0;
+  Graph.add_edge g ~src:c ~dst:a ~weight:1;
+  Graph.add_edge g ~src:c ~dst:g.Graph.heap ~weight:0;
+  let stats = Propagate.walkall g in
+  Alcotest.(check bool) "finite work" true
+    (stats.Propagate.roots_walked < 100)
+
+let test_content_tag_depths () =
+  (* a +∞-depth content tag never drags OutermostRef below its pointer *)
+  let g = Graph.create () in
+  let tag =
+    mkloc g "content" ~decl:Loc.infinity_depth ~loop:Loc.infinity_depth
+  in
+  let v = mkloc g "v" ~decl:2 ~loop:0 in
+  tag.Loc.heap_alloc <- true;
+  Graph.add_edge g ~src:tag ~dst:v ~weight:(-1);
+  ignore (Propagate.walkall g);
+  Alcotest.(check int) "OutermostRef capped at v's depth" 2
+    tag.Loc.outermost_ref;
+  Alcotest.(check bool) "v freeable" true (Propagate.to_free v)
+
+let suite =
+  [
+    Alcotest.test_case "HeapAlloc via PointsTo" `Quick
+      test_heapalloc_via_pointsto;
+    Alcotest.test_case "HeapAlloc via LoopDepth" `Quick
+      test_heapalloc_via_loop_depth;
+    Alcotest.test_case "HeapAlloc through chains" `Quick
+      test_transitive_heapalloc;
+    Alcotest.test_case "Exposes back-flow" `Quick test_exposes_backflow;
+    Alcotest.test_case "Incomplete from exposure" `Quick
+      test_incomplete_from_exposed_pointer;
+    Alcotest.test_case "Incomplete back-propagation" `Quick
+      test_incomplete_backprop;
+    Alcotest.test_case "OutermostRef and Outlived" `Quick
+      test_outermost_ref_and_outlived;
+    Alcotest.test_case "PointsToHeap" `Quick test_points_to_heap;
+    Alcotest.test_case "Go_base skips GoFree rules" `Quick
+      test_go_base_skips_gofree_rules;
+    Alcotest.test_case "fixpoint on cycles" `Quick
+      test_fixpoint_terminates_on_cycles;
+    Alcotest.test_case "content tag depths" `Quick test_content_tag_depths;
+  ]

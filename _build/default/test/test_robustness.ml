@@ -1,0 +1,147 @@
+(** Robustness methodology tests (paper §6.8): the poisoning mock tcfree
+    must (a) stay silent for the sound analysis and (b) catch a
+    deliberately unsound one — proving the harness can actually detect
+    wrong frees. *)
+
+module Rt = Gofree_runtime
+
+(* The fig-1-shaped trap: the alias chain lives in an inner scope, the
+   indirect store redirects it at the outer slice.  Sound GoFree marks
+   the alias Incomplete via back-propagation and must not free it;
+   without back-propagation it frees the outer slice's array. *)
+let trap =
+  {|
+var acc int
+func main() {
+  s2 := make([]int, 4+rand(2))
+  s2[0] = 77
+  {
+    s1 := make([]int, 3+rand(2))
+    ps := &s1
+    *ps = s2
+    al := *ps
+    if len(al) > 0 { acc += al[0] }
+  }
+  println("alive", s2[0], acc)
+}
+|}
+
+let poison_run config src =
+  let run_config =
+    {
+      Gofree_interp.Interp.default_config with
+      heap_config =
+        { Rt.Heap.default_config with poison_on_free = true };
+    }
+  in
+  Gofree_interp.Runner.compile_and_run ~gofree_config:config ~run_config src
+
+let test_sound_trap_clean () =
+  let r = poison_run Gofree_core.Config.gofree trap in
+  Alcotest.(check string) "sound analysis never frees the alias"
+    "alive 77 77\n" r.Gofree_interp.Runner.output;
+  (* and indeed it refused the free *)
+  let compiled = Helpers.compile trap in
+  Alcotest.(check (list (triple string string string)))
+    "nothing inserted" []
+    (Helpers.inserted_vars compiled)
+
+let test_unsound_trap_caught () =
+  let compiled =
+    Helpers.compile ~config:Gofree_core.Config.unsound_no_backprop trap
+  in
+  Alcotest.(check bool) "unsound variant frees the alias" true
+    (List.exists (fun (_, v, _) -> v = "al")
+       (Helpers.inserted_vars compiled));
+  match poison_run Gofree_core.Config.unsound_no_backprop trap with
+  | _ -> Alcotest.fail "expected the poison harness to catch the mis-free"
+  | exception Gofree_interp.Value.Corruption _ -> ()
+
+let test_unsound_caught_on_random_programs () =
+  (* the negative control of the robustness benchmark, pinned to fixed
+     seeds: the poison harness must catch the unsound analysis at least
+     once (it catches several) and the sound analysis never *)
+  let caught_unsound = ref 0 in
+  for seed = 1 to 25 do
+    let src = Gofree_workloads.Randprog.generate (seed * 104729) in
+    (match poison_run Gofree_core.Config.unsound_no_backprop src with
+    | _ -> ()
+    | exception Gofree_interp.Value.Corruption _ -> incr caught_unsound);
+    match poison_run Gofree_core.Config.gofree src with
+    | _ -> ()
+    | exception Gofree_interp.Value.Corruption msg ->
+      Alcotest.failf "sound analysis mis-freed on seed %d: %s" seed msg
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "unsound caught at least once (%d/25)" !caught_unsound)
+    true (!caught_unsound >= 1)
+
+let test_stack_scope_poisoning () =
+  (* Go invariant 2: a stack object must not outlive its scope.  Scope
+     exit poisons released stack objects, so a hypothetical dangling
+     reference would be caught; a correct program stays clean. *)
+  let src =
+    {|
+func main() {
+  total := 0
+  for i := 0; i < 50; i++ {
+    tmp := make([]int, 8)
+    tmp[0] = i
+    total += tmp[0]
+  }
+  println(total)
+}
+|}
+  in
+  let r = poison_run Gofree_core.Config.gofree src in
+  Alcotest.(check string) "stack reuse clean" "1225\n"
+    r.Gofree_interp.Runner.output
+
+let test_gc_poisons_only_dead () =
+  (* heavy GC churn under poison: only dead objects are poisoned *)
+  let src =
+    {|
+var keep []int
+func main() {
+  for i := 0; i < 200; i++ {
+    garbage := make([]int, 100+rand(50))
+    garbage[0] = i
+    if i == 150 {
+      keep = garbage
+    }
+  }
+  println(keep[0])
+}
+|}
+  in
+  let run_config =
+    {
+      Gofree_interp.Interp.default_config with
+      heap_config =
+        {
+          Rt.Heap.default_config with
+          poison_on_free = true;
+          min_heap = 8 * 1024;  (* force many cycles *)
+        };
+    }
+  in
+  let r =
+    Gofree_interp.Runner.compile_and_run
+      ~gofree_config:Gofree_core.Config.gofree ~run_config src
+  in
+  Alcotest.(check string) "survivor intact" "150\n"
+    r.Gofree_interp.Runner.output
+
+let suite =
+  [
+    Alcotest.test_case "sound analysis survives the fig-1 trap" `Quick
+      test_sound_trap_clean;
+    Alcotest.test_case "unsound ablation is caught on the trap" `Quick
+      test_unsound_trap_caught;
+    Alcotest.test_case "unsound ablation caught on random programs" `Slow
+      test_unsound_caught_on_random_programs;
+    Alcotest.test_case "stack scope poisoning" `Quick
+      test_stack_scope_poisoning;
+    Alcotest.test_case "GC poisons only dead objects" `Quick
+      test_gc_poisons_only_dead;
+  ]

@@ -1,0 +1,209 @@
+(** Slice expressions [s\[lo:hi\]] and the [copy] builtin: semantics,
+    aliasing, and their interaction with the escape analysis and tcfree
+    (a sub-slice aliases its parent's backing array, so freeing decisions
+    must treat them as one object). *)
+
+let expect name src want =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name want (Helpers.output src);
+      Helpers.check_all_settings_agree ~name src)
+
+let semantics =
+  [
+    expect "basic slicing"
+      {|
+func main() {
+  s := []int{0, 10, 20, 30, 40}
+  t := s[1:4]
+  println(len(t), t[0], t[2])
+}
+|}
+      "3 10 30\n";
+    expect "open bounds"
+      {|
+func main() {
+  s := []int{1, 2, 3, 4}
+  println(len(s[:2]), len(s[2:]), len(s[:]), s[1:][0])
+}
+|}
+      "2 2 4 2\n";
+    expect "sub-slices alias the parent"
+      {|
+func main() {
+  s := make([]int, 5)
+  t := s[1:3]
+  t[0] = 42
+  s[2] = 7
+  println(s[1], t[1])
+}
+|}
+      "42 7\n";
+    expect "slicing a string"
+      {|
+func main() {
+  s := "hello world"
+  println(s[6:], s[:5], s[3:8])
+}
+|}
+      "world hello lo wo\n";
+    expect "cap after slicing"
+      {|
+func main() {
+  s := make([]int, 6, 10)
+  t := s[2:4]
+  println(len(t), cap(t))
+}
+|}
+      "2 8\n";
+    expect "slice beyond len within cap"
+      {|
+func main() {
+  s := make([]int, 2, 6)
+  t := s[:5]
+  t[4] = 9
+  println(len(t), t[4])
+}
+|}
+      "5 9\n";
+    expect "append into shared capacity aliases"
+      {|
+func main() {
+  s := make([]int, 1, 4)
+  a := append(s, 10)
+  b := append(s, 20)
+  // both appends wrote slot 1 of the same backing array
+  println(a[1], b[1])
+}
+|}
+      "20 20\n";
+    expect "append to a sub-slice"
+      {|
+func main() {
+  s := []int{1, 2, 3, 4, 5}
+  t := append(s[:2], 99)
+  println(t[2], s[2])
+}
+|}
+      "99 99\n";
+    expect "out of range slice panics"
+      {|
+func main() {
+  s := make([]int, 3)
+  i := 5
+  t := s[1:i]
+  println(len(t))
+}
+|}
+      "panic: slice bounds out of range\n";
+    expect "copy semantics"
+      {|
+func main() {
+  src := []int{1, 2, 3}
+  dst := make([]int, 5)
+  n := copy(dst, src)
+  println(n, dst[0], dst[2], dst[3])
+}
+|}
+      "3 1 3 0\n";
+    expect "copy truncates to dst"
+      {|
+func main() {
+  src := []int{1, 2, 3, 4}
+  dst := make([]int, 2)
+  println(copy(dst, src), dst[1])
+}
+|}
+      "2 2\n";
+    expect "copy between views of one array"
+      {|
+func main() {
+  s := []int{1, 2, 3, 4, 5, 6}
+  copy(s[2:], s[:3])
+  println(s[2], s[3], s[4])
+}
+|}
+      "1 2 3\n";
+    expect "nil slice slicing"
+      {|
+func main() {
+  var s []int
+  t := s[:]
+  println(len(t), t == nil)
+}
+|}
+      "0 true\n";
+  ]
+
+(* ---- analysis interactions ----------------------------------------- *)
+
+let test_escaping_subslice_blocks_free () =
+  (* the sub-slice escapes into a global: its backing array is the
+     parent's, so the parent must be neither freed nor stack-allocated *)
+  let src =
+    {|
+var keep []int
+func main() {
+  s := make([]int, 10)
+  s[0] = 1
+  keep = s[2:5]
+  println(keep[0])
+}
+|}
+  in
+  let compiled = Helpers.compile src in
+  Alcotest.(check (list (triple string string string)))
+    "no frees despite s's scope ending" []
+    (Helpers.inserted_vars compiled);
+  Helpers.check_all_settings_agree ~name:"escaping subslice" src
+
+let test_local_subslice_still_freed () =
+  (* when neither view escapes, the buffer is freed as usual *)
+  let src =
+    {|
+func f(n int) int {
+  s := make([]int, n)
+  t := s[1:]
+  t[0] = 3
+  x := s[1] + len(t)
+  return x
+}
+func main() { println(f(8)) }
+|}
+  in
+  let compiled = Helpers.compile src in
+  Alcotest.(check bool) "s freed" true
+    (List.exists (fun (_, v, _) -> v = "s") (Helpers.inserted_vars compiled));
+  Helpers.check_all_settings_agree ~name:"local subslice" src
+
+let test_copy_of_pointers_conservative () =
+  (* copying pointer elements into an escaping slice is an untracked
+     store: the pointees must be heap and never freed through the source *)
+  let src =
+    {|
+var out []*int
+func main() {
+  x := 7
+  tmp := make([]*int, 1)
+  tmp[0] = &x
+  out = make([]*int, 1)
+  copy(out, tmp)
+  println(*out[0])
+}
+|}
+  in
+  let compiled = Helpers.compile src in
+  let x = Helpers.var_props compiled ~func:"main" ~var:"x" in
+  Alcotest.(check bool) "x forced to heap through copy" true
+    x.Gofree_escape.Loc.heap_alloc;
+  Helpers.check_all_settings_agree ~name:"copy pointers" src
+
+let suite =
+  semantics
+  @ [
+      Alcotest.test_case "escaping sub-slice blocks freeing" `Quick
+        test_escaping_subslice_blocks_free;
+      Alcotest.test_case "local sub-slice still freed" `Quick
+        test_local_subslice_still_freed;
+      Alcotest.test_case "copy of pointers is conservative" `Quick
+        test_copy_of_pointers_conservative;
+    ]

@@ -1,0 +1,93 @@
+(** Statistics tests: moments, percentiles, and Welch's t-test against
+    reference values. *)
+
+open Gofree_stats
+
+let feq ?(eps = 1e-6) name want got =
+  Alcotest.(check (float eps)) name want got
+
+let test_moments () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  feq "mean" 5.0 (Stats.mean xs);
+  feq "variance (sample)" (32.0 /. 7.0) (Stats.variance xs);
+  feq "stdev" (sqrt (32.0 /. 7.0)) (Stats.stdev xs);
+  feq "mean empty" 0.0 (Stats.mean [||]);
+  feq "variance singleton" 0.0 (Stats.variance [| 3.0 |])
+
+let test_percentiles () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  feq "median interpolates" 2.5 (Stats.median xs);
+  feq "p0" 1.0 (Stats.percentile 0.0 xs);
+  feq "p100" 4.0 (Stats.percentile 100.0 xs);
+  feq "p25" 1.75 (Stats.percentile 25.0 xs);
+  feq "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |])
+
+let test_ratio () =
+  let control = [| 10.0; 10.0; 10.0 |] in
+  let treatment = [| 9.0; 9.5; 8.5 |] in
+  feq "ratio" 0.9 (Stats.ratio ~treatment ~control)
+
+let test_log_gamma () =
+  (* ln Γ(n) = ln (n-1)! *)
+  feq ~eps:1e-9 "lgamma 1" 0.0 (Ttest.log_gamma 1.0);
+  feq ~eps:1e-9 "lgamma 5" (log 24.0) (Ttest.log_gamma 5.0);
+  feq ~eps:1e-8 "lgamma 0.5" (log (sqrt Float.pi)) (Ttest.log_gamma 0.5)
+
+let test_incomplete_beta () =
+  (* I_x(1,1) = x *)
+  feq ~eps:1e-9 "I_x(1,1)" 0.3 (Ttest.incomplete_beta 1.0 1.0 0.3);
+  (* I_x(2,2) = 3x^2 - 2x^3 *)
+  feq ~eps:1e-9 "I_x(2,2)" (3.0 *. 0.16 -. 2.0 *. 0.064)
+    (Ttest.incomplete_beta 2.0 2.0 0.4);
+  feq "bounds 0" 0.0 (Ttest.incomplete_beta 2.0 3.0 0.0);
+  feq "bounds 1" 1.0 (Ttest.incomplete_beta 2.0 3.0 1.0)
+
+let test_t_distribution () =
+  (* two-sided p for t=2.0, df=10 is about 0.0734 (reference tables) *)
+  feq ~eps:2e-4 "p(t=2, df=10)" 0.0734
+    (Ttest.t_two_sided ~t:2.0 ~df:10.0);
+  (* df=1 (Cauchy): p(t=1) = 0.5 *)
+  feq ~eps:1e-6 "p(t=1, df=1)" 0.5 (Ttest.t_two_sided ~t:1.0 ~df:1.0);
+  feq ~eps:1e-6 "p(t=0)" 1.0 (Ttest.t_two_sided ~t:0.0 ~df:5.0)
+
+let test_welch () =
+  (* clearly different samples *)
+  let a = Array.init 30 (fun i -> 10.0 +. (0.01 *. float_of_int (i mod 5))) in
+  let b = Array.init 30 (fun i -> 11.0 +. (0.01 *. float_of_int (i mod 5))) in
+  let r = Ttest.welch a b in
+  Alcotest.(check bool) "significant" true r.Ttest.significant;
+  Alcotest.(check bool) "tiny p" true (r.Ttest.p_value < 1e-6);
+  (* overlapping noisy samples: not significant *)
+  let noise seed = Array.init 20 (fun i ->
+      10.0 +. Float.rem (float_of_int ((i * 7919 + seed) mod 100)) 10.0) in
+  let r2 = Ttest.welch (noise 1) (noise 13) in
+  Alcotest.(check bool) "not significant" false r2.Ttest.significant;
+  (* identical constant samples *)
+  let c = Array.make 10 5.0 in
+  let r3 = Ttest.welch c (Array.copy c) in
+  Alcotest.(check bool) "identical constants" false r3.Ttest.significant
+
+let test_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "v" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "long-name"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  (* all lines equal width where padded *)
+  Alcotest.(check bool) "row present" true
+    (List.exists
+       (fun line -> line = "long-name  22")
+       (String.split_on_char '\n' s))
+
+let suite =
+  [
+    Alcotest.test_case "moments" `Quick test_moments;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "ratio" `Quick test_ratio;
+    Alcotest.test_case "log gamma" `Quick test_log_gamma;
+    Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
+    Alcotest.test_case "student t" `Quick test_t_distribution;
+    Alcotest.test_case "welch t-test" `Quick test_welch;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+  ]

@@ -1,0 +1,105 @@
+(** Workload tests: every subject proxy compiles, runs identically under
+    stock Go / GoFree / GoFree+poison / GC-off, and shows the paper's
+    qualitative effects (positive free ratio, no more GC cycles than
+    stock Go). *)
+
+module Rt = Gofree_runtime
+module W = Gofree_workloads.Workloads
+
+(* Small sizes so the whole suite stays fast. *)
+let test_size (w : W.t) = max 20 (w.W.w_default_size / 10)
+
+let run_with ~gofree_config ?(gc_disabled = false) ?(poison = false) src =
+  let run_config =
+    {
+      Gofree_interp.Interp.default_config with
+      heap_config =
+        {
+          Rt.Heap.default_config with
+          gc_disabled;
+          poison_on_free = poison;
+          grow_map_free_old =
+            gofree_config.Gofree_core.Config.insert_tcfree;
+        };
+    }
+  in
+  Gofree_interp.Runner.compile_and_run ~gofree_config ~run_config src
+
+let workload_case (w : W.t) =
+  Alcotest.test_case w.W.w_name `Slow (fun () ->
+      let src = W.source_of ~size:(test_size w) w in
+      let go = run_with ~gofree_config:Gofree_core.Config.go src in
+      let gf = run_with ~gofree_config:Gofree_core.Config.gofree src in
+      let gp =
+        run_with ~gofree_config:Gofree_core.Config.gofree ~poison:true src
+      in
+      let goff =
+        run_with ~gofree_config:Gofree_core.Config.go ~gc_disabled:true src
+      in
+      Alcotest.(check bool) "produces output" true
+        (String.length go.Gofree_interp.Runner.output > 0);
+      Alcotest.(check string) "Go = GoFree" go.Gofree_interp.Runner.output
+        gf.Gofree_interp.Runner.output;
+      Alcotest.(check string) "Go = poison" go.Gofree_interp.Runner.output
+        gp.Gofree_interp.Runner.output;
+      Alcotest.(check string) "Go = GC-off" go.Gofree_interp.Runner.output
+        goff.Gofree_interp.Runner.output;
+      let m_go = go.Gofree_interp.Runner.metrics in
+      let m_gf = gf.Gofree_interp.Runner.metrics in
+      Alcotest.(check bool) "GoFree frees something" true
+        (m_gf.Rt.Metrics.freed_bytes > 0);
+      Alcotest.(check bool) "same allocation volume" true
+        (m_go.Rt.Metrics.alloced_bytes = m_gf.Rt.Metrics.alloced_bytes);
+      Alcotest.(check bool) "no more GC cycles than Go" true
+        (m_gf.Rt.Metrics.gc_cycles <= m_go.Rt.Metrics.gc_cycles);
+      Alcotest.(check int) "no invariant violations" 0
+        m_gf.Rt.Metrics.heap_to_stack_pointers;
+      Alcotest.(check int) "no poison reads" 0
+        gp.Gofree_interp.Runner.metrics.Rt.Metrics.poison_reads;
+      Alcotest.(check bool) "GC-off run has zero cycles" true
+        (goff.Gofree_interp.Runner.metrics.Rt.Metrics.gc_cycles = 0))
+
+let test_microbench_compiles () =
+  List.iter
+    (fun c ->
+      let src = Gofree_workloads.Microbench.source ~c ~iters:30 in
+      let go = run_with ~gofree_config:Gofree_core.Config.go src in
+      let gf = run_with ~gofree_config:Gofree_core.Config.gofree src in
+      Alcotest.(check string)
+        (Printf.sprintf "microbench c=%d outputs" c)
+        go.Gofree_interp.Runner.output gf.Gofree_interp.Runner.output;
+      Alcotest.(check bool)
+        (Printf.sprintf "microbench c=%d frees" c)
+        true
+        (gf.Gofree_interp.Runner.metrics.Rt.Metrics.freed_bytes > 0))
+    Gofree_workloads.Microbench.sweep
+
+let test_registry () =
+  Alcotest.(check int) "six subjects" 6 (List.length W.all);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (W.find name <> None))
+    [ "Go"; "hugo"; "badger"; "json"; "scheck"; "slayout" ]
+
+let test_determinism () =
+  (* the same workload twice gives byte-identical output and metrics *)
+  let w = W.find "json" |> Option.get in
+  let src = W.source_of ~size:30 w in
+  let r1 = run_with ~gofree_config:Gofree_core.Config.gofree src in
+  let r2 = run_with ~gofree_config:Gofree_core.Config.gofree src in
+  Alcotest.(check string) "outputs" r1.Gofree_interp.Runner.output
+    r2.Gofree_interp.Runner.output;
+  Alcotest.(check int) "alloced"
+    r1.Gofree_interp.Runner.metrics.Rt.Metrics.alloced_bytes
+    r2.Gofree_interp.Runner.metrics.Rt.Metrics.alloced_bytes;
+  Alcotest.(check int) "freed"
+    r1.Gofree_interp.Runner.metrics.Rt.Metrics.freed_bytes
+    r2.Gofree_interp.Runner.metrics.Rt.Metrics.freed_bytes
+
+let suite =
+  List.map workload_case W.all
+  @ [
+      Alcotest.test_case "microbench sweep" `Slow test_microbench_compiles;
+      Alcotest.test_case "registry" `Quick test_registry;
+      Alcotest.test_case "determinism" `Slow test_determinism;
+    ]
