@@ -6,7 +6,10 @@
                       metric reporting;
     - [analyze FILE]  print escape-analysis properties and points-to sets;
     - [instrument FILE]  print the program with inserted tcfree calls;
-    - [compare FILE]  run under Go and GoFree and print both metric sets. *)
+    - [compare FILE]  run under Go and GoFree and print both metric sets;
+    - [build DIR]     compile a multi-package tree incrementally (stored
+                      summaries, parallel analysis), link and optionally
+                      run it. *)
 
 open Cmdliner
 
@@ -201,10 +204,91 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run under Go and GoFree; print both metrics")
     Term.(const compare_run $ file_arg $ gogc_arg $ seed_arg)
 
+(* build *)
+let build_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Root of a multi-package MiniGo tree: root files are \
+                 package main, each subdirectory is one package")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ]
+           ~doc:"Analyze up to $(docv) independent packages in parallel \
+                 (0 = pick from the machine)" ~docv:"N")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ]
+           ~doc:"Summary store location (default DIR/.gofree-cache)")
+  in
+  let force_flag =
+    Arg.(value & flag & info [ "force" ]
+           ~doc:"Ignore the summary store; re-analyze every package")
+  in
+  let run_flag =
+    Arg.(value & flag & info [ "run" ] ~doc:"Execute the linked program")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print per-package timing and cache statistics")
+  in
+  let build dir go all_targets no_ipa jobs cache_dir force run stats gcoff
+      poison gogc seed metrics =
+    handle_errors (fun () ->
+        let cfg = gofree_config ~go ~all_targets ~no_ipa in
+        let result =
+          try
+            Gofree_build.Driver.build ~config:cfg ?cache_dir ~jobs ~force
+              dir
+          with
+          | Gofree_build.Driver.Error msg | Gofree_build.Loader.Error msg ->
+            Printf.eprintf "gofreec: %s\n" msg;
+            exit 1
+        in
+        if stats then
+          Format.printf "%a@." Gofree_build.Driver.pp_stats
+            result.Gofree_build.Driver.b_stats;
+        if run then begin
+          let rc =
+            run_config ~gcoff ~poison ~gogc ~seed
+              ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree
+          in
+          let decisions =
+            {
+              Gofree_interp.Decisions.site_heap =
+                result.Gofree_build.Driver.b_site_heap;
+              var_boxed = result.Gofree_build.Driver.b_var_boxed;
+            }
+          in
+          let r =
+            Gofree_interp.Runner.run_program ~config:rc ~decisions
+              result.Gofree_build.Driver.b_program
+          in
+          print_string r.Gofree_interp.Runner.output;
+          if metrics then
+            Format.printf "%a@." Gofree_runtime.Metrics.pp
+              r.Gofree_interp.Runner.metrics;
+          if r.Gofree_interp.Runner.panicked then exit 2
+        end
+        else if not stats then
+          Printf.printf "built %d package(s) (%d from cache)\n"
+            (List.length
+               result.Gofree_build.Driver.b_stats
+                 .Gofree_build.Driver.bs_pkgs)
+            result.Gofree_build.Driver.b_stats.Gofree_build.Driver.bs_hits)
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Compile a multi-package tree (incremental, parallel); link \
+             and optionally run it")
+    Term.(
+      const build $ dir_arg $ go_flag $ all_targets_flag $ no_ipa_flag
+      $ jobs_arg $ cache_arg $ force_flag $ run_flag $ stats_flag
+      $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "gofreec" ~version:"1.0.0"
        ~doc:"GoFree reproduction: compiler-inserted freeing for MiniGo")
-    [ run_cmd; analyze_cmd; instrument_cmd; compare_cmd ]
+    [ run_cmd; analyze_cmd; instrument_cmd; compare_cmd; build_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,34 @@
+package data
+
+import "util"
+
+type Point struct {
+	X int
+	Y int
+}
+
+func Centroid(ps []Point) Point {
+	n := len(ps)
+	if n == 0 {
+		return Point{}
+	}
+	sx := 0
+	sy := 0
+	for i := range ps {
+		sx = sx + ps[i].X
+		sy = sy + ps[i].Y
+	}
+	return Point{X: sx / n, Y: sy / n}
+}
+
+// Grid allocates through util: the slice returned by util.MakeRange is
+// freed here once data's analysis sees util's stored summary.
+func Grid(n int) []Point {
+	xs := util.MakeRange(n)
+	ps := make([]Point, n)
+	total := util.Sum(xs)
+	for i := range ps {
+		ps[i] = Point{X: xs[i], Y: total}
+	}
+	return ps
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"util"
+	"data"
+)
+
+func main() {
+	xs := util.MakeRange(16)
+	ys := util.Scale(xs, 3)
+	total := util.Sum(ys)
+	ps := data.Grid(8)
+	c := data.Centroid(ps)
+	println("total", total)
+	println("centroid", c.X, c.Y)
+}

@@ -1,0 +1,34 @@
+package util
+
+// Exported helpers shared by the other packages.  MakeRange and Scale
+// return fresh slices, so their stored content tags let importing
+// packages free the results explicitly (cross-package IPA).
+
+func Sum(xs []int) int {
+	s := 0
+	for i := range xs {
+		s = s + xs[i]
+	}
+	return s
+}
+
+func MakeRange(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// unexported: only callable from inside util
+func scale(x int, k int) int {
+	return x * k
+}
+
+func Scale(xs []int, k int) []int {
+	ys := make([]int, len(xs))
+	for i := range xs {
+		ys[i] = scale(xs[i], k)
+	}
+	return ys
+}

@@ -1,0 +1,359 @@
+(** The incremental, parallel multi-package build driver.
+
+    Pipeline, per build:
+    + load and parse every package of the tree ({!Loader});
+    + schedule them into dependency waves ({!Pkg_graph});
+    + typecheck sequentially in topological order, threading the
+      variable/scope/site id bases so ids stay globally unique and the
+      packages link without renumbering;
+    + for each package, compute its content-hash key; on a cache hit
+      ({!Store}) skip the escape analysis entirely and replay the
+      recorded tcfree insertions, otherwise analyze the package against
+      its dependencies' {e stored summaries} (paper §4.4: a callee's
+      extended parameter tag is all a caller needs) — packages within a
+      wave are independent and run on parallel {!Domain}s;
+    + link everything into one {!Tast.program} plus the runtime's
+      stack/heap and boxing decision arrays.
+
+    The import graph is acyclic, so per-package analysis seeded with
+    callee summaries computes exactly what the whole-program SCC order
+    would: insertion sites and runtime metrics match a single-file
+    compile of the same declarations. *)
+
+open Minigo
+module E = Gofree_escape
+module Core = Gofree_core
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type pkg_report = {
+  pr_name : string;
+  pr_wave : int;  (** dependency wave the package was scheduled in *)
+  pr_cached : bool;  (** analysis skipped, summaries came from the store *)
+  pr_ms : float;  (** analysis time; 0 for cache hits *)
+  pr_nfuncs : int;
+  pr_nsummaries : int;
+}
+
+type stats = {
+  bs_pkgs : pkg_report list;  (** topological order *)
+  bs_hits : int;
+  bs_misses : int;
+  bs_jobs : int;
+  bs_total_ms : float;
+}
+
+type result = {
+  b_program : Tast.program;  (** linked and instrumented *)
+  b_inserted : Core.Instrument.inserted list;
+  b_site_heap : bool array;  (** indexed by absolute site id *)
+  b_var_boxed : bool array;  (** indexed by absolute variable id *)
+  b_stats : stats;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Analyze one package against its dependencies' summaries and compress
+   the outcome into a store entry.  Runs on a worker domain: everything
+   it touches (its own typed program, the read-only tenv, the imported
+   summary list) is either private or immutable during the wave. *)
+let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
+    (tp : Tast.program) : Store.entry * Core.Instrument.inserted list * float
+    =
+  let t0 = now_ms () in
+  let compiled = Core.Pipeline.compile_program ~config ~imported tp in
+  let analysis = compiled.Core.Pipeline.c_analysis in
+  let own_summaries =
+    List.filter_map
+      (fun (f : Tast.func) ->
+        Hashtbl.find_opt analysis.E.Analysis.summaries f.Tast.f_name)
+      tp.Tast.p_funcs
+  in
+  let frees =
+    List.map
+      (fun (i : Core.Instrument.inserted) ->
+        ( i.Core.Instrument.ins_func,
+          i.Core.Instrument.ins_var.Tast.v_id - base_var,
+          i.Core.Instrument.ins_kind ))
+      compiled.Core.Pipeline.c_inserted
+  in
+  let site_heap =
+    List.map
+      (fun (s : Tast.alloc_site) ->
+        E.Analysis.site_is_heap analysis ~func:s.Tast.site_func s)
+      tp.Tast.p_sites
+  in
+  let boxed = ref [] in
+  Hashtbl.iter
+    (fun _ (fr : E.Analysis.func_result) ->
+      Hashtbl.iter
+        (fun var_id (l : E.Loc.t) ->
+          match l.E.Loc.kind with
+          | E.Loc.Kvar v
+            when v.Tast.v_kind <> Tast.Vglobal && l.E.Loc.heap_alloc ->
+            let rel = var_id - base_var in
+            if rel >= 0 && rel < nvars && not (List.mem rel !boxed) then
+              boxed := rel :: !boxed
+          | _ -> ())
+        fr.E.Analysis.fr_ctx.E.Build.var_locs)
+    analysis.E.Analysis.funcs;
+  let entry =
+    {
+      Store.e_pkg = name;
+      e_key = key;
+      e_nvars = nvars;
+      e_nsites = nsites;
+      e_summaries = own_summaries;
+      e_frees = frees;
+      e_site_heap = site_heap;
+      e_var_boxed = List.sort compare !boxed;
+    }
+  in
+  (entry, compiled.Core.Pipeline.c_inserted, now_ms () -. t0)
+
+(** Build the multi-package tree rooted at [root].  [jobs = 0] (the
+    default) picks a worker count from the machine; [force] ignores the
+    cache.  Raises {!Error} (or {!Loader.Error}) on build problems. *)
+let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
+    ?(force = false) (root : string) : result =
+  let t_start = now_ms () in
+  let pkgs = Loader.load root in
+  let cache_dir =
+    match cache_dir with
+    | Some d -> d
+    | None -> Filename.concat root ".gofree-cache"
+  in
+  let jobs = if jobs > 0 then jobs else default_jobs () in
+  let wave_list =
+    try
+      Pkg_graph.waves
+        (List.map (fun p -> (p.Loader.pkg_name, p.Loader.pkg_deps)) pkgs)
+    with Pkg_graph.Cycle c ->
+      fail "import cycle: %s" (String.concat " -> " c)
+  in
+  let order = List.concat wave_list in
+  let pkg name = List.find (fun p -> p.Loader.pkg_name = name) pkgs in
+  (* -------- sequential typecheck in topological order -------- *)
+  let ifaces = Hashtbl.create 8 in
+  let tprogs = Hashtbl.create 8 in
+  let bases = Hashtbl.create 8 in  (* name -> (base_var, base_site) *)
+  let owned = Hashtbl.create 8 in  (* name -> (nvars, nsites) *)
+  let next = ref (0, 0, 0) in
+  List.iter
+    (fun name ->
+      let p = pkg name in
+      let first_var, first_scope, first_site = !next in
+      let imports =
+        List.map (fun d -> Hashtbl.find ifaces d) p.Loader.pkg_deps
+      in
+      let tp, iface, counters =
+        try
+          Typecheck.check_package ~imports ~first_var ~first_scope
+            ~first_site p.Loader.pkg_file
+        with Typecheck.Error (m, pos) ->
+          fail "package %s: type error at %s: %s" name
+            (Token.string_of_pos pos) m
+      in
+      Hashtbl.replace ifaces name iface;
+      Hashtbl.replace tprogs name tp;
+      Hashtbl.replace bases name (first_var, first_site);
+      Hashtbl.replace owned name
+        ( counters.Typecheck.c_next_var - first_var,
+          counters.Typecheck.c_next_site - first_site );
+      next :=
+        ( counters.Typecheck.c_next_var,
+          counters.Typecheck.c_next_scope,
+          counters.Typecheck.c_next_site ))
+    order;
+  let total_vars, _, total_sites = !next in
+  (* -------- cache keys (dep keys feed in: transitive invalidation) --- *)
+  let keys = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      let p = pkg name in
+      let dep_keys = List.map (Hashtbl.find keys) p.Loader.pkg_deps in
+      Hashtbl.replace keys name
+        (Store.key ~sources:p.Loader.pkg_files ~dep_keys ~config))
+    order;
+  let cached = Hashtbl.create 8 in
+  if not force then
+    List.iter
+      (fun name ->
+        match Store.load ~dir:cache_dir ~pkg:name with
+        | Some e
+          when e.Store.e_key = Hashtbl.find keys name
+               && (let nv, ns = Hashtbl.find owned name in
+                   e.Store.e_nvars = nv && e.Store.e_nsites = ns) ->
+          Hashtbl.replace cached name e
+        | _ -> ())
+      order;
+  (* -------- per-wave analysis; misses run on parallel domains ------- *)
+  let entries = Hashtbl.create 8 in
+  let inserted = Hashtbl.create 8 in
+  let times = Hashtbl.create 8 in
+  let wave_of = Hashtbl.create 8 in
+  List.iteri
+    (fun wave_idx wave ->
+      List.iter (fun n -> Hashtbl.replace wave_of n wave_idx) wave;
+      let hits, misses = List.partition (Hashtbl.mem cached) wave in
+      (* Cache hits: no analysis; re-apply the recorded frees to the
+         fresh bodies, shifting stored relative ids onto this build's
+         id base. *)
+      List.iter
+        (fun name ->
+          let e = Hashtbl.find cached name in
+          let tp = Hashtbl.find tprogs name in
+          let base_var, _ = Hashtbl.find bases name in
+          let ins =
+            List.concat_map
+              (fun (f : Tast.func) ->
+                let frees =
+                  List.filter_map
+                    (fun (fn, rel, kind) ->
+                      if fn = f.Tast.f_name then Some (base_var + rel, kind)
+                      else None)
+                    e.Store.e_frees
+                in
+                if frees = [] then []
+                else Core.Instrument.replay_function f frees)
+              tp.Tast.p_funcs
+          in
+          Hashtbl.replace entries name e;
+          Hashtbl.replace inserted name ins;
+          Hashtbl.replace times name 0.)
+        hits;
+      (* Misses: capture every input in the parent so worker domains
+         share nothing mutable, then fan out. *)
+      let tasks =
+        List.map
+          (fun name ->
+            let p = pkg name in
+            let imported =
+              List.concat_map
+                (fun d -> (Hashtbl.find entries d).Store.e_summaries)
+                p.Loader.pkg_deps
+            in
+            let base_var, _ = Hashtbl.find bases name in
+            let nvars, nsites = Hashtbl.find owned name in
+            let key = Hashtbl.find keys name in
+            let tp = Hashtbl.find tprogs name in
+            fun () ->
+              let entry, ins, ms =
+                analyze_package ~config ~key ~name ~base_var ~nvars ~nsites
+                  ~imported tp
+              in
+              (name, entry, ins, ms))
+          misses
+      in
+      let results =
+        if jobs <= 1 || List.length tasks <= 1 then
+          List.map (fun task -> task ()) tasks
+        else begin
+          let n = min jobs (List.length tasks) in
+          let buckets = Array.make n [] in
+          List.iteri
+            (fun i task -> buckets.(i mod n) <- task :: buckets.(i mod n))
+            tasks;
+          let domains =
+            Array.map
+              (fun tasks ->
+                let tasks = List.rev tasks in
+                Domain.spawn (fun () -> List.map (fun t -> t ()) tasks))
+              buckets
+          in
+          List.concat_map Domain.join (Array.to_list domains)
+        end
+      in
+      List.iter
+        (fun (name, entry, ins, ms) ->
+          Store.save ~dir:cache_dir entry;
+          Hashtbl.replace entries name entry;
+          Hashtbl.replace inserted name ins;
+          Hashtbl.replace times name ms)
+        results)
+    wave_list;
+  (* -------- link -------- *)
+  let tenv = Types.create_env () in
+  List.iter
+    (fun name ->
+      let tp = Hashtbl.find tprogs name in
+      Hashtbl.iter
+        (fun n fields -> Types.add_struct tenv n fields)
+        tp.Tast.p_tenv.Types.structs)
+    order;
+  let linked =
+    {
+      Tast.p_funcs =
+        List.concat_map (fun n -> (Hashtbl.find tprogs n).Tast.p_funcs) order;
+      p_globals =
+        List.concat_map
+          (fun n -> (Hashtbl.find tprogs n).Tast.p_globals)
+          order;
+      p_tenv = tenv;
+      p_sites =
+        List.concat_map (fun n -> (Hashtbl.find tprogs n).Tast.p_sites) order;
+      p_nvars = total_vars;
+    }
+  in
+  let site_heap = Array.make (max 1 total_sites) false in
+  let var_boxed = Array.make (max 1 total_vars) false in
+  List.iter
+    (fun name ->
+      let e = Hashtbl.find entries name in
+      let base_var, base_site = Hashtbl.find bases name in
+      List.iteri
+        (fun i b -> if b then site_heap.(base_site + i) <- true)
+        e.Store.e_site_heap;
+      List.iter (fun rel -> var_boxed.(base_var + rel) <- true)
+        e.Store.e_var_boxed)
+    order;
+  let reports =
+    List.map
+      (fun name ->
+        {
+          pr_name = name;
+          pr_wave = Hashtbl.find wave_of name;
+          pr_cached = Hashtbl.mem cached name;
+          pr_ms = Hashtbl.find times name;
+          pr_nfuncs =
+            List.length (Hashtbl.find tprogs name).Tast.p_funcs;
+          pr_nsummaries =
+            List.length (Hashtbl.find entries name).Store.e_summaries;
+        })
+      order
+  in
+  let hits = List.length (List.filter (fun r -> r.pr_cached) reports) in
+  {
+    b_program = linked;
+    b_inserted = List.concat_map (fun n -> Hashtbl.find inserted n) order;
+    b_site_heap = site_heap;
+    b_var_boxed = var_boxed;
+    b_stats =
+      {
+        bs_pkgs = reports;
+        bs_hits = hits;
+        bs_misses = List.length reports - hits;
+        bs_jobs = jobs;
+        bs_total_ms = now_ms () -. t_start;
+      };
+  }
+
+let pp_stats fmt (st : stats) =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-16s wave %d  %s  %3d func(s)  %d summarie(s)%s@,"
+        r.pr_name r.pr_wave
+        (if r.pr_cached then "cached  " else
+           Printf.sprintf "%6.1fms" r.pr_ms)
+        r.pr_nfuncs r.pr_nsummaries
+        (if r.pr_cached then "  [cache hit]" else ""))
+    st.bs_pkgs;
+  Format.fprintf fmt
+    "packages: %d  cache hits: %d  analyzed: %d  jobs: %d  total: %.1fms@]"
+    (List.length st.bs_pkgs) st.bs_hits st.bs_misses st.bs_jobs
+    st.bs_total_ms

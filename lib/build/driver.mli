@@ -1,0 +1,49 @@
+(** Incremental, parallel multi-package build driver: topological
+    typechecking with threaded id bases, per-package escape analysis
+    against stored dependency summaries (§4.4), content-hash caching,
+    wave-parallel analysis on OCaml domains, and linking into one
+    runnable {!Tast.program}. *)
+
+open Minigo
+module Core := Gofree_core
+
+exception Error of string
+
+type pkg_report = {
+  pr_name : string;
+  pr_wave : int;  (** dependency wave the package was scheduled in *)
+  pr_cached : bool;  (** analysis skipped, summaries came from the store *)
+  pr_ms : float;  (** analysis time; 0 for cache hits *)
+  pr_nfuncs : int;
+  pr_nsummaries : int;
+}
+
+type stats = {
+  bs_pkgs : pkg_report list;  (** topological order *)
+  bs_hits : int;
+  bs_misses : int;
+  bs_jobs : int;
+  bs_total_ms : float;
+}
+
+type result = {
+  b_program : Tast.program;  (** linked and instrumented *)
+  b_inserted : Core.Instrument.inserted list;
+  b_site_heap : bool array;  (** indexed by absolute site id *)
+  b_var_boxed : bool array;  (** indexed by absolute variable id *)
+  b_stats : stats;
+}
+
+(** Build the tree rooted at the directory.  [cache_dir] defaults to
+    [<root>/.gofree-cache]; [jobs = 0] picks a worker count from the
+    machine; [force] ignores the cache.  Raises {!Error} or
+    {!Loader.Error} on build problems. *)
+val build :
+  ?config:Core.Config.t ->
+  ?cache_dir:string ->
+  ?jobs:int ->
+  ?force:bool ->
+  string ->
+  result
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,21 @@
+(** Package loader for multi-package MiniGo trees: files at the root are
+    package [main]; each subdirectory holding sources is one package,
+    imported by its path relative to the root. *)
+
+open Minigo
+
+exception Error of string
+
+type package = {
+  pkg_name : string;  (** package name (= import-path base) *)
+  pkg_path : string;  (** import path, relative to the build root *)
+  pkg_dir : string;  (** directory on disk *)
+  pkg_files : (string * string) list;  (** file name → source, sorted *)
+  pkg_file : Ast.file;  (** all files merged into one *)
+  pkg_deps : string list;  (** imported package names, sorted, deduped *)
+}
+
+(** Load every package of the tree rooted at the directory.  Raises
+    {!Error} on parse errors, a missing main package, duplicate package
+    names, or imports that do not resolve within the tree. *)
+val load : string -> package list

@@ -173,8 +173,16 @@ let extract_summary ?(precise_contents = true) (f : Tast.func)
     tag; [backprop = false] disables GoFree's leaf→root rules (unsound —
     ablation only). *)
 let analyze ?(mode = Propagate.Gofree) ?(use_ipa = true) ?(backprop = true)
-    (p : Tast.program) : t =
+    ?(imported = []) (p : Tast.program) : t =
   let summaries = Hashtbl.create 16 in
+  (* Seed the table with the stored tags of already-analyzed packages:
+     calls into an imported function then resolve exactly as they would
+     in a whole-program run (§4.4's separate-compilation property).
+     Without IPA the ablation stays fully conservative. *)
+  if use_ipa then
+    List.iter
+      (fun (s : Summary.t) -> Hashtbl.replace summaries s.Summary.s_name s)
+      imported;
   let funcs = Hashtbl.create 16 in
   let components = scc_order p.Tast.p_funcs in
   List.iter

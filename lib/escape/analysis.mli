@@ -33,9 +33,16 @@ val extract_summary :
     decisions; [Gofree] adds completeness/lifetime/ToFree.
     [use_ipa = false] forces default tags everywhere (ablation);
     [backprop = false] disables GoFree's leaf→root rules (unsound —
-    robustness ablation only). *)
+    robustness ablation only).  [imported] seeds the summary table with
+    the stored tags of already-analyzed packages (separate compilation,
+    §4.4); callees with no seeded or computed summary fall back to the
+    conservative default tag. *)
 val analyze :
-  ?mode:Propagate.mode -> ?use_ipa:bool -> ?backprop:bool -> Tast.program ->
+  ?mode:Propagate.mode ->
+  ?use_ipa:bool ->
+  ?backprop:bool ->
+  ?imported:Summary.t list ->
+  Tast.program ->
   t
 
 val func_result : t -> string -> func_result option

@@ -54,6 +54,112 @@ let default ~name ~nparams ~nresults =
             ret_incomplete = true });
   }
 
+(* -------------------------------------------------------------- *)
+(* Serialization (paper §4.4: a callee's extended parameter tag is
+   everything a caller needs, which is what makes separate compilation
+   possible — the build driver stores these per package).           *)
+(* -------------------------------------------------------------- *)
+
+let target_to_sexp = function
+  | `Return i -> Sexp.List [ Sexp.Atom "return"; Sexp.Atom (string_of_int i) ]
+  | `Heap -> Sexp.Atom "heap"
+  | `Defer -> Sexp.Atom "defer"
+
+let to_sexp s =
+  let flow f =
+    Sexp.List
+      [
+        Sexp.Atom "flow";
+        Sexp.Atom (string_of_int f.pf_param);
+        target_to_sexp f.pf_target;
+        Sexp.Atom (string_of_int f.pf_derefs);
+      ]
+  in
+  let content ct =
+    Sexp.List
+      [
+        Sexp.Atom "content";
+        Sexp.Atom (string_of_bool ct.ct_heap_alloc);
+        Sexp.Atom (string_of_bool ct.ct_incomplete);
+        Sexp.Atom (string_of_bool ct.ret_incomplete);
+      ]
+  in
+  Sexp.List
+    [
+      Sexp.Atom "summary";
+      Sexp.List [ Sexp.Atom "name"; Sexp.Atom s.s_name ];
+      Sexp.List [ Sexp.Atom "nparams"; Sexp.Atom (string_of_int s.s_nparams) ];
+      Sexp.List (Sexp.Atom "flows" :: List.map flow s.s_flows);
+      Sexp.List
+        (Sexp.Atom "contents"
+        :: Array.to_list (Array.map content s.s_contents));
+    ]
+
+exception Bad of string
+
+let of_sexp sx =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let int_atom = function
+    | Sexp.Atom a -> begin
+      match int_of_string_opt a with
+      | Some n -> n
+      | None -> fail "expected an integer, got %s" a
+    end
+    | Sexp.List _ -> fail "expected an integer atom"
+  in
+  let bool_atom = function
+    | Sexp.Atom "true" -> true
+    | Sexp.Atom "false" -> false
+    | _ -> fail "expected a boolean atom"
+  in
+  let target = function
+    | Sexp.Atom "heap" -> `Heap
+    | Sexp.Atom "defer" -> `Defer
+    | Sexp.List [ Sexp.Atom "return"; i ] -> `Return (int_atom i)
+    | _ -> fail "malformed flow target"
+  in
+  let flow = function
+    | Sexp.List [ Sexp.Atom "flow"; p; t; d ] ->
+      { pf_param = int_atom p; pf_target = target t; pf_derefs = int_atom d }
+    | _ -> fail "malformed flow"
+  in
+  let content = function
+    | Sexp.List [ Sexp.Atom "content"; h; i; r ] ->
+      {
+        ct_heap_alloc = bool_atom h;
+        ct_incomplete = bool_atom i;
+        ret_incomplete = bool_atom r;
+      }
+    | _ -> fail "malformed content tag"
+  in
+  match
+    match sx with
+    | Sexp.List
+        [
+          Sexp.Atom "summary";
+          Sexp.List [ Sexp.Atom "name"; Sexp.Atom name ];
+          Sexp.List [ Sexp.Atom "nparams"; np ];
+          Sexp.List (Sexp.Atom "flows" :: flows);
+          Sexp.List (Sexp.Atom "contents" :: contents);
+        ] ->
+      {
+        s_name = name;
+        s_nparams = int_atom np;
+        s_flows = List.map flow flows;
+        s_contents = Array.of_list (List.map content contents);
+      }
+    | _ -> fail "malformed summary"
+  with
+  | s -> Ok s
+  | exception Bad m -> Error m
+
+let to_string s = Sexp.to_string (to_sexp s)
+
+let of_string str =
+  match Sexp.of_string str with
+  | Error m -> Error m
+  | Ok sx -> of_sexp sx
+
 let pp fmt s =
   let target_str = function
     | `Return i -> Printf.sprintf "return%d" i

@@ -34,4 +34,17 @@ type t = {
     flow to the heap, returns come from the heap, incomplete. *)
 val default : name:string -> nparams:int -> nresults:int -> t
 
+(** Serialization, the paper's separate-compilation story (§4.4): a
+    callee's stored tag is all a caller's analysis needs.  [of_string]
+    and [of_sexp] accept exactly what [to_string] / [to_sexp] produce
+    and are total (malformed input yields [Error]). *)
+
+val to_sexp : t -> Sexp.t
+
+val of_sexp : Sexp.t -> (t, string) result
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
 val pp : Format.formatter -> t -> unit

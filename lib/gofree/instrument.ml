@@ -122,3 +122,48 @@ let instrument_function (analysis : Gofree_escape.Analysis.t)
 let instrument (analysis : Gofree_escape.Analysis.t) (config : Config.t)
     (p : Tast.program) : inserted list =
   List.concat_map (instrument_function analysis config) p.Tast.p_funcs
+
+(* All variables declared anywhere in a function (params included). *)
+let func_vars (f : Tast.func) : Tast.var list =
+  let acc = ref (List.rev f.Tast.f_params) in
+  Tast.iter_stmts
+    (fun s ->
+      match s with
+      | Tast.Sdecl (v, _) -> acc := v :: !acc
+      | Tast.Smulti_decl (vs, _) -> acc := List.rev_append vs !acc
+      | Tast.Sforrange_map (v, _, _) -> acc := v :: !acc
+      | _ -> ())
+    f.Tast.f_body;
+  List.rev !acc
+
+(** Re-apply recorded frees to a freshly typechecked function — the
+    cache-hit path of the incremental build driver, which has the
+    (variable id, kind) pairs from a previous run but no analysis.
+    Variable ids are matched against the function's declarations; the
+    same end-of-scope placement rules run again, so the result is
+    exactly what {!instrument_function} produced originally. *)
+let replay_function (f : Tast.func)
+    (frees : (int * Tast.free_kind) list) : inserted list =
+  let vars = func_vars f in
+  let frees =
+    List.sort (fun (a, _) (b, _) -> compare a b) frees
+  in
+  List.filter_map
+    (fun (var_id, kind) ->
+      match
+        List.find_opt (fun (v : Tast.var) -> v.Tast.v_id = var_id) vars
+      with
+      | None -> None
+      | Some v -> begin
+        match find_block f.Tast.f_body v.Tast.v_scope with
+        | None -> None
+        | Some block -> begin
+          let free_stmt = Tast.Stcfree (v, kind) in
+          match insert_at_end v free_stmt block.Tast.b_stmts with
+          | None -> None
+          | Some stmts ->
+            block.Tast.b_stmts <- stmts;
+            Some { ins_func = f.Tast.f_name; ins_var = v; ins_kind = kind }
+        end
+      end)
+    frees

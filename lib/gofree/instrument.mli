@@ -23,3 +23,9 @@ val instrument_function :
 (** Instrument a whole program in place. *)
 val instrument :
   Gofree_escape.Analysis.t -> Config.t -> Tast.program -> inserted list
+
+(** Re-apply recorded frees — (variable id, kind) pairs from a previous
+    run — to a freshly typechecked function: the cache-hit path of the
+    incremental build driver, which has no analysis to consult. *)
+val replay_function :
+  Tast.func -> (int * Tast.free_kind) list -> inserted list

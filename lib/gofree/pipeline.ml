@@ -36,20 +36,26 @@ let parse_and_check (source : string) : Tast.program =
          (Printf.sprintf "type error at %s: %s" (Token.string_of_pos pos)
             msg))
 
-(** Compile a MiniGo source string under [config]. *)
-let compile ?(config = Config.gofree) (source : string) : compiled =
-  let program = parse_and_check source in
+(** Analyze and instrument an already-typechecked program.  [imported]
+    seeds the analysis with stored summaries of other packages (separate
+    compilation, §4.4). *)
+let compile_program ?(config = Config.gofree) ?(imported = [])
+    (program : Tast.program) : compiled =
   let mode =
     if config.Config.insert_tcfree then Gofree_escape.Propagate.Gofree
     else Gofree_escape.Propagate.Go_base
   in
   let analysis =
     Gofree_escape.Analysis.analyze ~mode ~use_ipa:config.Config.ipa
-      ~backprop:config.Config.backprop program
+      ~backprop:config.Config.backprop ~imported program
   in
   let inserted = Instrument.instrument analysis config program in
   { c_program = program; c_analysis = analysis; c_inserted = inserted;
     c_config = config }
+
+(** Compile a MiniGo source string under [config]. *)
+let compile ?(config = Config.gofree) (source : string) : compiled =
+  compile_program ~config (parse_and_check source)
 
 (** Compile with stock-Go settings (no tcfree, Go's base analysis for the
     stack/heap decisions). *)

@@ -16,6 +16,16 @@ exception Compile_error of string
     {!Compile_error} with positions. *)
 val parse_and_check : string -> Tast.program
 
+(** Analyze and instrument an already-typechecked program.  [imported]
+    seeds the escape analysis with the stored summaries of other
+    packages, so call sites into them resolve as in a whole-program run
+    (separate compilation, §4.4). *)
+val compile_program :
+  ?config:Config.t ->
+  ?imported:Gofree_escape.Summary.t list ->
+  Tast.program ->
+  compiled
+
 (** Compile a MiniGo source string under [config]
     (default {!Config.gofree}). *)
 val compile : ?config:Config.t -> string -> compiled

@@ -16,15 +16,11 @@ type result = {
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
-(** Run a compiled program.  Raises {!Value.Corruption} if poison mode
-    detects a wrong explicit free, and {!Interp.Runtime_error} on
-    interpreter-level failures. *)
-let run ?(config = Interp.default_config)
-    (compiled : Gofree_core.Pipeline.compiled) : result =
-  let program = compiled.Gofree_core.Pipeline.c_program in
-  let decisions =
-    Decisions.of_analysis compiled.Gofree_core.Pipeline.c_analysis program
-  in
+(** Run an instrumented program against explicit static decisions — the
+    entry point for linked multi-package builds, whose decisions come
+    from per-package caches rather than one whole-program analysis. *)
+let run_program ?(config = Interp.default_config)
+    ~(decisions : Decisions.t) (program : Tast.program) : result =
   let heap =
     Rt.Heap.create ~config:config.Interp.heap_config
       ~nprocs:config.Interp.nprocs ()
@@ -123,6 +119,17 @@ let run ?(config = Interp.default_config)
     steps = st.Interp.steps;
     panicked = !panicked;
   }
+
+(** Run a compiled program.  Raises {!Value.Corruption} if poison mode
+    detects a wrong explicit free, and {!Interp.Runtime_error} on
+    interpreter-level failures. *)
+let run ?(config = Interp.default_config)
+    (compiled : Gofree_core.Pipeline.compiled) : result =
+  let program = compiled.Gofree_core.Pipeline.c_program in
+  let decisions =
+    Decisions.of_analysis compiled.Gofree_core.Pipeline.c_analysis program
+  in
+  run_program ~config ~decisions program
 
 (** Convenience: compile under [gofree_config] and run.  The runtime's
     map-growth freeing follows the compile-time setting unless the caller

@@ -17,6 +17,16 @@ type result = {
     free. *)
 val run : ?config:Interp.run_config -> Gofree_core.Pipeline.compiled -> result
 
+(** Run an instrumented program against explicit static decisions — the
+    entry point for linked multi-package builds, whose decisions come
+    from per-package summary caches rather than one whole-program
+    analysis. *)
+val run_program :
+  ?config:Interp.run_config ->
+  decisions:Decisions.t ->
+  Minigo.Tast.program ->
+  result
+
 (** Compile under [gofree_config] and run; the runtime's map-growth
     freeing follows the compile-time setting unless [run_config] is
     given. *)

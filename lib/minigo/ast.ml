@@ -123,6 +123,31 @@ type top_decl =
 
 type program = top_decl list
 
+(** One [import] declaration.  [imp_path] is the import path as written
+    (the last path component is the package name); [imp_alias] is the
+    local name the package is referred to by — the explicit alias when
+    one was given, the path's base name otherwise. *)
+type import_decl = {
+  imp_path : string;
+  imp_alias : string;
+  imp_pos : pos;
+}
+
+(** A source file in package mode: [package] clause, imports, then
+    top-level declarations.  Single-file (whole-program) sources are the
+    degenerate case: package ["main"], no imports. *)
+type file = {
+  file_package : string;
+  file_imports : import_decl list;
+  file_decls : program;
+}
+
+(** Base name of an import path: ["lib/util"] imports as [util]. *)
+let import_base path =
+  match String.rindex_opt path '/' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
 let rec ty_to_string = function
   | Tyint -> "int"
   | Tybool -> "bool"

@@ -16,12 +16,15 @@ type state = {
       (** Go's composite-literal ambiguity: [T{...}] is not allowed at the
           top level of an if/for header expression (the [{] would read as
           the statement block); parentheses or brackets re-enable it. *)
+  mutable imports : string list;
+      (** local names of imported packages; [pkg.Sel] is parsed as a
+          qualified reference only when [pkg] is in this list *)
 }
 
 let make src =
   let lexer = Lexer.make src in
   let tok, pos = Lexer.next lexer in
-  { lexer; tok; pos; peeked = None; allow_composite = true }
+  { lexer; tok; pos; peeked = None; allow_composite = true; imports = [] }
 
 (* Parse a control-flow header fragment with composite literals off. *)
 let in_header st f =
@@ -94,7 +97,15 @@ let rec parse_type st : Ast.ty =
   | Token.IDENT "bool" -> advance st; Ast.Tybool
   | Token.IDENT "string" -> advance st; Ast.Tystring
   | Token.IDENT "float" -> advance st; Ast.Tyfloat
-  | Token.IDENT name -> advance st; Ast.Tyname name
+  | Token.IDENT name ->
+    advance st;
+    if List.mem name st.imports && st.tok = Token.DOT then begin
+      (* qualified type from an imported package: pkg.T *)
+      advance st;
+      let sel = expect_ident st in
+      Ast.Tyname (name ^ "." ^ sel)
+    end
+    else Ast.Tyname name
   | Token.STAR ->
     advance st;
     Ast.Typtr (parse_type st)
@@ -295,6 +306,24 @@ and parse_primary st =
     (match parse_call_args st with
     | [ e ] -> mk pos (Ast.Ecap e)
     | _ -> error pos "cap takes exactly one argument")
+  | Token.IDENT pkg when List.mem pkg st.imports && peek_ahead st = Token.DOT
+    -> begin
+    (* qualified reference into an imported package: pkg.Fn(...),
+       pkg.Var, or pkg.T{...} — resolved here because MiniGo has no
+       method calls, so IDENT.IDENT( is unambiguous once [pkg] is known
+       to be an import *)
+    advance st;
+    advance st;
+    let sel = expect_ident st in
+    let qname = pkg ^ "." ^ sel in
+    match st.tok with
+    | Token.LPAREN ->
+      let args = parse_call_args st in
+      mk pos (Ast.Ecall (qname, args))
+    | Token.LBRACE when st.allow_composite ->
+      parse_composite st pos (Ast.Tyname qname)
+    | _ -> mk pos (Ast.Eident qname)
+  end
   | Token.IDENT name -> begin
     advance st;
     match st.tok with
@@ -635,5 +664,75 @@ let parse_program st : Ast.program =
   in
   loop []
 
-(** Parse a complete MiniGo source string. *)
-let parse src = parse_program (make src)
+(* -------------------------------------------------------------------- *)
+(* Files: package clause and imports                                     *)
+(* -------------------------------------------------------------------- *)
+
+(* One import declaration: [import "path"], [import alias "path"], or a
+   parenthesized group of either form. *)
+let parse_import st : Ast.import_decl list =
+  expect st Token.KW_IMPORT;
+  let one () =
+    let pos = st.pos in
+    match st.tok with
+    | Token.IDENT alias -> begin
+      advance st;
+      match st.tok with
+      | Token.STRING_LIT path ->
+        advance st;
+        { Ast.imp_path = path; imp_alias = alias; imp_pos = pos }
+      | t ->
+        error st.pos "expected an import path string but found %s"
+          (Token.to_string t)
+    end
+    | Token.STRING_LIT path ->
+      advance st;
+      { Ast.imp_path = path; imp_alias = Ast.import_base path;
+        imp_pos = pos }
+    | t ->
+      error st.pos "expected an import path but found %s" (Token.to_string t)
+  in
+  if accept st Token.LPAREN then begin
+    skip_semis st;
+    let acc = ref [] in
+    while st.tok <> Token.RPAREN do
+      acc := one () :: !acc;
+      skip_semis st
+    done;
+    expect st Token.RPAREN;
+    List.rev !acc
+  end
+  else [ one () ]
+
+(** Parse a source file: optional [package] clause, [import]
+    declarations, then top-level declarations.  A file without a package
+    clause is treated as package [main] with no imports (the single-file
+    whole-program form). *)
+let parse_file_state st : Ast.file =
+  skip_semis st;
+  let pkg =
+    if accept st Token.KW_PACKAGE then begin
+      let name = expect_ident st in
+      skip_semis st;
+      name
+    end
+    else "main"
+  in
+  let imports = ref [] in
+  while st.tok = Token.KW_IMPORT do
+    imports := !imports @ parse_import st;
+    skip_semis st
+  done;
+  List.iter
+    (fun (i : Ast.import_decl) ->
+      if not (List.mem i.Ast.imp_alias st.imports) then
+        st.imports <- i.Ast.imp_alias :: st.imports)
+    !imports;
+  let decls = parse_program st in
+  { Ast.file_package = pkg; file_imports = !imports; file_decls = decls }
+
+let parse_file src = parse_file_state (make src)
+
+(** Parse a complete MiniGo source string (whole-program form; a leading
+    package clause and imports are accepted and discarded). *)
+let parse src = (parse_file src).Ast.file_decls

@@ -6,5 +6,13 @@
 
 exception Error of string * Token.pos
 
-(** Parse a complete source string into the surface AST. *)
+(** Parse a complete source string into the surface AST (whole-program
+    form; a leading [package] clause and [import]s are accepted and
+    discarded). *)
 val parse : string -> Ast.program
+
+(** Parse a source file in package mode: optional [package] clause,
+    [import] declarations, then top-level declarations.  Inside the
+    declarations, [pkg.Sel] is parsed as a qualified reference whenever
+    [pkg] is the local name of one of the file's imports. *)
+val parse_file : string -> Ast.file

@@ -22,6 +22,8 @@ type t =
   | FLOAT_LIT of float
   | STRING_LIT of string
   (* keywords *)
+  | KW_PACKAGE
+  | KW_IMPORT
   | KW_FUNC
   | KW_VAR
   | KW_TYPE
@@ -81,6 +83,8 @@ type t =
   | EOF
 
 let keyword_of_string = function
+  | "package" -> Some KW_PACKAGE
+  | "import" -> Some KW_IMPORT
   | "func" -> Some KW_FUNC
   | "var" -> Some KW_VAR
   | "type" -> Some KW_TYPE
@@ -106,6 +110,8 @@ let to_string = function
   | INT_LIT n -> Printf.sprintf "integer %d" n
   | FLOAT_LIT f -> Printf.sprintf "float %g" f
   | STRING_LIT s -> Printf.sprintf "string %S" s
+  | KW_PACKAGE -> "'package'"
+  | KW_IMPORT -> "'import'"
   | KW_FUNC -> "'func'"
   | KW_VAR -> "'var'"
   | KW_TYPE -> "'type'"

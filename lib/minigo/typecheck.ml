@@ -15,6 +15,11 @@ type state = {
   tenv : Types.env;
   sigs : (string, func_sig) Hashtbl.t;
   globals : (string, Tast.var) Hashtbl.t;
+  pkg : string;
+      (** qualification prefix for top-level names; [""] for the main
+          package / whole-program mode (names stay plain) *)
+  aliases : (string, string) Hashtbl.t;
+      (** import alias → package name, for resolving [alias.Sel] *)
   mutable scopes : (string, Tast.var) Hashtbl.t list;  (** innermost first *)
   mutable next_var : int;
   mutable next_scope : int;
@@ -27,15 +32,18 @@ type state = {
   mutable cur_scope : int;
 }
 
-let create () =
+let create ?(pkg = "") ?(first_var = 0) ?(first_scope = 0) ?(first_site = 0)
+    () =
   {
     tenv = Types.create_env ();
     sigs = Hashtbl.create 16;
     globals = Hashtbl.create 16;
+    pkg;
+    aliases = Hashtbl.create 4;
     scopes = [];
-    next_var = 0;
-    next_scope = 0;
-    next_site = 0;
+    next_var = first_var;
+    next_scope = first_scope;
+    next_site = first_site;
     sites = [];
     decl_depth = 0;
     loop_depth = 0;
@@ -43,6 +51,64 @@ let create () =
     cur_results = [];
     cur_scope = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Package-qualified names                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The qualified name a top-level declaration of this package goes by:
+   [pkg.name], or just [name] in main/whole-program mode. *)
+let qualify st name = if st.pkg = "" then name else st.pkg ^ "." ^ name
+
+let split_qualified name =
+  match String.index_opt name '.' with
+  | None -> None
+  | Some i ->
+    Some
+      ( String.sub name 0 i,
+        String.sub name (i + 1) (String.length name - i - 1) )
+
+(* Go's visibility rule: a capitalized first letter means exported. *)
+let is_exported name =
+  String.length name > 0 && name.[0] >= 'A' && name.[0] <= 'Z'
+
+(* Canonical qualified name of an imported reference [alias.Sel]:
+   resolves the alias to its package name and enforces the
+   capitalization rule. *)
+let resolve_qualified st pos name =
+  match split_qualified name with
+  | None -> name
+  | Some (alias, sel) ->
+    let pkg =
+      match Hashtbl.find_opt st.aliases alias with
+      | Some p -> p
+      | None -> error pos "unknown package %s" alias
+    in
+    if not (is_exported sel) then
+      error pos "%s is not exported by package %s" sel pkg;
+    pkg ^ "." ^ sel
+
+(* Cross-package field accesses must name exported fields. *)
+let check_field_access st pos sname fname =
+  match split_qualified sname with
+  | Some (p, _) when p <> st.pkg && not (is_exported fname) ->
+    error pos "field %s of %s is not exported by package %s" fname sname p
+  | _ -> ()
+
+(* Canonical name of a struct type reference: own-package names resolve
+   to their qualified form first, then to a plain (imported-main or
+   whole-program) name; [alias.Sel] resolves through the alias table. *)
+let find_struct st pos n =
+  if String.contains n '.' then begin
+    let qn = resolve_qualified st pos n in
+    if Hashtbl.mem st.tenv.Types.structs qn then Some qn else None
+  end
+  else begin
+    let qn = qualify st n in
+    if Hashtbl.mem st.tenv.Types.structs qn then Some qn
+    else if Hashtbl.mem st.tenv.Types.structs n then Some n
+    else None
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Types                                                               *)
@@ -61,9 +127,11 @@ let rec resolve_ty st pos : Ast.ty -> Types.t = function
     | Types.Int | Types.String | Types.Bool | Types.Float -> ()
     | _ -> error pos "map key type must be a scalar or string");
     Types.Map (k, resolve_ty st pos v)
-  | Ast.Tyname n ->
-    if Hashtbl.mem st.tenv.Types.structs n then Types.Struct n
-    else error pos "unknown type %s" n
+  | Ast.Tyname n -> begin
+    match find_struct st pos n with
+    | Some qn -> Types.Struct qn
+    | None -> error pos "unknown type %s" n
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Variables and scopes                                                *)
@@ -95,7 +163,16 @@ let declare st pos name ty kind =
 let lookup st pos name : Tast.var =
   let rec search = function
     | [] -> begin
-      match Hashtbl.find_opt st.globals name with
+      let found =
+        if String.contains name '.' then
+          Hashtbl.find_opt st.globals (resolve_qualified st pos name)
+        else begin
+          match Hashtbl.find_opt st.globals (qualify st name) with
+          | Some v -> Some v
+          | None -> Hashtbl.find_opt st.globals name
+        end
+      in
+      match found with
       | Some v -> v
       | None -> error pos "undefined variable %s" name
     end
@@ -183,6 +260,11 @@ let rec check_expr st (e : Ast.expr) : Tast.expr =
     match inner.Ast.desc with
     | Ast.Ecomposite (Ast.Tyname sname, fields) ->
       (* &T{...}: a heap-allocatable object, one allocation site *)
+      let sname =
+        match find_struct st pos sname with
+        | Some qn -> qn
+        | None -> error pos "unknown struct type %s" sname
+      in
       let inits = check_struct_lit st pos sname fields in
       let size = Types.size_of st.tenv (Types.Struct sname) in
       let site =
@@ -241,6 +323,7 @@ let rec check_expr st (e : Ast.expr) : Tast.expr =
       | t -> error pos "cannot select field %s on type %s" fname
                (Types.to_string t)
     in
+    check_field_access st pos sname fname;
     (match Types.field_index st.tenv sname fname with
     | Some (idx, fty) -> mk fty pos (Tast.Tfield (a, idx, fname))
     | None -> error pos "struct %s has no field %s" sname fname)
@@ -270,9 +353,22 @@ let rec check_expr st (e : Ast.expr) : Tast.expr =
       error pos "substr bounds must be ints";
     mk Types.String pos (Tast.Tsubstr (s, a, b))
   | Ast.Ecall (name, args) -> begin
-    match Hashtbl.find_opt st.sigs name with
+    let resolved =
+      if String.contains name '.' then begin
+        let qn = resolve_qualified st pos name in
+        if Hashtbl.mem st.sigs qn then Some qn else None
+      end
+      else begin
+        let qn = qualify st name in
+        if Hashtbl.mem st.sigs qn then Some qn
+        else if Hashtbl.mem st.sigs name then Some name
+        else None
+      end
+    in
+    match resolved with
     | None -> error pos "call to undefined function %s" name
-    | Some fsig ->
+    | Some rname ->
+      let fsig = Hashtbl.find st.sigs rname in
       let args = List.map (check_expr st) args in
       let nexpected = List.length fsig.sig_params in
       if List.length args <> nexpected then
@@ -294,7 +390,7 @@ let rec check_expr st (e : Ast.expr) : Tast.expr =
         | [ t ] -> t
         | ts -> Types.Tuple ts
       in
-      mk ty pos (Tast.Tcall (name, args))
+      mk ty pos (Tast.Tcall (rname, args))
   end
   | Ast.Emake (Ast.Tyslice elem, args) ->
     let elem = resolve_ty st pos elem in
@@ -340,8 +436,11 @@ let rec check_expr st (e : Ast.expr) : Tast.expr =
     in
     mk (Types.Ptr t) pos (Tast.Tnew (site, t))
   | Ast.Ecomposite (Ast.Tyname sname, fields) ->
-    if not (Hashtbl.mem st.tenv.Types.structs sname) then
-      error pos "unknown struct type %s" sname;
+    let sname =
+      match find_struct st pos sname with
+      | Some qn -> qn
+      | None -> error pos "unknown struct type %s" sname
+    in
     let inits = check_struct_lit st pos sname fields in
     mk (Types.Struct sname) pos (Tast.Tstruct_lit (sname, inits))
   | Ast.Ecomposite (Ast.Tyslice elem, entries) ->
@@ -448,6 +547,11 @@ and check_struct_lit st pos sname fields : Tast.expr list =
   if named && List.exists (fun (n, _) -> n = None) fields then
     error pos "cannot mix named and positional fields in a struct literal";
   if named then
+    List.iter
+      (fun (n, _) ->
+        Option.iter (fun f -> check_field_access st pos sname f) n)
+      fields;
+  if named then
     (* one initializer per named field; missing fields get zero values *)
     List.map
       (fun (fname, fty) ->
@@ -532,6 +636,7 @@ and check_lvalue st (e : Ast.expr) : Tast.lvalue * Types.t =
       | t -> error pos "cannot select field %s on type %s" fname
                (Types.to_string t)
     in
+    check_field_access st pos sname fname;
     (match Types.field_index st.tenv sname fname with
     | Some (idx, fty) -> (Tast.Lfield (a, idx, fname), fty)
     | None -> error pos "struct %s has no field %s" sname fname)
@@ -941,7 +1046,7 @@ and check_assign st pos lhss rhss : Tast.stmt list =
 (* ------------------------------------------------------------------ *)
 
 let check_func st (fd : Ast.func_decl) : Tast.func =
-  st.cur_func <- fd.Ast.fd_name;
+  st.cur_func <- qualify st fd.Ast.fd_name;
   st.decl_depth <- 0;
   st.loop_depth <- 0;
   let results =
@@ -966,21 +1071,21 @@ let check_func st (fd : Ast.func_decl) : Tast.func =
   in
   let params, body = body in
   {
-    Tast.f_name = fd.Ast.fd_name;
+    Tast.f_name = qualify st fd.Ast.fd_name;
     f_params = params;
     f_results = results;
     f_body = body;
     f_pos = fd.Ast.fd_pos;
   }
 
-(** Check a whole program.  Raises {!Error} on the first type error. *)
-let check (prog : Ast.program) : Tast.program =
-  let st = create () in
+(* Check one program's declarations against an already-initialized state
+   (possibly holding imported interfaces and id bases). *)
+let check_decls st (prog : Ast.program) : Tast.program =
   (* Pass 1: struct declarations (names first so they can be mutually
      recursive through pointers). *)
   List.iter
     (function
-      | Ast.Dstruct sd -> Types.add_struct st.tenv sd.Ast.sd_name []
+      | Ast.Dstruct sd -> Types.add_struct st.tenv (qualify st sd.Ast.sd_name) []
       | Ast.Dfunc _ | Ast.Dglobal _ -> ())
     prog;
   List.iter
@@ -991,14 +1096,14 @@ let check (prog : Ast.program) : Tast.program =
             (fun (n, ty) -> (n, resolve_ty st sd.Ast.sd_pos ty))
             sd.Ast.sd_fields
         in
-        Types.add_struct st.tenv sd.Ast.sd_name fields
+        Types.add_struct st.tenv (qualify st sd.Ast.sd_name) fields
       | Ast.Dfunc _ | Ast.Dglobal _ -> ())
     prog;
   (* Reject value-recursive structs (infinite size). *)
   List.iter
     (function
       | Ast.Dstruct sd ->
-        let name = sd.Ast.sd_name in
+        let name = qualify st sd.Ast.sd_name in
         let rec occurs seen = function
           | Types.Struct s ->
             if List.mem s seen then
@@ -1022,9 +1127,9 @@ let check (prog : Ast.program) : Tast.program =
   List.iter
     (function
       | Ast.Dfunc fd ->
-        if Hashtbl.mem st.sigs fd.Ast.fd_name then
+        if Hashtbl.mem st.sigs (qualify st fd.Ast.fd_name) then
           error fd.Ast.fd_pos "function %s is declared twice" fd.Ast.fd_name;
-        Hashtbl.replace st.sigs fd.Ast.fd_name
+        Hashtbl.replace st.sigs (qualify st fd.Ast.fd_name)
           {
             sig_params =
               List.map
@@ -1056,10 +1161,10 @@ let check (prog : Ast.program) : Tast.program =
               error gd.Ast.gd_pos "global %s needs a type or initializer"
                 gd.Ast.gd_name
           in
-          if Hashtbl.mem st.globals gd.Ast.gd_name then
+          if Hashtbl.mem st.globals (qualify st gd.Ast.gd_name) then
             error gd.Ast.gd_pos "global %s is declared twice" gd.Ast.gd_name;
-          let v = fresh_var st gd.Ast.gd_name ty Tast.Vglobal in
-          Hashtbl.replace st.globals gd.Ast.gd_name v;
+          let v = fresh_var st (qualify st gd.Ast.gd_name) ty Tast.Vglobal in
+          Hashtbl.replace st.globals (qualify st gd.Ast.gd_name) v;
           Some (v, init)
         | Ast.Dfunc _ | Ast.Dstruct _ -> None)
       prog
@@ -1079,3 +1184,90 @@ let check (prog : Ast.program) : Tast.program =
     p_sites = List.rev st.sites;
     p_nvars = st.next_var;
   }
+
+(** Check a whole program.  Raises {!Error} on the first type error. *)
+let check (prog : Ast.program) : Tast.program = check_decls (create ()) prog
+
+(* ------------------------------------------------------------------ *)
+(* Package mode                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type pkg_iface = {
+  pi_pkg : string;
+  pi_structs : (string * (string * Types.t) list) list;
+  pi_funcs : (string * func_sig) list;
+  pi_globals : (string * Tast.var) list;
+}
+
+type counters = { c_next_var : int; c_next_scope : int; c_next_site : int }
+
+let check_package ?(imports = []) ?(first_var = 0) ?(first_scope = 0)
+    ?(first_site = 0) (file : Ast.file) :
+    Tast.program * pkg_iface * counters =
+  let pkg = file.Ast.file_package in
+  (* The main package keeps plain names so the interpreter's "main" entry
+     point and single-file compiles line up; other packages qualify every
+     top-level name as [pkg.name]. *)
+  let st =
+    create
+      ~pkg:(if pkg = "main" then "" else pkg)
+      ~first_var ~first_scope ~first_site ()
+  in
+  List.iter
+    (fun (imp : Ast.import_decl) ->
+      let pname = Ast.import_base imp.Ast.imp_path in
+      (match Hashtbl.find_opt st.aliases imp.Ast.imp_alias with
+      | Some existing when existing <> pname ->
+        error imp.Ast.imp_pos "duplicate import alias %s" imp.Ast.imp_alias
+      | _ -> ());
+      if not (List.exists (fun pi -> pi.pi_pkg = pname) imports) then
+        error imp.Ast.imp_pos "import %S: cannot find package %s"
+          imp.Ast.imp_path pname;
+      Hashtbl.replace st.aliases imp.Ast.imp_alias pname)
+    file.Ast.file_imports;
+  (* Pre-load the interfaces of the imported packages: their (qualified)
+     struct types, function signatures and globals become visible exactly
+     as if their declarations preceded this package's. *)
+  List.iter
+    (fun pi ->
+      List.iter
+        (fun (n, fields) -> Types.add_struct st.tenv n fields)
+        pi.pi_structs;
+      List.iter (fun (n, s) -> Hashtbl.replace st.sigs n s) pi.pi_funcs;
+      List.iter (fun (n, v) -> Hashtbl.replace st.globals n v) pi.pi_globals)
+    imports;
+  let tprog = check_decls st file.Ast.file_decls in
+  let q = qualify st in
+  let iface =
+    {
+      pi_pkg = pkg;
+      pi_structs =
+        List.filter_map
+          (function
+            | Ast.Dstruct sd ->
+              Some
+                ( q sd.Ast.sd_name,
+                  Types.struct_fields st.tenv (q sd.Ast.sd_name) )
+            | Ast.Dfunc _ | Ast.Dglobal _ -> None)
+          file.Ast.file_decls;
+      pi_funcs =
+        List.filter_map
+          (function
+            | Ast.Dfunc fd ->
+              Some (q fd.Ast.fd_name, Hashtbl.find st.sigs (q fd.Ast.fd_name))
+            | Ast.Dstruct _ | Ast.Dglobal _ -> None)
+          file.Ast.file_decls;
+      pi_globals =
+        List.map
+          (fun ((v : Tast.var), _) -> (v.Tast.v_name, v))
+          tprog.Tast.p_globals;
+    }
+  in
+  let counters =
+    {
+      c_next_var = st.next_var;
+      c_next_scope = st.next_scope;
+      c_next_site = st.next_site;
+    }
+  in
+  (tprog, iface, counters)

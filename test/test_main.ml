@@ -12,6 +12,7 @@ let () =
       ("ipa", Test_ipa.suite);
       ("summary", Test_summary.suite);
       ("instrument", Test_instrument.suite);
+      ("build", Test_build.suite);
       ("runtime", Test_runtime.suite);
       ("tcfree", Test_tcfree.suite);
       ("gc", Test_gc.suite);

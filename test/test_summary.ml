@@ -218,6 +218,109 @@ let test_default_summary_shape () =
         (ct.Summary.ct_heap_alloc && ct.Summary.ct_incomplete))
     s.Summary.s_contents
 
+(* ---------------------------------------------------------------- *)
+(* Serialization (§4.4 separate compilation): text round-trips        *)
+(* ---------------------------------------------------------------- *)
+
+let summary_gen : Summary.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let name_gen =
+    oneof
+      [
+        (* plain and qualified identifiers *)
+        map2
+          (fun a b -> Printf.sprintf "%s.%s" a b)
+          (string_size ~gen:(char_range 'a' 'z') (1 -- 8))
+          (string_size ~gen:(char_range 'A' 'Z') (1 -- 8));
+        string_size ~gen:(char_range 'a' 'z') (1 -- 12);
+        (* hostile names: the quoting path must hold *)
+        return "has space";
+        return "quo\"te\\slash";
+        return "parens()\nand;comment";
+      ]
+  in
+  let target_gen =
+    oneof
+      [ return `Heap; return `Defer; map (fun i -> `Return i) (0 -- 3) ]
+  in
+  let flow_gen =
+    map3
+      (fun p t d -> { Summary.pf_param = p; pf_target = t; pf_derefs = d })
+      (0 -- 3) target_gen (0 -- 4)
+  in
+  let content_gen =
+    map3
+      (fun h i r ->
+        { Summary.ct_heap_alloc = h; ct_incomplete = i; ret_incomplete = r })
+      bool bool bool
+  in
+  map3
+    (fun name (nparams, flows) contents ->
+      {
+        Summary.s_name = name;
+        s_nparams = nparams;
+        s_flows = flows;
+        s_contents = Array.of_list contents;
+      })
+    name_gen
+    (pair (0 -- 4) (list_size (0 -- 6) flow_gen))
+    (list_size (0 -- 3) content_gen)
+
+let summary_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Summary.pp) summary_gen
+
+let prop_summary_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"summary text round-trip identity"
+    summary_arb (fun s ->
+      match Summary.of_string (Summary.to_string s) with
+      | Ok s' -> s' = s
+      | Error e -> QCheck.Test.fail_reportf "did not re-parse: %s" e)
+
+let test_default_roundtrip () =
+  let s = Summary.default ~name:"unknown.Fn" ~nparams:3 ~nresults:2 in
+  match Summary.of_string (Summary.to_string s) with
+  | Ok s' ->
+    Alcotest.(check bool) "default survives serialization" true (s' = s)
+  | Error e -> Alcotest.failf "default did not re-parse: %s" e
+
+let test_golden_summary_text () =
+  let s =
+    {
+      Summary.s_name = "util.MakeRange";
+      s_nparams = 1;
+      s_flows =
+        [ { Summary.pf_param = 0; pf_target = `Return 0; pf_derefs = 2 } ];
+      s_contents =
+        [|
+          {
+            Summary.ct_heap_alloc = true;
+            ct_incomplete = false;
+            ret_incomplete = false;
+          };
+        |];
+    }
+  in
+  Alcotest.(check string)
+    "golden stored-summary text"
+    "(summary (name util.MakeRange) (nparams 1) (flows (flow 0 (return 0) \
+     2)) (contents (content true false false)))"
+    (Summary.to_string s)
+
+let test_malformed_rejected () =
+  List.iter
+    (fun bad ->
+      match Summary.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" bad
+      | Error _ -> ())
+    [
+      "";
+      "(";
+      "(summary)";
+      "(summary (name x) (nparams no) (flows) (contents))";
+      "(summary (name x) (nparams 1) (flows (flow 0 nowhere 0)) (contents))";
+      "(summary (name x) (nparams 1) (flows)) trailing";
+    ]
+
 let suite =
   [
     Alcotest.test_case "callees extraction" `Quick test_callees;
@@ -233,4 +336,10 @@ let suite =
       test_second_return_only;
     Alcotest.test_case "default summary shape" `Quick
       test_default_summary_shape;
+    QCheck_alcotest.to_alcotest prop_summary_roundtrip;
+    Alcotest.test_case "default summary round-trip" `Quick
+      test_default_roundtrip;
+    Alcotest.test_case "golden summary text" `Quick test_golden_summary_text;
+    Alcotest.test_case "malformed summaries rejected" `Quick
+      test_malformed_rejected;
   ]
