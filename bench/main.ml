@@ -8,7 +8,11 @@
       dune exec bench/main.exe -- --bechamel      # bechamel pass timings
 
     Experiments: table3, fig10, fig11, table7, table8, table9,
-    compile_speed, robustness, ablation. *)
+    compile_speed, robustness, ablation, bench_json.
+
+    [--only bench_json] writes BENCH_gofree.json: per-workload free
+    ratio, GC cycles, max heap, wall time and compile-phase timings in
+    one machine-readable document. *)
 
 let usage = "bench/main.exe [--runs N] [--scale PCT] [--only NAME] [--bechamel]"
 
@@ -79,5 +83,6 @@ let () =
     if want "table9" then Exp_table9.run ~options ();
     if want "compile_speed" then Exp_compile_speed.run ~options ();
     if want "robustness" then Exp_robustness.run ~options ();
-    if want "ablation" then Exp_ablation.run ~options ()
+    if want "ablation" then Exp_ablation.run ~options ();
+    if want "bench_json" then Exp_bench_json.run ~options ()
   end

@@ -12,6 +12,8 @@
                       run it. *)
 
 open Cmdliner
+module Trace = Gofree_obs.Trace
+module Json = Gofree_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -26,7 +28,7 @@ let gofree_config ~go ~all_targets ~no_ipa =
   else if no_ipa then Gofree_core.Config.no_ipa
   else Gofree_core.Config.gofree
 
-let run_config ~gcoff ~poison ~gogc ~seed ~insert_tcfree =
+let run_config ~gcoff ~poison ~gogc ~seed ~sample_every ~insert_tcfree =
   {
     Gofree_interp.Interp.default_config with
     heap_config =
@@ -38,7 +40,45 @@ let run_config ~gcoff ~poison ~gogc ~seed ~insert_tcfree =
         grow_map_free_old = insert_tcfree;
       };
     seed = Int64.of_int seed;
+    sample_every;
   }
+
+(* ---- observability plumbing ---- *)
+
+let start_trace = function
+  | None -> ()
+  | Some _ ->
+    Trace.start ();
+    Trace.name_thread ~tid:Trace.tid_main "main";
+    Trace.name_thread ~tid:Trace.tid_runtime "runtime"
+
+let finish_trace = function
+  | None -> ()
+  | Some path -> Trace.stop_to_file path
+
+let write_json path j =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty j);
+  close_out oc
+
+(* The --metrics-json document: the final counters plus the sampler's
+   time series when one was recorded. *)
+let metrics_doc (r : Gofree_interp.Runner.result) : Json.t =
+  Json.Obj
+    ([ ("metrics", Gofree_runtime.Metrics.to_json
+          r.Gofree_interp.Runner.metrics) ]
+    @
+    match r.Gofree_interp.Runner.sampler with
+    | Some s -> [ ("samples", Gofree_runtime.Sampler.to_json s) ]
+    | None -> [])
+
+(* Sampling cadence: an explicit --sample-every wins; otherwise sampling
+   turns on (every 1000 steps) exactly when --metrics-json wants the
+   series. *)
+let effective_sample_every ~sample_every ~metrics_json =
+  if sample_every > 0 then sample_every
+  else if metrics_json <> None then 1000
+  else 0
 
 let handle_errors f =
   try f () with
@@ -85,30 +125,56 @@ let seed_arg =
 let metrics_flag =
   Arg.(value & flag & info [ "metrics" ] ~doc:"Print runtime metrics")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Capture a Chrome/Perfetto trace-event JSON of the whole \
+               run (compiler phases, GC cycles, tcfree calls, goroutine \
+               slices) into $(docv); load it at ui.perfetto.dev")
+
+let metrics_json_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-json" ]
+         ~docv:"FILE"
+         ~doc:"Write the runtime metrics (and the sampled time series) \
+               as JSON into $(docv)")
+
+let sample_every_arg =
+  Arg.(value & opt int 0 & info [ "sample-every" ] ~docv:"N"
+         ~doc:"Snapshot heap counters every $(docv) interpreter steps \
+               (0 = only when --metrics-json is given, then every 1000)")
+
 (* run *)
 let run_cmd =
-  let run file go all_targets no_ipa gcoff poison gogc seed metrics =
+  let run file go all_targets no_ipa gcoff poison gogc seed metrics trace
+      metrics_json sample_every =
     handle_errors (fun () ->
         let cfg = gofree_config ~go ~all_targets ~no_ipa in
         let rc =
           run_config ~gcoff ~poison ~gogc ~seed
+            ~sample_every:
+              (effective_sample_every ~sample_every ~metrics_json)
             ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree
         in
+        start_trace trace;
         let result =
           Gofree_interp.Runner.compile_and_run ~gofree_config:cfg
             ~run_config:rc (read_file file)
         in
+        finish_trace trace;
         print_string result.Gofree_interp.Runner.output;
         if metrics then
           Format.printf "%a@." Gofree_runtime.Metrics.pp
             result.Gofree_interp.Runner.metrics;
+        (match metrics_json with
+        | Some path -> write_json path (metrics_doc result)
+        | None -> ());
         if result.Gofree_interp.Runner.panicked then exit 2)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniGo program")
     Term.(
       const run $ file_arg $ go_flag $ all_targets_flag $ no_ipa_flag
-      $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag)
+      $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag
+      $ trace_arg $ metrics_json_arg $ sample_every_arg)
 
 (* analyze *)
 let analyze_cmd =
@@ -120,7 +186,13 @@ let analyze_cmd =
     Arg.(value & flag & info [ "dot" ]
            ~doc:"Emit the escape graph as Graphviz DOT instead of text")
   in
-  let analyze file go func dot =
+  let explain_flag =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Per allocation site: the stack/heap decision and, for \
+                 heap sites, the inserted tcfree that reclaims it or \
+                 the property blocking the free")
+  in
+  let analyze file go func dot explain =
     handle_errors (fun () ->
         let cfg = gofree_config ~go ~all_targets:false ~no_ipa:false in
         let compiled =
@@ -134,7 +206,13 @@ let analyze_cmd =
               (fun (f : Minigo.Tast.func) -> f.Minigo.Tast.f_name)
               compiled.Gofree_core.Pipeline.c_program.Minigo.Tast.p_funcs
         in
-        if dot then
+        if explain then
+          Format.printf "%a@." Gofree_core.Report.pp_explain
+            (Gofree_core.Report.explain
+               compiled.Gofree_core.Pipeline.c_analysis
+               compiled.Gofree_core.Pipeline.c_inserted cfg
+               compiled.Gofree_core.Pipeline.c_program)
+        else if dot then
           List.iter
             (fun name ->
               match
@@ -160,7 +238,9 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Print escape-analysis properties and points-to sets")
-    Term.(const analyze $ file_arg $ go_flag $ func_arg $ dot_flag)
+    Term.(
+      const analyze $ file_arg $ go_flag $ func_arg $ dot_flag
+      $ explain_flag)
 
 (* instrument *)
 let instrument_cmd =
@@ -188,6 +268,7 @@ let compare_cmd =
           Gofree_interp.Runner.compile_and_run ~gofree_config:cfg
             ~run_config:
               (run_config ~gcoff:false ~poison:false ~gogc ~seed
+                 ~sample_every:0
                  ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree)
             source
         in
@@ -231,10 +312,19 @@ let build_cmd =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print per-package timing and cache statistics")
   in
+  let stats_json_arg =
+    Arg.(value & opt (some string) None & info [ "stats-json" ]
+           ~docv:"FILE"
+           ~doc:"Write per-package timing and cache statistics as JSON \
+                 into $(docv)")
+  in
   let build dir go all_targets no_ipa jobs cache_dir force run stats gcoff
-      poison gogc seed metrics =
+      poison gogc seed metrics trace metrics_json sample_every stats_json =
     handle_errors (fun () ->
+        (* metrics only exist after execution *)
+        let run = run || metrics_json <> None in
         let cfg = gofree_config ~go ~all_targets ~no_ipa in
+        start_trace trace;
         let result =
           try
             Gofree_build.Driver.build ~config:cfg ?cache_dir ~jobs ~force
@@ -247,9 +337,17 @@ let build_cmd =
         if stats then
           Format.printf "%a@." Gofree_build.Driver.pp_stats
             result.Gofree_build.Driver.b_stats;
+        (match stats_json with
+        | Some path ->
+          write_json path
+            (Gofree_build.Driver.stats_to_json
+               result.Gofree_build.Driver.b_stats)
+        | None -> ());
         if run then begin
           let rc =
             run_config ~gcoff ~poison ~gogc ~seed
+              ~sample_every:
+                (effective_sample_every ~sample_every ~metrics_json)
               ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree
           in
           let decisions =
@@ -263,18 +361,26 @@ let build_cmd =
             Gofree_interp.Runner.run_program ~config:rc ~decisions
               result.Gofree_build.Driver.b_program
           in
+          finish_trace trace;
           print_string r.Gofree_interp.Runner.output;
           if metrics then
             Format.printf "%a@." Gofree_runtime.Metrics.pp
               r.Gofree_interp.Runner.metrics;
+          (match metrics_json with
+          | Some path -> write_json path (metrics_doc r)
+          | None -> ());
           if r.Gofree_interp.Runner.panicked then exit 2
         end
-        else if not stats then
-          Printf.printf "built %d package(s) (%d from cache)\n"
-            (List.length
-               result.Gofree_build.Driver.b_stats
-                 .Gofree_build.Driver.bs_pkgs)
-            result.Gofree_build.Driver.b_stats.Gofree_build.Driver.bs_hits)
+        else begin
+          finish_trace trace;
+          if not stats then
+            Printf.printf "built %d package(s) (%d from cache)\n"
+              (List.length
+                 result.Gofree_build.Driver.b_stats
+                   .Gofree_build.Driver.bs_pkgs)
+              result.Gofree_build.Driver.b_stats
+                .Gofree_build.Driver.bs_hits
+        end)
   in
   Cmd.v
     (Cmd.info "build"
@@ -283,7 +389,8 @@ let build_cmd =
     Term.(
       const build $ dir_arg $ go_flag $ all_targets_flag $ no_ipa_flag
       $ jobs_arg $ cache_arg $ force_flag $ run_flag $ stats_flag
-      $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag)
+      $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag
+      $ trace_arg $ metrics_json_arg $ sample_every_arg $ stats_json_arg)
 
 let main_cmd =
   Cmd.group

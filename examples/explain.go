@@ -1,0 +1,68 @@
+package main
+
+// Demo input for `gofreec analyze examples/explain.go --explain`:
+// each function exercises a different allocation-site fate, so the
+// diagnostics show one freed site, one escaping site, one stored into a
+// global, one kept alive across loop iterations (outlived), and one
+// made incomplete by an indirect store.
+
+var g []int
+
+// freed: the slice never leaves the function, so a tcfree is inserted
+// at the end of its scope.
+func localSum(n int) int {
+	xs := make([]int, n)
+	s := 0
+	for i := range xs {
+		xs[i] = i
+		s = s + xs[i]
+	}
+	return s
+}
+
+// escapes to caller: the slice is the return value.
+func escaping(n int) []int {
+	ys := make([]int, n)
+	ys[0] = n
+	return ys
+}
+
+// escapes to global: the slice outlives every frame.
+func stored(n int) {
+	zs := make([]int, n)
+	zs[0] = n
+	g = zs
+}
+
+// outlived: each iteration's slice is kept by a variable of an
+// enclosing scope, so freeing inside the loop would dangle.
+func keeper(n int) int {
+	var keep []int
+	for i := 0; i < n; i++ {
+		tmp := make([]int, 3)
+		tmp[0] = i
+		keep = tmp
+	}
+	return keep[0]
+}
+
+// incomplete: the indirect store through ps means the analysis can no
+// longer claim it has seen everything s might reference.
+func indirect(n int) int {
+	s := make([]int, n)
+	ps := &s
+	t := make([]int, n)
+	t[0] = 7
+	*ps = t
+	x := s[0]
+	return x
+}
+
+func main() {
+	println("localSum", localSum(8))
+	println("escaping", len(escaping(4)))
+	stored(4)
+	println("stored", len(g))
+	println("keeper", keeper(3))
+	println("indirect", indirect(5))
+}

@@ -26,6 +26,9 @@ module Core = Gofree_core
 
 exception Error of string
 
+module Trace = Gofree_obs.Trace
+module Json = Gofree_obs.Json
+
 let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
 type pkg_report = {
@@ -121,7 +124,10 @@ let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
 let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
     ?(force = false) (root : string) : result =
   let t_start = now_ms () in
-  let pkgs = Loader.load root in
+  let pkgs =
+    Trace.with_span ~tid:(Trace.domain_tid ()) "load" (fun () ->
+        Loader.load root)
+  in
   let cache_dir =
     match cache_dir with
     | Some d -> d
@@ -152,8 +158,11 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
       in
       let tp, iface, counters =
         try
-          Typecheck.check_package ~imports ~first_var ~first_scope
-            ~first_site p.Loader.pkg_file
+          Trace.with_span ~tid:(Trace.domain_tid ())
+            ("typecheck:" ^ name)
+            (fun () ->
+              Typecheck.check_package ~imports ~first_var ~first_scope
+                ~first_site p.Loader.pkg_file)
         with Typecheck.Error (m, pos) ->
           fail "package %s: type error at %s: %s" name
             (Token.string_of_pos pos) m
@@ -200,6 +209,29 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
     (fun wave_idx wave ->
       List.iter (fun n -> Hashtbl.replace wave_of n wave_idx) wave;
       let hits, misses = List.partition (Hashtbl.mem cached) wave in
+      if Trace.enabled () then begin
+        Trace.begin_span
+          ~args:
+            [
+              ("packages", Json.Int (List.length wave));
+              ("hits", Json.Int (List.length hits));
+              ("misses", Json.Int (List.length misses));
+            ]
+          ~tid:(Trace.domain_tid ())
+          (Printf.sprintf "wave %d" wave_idx);
+        List.iter
+          (fun n ->
+            Trace.instant
+              ~args:[ ("pkg", Json.Str n) ]
+              ~tid:(Trace.domain_tid ()) "cache hit")
+          hits;
+        List.iter
+          (fun n ->
+            Trace.instant
+              ~args:[ ("pkg", Json.Str n) ]
+              ~tid:(Trace.domain_tid ()) "cache miss")
+          misses
+      end;
       (* Cache hits: no analysis; re-apply the recorded frees to the
          fresh bodies, shifting stored relative ids onto this build's
          id base. *)
@@ -242,11 +274,16 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
             let key = Hashtbl.find keys name in
             let tp = Hashtbl.find tprogs name in
             fun () ->
-              let entry, ins, ms =
-                analyze_package ~config ~key ~name ~base_var ~nvars ~nsites
-                  ~imported tp
-              in
-              (name, entry, ins, ms))
+              (* lands on the worker's track when run from a domain *)
+              Trace.with_span
+                ~tid:(Trace.domain_tid ())
+                ("analyze:" ^ name)
+                (fun () ->
+                  let entry, ins, ms =
+                    analyze_package ~config ~key ~name ~base_var ~nvars
+                      ~nsites ~imported tp
+                  in
+                  (name, entry, ins, ms)))
           misses
       in
       let results =
@@ -259,10 +296,16 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
             (fun i task -> buckets.(i mod n) <- task :: buckets.(i mod n))
             tasks;
           let domains =
-            Array.map
-              (fun tasks ->
+            Array.mapi
+              (fun i tasks ->
                 let tasks = List.rev tasks in
-                Domain.spawn (fun () -> List.map (fun t -> t ()) tasks))
+                Domain.spawn (fun () ->
+                    if Trace.enabled () then begin
+                      Trace.set_domain_tid (Trace.tid_worker i);
+                      Trace.name_thread ~tid:(Trace.tid_worker i)
+                        (Printf.sprintf "worker %d" i)
+                    end;
+                    List.map (fun t -> t ()) tasks))
               buckets
           in
           List.concat_map Domain.join (Array.to_list domains)
@@ -274,9 +317,12 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
           Hashtbl.replace entries name entry;
           Hashtbl.replace inserted name ins;
           Hashtbl.replace times name ms)
-        results)
+        results;
+      Trace.end_span ~tid:(Trace.domain_tid ())
+        (Printf.sprintf "wave %d" wave_idx))
     wave_list;
   (* -------- link -------- *)
+  Trace.begin_span ~tid:(Trace.domain_tid ()) "link";
   let tenv = Types.create_env () in
   List.iter
     (fun name ->
@@ -311,6 +357,7 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
       List.iter (fun rel -> var_boxed.(base_var + rel) <- true)
         e.Store.e_var_boxed)
     order;
+  Trace.end_span ~tid:(Trace.domain_tid ()) "link";
   let reports =
     List.map
       (fun name ->
@@ -357,3 +404,29 @@ let pp_stats fmt (st : stats) =
     "packages: %d  cache hits: %d  analyzed: %d  jobs: %d  total: %.1fms@]"
     (List.length st.bs_pkgs) st.bs_hits st.bs_misses st.bs_jobs
     st.bs_total_ms
+
+(** Build statistics as JSON (schema [gofree-build-stats-v1]) — the
+    payload of [gofreec build --stats-json]. *)
+let stats_to_json (st : stats) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str "gofree-build-stats-v1");
+      ( "packages",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("name", Json.Str r.pr_name);
+                   ("wave", Json.Int r.pr_wave);
+                   ("cached", Json.Bool r.pr_cached);
+                   ("analysis_ms", Json.Float r.pr_ms);
+                   ("funcs", Json.Int r.pr_nfuncs);
+                   ("summaries", Json.Int r.pr_nsummaries);
+                 ])
+             st.bs_pkgs) );
+      ("cache_hits", Json.Int st.bs_hits);
+      ("cache_misses", Json.Int st.bs_misses);
+      ("jobs", Json.Int st.bs_jobs);
+      ("total_ms", Json.Float st.bs_total_ms);
+    ]

@@ -47,3 +47,7 @@ val build :
   result
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Build statistics as JSON (schema [gofree-build-stats-v1]) — the
+    payload of [gofreec build --stats-json]. *)
+val stats_to_json : stats -> Gofree_obs.Json.t

@@ -192,10 +192,19 @@ let analyze ?(mode = Propagate.Gofree) ?(use_ipa = true) ?(backprop = true)
       let results =
         List.map
           (fun f ->
+            let tid = Gofree_obs.Trace.domain_tid () in
             let ctx =
-              Build.build_function ~tenv:p.Tast.p_tenv ~summaries f
+              Gofree_obs.Trace.with_span ~tid
+                ("build:" ^ f.Tast.f_name)
+                (fun () ->
+                  Build.build_function ~tenv:p.Tast.p_tenv ~summaries f)
             in
-            let stats = Propagate.walkall ~mode ~backprop ctx.Build.g in
+            (* completeness, outlived and points-to propagation run fused
+               inside one walkall pass, so a single span covers them *)
+            let stats =
+              Gofree_obs.Trace.with_span ~tid ("walk:" ^ f.Tast.f_name)
+                (fun () -> Propagate.walkall ~mode ~backprop ctx.Build.g)
+            in
             (f, ctx, stats))
           component
       in

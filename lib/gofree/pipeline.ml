@@ -15,9 +15,24 @@ type compiled = {
 
 exception Compile_error of string
 
+module Trace = Gofree_obs.Trace
+
+(* Phase spans land on the current domain's track, so single-file
+   compiles trace on the main track while the build driver's worker
+   domains trace on their own. *)
+let phase name f = Trace.with_span ~tid:(Trace.domain_tid ()) name f
+
 let parse_and_check (source : string) : Tast.program =
+  (* When tracing, run the lexer once on its own so the "lex" phase gets
+     a span of its own; the parse span then covers parsing proper.  The
+     tokens are discarded — the parser re-lexes internally — which is
+     fine: traces are about where time goes, and lexing twice only
+     happens while one is being captured. *)
+  if Trace.enabled () then
+    phase "lex" (fun () ->
+        try ignore (Lexer.tokenize source) with _ -> ());
   let ast =
-    try Parser.parse source with
+    try phase "parse" (fun () -> Parser.parse source) with
     | Lexer.Error (msg, pos) ->
       raise
         (Compile_error
@@ -29,7 +44,7 @@ let parse_and_check (source : string) : Tast.program =
            (Printf.sprintf "parse error at %s: %s" (Token.string_of_pos pos)
               msg))
   in
-  try Typecheck.check ast
+  try phase "typecheck" (fun () -> Typecheck.check ast)
   with Typecheck.Error (msg, pos) ->
     raise
       (Compile_error
@@ -45,11 +60,18 @@ let compile_program ?(config = Config.gofree) ?(imported = [])
     if config.Config.insert_tcfree then Gofree_escape.Propagate.Gofree
     else Gofree_escape.Propagate.Go_base
   in
+  (* The escape span covers the whole abstract interpretation: building
+     constraint graphs plus the fused completeness/outlived/points-to
+     propagation (per-function sub-spans come from Analysis.analyze). *)
   let analysis =
-    Gofree_escape.Analysis.analyze ~mode ~use_ipa:config.Config.ipa
-      ~backprop:config.Config.backprop ~imported program
+    phase "escape" (fun () ->
+        Gofree_escape.Analysis.analyze ~mode ~use_ipa:config.Config.ipa
+          ~backprop:config.Config.backprop ~imported program)
   in
-  let inserted = Instrument.instrument analysis config program in
+  let inserted =
+    phase "instrument" (fun () ->
+        Instrument.instrument analysis config program)
+  in
   { c_program = program; c_analysis = analysis; c_inserted = inserted;
     c_config = config }
 

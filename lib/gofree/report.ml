@@ -149,3 +149,214 @@ let to_dot (analysis : Gofree_escape.Analysis.t) name : string option =
       (Gofree_escape.Graph.all_locs g);
     add "}\n";
     Some (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Freeing diagnostics: gofreec analyze --explain                      *)
+(* ------------------------------------------------------------------ *)
+
+module E = Gofree_escape
+module Json = Gofree_obs.Json
+
+(** Why a heap allocation site is left to the GC.  The classification is
+    total: every unfreed heap site maps to exactly one constructor. *)
+type blocking =
+  | Escapes_to_caller  (** flows into a return value (Holds of a return root) *)
+  | Escapes_to_global  (** flows into heapLoc: a global, or a store into an
+                           escaping structure *)
+  | Incomplete_param  (** Def 4.12's parameter-seeded component: the holder
+                          may alias a caller object *)
+  | Incomplete_store  (** Def 4.12's indirect-store component: something was
+                          stored through a pointer into it *)
+  | Outlived  (** Def 4.15: reachable from a longer-lived scope *)
+  | Not_target  (** freeable, but the type is outside the configured
+                    free-target set (e.g. [*T] under slices_and_maps) *)
+  | Unsafe_insertion  (** ToFree held but the trailing control transfer still
+                          mentions the holder, so insertion was skipped *)
+  | No_named_holder  (** reachable only through dummy locations: no variable
+                         owns it at end of scope *)
+
+let blocking_str = function
+  | Escapes_to_caller -> "escapes to caller"
+  | Escapes_to_global -> "escapes to global/heap store"
+  | Incomplete_param -> "incomplete (parameter-seeded)"
+  | Incomplete_store -> "incomplete (indirect store)"
+  | Outlived -> "outlived"
+  | Not_target -> "not a free target"
+  | Unsafe_insertion -> "insertion unsafe (trailing use)"
+  | No_named_holder -> "no named holder"
+
+type site_explain = {
+  ex_site : Tast.alloc_site;
+  ex_heap : bool;  (** the stack/heap decision *)
+  ex_freed_by : string option;
+      (** variable whose inserted tcfree covers this site's objects *)
+  ex_blocking : blocking option;  (** [Some] iff heap-allocated and unfreed *)
+}
+
+let site_kind_str = function
+  | Tast.Site_slice -> "slice"
+  | Tast.Site_map -> "map"
+  | Tast.Site_new -> "new"
+  | Tast.Site_append -> "append"
+  | Tast.Site_string -> "string"
+
+(* Named variables of [func] whose PointsTo contains [site_loc]. *)
+let holders_of (fr : E.Analysis.func_result) (site_loc : E.Loc.t) :
+    (Tast.var * E.Loc.t) list =
+  let g = fr.E.Analysis.fr_ctx.E.Build.g in
+  Hashtbl.fold
+    (fun _ (l : E.Loc.t) acc ->
+      match l.E.Loc.kind with
+      | E.Loc.Kvar v ->
+        if
+          List.exists
+            (fun (m : E.Loc.t) -> m.E.Loc.id = site_loc.E.Loc.id)
+            (E.Graph.points_to g l)
+        then (v, l) :: acc
+        else acc
+      | _ -> acc)
+    fr.E.Analysis.fr_ctx.E.Build.var_locs []
+
+let explain_site (analysis : E.Analysis.t)
+    (inserted : Instrument.inserted list) (config : Config.t)
+    (site : Tast.alloc_site) : site_explain =
+  let stack_site () =
+    { ex_site = site; ex_heap = false; ex_freed_by = None;
+      ex_blocking = None }
+  in
+  match E.Analysis.func_result analysis site.Tast.site_func with
+  | None -> stack_site ()  (* dead function: never analyzed, never run *)
+  | Some fr -> begin
+    let ctx = fr.E.Analysis.fr_ctx in
+    let g = ctx.E.Build.g in
+    match Hashtbl.find_opt ctx.E.Build.site_locs site.Tast.site_id with
+    | None -> stack_site ()  (* dead code: site never entered the graph *)
+    | Some site_loc when not site_loc.E.Loc.heap_alloc -> stack_site ()
+    | Some site_loc ->
+      let holders = holders_of fr site_loc in
+      (* An inserted tcfree on a holder reclaims this site's objects. *)
+      let freed_by =
+        List.find_map
+          (fun { Instrument.ins_func; ins_var; _ } ->
+            if
+              String.equal ins_func site.Tast.site_func
+              && List.exists
+                   (fun ((v : Tast.var), _) ->
+                     v.Tast.v_id = ins_var.Tast.v_id)
+                   holders
+            then Some ins_var.Tast.v_name
+            else None)
+          inserted
+      in
+      let blocking =
+        match freed_by with
+        | Some _ -> None
+        | None ->
+          (* The object escapes through [root] only if root can hold a
+             POINTER to it (MinDerefs < 0) — a plain element load puts
+             the site in Holds at derefs ≥ 0 without the object itself
+             leaving. *)
+          let escapes_via root =
+            match E.Graph.min_derefs g site_loc root with
+            | Some d -> d < 0
+            | None -> false
+          in
+          let escapes_caller =
+            Array.exists escapes_via g.E.Graph.returns
+          in
+          let escapes_global = escapes_via g.E.Graph.heap in
+          let best p = List.exists (fun (_, l) -> p l) holders in
+          Some
+            (if escapes_caller then Escapes_to_caller
+             else if escapes_global then Escapes_to_global
+             else if holders = [] then No_named_holder
+             else if
+               best (fun (l : E.Loc.t) ->
+                   E.Propagate.to_free l
+                   && Instrument.free_kind_of_type config.Config.targets
+                        (match l.E.Loc.kind with
+                        | E.Loc.Kvar v -> v.Tast.v_ty
+                        | _ -> assert false)
+                      <> None)
+             then Unsafe_insertion
+             else if
+               best (fun (l : E.Loc.t) -> E.Propagate.to_free l)
+             then Not_target
+             else if best (fun l -> l.E.Loc.inc_store) then
+               Incomplete_store
+             else if best (fun l -> l.E.Loc.inc_param) then
+               Incomplete_param
+             else if best (fun l -> l.E.Loc.outlived) then Outlived
+             else No_named_holder)
+      in
+      { ex_site = site; ex_heap = true; ex_freed_by = freed_by;
+        ex_blocking = blocking }
+  end
+
+(** Explain every allocation site of [p]: the stack/heap decision and,
+    for heap sites, either the inserted tcfree that reclaims them or the
+    property blocking the free. *)
+let explain (analysis : E.Analysis.t)
+    (inserted : Instrument.inserted list) (config : Config.t)
+    (p : Tast.program) : site_explain list =
+  List.map (explain_site analysis inserted config) p.Tast.p_sites
+
+let pp_explain fmt (entries : site_explain list) =
+  let heap = List.filter (fun e -> e.ex_heap) entries in
+  let freed = List.filter (fun e -> e.ex_freed_by <> None) heap in
+  Format.fprintf fmt "@[<v>== freeing diagnostics ==@,";
+  Format.fprintf fmt
+    "%d allocation sites: %d stack, %d heap (%d freed by tcfree, %d left \
+     to GC)@,"
+    (List.length entries)
+    (List.length entries - List.length heap)
+    (List.length heap) (List.length freed)
+    (List.length heap - List.length freed);
+  List.iter
+    (fun e ->
+      let s = e.ex_site in
+      let where =
+        Printf.sprintf "%s:%s [%s #%d]" s.Tast.site_func
+          (Token.string_of_pos s.Tast.site_pos)
+          (site_kind_str s.Tast.site_kind)
+          s.Tast.site_id
+      in
+      match (e.ex_heap, e.ex_freed_by, e.ex_blocking) with
+      | false, _, _ ->
+        Format.fprintf fmt "%-44s stack@," where
+      | true, Some var, _ ->
+        Format.fprintf fmt "%-44s heap, freed by tcfree(%s)@," where var
+      | true, None, Some b ->
+        Format.fprintf fmt "%-44s heap, GC: %s@," where (blocking_str b)
+      | true, None, None -> assert false)
+    entries;
+  Format.fprintf fmt "@]"
+
+let explain_to_json (entries : site_explain list) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str "gofree-explain-v1");
+      ( "sites",
+        Json.List
+          (List.map
+             (fun e ->
+               let s = e.ex_site in
+               Json.Obj
+                 [
+                   ("site_id", Json.Int s.Tast.site_id);
+                   ("func", Json.Str s.Tast.site_func);
+                   ("pos", Json.Str (Token.string_of_pos s.Tast.site_pos));
+                   ("kind", Json.Str (site_kind_str s.Tast.site_kind));
+                   ( "decision",
+                     Json.Str (if e.ex_heap then "heap" else "stack") );
+                   ( "freed_by",
+                     match e.ex_freed_by with
+                     | Some v -> Json.Str v
+                     | None -> Json.Null );
+                   ( "blocking",
+                     match e.ex_blocking with
+                     | Some b -> Json.Str (blocking_str b)
+                     | None -> Json.Null );
+                 ])
+             entries) );
+    ]

@@ -28,3 +28,38 @@ val site_decisions :
     stack, green = heap, dashed = dummy locations, edge labels = Derefs
     weights. *)
 val to_dot : Gofree_escape.Analysis.t -> string -> string option
+
+(** {1 Freeing diagnostics — [gofreec analyze --explain]} *)
+
+(** Why a heap allocation site is left to the GC; total over unfreed heap
+    sites. *)
+type blocking =
+  | Escapes_to_caller
+  | Escapes_to_global
+  | Incomplete_param
+  | Incomplete_store
+  | Outlived
+  | Not_target
+  | Unsafe_insertion
+  | No_named_holder
+
+val blocking_str : blocking -> string
+
+type site_explain = {
+  ex_site : Tast.alloc_site;
+  ex_heap : bool;
+  ex_freed_by : string option;
+      (** variable whose inserted tcfree covers this site's objects *)
+  ex_blocking : blocking option;  (** [Some] iff heap-allocated and unfreed *)
+}
+
+(** Per-site decision and diagnosis for every allocation site of the
+    program. *)
+val explain :
+  Gofree_escape.Analysis.t -> Instrument.inserted list -> Config.t ->
+  Tast.program -> site_explain list
+
+val pp_explain : Format.formatter -> site_explain list -> unit
+
+(** Schema [gofree-explain-v1]. *)
+val explain_to_json : site_explain list -> Gofree_obs.Json.t

@@ -54,6 +54,9 @@ type run_config = {
   yield_every : int;
   nprocs : int;
   migrate_every : int;
+  sample_every : int;
+      (** snapshot the heap counters every N steps (0 = off); the runner
+          attaches the {!Gofree_runtime.Sampler} this feeds *)
 }
 
 let default_config =
@@ -67,6 +70,7 @@ let default_config =
        give-up path is still exercised by multi-goroutine programs whose
        fibers share spans through mcentral. *)
     migrate_every = 2048;
+    sample_every = 0;
   }
 
 type state = {
@@ -174,6 +178,12 @@ let safepoint st =
     raise (Runtime_error "step budget exhausted (infinite loop?)");
   (cur_frame st).temps <- [];
   Rt.Gc_collector.maybe_collect st.heap;
+  (match st.heap.Rt.Heap.sampler with
+  | Some sampler when Rt.Sampler.due sampler ~step:st.steps ->
+    Rt.Sampler.record sampler ~step:st.steps
+      ~span_bytes:(Rt.Pageheap.used_bytes st.heap.Rt.Heap.pages)
+      st.heap.Rt.Heap.metrics
+  | _ -> ());
   if st.steps mod st.config.yield_every = 0 then Sched.yield ()
 
 (* ------------------------------------------------------------------ *)
@@ -1021,7 +1031,7 @@ and exec_stmt st (s : Tast.stmt) =
 and spawn_goroutine st name args =
   let g = { g_id = Sched.fresh_gid st.sched; g_frames = [] } in
   st.goroutines <- g :: st.goroutines;
-  Sched.spawn st.sched
+  Sched.spawn st.sched ~gid:g.g_id
     ~on_resume:(fun () -> st.current <- g)
     (fun () ->
       (match call_function st name args with

@@ -41,6 +41,8 @@ type run_config = {
   yield_every : int;  (** steps between goroutine switches *)
   nprocs : int;  (** logical processors (mcaches) *)
   migrate_every : int;  (** yields between simulated P migrations *)
+  sample_every : int;
+      (** snapshot the heap counters every N steps (0 = off) *)
 }
 
 val default_config : run_config

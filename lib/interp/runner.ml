@@ -12,6 +12,8 @@ type result = {
   wall_ns : int64;
   steps : int;
   panicked : bool;
+  sampler : Rt.Sampler.t option;
+      (** the metrics time series, when [sample_every > 0] asked for one *)
 }
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
@@ -55,6 +57,9 @@ let run_program ?(config = Interp.default_config)
   heap.Rt.Heap.trace_payload <- Value.trace_payload;
   heap.Rt.Heap.poison_payload <- Value.poison_payload;
   heap.Rt.Heap.iter_roots <- (fun k -> Interp.iter_roots st k);
+  if config.Interp.sample_every > 0 then
+    heap.Rt.Heap.sampler <-
+      Some (Rt.Sampler.create ~every:config.Interp.sample_every ());
   let panicked = ref false in
   let t0 = now_ns () in
   (* Globals are evaluated in a synthetic frame of main's goroutine. *)
@@ -118,6 +123,7 @@ let run_program ?(config = Interp.default_config)
     wall_ns = Int64.sub t1 t0;
     steps = st.Interp.steps;
     panicked = !panicked;
+    sampler = heap.Rt.Heap.sampler;
   }
 
 (** Run a compiled program.  Raises {!Value.Corruption} if poison mode

@@ -9,6 +9,9 @@ type result = {
   wall_ns : int64;
   steps : int;
   panicked : bool;
+  sampler : Rt.Sampler.t option;
+      (** the metrics time series, when
+          [run_config.sample_every > 0] asked for one *)
 }
 
 (** Run a compiled program to completion (main plus all goroutines), then

@@ -24,29 +24,50 @@ let create ~nprocs ~migrate_every =
 
 let yield () = perform Yield
 
+module Trace = Gofree_obs.Trace
+
 (** Wrap [body] as a fiber whose [Yield]s re-enqueue it.  [on_resume] runs
     before the body starts and before every resumption — the interpreter
-    uses it to reinstall the goroutine as the current one. *)
-let rec run_task (t : t) ~(on_resume : unit -> unit) (body : unit -> unit) :
-    unit =
+    uses it to reinstall the goroutine as the current one.  [gid] labels
+    the fiber's run slices in a captured trace (one Perfetto track per
+    goroutine: a span opens at every resumption and closes at the next
+    yield or at completion). *)
+let rec run_task (t : t) ?(gid = 0) ~(on_resume : unit -> unit)
+    (body : unit -> unit) : unit =
+  let tid = Trace.tid_fiber gid in
+  let slice_name = "run g" ^ string_of_int gid in
+  let slice_begin () =
+    if Trace.enabled () then Trace.begin_span ~tid slice_name
+  in
+  let slice_end () =
+    if Trace.enabled () then Trace.end_span ~tid slice_name
+  in
+  if Trace.enabled () then
+    Trace.name_thread ~tid ("goroutine " ^ string_of_int gid);
   match_with
     (fun () ->
       on_resume ();
+      slice_begin ();
       body ())
     ()
     {
-      retc = (fun () -> ());
-      exnc = raise;
+      retc = (fun () -> slice_end ());
+      exnc =
+        (fun e ->
+          slice_end ();
+          raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
           | Yield ->
             Some
               (fun (k : (a, unit) continuation) ->
+                slice_end ();
                 t.yields <- t.yields + 1;
                 Queue.add
                   (fun () ->
                     on_resume ();
+                    slice_begin ();
                     continue k ())
                   t.runq)
           | _ -> None);
@@ -62,12 +83,13 @@ and drain (t : t) =
 (** Run [main] plus every goroutine it spawns, to completion.  Exceptions
     escape (a MiniGo panic aborts the whole program, like Go). *)
 let run (t : t) ?(on_resume = fun () -> ()) (main : unit -> unit) =
-  run_task t ~on_resume main;
+  run_task t ~gid:0 ~on_resume main;
   drain t
 
-let spawn (t : t) ?(on_resume = fun () -> ()) (body : unit -> unit) =
+let spawn (t : t) ?(gid = 0) ?(on_resume = fun () -> ())
+    (body : unit -> unit) =
   t.next_gid <- t.next_gid + 1;
-  Queue.add (fun () -> run_task t ~on_resume body) t.runq
+  Queue.add (fun () -> run_task t ~gid ~on_resume body) t.runq
 
 let fresh_gid (t : t) =
   t.next_gid <- t.next_gid + 1;

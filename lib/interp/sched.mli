@@ -25,8 +25,10 @@ val yield : unit -> unit
     Exceptions escape (a MiniGo panic aborts the program, like Go). *)
 val run : t -> ?on_resume:(unit -> unit) -> (unit -> unit) -> unit
 
-(** Enqueue a new fiber. *)
-val spawn : t -> ?on_resume:(unit -> unit) -> (unit -> unit) -> unit
+(** Enqueue a new fiber.  [gid] labels its run slices in a captured
+    trace (one Perfetto track per goroutine). *)
+val spawn :
+  t -> ?gid:int -> ?on_resume:(unit -> unit) -> (unit -> unit) -> unit
 
 val fresh_gid : t -> int
 

@@ -1,0 +1,53 @@
+(** Minimal JSON tree, serializer and parser.
+
+    Every machine-readable artifact of the observability layer — trace
+    files, metrics dumps, build statistics, bench results — goes through
+    this module, and the tests parse the artifacts back through it, so
+    "emits valid JSON" is checked by construction. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+(** Pretty serializer (2-space indent) for artifacts meant to be opened
+    in an editor as well as parsed. *)
+val to_string_pretty : t -> string
+
+exception Parse_error of string
+
+(** Parse one JSON document; trailing garbage is an error. *)
+val parse : string -> t
+
+(* -------- accessors (total: return [None] on shape mismatch) -------- *)
+
+val member : string -> t -> t option
+
+val to_int_opt : t -> int option
+
+(** Accepts both [Int] and [Float] payloads. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option
+
+(* -------- raising accessors for test code -------- *)
+
+val get : string -> t -> t
+
+val get_int : string -> t -> int
+
+val get_float : string -> t -> float
+
+val get_string : string -> t -> string
+
+val get_list : string -> t -> t list

@@ -1,0 +1,36 @@
+(** Fixed-capacity ring buffer keeping the most recent pushes. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int;  (** slot the next push writes *)
+  mutable total : int;  (** pushes over the lifetime *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = Array.length t.slots
+
+let length t = min t.total (Array.length t.slots)
+
+let pushed t = t.total
+
+let push t x =
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.slots;
+  t.total <- t.total + 1
+
+let to_list t =
+  let cap = Array.length t.slots in
+  let n = length t in
+  let first = (t.next - n + cap) mod cap in
+  List.init n (fun i ->
+      match t.slots.((first + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.total <- 0

@@ -1,0 +1,22 @@
+(** Fixed-capacity ring buffer: keeps the most recent [capacity] pushes.
+    The metrics sampler stores its time series here so arbitrarily long
+    runs dump a bounded number of samples. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Elements currently held (≤ capacity). *)
+val length : 'a t -> int
+
+(** Total pushes over the ring's lifetime (≥ [length]). *)
+val pushed : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+(** Retained elements, oldest first. *)
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit

@@ -107,13 +107,33 @@ let sweep (heap : Heap.t) =
   heap.Heap.dangling_spans <- [];
   Mcentral.rebucket_after_sweep heap.Heap.central
 
+module Trace = Gofree_obs.Trace
+module Json = Gofree_obs.Json
+
 (** Run one full GC cycle and update pacing. *)
 let collect (heap : Heap.t) =
   let metrics = heap.Heap.metrics in
+  if Trace.enabled () then
+    Trace.begin_span
+      ~args:
+        [
+          ("cycle", Json.Int (metrics.Metrics.gc_cycles + 1));
+          ("heap_live", Json.Int metrics.Metrics.heap_live);
+        ]
+      ~tid:Trace.tid_runtime "gc cycle";
   let t0 = now_ns () in
-  mark heap;
-  sweep heap;
+  Trace.with_span ~tid:Trace.tid_runtime "mark" (fun () -> mark heap);
+  Trace.with_span ~tid:Trace.tid_runtime "sweep" (fun () -> sweep heap);
   let t1 = now_ns () in
+  if Trace.enabled () then begin
+    Trace.end_span ~tid:Trace.tid_runtime "gc cycle";
+    Trace.counter ~tid:Trace.tid_runtime "heap"
+      [
+        ("live", float_of_int metrics.Metrics.heap_live);
+        ( "span_bytes",
+          float_of_int (Pageheap.used_bytes heap.Heap.pages) );
+      ]
+  end;
   metrics.Metrics.gc_cycles <- metrics.Metrics.gc_cycles + 1;
   metrics.Metrics.gc_time_ns <-
     Int64.add metrics.Metrics.gc_time_ns (Int64.sub t1 t0);

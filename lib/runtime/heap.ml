@@ -76,6 +76,9 @@ type t = {
           through a stale reference fails loudly (§6.8) *)
   mutable iter_roots : (int -> unit) -> unit;
   mutable gc_requested : bool;
+  mutable sampler : Sampler.t option;
+      (** periodic metrics snapshots; attached by the runner when
+          [--metrics-json]/[sample_every] asks for a time series *)
   tombstones : (int, string) Hashtbl.t;
       (** freed address → how it died; diagnostic detail for corruption
           reports *)
@@ -98,6 +101,7 @@ let create ?(config = default_config) ?(nprocs = 4) () =
     poison_payload = (fun _ -> ());
     iter_roots = (fun _ -> ());
     gc_requested = false;
+    sampler = None;
     tombstones = Hashtbl.create 64;
   }
 

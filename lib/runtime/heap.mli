@@ -51,6 +51,9 @@ type t = {
   mutable poison_payload : payload -> unit;
   mutable iter_roots : (int -> unit) -> unit;
   mutable gc_requested : bool;
+  mutable sampler : Sampler.t option;
+      (** periodic metrics snapshots; attached by the runner when a
+          metrics time series was requested *)
   tombstones : (int, string) Hashtbl.t;
 }
 

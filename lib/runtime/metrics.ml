@@ -138,3 +138,81 @@ let pp fmt m =
     m.stack_allocs.(1) m.stack_allocs.(2) m.heap_allocs.(0)
     m.heap_allocs.(1) m.heap_allocs.(2) m.freed_by_source.(0)
     m.freed_by_source.(1) m.freed_by_source.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable export                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Gofree_obs.Json
+
+let category_names = [| "slices"; "maps"; "others" |]
+
+let source_names = [| "slice"; "map"; "map_grow" |]
+
+let giveup_names =
+  [|
+    "gc_running"; "ownership_changed"; "span_swapped_out"; "already_freed";
+    "stack_object"; "not_an_object";
+  |]
+
+let named_counts names arr =
+  Json.Obj (List.init (Array.length names) (fun i ->
+      (names.(i), Json.Int arr.(i))))
+
+(** Full metrics record as a JSON tree (schema [gofree-metrics-v1]).
+    Every counter of the paper's Tables 5/8/9 plus the soundness and GC
+    work counters; [free_ratio] is included as a derived convenience. *)
+let to_json (m : t) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str "gofree-metrics-v1");
+      ("alloced_bytes", Json.Int m.alloced_bytes);
+      ("freed_bytes", Json.Int m.freed_bytes);
+      ("free_ratio", Json.Float (free_ratio m));
+      ("gc_cycles", Json.Int m.gc_cycles);
+      ("gc_time_ns", Json.Int (Int64.to_int m.gc_time_ns));
+      ("max_heap", Json.Int m.max_heap);
+      ("max_heap_pages", Json.Int m.max_heap_pages);
+      ("heap_live", Json.Int m.heap_live);
+      ("stack_allocs", named_counts category_names m.stack_allocs);
+      ("heap_allocs", named_counts category_names m.heap_allocs);
+      ("tcfreed_objects", named_counts category_names m.tcfreed_objects);
+      ("gc_freed_objects", named_counts category_names m.gc_freed_objects);
+      ("freed_by_source", named_counts source_names m.freed_by_source);
+      ("tcfree_calls", Json.Int m.tcfree_calls);
+      ("tcfree_success", Json.Int m.tcfree_success);
+      ("giveups", named_counts giveup_names m.giveups);
+      ("heap_to_stack_pointers", Json.Int m.heap_to_stack_pointers);
+      ("poison_reads", Json.Int m.poison_reads);
+      ("gc_marked_objects", Json.Int m.gc_marked_objects);
+      ("gc_swept_objects", Json.Int m.gc_swept_objects);
+    ]
+
+(** Inverse of {!to_json}; raises {!Gofree_obs.Json.Parse_error} on shape
+    mismatches.  Unknown fields are ignored so the schema can grow. *)
+let of_json (j : Json.t) : t =
+  let counts names field =
+    let o = Json.get field j in
+    Array.map (fun n -> Json.get_int n o) names
+  in
+  {
+    alloced_bytes = Json.get_int "alloced_bytes" j;
+    freed_bytes = Json.get_int "freed_bytes" j;
+    gc_cycles = Json.get_int "gc_cycles" j;
+    gc_time_ns = Int64.of_int (Json.get_int "gc_time_ns" j);
+    max_heap = Json.get_int "max_heap" j;
+    max_heap_pages = Json.get_int "max_heap_pages" j;
+    heap_live = Json.get_int "heap_live" j;
+    stack_allocs = counts category_names "stack_allocs";
+    heap_allocs = counts category_names "heap_allocs";
+    tcfreed_objects = counts category_names "tcfreed_objects";
+    gc_freed_objects = counts category_names "gc_freed_objects";
+    freed_by_source = counts source_names "freed_by_source";
+    tcfree_calls = Json.get_int "tcfree_calls" j;
+    tcfree_success = Json.get_int "tcfree_success" j;
+    giveups = counts giveup_names "giveups";
+    heap_to_stack_pointers = Json.get_int "heap_to_stack_pointers" j;
+    poison_reads = Json.get_int "poison_reads" j;
+    gc_marked_objects = Json.get_int "gc_marked_objects" j;
+    gc_swept_objects = Json.get_int "gc_swept_objects" j;
+  }

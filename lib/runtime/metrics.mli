@@ -59,3 +59,14 @@ val count_gc_free : t -> category:category -> bytes:int -> unit
 val count_giveup : t -> giveup -> unit
 
 val pp : Format.formatter -> t -> unit
+
+(** Name of a giveup counter, as used in the JSON export and the trace's
+    tcfree instants. *)
+val giveup_names : string array
+
+(** Full metrics record as a JSON tree (schema [gofree-metrics-v1]). *)
+val to_json : t -> Gofree_obs.Json.t
+
+(** Inverse of {!to_json}; raises {!Gofree_obs.Json.Parse_error} on shape
+    mismatches. *)
+val of_json : Gofree_obs.Json.t -> t

@@ -36,3 +36,5 @@ let free_pages t n =
 let mapped_bytes t = t.mapped_pages * Sizeclass.page_size
 
 let max_used_bytes t = t.max_used_pages * Sizeclass.page_size
+
+let used_bytes t = t.used_pages * Sizeclass.page_size

@@ -19,3 +19,6 @@ val free_pages : t -> int -> unit
 val mapped_bytes : t -> int
 
 val max_used_bytes : t -> int
+
+(** Bytes currently backing live spans (the sampler's span-backed curve). *)
+val used_bytes : t -> int

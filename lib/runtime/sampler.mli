@@ -1,0 +1,33 @@
+(** Periodic metrics sampler: bounded time series of heap counters,
+    snapshotted every N interpreter steps. *)
+
+type sample = {
+  sm_step : int;
+  sm_heap_live : int;
+  sm_span_bytes : int;  (** bytes backing live spans at the snapshot *)
+  sm_gc_time_ns : int64;  (** cumulative *)
+  sm_gc_cycles : int;
+  sm_alloced_bytes : int;  (** cumulative *)
+  sm_freed_bytes : int;  (** cumulative, tcfree only *)
+}
+
+type t
+
+(** [create ~every ()] samples every [every] steps into a ring of
+    [capacity] slots (default 4096); older samples are dropped once the
+    ring wraps. *)
+val create : ?capacity:int -> every:int -> unit -> t
+
+val every : t -> int
+
+(** Should a snapshot be taken at interpreter step [step]? *)
+val due : t -> step:int -> bool
+
+val record : t -> step:int -> span_bytes:int -> Metrics.t -> unit
+
+(** Retained samples, oldest first. *)
+val samples : t -> sample list
+
+(** Schema [gofree-samples-v1]; includes a [dropped] count so consumers
+    can tell a wrapped series from a complete one. *)
+val to_json : t -> Gofree_obs.Json.t

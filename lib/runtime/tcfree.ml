@@ -58,10 +58,40 @@ let tcfree_large (heap : Heap.t) (obj : Heap.obj) span slot ~source =
   heap.Heap.dangling_spans <- span :: heap.Heap.dangling_spans;
   reclaim heap obj ~source
 
+module Trace = Gofree_obs.Trace
+module Json = Gofree_obs.Json
+
+let source_name = function
+  | Metrics.Src_slice -> "slice"
+  | Metrics.Src_map -> "map"
+  | Metrics.Src_map_grow -> "map_grow"
+
+(* Trace instants on the runtime track: one per call, labelled with the
+   outcome so giveup storms are visible next to GC cycles in Perfetto.
+   Only reached when a trace is being captured. *)
+let trace_outcome ~source addr = function
+  | Freed bytes ->
+    Trace.instant
+      ~args:
+        [
+          ("addr", Json.Int addr);
+          ("bytes", Json.Int bytes);
+          ("source", Json.Str (source_name source));
+        ]
+      ~tid:Trace.tid_runtime "tcfree"
+  | Gave_up reason ->
+    Trace.instant
+      ~args:
+        [
+          ("addr", Json.Int addr);
+          ("reason", Json.Str Metrics.giveup_names.(Metrics.giveup_index reason));
+        ]
+      ~tid:Trace.tid_runtime "tcfree giveup"
+
 (** [tcfree heap ~thread ~source addr] — the dispatching primitive of
     Table 4.  [source] records the Table 9 attribution
     (slice / map / map-growth). *)
-let tcfree (heap : Heap.t) ~thread ~source addr : outcome =
+let tcfree_impl (heap : Heap.t) ~thread ~source addr : outcome =
   let metrics = heap.Heap.metrics in
   metrics.Metrics.tcfree_calls <- metrics.Metrics.tcfree_calls + 1;
   let give_up reason =
@@ -88,3 +118,8 @@ let tcfree (heap : Heap.t) ~thread ~source addr : outcome =
             outcome
           else tcfree_large heap obj span slot ~source
       end
+
+let tcfree (heap : Heap.t) ~thread ~source addr : outcome =
+  let outcome = tcfree_impl heap ~thread ~source addr in
+  if Trace.enabled () then trace_outcome ~source addr outcome;
+  outcome

@@ -20,6 +20,7 @@ let () =
       ("slicing", Test_slicing.suite);
       ("baselines", Test_baselines.suite);
       ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("robustness", Test_robustness.suite);
       ("properties", Test_props.suite);

@@ -20,7 +20,15 @@ let test_percentiles () =
   feq "p0" 1.0 (Stats.percentile 0.0 xs);
   feq "p100" 4.0 (Stats.percentile 100.0 xs);
   feq "p25" 1.75 (Stats.percentile 25.0 xs);
-  feq "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |])
+  feq "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  (* single sample: every percentile is that sample *)
+  feq "p0 singleton" 7.0 (Stats.percentile 0.0 [| 7.0 |]);
+  feq "p50 singleton" 7.0 (Stats.percentile 50.0 [| 7.0 |]);
+  feq "p100 singleton" 7.0 (Stats.percentile 100.0 [| 7.0 |]);
+  (* percentile must not reorder the caller's array *)
+  let xs2 = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.percentile 50.0 xs2);
+  Alcotest.(check bool) "input untouched" true (xs2 = [| 3.0; 1.0; 2.0 |])
 
 let test_ratio () =
   let control = [| 10.0; 10.0; 10.0 |] in
@@ -67,6 +75,23 @@ let test_welch () =
   let r3 = Ttest.welch c (Array.copy c) in
   Alcotest.(check bool) "identical constants" false r3.Ttest.significant
 
+let test_welch_reference () =
+  (* hand-computed: a has mean 2.5, s²=5/3; b has mean 5, s²=20/3.
+     t = -2.5 / √(25/12) = -√3;
+     df = (25/12)² / ((5/12)²/3 + (5/6)²/3) = 1875/425 ≈ 4.4118. *)
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = [| 2.0; 4.0; 6.0; 8.0 |] in
+  let r = Ttest.welch a b in
+  feq ~eps:1e-6 "t statistic" (-.sqrt 3.0) r.Ttest.t_stat;
+  feq ~eps:1e-6 "Welch df" (1875.0 /. 425.0) r.Ttest.df;
+  (* reference two-sided p ≈ 0.1499 (scipy.stats.ttest_ind equal_var=False) *)
+  Alcotest.(check bool) "p in reference bracket" true
+    (r.Ttest.p_value > 0.14 && r.Ttest.p_value < 0.16);
+  (* symmetric call flips only the sign of t *)
+  let r' = Ttest.welch b a in
+  feq ~eps:1e-6 "t antisymmetric" (sqrt 3.0) r'.Ttest.t_stat;
+  feq ~eps:1e-9 "p symmetric" r.Ttest.p_value r'.Ttest.p_value
+
 let test_table_render () =
   let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "v" ] in
   Table.add_row t [ "a"; "1" ];
@@ -89,5 +114,6 @@ let suite =
     Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
     Alcotest.test_case "student t" `Quick test_t_distribution;
     Alcotest.test_case "welch t-test" `Quick test_welch;
+    Alcotest.test_case "welch reference values" `Quick test_welch_reference;
     Alcotest.test_case "table rendering" `Quick test_table_render;
   ]
