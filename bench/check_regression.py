@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI bench smoke gate.
+
+Compares a freshly produced BENCH_gofree.json against the committed
+reduced-scale baseline (bench/baseline_smoke.json):
+
+  * wall_ns may not regress by more than --tolerance (default 20%) on
+    any workload/setting pair — catches interpreter/allocator slowdowns;
+  * every allocator-visible metric (alloced_bytes, freed_bytes,
+    gc_cycles, maxheap_bytes, free_ratio) must match the baseline
+    EXACTLY — the simulated runtime is deterministic under a fixed
+    seed/scale, so any drift means the semantics changed.
+
+Exit status 0 = pass, 1 = regression/mismatch, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+EXACT_KEYS = ("alloced_bytes", "freed_bytes", "gc_cycles",
+              "maxheap_bytes", "free_ratio")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "gofree-bench-v1":
+        print(f"error: {path}: unexpected schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="max allowed wall_ns regression (fraction)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    for key in ("runs", "scale_pct", "seed"):
+        if base.get(key) != cur.get(key):
+            print(f"error: {key} differs (baseline {base.get(key)}, "
+                  f"current {cur.get(key)}) — not comparable", file=sys.stderr)
+            sys.exit(2)
+
+    base_ws = {w["name"]: w for w in base["workloads"]}
+    failures = 0
+    for w in cur["workloads"]:
+        bw = base_ws.pop(w["name"], None)
+        if bw is None:
+            print(f"FAIL {w['name']}: missing from baseline")
+            failures += 1
+            continue
+        for setting, cs in w["settings"].items():
+            bs = bw["settings"].get(setting)
+            if bs is None:
+                print(f"FAIL {w['name']}/{setting}: missing from baseline")
+                failures += 1
+                continue
+            ratio = cs["wall_ns"] / bs["wall_ns"] if bs["wall_ns"] else 0.0
+            if ratio > 1.0 + args.tolerance:
+                print(f"FAIL {w['name']}/{setting}: wall_ns {bs['wall_ns']:.0f}"
+                      f" -> {cs['wall_ns']:.0f} (+{(ratio - 1) * 100:.1f}% > "
+                      f"{args.tolerance * 100:.0f}%)")
+                failures += 1
+            else:
+                print(f"ok   {w['name']}/{setting}: wall_ns "
+                      f"{(ratio - 1) * 100:+.1f}%")
+            for k in EXACT_KEYS:
+                if cs[k] != bs[k]:
+                    print(f"FAIL {w['name']}/{setting}: {k} changed "
+                          f"{bs[k]} -> {cs[k]} (must be exact)")
+                    failures += 1
+    for name in base_ws:
+        print(f"FAIL {name}: present in baseline, missing from current run")
+        failures += 1
+
+    if failures:
+        print(f"{failures} check(s) failed")
+        sys.exit(1)
+    print("bench smoke passed")
+
+
+if __name__ == "__main__":
+    main()

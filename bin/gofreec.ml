@@ -28,7 +28,8 @@ let gofree_config ~go ~all_targets ~no_ipa =
   else if no_ipa then Gofree_core.Config.no_ipa
   else Gofree_core.Config.gofree
 
-let run_config ~gcoff ~poison ~gogc ~seed ~sample_every ~insert_tcfree =
+let run_config ?(reference = false) ~gcoff ~poison ~gogc ~seed ~sample_every
+    ~insert_tcfree () =
   {
     Gofree_interp.Interp.default_config with
     heap_config =
@@ -41,6 +42,7 @@ let run_config ~gcoff ~poison ~gogc ~seed ~sample_every ~insert_tcfree =
       };
     seed = Int64.of_int seed;
     sample_every;
+    compiled = not reference;
   }
 
 (* ---- observability plumbing ---- *)
@@ -142,17 +144,23 @@ let sample_every_arg =
          ~doc:"Snapshot heap counters every $(docv) interpreter steps \
                (0 = only when --metrics-json is given, then every 1000)")
 
+let reference_flag =
+  Arg.(value & flag & info [ "reference" ]
+         ~doc:"Execute with the reference tree-walking interpreter \
+               instead of the closure-compiled one (slower; observable \
+               behaviour and metrics are identical)")
+
 (* run *)
 let run_cmd =
   let run file go all_targets no_ipa gcoff poison gogc seed metrics trace
-      metrics_json sample_every =
+      metrics_json sample_every reference =
     handle_errors (fun () ->
         let cfg = gofree_config ~go ~all_targets ~no_ipa in
         let rc =
-          run_config ~gcoff ~poison ~gogc ~seed
+          run_config ~reference ~gcoff ~poison ~gogc ~seed
             ~sample_every:
               (effective_sample_every ~sample_every ~metrics_json)
-            ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree
+            ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree ()
         in
         start_trace trace;
         let result =
@@ -174,7 +182,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ go_flag $ all_targets_flag $ no_ipa_flag
       $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag
-      $ trace_arg $ metrics_json_arg $ sample_every_arg)
+      $ trace_arg $ metrics_json_arg $ sample_every_arg $ reference_flag)
 
 (* analyze *)
 let analyze_cmd =
@@ -269,7 +277,7 @@ let compare_cmd =
             ~run_config:
               (run_config ~gcoff:false ~poison:false ~gogc ~seed
                  ~sample_every:0
-                 ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree)
+                 ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree ())
             source
         in
         let go = run Gofree_core.Config.go in
@@ -319,7 +327,8 @@ let build_cmd =
                  into $(docv)")
   in
   let build dir go all_targets no_ipa jobs cache_dir force run stats gcoff
-      poison gogc seed metrics trace metrics_json sample_every stats_json =
+      poison gogc seed metrics trace metrics_json sample_every stats_json
+      reference =
     handle_errors (fun () ->
         (* metrics only exist after execution *)
         let run = run || metrics_json <> None in
@@ -345,10 +354,10 @@ let build_cmd =
         | None -> ());
         if run then begin
           let rc =
-            run_config ~gcoff ~poison ~gogc ~seed
+            run_config ~reference ~gcoff ~poison ~gogc ~seed
               ~sample_every:
                 (effective_sample_every ~sample_every ~metrics_json)
-              ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree
+              ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree ()
           in
           let decisions =
             {
@@ -390,7 +399,8 @@ let build_cmd =
       const build $ dir_arg $ go_flag $ all_targets_flag $ no_ipa_flag
       $ jobs_arg $ cache_arg $ force_flag $ run_flag $ stats_flag
       $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag
-      $ trace_arg $ metrics_json_arg $ sample_every_arg $ stats_json_arg)
+      $ trace_arg $ metrics_json_arg $ sample_every_arg $ stats_json_arg
+      $ reference_flag)
 
 let main_cmd =
   Cmd.group

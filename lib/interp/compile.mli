@@ -1,0 +1,37 @@
+(** Closure compiler for instrumented MiniGo: a lowering pass run once
+    per program after the GoFree pipeline.  Statements and expressions
+    become OCaml closures over [state -> frame -> _]; variables become
+    direct slot-array indices ({!Layout}); callees become interned
+    function ids; frames are pre-sized arrays.
+
+    Compiled execution is observationally identical to the reference
+    tree-walker in {!Interp}: both modes call the same shared
+    allocation, map, tcfree and call-protocol helpers in the same
+    order, so allocation counts, free attempts, GC cycle points and
+    scheduler interleavings are bit-identical. *)
+
+open Minigo
+
+(** A lowered function: everything {!Interp.call_fn} needs, precomputed
+    once per program instead of per call. *)
+type cfunc = {
+  cf_fn : Tast.func;
+  cf_nslots : int;
+  cf_bind : Interp.state -> Interp.frame -> Value.value list -> unit;
+  cf_body : Interp.state -> Interp.frame -> unit;
+  cf_zeros : Interp.state -> Value.value list;
+}
+
+type t = cfunc array
+
+(** Lower every function of the program (emits a ["lower"] trace span,
+    so the phase shows up next to parse/typecheck/escape/instrument). *)
+val lower : Tast.program -> Decisions.t -> Layout.t -> t
+
+(** A dispatch function executing lowered bodies, suitable for
+    [state.dispatch]. *)
+val dispatch :
+  t -> Interp.state -> int -> Value.value list -> Value.value list
+
+(** Point [state.dispatch] at the lowered code. *)
+val install : Interp.state -> t -> unit

@@ -14,7 +14,15 @@
     - [Stcfree] statements call the runtime's tcfree family; map growth
       calls GrowMapAndFreeOld internally (§4.6.2);
     - goroutines are cooperative fibers, each allocating from the mcache
-      of its current logical processor. *)
+      of its current logical processor.
+
+    Variables are resolved through a per-program {!Layout}: every frame
+    is a pre-sized slot array and every call goes through an interned
+    function id.  The [dispatch] hook on the state selects the execution
+    mode per call: this module's recursive tree-walker (the reference
+    semantics), or the closure-compiled bodies {!Compile} installs.  Both
+    modes share every allocation/map/tcfree helper below, so they are
+    observationally identical by construction. *)
 
 open Minigo
 module Rt = Gofree_runtime
@@ -32,13 +40,15 @@ exception Break_loop
 exception Continue_loop
 
 type binding =
+  | Bunbound  (** slot's declaration not yet executed on this path *)
   | Bdirect of Value.cell
   | Bboxed of int * Value.cell  (** heap box address + its cell *)
 
 type frame = {
   fn : Tast.func;
-  bindings : (int, binding) Hashtbl.t;
-  mutable defers : (string * Value.value list) list;
+  slots : binding array;  (** locals by {!Layout} frame slot *)
+  mutable defers : (int * Value.value list) list;
+      (** interned function id + evaluated arguments *)
   mutable stack_objs : Rt.Heap.obj list list;
       (** per open scope, innermost first *)
   mutable temps : Value.value list;  (** GC pins for the current statement *)
@@ -57,6 +67,9 @@ type run_config = {
   sample_every : int;
       (** snapshot the heap counters every N steps (0 = off); the runner
           attaches the {!Gofree_runtime.Sampler} this feeds *)
+  compiled : bool;
+      (** execute closure-compiled bodies ({!Compile}); [false] runs the
+          reference tree-walker — slower, same observable behaviour *)
 }
 
 let default_config =
@@ -71,17 +84,21 @@ let default_config =
        fibers share spans through mcentral. *)
     migrate_every = 2048;
     sample_every = 0;
+    compiled = true;
   }
 
 type state = {
   program : Tast.program;
   decisions : Decisions.t;
+  layout : Layout.t;
   heap : Rt.Heap.t;
   sched : Sched.t;
   output : Buffer.t;
-  globals : (int, Value.cell) Hashtbl.t;
-  funcs : (string, Tast.func) Hashtbl.t;
+  globals : binding array;  (** by {!Layout} global slot *)
   config : run_config;
+  mutable dispatch : state -> int -> Value.value list -> Value.value list;
+      (** how calls execute: {!call_by_id} (reference) or the compiled
+          bodies; defers and goroutine entry points route through it *)
   mutable goroutines : goroutine list;
   mutable current : goroutine;
   mutable steps : int;
@@ -122,48 +139,44 @@ let cur_frame st =
 
 let cur_thread st = Sched.pid_for st.sched ~gid:st.current.g_id
 
-let push_scope st =
-  let f = cur_frame st in
-  f.stack_objs <- [] :: f.stack_objs;
+let push_scope st fr =
+  fr.stack_objs <- [] :: fr.stack_objs;
   st.next_scope_token <- st.next_scope_token + 1;
   st.next_scope_token
 
-let pop_scope st =
-  let f = cur_frame st in
-  match f.stack_objs with
+let pop_scope st fr =
+  match fr.stack_objs with
   | objs :: rest ->
     List.iter (fun o -> Rt.Heap.release_stack st.heap o) objs;
-    f.stack_objs <- rest
+    fr.stack_objs <- rest
   | [] -> ()
 
-let register_stack_obj st obj =
-  let f = cur_frame st in
-  match f.stack_objs with
-  | objs :: rest -> f.stack_objs <- (obj :: objs) :: rest
-  | [] -> f.stack_objs <- [ [ obj ] ]
+let register_stack_obj fr obj =
+  match fr.stack_objs with
+  | objs :: rest -> fr.stack_objs <- (obj :: objs) :: rest
+  | [] -> fr.stack_objs <- [ [ obj ] ]
 
 (* Pin a value for the rest of the current statement so an in-callee GC
    cannot reclaim it before it reaches rooted storage. *)
-let pin st v =
-  let f = cur_frame st in
-  f.temps <- v :: f.temps;
+let pin _st fr v =
+  fr.temps <- v :: fr.temps;
   v
 
+let trace_binding b k =
+  match b with
+  | Bunbound -> ()
+  | Bdirect c -> Value.trace c.Value.v k
+  | Bboxed (addr, c) ->
+    k addr;
+    Value.trace c.Value.v k
+
 let iter_roots st (k : int -> unit) =
-  Hashtbl.iter (fun _ (c : Value.cell) -> Value.trace c.Value.v k)
-    st.globals;
+  Array.iter (fun b -> trace_binding b k) st.globals;
   List.iter
     (fun g ->
       List.iter
         (fun f ->
-          Hashtbl.iter
-            (fun _ b ->
-              match b with
-              | Bdirect c -> Value.trace c.Value.v k
-              | Bboxed (addr, c) ->
-                k addr;
-                Value.trace c.Value.v k)
-            f.bindings;
+          Array.iter (fun b -> trace_binding b k) f.slots;
           List.iter (fun v -> Value.trace v k) f.temps;
           List.iter
             (fun (_, args) -> List.iter (fun v -> Value.trace v k) args)
@@ -190,7 +203,7 @@ let safepoint st =
 (* Allocation helpers                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let alloc_obj st ~(site : Tast.alloc_site) ~category ~size ~payload :
+let alloc_obj st fr ~(site : Tast.alloc_site) ~category ~size ~payload :
     Rt.Heap.obj =
   if Decisions.site_is_heap st.decisions site then
     Rt.Heap.alloc_heap st.heap ~thread:(cur_thread st) ~category ~size
@@ -200,7 +213,7 @@ let alloc_obj st ~(site : Tast.alloc_site) ~category ~size ~payload :
       Rt.Heap.alloc_stack st.heap ~scope:st.next_scope_token ~category ~size
         ~payload
     in
-    register_stack_obj st obj;
+    register_stack_obj fr obj;
     obj
   end
 
@@ -209,28 +222,29 @@ let alloc_heap_obj st ~category ~size ~payload =
   Rt.Heap.alloc_heap st.heap ~thread:(cur_thread st) ~category ~size
     ~payload
 
-let make_slice_obj st ~site ~elem_size ~len ~cap ~zero_of : Value.value =
+let make_slice_obj st fr ~site ~elem_size ~len ~cap ~zero_of : Value.value =
   let cap = max cap len in
   let cells = Array.init cap (fun _ -> Value.cell (zero_of ())) in
   let size = max 1 (cap * elem_size) in
   let obj =
-    alloc_obj st ~site ~category:Rt.Metrics.Cat_slice ~size
+    alloc_obj st fr ~site ~category:Rt.Metrics.Cat_slice ~size
       ~payload:(Value.Pcells cells)
   in
-  pin st (Value.VSlice { Value.s_addr = obj.Rt.Heap.addr; s_cells = cells;
-                         s_off = 0; s_len = len })
+  pin st fr
+    (Value.VSlice { Value.s_addr = obj.Rt.Heap.addr; s_cells = cells;
+                    s_off = 0; s_len = len })
 
 let bucket_overhead = 16
 
 let buckets_bytes ~entry_size ~nbuckets =
   nbuckets * ((8 * entry_size) + bucket_overhead)
 
-let make_map_obj st ~(site : Tast.alloc_site) : Value.value =
+let make_map_obj st fr ~(site : Tast.alloc_site) : Value.value =
   let entry_size = max 2 site.Tast.site_elem_size in
   let nbuckets = 1 in
   let bsize = buckets_bytes ~entry_size ~nbuckets in
   let buckets_obj =
-    alloc_obj st ~site ~category:Rt.Metrics.Cat_map ~size:bsize
+    alloc_obj st fr ~site ~category:Rt.Metrics.Cat_map ~size:bsize
       ~payload:(Value.Pbuckets (Array.make nbuckets []))
   in
   let md =
@@ -242,10 +256,10 @@ let make_map_obj st ~(site : Tast.alloc_site) : Value.value =
     }
   in
   let header =
-    alloc_obj st ~site ~category:Rt.Metrics.Cat_map ~size:48
+    alloc_obj st fr ~site ~category:Rt.Metrics.Cat_map ~size:48
       ~payload:(Value.Pmap md)
   in
-  pin st (Value.VMap header.Rt.Heap.addr)
+  pin st fr (Value.VMap header.Rt.Heap.addr)
 
 (* ------------------------------------------------------------------ *)
 (* Map operations (§4.6.2)                                             *)
@@ -346,31 +360,43 @@ let map_len st addr =
   let md, _ = map_data st addr in
   md.Value.md_count
 
+(* Key snapshot for [for k := range m]: deterministic bucket order,
+   mutation during iteration is well-defined. *)
+let map_range_keys st addr : Value.value list =
+  let _, buckets = map_data st addr in
+  let keys =
+    Array.fold_left
+      (fun acc entries -> List.rev_append (List.map fst entries) acc)
+      [] buckets
+  in
+  List.rev keys
+
 (* ------------------------------------------------------------------ *)
-(* Expression evaluation                                               *)
+(* Bindings                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let lookup_binding st (v : Tast.var) : binding =
   match v.Tast.v_kind with
   | Tast.Vglobal -> begin
-    match Hashtbl.find_opt st.globals v.Tast.v_id with
-    | Some c -> Bdirect c
-    | None -> raise (Runtime_error ("unbound global " ^ v.Tast.v_name))
+    match st.globals.(Layout.slot st.layout v) with
+    | Bunbound -> raise (Runtime_error ("unbound global " ^ v.Tast.v_name))
+    | b -> b
   end
   | _ -> begin
-    let f = cur_frame st in
-    match Hashtbl.find_opt f.bindings v.Tast.v_id with
-    | Some b -> b
-    | None -> raise (Runtime_error ("unbound variable " ^ v.Tast.v_name))
+    match (cur_frame st).slots.(Layout.slot st.layout v) with
+    | Bunbound ->
+      raise (Runtime_error ("unbound variable " ^ v.Tast.v_name))
+    | b -> b
   end
 
-let binding_cell = function Bdirect c -> c | Bboxed (_, c) -> c
+let binding_cell = function
+  | Bdirect c | Bboxed (_, c) -> c
+  | Bunbound -> raise (Runtime_error "unbound variable")
 
 let zero_of st ty () = Value.zero st.program.Tast.p_tenv ty
 
 (* Declare a variable: boxed variables get a 1-cell heap object. *)
-let declare_var st (v : Tast.var) (value : Value.value) =
-  let f = cur_frame st in
+let declare_var st fr (v : Tast.var) (value : Value.value) =
   let binding =
     if Decisions.var_is_boxed st.decisions v then begin
       let c = Value.cell value in
@@ -383,7 +409,7 @@ let declare_var st (v : Tast.var) (value : Value.value) =
     end
     else Bdirect (Value.cell value)
   in
-  Hashtbl.replace f.bindings v.Tast.v_id binding
+  fr.slots.(Layout.slot st.layout v) <- binding
 
 let truthy = function
   | Value.VBool b -> b
@@ -453,6 +479,106 @@ and value_eq (a : Value.value) (b : Value.value) =
   | VPoison, _ | _, VPoison -> raise (Corruption "comparison with freed memory")
   | _ -> false
 
+(* The inserted explicit free (§4.5), applied to an already-resolved
+   binding: read the pointer's current value and hand the referent to the
+   matching tcfree variant (Table 4).  Shared by both execution modes. *)
+let tcfree_binding st (b : binding) (kind : Tast.free_kind) =
+  let thread = cur_thread st in
+  match (binding_cell b).Value.v with
+  | Value.VSlice s when kind = Tast.Free_slice ->
+    (* TcfreeSlice: unwrap the backing array's address *)
+    ignore
+      (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_slice
+         s.Value.s_addr)
+  | Value.VMap addr when kind = Tast.Free_map -> begin
+    (* TcfreeMap: unwrap the bucket array's address *)
+    match Rt.Heap.find_obj st.heap addr with
+    | Some { Rt.Heap.payload = Value.Pmap md; _ } ->
+      ignore
+        (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_map
+           md.Value.md_buckets);
+      ignore
+        (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_map addr)
+    | _ -> ()
+  end
+  | Value.VPtr p when kind = Tast.Free_obj ->
+    if p.Value.p_owner > 0 then
+      ignore
+        (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_slice
+           p.Value.p_owner)
+  | Value.VNil | Value.VPoison -> ()
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Calls, defers, panics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_defers st frame =
+  let defers = frame.defers in
+  frame.defers <- [];
+  List.iter (fun (fid, args) -> ignore (st.dispatch st fid args)) defers
+
+let pop_all_scopes st frame =
+  List.iter
+    (fun objs -> List.iter (fun o -> Rt.Heap.release_stack st.heap o) objs)
+    frame.stack_objs;
+  frame.stack_objs <- []
+
+(** The shared call protocol: push a pre-sized frame, bind parameters,
+    run the body, then run defers / pop scopes on every exit path —
+    normal fall-through (zero results), [return], and panic unwinding
+    with its recover handshake.  Both execution modes call functions
+    through here, parameterized by how the body runs. *)
+let call_fn st (f : Tast.func) ~nslots
+    ~(bind : state -> frame -> Value.value list -> unit)
+    ~(body : state -> frame -> unit) ~(zeros : state -> Value.value list)
+    (args : Value.value list) : Value.value list =
+  let frame =
+    {
+      fn = f;
+      slots = Array.make nslots Bunbound;
+      defers = [];
+      stack_objs = [];
+      temps = args;  (* keep args pinned until bound *)
+      gid = st.current.g_id;
+    }
+  in
+  st.current.g_frames <- frame :: st.current.g_frames;
+  let finish results =
+    run_defers st frame;
+    pop_all_scopes st frame;
+    st.current.g_frames <- List.tl st.current.g_frames;
+    results
+  in
+  match
+    bind st frame args;
+    body st frame
+  with
+  | () ->
+    (* fell off the end: zero values if the function declares results *)
+    finish (zeros st)
+  | exception Return_values vs -> finish vs
+  | exception Panic v ->
+    (* run this frame's defers while unwinding; a recover() inside one of
+       them clears the panic and the function returns zero values *)
+    let outer = st.unwinding in
+    st.unwinding <- Some v;
+    run_defers st frame;
+    pop_all_scopes st frame;
+    st.current.g_frames <- List.tl st.current.g_frames;
+    (match st.unwinding with
+    | None ->
+      (* recovered *)
+      st.unwinding <- outer;
+      zeros st
+    | Some v ->
+      st.unwinding <- outer;
+      raise (Panic v))
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation (reference tree-walker)                       *)
+(* ------------------------------------------------------------------ *)
+
 let rec eval st (e : Tast.expr) : Value.value =
   match e.Tast.desc with
   | Tast.Tint n -> Value.VInt n
@@ -521,8 +647,8 @@ let rec eval st (e : Tast.expr) : Value.value =
   | Tast.Tcall (name, args) -> begin
     match call_function st name (List.map (fun a -> eval st a) args) with
     | [] -> Value.VUnit
-    | [ v ] -> pin st v
-    | vs -> pin st (Value.VTuple vs)
+    | [ v ] -> pin st (cur_frame st) v
+    | vs -> pin st (cur_frame st) (Value.VTuple vs)
   end
   | Tast.Tmake_slice (site, elem, len, cap) ->
     let len = as_int (eval st len) in
@@ -530,26 +656,27 @@ let rec eval st (e : Tast.expr) : Value.value =
     let cap =
       match cap with Some c -> as_int (eval st c) | None -> len
     in
-    make_slice_obj st ~site ~elem_size:site.Tast.site_elem_size ~len ~cap
-      ~zero_of:(zero_of st elem)
-  | Tast.Tmake_map (site, _, _) -> make_map_obj st ~site
+    make_slice_obj st (cur_frame st) ~site
+      ~elem_size:site.Tast.site_elem_size ~len ~cap ~zero_of:(zero_of st elem)
+  | Tast.Tmake_map (site, _, _) -> make_map_obj st (cur_frame st) ~site
   | Tast.Tnew (site, ty) ->
     let c = Value.cell (Value.zero st.program.Tast.p_tenv ty) in
     let obj =
-      alloc_obj st ~site ~category:Rt.Metrics.Cat_other
+      alloc_obj st (cur_frame st) ~site ~category:Rt.Metrics.Cat_other
         ~size:(max 8 site.Tast.site_elem_size)
         ~payload:(Value.Pcells [| c |])
     in
-    pin st (Value.VPtr { Value.p_owner = obj.Rt.Heap.addr; p_cell = c })
+    pin st (cur_frame st)
+      (Value.VPtr { Value.p_owner = obj.Rt.Heap.addr; p_cell = c })
   | Tast.Tslice_lit (site, _, es) ->
     let vs = List.map (fun e -> Value.copy (eval st e)) es in
     let cells = Array.of_list (List.map Value.cell vs) in
     let size = max 1 (Array.length cells * site.Tast.site_elem_size) in
     let obj =
-      alloc_obj st ~site ~category:Rt.Metrics.Cat_slice ~size
+      alloc_obj st (cur_frame st) ~site ~category:Rt.Metrics.Cat_slice ~size
         ~payload:(Value.Pcells cells)
     in
-    pin st
+    pin st (cur_frame st)
       (Value.VSlice
          { Value.s_addr = obj.Rt.Heap.addr; s_cells = cells; s_off = 0;
            s_len = Array.length cells })
@@ -565,15 +692,16 @@ let rec eval st (e : Tast.expr) : Value.value =
     in
     let c = Value.cell v in
     let obj =
-      alloc_obj st ~site ~category:Rt.Metrics.Cat_other
+      alloc_obj st (cur_frame st) ~site ~category:Rt.Metrics.Cat_other
         ~size:(max 8 site.Tast.site_elem_size)
         ~payload:(Value.Pcells [| c |])
     in
-    pin st (Value.VPtr { Value.p_owner = obj.Rt.Heap.addr; p_cell = c })
+    pin st (cur_frame st)
+      (Value.VPtr { Value.p_owner = obj.Rt.Heap.addr; p_cell = c })
   | Tast.Tappend (site, s, vs) ->
     let base = eval st s in
     let elems = List.map (fun v -> Value.copy (eval st v)) vs in
-    eval_append st ~site base elems
+    eval_append st (cur_frame st) ~site base elems
   | Tast.Tlen a -> begin
     match eval st a with
     | Value.VSlice s -> Value.VInt s.Value.s_len
@@ -633,18 +761,7 @@ let rec eval st (e : Tast.expr) : Value.value =
     let vd = eval st dst in
     let vs = eval st src in
     match (vd, vs) with
-    | Value.VSlice d, Value.VSlice s ->
-      (* memmove semantics: snapshot the source first so overlapping
-         views of one backing array copy correctly, like Go *)
-      let n = min d.Value.s_len s.Value.s_len in
-      let snapshot =
-        Array.init n (fun i ->
-            Value.copy (Value.read_cell s.Value.s_cells.(s.Value.s_off + i)))
-      in
-      for i = 0 to n - 1 do
-        d.Value.s_cells.(d.Value.s_off + i).Value.v <- snapshot.(i)
-      done;
-      Value.VInt n
+    | Value.VSlice d, Value.VSlice s -> slice_copy d s
     | (Value.VNil, _ | _, Value.VNil) -> Value.VInt 0
     | _ -> raise (Runtime_error "copy on non-slices")
   end
@@ -664,16 +781,30 @@ let rec eval st (e : Tast.expr) : Value.value =
     | Value.VNil -> Value.VTuple [ zero (); Value.VBool false ]
     | _ -> raise (Runtime_error "not a map")
   end
-  | Tast.Trecover -> begin
-    match st.unwinding with
-    | Some v ->
-      (* stop the unwind; hand the panic message to the program *)
-      st.unwinding <- None;
-      Value.VStr (Value.to_string v)
-    | None -> Value.VStr ""
-  end
+  | Tast.Trecover -> recover st
 
-and eval_append st ~site base elems : Value.value =
+and recover st =
+  match st.unwinding with
+  | Some v ->
+    (* stop the unwind; hand the panic message to the program *)
+    st.unwinding <- None;
+    Value.VStr (Value.to_string v)
+  | None -> Value.VStr ""
+
+and slice_copy (d : Value.slice) (s : Value.slice) : Value.value =
+  (* memmove semantics: snapshot the source first so overlapping views
+     of one backing array copy correctly, like Go *)
+  let n = min d.Value.s_len s.Value.s_len in
+  let snapshot =
+    Array.init n (fun i ->
+        Value.copy (Value.read_cell s.Value.s_cells.(s.Value.s_off + i)))
+  in
+  for i = 0 to n - 1 do
+    d.Value.s_cells.(d.Value.s_off + i).Value.v <- snapshot.(i)
+  done;
+  Value.VInt n
+
+and eval_append st fr ~site base elems : Value.value =
   let open Value in
   let old_len, old_off, old_cells =
     match base with
@@ -710,7 +841,7 @@ and eval_append st ~site base elems : Value.value =
         ~payload:(Pcells cells)
     in
     ignore site;
-    pin st
+    pin st fr
       (VSlice
          { s_addr = obj.Rt.Heap.addr; s_cells = cells; s_off = 0;
            s_len = new_len })
@@ -723,6 +854,7 @@ and eval_addr st (lv : Tast.lvalue) : Value.value =
     match lookup_binding st v with
     | Bdirect c -> Value.VPtr { Value.p_owner = 0; p_cell = c }
     | Bboxed (addr, c) -> Value.VPtr { Value.p_owner = addr; p_cell = c }
+    | Bunbound -> raise (Runtime_error "unbound variable")
   end
   | Tast.Lderef e -> eval st e
   | Tast.Lindex (a, i) -> begin
@@ -760,6 +892,7 @@ and eval_addr st (lv : Tast.lvalue) : Value.value =
             match lookup_binding st v with
             | Bdirect c -> (c, 0)
             | Bboxed (addr, c) -> (c, addr)
+            | Bunbound -> raise (Runtime_error "unbound variable")
           in
           match Value.read_cell c with
           | Value.VStruct cells -> (owner, cells)
@@ -843,86 +976,37 @@ and assign st (lv : Tast.lvalue) (v : Value.value) =
   | `Cell c -> c.Value.v <- Value.copy v
   | `Map (addr, key) -> map_store st addr key (Value.copy v)
 
-(* ------------------------------------------------------------------ *)
-(* Calls, defers, panics                                               *)
-(* ------------------------------------------------------------------ *)
-
 and call_function st name (args : Value.value list) : Value.value list =
-  let f =
-    match Hashtbl.find_opt st.funcs name with
-    | Some f -> f
-    | None -> raise (Runtime_error ("undefined function " ^ name))
-  in
-  let frame =
-    {
-      fn = f;
-      bindings = Hashtbl.create 16;
-      defers = [];
-      stack_objs = [];
-      temps = args;  (* keep args pinned until bound *)
-      gid = st.current.g_id;
-    }
-  in
-  st.current.g_frames <- frame :: st.current.g_frames;
-  let finish results =
-    run_defers st frame;
-    pop_all_scopes st frame;
-    st.current.g_frames <- List.tl st.current.g_frames;
-    results
-  in
-  match
-    List.iter2
-      (fun p arg -> declare_var st p (Value.copy arg))
-      f.Tast.f_params args;
-    exec_block st f.Tast.f_body
-  with
-  | () ->
-    (* fell off the end: zero values if the function declares results *)
-    finish
-      (List.map
-         (fun ty -> Value.zero st.program.Tast.p_tenv ty)
-         f.Tast.f_results)
-  | exception Return_values vs -> finish vs
-  | exception Panic v ->
-    (* run this frame's defers while unwinding; a recover() inside one of
-       them clears the panic and the function returns zero values *)
-    let outer = st.unwinding in
-    st.unwinding <- Some v;
-    run_defers st frame;
-    pop_all_scopes st frame;
-    st.current.g_frames <- List.tl st.current.g_frames;
-    (match st.unwinding with
-    | None ->
-      (* recovered *)
-      st.unwinding <- outer;
+  match Layout.func_id st.layout name with
+  | Some fid -> st.dispatch st fid args
+  | None -> raise (Runtime_error ("undefined function " ^ name))
+
+(** Reference call path: interpret the function body by tree-walking.
+    The default [dispatch] of a state. *)
+and call_by_id st fid (args : Value.value list) : Value.value list =
+  let f = st.layout.Layout.l_funcs.(fid) in
+  call_fn st f ~nslots:st.layout.Layout.l_nslots.(fid)
+    ~bind:(fun st frame args ->
+      List.iter2
+        (fun p arg -> declare_var st frame p (Value.copy arg))
+        f.Tast.f_params args)
+    ~body:(fun st _frame -> exec_block st f.Tast.f_body)
+    ~zeros:(fun st ->
       List.map
         (fun ty -> Value.zero st.program.Tast.p_tenv ty)
-        f.Tast.f_results
-    | Some v ->
-      st.unwinding <- outer;
-      raise (Panic v))
-
-and run_defers st frame =
-  let defers = frame.defers in
-  frame.defers <- [];
-  List.iter (fun (name, args) -> ignore (call_function st name args)) defers
-
-and pop_all_scopes st frame =
-  List.iter
-    (fun objs -> List.iter (fun o -> Rt.Heap.release_stack st.heap o) objs)
-    frame.stack_objs;
-  frame.stack_objs <- []
+        f.Tast.f_results)
+    args
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
 
 and exec_block st (b : Tast.block) =
-  ignore (push_scope st);
+  ignore (push_scope st (cur_frame st));
   match List.iter (exec_stmt st) b.Tast.b_stmts with
-  | () -> pop_scope st
+  | () -> pop_scope st (cur_frame st)
   | exception e ->
-    pop_scope st;
+    pop_scope st (cur_frame st);
     raise e
 
 and exec_stmt st (s : Tast.stmt) =
@@ -934,12 +1018,13 @@ and exec_stmt st (s : Tast.stmt) =
       | Some e -> Value.copy (eval st e)
       | None -> Value.zero st.program.Tast.p_tenv v.Tast.v_ty
     in
-    declare_var st v value
+    declare_var st (cur_frame st) v value
   | Tast.Smulti_decl (vars, e) -> begin
     match eval st e with
     | Value.VTuple vs when List.length vs = List.length vars ->
-      List.iter2 (fun v value -> declare_var st v (Value.copy value)) vars
-        vs
+      List.iter2
+        (fun v value -> declare_var st (cur_frame st) v (Value.copy value))
+        vars vs
     | _ -> raise (Runtime_error "multi-value declaration mismatch")
   end
   | Tast.Sassign (lv, e) -> assign st lv (eval st e)
@@ -955,10 +1040,10 @@ and exec_stmt st (s : Tast.stmt) =
     if truthy (eval st c) then exec_block st b1
     else Option.iter (exec_block st) b2
   | Tast.Sfor (init, cond, post, body) ->
-    ignore (push_scope st);
+    ignore (push_scope st (cur_frame st));
     let cleanup f = match f () with
-      | x -> pop_scope st; x
-      | exception e -> pop_scope st; raise e
+      | x -> pop_scope st (cur_frame st); x
+      | exception e -> pop_scope st (cur_frame st); raise e
     in
     cleanup (fun () ->
         Option.iter (exec_stmt st) init;
@@ -980,22 +1065,17 @@ and exec_stmt st (s : Tast.stmt) =
     match eval st m with
     | Value.VMap addr ->
       (* snapshot the keys so mutation during iteration is well-defined *)
-      let _, buckets = map_data st addr in
-      let keys =
-        Array.fold_left
-          (fun acc entries -> List.rev_append (List.map fst entries) acc)
-          [] buckets
-      in
+      let keys = map_range_keys st addr in
       (try
          List.iter
            (fun key ->
              safepoint st;
-             declare_var st v (Value.copy key);
+             declare_var st (cur_frame st) v (Value.copy key);
              match exec_block st body with
              | () -> ()
              | exception Break_loop -> raise Exit
              | exception Continue_loop -> ())
-           (List.rev keys)
+           keys
        with Exit -> ())
     | Value.VNil -> ()
     | _ -> raise (Runtime_error "range over non-map")
@@ -1006,11 +1086,12 @@ and exec_stmt st (s : Tast.stmt) =
   | Tast.Sblock b -> exec_block st b
   | Tast.Sgo (name, args) ->
     let args = List.map (fun a -> Value.copy (eval st a)) args in
-    spawn_goroutine st name args
+    spawn_goroutine st (resolve_func st name) args
   | Tast.Sdefer (name, args) ->
     let args = List.map (fun a -> Value.copy (eval st a)) args in
+    let fid = resolve_func st name in
     let f = cur_frame st in
-    f.defers <- (name, args) :: f.defers
+    f.defers <- (fid, args) :: f.defers
   | Tast.Spanic e -> raise (Panic (eval st e))
   | Tast.Sbreak -> raise Break_loop
   | Tast.Scontinue -> raise Continue_loop
@@ -1026,50 +1107,29 @@ and exec_stmt st (s : Tast.stmt) =
     let parts = List.map (fun e -> Value.to_string (eval st e)) es in
     Buffer.add_string st.output (String.concat " " parts);
     Buffer.add_char st.output '\n'
-  | Tast.Stcfree (v, kind) -> exec_tcfree st v kind
+  | Tast.Stcfree (v, kind) ->
+    (* tcfree is only inserted for locals; a global here (impossible by
+       construction) indexes the wrong slot space, so guard it out *)
+    if v.Tast.v_kind <> Tast.Vglobal then begin
+      match (cur_frame st).slots.(Layout.slot st.layout v) with
+      | Bunbound -> ()  (* declaration never executed on this path *)
+      | b -> tcfree_binding st b kind
+    end
 
-and spawn_goroutine st name args =
+and resolve_func st name : int =
+  match Layout.func_id st.layout name with
+  | Some fid -> fid
+  | None -> raise (Runtime_error ("undefined function " ^ name))
+
+and spawn_goroutine st fid args =
   let g = { g_id = Sched.fresh_gid st.sched; g_frames = [] } in
   st.goroutines <- g :: st.goroutines;
   Sched.spawn st.sched ~gid:g.g_id
     ~on_resume:(fun () -> st.current <- g)
     (fun () ->
-      (match call_function st name args with
+      (match st.dispatch st fid args with
       | _ -> ()
       | exception Panic v ->
         Buffer.add_string st.output ("panic: " ^ Value.to_string v ^ "\n");
         raise (Panic v));
       st.goroutines <- List.filter (fun g' -> g' != g) st.goroutines)
-
-(* The inserted explicit free (§4.5): read the pointer's current value
-   and hand the referent to the matching tcfree variant (Table 4). *)
-and exec_tcfree st (v : Tast.var) (kind : Tast.free_kind) =
-  let thread = cur_thread st in
-  match Hashtbl.find_opt (cur_frame st).bindings v.Tast.v_id with
-  | None -> ()  (* declaration never executed on this path *)
-  | Some b -> begin
-    match (binding_cell b).Value.v with
-    | Value.VSlice s when kind = Tast.Free_slice ->
-      (* TcfreeSlice: unwrap the backing array's address *)
-      ignore
-        (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_slice
-           s.Value.s_addr)
-    | Value.VMap addr when kind = Tast.Free_map -> begin
-      (* TcfreeMap: unwrap the bucket array's address *)
-      match Rt.Heap.find_obj st.heap addr with
-      | Some { Rt.Heap.payload = Value.Pmap md; _ } ->
-        ignore
-          (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_map
-             md.Value.md_buckets);
-        ignore
-          (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_map addr)
-      | _ -> ()
-    end
-    | Value.VPtr p when kind = Tast.Free_obj ->
-      if p.Value.p_owner > 0 then
-        ignore
-          (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_slice
-             p.Value.p_owner)
-    | Value.VNil | Value.VPoison -> ()
-    | _ -> ()
-  end

@@ -1,7 +1,15 @@
 (** Tree-walking interpreter for instrumented MiniGo over the simulated
     GoFree runtime.  Goroutines are cooperative fibers; GC runs only at
     statement-boundary safepoints; tcfree statements call the runtime's
-    free family. *)
+    free family.
+
+    Variables resolve through a per-program {!Layout} into pre-sized
+    frame slot arrays; calls go through interned function ids.  The
+    state's [dispatch] hook selects the execution mode per call:
+    {!call_by_id}, this module's reference tree-walker, or the
+    closure-compiled bodies installed by {!Compile}.  Both modes share
+    the allocation/map/call helpers exported below, so they are
+    observationally identical by construction. *)
 
 open Minigo
 module Rt = Gofree_runtime
@@ -17,15 +25,18 @@ exception Break_loop
 exception Continue_loop
 
 (** A variable's storage: a frame cell, or a 1-cell heap box when its
-    address escapes (the analysis decides). *)
+    address escapes (the analysis decides).  [Bunbound] marks a slot
+    whose declaration has not executed on this path. *)
 type binding =
+  | Bunbound
   | Bdirect of Value.cell
   | Bboxed of int * Value.cell
 
 type frame = {
   fn : Tast.func;
-  bindings : (int, binding) Hashtbl.t;
-  mutable defers : (string * Value.value list) list;
+  slots : binding array;  (** locals by {!Layout} frame slot *)
+  mutable defers : (int * Value.value list) list;
+      (** interned function id + evaluated arguments *)
   mutable stack_objs : Rt.Heap.obj list list;
   mutable temps : Value.value list;
       (** GC pins for values produced in the current statement *)
@@ -43,6 +54,9 @@ type run_config = {
   migrate_every : int;  (** yields between simulated P migrations *)
   sample_every : int;
       (** snapshot the heap counters every N steps (0 = off) *)
+  compiled : bool;
+      (** execute closure-compiled bodies ({!Compile}); [false] runs
+          the reference tree-walker — slower, same observable behaviour *)
 }
 
 val default_config : run_config
@@ -50,12 +64,15 @@ val default_config : run_config
 type state = {
   program : Tast.program;
   decisions : Decisions.t;
+  layout : Layout.t;
   heap : Rt.Heap.t;
   sched : Sched.t;
   output : Buffer.t;
-  globals : (int, Value.cell) Hashtbl.t;
-  funcs : (string, Tast.func) Hashtbl.t;
+  globals : binding array;  (** by {!Layout} global slot *)
   config : run_config;
+  mutable dispatch : state -> int -> Value.value list -> Value.value list;
+      (** how calls execute: {!call_by_id} or compiled bodies; defers
+          and goroutine entry points route through it *)
   mutable goroutines : goroutine list;
   mutable current : goroutine;
   mutable steps : int;
@@ -65,14 +82,135 @@ type state = {
       (** the active panic value while defers run during unwinding *)
 }
 
-(** Enumerate every root address: globals, all goroutines' frame
-    bindings, statement pins and pending defer arguments. *)
+(** Enumerate every root address: globals, all goroutines' frame slots,
+    statement pins and pending defer arguments. *)
 val iter_roots : state -> (int -> unit) -> unit
 
 val eval : state -> Tast.expr -> Value.value
 
-(** Call a MiniGo function with already-evaluated arguments; runs its
-    defers on both normal exit and panic unwind. *)
+(** Call a MiniGo function with already-evaluated arguments through the
+    state's dispatch; runs its defers on both normal exit and panic
+    unwind. *)
 val call_function : state -> string -> Value.value list -> Value.value list
 
+(** The reference (tree-walking) call path, by interned function id; the
+    default value of [dispatch]. *)
+val call_by_id : state -> int -> Value.value list -> Value.value list
+
 val exec_block : state -> Tast.block -> unit
+
+(** {2 Shared execution machinery}
+
+    Everything below is the single implementation of the runtime
+    semantics used by both the reference walker and the closure compiler
+    — keeping them shared is what makes the two modes agree on every
+    allocator-visible event. *)
+
+val cur_frame : state -> frame
+
+val cur_thread : state -> int
+
+(** Statement boundary: step accounting, pin reset, GC poll, sampler
+    poll, cooperative yield. *)
+val safepoint : state -> unit
+
+val push_scope : state -> frame -> int
+
+val pop_scope : state -> frame -> unit
+
+(** Pin a value on [frame] for the rest of the current statement. *)
+val pin : state -> frame -> Value.value -> Value.value
+
+val rand_int : state -> int -> int
+
+val zero_of : state -> Types.t -> unit -> Value.value
+
+val binding_cell : binding -> Value.cell
+
+val lookup_binding : state -> Tast.var -> binding
+
+(** Bind [var] in [frame], heap-boxing it when the analysis says its
+    address escapes. *)
+val declare_var : state -> frame -> Tast.var -> Value.value -> unit
+
+val truthy : Value.value -> bool
+
+val as_int : Value.value -> int
+
+(** Strict binary operators ([&&]/[||] are handled lazily by callers). *)
+val eval_binop : Ast.binop -> Value.value -> Value.value -> Value.value
+
+val value_eq : Value.value -> Value.value -> bool
+
+val alloc_obj :
+  state ->
+  frame ->
+  site:Tast.alloc_site ->
+  category:Rt.Metrics.category ->
+  size:int ->
+  payload:Rt.Heap.payload ->
+  Rt.Heap.obj
+
+val alloc_heap_obj :
+  state ->
+  category:Rt.Metrics.category ->
+  size:int ->
+  payload:Rt.Heap.payload ->
+  Rt.Heap.obj
+
+val make_slice_obj :
+  state ->
+  frame ->
+  site:Tast.alloc_site ->
+  elem_size:int ->
+  len:int ->
+  cap:int ->
+  zero_of:(unit -> Value.value) ->
+  Value.value
+
+val make_map_obj : state -> frame -> site:Tast.alloc_site -> Value.value
+
+val map_store : state -> int -> Value.value -> Value.value -> unit
+
+val map_get :
+  state -> int -> Value.value -> zero:(unit -> Value.value) -> Value.value
+
+val map_delete : state -> int -> Value.value -> unit
+
+val map_len : state -> int -> int
+
+(** Key snapshot for [for k := range m], in iteration order. *)
+val map_range_keys : state -> int -> Value.value list
+
+(** Grow a slice by already-evaluated elements (append semantics:
+    in-place within capacity, else heap reallocation). *)
+val eval_append :
+  state ->
+  frame ->
+  site:Tast.alloc_site ->
+  Value.value ->
+  Value.value list ->
+  Value.value
+
+(** Apply a tcfree of the given kind to an already-resolved binding
+    (callers filter [Bunbound] — never executed — as a no-op). *)
+val tcfree_binding : state -> binding -> Tast.free_kind -> unit
+
+(** The shared call protocol: push a pre-sized frame, [bind] the
+    arguments, run [body]; defers, scope release and the panic/recover
+    handshake happen on every exit path. *)
+val call_fn :
+  state ->
+  Tast.func ->
+  nslots:int ->
+  bind:(state -> frame -> Value.value list -> unit) ->
+  body:(state -> frame -> unit) ->
+  zeros:(state -> Value.value list) ->
+  Value.value list ->
+  Value.value list
+
+(** Interned id for a function name; [Runtime_error] if undefined. *)
+val resolve_func : state -> string -> int
+
+(** Start a goroutine running function [fid] (through dispatch). *)
+val spawn_goroutine : state -> int -> Value.value list -> unit

@@ -1,7 +1,8 @@
 (** Top-level execution of a compiled MiniGo program: sets up the heap,
-    scheduler and globals, runs [main] (plus all goroutines) to
-    completion, performs the final accounting sweep and returns the
-    collected output and metrics. *)
+    scheduler and globals, lowers the program to closures (unless the
+    config asks for the reference tree-walker), runs [main] (plus all
+    goroutines) to completion, performs the final accounting sweep and
+    returns the collected output and metrics. *)
 
 open Minigo
 module Rt = Gofree_runtime
@@ -31,21 +32,19 @@ let run_program ?(config = Interp.default_config)
     Sched.create ~nprocs:config.Interp.nprocs
       ~migrate_every:config.Interp.migrate_every
   in
-  let funcs = Hashtbl.create 16 in
-  List.iter
-    (fun (f : Tast.func) -> Hashtbl.replace funcs f.Tast.f_name f)
-    program.Tast.p_funcs;
+  let layout = Layout.of_program program in
   let main_g = { Interp.g_id = 0; g_frames = [] } in
   let st =
     {
       Interp.program;
       decisions;
+      layout;
       heap;
       sched;
       output = Buffer.create 256;
-      globals = Hashtbl.create 16;
-      funcs;
+      globals = Array.make (max 1 layout.Layout.l_nglobals) Interp.Bunbound;
       config;
+      dispatch = Interp.call_by_id;
       goroutines = [ main_g ];
       current = main_g;
       steps = 0;
@@ -54,6 +53,10 @@ let run_program ?(config = Interp.default_config)
       unwinding = None;
     }
   in
+  (* Lower once, before anything executes, so even the global
+     initializers' calls run compiled bodies. *)
+  if config.Interp.compiled then
+    Compile.install st (Compile.lower program decisions layout);
   heap.Rt.Heap.trace_payload <- Value.trace_payload;
   heap.Rt.Heap.poison_payload <- Value.poison_payload;
   heap.Rt.Heap.iter_roots <- (fun k -> Interp.iter_roots st k);
@@ -67,10 +70,10 @@ let run_program ?(config = Interp.default_config)
     let boot_frame =
       {
         Interp.fn =
-          (match Hashtbl.find_opt funcs "main" with
-          | Some f -> f
+          (match Layout.func_id layout "main" with
+          | Some fid -> layout.Layout.l_funcs.(fid)
           | None -> raise (Interp.Runtime_error "no main function"));
-        bindings = Hashtbl.create 4;
+        slots = [||];  (* initializers only reference globals *)
         defers = [];
         stack_objs = [];
         temps = [];
@@ -85,7 +88,8 @@ let run_program ?(config = Interp.default_config)
           | Some e -> Value.copy (Interp.eval st e)
           | None -> Value.zero program.Tast.p_tenv v.Tast.v_ty
         in
-        Hashtbl.replace st.Interp.globals v.Tast.v_id (Value.cell value))
+        st.Interp.globals.(Layout.slot layout v) <-
+          Interp.Bdirect (Value.cell value))
       program.Tast.p_globals;
     main_g.Interp.g_frames <- [];
     match Interp.call_function st "main" [] with

@@ -13,28 +13,35 @@ type t = {
 let create thread_id =
   { thread_id; spans = Array.make Sizeclass.n_classes None }
 
-(** Allocate a slot of [class_idx]; swaps in a new span from mcentral
-    when the cached one is full.  Returns the span and slot. *)
-let alloc t (central : Mcentral.t) class_idx : Mspan.t * int =
-  let rec go () =
-    match t.spans.(class_idx) with
-    | Some span -> begin
-      match Mspan.alloc_slot span with
-      | Some slot -> (span, slot)
-      | None ->
-        (* span has filled: hand it to mcentral and retry *)
-        Mcentral.release_span central span;
-        t.spans.(class_idx) <- None;
-        go ()
-    end
-    | None ->
-      let span =
-        Mcentral.acquire_span central class_idx ~for_thread:t.thread_id
-      in
-      t.spans.(class_idx) <- Some span;
-      go ()
+(* Refill path: the cached span is absent or full.  Out of line so the
+   hit path below stays closure-free and small enough to inline. *)
+let rec alloc_refill t (central : Mcentral.t) class_idx : Mspan.t * int =
+  (match t.spans.(class_idx) with
+  | Some span ->
+    (* span has filled: hand it to mcentral before acquiring a new one *)
+    Mcentral.release_span central span;
+    t.spans.(class_idx) <- None
+  | None -> ());
+  let span =
+    Mcentral.acquire_span central class_idx ~for_thread:t.thread_id
   in
-  go ()
+  t.spans.(class_idx) <- Some span;
+  match Mspan.alloc_slot span with
+  | Some slot -> (span, slot)
+  | None -> alloc_refill t central class_idx
+
+(** Allocate a slot of [class_idx]; swaps in a new span from mcentral
+    when the cached one is full.  Returns the span and slot.  The common
+    case — cached span with a free slot — is a single match with no
+    closure allocation. *)
+let alloc t (central : Mcentral.t) class_idx : Mspan.t * int =
+  match t.spans.(class_idx) with
+  | Some span -> begin
+    match Mspan.alloc_slot span with
+    | Some slot -> (span, slot)
+    | None -> alloc_refill t central class_idx
+  end
+  | None -> alloc_refill t central class_idx
 
 (** Whether [span] is currently owned by this cache — the condition the
     paper's TcfreeSmall requires for the lock-free fast path. *)

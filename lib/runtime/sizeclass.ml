@@ -30,9 +30,9 @@ let sizes : int array =
 
 let n_classes = Array.length sizes
 
-(** Smallest class index whose size fits [bytes]; [None] for large
-    objects. *)
-let class_for_size bytes =
+(** Reference lookup, kept as the oracle for the direct-mapped tables
+    below (and their equivalence test). *)
+let class_for_size_search bytes =
   if bytes > max_small then None
   else begin
     (* binary search for the first class >= bytes *)
@@ -43,6 +43,53 @@ let class_for_size bytes =
     done;
     Some !lo
   end
+
+(* Direct-mapped size→class tables, Go's size_to_class8/size_to_class128
+   scheme.  Two granularities: 8-byte buckets up to [small_cutoff] and
+   16-byte buckets above it.  Go's second table uses 128-byte buckets,
+   but our generated class sizes above 1024 are 16-aligned rather than
+   128-aligned (e.g. 1168), so 16 is the coarsest granularity that maps
+   every bucket to the minimal class without changing the class table
+   itself. *)
+
+let small_cutoff = 1024
+
+(* size_to_class8.(divRoundUp s 8) for s <= small_cutoff *)
+let size_to_class8 : int array =
+  let t = Array.make ((small_cutoff / 8) + 1) 0 in
+  let cls = ref 0 in
+  for bucket = 1 to small_cutoff / 8 do
+    let bytes = bucket * 8 in
+    while sizes.(!cls) < bytes do
+      incr cls
+    done;
+    t.(bucket) <- !cls
+  done;
+  t
+
+(* size_to_class16.(divRoundUp (s - small_cutoff) 16) for
+   small_cutoff < s <= max_small *)
+let size_to_class16 : int array =
+  let t = Array.make (((max_small - small_cutoff) / 16) + 1) 0 in
+  let cls = ref 0 in
+  for bucket = 1 to (max_small - small_cutoff) / 16 do
+    let bytes = small_cutoff + (bucket * 16) in
+    while sizes.(!cls) < bytes do
+      incr cls
+    done;
+    t.(bucket) <- !cls
+  done;
+  t
+
+(** Smallest class index whose size fits [bytes]; [None] for large
+    objects.  O(1): one table load on both small-object branches. *)
+let class_for_size bytes =
+  if bytes <= small_cutoff then
+    if bytes <= 0 then Some 0
+    else Some size_to_class8.((bytes + 7) lsr 3)
+  else if bytes <= max_small then
+    Some size_to_class16.((bytes - small_cutoff + 15) lsr 4)
+  else None
 
 let class_size idx = sizes.(idx)
 

@@ -1,0 +1,246 @@
+(** Differential tests for the closure-compiled interpreter: the lowered
+    execution mode must be observationally identical to the reference
+    tree-walker — same program output, same step count, and the same
+    runtime metrics down to the byte (alloc/free volumes, free ratio
+    numerator and denominator, GC cycle count, maxheap, tcfree
+    attempt/success/give-up counters).
+
+    The two modes share the allocator/map/call helpers, so a divergence
+    here means the compiler changed evaluation order or skipped/added a
+    safepoint or allocation somewhere. *)
+
+module Rt = Gofree_runtime
+module W = Gofree_workloads.Workloads
+
+let run_mode ~compiled ?(config = Gofree_core.Config.gofree) src =
+  let run_config =
+    {
+      Gofree_interp.Interp.default_config with
+      heap_config =
+        {
+          Rt.Heap.default_config with
+          min_heap = 96 * 1024;  (* small heap: force real GC activity *)
+          grow_map_free_old = config.Gofree_core.Config.insert_tcfree;
+        };
+      compiled;
+    }
+  in
+  Gofree_interp.Runner.compile_and_run ~gofree_config:config ~run_config src
+
+(* Metrics comparison via the JSON export (covers every counter,
+   including per-category and per-giveup arrays), with the one
+   wall-clock field normalized out. *)
+let metrics_fingerprint (m : Rt.Metrics.t) : string =
+  m.Rt.Metrics.gc_time_ns <- 0L;
+  Gofree_obs.Json.to_string_pretty (Rt.Metrics.to_json m)
+
+let check_identical ~name ?config src =
+  let r_ref = run_mode ~compiled:false ?config src in
+  let r_cmp = run_mode ~compiled:true ?config src in
+  Alcotest.(check string)
+    (name ^ ": output")
+    r_ref.Gofree_interp.Runner.output r_cmp.Gofree_interp.Runner.output;
+  Alcotest.(check int)
+    (name ^ ": steps")
+    r_ref.Gofree_interp.Runner.steps r_cmp.Gofree_interp.Runner.steps;
+  Alcotest.(check bool)
+    (name ^ ": panicked")
+    r_ref.Gofree_interp.Runner.panicked r_cmp.Gofree_interp.Runner.panicked;
+  Alcotest.(check string)
+    (name ^ ": metrics")
+    (metrics_fingerprint r_ref.Gofree_interp.Runner.metrics)
+    (metrics_fingerprint r_cmp.Gofree_interp.Runner.metrics)
+
+(* ---- the six workload proxies -------------------------------------- *)
+
+let test_workload (w : W.t) () =
+  let size = max 10 (w.W.w_default_size / 5) in
+  let src = W.source_of ~size w in
+  check_identical ~name:w.W.w_name src;
+  (* the Go setting exercises the no-tcfree configuration too *)
+  check_identical ~name:(w.W.w_name ^ " (go)")
+    ~config:Gofree_core.Config.go src
+
+let workload_cases =
+  List.map
+    (fun (w : W.t) ->
+      Alcotest.test_case ("workload " ^ w.W.w_name) `Quick (test_workload w))
+    W.all
+
+(* ---- feature-dense programs ---------------------------------------- *)
+
+(* Goroutines, defers and a cross-fiber map: exercises the scheduler
+   interleaving, defer argument pinning and interned spawn targets. *)
+let src_goroutines =
+  {|
+var results map[int]int
+
+func worker(base int, n int) {
+  s := make([]int, 0, 1)
+  for i := 0; i < n; i = i + 1 {
+    s = append(s, base*100+i)
+  }
+  total := 0
+  for i := 0; i < len(s); i = i + 1 {
+    total = total + s[i]
+  }
+  results[base] = total
+}
+
+func cleanup(tag int) {
+  results[tag] = results[tag] + 1000000
+}
+
+func main() {
+  results = make(map[int]int)
+  defer cleanup(1)
+  for g := 0; g < 4; g = g + 1 {
+    go worker(g, 200)
+  }
+  spin := 0
+  for i := 0; i < 2000; i = i + 1 {
+    spin = spin + i
+  }
+  println(spin)
+}
+|}
+
+(* Panic/recover through nested calls with defers on the unwind path. *)
+let src_panic_recover =
+  {|
+func guard() string {
+  msg := recover()
+  println("recovered:", msg)
+  return msg
+}
+
+func risky(n int) int {
+  defer guard()
+  buf := make([]int, 4)
+  if n > 2 {
+    panic("too big")
+  }
+  return buf[n]
+}
+
+func main() {
+  println(risky(1))
+  println(risky(5))
+  println("done")
+}
+|}
+
+(* Map churn with growth (GrowMapAndFreeOld), deletes and range. *)
+let src_map_churn =
+  {|
+func main() {
+  m := make(map[string]int)
+  for i := 0; i < 300; i = i + 1 {
+    m[itoa(i)] = i * 2
+  }
+  for i := 0; i < 150; i = i + 1 {
+    delete(m, itoa(i*2))
+  }
+  sum := 0
+  for k := range m {
+    sum = sum + m[k]
+  }
+  println(len(m), sum)
+}
+|}
+
+(* Struct/pointer traffic: nested field addresses, boxed locals, slices
+   of structs — the eval_addr / owner-of-base corner cases. *)
+let src_structs =
+  {|
+type Point struct { x int; y int }
+type Box struct { p Point; tag int }
+
+func bump(pt *Point) {
+  pt.x = pt.x + 1
+}
+
+func main() {
+  boxes := make([]Box, 8)
+  for i := 0; i < len(boxes); i = i + 1 {
+    boxes[i] = Box{p: Point{x: i, y: i * 2}, tag: i}
+  }
+  for i := 0; i < len(boxes); i = i + 1 {
+    bump(&boxes[i].p)
+  }
+  total := 0
+  for i := 0; i < len(boxes); i = i + 1 {
+    total = total + boxes[i].p.x + boxes[i].p.y
+  }
+  b := Box{p: Point{x: 1, y: 2}, tag: 9}
+  q := &b.p
+  q.y = 40
+  println(total, b.p.y)
+}
+|}
+
+(* Slices: literals, sub-slicing, copy, append growth and shrink. *)
+let src_slices =
+  {|
+func main() {
+  base := []int{1, 2, 3, 4, 5, 6, 7, 8}
+  view := base[2:6]
+  out := make([]int, len(view))
+  n := copy(out, view)
+  for i := 0; i < 50; i = i + 1 {
+    out = append(out, i*i)
+  }
+  s := "hello world"
+  sub := substr(s, 6, len(s))
+  total := 0
+  for i := 0; i < len(out); i = i + 1 {
+    total = total + out[i]
+  }
+  println(n, total, sub, cap(out))
+}
+|}
+
+let feature_cases =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case name `Quick (fun () ->
+          check_identical ~name src;
+          check_identical ~name:(name ^ " (go)")
+            ~config:Gofree_core.Config.go src))
+    [
+      ("goroutines+defer", src_goroutines);
+      ("panic+recover", src_panic_recover);
+      ("map churn", src_map_churn);
+      ("structs+pointers", src_structs);
+      ("slices", src_slices);
+    ]
+
+(* ---- random programs ----------------------------------------------- *)
+
+let prop_random_identical =
+  QCheck.Test.make ~count:40
+    ~name:"random programs: compiled == reference metrics"
+    QCheck.(make ~print:string_of_int Gen.(0 -- 1_000_000))
+    (fun seed ->
+      let src = Gen_program.generate seed in
+      let r_ref = run_mode ~compiled:false src in
+      let r_cmp = run_mode ~compiled:true src in
+      if
+        not
+          (String.equal r_ref.Gofree_interp.Runner.output
+             r_cmp.Gofree_interp.Runner.output)
+      then
+        QCheck.Test.fail_reportf "outputs differ for seed %d:\n%s" seed src;
+      if r_ref.Gofree_interp.Runner.steps <> r_cmp.Gofree_interp.Runner.steps
+      then QCheck.Test.fail_reportf "step counts differ for seed %d" seed;
+      if
+        not
+          (String.equal
+             (metrics_fingerprint r_ref.Gofree_interp.Runner.metrics)
+             (metrics_fingerprint r_cmp.Gofree_interp.Runner.metrics))
+      then QCheck.Test.fail_reportf "metrics differ for seed %d:\n%s" seed src;
+      true)
+
+let suite =
+  workload_cases @ feature_cases
+  @ [ QCheck_alcotest.to_alcotest prop_random_identical ]

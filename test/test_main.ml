@@ -24,4 +24,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("robustness", Test_robustness.suite);
       ("properties", Test_props.suite);
+      ("sizeclass-equiv", Test_sizeclass_equiv.suite);
+      ("compile-differential", Test_compile_differential.suite);
     ]
