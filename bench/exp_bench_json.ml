@@ -106,7 +106,7 @@ let run ~options () =
   let doc =
     Json.Obj
       [
-        ("schema", Json.Str "gofree-bench-v1");
+        Gofree_obs.Schema.(field Bench);
         ("runs", Json.Int options.runs);
         ("scale_pct", Json.Int options.scale);
         ("seed", Json.Int options.seed);

@@ -84,5 +84,6 @@ let () =
     if want "compile_speed" then Exp_compile_speed.run ~options ();
     if want "robustness" then Exp_robustness.run ~options ();
     if want "ablation" then Exp_ablation.run ~options ();
+    if want "serve" then Exp_serve.run ~options ();
     if want "bench_json" then Exp_bench_json.run ~options ()
   end

@@ -1,188 +1,44 @@
 (** gofreec — the GoFree reproduction's command-line driver.
 
     Subcommands:
-    - [run FILE]      compile and execute a MiniGo program, with flags to
-                      select stock Go vs GoFree, GC off, poison mode, and
-                      metric reporting;
+    - [run FILE]      compile and execute a MiniGo program;
     - [analyze FILE]  print escape-analysis properties and points-to sets;
     - [instrument FILE]  print the program with inserted tcfree calls;
     - [compare FILE]  run under Go and GoFree and print both metric sets;
-    - [build DIR]     compile a multi-package tree incrementally (stored
-                      summaries, parallel analysis), link and optionally
-                      run it. *)
+    - [build DIR]     compile a multi-package tree incrementally;
+    - [serve]         long-running compile/analysis daemon on a Unix
+                      socket (newline-delimited JSON, [gofree-rpc-v1]);
+    - [client]        drive a serving daemon from the shell.
+
+    Every entry point goes through {!Gofree_api} — this file owns flag
+    parsing and output formatting only. *)
 
 open Cmdliner
-module Trace = Gofree_obs.Trace
+open Cli_common
 module Json = Gofree_obs.Json
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let gofree_config ~go ~all_targets ~no_ipa =
-  if go then Gofree_core.Config.go
-  else if all_targets then Gofree_core.Config.all_targets
-  else if no_ipa then Gofree_core.Config.no_ipa
-  else Gofree_core.Config.gofree
-
-let run_config ?(reference = false) ~gcoff ~poison ~gogc ~seed ~sample_every
-    ~insert_tcfree () =
-  {
-    Gofree_interp.Interp.default_config with
-    heap_config =
-      {
-        Gofree_runtime.Heap.default_config with
-        gc_disabled = gcoff;
-        poison_on_free = poison;
-        gogc;
-        grow_map_free_old = insert_tcfree;
-      };
-    seed = Int64.of_int seed;
-    sample_every;
-    compiled = not reference;
-  }
-
-(* ---- observability plumbing ---- *)
-
-let start_trace = function
-  | None -> ()
-  | Some _ ->
-    Trace.start ();
-    Trace.name_thread ~tid:Trace.tid_main "main";
-    Trace.name_thread ~tid:Trace.tid_runtime "runtime"
-
-let finish_trace = function
-  | None -> ()
-  | Some path -> Trace.stop_to_file path
-
-let write_json path j =
-  let oc = open_out path in
-  output_string oc (Json.to_string_pretty j);
-  close_out oc
-
-(* The --metrics-json document: the final counters plus the sampler's
-   time series when one was recorded. *)
-let metrics_doc (r : Gofree_interp.Runner.result) : Json.t =
-  Json.Obj
-    ([ ("metrics", Gofree_runtime.Metrics.to_json
-          r.Gofree_interp.Runner.metrics) ]
-    @
-    match r.Gofree_interp.Runner.sampler with
-    | Some s -> [ ("samples", Gofree_runtime.Sampler.to_json s) ]
-    | None -> [])
-
-(* Sampling cadence: an explicit --sample-every wins; otherwise sampling
-   turns on (every 1000 steps) exactly when --metrics-json wants the
-   series. *)
-let effective_sample_every ~sample_every ~metrics_json =
-  if sample_every > 0 then sample_every
-  else if metrics_json <> None then 1000
-  else 0
-
-let handle_errors f =
-  try f () with
-  | Gofree_core.Pipeline.Compile_error msg ->
-    Printf.eprintf "gofreec: %s\n" msg;
-    exit 1
-  | Gofree_interp.Interp.Runtime_error msg ->
-    Printf.eprintf "gofreec: runtime error: %s\n" msg;
-    exit 2
-  | Gofree_interp.Value.Corruption msg ->
-    Printf.eprintf "gofreec: MEMORY CORRUPTION DETECTED: %s\n" msg;
-    exit 3
-
-(* shared flags *)
+(* shared positional *)
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
          ~doc:"MiniGo source file")
 
-let go_flag =
-  Arg.(value & flag & info [ "go" ] ~doc:"Compile with stock Go (no tcfree)")
-
-let all_targets_flag =
-  Arg.(value & flag & info [ "all-targets" ]
-         ~doc:"Free all pointer types, not only slices and maps")
-
-let no_ipa_flag =
-  Arg.(value & flag & info [ "no-ipa" ]
-         ~doc:"Disable inter-procedural content tags (ablation)")
-
-let gcoff_flag =
-  Arg.(value & flag & info [ "gc-off" ] ~doc:"Disable the garbage collector")
-
-let poison_flag =
-  Arg.(value & flag & info [ "poison" ]
-         ~doc:"Mock tcfree: corrupt freed memory to detect wrong frees \
-               (paper 6.8)")
-
-let gogc_arg =
-  Arg.(value & opt int 100 & info [ "gogc" ] ~doc:"GOGC pacing percentage")
-
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for rand()")
-
-let metrics_flag =
-  Arg.(value & flag & info [ "metrics" ] ~doc:"Print runtime metrics")
-
-let trace_arg =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Capture a Chrome/Perfetto trace-event JSON of the whole \
-               run (compiler phases, GC cycles, tcfree calls, goroutine \
-               slices) into $(docv); load it at ui.perfetto.dev")
-
-let metrics_json_arg =
-  Arg.(value & opt (some string) None & info [ "metrics-json" ]
-         ~docv:"FILE"
-         ~doc:"Write the runtime metrics (and the sampled time series) \
-               as JSON into $(docv)")
-
-let sample_every_arg =
-  Arg.(value & opt int 0 & info [ "sample-every" ] ~docv:"N"
-         ~doc:"Snapshot heap counters every $(docv) interpreter steps \
-               (0 = only when --metrics-json is given, then every 1000)")
-
-let reference_flag =
-  Arg.(value & flag & info [ "reference" ]
-         ~doc:"Execute with the reference tree-walking interpreter \
-               instead of the closure-compiled one (slower; observable \
-               behaviour and metrics are identical)")
-
 (* run *)
 let run_cmd =
-  let run file go all_targets no_ipa gcoff poison gogc seed metrics trace
-      metrics_json sample_every reference =
-    handle_errors (fun () ->
-        let cfg = gofree_config ~go ~all_targets ~no_ipa in
-        let rc =
-          run_config ~reference ~gcoff ~poison ~gogc ~seed
-            ~sample_every:
-              (effective_sample_every ~sample_every ~metrics_json)
-            ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree ()
-        in
-        start_trace trace;
-        let result =
-          Gofree_interp.Runner.compile_and_run ~gofree_config:cfg
-            ~run_config:rc (read_file file)
-        in
-        finish_trace trace;
-        print_string result.Gofree_interp.Runner.output;
-        if metrics then
-          Format.printf "%a@." Gofree_runtime.Metrics.pp
-            result.Gofree_interp.Runner.metrics;
-        (match metrics_json with
-        | Some path -> write_json path (metrics_doc result)
-        | None -> ());
-        if result.Gofree_interp.Runner.panicked then exit 2)
+  let run file preset options metrics obs =
+    let config = Gofree_api.config_of_preset preset in
+    let options = with_effective_sampling obs options in
+    let source = read_source file in
+    start_trace obs;
+    let outcome = ok (Gofree_api.run_string ~config ~options source) in
+    finish_trace obs;
+    emit_outcome ~metrics obs outcome;
+    if outcome.Gofree_api.panicked then exit 2
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniGo program")
     Term.(
-      const run $ file_arg $ go_flag $ all_targets_flag $ no_ipa_flag
-      $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag
-      $ trace_arg $ metrics_json_arg $ sample_every_arg $ reference_flag)
+      const run $ file_arg $ preset_term $ run_options_term $ metrics_flag
+      $ obs_term)
 
 (* analyze *)
 let analyze_cmd =
@@ -200,119 +56,87 @@ let analyze_cmd =
                  heap sites, the inserted tcfree that reclaims it or \
                  the property blocking the free")
   in
-  let analyze file go func dot explain =
-    handle_errors (fun () ->
-        let cfg = gofree_config ~go ~all_targets:false ~no_ipa:false in
-        let compiled =
-          Gofree_core.Pipeline.compile ~config:cfg (read_file file)
-        in
-        let funcs =
-          match func with
-          | Some f -> [ f ]
-          | None ->
-            List.map
-              (fun (f : Minigo.Tast.func) -> f.Minigo.Tast.f_name)
-              compiled.Gofree_core.Pipeline.c_program.Minigo.Tast.p_funcs
-        in
-        if explain then
-          Format.printf "%a@." Gofree_core.Report.pp_explain
-            (Gofree_core.Report.explain
-               compiled.Gofree_core.Pipeline.c_analysis
-               compiled.Gofree_core.Pipeline.c_inserted cfg
-               compiled.Gofree_core.Pipeline.c_program)
-        else if dot then
-          List.iter
-            (fun name ->
-              match
-                Gofree_core.Report.to_dot
-                  compiled.Gofree_core.Pipeline.c_analysis name
-              with
-              | Some dot -> print_string dot
-              | None -> Printf.eprintf "no analysis for %s\n" name)
-            funcs
-        else begin
-          List.iter
-            (fun name ->
-              Format.printf "%a@."
-                (fun fmt () ->
-                  Gofree_core.Report.pp_function fmt
-                    compiled.Gofree_core.Pipeline.c_analysis name)
-                ())
-            funcs;
-          Format.printf "%a@." Gofree_core.Report.pp_inserted
-            compiled.Gofree_core.Pipeline.c_inserted
-        end)
+  let analyze file preset func dot explain =
+    let config = Gofree_api.config_of_preset preset in
+    let c = ok (Gofree_api.analyze_file ~config file) in
+    if explain then
+      Format.printf "%a@." Gofree_api.pp_explain (Gofree_api.explain c)
+    else if dot then begin
+      let funcs =
+        match func with
+        | Some f -> [ f ]
+        | None -> Gofree_api.function_names c
+      in
+      List.iter
+        (fun name ->
+          match Gofree_api.analysis_dot c ~func:name with
+          | Some dot -> print_string dot
+          | None -> Printf.eprintf "no analysis for %s\n" name)
+        funcs
+    end
+    else Format.printf "%a@." (Gofree_api.pp_analysis ?func) c
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Print escape-analysis properties and points-to sets")
     Term.(
-      const analyze $ file_arg $ go_flag $ func_arg $ dot_flag
+      const analyze $ file_arg $ preset_term $ func_arg $ dot_flag
       $ explain_flag)
 
 (* instrument *)
 let instrument_cmd =
-  let instrument file all_targets no_ipa =
-    handle_errors (fun () ->
-        let cfg = gofree_config ~go:false ~all_targets ~no_ipa in
-        let compiled =
-          Gofree_core.Pipeline.compile ~config:cfg (read_file file)
-        in
-        print_string
-          (Minigo.Pretty.program_to_string
-             compiled.Gofree_core.Pipeline.c_program))
+  let instrument file preset =
+    let config = Gofree_api.config_of_preset preset in
+    let c = ok (Gofree_api.analyze_file ~config file) in
+    print_string (Gofree_api.instrumented_source c)
   in
   Cmd.v
     (Cmd.info "instrument"
        ~doc:"Print the program with inserted tcfree calls")
-    Term.(const instrument $ file_arg $ all_targets_flag $ no_ipa_flag)
+    Term.(const instrument $ file_arg $ preset_term)
 
 (* compare *)
 let compare_cmd =
-  let compare_run file gogc seed =
-    handle_errors (fun () ->
-        let source = read_file file in
-        let run cfg =
-          Gofree_interp.Runner.compile_and_run ~gofree_config:cfg
-            ~run_config:
-              (run_config ~gcoff:false ~poison:false ~gogc ~seed
-                 ~sample_every:0
-                 ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree ())
-            source
-        in
-        let go = run Gofree_core.Config.go in
-        let gf = run Gofree_core.Config.gofree in
-        Format.printf "== Go ==@.%a@.@.== GoFree ==@.%a@.@."
-          Gofree_runtime.Metrics.pp go.Gofree_interp.Runner.metrics
-          Gofree_runtime.Metrics.pp gf.Gofree_interp.Runner.metrics;
-        Printf.printf "outputs identical: %b\n"
-          (String.equal go.Gofree_interp.Runner.output
-             gf.Gofree_interp.Runner.output))
+  let compare_run file options =
+    let source = read_source file in
+    let run preset =
+      ok
+        (Gofree_api.run_string
+           ~config:(Gofree_api.config_of_preset preset)
+           ~options source)
+    in
+    let go = run Gofree_api.Go in
+    let gf = run Gofree_api.Gofree in
+    Format.printf "== Go ==@.%a@.@.== GoFree ==@.%a@.@."
+      Gofree_api.pp_metrics go.Gofree_api.metrics Gofree_api.pp_metrics
+      gf.Gofree_api.metrics;
+    Printf.printf "outputs identical: %b\n"
+      (String.equal go.Gofree_api.output gf.Gofree_api.output)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run under Go and GoFree; print both metrics")
-    Term.(const compare_run $ file_arg $ gogc_arg $ seed_arg)
+    Term.(const compare_run $ file_arg $ run_options_term)
 
 (* build *)
+let dir_arg =
+  Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+         ~doc:"Root of a multi-package MiniGo tree: root files are \
+               package main, each subdirectory is one package")
+
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ]
+         ~doc:"Analyze up to $(docv) independent packages in parallel \
+               (0 = pick from the machine)" ~docv:"N")
+
+let cache_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ]
+         ~doc:"Summary store location (default DIR/.gofree-cache)")
+
+let force_flag =
+  Arg.(value & flag & info [ "force" ]
+         ~doc:"Ignore the summary store; re-analyze every package")
+
 let build_cmd =
-  let dir_arg =
-    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
-           ~doc:"Root of a multi-package MiniGo tree: root files are \
-                 package main, each subdirectory is one package")
-  in
-  let jobs_arg =
-    Arg.(value & opt int 0 & info [ "j"; "jobs" ]
-           ~doc:"Analyze up to $(docv) independent packages in parallel \
-                 (0 = pick from the machine)" ~docv:"N")
-  in
-  let cache_arg =
-    Arg.(value & opt (some string) None & info [ "cache-dir" ]
-           ~doc:"Summary store location (default DIR/.gofree-cache)")
-  in
-  let force_flag =
-    Arg.(value & flag & info [ "force" ]
-           ~doc:"Ignore the summary store; re-analyze every package")
-  in
   let run_flag =
     Arg.(value & flag & info [ "run" ] ~doc:"Execute the linked program")
   in
@@ -326,86 +150,205 @@ let build_cmd =
            ~doc:"Write per-package timing and cache statistics as JSON \
                  into $(docv)")
   in
-  let build dir go all_targets no_ipa jobs cache_dir force run stats gcoff
-      poison gogc seed metrics trace metrics_json sample_every stats_json
-      reference =
-    handle_errors (fun () ->
-        (* metrics only exist after execution *)
-        let run = run || metrics_json <> None in
-        let cfg = gofree_config ~go ~all_targets ~no_ipa in
-        start_trace trace;
-        let result =
-          try
-            Gofree_build.Driver.build ~config:cfg ?cache_dir ~jobs ~force
-              dir
-          with
-          | Gofree_build.Driver.Error msg | Gofree_build.Loader.Error msg ->
-            Printf.eprintf "gofreec: %s\n" msg;
-            exit 1
-        in
-        if stats then
-          Format.printf "%a@." Gofree_build.Driver.pp_stats
-            result.Gofree_build.Driver.b_stats;
-        (match stats_json with
-        | Some path ->
-          write_json path
-            (Gofree_build.Driver.stats_to_json
-               result.Gofree_build.Driver.b_stats)
-        | None -> ());
-        if run then begin
-          let rc =
-            run_config ~reference ~gcoff ~poison ~gogc ~seed
-              ~sample_every:
-                (effective_sample_every ~sample_every ~metrics_json)
-              ~insert_tcfree:cfg.Gofree_core.Config.insert_tcfree ()
-          in
-          let decisions =
-            {
-              Gofree_interp.Decisions.site_heap =
-                result.Gofree_build.Driver.b_site_heap;
-              var_boxed = result.Gofree_build.Driver.b_var_boxed;
-            }
-          in
-          let r =
-            Gofree_interp.Runner.run_program ~config:rc ~decisions
-              result.Gofree_build.Driver.b_program
-          in
-          finish_trace trace;
-          print_string r.Gofree_interp.Runner.output;
-          if metrics then
-            Format.printf "%a@." Gofree_runtime.Metrics.pp
-              r.Gofree_interp.Runner.metrics;
-          (match metrics_json with
-          | Some path -> write_json path (metrics_doc r)
-          | None -> ());
-          if r.Gofree_interp.Runner.panicked then exit 2
-        end
-        else begin
-          finish_trace trace;
-          if not stats then
-            Printf.printf "built %d package(s) (%d from cache)\n"
-              (List.length
-                 result.Gofree_build.Driver.b_stats
-                   .Gofree_build.Driver.bs_pkgs)
-              result.Gofree_build.Driver.b_stats
-                .Gofree_build.Driver.bs_hits
-        end)
+  let build dir preset jobs cache_dir force run stats options metrics obs
+      stats_json =
+    (* metrics only exist after execution *)
+    let run = run || obs.metrics_json <> None in
+    let config = Gofree_api.config_of_preset preset in
+    let options = with_effective_sampling obs options in
+    start_trace obs;
+    let b = ok (Gofree_api.build_dir ~config ?cache_dir ~jobs ~force dir) in
+    let bstats = Gofree_api.build_stats b in
+    if stats then Format.printf "%a@." Gofree_api.pp_build_stats bstats;
+    (match stats_json with
+    | Some path -> write_json path (Gofree_api.build_stats_to_json bstats)
+    | None -> ());
+    if run then begin
+      let outcome = ok (Gofree_api.run_build ~options b) in
+      finish_trace obs;
+      emit_outcome ~metrics obs outcome;
+      if outcome.Gofree_api.panicked then exit 2
+    end
+    else begin
+      finish_trace obs;
+      if not stats then begin
+        let packages, hits = Gofree_api.build_cache_counts b in
+        Printf.printf "built %d package(s) (%d from cache)\n" packages hits
+      end
+    end
   in
   Cmd.v
     (Cmd.info "build"
        ~doc:"Compile a multi-package tree (incremental, parallel); link \
              and optionally run it")
     Term.(
-      const build $ dir_arg $ go_flag $ all_targets_flag $ no_ipa_flag
-      $ jobs_arg $ cache_arg $ force_flag $ run_flag $ stats_flag
-      $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ metrics_flag
-      $ trace_arg $ metrics_json_arg $ sample_every_arg $ stats_json_arg
-      $ reference_flag)
+      const build $ dir_arg $ preset_term $ jobs_arg $ cache_arg
+      $ force_flag $ run_flag $ stats_flag $ run_options_term
+      $ metrics_flag $ obs_term $ stats_json_arg)
+
+(* ---------------------------------------------------------------- *)
+(* serve                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains executing requests (0 = pick from the \
+                 machine)")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Bounded request-queue capacity; a full queue blocks \
+                 readers (backpressure)")
+  in
+  let serve socket workers queue obs =
+    start_trace obs;
+    let t =
+      try
+        Gofree_server.Server.create ~workers ~queue_capacity:queue ~socket
+          ()
+      with
+      | Invalid_argument m | Sys_error m ->
+        Printf.eprintf "gofreec: serve: %s\n" m;
+        exit 1
+      | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "gofreec: serve: cannot listen on %s: %s\n" socket
+          (Unix.error_message e);
+        exit 1
+    in
+    Printf.printf "gofreec serve: listening on %s\n%!" socket;
+    Gofree_server.Server.serve t;
+    finish_trace obs;
+    Printf.printf "gofreec serve: shut down cleanly\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent compile/analysis daemon (gofree-rpc-v1 \
+             over a Unix socket)")
+    Term.(const serve $ socket_arg $ workers_arg $ queue_arg $ obs_term)
+
+(* ---------------------------------------------------------------- *)
+(* client                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let client_cmd =
+  let method_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"METHOD"
+           ~doc:"analyze | build | run | explain | stats | shutdown")
+  in
+  let target_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"TARGET"
+           ~doc:"Source file (analyze/run/explain) or tree root (build)")
+  in
+  let explain_flag =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"analyze: include the freeing diagnostics document")
+  in
+  let run_flag =
+    Arg.(value & flag & info [ "run" ]
+           ~doc:"build: also execute the linked program")
+  in
+  let requests_arg =
+    Arg.(value & opt (some file) None & info [ "requests" ] ~docv:"FILE"
+           ~doc:"Batch mode: send the raw request lines of $(docv) \
+                 (one JSON object per line) and print one response line \
+                 each; other arguments are ignored")
+  in
+  let raw_flag =
+    Arg.(value & flag & info [ "raw" ]
+           ~doc:"Print compact single-line responses (default: pretty)")
+  in
+  let client socket meth target preset options explain run force jobs
+      cache_dir requests raw =
+    let module C = Gofree_server.Client in
+    let print_response j =
+      print_string (if raw then Json.to_string j ^ "\n"
+                    else Json.to_string_pretty j)
+    in
+    let fail msg =
+      Printf.eprintf "gofreec: client: %s\n" msg;
+      exit 1
+    in
+    match requests with
+    | Some path ->
+      (* batch: raw lines in, raw lines out, strictly in order *)
+      let lines =
+        String.split_on_char '\n' (read_source path)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let c = try C.connect ~socket with C.Error m -> fail m in
+      let bad = ref false in
+      List.iter
+        (fun line ->
+          (try C.send_line c line with C.Error m -> fail m);
+          match C.recv c with
+          | Some response ->
+            (match Json.member "ok" response with
+            | Some (Json.Bool false) -> bad := true
+            | _ -> ());
+            print_string (Json.to_string response ^ "\n")
+          | None -> fail "server closed the connection mid-batch"
+          | exception C.Error m -> fail m)
+        lines;
+      C.close c;
+      if !bad then exit 1
+    | None -> begin
+      let source_of target =
+        match target with
+        | Some path -> Gofree_server.Rpc.Inline (read_source path)
+        | None -> fail "this method needs a FILE argument"
+      in
+      let request =
+        match meth with
+        | None -> fail "METHOD required (or use --requests FILE)"
+        | Some "analyze" ->
+          Gofree_server.Rpc.Analyze
+            { src = source_of target; preset; explain }
+        | Some "run" ->
+          Gofree_server.Rpc.Run
+            { src = source_of target; preset; options }
+        | Some "explain" ->
+          Gofree_server.Rpc.Explain { src = source_of target; preset }
+        | Some "build" -> begin
+          match target with
+          | Some dir ->
+            Gofree_server.Rpc.Build
+              { dir; preset; force; jobs; run; cache_dir; options }
+          | None -> fail "build needs a DIR argument"
+        end
+        | Some "stats" -> Gofree_server.Rpc.Stats
+        | Some "shutdown" -> Gofree_server.Rpc.Shutdown
+        | Some m -> fail (Printf.sprintf "unknown method %S" m)
+      in
+      match C.call_once ~socket request with
+      | Ok result -> print_response result
+      | Error (code, message) ->
+        print_response
+          (Json.Obj
+             [ ("error", Json.Str code); ("message", Json.Str message) ]);
+        exit 1
+      | exception C.Error m -> fail m
+    end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a serving daemon and print the responses")
+    Term.(
+      const client $ socket_arg $ method_arg $ target_arg $ preset_term
+      $ run_options_term $ explain_flag $ run_flag $ force_flag $ jobs_arg
+      $ cache_arg $ requests_arg $ raw_flag)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "gofreec" ~version:"1.0.0"
        ~doc:"GoFree reproduction: compiler-inserted freeing for MiniGo")
-    [ run_cmd; analyze_cmd; instrument_cmd; compare_cmd; build_cmd ]
+    [
+      run_cmd; analyze_cmd; instrument_cmd; compare_cmd; build_cmd;
+      serve_cmd; client_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -410,7 +410,7 @@ let pp_stats fmt (st : stats) =
 let stats_to_json (st : stats) : Json.t =
   Json.Obj
     [
-      ("schema", Json.Str "gofree-build-stats-v1");
+      Gofree_obs.Schema.(field Build_stats);
       ( "packages",
         Json.List
           (List.map

@@ -335,7 +335,7 @@ let pp_explain fmt (entries : site_explain list) =
 let explain_to_json (entries : site_explain list) : Json.t =
   Json.Obj
     [
-      ("schema", Json.Str "gofree-explain-v1");
+      Gofree_obs.Schema.(field Explain);
       ( "sites",
         Json.List
           (List.map

@@ -165,7 +165,7 @@ let named_counts names arr =
 let to_json (m : t) : Json.t =
   Json.Obj
     [
-      ("schema", Json.Str "gofree-metrics-v1");
+      Gofree_obs.Schema.(field Metrics);
       ("alloced_bytes", Json.Int m.alloced_bytes);
       ("freed_bytes", Json.Int m.freed_bytes);
       ("free_ratio", Json.Float (free_ratio m));
@@ -191,6 +191,7 @@ let to_json (m : t) : Json.t =
 (** Inverse of {!to_json}; raises {!Gofree_obs.Json.Parse_error} on shape
     mismatches.  Unknown fields are ignored so the schema can grow. *)
 let of_json (j : Json.t) : t =
+  Gofree_obs.Schema.(check_exn Metrics) j;
   let counts names field =
     let o = Json.get field j in
     Array.map (fun n -> Json.get_int n o) names

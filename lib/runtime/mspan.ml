@@ -24,12 +24,13 @@ type t = {
   mutable state : state;
 }
 
-let next_id = ref 0
+(* Atomic: the serve daemon runs programs on parallel worker domains,
+   and every heap's spans draw ids from this one counter. *)
+let next_id = Atomic.make 0
 
 let create ~class_idx ~npages ~slot_size ~nslots =
-  incr next_id;
   {
-    span_id = !next_id;
+    span_id = Atomic.fetch_and_add next_id 1 + 1;
     class_idx;
     npages;
     slot_size;

@@ -58,7 +58,7 @@ let sample_to_json s =
 let to_json t =
   Json.Obj
     [
-      ("schema", Json.Str "gofree-samples-v1");
+      Gofree_obs.Schema.(field Samples);
       ("every", Json.Int t.every);
       ("capacity", Json.Int (Ring.capacity t.ring));
       ("recorded", Json.Int (Ring.pushed t.ring));

@@ -1,0 +1,93 @@
+(** The daemon's process-resident result cache — what makes a warm
+    request cheap.
+
+    Two content-hash keyed tables live for the life of the server
+    process:
+    - compilations of single sources (key: source bytes + config), so a
+      repeated [analyze]/[run]/[explain] of unchanged input skips
+      parsing, typechecking, escape analysis and instrumentation;
+    - linked multi-package builds (key: every source file's bytes under
+      the tree + config), so a warm [build] of an unchanged tree skips
+      {e everything} — loading, typechecking, analysis and linking.
+
+    The build table layers over the on-disk [Build.Store]: a resident
+    miss still goes through the driver, whose per-package summary store
+    turns a cold daemon start on a previously-built tree into cheap
+    replay; the resident hit then short-circuits even that on the next
+    request.  Values are immutable once published (programs are
+    instrumented in place {e before} insertion, and running one never
+    mutates it), so worker domains share them freely; the mutex guards
+    the tables only — no lock is held while compiling, and two racing
+    misses on one key just do the work twice with identical results. *)
+
+type t = {
+  mutex : Mutex.t;
+  compilations : (string, Gofree_api.compilation) Hashtbl.t;
+  builds : (string, Gofree_api.build) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () : t =
+  {
+    mutex = Mutex.create ();
+    compilations = Hashtbl.create 64;
+    builds = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+  }
+
+(** (hits, misses) over both tables since the server started. *)
+let counts (t : t) : int * int =
+  Mutex.lock t.mutex;
+  let c = (t.hits, t.misses) in
+  Mutex.unlock t.mutex;
+  c
+
+let find tbl (t : t) key =
+  Mutex.lock t.mutex;
+  let v = Hashtbl.find_opt tbl key in
+  (match v with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  Mutex.unlock t.mutex;
+  v
+
+let publish tbl (t : t) key v =
+  Mutex.lock t.mutex;
+  Hashtbl.replace tbl key v;
+  Mutex.unlock t.mutex
+
+(** Compile [source] under [config], or return the resident result.
+    The [bool] is true on a resident hit. *)
+let compilation (t : t) ~(config : Gofree_api.config) (source : string) :
+    (Gofree_api.compilation * bool, Gofree_api.error) result =
+  let key = Gofree_api.source_key ~config source in
+  match find t.compilations t key with
+  | Some c -> Ok (c, true)
+  | None -> begin
+    match Gofree_api.compile_string ~config source with
+    | Error e -> Error e
+    | Ok c ->
+      publish t.compilations t key c;
+      Ok (c, false)
+  end
+
+(** Build the tree at [dir], or return the resident linked result.
+    [force] bypasses (and refreshes) both this cache and the on-disk
+    summary store. *)
+let build (t : t) ~(config : Gofree_api.config) ?cache_dir ~jobs ~force
+    (dir : string) : (Gofree_api.build * bool, Gofree_api.error) result =
+  match Gofree_api.tree_key ~config dir with
+  | Error e -> Error e
+  | Ok key -> begin
+    match if force then None else find t.builds t key with
+    | Some b -> Ok (b, true)
+    | None -> begin
+      match Gofree_api.build_dir ~config ?cache_dir ~jobs ~force dir with
+      | Error e -> Error e
+      | Ok b ->
+        publish t.builds t key b;
+        Ok (b, false)
+    end
+  end

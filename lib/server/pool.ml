@@ -1,0 +1,104 @@
+(** Bounded work queue feeding a fixed pool of worker [Domain]s.
+
+    Connection reader threads {!submit} jobs; when the queue is at
+    capacity the submitter blocks until a worker drains it — the
+    backpressure that keeps a flood of requests from ballooning memory
+    (the client's socket fills up next, pushing the wait onto the
+    client).  {!shutdown} stops intake, lets the workers finish every
+    queued job (drain semantics — in-flight requests still get their
+    responses) and joins the domains. *)
+
+type job = unit -> unit
+
+type t = {
+  jobs : job Queue.t;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  capacity : int;
+  mutable stopping : bool;
+  mutable in_flight : int;  (** jobs currently executing on a worker *)
+  mutable workers : unit Domain.t array;
+}
+
+let default_workers () =
+  max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+let worker (t : t) (index : int) () =
+  (* pool workers get their own trace tracks, clear of the build
+     driver's analysis workers (tid_worker 0..) *)
+  Gofree_obs.Trace.set_domain_tid (Gofree_obs.Trace.tid_worker (16 + index));
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.not_empty t.mutex
+    done;
+    if Queue.is_empty t.jobs then begin
+      (* stopping and nothing left: drain complete *)
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let job = Queue.pop t.jobs in
+      t.in_flight <- t.in_flight + 1;
+      Condition.signal t.not_full;
+      Mutex.unlock t.mutex;
+      (try job () with _ -> ());
+      Mutex.lock t.mutex;
+      t.in_flight <- t.in_flight - 1;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(workers = 0) ?(capacity = 64) () : t =
+  let workers = if workers > 0 then workers else default_workers () in
+  let t =
+    {
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      capacity = max 1 capacity;
+      stopping = false;
+      in_flight = 0;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init workers (fun i -> Domain.spawn (worker t i));
+  t
+
+let size (t : t) = Array.length t.workers
+
+(** Queued (not yet started) jobs — the [stats] request's queue depth. *)
+let queue_depth (t : t) : int =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mutex;
+  n
+
+(** Enqueue [job], blocking while the queue is full.  [false] iff the
+    pool is shutting down and the job was not accepted. *)
+let submit (t : t) (job : job) : bool =
+  Mutex.lock t.mutex;
+  while Queue.length t.jobs >= t.capacity && not t.stopping do
+    Condition.wait t.not_full t.mutex
+  done;
+  let accepted = not t.stopping in
+  if accepted then begin
+    Queue.push job t.jobs;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+(** Stop intake, run every already-queued job to completion, join the
+    workers.  Idempotent. *)
+let shutdown (t : t) : unit =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex;
+  if not already then Array.iter Domain.join t.workers

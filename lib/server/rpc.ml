@@ -1,0 +1,381 @@
+(** The [gofree-rpc-v1] wire protocol of [gofreec serve].
+
+    Transport: a Unix-domain stream socket carrying newline-delimited
+    JSON — one request object per line in, one response object per line
+    out.  Responses may arrive in a different order than the requests
+    that caused them (the daemon dispatches to a worker pool); clients
+    correlate them through the echoed [id].
+
+    Request envelope:
+    {v
+    {"schema":"gofree-rpc-v1","id":7,"method":"analyze","params":{...}}
+    v}
+
+    Response envelope:
+    {v
+    {"schema":"gofree-rpc-v1","id":7,"ok":true,"result":{...}}
+    {"schema":"gofree-rpc-v1","id":7,"ok":false,
+     "error":{"code":"compile_error","message":"..."}}
+    v}
+
+    Methods: [analyze], [build], [run], [explain], [stats], [shutdown].
+    Program sources are passed either inline (["source"]) or as a path
+    the {e daemon} reads (["file"]).  The pipeline configuration is the
+    ["config"] preset name ([gofree] | [go] | [all-targets] | [no-ipa]);
+    execution knobs ([gc_off], [poison], [gogc], [seed],
+    [sample_every], [reference]) mirror the CLI flags. *)
+
+module Json = Gofree_obs.Json
+module Schema = Gofree_obs.Schema
+
+let schema_tag = Schema.tag Schema.Rpc
+
+(* ---------------------------------------------------------------- *)
+(* Requests                                                          *)
+(* ---------------------------------------------------------------- *)
+
+(** Program source, inline or read by the daemon. *)
+type src = Inline of string | File of string
+
+type request =
+  | Analyze of { src : src; preset : Gofree_api.preset; explain : bool }
+  | Build of {
+      dir : string;
+      preset : Gofree_api.preset;
+      force : bool;  (** also bypasses the daemon's resident cache *)
+      jobs : int;
+      run : bool;
+      cache_dir : string option;
+      options : Gofree_api.run_options;
+    }
+  | Run of {
+      src : src;
+      preset : Gofree_api.preset;
+      options : Gofree_api.run_options;
+    }
+  | Explain of { src : src; preset : Gofree_api.preset }
+  | Stats
+  | Shutdown
+
+let method_name = function
+  | Analyze _ -> "analyze"
+  | Build _ -> "build"
+  | Run _ -> "run"
+  | Explain _ -> "explain"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+(** A decoded request and the id to echo in its response ([Json.Null]
+    when the client sent none). *)
+type incoming = { rq_id : Json.t; rq_request : request }
+
+(* ---------------------------------------------------------------- *)
+(* Decoding                                                          *)
+(* ---------------------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let opt_bool ~default key params =
+  match Json.member key params with
+  | None | Some Json.Null -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> bad "param %S must be a boolean" key
+
+let opt_int ~default key params =
+  match Json.member key params with
+  | None | Some Json.Null -> default
+  | Some (Json.Int n) -> n
+  | Some _ -> bad "param %S must be an integer" key
+
+let opt_string key params =
+  match Json.member key params with
+  | None | Some Json.Null -> None
+  | Some (Json.Str s) -> Some s
+  | Some _ -> bad "param %S must be a string" key
+
+let req_string key params =
+  match opt_string key params with
+  | Some s -> s
+  | None -> bad "missing required param %S" key
+
+let src_of_params params =
+  match (opt_string "source" params, opt_string "file" params) with
+  | Some s, None -> Inline s
+  | None, Some f -> File f
+  | None, None -> bad "one of params \"source\" or \"file\" is required"
+  | Some _, Some _ -> bad "params \"source\" and \"file\" are exclusive"
+
+let preset_of_params params =
+  match opt_string "config" params with
+  | None -> Gofree_api.Gofree
+  | Some name -> begin
+    match Gofree_api.preset_of_name name with
+    | Some p -> p
+    | None ->
+      bad "unknown config preset %S (gofree | go | all-targets | no-ipa)"
+        name
+  end
+
+let options_of_params params =
+  let d = Gofree_api.default_run_options in
+  {
+    Gofree_api.gc_off = opt_bool ~default:d.Gofree_api.gc_off "gc_off" params;
+    poison = opt_bool ~default:d.Gofree_api.poison "poison" params;
+    gogc = opt_int ~default:d.Gofree_api.gogc "gogc" params;
+    seed = opt_int ~default:d.Gofree_api.seed "seed" params;
+    sample_every =
+      opt_int ~default:d.Gofree_api.sample_every "sample_every" params;
+    reference = opt_bool ~default:d.Gofree_api.reference "reference" params;
+  }
+
+let request_of_json (j : Json.t) : incoming =
+  (match Schema.check Schema.Rpc j with
+  | Ok () -> ()
+  | Error m -> bad "%s" m);
+  let id = Option.value (Json.member "id" j) ~default:Json.Null in
+  (match id with
+  | Json.Null | Json.Int _ | Json.Str _ -> ()
+  | _ -> bad "\"id\" must be an integer or a string");
+  let meth =
+    match Json.member "method" j with
+    | Some (Json.Str m) -> m
+    | Some _ -> bad "\"method\" must be a string"
+    | None -> bad "missing \"method\""
+  in
+  let params =
+    match Json.member "params" j with
+    | None | Some Json.Null -> Json.Obj []
+    | Some (Json.Obj _ as p) -> p
+    | Some _ -> bad "\"params\" must be an object"
+  in
+  let request =
+    match meth with
+    | "analyze" ->
+      Analyze
+        {
+          src = src_of_params params;
+          preset = preset_of_params params;
+          explain = opt_bool ~default:false "explain" params;
+        }
+    | "build" ->
+      Build
+        {
+          dir = req_string "dir" params;
+          preset = preset_of_params params;
+          force = opt_bool ~default:false "force" params;
+          (* default 1: build-internal analysis domains would multiply
+             with the daemon's own worker pool *)
+          jobs = opt_int ~default:1 "jobs" params;
+          run = opt_bool ~default:false "run" params;
+          cache_dir = opt_string "cache_dir" params;
+          options = options_of_params params;
+        }
+    | "run" ->
+      Run
+        {
+          src = src_of_params params;
+          preset = preset_of_params params;
+          options = options_of_params params;
+        }
+    | "explain" ->
+      Explain
+        { src = src_of_params params; preset = preset_of_params params }
+    | "stats" -> Stats
+    | "shutdown" -> Shutdown
+    | m ->
+      bad
+        "unknown method %S (analyze | build | run | explain | stats | \
+         shutdown)" m
+  in
+  { rq_id = id; rq_request = request }
+
+(** Decode one request line.  [Error (id, message)] echoes the request's
+    [id] when the line parsed far enough to recover one. *)
+let decode (line : string) : (incoming, Json.t * string) result =
+  match Json.parse line with
+  | exception Json.Parse_error m -> Error (Json.Null, "bad JSON: " ^ m)
+  | j -> begin
+    let id =
+      match Json.member "id" j with
+      | Some (Json.Int _ as id) | Some (Json.Str _ as id) -> id
+      | _ -> Json.Null
+    in
+    match request_of_json j with
+    | incoming -> Ok incoming
+    | exception Bad m -> Error (id, m)
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Encoding                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let request_to_json ?(id = Json.Null) (r : request) : Json.t =
+  let preset_field p =
+    [ ("config", Json.Str (Gofree_api.preset_name p)) ]
+  in
+  let src_fields = function
+    | Inline s -> [ ("source", Json.Str s) ]
+    | File f -> [ ("file", Json.Str f) ]
+  in
+  let options_fields (o : Gofree_api.run_options) =
+    let d = Gofree_api.default_run_options in
+    (if o.Gofree_api.gc_off <> d.Gofree_api.gc_off then
+       [ ("gc_off", Json.Bool o.Gofree_api.gc_off) ]
+     else [])
+    @ (if o.Gofree_api.poison <> d.Gofree_api.poison then
+         [ ("poison", Json.Bool o.Gofree_api.poison) ]
+       else [])
+    @ (if o.Gofree_api.gogc <> d.Gofree_api.gogc then
+         [ ("gogc", Json.Int o.Gofree_api.gogc) ]
+       else [])
+    @ (if o.Gofree_api.seed <> d.Gofree_api.seed then
+         [ ("seed", Json.Int o.Gofree_api.seed) ]
+       else [])
+    @ (if o.Gofree_api.sample_every <> d.Gofree_api.sample_every then
+         [ ("sample_every", Json.Int o.Gofree_api.sample_every) ]
+       else [])
+    @
+    if o.Gofree_api.reference <> d.Gofree_api.reference then
+      [ ("reference", Json.Bool o.Gofree_api.reference) ]
+    else []
+  in
+  let params =
+    match r with
+    | Analyze { src; preset; explain } ->
+      src_fields src @ preset_field preset
+      @ if explain then [ ("explain", Json.Bool true) ] else []
+    | Build { dir; preset; force; jobs; run; cache_dir; options } ->
+      [ ("dir", Json.Str dir) ]
+      @ preset_field preset
+      @ (if force then [ ("force", Json.Bool true) ] else [])
+      @ [ ("jobs", Json.Int jobs) ]
+      @ (if run then [ ("run", Json.Bool true) ] else [])
+      @ (match cache_dir with
+        | Some d -> [ ("cache_dir", Json.Str d) ]
+        | None -> [])
+      @ options_fields options
+    | Run { src; preset; options } ->
+      src_fields src @ preset_field preset @ options_fields options
+    | Explain { src; preset } -> src_fields src @ preset_field preset
+    | Stats | Shutdown -> []
+  in
+  Json.Obj
+    ([ ("schema", Json.Str schema_tag); ("id", id);
+       ("method", Json.Str (method_name r)) ]
+    @ if params = [] then [] else [ ("params", Json.Obj params) ])
+
+let response_ok ~id (result : Json.t) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_tag);
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("result", result);
+    ]
+
+let response_error ~id ~code (message : string) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_tag);
+      ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [ ("code", Json.Str code); ("message", Json.Str message) ] );
+    ]
+
+let error_code : Gofree_api.error -> string = function
+  | Gofree_api.Compile_error _ -> "compile_error"
+  | Gofree_api.Build_error _ -> "build_error"
+  | Gofree_api.Runtime_error _ -> "runtime_error"
+  | Gofree_api.Corruption _ -> "corruption"
+
+(* ---------------------------------------------------------------- *)
+(* Line framing over raw file descriptors                            *)
+(* ---------------------------------------------------------------- *)
+
+(** Buffered line reader over a socket fd (one per connection; not
+    thread-safe). *)
+type reader = {
+  rd_fd : Unix.file_descr;
+  rd_buf : Bytes.t;
+  mutable rd_start : int;
+  mutable rd_len : int;
+  rd_acc : Buffer.t;
+}
+
+let reader fd =
+  {
+    rd_fd = fd;
+    rd_buf = Bytes.create 65536;
+    rd_start = 0;
+    rd_len = 0;
+    rd_acc = Buffer.create 256;
+  }
+
+(** Next newline-terminated line (terminator stripped); [None] on EOF or
+    a reset connection.  A final unterminated fragment counts as EOF —
+    a request line the client never finished sending. *)
+let read_line (r : reader) : string option =
+  let rec refill () =
+    match Unix.read r.rd_fd r.rd_buf 0 (Bytes.length r.rd_buf) with
+    | 0 -> false
+    | n ->
+      r.rd_start <- 0;
+      r.rd_len <- n;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill ()
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+      -> false
+  in
+  let rec scan () =
+    if r.rd_len = 0 then
+      if refill () then scan ()
+      else begin
+        Buffer.clear r.rd_acc;
+        None
+      end
+    else begin
+      match
+        (* only a newline inside the valid window counts *)
+        match Bytes.index_from_opt r.rd_buf r.rd_start '\n' with
+        | Some i when i < r.rd_start + r.rd_len -> Some i
+        | _ -> None
+      with
+      | Some i ->
+        Buffer.add_subbytes r.rd_acc r.rd_buf r.rd_start (i - r.rd_start);
+        r.rd_len <- r.rd_len - (i - r.rd_start + 1);
+        r.rd_start <- i + 1;
+        let line = Buffer.contents r.rd_acc in
+        Buffer.clear r.rd_acc;
+        Some line
+      | None ->
+        Buffer.add_subbytes r.rd_acc r.rd_buf r.rd_start r.rd_len;
+        r.rd_len <- 0;
+        if refill () then scan ()
+        else begin
+          Buffer.clear r.rd_acc;
+          None
+        end
+    end
+  in
+  scan ()
+
+(** Write [j] as one line.  Raises [Unix.Unix_error] on a dead peer;
+    serialization against concurrent writers is the caller's business. *)
+let write_line (fd : Unix.file_descr) (j : Json.t) : unit =
+  let line = Json.to_string j ^ "\n" in
+  let len = String.length line in
+  let rec push off =
+    if off < len then begin
+      let n =
+        try Unix.write_substring fd line off (len - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      push (off + n)
+    end
+  in
+  push 0

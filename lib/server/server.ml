@@ -1,0 +1,493 @@
+(** The [gofreec serve] daemon: a Unix-domain socket listener that keeps
+    compilation and build results resident across requests.
+
+    Threading model:
+    - the {e accept} loop runs in {!serve}'s caller (or a background
+      thread via {!start});
+    - each connection gets a lightweight {e reader thread} that frames
+      request lines, decodes them, and feeds the shared bounded
+      {!Pool} — when the queue is full the reader blocks, which is the
+      protocol's backpressure;
+    - a fixed pool of {e worker domains} executes the requests (the
+      parallelism follows "Retrofitting Parallelism onto OCaml", like
+      the build driver's analysis waves) and writes each response back
+      under the connection's write mutex, so responses never interleave
+      mid-line even when one client pipelines requests.
+
+    Failure containment, per the protocol contract:
+    - a malformed line gets a [bad_request] error response and the
+      connection keeps serving;
+    - a client that disconnects mid-request only loses its own
+      response (the write fails, the result is dropped, the daemon
+      lives on);
+    - [shutdown] stops intake, {e drains} queued and in-flight work so
+      every accepted request is answered, then closes. *)
+
+module Json = Gofree_obs.Json
+module Trace = Gofree_obs.Trace
+module Ring = Gofree_obs.Ring
+module Stats = Gofree_stats.Stats
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_wmutex : Mutex.t;  (** guards writes and the fields below *)
+  mutable c_alive : bool;  (** false once a write failed *)
+  mutable c_pending : int;  (** requests submitted, response not written *)
+  mutable c_eof : bool;  (** reader saw EOF; close once pending drains *)
+  mutable c_closed : bool;
+}
+
+type t = {
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  pool : Pool.t;
+  cache : Cache.t;
+  stopping : bool Atomic.t;
+  t0 : float;
+  (* ---- counters (under st_mutex) ---- *)
+  st_mutex : Mutex.t;
+  mutable served : int;  (** responses written, errors included *)
+  mutable errored : int;  (** error responses among them *)
+  mutable malformed : int;  (** undecodable request lines *)
+  mutable dropped : int;  (** responses lost to dead connections *)
+  by_method : (string, int) Hashtbl.t;
+  latencies : float Ring.t;  (** ms, receipt → response, pooled requests *)
+  mutable conns : conn list;
+  mutable conns_total : int;
+  mutable threads : Thread.t list;
+  mutable serve_thread : Thread.t option;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* ---------------------------------------------------------------- *)
+(* Lifecycle                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let create ?(workers = 0) ?(queue_capacity = 64) ~socket () : t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists socket then begin
+    match (Unix.lstat socket).Unix.st_kind with
+    | Unix.S_SOCK -> Unix.unlink socket  (* stale socket of a dead server *)
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Server.create: %s exists and is not a socket"
+           socket)
+  end;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 64
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  {
+    socket_path = socket;
+    listen_fd;
+    pool = Pool.create ~workers ~capacity:queue_capacity ();
+    cache = Cache.create ();
+    stopping = Atomic.make false;
+    t0 = now_ms ();
+    st_mutex = Mutex.create ();
+    served = 0;
+    errored = 0;
+    malformed = 0;
+    dropped = 0;
+    by_method = Hashtbl.create 8;
+    latencies = Ring.create ~capacity:1024;
+    conns = [];
+    conns_total = 0;
+    threads = [];
+    serve_thread = None;
+  }
+
+(* Wake the accept loop after [stopping] flips: a throwaway connection
+   to our own socket makes the blocking accept return. *)
+let wake_accept (t : t) =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.connect fd (Unix.ADDR_UNIX t.socket_path)
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(** Ask the server to stop: intake ends, queued and in-flight requests
+    are still answered, then sockets close.  Safe from any thread. *)
+let request_shutdown (t : t) : unit =
+  if Atomic.compare_and_set t.stopping false true then wake_accept t
+
+(* ---------------------------------------------------------------- *)
+(* Connection bookkeeping                                            *)
+(* ---------------------------------------------------------------- *)
+
+let close_locked (c : conn) =
+  if not c.c_closed then begin
+    c.c_closed <- true;
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+(* The fd closes only when the reader is done AND no response is still
+   owed — otherwise a freshly accepted connection could reuse the fd
+   number and receive a stale response. *)
+let conn_done_one (c : conn) =
+  Mutex.lock c.c_wmutex;
+  c.c_pending <- c.c_pending - 1;
+  if c.c_eof && c.c_pending = 0 then close_locked c;
+  Mutex.unlock c.c_wmutex
+
+let conn_reader_done (t : t) (c : conn) =
+  Mutex.lock c.c_wmutex;
+  c.c_eof <- true;
+  if c.c_pending = 0 then close_locked c;
+  Mutex.unlock c.c_wmutex;
+  Mutex.lock t.st_mutex;
+  t.conns <- List.filter (fun c' -> c'.c_id <> c.c_id) t.conns;
+  Mutex.unlock t.st_mutex
+
+(** Write one response line; [false] (and counted) when the client is
+    gone.  A dead connection swallows all later responses too. *)
+let send (t : t) (c : conn) (j : Json.t) : bool =
+  Mutex.lock c.c_wmutex;
+  let ok =
+    c.c_alive && not c.c_closed
+    &&
+    match Rpc.write_line c.c_fd j with
+    | () -> true
+    | exception Unix.Unix_error _ ->
+      c.c_alive <- false;
+      false
+  in
+  Mutex.unlock c.c_wmutex;
+  Mutex.lock t.st_mutex;
+  if ok then t.served <- t.served + 1 else t.dropped <- t.dropped + 1;
+  Mutex.unlock t.st_mutex;
+  ok
+
+let count_method (t : t) name =
+  Mutex.lock t.st_mutex;
+  Hashtbl.replace t.by_method name
+    (1 + Option.value (Hashtbl.find_opt t.by_method name) ~default:0);
+  Mutex.unlock t.st_mutex
+
+let count_error (t : t) =
+  Mutex.lock t.st_mutex;
+  t.errored <- t.errored + 1;
+  Mutex.unlock t.st_mutex
+
+(* ---------------------------------------------------------------- *)
+(* Request handlers                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let insertion_json (i : Gofree_api.insertion) : Json.t =
+  Json.Obj
+    [
+      ("function", Json.Str i.Gofree_api.ins_function);
+      ("variable", Json.Str i.Gofree_api.ins_variable);
+      ("kind", Json.Str (Gofree_api.free_kind_name i.Gofree_api.ins_kind));
+    ]
+
+let outcome_json ~cached (o : Gofree_api.run_outcome) : Json.t =
+  Json.Obj
+    [
+      ("output", Json.Str o.Gofree_api.output);
+      ("panicked", Json.Bool o.Gofree_api.panicked);
+      ("steps", Json.Int o.Gofree_api.steps);
+      ("wall_ns", Json.Int (Int64.to_int o.Gofree_api.wall_ns));
+      ("cached", Json.Bool cached);
+      ("metrics", o.Gofree_api.metrics_json);
+    ]
+
+let source_of_src : Rpc.src -> (string, Gofree_api.error) result = function
+  | Rpc.Inline s -> Ok s
+  | Rpc.File f -> begin
+    match Gofree_api.read_file f with
+    | s -> Ok s
+    | exception Sys_error m -> Error (Gofree_api.Compile_error m)
+  end
+
+let cached_compilation (t : t) ~preset src =
+  match source_of_src src with
+  | Error e -> Error e
+  | Ok source ->
+    Cache.compilation t.cache
+      ~config:(Gofree_api.config_of_preset preset)
+      source
+
+let stats_json (t : t) : Json.t =
+  let hits, misses = Cache.counts t.cache in
+  Mutex.lock t.st_mutex;
+  let served = t.served and errored = t.errored in
+  let malformed = t.malformed and dropped = t.dropped in
+  let active = List.length t.conns and total = t.conns_total in
+  let by_method =
+    Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) t.by_method []
+    |> List.sort compare
+  in
+  let lats = Array.of_list (Ring.to_list t.latencies) in
+  Mutex.unlock t.st_mutex;
+  let latency =
+    if Array.length lats = 0 then []
+    else
+      [
+        ("count", Json.Int (Array.length lats));
+        ("p50_ms", Json.Float (Stats.percentile 50.0 lats));
+        ("p95_ms", Json.Float (Stats.percentile 95.0 lats));
+      ]
+  in
+  Json.Obj
+    [
+      ("api_version", Json.Int Gofree_api.api_version);
+      ("uptime_ms", Json.Float (now_ms () -. t.t0));
+      ( "requests",
+        Json.Obj
+          [
+            ("served", Json.Int served);
+            ("errors", Json.Int errored);
+            ("malformed", Json.Int malformed);
+            ("dropped_responses", Json.Int dropped);
+            ("by_method", Json.Obj by_method);
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int hits);
+            ("misses", Json.Int misses);
+            ( "hit_ratio",
+              Json.Float
+                (if hits + misses = 0 then 0.0
+                 else float_of_int hits /. float_of_int (hits + misses)) );
+          ] );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (Pool.queue_depth t.pool));
+            ("workers", Json.Int (Pool.size t.pool));
+          ] );
+      ( "connections",
+        Json.Obj
+          [ ("active", Json.Int active); ("total", Json.Int total) ] );
+      ("latency_ms", Json.Obj latency);
+    ]
+
+(** Execute one decoded request; [Error (code, message)] becomes an
+    error response. *)
+let handle (t : t) (r : Rpc.request) : (Json.t, string * string) result =
+  let api e = (Rpc.error_code e, Gofree_api.error_message e) in
+  match r with
+  | Rpc.Stats -> Ok (stats_json t)
+  | Rpc.Shutdown ->
+    request_shutdown t;
+    Ok (Json.Obj [ ("stopping", Json.Bool true) ])
+  | Rpc.Analyze { src; preset; explain } -> begin
+    match cached_compilation t ~preset src with
+    | Error e -> Error (api e)
+    | Ok (c, cached) ->
+      Ok
+        (Json.Obj
+           ([
+              ( "functions",
+                Json.List
+                  (List.map
+                     (fun f -> Json.Str f)
+                     (Gofree_api.function_names c)) );
+              ( "insertions",
+                Json.List
+                  (List.map insertion_json (Gofree_api.insertions c)) );
+              ("cached", Json.Bool cached);
+            ]
+           @
+           if explain then
+             [ ("explain",
+                Gofree_api.explain_to_json (Gofree_api.explain c)) ]
+           else []))
+  end
+  | Rpc.Explain { src; preset } -> begin
+    match cached_compilation t ~preset src with
+    | Error e -> Error (api e)
+    | Ok (c, cached) ->
+      Ok
+        (Json.Obj
+           [
+             ("cached", Json.Bool cached);
+             ("explain",
+              Gofree_api.explain_to_json (Gofree_api.explain c));
+           ])
+  end
+  | Rpc.Run { src; preset; options } -> begin
+    match cached_compilation t ~preset src with
+    | Error e -> Error (api e)
+    | Ok (c, cached) -> begin
+      match Gofree_api.run_compilation ~options c with
+      | Error e -> Error (api e)
+      | Ok o -> Ok (outcome_json ~cached o)
+    end
+  end
+  | Rpc.Build { dir; preset; force; jobs; run; cache_dir; options } ->
+  begin
+    let config = Gofree_api.config_of_preset preset in
+    match Cache.build t.cache ~config ?cache_dir ~jobs ~force dir with
+    | Error e -> Error (api e)
+    | Ok (b, resident) -> begin
+      let packages, store_hits = Gofree_api.build_cache_counts b in
+      let base =
+        [
+          ("resident_cache", Json.Str (if resident then "hit" else "miss"));
+          ("packages", Json.Int packages);
+          ("store_hits", Json.Int store_hits);
+          ("stats", Gofree_api.build_stats_to_json
+             (Gofree_api.build_stats b));
+          ( "insertions",
+            Json.List
+              (List.map insertion_json (Gofree_api.build_insertions b)) );
+        ]
+      in
+      if not run then Ok (Json.Obj base)
+      else begin
+        match Gofree_api.run_build ~options b with
+        | Error e -> Error (api e)
+        | Ok o ->
+          Ok (Json.Obj (base @ [ ("run", outcome_json ~cached:resident o) ]))
+      end
+    end
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Per-connection reader                                             *)
+(* ---------------------------------------------------------------- *)
+
+let respond (t : t) (c : conn) ~id (outcome : (Json.t, string * string) result)
+    =
+  let response =
+    match outcome with
+    | Ok result -> Rpc.response_ok ~id result
+    | Error (code, message) ->
+      count_error t;
+      Rpc.response_error ~id ~code message
+  in
+  ignore (send t c response)
+
+let record_latency (t : t) t_recv =
+  Mutex.lock t.st_mutex;
+  Ring.push t.latencies (now_ms () -. t_recv);
+  Mutex.unlock t.st_mutex
+
+let reader_loop (t : t) (c : conn) =
+  let rd = Rpc.reader c.c_fd in
+  let rec loop () =
+    match Rpc.read_line rd with
+    | None -> ()
+    | Some line ->
+      let t_recv = now_ms () in
+      (match Rpc.decode line with
+      | Error (id, message) ->
+        Mutex.lock t.st_mutex;
+        t.malformed <- t.malformed + 1;
+        Mutex.unlock t.st_mutex;
+        respond t c ~id (Error ("bad_request", message))
+      | Ok { Rpc.rq_id = id; rq_request } -> begin
+        count_method t (Rpc.method_name rq_request);
+        match rq_request with
+        | Rpc.Stats | Rpc.Shutdown ->
+          (* cheap and latency-sensitive: answered on the reader
+             thread, ahead of any queue *)
+          respond t c ~id (handle t rq_request)
+        | _ ->
+          Mutex.lock c.c_wmutex;
+          c.c_pending <- c.c_pending + 1;
+          Mutex.unlock c.c_wmutex;
+          let job () =
+            (match
+               Trace.with_span ~tid:(Trace.domain_tid ())
+                 ("rpc:" ^ Rpc.method_name rq_request)
+                 (fun () -> handle t rq_request)
+             with
+            | outcome -> respond t c ~id outcome
+            | exception e ->
+              respond t c ~id
+                (Error ("internal_error", Printexc.to_string e)));
+            record_latency t t_recv;
+            conn_done_one c
+          in
+          if not (Pool.submit t.pool job) then begin
+            respond t c ~id
+              (Error ("shutting_down", "server is shutting down"));
+            conn_done_one c
+          end
+      end);
+      if not (Atomic.get t.stopping) then loop ()
+  in
+  (try loop () with _ -> ());
+  conn_reader_done t c
+
+(* ---------------------------------------------------------------- *)
+(* Accept loop                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(** Serve until a [shutdown] request (or {!request_shutdown}) arrives:
+    accepts connections, drains outstanding work, closes everything,
+    removes the socket file. *)
+let serve (t : t) : unit =
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> ()  (* listener closed under us *)
+      | fd, _ ->
+        if Atomic.get t.stopping then
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        else begin
+          let c =
+            {
+              c_id = t.conns_total;
+              c_fd = fd;
+              c_wmutex = Mutex.create ();
+              c_alive = true;
+              c_pending = 0;
+              c_eof = false;
+              c_closed = false;
+            }
+          in
+          Mutex.lock t.st_mutex;
+          t.conns_total <- t.conns_total + 1;
+          t.conns <- c :: t.conns;
+          Mutex.unlock t.st_mutex;
+          let th = Thread.create (fun () -> reader_loop t c) () in
+          Mutex.lock t.st_mutex;
+          t.threads <- th :: t.threads;
+          Mutex.unlock t.st_mutex;
+          accept_loop ()
+        end
+    end
+  in
+  accept_loop ();
+  (* intake over: answer everything already accepted ... *)
+  Pool.shutdown t.pool;
+  (* ... then unblock readers still waiting for request lines *)
+  Mutex.lock t.st_mutex;
+  let conns = t.conns and threads = t.threads in
+  Mutex.unlock t.st_mutex;
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join threads;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+
+(** {!create} + {!serve} on a background thread — the in-process form
+    the tests and benches use.  {!wait} joins it. *)
+let start ?workers ?queue_capacity ~socket () : t =
+  let t = create ?workers ?queue_capacity ~socket () in
+  t.serve_thread <- Some (Thread.create (fun () -> serve t) ());
+  t
+
+let wait (t : t) : unit =
+  match t.serve_thread with Some th -> Thread.join th | None -> ()
+
+(** {!request_shutdown} + {!wait}. *)
+let stop (t : t) : unit =
+  request_shutdown t;
+  wait t

@@ -1,0 +1,189 @@
+(** The {!Gofree_api} facade and the {!Gofree_obs.Schema} registry.
+
+    The facade is the only surface [bin/gofreec.ml] is allowed to touch,
+    so these tests pin its behaviour against the underlying pipeline:
+    same insertions, same outputs, same error discipline. *)
+
+module Json = Gofree_obs.Json
+module Schema = Gofree_obs.Schema
+
+let src_free =
+  {|
+func localSum(n int) int {
+	xs := make([]int, n)
+	s := 0
+	for i := range xs {
+		xs[i] = i
+		s = s + xs[i]
+	}
+	return s
+}
+
+func main() {
+	println(localSum(64))
+}
+|}
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "api error: %s" (Gofree_api.error_message e)
+
+(* ---- facade vs pipeline ---- *)
+
+let test_insertions_match_pipeline () =
+  let c = ok (Gofree_api.compile_string src_free) in
+  let via_api =
+    List.map
+      (fun i ->
+        ( i.Gofree_api.ins_function,
+          i.Gofree_api.ins_variable,
+          Gofree_api.free_kind_name i.Gofree_api.ins_kind ))
+      (Gofree_api.insertions c)
+  in
+  let direct =
+    Helpers.inserted_vars (Gofree_core.Pipeline.compile src_free)
+  in
+  Alcotest.(check (list (triple string string string)))
+    "facade reports the pipeline's insertions" direct via_api
+
+let test_run_matches_interpreter () =
+  let outcome = ok (Gofree_api.run_string src_free) in
+  let expected = Helpers.output src_free in
+  Alcotest.(check string) "facade run output" expected
+    outcome.Gofree_api.output;
+  Alcotest.(check bool) "no panic" false outcome.Gofree_api.panicked
+
+let test_presets () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Gofree_api.preset_name p ^ " round-trips")
+        true
+        (Gofree_api.preset_of_name (Gofree_api.preset_name p) = Some p))
+    [ Gofree_api.Gofree; Gofree_api.Go; Gofree_api.All_targets;
+      Gofree_api.No_ipa ];
+  (* --go really disables insertion *)
+  let c =
+    ok
+      (Gofree_api.compile_string
+         ~config:(Gofree_api.config_of_preset Gofree_api.Go)
+         src_free)
+  in
+  Alcotest.(check int) "stock Go inserts nothing" 0
+    (List.length (Gofree_api.insertions c))
+
+let test_error_discipline () =
+  (match Gofree_api.compile_string "func main( {}" with
+  | Ok _ -> Alcotest.fail "garbage compiled"
+  | Error e ->
+    Alcotest.(check int) "compile errors exit 1" 1
+      (Gofree_api.error_exit_code e));
+  match
+    Gofree_api.run_string
+      "func main() {\n\tvar xs []int\n\tprintln(xs[3])\n}\n"
+  with
+  | Ok o ->
+    (* out-of-range is a panic, reported in the outcome, not an error *)
+    Alcotest.(check bool) "index panic reported" true o.Gofree_api.panicked
+  | Error e ->
+    Alcotest.(check int) "runtime errors exit 2" 2
+      (Gofree_api.error_exit_code e)
+
+(* ---- content keys ---- *)
+
+let test_source_key () =
+  let config = Gofree_api.config_of_preset Gofree_api.Gofree in
+  let k1 = Gofree_api.source_key ~config src_free in
+  Alcotest.(check string) "key is deterministic" k1
+    (Gofree_api.source_key ~config src_free);
+  Alcotest.(check bool) "key covers the source" true
+    (k1 <> Gofree_api.source_key ~config (src_free ^ "\n// edit\n"));
+  Alcotest.(check bool) "key covers the config" true
+    (k1
+    <> Gofree_api.source_key
+         ~config:(Gofree_api.config_of_preset Gofree_api.Go)
+         src_free)
+
+(* ---- schema registry ---- *)
+
+let all_schemas =
+  [ Schema.Metrics; Schema.Samples; Schema.Build_stats; Schema.Explain;
+    Schema.Bench; Schema.Rpc ]
+
+let test_schema_tags () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Schema.tag s ^ " round-trips")
+        true
+        (Schema.of_tag (Schema.tag s) = Some s))
+    all_schemas;
+  (* every tag is distinct *)
+  let tags = List.sort_uniq compare (List.map Schema.tag all_schemas) in
+  Alcotest.(check int) "six distinct tags" 6 (List.length tags)
+
+let check_msg s j =
+  match Schema.check s j with
+  | Ok () -> Alcotest.fail "bad document accepted"
+  | Error m -> m
+
+let test_schema_check () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Schema.tag s ^ " accepts itself")
+        true
+        (Schema.check s (Json.Obj [ Schema.field s ]) = Ok ()))
+    all_schemas;
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let m = check_msg Schema.Metrics (Json.Obj [ ("x", Json.Int 1) ]) in
+  Alcotest.(check bool) "missing tag names the expectation" true
+    (contains "gofree-metrics-v1" m);
+  let m =
+    check_msg Schema.Metrics
+      (Json.Obj [ ("schema", Json.Str "gofree-samples-v1") ])
+  in
+  Alcotest.(check bool) "wrong family names both tags" true
+    (contains "gofree-samples-v1" m && contains "gofree-metrics-v1" m);
+  let m =
+    check_msg Schema.Metrics
+      (Json.Obj [ ("schema", Json.Str "gofree-metrics-v9") ])
+  in
+  Alcotest.(check bool) "version mismatch mentions version" true
+    (contains "version" m)
+
+let test_schema_guards_parsers () =
+  (* of_json refuses a samples document where metrics are expected *)
+  let m = Gofree_api.run_string src_free in
+  let doc =
+    match m with
+    | Ok o -> Json.get "metrics" o.Gofree_api.metrics_json
+    | Error _ -> Alcotest.fail "run failed"
+  in
+  (* the real document parses back *)
+  ignore (Gofree_runtime.Metrics.of_json doc);
+  match
+    Gofree_runtime.Metrics.of_json
+      (Json.Obj [ ("schema", Json.Str "gofree-samples-v1") ])
+  with
+  | _ -> Alcotest.fail "wrong-schema document parsed"
+  | exception Json.Parse_error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "insertions match pipeline" `Quick
+      test_insertions_match_pipeline;
+    Alcotest.test_case "run matches interpreter" `Quick
+      test_run_matches_interpreter;
+    Alcotest.test_case "presets" `Quick test_presets;
+    Alcotest.test_case "error discipline" `Quick test_error_discipline;
+    Alcotest.test_case "source key" `Quick test_source_key;
+    Alcotest.test_case "schema tags" `Quick test_schema_tags;
+    Alcotest.test_case "schema check diagnostics" `Quick test_schema_check;
+    Alcotest.test_case "schema guards parsers" `Quick
+      test_schema_guards_parsers;
+  ]

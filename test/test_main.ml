@@ -26,4 +26,6 @@ let () =
       ("properties", Test_props.suite);
       ("sizeclass-equiv", Test_sizeclass_equiv.suite);
       ("compile-differential", Test_compile_differential.suite);
+      ("api", Test_api.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,342 @@
+(** The [gofreec serve] daemon: protocol, resident cache, concurrency,
+    and failure containment.
+
+    Every test starts a real server on a fresh Unix socket (in-process,
+    via {!Gofree_server.Server.start}) and talks to it through
+    {!Gofree_server.Client} — the same code paths [gofreec client]
+    uses. *)
+
+module Json = Gofree_obs.Json
+module Server = Gofree_server.Server
+module Client = Gofree_server.Client
+module Rpc = Gofree_server.Rpc
+
+let counter = ref 0
+
+let fresh_socket () =
+  incr counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "gofree-test-%d-%d.sock" (Unix.getpid ()) !counter)
+
+(** Run [f server socket] against a live daemon; always stops it. *)
+let with_server ?workers f =
+  let socket = fresh_socket () in
+  let t = Server.start ?workers ~socket () in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f t socket)
+
+let src_free =
+  {|
+func localSum(n int) int {
+	xs := make([]int, n)
+	s := 0
+	for i := range xs {
+		xs[i] = i
+		s = s + xs[i]
+	}
+	return s
+}
+
+func main() {
+	println(localSum(64))
+}
+|}
+
+(* a distinct program per concurrent client: the printed constant tells
+   us a response was not crossed between connections *)
+let src_print n =
+  Printf.sprintf "func main() {\n\txs := make([]int, %d)\n\tprintln(len(xs))\n}\n" n
+
+let analyze ?(explain = false) src =
+  Rpc.Analyze { src = Rpc.Inline src; preset = Gofree_api.Gofree; explain }
+
+let run_req src =
+  Rpc.Run
+    {
+      src = Rpc.Inline src;
+      preset = Gofree_api.Gofree;
+      options = Gofree_api.default_run_options;
+    }
+
+let call_ok c request =
+  match Client.call c request with
+  | Ok result -> result
+  | Error (code, m) -> Alcotest.failf "rpc error %s: %s" code m
+
+(* ---- protocol basics ---- *)
+
+let test_analyze_roundtrip () =
+  with_server (fun _ socket ->
+      let c = Client.connect ~socket in
+      let r = call_ok c (analyze src_free) in
+      Alcotest.(check bool) "first analyze is uncached" false
+        (Json.get "cached" r = Json.Bool true);
+      let vars =
+        Json.get_list "insertions" r
+        |> List.map (fun i -> Json.get_string "variable" i)
+      in
+      Alcotest.(check (list string)) "tcfree inserted for xs" [ "xs" ] vars;
+      Client.close c)
+
+let test_run_roundtrip () =
+  with_server (fun _ socket ->
+      match Client.call_once ~socket (run_req (src_print 7)) with
+      | Error (code, m) -> Alcotest.failf "rpc error %s: %s" code m
+      | Ok r ->
+        Alcotest.(check string) "program output" "7\n"
+          (Json.get_string "output" r);
+        Alcotest.(check bool) "no panic" false
+          (Json.get "panicked" r = Json.Bool true))
+
+let test_warm_cache_skips_analysis () =
+  with_server (fun t socket ->
+      let c = Client.connect ~socket in
+      let r1 = call_ok c (analyze src_free) in
+      let r2 = call_ok c (analyze src_free) in
+      Client.close c;
+      Alcotest.(check bool) "cold miss" true
+        (Json.get "cached" r1 = Json.Bool false);
+      Alcotest.(check bool) "warm hit" true
+        (Json.get "cached" r2 = Json.Bool true);
+      (* identical payload either way: drop the cache marker and compare *)
+      let strip = function
+        | Json.Obj fields ->
+          Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
+        | j -> j
+      in
+      Alcotest.(check string) "warm result is byte-identical"
+        (Json.to_string (strip r1))
+        (Json.to_string (strip r2));
+      ignore t)
+
+let test_build_resident_cache () =
+  let root = Test_build.make_tree Test_build.tree_files in
+  with_server (fun _ socket ->
+      let c = Client.connect ~socket in
+      let build force =
+        call_ok c
+          (Rpc.Build
+             {
+               dir = root;
+               preset = Gofree_api.Gofree;
+               force;
+               jobs = 1;
+               run = false;
+               cache_dir = None;
+               options = Gofree_api.default_run_options;
+             })
+      in
+      let r1 = build false in
+      let r2 = build false in
+      Client.close c;
+      Alcotest.(check string) "cold request misses" "miss"
+        (Json.get_string "resident_cache" r1);
+      Alcotest.(check string) "warm request hits" "hit"
+        (Json.get_string "resident_cache" r2);
+      (* the acceptance bar: identical insertions and stats, byte for
+         byte — the warm path must not re-derive anything differently *)
+      Alcotest.(check string) "insertions byte-identical"
+        (Json.to_string (Json.get "insertions" r1))
+        (Json.to_string (Json.get "insertions" r2));
+      Alcotest.(check string) "stats doc byte-identical"
+        (Json.to_string (Json.get "stats" r1))
+        (Json.to_string (Json.get "stats" r2)))
+
+(* ---- concurrency ---- *)
+
+let test_concurrent_clients_isolated () =
+  with_server (fun _ socket ->
+      let n = 8 in
+      let results = Array.make n None in
+      let client i () =
+        let want = 10 + i in
+        match Client.call_once ~socket (run_req (src_print want)) with
+        | Ok r -> results.(i) <- Some (Json.get_string "output" r)
+        | Error (code, m) ->
+          results.(i) <- Some (Printf.sprintf "error %s: %s" code m)
+      in
+      let threads =
+        List.init n (fun i -> Thread.create (client i) ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "client %d got its own program's output" i)
+            (Some (Printf.sprintf "%d\n" (10 + i)))
+            r)
+        results)
+
+let test_pipelined_ids_correlate () =
+  with_server (fun _ socket ->
+      (* one connection, several requests in flight: responses may come
+         back in any order, the ids are the correlation *)
+      let c = Client.connect ~socket in
+      let n = 6 in
+      for i = 1 to n do
+        Client.send_line c
+          (Json.to_string
+             (Rpc.request_to_json ~id:(Json.Int i)
+                (run_req (src_print (100 + i)))))
+      done;
+      let seen = Hashtbl.create n in
+      for _ = 1 to n do
+        match Client.recv c with
+        | None -> Alcotest.fail "connection closed early"
+        | Some r ->
+          let id = Json.get_int "id" r in
+          let out = Json.get_string "output" (Json.get "result" r) in
+          Hashtbl.replace seen id out
+      done;
+      Client.close c;
+      for i = 1 to n do
+        Alcotest.(check (option string))
+          (Printf.sprintf "response %d pairs with request %d" i i)
+          (Some (Printf.sprintf "%d\n" (100 + i)))
+          (Hashtbl.find_opt seen i)
+      done)
+
+(* ---- failure containment ---- *)
+
+let test_malformed_line_keeps_serving () =
+  with_server (fun _ socket ->
+      let c = Client.connect ~socket in
+      Client.send_line c "this is not json";
+      (match Client.recv c with
+      | Some r ->
+        Alcotest.(check bool) "malformed gets ok=false" true
+          (Json.get "ok" r = Json.Bool false);
+        Alcotest.(check string) "code is bad_request" "bad_request"
+          (Json.get_string "code" (Json.get "error" r))
+      | None -> Alcotest.fail "server dropped the connection");
+      (* same connection still works *)
+      let r = call_ok c (analyze src_free) in
+      Alcotest.(check bool) "valid request after garbage succeeds" true
+        (Json.get "insertions" r <> Json.Null);
+      (* wrong schema tag is also contained *)
+      Client.send_line c
+        {|{"schema":"gofree-rpc-v9","id":1,"method":"stats"}|};
+      (match Client.recv c with
+      | Some r ->
+        Alcotest.(check bool) "wrong protocol version rejected" true
+          (Json.get "ok" r = Json.Bool false)
+      | None -> Alcotest.fail "server dropped the connection");
+      Client.close c;
+      (* and the daemon serves fresh clients *)
+      match Client.call_once ~socket (analyze src_free) with
+      | Ok _ -> ()
+      | Error (code, m) -> Alcotest.failf "daemon wedged: %s %s" code m)
+
+let test_disconnect_mid_request_keeps_serving () =
+  with_server (fun _ socket ->
+      (* fire a request and hang up before the response can be written *)
+      let c = Client.connect ~socket in
+      Client.send_line c
+        (Json.to_string
+           (Rpc.request_to_json ~id:(Json.Int 1) (run_req (src_print 3))));
+      Client.close c;
+      (* a partial line then a hangup must not wedge the reader either *)
+      let c2 = Client.connect ~socket in
+      Client.send_line c2 {|{"schema":"gofree-rpc-v1","id":2,"met|};
+      Client.close c2;
+      (* daemon is still alive and correct *)
+      match Client.call_once ~socket (run_req (src_print 5)) with
+      | Ok r ->
+        Alcotest.(check string) "later client served" "5\n"
+          (Json.get_string "output" r)
+      | Error (code, m) -> Alcotest.failf "daemon wedged: %s %s" code m)
+
+(* ---- shutdown ---- *)
+
+let test_shutdown_drains () =
+  let socket = fresh_socket () in
+  let t = Server.start ~socket () in
+  let c = Client.connect ~socket in
+  let n = 4 in
+  for i = 1 to n do
+    Client.send_line c
+      (Json.to_string
+         (Rpc.request_to_json ~id:(Json.Int i) (run_req (src_print i))))
+  done;
+  (* wait until the daemon has decoded all four (they may still be
+     queued or running) — decoded requests are what drain guarantees *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let decoded () =
+    match Client.call_once ~socket Rpc.Stats with
+    | Ok s ->
+      (match Json.member "run" (Json.get "by_method" (Json.get "requests" s)) with
+      | Some (Json.Int k) -> k >= n
+      | _ -> false)
+    | Error _ -> false
+  in
+  while (not (decoded ())) && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  (* shutdown from a second connection while those are in flight *)
+  (match Client.call_once ~socket Rpc.Shutdown with
+  | Ok r ->
+    Alcotest.(check bool) "shutdown acknowledged" true
+      (Json.get "stopping" r = Json.Bool true)
+  | Error (code, m) -> Alcotest.failf "shutdown refused: %s %s" code m);
+  (* every accepted request is still answered (ok or shutting_down) *)
+  let answered = ref 0 in
+  (try
+     for _ = 1 to n do
+       match Client.recv c with
+       | Some _ -> incr answered
+       | None -> raise Exit
+     done
+   with Exit | Client.Error _ -> ());
+  Client.close c;
+  Server.wait t;
+  Alcotest.(check int) "all in-flight requests answered" n !answered;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+let test_stats_counters () =
+  with_server (fun _ socket ->
+      let c = Client.connect ~socket in
+      ignore (call_ok c (analyze src_free));
+      ignore (call_ok c (analyze src_free));
+      Client.send_line c "garbage";
+      ignore (Client.recv c);
+      (match Client.call c (analyze "func main( {}") with
+      | Ok _ -> Alcotest.fail "garbage source compiled"
+      | Error (code, _) ->
+        Alcotest.(check string) "compile failure code" "compile_error" code);
+      let s = call_ok c Rpc.Stats in
+      Client.close c;
+      let req = Json.get "requests" s in
+      Alcotest.(check bool) "served counted" true
+        (Json.get_int "served" req >= 3);
+      Alcotest.(check int) "malformed counted" 1
+        (Json.get_int "malformed" req);
+      (* the bad_request reply to the garbage line is itself an error
+         response, so two errors: one malformed, one compile failure *)
+      Alcotest.(check int) "errors counted" 2 (Json.get_int "errors" req);
+      let cache = Json.get "cache" s in
+      Alcotest.(check bool) "one resident hit" true
+        (Json.get_int "hits" cache >= 1);
+      Alcotest.(check bool) "hit ratio in range" true
+        (let r = Json.get_float "hit_ratio" cache in
+         r > 0.0 && r <= 1.0))
+
+let suite =
+  [
+    Alcotest.test_case "analyze round-trip" `Quick test_analyze_roundtrip;
+    Alcotest.test_case "run round-trip" `Quick test_run_roundtrip;
+    Alcotest.test_case "warm cache skips analysis" `Quick
+      test_warm_cache_skips_analysis;
+    Alcotest.test_case "build resident cache byte-identical" `Quick
+      test_build_resident_cache;
+    Alcotest.test_case "concurrent clients isolated" `Quick
+      test_concurrent_clients_isolated;
+    Alcotest.test_case "pipelined ids correlate" `Quick
+      test_pipelined_ids_correlate;
+    Alcotest.test_case "malformed line keeps serving" `Quick
+      test_malformed_line_keeps_serving;
+    Alcotest.test_case "disconnect mid-request keeps serving" `Quick
+      test_disconnect_mid_request_keeps_serving;
+    Alcotest.test_case "shutdown drains in-flight work" `Quick
+      test_shutdown_drains;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+  ]
