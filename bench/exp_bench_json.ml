@@ -111,6 +111,7 @@ let run ~options () =
         ("scale_pct", Json.Int options.scale);
         ("seed", Json.Int options.seed);
         ("workloads", Json.List workloads);
+        ("incremental", Exp_incremental.measure ~options ());
       ]
   in
   let oc = open_out "BENCH_gofree.json" in

@@ -194,6 +194,31 @@ let analyze_file ?config (path : string) : (compilation, error) result =
 let insertions (c : compilation) : insertion list =
   insertions_of_list c.cc_compiled.Gofree_core.Pipeline.c_inserted
 
+(** One analysis unit (call-graph SCC) of a compilation or build, with
+    the content key the incremental caches are keyed by. *)
+type analysis_unit = {
+  au_functions : string list;  (** the unit's functions, unit order *)
+  au_key : string;  (** content key (bodies ⊕ callee summaries ⊕ config) *)
+  au_cached : bool;  (** replayed from a unit cache, not analyzed *)
+}
+
+let units_of_reports (units : Gofree_escape.Analysis.unit_report list) :
+    analysis_unit list =
+  List.map
+    (fun (u : Gofree_escape.Analysis.unit_report) ->
+      {
+        au_functions = u.Gofree_escape.Analysis.ur_funcs;
+        au_key = u.Gofree_escape.Analysis.ur_key;
+        au_cached = u.Gofree_escape.Analysis.ur_cached;
+      })
+    units
+
+(** The compilation's analysis units in bottom-up solve order. *)
+let compilation_units (c : compilation) : analysis_unit list =
+  units_of_reports
+    c.cc_compiled.Gofree_core.Pipeline.c_analysis
+      .Gofree_escape.Analysis.units
+
 let function_names (c : compilation) : string list =
   List.map
     (fun (f : Minigo.Tast.func) -> f.Minigo.Tast.f_name)
@@ -313,15 +338,23 @@ type build = {
 
 type build_stats = Gofree_build.Driver.stats
 
+(** The driver's function-granular cache interface, re-exported so the
+    daemon can layer its resident unit table over the on-disk cache. *)
+type unit_cache = Gofree_build.Driver.unit_cache
+
 (** Build the multi-package tree rooted at [dir] (incremental through
-    the on-disk summary store, parallel analysis on [jobs] domains). *)
+    the on-disk summary store layered over function-granular unit
+    records, parallel analysis on [jobs] domains).  [unit_cache]
+    defaults to the on-disk unit cache under the tree's cache
+    directory. *)
 let build_dir ?(config = Gofree_core.Config.gofree) ?cache_dir ?(jobs = 0)
-    ?(force = false) (dir : string) : (build, error) result =
+    ?(force = false) ?unit_cache (dir : string) : (build, error) result =
   wrap_errors (fun () ->
       {
         bb_config = config;
         bb_result =
-          Gofree_build.Driver.build ~config ?cache_dir ~jobs ~force dir;
+          Gofree_build.Driver.build ~config ?cache_dir ~jobs ~force
+            ?unit_cache dir;
       })
 
 let build_stats (b : build) : build_stats =
@@ -340,6 +373,13 @@ let build_cache_counts (b : build) : int * int =
   let st = b.bb_result.Gofree_build.Driver.b_stats in
   ( List.length st.Gofree_build.Driver.bs_pkgs,
     st.Gofree_build.Driver.bs_hits )
+
+(** Unit-level cache traffic of the build: (units replayed from the
+    unit cache, units actually analyzed). *)
+let build_unit_counts (b : build) : int * int =
+  let st = b.bb_result.Gofree_build.Driver.b_stats in
+  ( st.Gofree_build.Driver.bs_unit_hits,
+    st.Gofree_build.Driver.bs_unit_misses )
 
 (** Execute a linked build under the decisions its per-package analyses
     (or their cached summaries) produced. *)
@@ -362,13 +402,11 @@ let run_build ?(options = default_run_options) (b : build) :
 (* Content hashing (for callers that cache across requests)          *)
 (* ---------------------------------------------------------------- *)
 
+(* [Config.signature] is exhaustive over the record, so a config field
+   missing from the cache keys is a compile error there, not a silent
+   aliasing bug here. *)
 let config_signature (c : config) =
-  Printf.sprintf "v%d tcfree=%b targets=%s ipa=%b backprop=%b" api_version
-    c.Gofree_core.Config.insert_tcfree
-    (match c.Gofree_core.Config.targets with
-    | Gofree_core.Config.Slices_and_maps -> "slices+maps"
-    | Gofree_core.Config.All_pointers -> "all")
-    c.Gofree_core.Config.ipa c.Gofree_core.Config.backprop
+  Printf.sprintf "v%d %s" api_version (Gofree_core.Config.signature c)
 
 (** Content hash of one source under [config] — the key of the daemon's
     resident compilation cache. *)

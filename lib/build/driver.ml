@@ -11,18 +11,27 @@
       recorded tcfree insertions, otherwise analyze the package against
       its dependencies' {e stored summaries} (paper §4.4: a callee's
       extended parameter tag is all a caller needs) — packages within a
-      wave are independent and run on parallel {!Domain}s;
+      wave are independent and run on parallel {!Domain}s, and {e
+      within} a package the analysis solves call-graph SCC units on a
+      shared worker pool ({!Gofree_sched.Pool});
+    + on a package-level miss, consult the {e function-granular} unit
+      cache: units whose content key (bodies ⊕ callee summary contents ⊕
+      config) is unchanged replay their recorded insertions and
+      decisions instead of re-analyzing, so one edited function
+      re-solves only its own SCC plus the units whose callee-summary
+      contents actually changed;
     + link everything into one {!Tast.program} plus the runtime's
       stack/heap and boxing decision arrays.
 
     The import graph is acyclic, so per-package analysis seeded with
     callee summaries computes exactly what the whole-program SCC order
     would: insertion sites and runtime metrics match a single-file
-    compile of the same declarations. *)
+    compile of the same declarations — cached or not, parallel or not. *)
 
 open Minigo
 module E = Gofree_escape
 module Core = Gofree_core
+module Pool = Gofree_sched.Pool
 
 exception Error of string
 
@@ -38,12 +47,16 @@ type pkg_report = {
   pr_ms : float;  (** analysis time; 0 for cache hits *)
   pr_nfuncs : int;
   pr_nsummaries : int;
+  pr_units : int;  (** analysis units (call-graph SCCs); 0 on pkg hits *)
+  pr_unit_hits : int;  (** units replayed from the unit cache *)
 }
 
 type stats = {
   bs_pkgs : pkg_report list;  (** topological order *)
   bs_hits : int;
   bs_misses : int;
+  bs_unit_hits : int;  (** units replayed instead of re-analyzed *)
+  bs_unit_misses : int;  (** units actually analyzed *)
   bs_jobs : int;
   bs_total_ms : float;
 }
@@ -60,16 +73,189 @@ let now_ms () = Unix.gettimeofday () *. 1000.
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* ------------------------------------------------------------------ *)
+(* Function-granular unit cache                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Where unit records live between builds.  The driver only ever asks
+    two things: a record by (package, content key) and "here is the
+    package's complete current record set".  The daemon layers its
+    resident table over the disk implementation through this same
+    interface. *)
+type unit_cache = {
+  uc_lookup : pkg:string -> key:string -> Store.unit_record option;
+  uc_commit : pkg:string -> Store.unit_record list -> unit;
+}
+
+(** Always misses, never stores: a build with package-level caching
+    only (what the driver did before unit records existed). *)
+let no_unit_cache =
+  { uc_lookup = (fun ~pkg:_ ~key:_ -> None); uc_commit = (fun ~pkg:_ _ -> ()) }
+
+(** The on-disk unit cache: [<dir>/<pkg>.units], loaded lazily once per
+    package and replaced wholesale on commit.  Thread-safe — package
+    schedulers on different domains share one instance per build. *)
+let disk_unit_cache ~dir : unit_cache =
+  let mutex = Mutex.create () in
+  let loaded : (string, (string, Store.unit_record) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let table pkg =
+    match Hashtbl.find_opt loaded pkg with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 16 in
+      (match Store.load_units ~dir ~pkg with
+      | Some records ->
+        List.iter (fun (r : Store.unit_record) ->
+            Hashtbl.replace t r.Store.u_key r)
+          records
+      | None -> ());
+      Hashtbl.replace loaded pkg t;
+      t
+  in
+  {
+    uc_lookup =
+      (fun ~pkg ~key ->
+        Mutex.lock mutex;
+        let r = Hashtbl.find_opt (table pkg) key in
+        Mutex.unlock mutex;
+        r);
+    uc_commit =
+      (fun ~pkg records ->
+        Mutex.lock mutex;
+        let t = Hashtbl.create 16 in
+        List.iter
+          (fun (r : Store.unit_record) -> Hashtbl.replace t r.Store.u_key r)
+          records;
+        Hashtbl.replace loaded pkg t;
+        (try Store.save_units ~dir ~pkg records
+         with Sys_error _ -> ());
+        Mutex.unlock mutex);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-package analysis                                                *)
+(* ------------------------------------------------------------------ *)
+
+type pkg_outcome = {
+  po_entry : Store.entry;
+  po_inserted : Core.Instrument.inserted list;
+  po_records : Store.unit_record list;  (** complete set, unit order *)
+  po_units : int;
+  po_unit_hits : int;
+  po_ms : float;
+}
+
+(* First variable id of each function (over params and every declaration)
+   and first site id of each function: the bases the unit records'
+   function-relative ids are stored against.  Stable per function as
+   long as its body is unchanged — which the unit's body hash
+   guarantees — even when other functions in the package change size. *)
+let func_bases (tp : Tast.program) =
+  let min_var = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Tast.func) ->
+      match Core.Instrument.func_vars f with
+      | [] -> ()
+      | vars ->
+        Hashtbl.replace min_var f.Tast.f_name
+          (List.fold_left
+             (fun acc (v : Tast.var) -> min acc v.Tast.v_id)
+             max_int vars))
+    tp.Tast.p_funcs;
+  let min_site = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Tast.alloc_site) ->
+      match Hashtbl.find_opt min_site s.Tast.site_func with
+      | Some m when m <= s.Tast.site_id -> ()
+      | _ -> Hashtbl.replace min_site s.Tast.site_func s.Tast.site_id)
+    tp.Tast.p_sites;
+  (min_var, min_site)
+
 (* Analyze one package against its dependencies' summaries and compress
-   the outcome into a store entry.  Runs on a worker domain: everything
-   it touches (its own typed program, the read-only tenv, the imported
-   summary list) is either private or immutable during the wave. *)
+   the outcome into a store entry plus per-unit records.  Runs on a
+   worker domain: everything it touches (its own typed program, the
+   read-only tenv, the imported summary list) is either private or
+   immutable during the wave; the unit cache and the shared pool are
+   thread-safe. *)
 let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
-    (tp : Tast.program) : Store.entry * Core.Instrument.inserted list * float
-    =
+    ~pool ~(lookup : pkg:string -> key:string -> Store.unit_record option)
+    (tp : Tast.program) : pkg_outcome =
   let t0 = now_ms () in
-  let compiled = Core.Pipeline.compile_program ~config ~imported tp in
-  let analysis = compiled.Core.Pipeline.c_analysis in
+  let min_var, min_site = func_bases tp in
+  let var_base fn = Hashtbl.find min_var fn in
+  let site_base fn = Hashtbl.find min_site fn in
+  (* Records whose key matched this run, stashed at lookup time so the
+     assembly below can replay them. *)
+  let hit_records : (string, Store.unit_record) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let unit_lookup ~key:ukey ~funcs =
+    match lookup ~pkg:name ~key:ukey with
+    | Some r when r.Store.u_funcs = funcs ->
+      Hashtbl.replace hit_records ukey r;
+      if Trace.enabled () then
+        Trace.instant
+          ~args:
+            [ ("pkg", Json.Str name);
+              ("funcs", Json.Str (String.concat "," funcs)) ]
+          ~tid:(Trace.domain_tid ()) "unit hit";
+      Some r.Store.u_summaries
+    | _ ->
+      if Trace.enabled () then
+        Trace.instant
+          ~args:
+            [ ("pkg", Json.Str name);
+              ("funcs", Json.Str (String.concat "," funcs)) ]
+          ~tid:(Trace.domain_tid ()) "unit miss";
+      None
+  in
+  let analysis =
+    Core.Pipeline.analyze_program ~config ~imported ?pool ~unit_lookup tp
+  in
+  (* Which functions came out of the unit cache (no func_result). *)
+  let cached_func : (string, Store.unit_record) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (ur : E.Analysis.unit_report) ->
+      if ur.E.Analysis.ur_cached then begin
+        let r = Hashtbl.find hit_records ur.E.Analysis.ur_key in
+        List.iter
+          (fun fn -> Hashtbl.replace cached_func fn r)
+          ur.E.Analysis.ur_funcs
+      end)
+    analysis.E.Analysis.units;
+  (* Instrument in declaration order: analyzed functions run the real
+     instrumentation, cached ones replay their recorded frees shifted
+     onto this build's id base — same placement rules, same result. *)
+  let inserted_by_func : (string, Core.Instrument.inserted list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let inserted =
+    Trace.with_span ~tid:(Trace.domain_tid ()) "instrument" (fun () ->
+        List.concat_map
+          (fun (f : Tast.func) ->
+            let fn = f.Tast.f_name in
+            let ins =
+              match Hashtbl.find_opt cached_func fn with
+              | Some r ->
+                let frees =
+                  List.filter_map
+                    (fun (func, rel, kind) ->
+                      if func = fn then Some (var_base fn + rel, kind)
+                      else None)
+                    r.Store.u_frees
+                in
+                if frees = [] then []
+                else Core.Instrument.replay_function f frees
+              | None -> Core.Instrument.instrument_function analysis config f
+            in
+            Hashtbl.replace inserted_by_func fn ins;
+            ins)
+          tp.Tast.p_funcs)
+  in
   let own_summaries =
     List.filter_map
       (fun (f : Tast.func) ->
@@ -82,14 +268,28 @@ let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
         ( i.Core.Instrument.ins_func,
           i.Core.Instrument.ins_var.Tast.v_id - base_var,
           i.Core.Instrument.ins_kind ))
-      compiled.Core.Pipeline.c_inserted
+      inserted
   in
   let site_heap =
     List.map
       (fun (s : Tast.alloc_site) ->
-        E.Analysis.site_is_heap analysis ~func:s.Tast.site_func s)
+        match Hashtbl.find_opt cached_func s.Tast.site_func with
+        | Some r -> begin
+          let fn = s.Tast.site_func in
+          let rel = s.Tast.site_id - site_base fn in
+          match
+            List.find_opt
+              (fun (func, r2, _) -> func = fn && r2 = rel)
+              r.Store.u_sites
+          with
+          | Some (_, _, heap) -> heap
+          | None -> true  (* unknown to the record: stay conservative *)
+        end
+        | None -> E.Analysis.site_is_heap analysis ~func:s.Tast.site_func s)
       tp.Tast.p_sites
   in
+  (* Boxed variables, package-relative: analyzed functions from the live
+     graphs, cached ones from their records. *)
   let boxed = ref [] in
   Hashtbl.iter
     (fun _ (fr : E.Analysis.func_result) ->
@@ -99,11 +299,18 @@ let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
           | E.Loc.Kvar v
             when v.Tast.v_kind <> Tast.Vglobal && l.E.Loc.heap_alloc ->
             let rel = var_id - base_var in
-            if rel >= 0 && rel < nvars && not (List.mem rel !boxed) then
-              boxed := rel :: !boxed
+            if rel >= 0 && rel < nvars then boxed := rel :: !boxed
           | _ -> ())
         fr.E.Analysis.fr_ctx.E.Build.var_locs)
     analysis.E.Analysis.funcs;
+  Hashtbl.iter
+    (fun fn (r : Store.unit_record) ->
+      List.iter
+        (fun (func, rel) ->
+          if func = fn then
+            boxed := (var_base fn + rel - base_var) :: !boxed)
+        r.Store.u_boxed)
+    cached_func;
   let entry =
     {
       Store.e_pkg = name;
@@ -113,16 +320,94 @@ let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
       e_summaries = own_summaries;
       e_frees = frees;
       e_site_heap = site_heap;
-      e_var_boxed = List.sort compare !boxed;
+      e_var_boxed = List.sort_uniq compare !boxed;
     }
   in
-  (entry, compiled.Core.Pipeline.c_inserted, now_ms () -. t0)
+  (* Unit records: hits pass through unchanged, misses are compressed
+     from the fresh analysis — together the package's complete set. *)
+  let records =
+    List.map
+      (fun (ur : E.Analysis.unit_report) ->
+        if ur.E.Analysis.ur_cached then
+          Hashtbl.find hit_records ur.E.Analysis.ur_key
+        else begin
+          let funcs = ur.E.Analysis.ur_funcs in
+          let u_summaries =
+            List.filter_map
+              (fun fn -> Hashtbl.find_opt analysis.E.Analysis.summaries fn)
+              funcs
+          in
+          let u_frees =
+            List.concat_map
+              (fun fn ->
+                List.map
+                  (fun (i : Core.Instrument.inserted) ->
+                    ( fn,
+                      i.Core.Instrument.ins_var.Tast.v_id - var_base fn,
+                      i.Core.Instrument.ins_kind ))
+                  (try Hashtbl.find inserted_by_func fn
+                   with Not_found -> []))
+              funcs
+          in
+          let u_sites =
+            List.filter_map
+              (fun (s : Tast.alloc_site) ->
+                let fn = s.Tast.site_func in
+                if List.mem fn funcs then
+                  Some
+                    ( fn,
+                      s.Tast.site_id - site_base fn,
+                      E.Analysis.site_is_heap analysis ~func:fn s )
+                else None)
+              tp.Tast.p_sites
+          in
+          let u_boxed =
+            List.concat_map
+              (fun fn ->
+                match Hashtbl.find_opt analysis.E.Analysis.funcs fn with
+                | None -> []
+                | Some fr ->
+                  let acc = ref [] in
+                  Hashtbl.iter
+                    (fun var_id (l : E.Loc.t) ->
+                      match l.E.Loc.kind with
+                      | E.Loc.Kvar v
+                        when v.Tast.v_kind <> Tast.Vglobal
+                             && l.E.Loc.heap_alloc ->
+                        acc := (fn, var_id - var_base fn) :: !acc
+                      | _ -> ())
+                    fr.E.Analysis.fr_ctx.E.Build.var_locs;
+                  List.sort_uniq compare !acc)
+              funcs
+          in
+          { Store.u_key = ur.E.Analysis.ur_key; u_funcs = funcs;
+            u_summaries; u_frees; u_sites; u_boxed }
+        end)
+      analysis.E.Analysis.units
+  in
+  let unit_hits =
+    List.length
+      (List.filter
+         (fun (ur : E.Analysis.unit_report) -> ur.E.Analysis.ur_cached)
+         analysis.E.Analysis.units)
+  in
+  {
+    po_entry = entry;
+    po_inserted = inserted;
+    po_records = records;
+    po_units = List.length analysis.E.Analysis.units;
+    po_unit_hits = unit_hits;
+    po_ms = now_ms () -. t0;
+  }
 
 (** Build the multi-package tree rooted at [root].  [jobs = 0] (the
-    default) picks a worker count from the machine; [force] ignores the
-    cache.  Raises {!Error} (or {!Loader.Error}) on build problems. *)
+    default) picks a worker count from the machine; [force] ignores both
+    cache levels (package entries and unit records) while still
+    refreshing them.  [unit_cache] defaults to the on-disk cache under
+    [cache_dir]; pass {!no_unit_cache} for package-level caching only.
+    Raises {!Error} (or {!Loader.Error}) on build problems. *)
 let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
-    ?(force = false) (root : string) : result =
+    ?(force = false) ?unit_cache (root : string) : result =
   let t_start = now_ms () in
   let pkgs =
     Trace.with_span ~tid:(Trace.domain_tid ()) "load" (fun () ->
@@ -134,6 +419,16 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
     | None -> Filename.concat root ".gofree-cache"
   in
   let jobs = if jobs > 0 then jobs else default_jobs () in
+  let unit_cache =
+    match unit_cache with
+    | Some uc -> uc
+    | None -> disk_unit_cache ~dir:cache_dir
+  in
+  (* force = cold: no lookups on either level, but commits still refresh
+     both caches for the next build. *)
+  let lookup =
+    if force then fun ~pkg:_ ~key:_ -> None else unit_cache.uc_lookup
+  in
   let wave_list =
     try
       Pkg_graph.waves
@@ -200,10 +495,19 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
           Hashtbl.replace cached name e
         | _ -> ())
       order;
+  (* One worker pool for the whole build: package schedulers (bucket
+     domains, below) fan their ready analysis units out to it.  Workers
+     never submit, so a full queue cannot deadlock. *)
+  let pool =
+    if jobs > 1 then Some (Pool.create ~workers:jobs ()) else None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool)
+  @@ fun () ->
   (* -------- per-wave analysis; misses run on parallel domains ------- *)
   let entries = Hashtbl.create 8 in
   let inserted = Hashtbl.create 8 in
   let times = Hashtbl.create 8 in
+  let unit_counts = Hashtbl.create 8 in  (* name -> (units, unit hits) *)
   let wave_of = Hashtbl.create 8 in
   List.iteri
     (fun wave_idx wave ->
@@ -256,7 +560,8 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
           in
           Hashtbl.replace entries name e;
           Hashtbl.replace inserted name ins;
-          Hashtbl.replace times name 0.)
+          Hashtbl.replace times name 0.;
+          Hashtbl.replace unit_counts name (0, 0))
         hits;
       (* Misses: capture every input in the parent so worker domains
          share nothing mutable, then fan out. *)
@@ -279,11 +584,11 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
                 ~tid:(Trace.domain_tid ())
                 ("analyze:" ^ name)
                 (fun () ->
-                  let entry, ins, ms =
+                  let outcome =
                     analyze_package ~config ~key ~name ~base_var ~nvars
-                      ~nsites ~imported tp
+                      ~nsites ~imported ~pool ~lookup tp
                   in
-                  (name, entry, ins, ms)))
+                  (name, outcome)))
           misses
       in
       let results =
@@ -312,11 +617,13 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
         end
       in
       List.iter
-        (fun (name, entry, ins, ms) ->
-          Store.save ~dir:cache_dir entry;
-          Hashtbl.replace entries name entry;
-          Hashtbl.replace inserted name ins;
-          Hashtbl.replace times name ms)
+        (fun (name, (o : pkg_outcome)) ->
+          Store.save ~dir:cache_dir o.po_entry;
+          unit_cache.uc_commit ~pkg:name o.po_records;
+          Hashtbl.replace entries name o.po_entry;
+          Hashtbl.replace inserted name o.po_inserted;
+          Hashtbl.replace times name o.po_ms;
+          Hashtbl.replace unit_counts name (o.po_units, o.po_unit_hits))
         results;
       Trace.end_span ~tid:(Trace.domain_tid ())
         (Printf.sprintf "wave %d" wave_idx))
@@ -361,6 +668,7 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
   let reports =
     List.map
       (fun name ->
+        let units, unit_hits = Hashtbl.find unit_counts name in
         {
           pr_name = name;
           pr_wave = Hashtbl.find wave_of name;
@@ -370,10 +678,19 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
             List.length (Hashtbl.find tprogs name).Tast.p_funcs;
           pr_nsummaries =
             List.length (Hashtbl.find entries name).Store.e_summaries;
+          pr_units = units;
+          pr_unit_hits = unit_hits;
         })
       order
   in
   let hits = List.length (List.filter (fun r -> r.pr_cached) reports) in
+  let unit_hits =
+    List.fold_left (fun acc r -> acc + r.pr_unit_hits) 0 reports
+  in
+  let unit_misses =
+    List.fold_left (fun acc r -> acc + (r.pr_units - r.pr_unit_hits)) 0
+      reports
+  in
   {
     b_program = linked;
     b_inserted = List.concat_map (fun n -> Hashtbl.find inserted n) order;
@@ -384,6 +701,8 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
         bs_pkgs = reports;
         bs_hits = hits;
         bs_misses = List.length reports - hits;
+        bs_unit_hits = unit_hits;
+        bs_unit_misses = unit_misses;
         bs_jobs = jobs;
         bs_total_ms = now_ms () -. t_start;
       };
@@ -393,17 +712,23 @@ let pp_stats fmt (st : stats) =
   Format.fprintf fmt "@[<v>";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-16s wave %d  %s  %3d func(s)  %d summarie(s)%s@,"
+      Format.fprintf fmt
+        "%-16s wave %d  %s  %3d func(s)  %d summarie(s)%s%s@,"
         r.pr_name r.pr_wave
         (if r.pr_cached then "cached  " else
            Printf.sprintf "%6.1fms" r.pr_ms)
         r.pr_nfuncs r.pr_nsummaries
-        (if r.pr_cached then "  [cache hit]" else ""))
+        (if r.pr_cached then "  [cache hit]"
+         else
+           Printf.sprintf "  [%d/%d unit(s) cached]" r.pr_unit_hits
+             r.pr_units)
+        "")
     st.bs_pkgs;
   Format.fprintf fmt
-    "packages: %d  cache hits: %d  analyzed: %d  jobs: %d  total: %.1fms@]"
-    (List.length st.bs_pkgs) st.bs_hits st.bs_misses st.bs_jobs
-    st.bs_total_ms
+    "packages: %d  cache hits: %d  analyzed: %d  unit hits: %d  units \
+     analyzed: %d  jobs: %d  total: %.1fms@]"
+    (List.length st.bs_pkgs) st.bs_hits st.bs_misses st.bs_unit_hits
+    st.bs_unit_misses st.bs_jobs st.bs_total_ms
 
 (** Build statistics as JSON (schema [gofree-build-stats-v1]) — the
     payload of [gofreec build --stats-json]. *)
@@ -423,10 +748,14 @@ let stats_to_json (st : stats) : Json.t =
                    ("analysis_ms", Json.Float r.pr_ms);
                    ("funcs", Json.Int r.pr_nfuncs);
                    ("summaries", Json.Int r.pr_nsummaries);
+                   ("units", Json.Int r.pr_units);
+                   ("unit_hits", Json.Int r.pr_unit_hits);
                  ])
              st.bs_pkgs) );
       ("cache_hits", Json.Int st.bs_hits);
       ("cache_misses", Json.Int st.bs_misses);
+      ("unit_hits", Json.Int st.bs_unit_hits);
+      ("units_analyzed", Json.Int st.bs_unit_misses);
       ("jobs", Json.Int st.bs_jobs);
       ("total_ms", Json.Float st.bs_total_ms);
     ]

@@ -1,7 +1,9 @@
 (** Incremental, parallel multi-package build driver: topological
     typechecking with threaded id bases, per-package escape analysis
-    against stored dependency summaries (§4.4), content-hash caching,
-    wave-parallel analysis on OCaml domains, and linking into one
+    against stored dependency summaries (§4.4), two-level content-hash
+    caching (package entries over function-granular unit records),
+    wave-parallel analysis on OCaml domains with in-package analysis
+    units fanned out to a shared worker pool, and linking into one
     runnable {!Tast.program}. *)
 
 open Minigo
@@ -16,12 +18,16 @@ type pkg_report = {
   pr_ms : float;  (** analysis time; 0 for cache hits *)
   pr_nfuncs : int;
   pr_nsummaries : int;
+  pr_units : int;  (** analysis units (call-graph SCCs); 0 on pkg hits *)
+  pr_unit_hits : int;  (** units replayed from the unit cache *)
 }
 
 type stats = {
   bs_pkgs : pkg_report list;  (** topological order *)
   bs_hits : int;
   bs_misses : int;
+  bs_unit_hits : int;  (** units replayed instead of re-analyzed *)
+  bs_unit_misses : int;  (** units actually analyzed *)
   bs_jobs : int;
   bs_total_ms : float;
 }
@@ -34,15 +40,34 @@ type result = {
   b_stats : stats;
 }
 
+(** The function-granular cache the driver consults on package-level
+    misses: a record by (package, unit content key), and wholesale
+    replacement of a package's record set after its analysis.  Both
+    must be thread-safe (package schedulers run on parallel domains). *)
+type unit_cache = {
+  uc_lookup : pkg:string -> key:string -> Store.unit_record option;
+  uc_commit : pkg:string -> Store.unit_record list -> unit;
+}
+
+(** Always misses, never stores — package-level caching only. *)
+val no_unit_cache : unit_cache
+
+(** The on-disk cache ([<dir>/<pkg>.units]), lazily loaded, replaced
+    wholesale on commit; thread-safe. *)
+val disk_unit_cache : dir:string -> unit_cache
+
 (** Build the tree rooted at the directory.  [cache_dir] defaults to
     [<root>/.gofree-cache]; [jobs = 0] picks a worker count from the
-    machine; [force] ignores the cache.  Raises {!Error} or
-    {!Loader.Error} on build problems. *)
+    machine; [force] ignores both cache levels while still refreshing
+    them.  [unit_cache] defaults to {!disk_unit_cache} under
+    [cache_dir].  Raises {!Error} or {!Loader.Error} on build
+    problems. *)
 val build :
   ?config:Core.Config.t ->
   ?cache_dir:string ->
   ?jobs:int ->
   ?force:bool ->
+  ?unit_cache:unit_cache ->
   string ->
   result
 

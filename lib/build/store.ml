@@ -43,13 +43,9 @@ type entry = {
 (* Cache keys                                                        *)
 (* ---------------------------------------------------------------- *)
 
-let config_signature (c : Gofree_core.Config.t) =
-  Printf.sprintf "tcfree=%b targets=%s ipa=%b backprop=%b"
-    c.Gofree_core.Config.insert_tcfree
-    (match c.Gofree_core.Config.targets with
-    | Gofree_core.Config.Slices_and_maps -> "slices+maps"
-    | Gofree_core.Config.All_pointers -> "all")
-    c.Gofree_core.Config.ipa c.Gofree_core.Config.backprop
+(* [Config.signature] destructures the record exhaustively, so a new
+   config field that is not part of the cache key fails to compile. *)
+let config_signature = Gofree_core.Config.signature
 
 let key ~(sources : (string * string) list) ~(dep_keys : string list)
     ~(config : Gofree_core.Config.t) : string =
@@ -193,10 +189,184 @@ let of_string (s : string) : (entry, string) result =
   end
 
 (* ---------------------------------------------------------------- *)
+(* Function-granular unit records                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* One record per analysis unit (call-graph SCC), layered {e under} the
+   package entry: a package-level miss can still assemble most of its
+   entry from unit hits, re-analyzing only the units whose content key
+   changed.  Variable and site ids are stored relative to their
+   {e function}'s first id (not the package base): they stay stable even
+   when an earlier function in the same package grows or shrinks. *)
+
+let units_format_version = "gofree-units-v1"
+
+type unit_record = {
+  u_key : string;  (** {!Gofree_escape.Callgraph.unit_key} content key *)
+  u_funcs : string list;  (** the unit's functions, unit order *)
+  u_summaries : E.Summary.t list;
+      (** extended parameter tags; empty when the build ran without IPA *)
+  u_frees : (string * int * Tast.free_kind) list;
+      (** inserted tcfrees: function, function-relative var id, kind *)
+  u_sites : (string * int * bool) list;
+      (** function, function-relative site id, heap decision *)
+  u_boxed : (string * int) list;
+      (** boxed variables: function, function-relative var id *)
+}
+
+let unit_record_to_sexp (u : unit_record) : E.Sexp.t =
+  let atom s = E.Sexp.Atom s in
+  let int n = atom (string_of_int n) in
+  E.Sexp.List
+    [
+      atom "unit";
+      E.Sexp.List [ atom "key"; atom u.u_key ];
+      E.Sexp.List (atom "funcs" :: List.map atom u.u_funcs);
+      E.Sexp.List
+        (atom "summaries" :: List.map E.Summary.to_sexp u.u_summaries);
+      E.Sexp.List
+        (atom "frees"
+        :: List.map
+             (fun (func, rel, kind) ->
+               E.Sexp.List
+                 [ atom "free"; atom func; int rel; atom (kind_atom kind) ])
+             u.u_frees);
+      E.Sexp.List
+        (atom "sites"
+        :: List.map
+             (fun (func, rel, heap) ->
+               E.Sexp.List
+                 [ atom "site"; atom func; int rel;
+                   atom (string_of_bool heap) ])
+             u.u_sites);
+      E.Sexp.List
+        (atom "boxed"
+        :: List.map
+             (fun (func, rel) ->
+               E.Sexp.List [ atom "box"; atom func; int rel ])
+             u.u_boxed);
+    ]
+
+let unit_record_of_sexp (sx : E.Sexp.t) : (unit_record, string) result =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let int_atom = function
+    | E.Sexp.Atom a -> begin
+      match int_of_string_opt a with
+      | Some n -> n
+      | None -> fail "expected an integer, got %s" a
+    end
+    | E.Sexp.List _ -> fail "expected an integer"
+  in
+  let str_atom = function
+    | E.Sexp.Atom a -> a
+    | E.Sexp.List _ -> fail "expected an atom"
+  in
+  match sx with
+  | E.Sexp.List (E.Sexp.Atom "unit" :: fields) -> begin
+    let field name =
+      List.find_map
+        (function
+          | E.Sexp.List (E.Sexp.Atom head :: rest) when head = name ->
+            Some rest
+          | _ -> None)
+        fields
+    in
+    let req name =
+      match field name with
+      | Some rest -> rest
+      | None -> fail "missing (%s ...) in unit" name
+    in
+    match
+      {
+        u_key =
+          (match req "key" with
+          | [ E.Sexp.Atom a ] -> a
+          | _ -> fail "malformed (key ...)");
+        u_funcs = List.map str_atom (req "funcs");
+        u_summaries =
+          List.map
+            (fun sx ->
+              match E.Summary.of_sexp sx with
+              | Ok s -> s
+              | Error m -> fail "bad summary: %s" m)
+            (req "summaries");
+        u_frees =
+          List.map
+            (function
+              | E.Sexp.List
+                  [ E.Sexp.Atom "free"; E.Sexp.Atom func; rel;
+                    E.Sexp.Atom k ] -> begin
+                match kind_of_atom k with
+                | Some kind -> (func, int_atom rel, kind)
+                | None -> fail "bad free kind %s" k
+              end
+              | _ -> fail "malformed free")
+            (req "frees");
+        u_sites =
+          List.map
+            (function
+              | E.Sexp.List
+                  [ E.Sexp.Atom "site"; E.Sexp.Atom func; rel;
+                    E.Sexp.Atom heap ] -> begin
+                match bool_of_string_opt heap with
+                | Some h -> (func, int_atom rel, h)
+                | None -> fail "bad site decision %s" heap
+              end
+              | _ -> fail "malformed site")
+            (req "sites");
+        u_boxed =
+          List.map
+            (function
+              | E.Sexp.List [ E.Sexp.Atom "box"; E.Sexp.Atom func; rel ] ->
+                (func, int_atom rel)
+              | _ -> fail "malformed box")
+            (req "boxed");
+      }
+    with
+    | u -> Ok u
+    | exception Bad m -> Error m
+    | exception Failure m -> Error m
+  end
+  | _ -> Error "expected (unit ...)"
+
+let units_to_string (records : unit_record list) : string =
+  String.concat "\n"
+    (E.Sexp.to_string
+       (E.Sexp.List
+          [ E.Sexp.Atom "format"; E.Sexp.Atom units_format_version ])
+    :: List.map
+         (fun u -> E.Sexp.to_string (unit_record_to_sexp u))
+         records)
+  ^ "\n"
+
+let units_of_string (s : string) : (unit_record list, string) result =
+  match E.Sexp.of_string_many s with
+  | Error m -> Error m
+  | Ok [] -> Error "empty unit file"
+  | Ok (header :: records) -> begin
+    match header with
+    | E.Sexp.List [ E.Sexp.Atom "format"; E.Sexp.Atom v ]
+      when v = units_format_version -> begin
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | sx :: rest -> begin
+          match unit_record_of_sexp sx with
+          | Ok u -> parse (u :: acc) rest
+          | Error m -> Error m
+        end
+      in
+      parse [] records
+    end
+    | _ -> Error "stale unit-file format"
+  end
+
+(* ---------------------------------------------------------------- *)
 (* Files                                                             *)
 (* ---------------------------------------------------------------- *)
 
 let entry_path ~dir ~pkg = Filename.concat dir (pkg ^ ".sum")
+
+let units_path ~dir ~pkg = Filename.concat dir (pkg ^ ".units")
 
 let save ~dir (e : entry) : unit =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -221,6 +391,35 @@ let load ~dir ~pkg : entry option =
       of_string s
     with
     | Ok e -> Some e
+    | Error _ -> None
+    | exception Sys_error _ -> None
+  end
+
+(** Replace the package's stored unit records with [records] (the full
+    set from the latest analysis, so the file never accumulates dead
+    units). *)
+let save_units ~dir ~pkg (records : unit_record list) : unit =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = units_path ~dir ~pkg in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (units_to_string records);
+  close_out oc;
+  Sys.rename tmp path
+
+(** Load a package's unit records; [None] is just "no unit cache". *)
+let load_units ~dir ~pkg : unit_record list option =
+  let path = units_path ~dir ~pkg in
+  if not (Sys.file_exists path) then None
+  else begin
+    match
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      units_of_string s
+    with
+    | Ok records -> Some records
     | Error _ -> None
     | exception Sys_error _ -> None
   end

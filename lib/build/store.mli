@@ -36,3 +36,33 @@ val save : dir:string -> entry -> unit
 
 (** [None] when absent, unreadable or stale-format — all just "miss". *)
 val load : dir:string -> pkg:string -> entry option
+
+(** One record per analysis unit (call-graph SCC), layered {e under}
+    the package entry: a package-level miss assembles its entry from
+    unit hits and re-analyzes only units whose content key changed.
+    Variable/site ids are relative to their {e function}'s first id, so
+    they survive other functions in the package changing size. *)
+type unit_record = {
+  u_key : string;  (** {!Gofree_escape.Callgraph.unit_key} content key *)
+  u_funcs : string list;  (** the unit's functions, unit order *)
+  u_summaries : E.Summary.t list;
+      (** extended parameter tags; empty when the build ran without IPA *)
+  u_frees : (string * int * Tast.free_kind) list;
+      (** inserted tcfrees: function, function-relative var id, kind *)
+  u_sites : (string * int * bool) list;
+      (** function, function-relative site id, heap decision *)
+  u_boxed : (string * int) list;
+      (** boxed variables: function, function-relative var id *)
+}
+
+val units_to_string : unit_record list -> string
+
+val units_of_string : string -> (unit_record list, string) result
+
+val units_path : dir:string -> pkg:string -> string
+
+(** Replace the package's stored unit records with the latest full set. *)
+val save_units : dir:string -> pkg:string -> unit_record list -> unit
+
+(** [None] is just "no unit cache for the package". *)
+val load_units : dir:string -> pkg:string -> unit_record list option

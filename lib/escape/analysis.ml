@@ -15,89 +15,27 @@ type func_result = {
   fr_stats : Propagate.stats;
 }
 
+type unit_report = {
+  ur_id : int;  (** {!Callgraph.unit_def} id, reverse topological *)
+  ur_funcs : string list;  (** the unit's functions, unit order *)
+  ur_key : string;  (** content key the unit was solved (or hit) under *)
+  ur_cached : bool;  (** solved from the unit cache, not analyzed *)
+}
+
 type t = {
   mode : Propagate.mode;
   funcs : (string, func_result) Hashtbl.t;
   summaries : (string, Summary.t) Hashtbl.t;
+  units : unit_report list;  (** reverse topological (solve) order *)
 }
 
 (* ------------------------------------------------------------------ *)
-(* Call graph                                                          *)
+(* Call graph (condensation lives in {!Callgraph})                     *)
 (* ------------------------------------------------------------------ *)
 
-let callees_of (f : Tast.func) : string list =
-  let acc = ref [] in
-  let add name = if not (List.mem name !acc) then acc := name :: !acc in
-  let visit_expr (e : Tast.expr) =
-    match e.Tast.desc with Tast.Tcall (name, _) -> add name | _ -> ()
-  in
-  Tast.iter_stmts
-    (fun s ->
-      (match s with
-      | Tast.Sgo (name, _) | Tast.Sdefer (name, _) -> add name
-      | _ -> ());
-      Tast.iter_stmt_exprs (fun e -> Tast.iter_expr visit_expr e) s)
-    f.Tast.f_body;
-  !acc
+let callees_of = Callgraph.callees_of
 
-(* Tarjan SCC; returns components in reverse topological order (callees
-   before callers). *)
-let scc_order (funcs : Tast.func list) : Tast.func list list =
-  let by_name = Hashtbl.create 16 in
-  List.iter (fun f -> Hashtbl.replace by_name f.Tast.f_name f) funcs;
-  let index = Hashtbl.create 16 in
-  let lowlink = Hashtbl.create 16 in
-  let on_stack = Hashtbl.create 16 in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let components = ref [] in
-  let rec strongconnect name =
-    Hashtbl.replace index name !counter;
-    Hashtbl.replace lowlink name !counter;
-    incr counter;
-    stack := name :: !stack;
-    Hashtbl.replace on_stack name true;
-    (match Hashtbl.find_opt by_name name with
-    | None -> ()
-    | Some f ->
-      List.iter
-        (fun callee ->
-          if Hashtbl.mem by_name callee then
-            if not (Hashtbl.mem index callee) then begin
-              strongconnect callee;
-              Hashtbl.replace lowlink name
-                (min (Hashtbl.find lowlink name)
-                   (Hashtbl.find lowlink callee))
-            end
-            else if Hashtbl.find_opt on_stack callee = Some true then
-              Hashtbl.replace lowlink name
-                (min (Hashtbl.find lowlink name) (Hashtbl.find index callee)))
-        (callees_of f));
-    if Hashtbl.find lowlink name = Hashtbl.find index name then begin
-      let rec pop acc =
-        match !stack with
-        | [] -> acc
-        | top :: rest ->
-          stack := rest;
-          Hashtbl.replace on_stack top false;
-          if String.equal top name then top :: acc else pop (top :: acc)
-      in
-      let comp = pop [] in
-      let comp_funcs =
-        List.filter_map (fun n -> Hashtbl.find_opt by_name n) comp
-      in
-      components := comp_funcs :: !components
-    end
-  in
-  List.iter
-    (fun f -> if not (Hashtbl.mem index f.Tast.f_name) then
-        strongconnect f.Tast.f_name)
-    funcs;
-  (* Tarjan emits components in reverse topological order already
-     (a component is finished only after everything it reaches), so the
-     accumulated list (which reversed them once more) must be reversed
-     back. *)
-  List.rev !components
+let scc_order = Callgraph.condense
 
 (* ------------------------------------------------------------------ *)
 (* Summary extraction                                                  *)
@@ -166,14 +104,37 @@ let extract_summary ?(precise_contents = true) (f : Tast.func)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Mode parameters that change analysis results must feed the unit keys
+   alongside the configuration signature. *)
+let mode_signature mode use_ipa backprop =
+  Printf.sprintf "mode=%s ipa=%b backprop=%b"
+    (match mode with Propagate.Gofree -> "gofree" | Propagate.Go_base -> "go")
+    use_ipa backprop
+
 (** Analyze a whole program.  With [mode = Go_base] the result carries
     only stack/heap decisions (what stock Go computes); with [Gofree] it
     also carries completeness/lifetime properties and ToFree flags.
     [use_ipa = false] keeps every call site on the conservative default
     tag; [backprop = false] disables GoFree's leaf→root rules (unsound —
-    ablation only). *)
+    ablation only).
+
+    The program is solved as analysis units (call-graph SCCs,
+    {!Callgraph}) in bottom-up dependency order.  [unit_lookup] is the
+    function-granular cache: given a unit's content key and function
+    names it may return the unit's stored summaries, in which case the
+    unit is {e not} analyzed (no [func_result]s for its functions) and
+    the summaries are installed for its dependents — callers are
+    expected to replay the unit's recorded insertions/decisions
+    themselves.  [pool] runs independent ready units on worker domains;
+    the calling thread acts as the scheduler and is the only submitter
+    (workers never submit, so a full queue cannot deadlock).  Results
+    are deterministic and identical across sequential, parallel, cached
+    and uncached runs: in-SCC calls use default tags and a unit's
+    summaries are published only after the whole unit, exactly as the
+    monolithic solver did. *)
 let analyze ?(mode = Propagate.Gofree) ?(use_ipa = true) ?(backprop = true)
-    ?(imported = []) (p : Tast.program) : t =
+    ?(imported = []) ?(config_sig = "") ?pool ?unit_lookup
+    (p : Tast.program) : t =
   let summaries = Hashtbl.create 16 in
   (* Seed the table with the stored tags of already-analyzed packages:
      calls into an imported function then resolve exactly as they would
@@ -184,44 +145,167 @@ let analyze ?(mode = Propagate.Gofree) ?(use_ipa = true) ?(backprop = true)
       (fun (s : Summary.t) -> Hashtbl.replace summaries s.Summary.s_name s)
       imported;
   let funcs = Hashtbl.create 16 in
-  let components = scc_order p.Tast.p_funcs in
-  List.iter
-    (fun component ->
-      (* Functions within one SCC see default tags for in-SCC calls
-         (their summaries are published only after the component). *)
-      let results =
-        List.map
-          (fun f ->
-            let tid = Gofree_obs.Trace.domain_tid () in
-            let ctx =
-              Gofree_obs.Trace.with_span ~tid
-                ("build:" ^ f.Tast.f_name)
-                (fun () ->
-                  Build.build_function ~tenv:p.Tast.p_tenv ~summaries f)
-            in
-            (* completeness, outlived and points-to propagation run fused
-               inside one walkall pass, so a single span covers them *)
-            let stats =
-              Gofree_obs.Trace.with_span ~tid ("walk:" ^ f.Tast.f_name)
-                (fun () -> Propagate.walkall ~mode ~backprop ctx.Build.g)
-            in
-            (f, ctx, stats))
-          component
-      in
-      List.iter
-        (fun (f, ctx, stats) ->
-          Hashtbl.replace funcs f.Tast.f_name
-            { fr_func = f; fr_ctx = ctx; fr_stats = stats };
+  let cg = Callgraph.build p.Tast.p_funcs in
+  let nunits = Array.length cg.Callgraph.cg_units in
+  let reports = Array.make nunits None in
+  let msig = mode_signature mode use_ipa backprop in
+  (* Key of a unit; callable only once every dependency's summaries are
+     published (deps precede the unit in reverse topological order). *)
+  let key_of u =
+    Callgraph.unit_key ~config_sig ~mode_sig:msig
+      ~callee_summary:(fun name ->
+        if not use_ipa then None
+        else
+          Option.map Summary.to_string (Hashtbl.find_opt summaries name))
+      u
+  in
+  (* Analyze one unit against [tbl] (the summary view it may read).
+     Functions within one SCC see default tags for in-SCC calls (their
+     summaries are published only after the unit). *)
+  let solve_unit tbl (u : Callgraph.unit_def) =
+    List.map
+      (fun (f : Tast.func) ->
+        let tid = Gofree_obs.Trace.domain_tid () in
+        let ctx =
+          Gofree_obs.Trace.with_span ~tid
+            ("build:" ^ f.Tast.f_name)
+            (fun () ->
+              Build.build_function ~tenv:p.Tast.p_tenv ~summaries:tbl f)
+        in
+        (* completeness, outlived and points-to propagation run fused
+           inside one walkall pass, so a single span covers them *)
+        let stats =
+          Gofree_obs.Trace.with_span ~tid ("walk:" ^ f.Tast.f_name)
+            (fun () -> Propagate.walkall ~mode ~backprop ctx.Build.g)
+        in
+        (* Go's own parameter tags exist in both modes; only their
+           content-tag refinement is GoFree-specific. *)
+        let summary =
           if use_ipa then
-            (* Go's own parameter tags exist in both modes; only their
-               content-tag refinement is GoFree-specific. *)
-            Hashtbl.replace summaries f.Tast.f_name
+            Some
               (extract_summary
                  ~precise_contents:(mode = Propagate.Gofree)
-                 f ctx))
-        results)
-    components;
-  { mode; funcs; summaries }
+                 f ctx)
+          else None
+        in
+        (f, ctx, stats, summary))
+      u.Callgraph.u_funcs
+  in
+  let install results =
+    List.iter
+      (fun ((f : Tast.func), ctx, stats, summary) ->
+        Hashtbl.replace funcs f.Tast.f_name
+          { fr_func = f; fr_ctx = ctx; fr_stats = stats };
+        Option.iter
+          (fun s -> Hashtbl.replace summaries f.Tast.f_name s)
+          summary)
+      results
+  in
+  let try_cache (u : Callgraph.unit_def) key =
+    match unit_lookup with
+    | None -> false
+    | Some lookup -> begin
+      match lookup ~key ~funcs:(Callgraph.unit_names u) with
+      | None -> false
+      | Some stored ->
+        if use_ipa then
+          List.iter
+            (fun (s : Summary.t) ->
+              Hashtbl.replace summaries s.Summary.s_name s)
+            stored;
+        true
+    end
+  in
+  let report (u : Callgraph.unit_def) key cached =
+    reports.(u.Callgraph.u_id) <-
+      Some
+        {
+          ur_id = u.Callgraph.u_id;
+          ur_funcs = Callgraph.unit_names u;
+          ur_key = key;
+          ur_cached = cached;
+        }
+  in
+  (match pool with
+  | None ->
+    (* Sequential bottom-up solve: byte-for-byte the monolithic order. *)
+    Array.iter
+      (fun u ->
+        let key = key_of u in
+        let cached = try_cache u key in
+        if not cached then install (solve_unit summaries u);
+        report u key cached)
+      cg.Callgraph.cg_units
+  | Some pool ->
+    (* Dependency-counting scheduler.  This thread owns [ready] and is
+       the only pool submitter; worker jobs publish results and wake it
+       via [cond].  Workers read a per-unit snapshot of the summary
+       table taken under the lock, never the live table. *)
+    let mutex = Mutex.create () in
+    let cond = Condition.create () in
+    let pending =
+      Array.map (fun u -> List.length u.Callgraph.u_deps) cg.Callgraph.cg_units
+    in
+    let failures = ref [] in
+    let ready = Queue.create () in
+    let completed = ref 0 in
+    Array.iter
+      (fun (u : Callgraph.unit_def) ->
+        if pending.(u.Callgraph.u_id) = 0 then
+          Queue.push u.Callgraph.u_id ready)
+      cg.Callgraph.cg_units;
+    (* with the lock held *)
+    let complete uid =
+      incr completed;
+      List.iter
+        (fun d ->
+          pending.(d) <- pending.(d) - 1;
+          if pending.(d) = 0 then Queue.push d ready)
+        cg.Callgraph.cg_units.(uid).Callgraph.u_dependents;
+      Condition.broadcast cond
+    in
+    Mutex.lock mutex;
+    while !completed < nunits do
+      if Queue.is_empty ready then Condition.wait cond mutex
+      else begin
+        let uid = Queue.pop ready in
+        let u = cg.Callgraph.cg_units.(uid) in
+        let key = key_of u in
+        let cached = try_cache u key in
+        report u key cached;
+        if cached then complete uid
+        else begin
+          let snapshot = Hashtbl.copy summaries in
+          Mutex.unlock mutex;
+          let job () =
+            let outcome =
+              try Ok (solve_unit snapshot u) with e -> Error e
+            in
+            Mutex.lock mutex;
+            (match outcome with
+            | Ok results -> install results
+            | Error e -> failures := e :: !failures);
+            complete uid;
+            Mutex.unlock mutex
+          in
+          (* [submit] only refuses while shutting down, which a build
+             never does mid-analysis; run inline rather than hang. *)
+          if not (Gofree_sched.Pool.submit pool job) then job ();
+          Mutex.lock mutex
+        end
+      end
+    done;
+    let failed = !failures in
+    Mutex.unlock mutex;
+    (match failed with e :: _ -> raise e | [] -> ()));
+  {
+    mode;
+    funcs;
+    summaries;
+    units =
+      Array.to_list reports
+      |> List.map (function Some r -> r | None -> assert false);
+  }
 
 let func_result t name = Hashtbl.find_opt t.funcs name
 

@@ -10,16 +10,25 @@ type func_result = {
   fr_stats : Propagate.stats;
 }
 
+type unit_report = {
+  ur_id : int;  (** {!Callgraph.unit_def} id, reverse topological *)
+  ur_funcs : string list;  (** the unit's functions, unit order *)
+  ur_key : string;  (** content key the unit was solved (or hit) under *)
+  ur_cached : bool;  (** solved from the unit cache, not analyzed *)
+}
+
 type t = {
   mode : Propagate.mode;
   funcs : (string, func_result) Hashtbl.t;
   summaries : (string, Summary.t) Hashtbl.t;
+  units : unit_report list;  (** reverse topological (solve) order *)
 }
 
 (** Callee names reachable from a function body (including go/defer). *)
 val callees_of : Tast.func -> string list
 
-(** Strongly connected components of the call graph, callees first. *)
+(** Strongly connected components of the call graph, callees first
+    (iterative Tarjan — alias of {!Callgraph.condense}). *)
 val scc_order : Tast.func list -> Tast.func list list
 
 (** Compress one analyzed function into its extended parameter tag.
@@ -36,12 +45,26 @@ val extract_summary :
     robustness ablation only).  [imported] seeds the summary table with
     the stored tags of already-analyzed packages (separate compilation,
     §4.4); callees with no seeded or computed summary fall back to the
-    conservative default tag. *)
+    conservative default tag.
+
+    The program is solved bottom-up as analysis units ({!Callgraph}
+    SCCs).  [config_sig] feeds the units' content keys (reported in
+    [units]).  [unit_lookup ~key ~funcs] is the function-granular cache:
+    returning the unit's stored summaries skips its analysis (no
+    [func_result]s for its functions — the caller replays the unit's
+    recorded insertions/decisions) while the summaries are installed for
+    dependents.  [pool] solves independent ready units on worker
+    domains; the calling thread schedules and is the only submitter.
+    Results are deterministic and identical across sequential, parallel,
+    cached and uncached runs. *)
 val analyze :
   ?mode:Propagate.mode ->
   ?use_ipa:bool ->
   ?backprop:bool ->
   ?imported:Summary.t list ->
+  ?config_sig:string ->
+  ?pool:Gofree_sched.Pool.t ->
+  ?unit_lookup:(key:string -> funcs:string list -> Summary.t list option) ->
   Tast.program ->
   t
 

@@ -26,6 +26,19 @@ let gofree =
   { insert_tcfree = true; targets = Slices_and_maps; ipa = true;
     backprop = true }
 
+(** Canonical cache-key signature of a configuration.  The record
+    pattern below is deliberately exhaustive and wildcard-free: adding a
+    field to {!t} without extending the signature then fails to compile
+    instead of silently aliasing cache entries built under different
+    configurations. *)
+let signature (c : t) : string =
+  let { insert_tcfree; targets; ipa; backprop } = c in
+  Printf.sprintf "tcfree=%b targets=%s ipa=%b backprop=%b" insert_tcfree
+    (match targets with
+    | Slices_and_maps -> "slices+maps"
+    | All_pointers -> "all")
+    ipa backprop
+
 let go = { gofree with insert_tcfree = false }
 
 let all_targets = { gofree with targets = All_pointers }

@@ -17,6 +17,12 @@ type t = {
 (** The paper's configuration. *)
 val gofree : t
 
+(** Canonical cache-key signature (exhaustive over the record: adding a
+    config field without extending it is a compile error, not a silent
+    cache-aliasing bug).  Used by the summary store, the analysis-unit
+    keys and the daemon's resident caches. *)
+val signature : t -> string
+
 (** Stock Go: no tcfree insertion. *)
 val go : t
 

@@ -24,6 +24,10 @@ val instrument_function :
 val instrument :
   Gofree_escape.Analysis.t -> Config.t -> Tast.program -> inserted list
 
+(** All variables declared anywhere in a function, params included —
+    the basis for the build driver's function-relative id ranges. *)
+val func_vars : Tast.func -> Tast.var list
+
 (** Re-apply recorded frees — (variable id, kind) pairs from a previous
     run — to a freshly typechecked function: the cache-hit path of the
     incremental build driver, which has no analysis to consult. *)

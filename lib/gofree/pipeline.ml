@@ -51,11 +51,13 @@ let parse_and_check (source : string) : Tast.program =
          (Printf.sprintf "type error at %s: %s" (Token.string_of_pos pos)
             msg))
 
-(** Analyze and instrument an already-typechecked program.  [imported]
-    seeds the analysis with stored summaries of other packages (separate
-    compilation, §4.4). *)
-let compile_program ?(config = Config.gofree) ?(imported = [])
-    (program : Tast.program) : compiled =
+(** Escape-analyze an already-typechecked program under [config] —
+    the one place the configuration is lowered onto the analysis knobs
+    (mode, IPA, backprop, signature).  [pool] and [unit_lookup] thread
+    through to the analysis-unit scheduler: the build driver passes its
+    worker pool and function-granular cache here. *)
+let analyze_program ?(config = Config.gofree) ?(imported = []) ?pool
+    ?unit_lookup (program : Tast.program) : Gofree_escape.Analysis.t =
   let mode =
     if config.Config.insert_tcfree then Gofree_escape.Propagate.Gofree
     else Gofree_escape.Propagate.Go_base
@@ -63,11 +65,17 @@ let compile_program ?(config = Config.gofree) ?(imported = [])
   (* The escape span covers the whole abstract interpretation: building
      constraint graphs plus the fused completeness/outlived/points-to
      propagation (per-function sub-spans come from Analysis.analyze). *)
-  let analysis =
-    phase "escape" (fun () ->
-        Gofree_escape.Analysis.analyze ~mode ~use_ipa:config.Config.ipa
-          ~backprop:config.Config.backprop ~imported program)
-  in
+  phase "escape" (fun () ->
+      Gofree_escape.Analysis.analyze ~mode ~use_ipa:config.Config.ipa
+        ~backprop:config.Config.backprop ~imported
+        ~config_sig:(Config.signature config) ?pool ?unit_lookup program)
+
+(** Analyze and instrument an already-typechecked program.  [imported]
+    seeds the analysis with stored summaries of other packages (separate
+    compilation, §4.4). *)
+let compile_program ?(config = Config.gofree) ?(imported = [])
+    (program : Tast.program) : compiled =
+  let analysis = analyze_program ~config ~imported program in
   let inserted =
     phase "instrument" (fun () ->
         Instrument.instrument analysis config program)

@@ -1,0 +1,37 @@
+(** Bounded work queue feeding a fixed pool of worker [Domain]s.
+
+    One pool abstraction shared by the daemon (request execution), the
+    build driver (package analysis) and the in-package analysis-unit
+    scheduler.  Submitters block when the queue is at capacity
+    (backpressure); {!shutdown} drains every accepted job before
+    joining the workers.
+
+    Deadlock rule for nested use: a job running ON a pool worker must
+    never {!submit} to the same pool — with the queue full every worker
+    could block in [submit] and nobody would drain.  Schedulers that
+    feed the pool therefore run on their own thread and are the sole
+    submitters; worker jobs only signal them. *)
+
+type job = unit -> unit
+
+type t
+
+(** [create ?workers ?capacity ()] spawns the worker domains.
+    [workers <= 0] (the default) picks
+    [min 4 (recommended_domain_count - 1)]. *)
+val create : ?workers:int -> ?capacity:int -> unit -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** Queued (not yet started) jobs — the [stats] request's queue depth. *)
+val queue_depth : t -> int
+
+(** Enqueue [job], blocking while the queue is full.  [false] iff the
+    pool is shutting down and the job was not accepted.  Exceptions
+    escaping a job are swallowed; jobs must report their own errors. *)
+val submit : t -> job -> bool
+
+(** Stop intake, run every already-queued job to completion, join the
+    workers.  Idempotent. *)
+val shutdown : t -> unit

@@ -27,6 +27,7 @@ module Json = Gofree_obs.Json
 module Trace = Gofree_obs.Trace
 module Ring = Gofree_obs.Ring
 module Stats = Gofree_stats.Stats
+module Pool = Gofree_sched.Pool
 
 type conn = {
   c_id : int;
@@ -259,6 +260,10 @@ let stats_json (t : t) : Json.t =
                 (if hits + misses = 0 then 0.0
                  else float_of_int hits /. float_of_int (hits + misses)) );
           ] );
+      ( "unit_cache",
+        let uh, um = Cache.unit_counts t.cache in
+        Json.Obj
+          [ ("hits", Json.Int uh); ("misses", Json.Int um) ] );
       ( "queue",
         Json.Obj
           [
@@ -331,11 +336,14 @@ let handle (t : t) (r : Rpc.request) : (Json.t, string * string) result =
     | Error e -> Error (api e)
     | Ok (b, resident) -> begin
       let packages, store_hits = Gofree_api.build_cache_counts b in
+      let unit_hits, units_analyzed = Gofree_api.build_unit_counts b in
       let base =
         [
           ("resident_cache", Json.Str (if resident then "hit" else "miss"));
           ("packages", Json.Int packages);
           ("store_hits", Json.Int store_hits);
+          ("unit_hits", Json.Int unit_hits);
+          ("units_analyzed", Json.Int units_analyzed);
           ("stats", Gofree_api.build_stats_to_json
              (Gofree_api.build_stats b));
           ( "insertions",

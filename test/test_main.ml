@@ -13,6 +13,7 @@ let () =
       ("summary", Test_summary.suite);
       ("instrument", Test_instrument.suite);
       ("build", Test_build.suite);
+      ("incremental", Test_incremental.suite);
       ("runtime", Test_runtime.suite);
       ("tcfree", Test_tcfree.suite);
       ("gc", Test_gc.suite);

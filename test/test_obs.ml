@@ -193,6 +193,8 @@ let test_stats_json () =
             pr_ms = 1.25;
             pr_nfuncs = 3;
             pr_nsummaries = 2;
+            pr_units = 3;
+            pr_unit_hits = 2;
           };
           {
             pr_name = "main";
@@ -201,10 +203,14 @@ let test_stats_json () =
             pr_ms = 0.0;
             pr_nfuncs = 1;
             pr_nsummaries = 0;
+            pr_units = 0;
+            pr_unit_hits = 0;
           };
         ];
       bs_hits = 1;
       bs_misses = 1;
+      bs_unit_hits = 2;
+      bs_unit_misses = 1;
       bs_jobs = 2;
       bs_total_ms = 3.5;
     }
