@@ -112,6 +112,7 @@ let run ~options () =
         ("seed", Json.Int options.seed);
         ("workloads", Json.List workloads);
         ("incremental", Exp_incremental.measure ~options ());
+        ("load", Exp_load.measure ~options ());
       ]
   in
   let oc = open_out "BENCH_gofree.json" in

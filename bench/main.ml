@@ -8,7 +8,8 @@
       dune exec bench/main.exe -- --bechamel      # bechamel pass timings
 
     Experiments: table3, fig10, fig11, table7, table8, table9,
-    compile_speed, robustness, ablation, incremental, bench_json.
+    compile_speed, robustness, ablation, serve, load, incremental,
+    bench_json.
 
     [--only bench_json] writes BENCH_gofree.json: per-workload free
     ratio, GC cycles, max heap, wall time and compile-phase timings in
@@ -85,6 +86,7 @@ let () =
     if want "robustness" then Exp_robustness.run ~options ();
     if want "ablation" then Exp_ablation.run ~options ();
     if want "serve" then Exp_serve.run ~options ();
+    if want "load" then Exp_load.run ~options ();
     if want "incremental" then Exp_incremental.run ~options ();
     if want "bench_json" then Exp_bench_json.run ~options ()
   end

@@ -8,7 +8,9 @@
     - [build DIR]     compile a multi-package tree incrementally;
     - [serve]         long-running compile/analysis daemon on a Unix
                       socket (newline-delimited JSON, [gofree-rpc-v1]);
-    - [client]        drive a serving daemon from the shell.
+    - [client]        drive a serving daemon from the shell;
+    - [load]          load-generation harness against a serving daemon
+                      ([gofree-load-v1] report, SLO-gated exit code).
 
     Every entry point goes through {!Gofree_api} — this file owns flag
     parsing and output formatting only. *)
@@ -205,12 +207,23 @@ let serve_cmd =
            ~doc:"Bounded request-queue capacity; a full queue blocks \
                  readers (backpressure)")
   in
-  let serve socket workers queue obs =
+  let shed_arg =
+    Arg.(value & opt (some int) None & info [ "shed-watermark" ] ~docv:"N"
+           ~doc:"Queue depth past which new requests are answered \
+                 $(i,overloaded) immediately instead of queueing \
+                 (default: the queue capacity)")
+  in
+  let default_deadline_arg =
+    Arg.(value & opt int 0 & info [ "default-deadline-ms" ] ~docv:"MS"
+           ~doc:"Server-wide queueing deadline for requests that do not \
+                 carry their own $(i,deadline_ms) (0 = none)")
+  in
+  let serve socket workers queue shed_watermark default_deadline_ms obs =
     start_trace obs;
     let t =
       try
-        Gofree_server.Server.create ~workers ~queue_capacity:queue ~socket
-          ()
+        Gofree_server.Server.create ~workers ~queue_capacity:queue
+          ?shed_watermark ~default_deadline_ms ~socket ()
       with
       | Invalid_argument m | Sys_error m ->
         Printf.eprintf "gofreec: serve: %s\n" m;
@@ -229,7 +242,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the persistent compile/analysis daemon (gofree-rpc-v1 \
              over a Unix socket)")
-    Term.(const serve $ socket_arg $ workers_arg $ queue_arg $ obs_term)
+    Term.(
+      const serve $ socket_arg $ workers_arg $ queue_arg $ shed_arg
+      $ default_deadline_arg $ obs_term)
 
 (* ---------------------------------------------------------------- *)
 (* client                                                            *)
@@ -258,12 +273,19 @@ let client_cmd =
                  (one JSON object per line) and print one response line \
                  each; other arguments are ignored")
   in
+  let concurrency_arg =
+    Arg.(value & opt int 1 & info [ "concurrency" ] ~docv:"N"
+           ~doc:"Batch mode: replay over $(docv) connections, each \
+                 sending its round-robin shard of the request lines \
+                 (a minimal load driver); with N > 1 response lines \
+                 interleave in completion order")
+  in
   let raw_flag =
     Arg.(value & flag & info [ "raw" ]
            ~doc:"Print compact single-line responses (default: pretty)")
   in
   let client socket meth target preset options explain run force jobs
-      cache_dir requests raw =
+      cache_dir requests concurrency raw =
     let module C = Gofree_server.Client in
     let print_response j =
       print_string (if raw then Json.to_string j ^ "\n"
@@ -275,26 +297,71 @@ let client_cmd =
     in
     match requests with
     | Some path ->
-      (* batch: raw lines in, raw lines out, strictly in order *)
+      (* batch: raw lines in, raw lines out — strictly in order on one
+         connection, per-shard order across several *)
       let lines =
         String.split_on_char '\n' (read_source path)
         |> List.filter (fun l -> String.trim l <> "")
       in
-      let c = try C.connect ~socket with C.Error m -> fail m in
+      let concurrency = max 1 (min concurrency (max 1 (List.length lines))) in
+      let out_mutex = Mutex.create () in
       let bad = ref false in
-      List.iter
-        (fun line ->
-          (try C.send_line c line with C.Error m -> fail m);
-          match C.recv c with
-          | Some response ->
-            (match Json.member "ok" response with
-            | Some (Json.Bool false) -> bad := true
-            | _ -> ());
-            print_string (Json.to_string response ^ "\n")
-          | None -> fail "server closed the connection mid-batch"
-          | exception C.Error m -> fail m)
-        lines;
-      C.close c;
+      (* one shard per connection: line [j] goes to connection
+         [j mod concurrency], preserving each connection's line order *)
+      let replay_shard shard : float list =
+        let c = try C.connect ~socket with C.Error m -> fail m in
+        let lats =
+          List.map
+            (fun line ->
+              let t0 = Unix.gettimeofday () in
+              (try C.send_line c line with C.Error m -> fail m);
+              match C.recv c with
+              | Some response ->
+                let lat_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                Mutex.lock out_mutex;
+                (match Json.member "ok" response with
+                | Some (Json.Bool false) -> bad := true
+                | _ -> ());
+                print_string (Json.to_string response ^ "\n");
+                Mutex.unlock out_mutex;
+                lat_ms
+              | None -> fail "server closed the connection mid-batch"
+              | exception C.Error m -> fail m)
+            shard
+        in
+        C.close c;
+        lats
+      in
+      let shards =
+        List.init concurrency (fun i ->
+            List.filteri (fun j _ -> j mod concurrency = i) lines)
+        |> List.filter (fun s -> s <> [])
+      in
+      let results = Array.make (List.length shards) [] in
+      let threads =
+        List.mapi
+          (fun i shard ->
+            Thread.create (fun () -> results.(i) <- replay_shard shard) ())
+          shards
+      in
+      List.iter Thread.join threads;
+      (* latency summary on stderr: stdout stays pure response lines *)
+      let lats = Array.to_list results |> List.concat in
+      (match lats with
+      | [] -> ()
+      | _ -> begin
+        let arr = Array.of_list lats in
+        match
+          Gofree_stats.Stats.percentile_many [ 50.0; 95.0; 99.0 ] arr
+        with
+        | [ (_, p50); (_, p95); (_, p99) ] ->
+          let _, max_ms = Gofree_stats.Stats.min_max arr in
+          Printf.eprintf
+            "gofreec client: %d request(s) over %d connection(s) — \
+             latency ms p50 %.2f p95 %.2f p99 %.2f max %.2f\n"
+            (List.length lats) (List.length shards) p50 p95 p99 max_ms
+        | _ -> ()
+      end);
       if !bad then exit 1
     | None -> begin
       let source_of target =
@@ -340,7 +407,175 @@ let client_cmd =
     Term.(
       const client $ socket_arg $ method_arg $ target_arg $ preset_term
       $ run_options_term $ explain_flag $ run_flag $ force_flag $ jobs_arg
-      $ cache_arg $ requests_arg $ raw_flag)
+      $ cache_arg $ requests_arg $ concurrency_arg $ raw_flag)
+
+(* ---------------------------------------------------------------- *)
+(* load                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let load_cmd =
+  let module H = Gofree_load.Harness in
+  let module Mix = Gofree_load.Mix in
+  let module Schedule = Gofree_load.Schedule in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent virtual clients")
+  in
+  let rate_arg =
+    Arg.(value & opt float 0.0 & info [ "rate" ] ~docv:"R"
+           ~doc:"Total offered requests per second across all clients \
+                 (open loop); 0 runs closed-loop")
+  in
+  let arrival_arg =
+    Arg.(value & opt (some string) None & info [ "arrival" ] ~docv:"MODEL"
+           ~doc:"closed | poisson | uniform (default: poisson when \
+                 --rate is set, closed otherwise)")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"How long to offer load")
+  in
+  let mix_arg =
+    Arg.(value & opt string (Mix.to_string Mix.default)
+         & info [ "mix" ] ~docv:"SPEC"
+             ~doc:"Weighted request mix, e.g. \
+                   analyze=4,run=2,explain=1,stats=1")
+  in
+  let churn_arg =
+    Arg.(value & opt float 0.0 & info [ "churn" ] ~docv:"P"
+           ~doc:"Per-request probability of dropping the connection and \
+                 re-dialing before sending (connection churn)")
+  in
+  let load_seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+           ~doc:"Seed for all harness randomness: mix sampling, arrival \
+                 gaps, churn — same seed, same schedule")
+  in
+  let scale_arg =
+    Arg.(value & opt int 100 & info [ "scale" ] ~docv:"PCT"
+           ~doc:"Workload size, percent of each workload's default")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Attach this queueing deadline to every request (the \
+                 daemon answers timed_out past it)")
+  in
+  let build_dir_arg =
+    Arg.(value & opt (some dir) None & info [ "build-dir" ] ~docv:"DIR"
+           ~doc:"Tree the build mix term targets (required when the mix \
+                 gives build a nonzero weight)")
+  in
+  let slo_arg =
+    Arg.(value & opt (some float) None & info [ "slo-p99-ms" ] ~docv:"MS"
+           ~doc:"Fail (exit 1) unless the ok-response p99 latency is at \
+                 most $(docv)")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the gofree-load-v1 report into $(docv)")
+  in
+  let dry_run_arg =
+    Arg.(value & opt ~vopt:(Some 16) (some int) None
+         & info [ "dry-run" ] ~docv:"EVENTS"
+             ~doc:"Do not connect: print the deterministic request \
+                   schedule ($(docv) events per client, default 16) and \
+                   exit")
+  in
+  let load socket clients rate arrival duration mix churn seed scale
+      deadline_ms build_dir slo_p99_ms json dry_run =
+    let fail msg =
+      Printf.eprintf "gofreec: load: %s\n" msg;
+      exit 1
+    in
+    let mix =
+      match Mix.of_string mix with Ok m -> m | Error m -> fail ("--mix: " ^ m)
+    in
+    let per_client = H.per_client_rate ~clients rate in
+    let arrival =
+      match (arrival, rate > 0.0) with
+      | (None | Some "closed"), false -> Schedule.Closed
+      | None, true | Some "poisson", true -> Schedule.Poisson per_client
+      | Some "uniform", true -> Schedule.Uniform per_client
+      | Some ("poisson" | "uniform"), false ->
+        fail "open-loop arrival needs --rate > 0"
+      | Some "closed", true -> fail "--rate is meaningless closed-loop"
+      | Some m, _ ->
+        fail (Printf.sprintf "unknown arrival %S (closed | poisson | \
+                              uniform)" m)
+    in
+    let cfg =
+      {
+        (H.default_config ~socket) with
+        H.clients;
+        arrival;
+        duration_s = duration;
+        mix;
+        churn;
+        seed;
+        scale;
+        deadline_ms;
+        build_dir;
+        slo_p99_ms;
+      }
+    in
+    let emit doc =
+      (* self-check: the report must pass the registry gate it is
+         validated against downstream *)
+      (match Gofree_obs.Schema.check Gofree_obs.Schema.Load doc with
+      | Ok () -> ()
+      | Error m -> fail ("internal: report failed schema check: " ^ m));
+      (match json with Some path -> write_json path doc | None -> ());
+      print_string (Json.to_string_pretty doc)
+    in
+    match dry_run with
+    | Some events -> begin
+      match H.dry_run cfg ~events with
+      | Ok doc -> emit doc
+      | Error m -> fail m
+    end
+    | None -> begin
+      match H.run cfg with
+      | Error m -> fail m
+      | Ok doc ->
+        emit doc;
+        let get path leaf =
+          match Json.member path doc with
+          | Some o -> ( try Some (Json.get leaf o) with _ -> None)
+          | None -> None
+        in
+        let int_of path leaf =
+          match get path leaf with Some (Json.Int n) -> n | _ -> 0
+        in
+        Printf.eprintf
+          "gofreec load: offered %d | ok %d | shed %d | timed_out %d | \
+           errors %d | dropped %d\n"
+          (int_of "offered" "requests")
+          (int_of "achieved" "ok") (int_of "achieved" "shed")
+          (int_of "achieved" "timed_out")
+          (int_of "achieved" "errors")
+          (int_of "achieved" "dropped");
+        if not (H.slo_ok doc) then begin
+          (match get "slo" "violations" with
+          | Some (Json.List vs) ->
+            List.iter
+              (fun v ->
+                match v with
+                | Json.Str m -> Printf.eprintf "gofreec load: SLO: %s\n" m
+                | _ -> ())
+              vs
+          | _ -> ());
+          exit 1
+        end
+    end
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Offer a mixed, seeded workload to a serving daemon; report \
+             latency/throughput (gofree-load-v1) and gate on SLOs")
+    Term.(
+      const load $ socket_arg $ clients_arg $ rate_arg $ arrival_arg
+      $ duration_arg $ mix_arg $ churn_arg $ load_seed_arg $ scale_arg
+      $ deadline_arg $ build_dir_arg $ slo_arg $ json_arg $ dry_run_arg)
 
 let main_cmd =
   Cmd.group
@@ -348,7 +583,7 @@ let main_cmd =
        ~doc:"GoFree reproduction: compiler-inserted freeing for MiniGo")
     [
       run_cmd; analyze_cmd; instrument_cmd; compare_cmd; build_cmd;
-      serve_cmd; client_cmd;
+      serve_cmd; client_cmd; load_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,46 @@
+(** Deterministic PRNG streams for the load harness (splitmix64).
+
+    Every random decision the harness makes — mix sampling, arrival
+    gaps, connection churn — draws from a stream that is a pure
+    function of [(seed, client)], so two runs with the same [--seed]
+    produce the same request schedule, and a client's stream does not
+    shift when another client is added.  Nothing here touches the
+    global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed : t = { state = mix64 (Int64.of_int seed) }
+
+(** The [client]-th substream of [seed]: seeded from both, far apart in
+    the sequence for any pair. *)
+let stream ~seed ~client : t =
+  {
+    state =
+      mix64
+        (Int64.logxor
+           (mix64 (Int64.of_int seed))
+           (Int64.mul golden (Int64.of_int (client + 1))));
+  }
+
+let next (t : t) : int64 =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+(** Uniform in [0, 1). *)
+let float (t : t) : float =
+  let bits53 = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+
+(** Uniform in [0, n). *)
+let int (t : t) (n : int) : int =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float t *. float_of_int n)

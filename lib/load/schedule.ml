@@ -1,0 +1,98 @@
+(** Deterministic seeded arrival processes.
+
+    A {!gen} is one virtual client's request stream: an infinite,
+    lazily-drawn sequence of {!event}s that is a pure function of
+    [(seed, client, mix, arrival, churn)].  Each event consumes exactly
+    four draws from the client's {!Rng} stream — kind, workload, gap,
+    churn — whether or not the arrival model uses them, so the realized
+    schedule never depends on which parameters happen to be enabled.
+
+    Arrival models:
+    - {e closed-loop} ([Closed]): the client issues its next request as
+      soon as the previous response lands — offered load adapts to the
+      server (gap is 0);
+    - {e open-loop Poisson} ([Poisson rps]): exponentially-distributed
+      inter-arrival gaps with the given per-client rate — requests are
+      sent on schedule regardless of outstanding responses, the model
+      that exposes queueing collapse;
+    - {e open-loop uniform} ([Uniform rps]): constant gaps at the given
+      per-client rate. *)
+
+type arrival =
+  | Closed
+  | Poisson of float  (** per-client requests per second *)
+  | Uniform of float  (** per-client requests per second *)
+
+let arrival_name = function
+  | Closed -> "closed"
+  | Poisson _ -> "poisson"
+  | Uniform _ -> "uniform"
+
+type event = {
+  ev_seq : int;  (** 0-based position in this client's stream *)
+  ev_kind : Mix.kind;
+  ev_workload : int;  (** index into the harness's workload table *)
+  ev_gap_ms : float;  (** open loop: send this long after the previous *)
+  ev_reconnect : bool;  (** churn: drop and re-dial before sending *)
+}
+
+type gen = {
+  g_rng : Rng.t;
+  g_mix : Mix.t;
+  g_workloads : int;  (** size of the workload table *)
+  g_arrival : arrival;
+  g_churn : float;  (** per-request reconnect probability *)
+  mutable g_seq : int;
+}
+
+let make ~seed ~client ~(mix : Mix.t) ~workloads ~churn ~arrival : gen =
+  if workloads <= 0 then invalid_arg "Schedule.make: no workloads";
+  {
+    g_rng = Rng.stream ~seed ~client;
+    g_mix = mix;
+    g_workloads = workloads;
+    g_arrival = arrival;
+    g_churn = (if churn < 0.0 then 0.0 else if churn > 1.0 then 1.0 else churn);
+    g_seq = 0;
+  }
+
+let gap_ms (g : gen) (u : float) : float =
+  match g.g_arrival with
+  | Closed -> 0.0
+  | Uniform rps -> if rps <= 0.0 then 0.0 else 1000.0 /. rps
+  | Poisson rps ->
+    if rps <= 0.0 then 0.0
+    else
+      (* inverse-CDF exponential; clamp u away from 1 for finiteness *)
+      let u = if u > 0.999999 then 0.999999 else u in
+      -.log (1.0 -. u) /. rps *. 1000.0
+
+let next (g : gen) : event =
+  let u_kind = Rng.float g.g_rng in
+  let u_workload = Rng.float g.g_rng in
+  let u_gap = Rng.float g.g_rng in
+  let u_churn = Rng.float g.g_rng in
+  let seq = g.g_seq in
+  g.g_seq <- seq + 1;
+  {
+    ev_seq = seq;
+    ev_kind = Mix.pick g.g_mix ~u:u_kind;
+    ev_workload =
+      (let i = int_of_float (u_workload *. float_of_int g.g_workloads) in
+       if i >= g.g_workloads then g.g_workloads - 1 else i);
+    ev_gap_ms = gap_ms g u_gap;
+    (* the first request of a connection cannot churn: there is nothing
+       to drop yet *)
+    ev_reconnect = seq > 0 && g.g_churn > 0.0 && u_churn < g.g_churn;
+  }
+
+let event_json ~workload_name (ev : event) : Gofree_obs.Json.t =
+  let module Json = Gofree_obs.Json in
+  Json.Obj
+    [
+      ("seq", Json.Int ev.ev_seq);
+      ("kind", Json.Str (Mix.kind_name ev.ev_kind));
+      ("workload", Json.Str (workload_name ev.ev_kind ev.ev_workload));
+      ("gap_ms", Json.Float ev.ev_gap_ms);
+      ("reconnect", Json.Bool ev.ev_reconnect);
+    ]

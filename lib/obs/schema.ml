@@ -14,8 +14,9 @@ type t =
   | Explain  (** freeing diagnostics, [Report.explain_to_json] *)
   | Bench  (** the BENCH_gofree.json evaluation export *)
   | Rpc  (** the [gofreec serve] wire protocol *)
+  | Load  (** the [gofreec load] harness report *)
 
-let all = [ Metrics; Samples; Build_stats; Explain; Bench; Rpc ]
+let all = [ Metrics; Samples; Build_stats; Explain; Bench; Rpc; Load ]
 
 let tag = function
   | Metrics -> "gofree-metrics-v1"
@@ -24,6 +25,7 @@ let tag = function
   | Explain -> "gofree-explain-v1"
   | Bench -> "gofree-bench-v1"
   | Rpc -> "gofree-rpc-v1"
+  | Load -> "gofree-load-v1"
 
 let of_tag s = List.find_opt (fun t -> tag t = s) all
 

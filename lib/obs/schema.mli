@@ -10,6 +10,7 @@ type t =
   | Explain  (** freeing diagnostics, [Report.explain_to_json] *)
   | Bench  (** the BENCH_gofree.json evaluation export *)
   | Rpc  (** the [gofreec serve] wire protocol *)
+  | Load  (** the [gofreec load] harness report *)
 
 val all : t list
 

@@ -1,21 +1,36 @@
 (** Bounded work queue feeding a fixed pool of worker [Domain]s.
 
-    Connection reader threads {!submit} jobs; when the queue is at
-    capacity the submitter blocks until a worker drains it — the
-    backpressure that keeps a flood of requests from ballooning memory
-    (the client's socket fills up next, pushing the wait onto the
-    client).  {!shutdown} stops intake, lets the workers finish every
-    queued job (drain semantics — in-flight requests still get their
-    responses) and joins the domains. *)
+    Jobs are held in per-{e key} FIFO queues drained {e round-robin}
+    across the keys: the daemon keys submissions by client connection,
+    so one client pipelining hundreds of requests cannot starve the
+    others — each rotation serves at most one job per key.  Submitters
+    that use plain {!submit} share one key, which degenerates to the
+    original single FIFO (the build driver's scheduler is unchanged).
+
+    Admission comes in two flavors:
+    - {!submit} blocks while the queue is at capacity — the passive
+      backpressure the build driver wants;
+    - {!try_submit} never blocks: past the given high-watermark it
+      returns [`Full] and the caller sheds the work explicitly (the
+      daemon's [overloaded] response).
+
+    {!shutdown} stops intake, lets the workers finish every queued job
+    (drain semantics — in-flight requests still get their responses)
+    and joins the domains. *)
 
 type job = unit -> unit
 
 type t = {
-  jobs : job Queue.t;
+  queues : (int, job Queue.t) Hashtbl.t;  (** key → pending jobs *)
+  rotation : int Queue.t;
+      (** keys holding at least one job, served front-to-back; a key
+          re-enters at the back after yielding one job *)
   mutex : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
   capacity : int;
+  mutable depth : int;  (** total queued jobs, across keys *)
+  mutable max_depth : int;  (** high-watermark of [depth] over the pool's life *)
   mutable stopping : bool;
   mutable in_flight : int;  (** jobs currently executing on a worker *)
   mutable workers : unit Domain.t array;
@@ -24,21 +39,46 @@ type t = {
 let default_workers () =
   max 1 (min 4 (Domain.recommended_domain_count () - 1))
 
+(* Callers must hold [t.mutex]. *)
+let enqueue_locked (t : t) ~key job =
+  (match Hashtbl.find_opt t.queues key with
+  | Some q -> Queue.push job q
+  | None ->
+    let q = Queue.create () in
+    Queue.push job q;
+    Hashtbl.replace t.queues key q;
+    Queue.push key t.rotation);
+  t.depth <- t.depth + 1;
+  if t.depth > t.max_depth then t.max_depth <- t.depth;
+  Condition.signal t.not_empty
+
+(* Round-robin pop: the front key yields one job and, if it still has
+   work, rejoins the rotation at the back.  Callers must hold [t.mutex]
+   and have checked [depth > 0]. *)
+let dequeue_locked (t : t) : job =
+  let key = Queue.pop t.rotation in
+  let q = Hashtbl.find t.queues key in
+  let job = Queue.pop q in
+  if Queue.is_empty q then Hashtbl.remove t.queues key
+  else Queue.push key t.rotation;
+  t.depth <- t.depth - 1;
+  job
+
 let worker (t : t) (index : int) () =
   (* pool workers get their own trace tracks, clear of the build
      driver's analysis workers (tid_worker 0..) *)
   Gofree_obs.Trace.set_domain_tid (Gofree_obs.Trace.tid_worker (16 + index));
   let rec loop () =
     Mutex.lock t.mutex;
-    while Queue.is_empty t.jobs && not t.stopping do
+    while t.depth = 0 && not t.stopping do
       Condition.wait t.not_empty t.mutex
     done;
-    if Queue.is_empty t.jobs then begin
+    if t.depth = 0 then begin
       (* stopping and nothing left: drain complete *)
       Mutex.unlock t.mutex
     end
     else begin
-      let job = Queue.pop t.jobs in
+      let job = dequeue_locked t in
       t.in_flight <- t.in_flight + 1;
       Condition.signal t.not_full;
       Mutex.unlock t.mutex;
@@ -55,11 +95,14 @@ let create ?(workers = 0) ?(capacity = 64) () : t =
   let workers = if workers > 0 then workers else default_workers () in
   let t =
     {
-      jobs = Queue.create ();
+      queues = Hashtbl.create 16;
+      rotation = Queue.create ();
       mutex = Mutex.create ();
       not_empty = Condition.create ();
       not_full = Condition.create ();
       capacity = max 1 capacity;
+      depth = 0;
+      max_depth = 0;
       stopping = false;
       in_flight = 0;
       workers = [||];
@@ -73,24 +116,55 @@ let size (t : t) = Array.length t.workers
 (** Queued (not yet started) jobs — the [stats] request's queue depth. *)
 let queue_depth (t : t) : int =
   Mutex.lock t.mutex;
-  let n = Queue.length t.jobs in
+  let n = t.depth in
   Mutex.unlock t.mutex;
   n
 
-(** Enqueue [job], blocking while the queue is full.  [false] iff the
-    pool is shutting down and the job was not accepted. *)
-let submit (t : t) (job : job) : bool =
+(** Deepest the queue has ever been — the [queue_high_watermark]
+    counter. *)
+let max_queue_depth (t : t) : int =
   Mutex.lock t.mutex;
-  while Queue.length t.jobs >= t.capacity && not t.stopping do
+  let n = t.max_depth in
+  Mutex.unlock t.mutex;
+  n
+
+let capacity (t : t) = t.capacity
+
+(** Enqueue [job] under [key] (default a shared key), blocking while the
+    queue is full.  [false] iff the pool is shutting down and the job
+    was not accepted. *)
+let submit ?(key = 0) (t : t) (job : job) : bool =
+  Mutex.lock t.mutex;
+  while t.depth >= t.capacity && not t.stopping do
     Condition.wait t.not_full t.mutex
   done;
   let accepted = not t.stopping in
-  if accepted then begin
-    Queue.push job t.jobs;
-    Condition.signal t.not_empty
-  end;
+  if accepted then enqueue_locked t ~key job;
   Mutex.unlock t.mutex;
   accepted
+
+(** Non-blocking admission: enqueue [job] under [key] unless the queue
+    already holds [watermark] jobs (default: capacity) — then [`Full],
+    and the caller sheds.  [`Stopping] when the pool no longer accepts
+    work. *)
+let try_submit ?(key = 0) ?watermark (t : t) (job : job) :
+    [ `Accepted | `Full | `Stopping ] =
+  let watermark =
+    match watermark with
+    | Some w -> min (max 1 w) t.capacity
+    | None -> t.capacity
+  in
+  Mutex.lock t.mutex;
+  let outcome =
+    if t.stopping then `Stopping
+    else if t.depth >= watermark then `Full
+    else begin
+      enqueue_locked t ~key job;
+      `Accepted
+    end
+  in
+  Mutex.unlock t.mutex;
+  outcome
 
 (** Stop intake, run every already-queued job to completion, join the
     workers.  Idempotent. *)

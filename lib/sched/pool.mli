@@ -2,9 +2,11 @@
 
     One pool abstraction shared by the daemon (request execution), the
     build driver (package analysis) and the in-package analysis-unit
-    scheduler.  Submitters block when the queue is at capacity
-    (backpressure); {!shutdown} drains every accepted job before
-    joining the workers.
+    scheduler.  Jobs live in per-{e key} FIFO queues drained round-robin
+    across keys, so a submitter keying by client gets per-client
+    fairness; plain {!submit} shares one key and behaves like a single
+    FIFO.  {!shutdown} drains every accepted job before joining the
+    workers.
 
     Deadlock rule for nested use: a job running ON a pool worker must
     never {!submit} to the same pool — with the queue full every worker
@@ -27,10 +29,23 @@ val size : t -> int
 (** Queued (not yet started) jobs — the [stats] request's queue depth. *)
 val queue_depth : t -> int
 
-(** Enqueue [job], blocking while the queue is full.  [false] iff the
-    pool is shutting down and the job was not accepted.  Exceptions
-    escaping a job are swallowed; jobs must report their own errors. *)
-val submit : t -> job -> bool
+(** Deepest the queue has ever been ([queue_high_watermark]). *)
+val max_queue_depth : t -> int
+
+val capacity : t -> int
+
+(** Enqueue [job] under [key] (default: one shared key), blocking while
+    the queue is full.  [false] iff the pool is shutting down and the
+    job was not accepted.  Exceptions escaping a job are swallowed; jobs
+    must report their own errors. *)
+val submit : ?key:int -> t -> job -> bool
+
+(** Non-blocking admission control: enqueue under [key] unless the
+    queue already holds [watermark] jobs (default: capacity), then
+    [`Full] — the caller sheds the work explicitly instead of blocking.
+    [`Stopping] when the pool no longer accepts work. *)
+val try_submit :
+  ?key:int -> ?watermark:int -> t -> job -> [ `Accepted | `Full | `Stopping ]
 
 (** Stop intake, run every already-queued job to completion, join the
     workers.  Idempotent. *)

@@ -56,11 +56,15 @@ let recv (t : t) : Json.t option =
 (** Send [request] (an {!Rpc.request}), wait for its response, return
     the response document.  Ids are assigned per connection; a response
     with a different id (out-of-order completion of a pipelined peer)
-    is a protocol error here, since this helper never pipelines. *)
-let rpc (t : t) (request : Rpc.request) : Json.t =
+    is a protocol error here, since this helper never pipelines.
+    [deadline_ms] asks the daemon to time the request out rather than
+    execute it if it queues longer than that. *)
+let rpc ?deadline_ms (t : t) (request : Rpc.request) : Json.t =
   let id = Json.Int t.next_id in
   t.next_id <- t.next_id + 1;
-  (match Rpc.write_line t.fd (Rpc.request_to_json ~id request) with
+  (match
+     Rpc.write_line t.fd (Rpc.request_to_json ~id ?deadline_ms request)
+   with
   | () -> ()
   | exception Unix.Unix_error (e, _, _) ->
     fail "connection lost while sending: %s" (Unix.error_message e));
@@ -72,9 +76,9 @@ let rpc (t : t) (request : Rpc.request) : Json.t =
     response
 
 (** [rpc], unwrapping the envelope: [Ok result] or [Error (code, msg)]. *)
-let call (t : t) (request : Rpc.request) :
+let call ?deadline_ms (t : t) (request : Rpc.request) :
     (Json.t, string * string) result =
-  let response = rpc t request in
+  let response = rpc ?deadline_ms t request in
   match Json.member "ok" response with
   | Some (Json.Bool true) -> begin
     match Json.member "result" response with

@@ -23,7 +23,15 @@
     the {e daemon} reads (["file"]).  The pipeline configuration is the
     ["config"] preset name ([gofree] | [go] | [all-targets] | [no-ipa]);
     execution knobs ([gc_off], [poison], [gogc], [seed],
-    [sample_every], [reference]) mirror the CLI flags. *)
+    [sample_every], [reference]) mirror the CLI flags.
+
+    Any pooled request may carry an optional ["deadline_ms"] param: if
+    the request is still {e queued} when that much time has passed since
+    receipt, the daemon answers [timed_out] instead of executing it
+    (requests already running are never interrupted — one response per
+    request, always).  Under overload the daemon sheds with an
+    [overloaded] error response rather than blocking the connection;
+    see the admission-control notes in [server.ml]. *)
 
 module Json = Gofree_obs.Json
 module Schema = Gofree_obs.Schema
@@ -65,9 +73,13 @@ let method_name = function
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
-(** A decoded request and the id to echo in its response ([Json.Null]
-    when the client sent none). *)
-type incoming = { rq_id : Json.t; rq_request : request }
+(** A decoded request, the id to echo in its response ([Json.Null] when
+    the client sent none), and its queueing deadline, if any. *)
+type incoming = {
+  rq_id : Json.t;
+  rq_request : request;
+  rq_deadline_ms : int option;
+}
 
 (* ---------------------------------------------------------------- *)
 (* Decoding                                                          *)
@@ -189,7 +201,13 @@ let request_of_json (j : Json.t) : incoming =
         "unknown method %S (analyze | build | run | explain | stats | \
          shutdown)" m
   in
-  { rq_id = id; rq_request = request }
+  let deadline_ms =
+    match Json.member "deadline_ms" params with
+    | None | Some Json.Null -> None
+    | Some (Json.Int n) when n > 0 -> Some n
+    | Some _ -> bad "param \"deadline_ms\" must be a positive integer"
+  in
+  { rq_id = id; rq_request = request; rq_deadline_ms = deadline_ms }
 
 (** Decode one request line.  [Error (id, message)] echoes the request's
     [id] when the line parsed far enough to recover one. *)
@@ -211,7 +229,7 @@ let decode (line : string) : (incoming, Json.t * string) result =
 (* Encoding                                                          *)
 (* ---------------------------------------------------------------- *)
 
-let request_to_json ?(id = Json.Null) (r : request) : Json.t =
+let request_to_json ?(id = Json.Null) ?deadline_ms (r : request) : Json.t =
   let preset_field p =
     [ ("config", Json.Str (Gofree_api.preset_name p)) ]
   in
@@ -260,6 +278,13 @@ let request_to_json ?(id = Json.Null) (r : request) : Json.t =
       src_fields src @ preset_field preset @ options_fields options
     | Explain { src; preset } -> src_fields src @ preset_field preset
     | Stats | Shutdown -> []
+  in
+  let params =
+    params
+    @
+    match deadline_ms with
+    | Some d when d > 0 -> [ ("deadline_ms", Json.Int d) ]
+    | _ -> []
   in
   Json.Obj
     ([ ("schema", Json.Str schema_tag); ("id", id);

@@ -6,13 +6,24 @@
       thread via {!start});
     - each connection gets a lightweight {e reader thread} that frames
       request lines, decodes them, and feeds the shared bounded
-      {!Pool} — when the queue is full the reader blocks, which is the
-      protocol's backpressure;
+      {!Pool}, keyed by connection so the pool drains round-robin
+      across clients — one pipelining client cannot starve the rest;
     - a fixed pool of {e worker domains} executes the requests (the
       parallelism follows "Retrofitting Parallelism onto OCaml", like
       the build driver's analysis waves) and writes each response back
       under the connection's write mutex, so responses never interleave
       mid-line even when one client pipelines requests.
+
+    Overload behavior (admission control):
+    - past the shed high-watermark the daemon answers [overloaded]
+      immediately instead of blocking the reader — per-request work
+      stays bounded and the client decides whether to back off or
+      retry (graceful degradation rather than unbounded queueing);
+    - a request still {e queued} past its deadline ([deadline_ms]
+      param, or the server-wide default) gets a [timed_out] response
+      when it reaches a worker; running requests are never interrupted;
+    - queued work whose client has disconnected is cancelled — the
+      worker skips it (counted, no response owed).
 
     Failure containment, per the protocol contract:
     - a malformed line gets a [bad_request] error response and the
@@ -21,7 +32,12 @@
       response (the write fails, the result is dropped, the daemon
       lives on);
     - [shutdown] stops intake, {e drains} queued and in-flight work so
-      every accepted request is answered, then closes. *)
+      every accepted request is answered, then closes.
+
+    The invariant all three overload paths preserve: {e one response
+    per request} on a live connection — shed and timeout produce error
+    {e responses} with the request's id echoed, never silence, so a
+    pipelining client's id bookkeeping survives overload. *)
 
 module Json = Gofree_obs.Json
 module Trace = Gofree_obs.Trace
@@ -37,12 +53,15 @@ type conn = {
   mutable c_pending : int;  (** requests submitted, response not written *)
   mutable c_eof : bool;  (** reader saw EOF; close once pending drains *)
   mutable c_closed : bool;
+  mutable c_served : int;  (** responses written to this client *)
 }
 
 type t = {
   socket_path : string;
   listen_fd : Unix.file_descr;
   pool : Pool.t;
+  shed_watermark : int;  (** queue depth past which requests shed *)
+  default_deadline_ms : int;  (** 0 = no server-wide deadline *)
   cache : Cache.t;
   stopping : bool Atomic.t;
   t0 : float;
@@ -52,6 +71,9 @@ type t = {
   mutable errored : int;  (** error responses among them *)
   mutable malformed : int;  (** undecodable request lines *)
   mutable dropped : int;  (** responses lost to dead connections *)
+  mutable shed : int;  (** requests refused with [overloaded] *)
+  mutable timed_out : int;  (** queued past deadline, answered [timed_out] *)
+  mutable cancelled : int;  (** queued work skipped: client disconnected *)
   by_method : (string, int) Hashtbl.t;
   latencies : float Ring.t;  (** ms, receipt → response, pooled requests *)
   mutable conns : conn list;
@@ -66,7 +88,8 @@ let now_ms () = Unix.gettimeofday () *. 1000.
 (* Lifecycle                                                         *)
 (* ---------------------------------------------------------------- *)
 
-let create ?(workers = 0) ?(queue_capacity = 64) ~socket () : t =
+let create ?(workers = 0) ?(queue_capacity = 64) ?shed_watermark
+    ?(default_deadline_ms = 0) ~socket () : t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   if Sys.file_exists socket then begin
@@ -84,10 +107,16 @@ let create ?(workers = 0) ?(queue_capacity = 64) ~socket () : t =
    with e ->
      Unix.close listen_fd;
      raise e);
+  let queue_capacity = max 1 queue_capacity in
   {
     socket_path = socket;
     listen_fd;
     pool = Pool.create ~workers ~capacity:queue_capacity ();
+    shed_watermark =
+      (match shed_watermark with
+      | Some w -> min (max 1 w) queue_capacity
+      | None -> queue_capacity);
+    default_deadline_ms = max 0 default_deadline_ms;
     cache = Cache.create ();
     stopping = Atomic.make false;
     t0 = now_ms ();
@@ -96,6 +125,9 @@ let create ?(workers = 0) ?(queue_capacity = 64) ~socket () : t =
     errored = 0;
     malformed = 0;
     dropped = 0;
+    shed = 0;
+    timed_out = 0;
+    cancelled = 0;
     by_method = Hashtbl.create 8;
     latencies = Ring.create ~capacity:1024;
     conns = [];
@@ -160,6 +192,7 @@ let send (t : t) (c : conn) (j : Json.t) : bool =
       c.c_alive <- false;
       false
   in
+  if ok then c.c_served <- c.c_served + 1;
   Mutex.unlock c.c_wmutex;
   Mutex.lock t.st_mutex;
   if ok then t.served <- t.served + 1 else t.dropped <- t.dropped + 1;
@@ -176,6 +209,32 @@ let count_error (t : t) =
   Mutex.lock t.st_mutex;
   t.errored <- t.errored + 1;
   Mutex.unlock t.st_mutex
+
+let count_shed (t : t) =
+  Mutex.lock t.st_mutex;
+  t.shed <- t.shed + 1;
+  Mutex.unlock t.st_mutex;
+  Trace.instant ~tid:(Trace.domain_tid ()) "rpc:shed"
+
+let count_timed_out (t : t) =
+  Mutex.lock t.st_mutex;
+  t.timed_out <- t.timed_out + 1;
+  Mutex.unlock t.st_mutex;
+  Trace.instant ~tid:(Trace.domain_tid ()) "rpc:timed_out"
+
+let count_cancelled (t : t) =
+  Mutex.lock t.st_mutex;
+  t.cancelled <- t.cancelled + 1;
+  Mutex.unlock t.st_mutex;
+  Trace.instant ~tid:(Trace.domain_tid ()) "rpc:cancelled"
+
+(* A connection whose reader saw EOF (or whose last write failed) owes
+   nothing: queued work for it is cancelled instead of executed. *)
+let conn_gone (c : conn) =
+  Mutex.lock c.c_wmutex;
+  let gone = (not c.c_alive) || c.c_closed || c.c_eof in
+  Mutex.unlock c.c_wmutex;
+  gone
 
 (* ---------------------------------------------------------------- *)
 (* Request handlers                                                  *)
@@ -221,7 +280,23 @@ let stats_json (t : t) : Json.t =
   Mutex.lock t.st_mutex;
   let served = t.served and errored = t.errored in
   let malformed = t.malformed and dropped = t.dropped in
+  let shed = t.shed and timed_out = t.timed_out in
+  let cancelled = t.cancelled in
   let active = List.length t.conns and total = t.conns_total in
+  let clients =
+    List.rev_map
+      (fun c ->
+        Mutex.lock c.c_wmutex;
+        let served = c.c_served and pending = c.c_pending in
+        Mutex.unlock c.c_wmutex;
+        Json.Obj
+          [
+            ("id", Json.Int c.c_id);
+            ("served", Json.Int served);
+            ("pending", Json.Int pending);
+          ])
+      t.conns
+  in
   let by_method =
     Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) t.by_method []
     |> List.sort compare
@@ -230,12 +305,19 @@ let stats_json (t : t) : Json.t =
   Mutex.unlock t.st_mutex;
   let latency =
     if Array.length lats = 0 then []
-    else
-      [
-        ("count", Json.Int (Array.length lats));
-        ("p50_ms", Json.Float (Stats.percentile 50.0 lats));
-        ("p95_ms", Json.Float (Stats.percentile 95.0 lats));
-      ]
+    else begin
+      match Stats.percentile_many [ 50.0; 95.0; 99.0 ] lats with
+      | [ (_, p50); (_, p95); (_, p99) ] ->
+        let _, max_ms = Stats.min_max lats in
+        [
+          ("count", Json.Int (Array.length lats));
+          ("p50_ms", Json.Float p50);
+          ("p95_ms", Json.Float p95);
+          ("p99_ms", Json.Float p99);
+          ("max_ms", Json.Float max_ms);
+        ]
+      | _ -> assert false
+    end
   in
   Json.Obj
     [
@@ -248,6 +330,9 @@ let stats_json (t : t) : Json.t =
             ("errors", Json.Int errored);
             ("malformed", Json.Int malformed);
             ("dropped_responses", Json.Int dropped);
+            ("shed", Json.Int shed);
+            ("timed_out", Json.Int timed_out);
+            ("cancelled", Json.Int cancelled);
             ("by_method", Json.Obj by_method);
           ] );
       ( "cache",
@@ -268,11 +353,18 @@ let stats_json (t : t) : Json.t =
         Json.Obj
           [
             ("depth", Json.Int (Pool.queue_depth t.pool));
+            ("high_watermark", Json.Int (Pool.max_queue_depth t.pool));
+            ("capacity", Json.Int (Pool.capacity t.pool));
+            ("shed_watermark", Json.Int t.shed_watermark);
             ("workers", Json.Int (Pool.size t.pool));
           ] );
       ( "connections",
         Json.Obj
-          [ ("active", Json.Int active); ("total", Json.Int total) ] );
+          [
+            ("active", Json.Int active);
+            ("total", Json.Int total);
+            ("clients", Json.List clients);
+          ] );
       ("latency_ms", Json.Obj latency);
     ]
 
@@ -394,7 +486,7 @@ let reader_loop (t : t) (c : conn) =
         t.malformed <- t.malformed + 1;
         Mutex.unlock t.st_mutex;
         respond t c ~id (Error ("bad_request", message))
-      | Ok { Rpc.rq_id = id; rq_request } -> begin
+      | Ok { Rpc.rq_id = id; rq_request; rq_deadline_ms } -> begin
         count_method t (Rpc.method_name rq_request);
         match rq_request with
         | Rpc.Stats | Rpc.Shutdown ->
@@ -402,27 +494,63 @@ let reader_loop (t : t) (c : conn) =
              thread, ahead of any queue *)
           respond t c ~id (handle t rq_request)
         | _ ->
+          let deadline_ms =
+            match rq_deadline_ms with
+            | Some d -> d
+            | None -> t.default_deadline_ms
+          in
           Mutex.lock c.c_wmutex;
           c.c_pending <- c.c_pending + 1;
           Mutex.unlock c.c_wmutex;
           let job () =
-            (match
-               Trace.with_span ~tid:(Trace.domain_tid ())
-                 ("rpc:" ^ Rpc.method_name rq_request)
-                 (fun () -> handle t rq_request)
-             with
-            | outcome -> respond t c ~id outcome
-            | exception e ->
+            (* decided at dequeue time, so queued work is never
+               executed for a dead client or past its deadline *)
+            if conn_gone c then count_cancelled t
+            else if deadline_ms > 0 && now_ms () -. t_recv > float_of_int deadline_ms
+            then begin
+              count_timed_out t;
               respond t c ~id
-                (Error ("internal_error", Printexc.to_string e)));
-            record_latency t t_recv;
+                (Error
+                   ( "timed_out",
+                     Printf.sprintf
+                       "request exceeded its %dms deadline while queued"
+                       deadline_ms ));
+              record_latency t t_recv
+            end
+            else begin
+              (match
+                 Trace.with_span ~tid:(Trace.domain_tid ())
+                   ("rpc:" ^ Rpc.method_name rq_request)
+                   (fun () -> handle t rq_request)
+               with
+              | outcome -> respond t c ~id outcome
+              | exception e ->
+                respond t c ~id
+                  (Error ("internal_error", Printexc.to_string e)));
+              record_latency t t_recv
+            end;
             conn_done_one c
           in
-          if not (Pool.submit t.pool job) then begin
+          (* admission control: keyed by connection (round-robin
+             fairness); past the watermark shed rather than block *)
+          match
+            Pool.try_submit ~key:c.c_id ~watermark:t.shed_watermark t.pool
+              job
+          with
+          | `Accepted -> ()
+          | `Full ->
+            count_shed t;
+            respond t c ~id
+              (Error
+                 ( "overloaded",
+                   Printf.sprintf
+                     "queue at high-watermark (%d); request shed"
+                     t.shed_watermark ));
+            conn_done_one c
+          | `Stopping ->
             respond t c ~id
               (Error ("shutting_down", "server is shutting down"));
             conn_done_one c
-          end
       end);
       if not (Atomic.get t.stopping) then loop ()
   in
@@ -455,6 +583,7 @@ let serve (t : t) : unit =
               c_pending = 0;
               c_eof = false;
               c_closed = false;
+              c_served = 0;
             }
           in
           Mutex.lock t.st_mutex;
@@ -487,8 +616,12 @@ let serve (t : t) : unit =
 
 (** {!create} + {!serve} on a background thread — the in-process form
     the tests and benches use.  {!wait} joins it. *)
-let start ?workers ?queue_capacity ~socket () : t =
-  let t = create ?workers ?queue_capacity ~socket () in
+let start ?workers ?queue_capacity ?shed_watermark ?default_deadline_ms
+    ~socket () : t =
+  let t =
+    create ?workers ?queue_capacity ?shed_watermark ?default_deadline_ms
+      ~socket ()
+  in
   t.serve_thread <- Some (Thread.create (fun () -> serve t) ());
   t
 

@@ -37,6 +37,26 @@ let percentile p xs =
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
   end
 
+(** [percentile] at several [p]s, sorting the sample once — what the
+    latency reporters (daemon [stats], [gofreec client], [gofreec load])
+    use so a big ring is not re-sorted per quantile. *)
+let percentile_many ps xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "percentile_many: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let at p =
+    if n = 1 then sorted.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
+  in
+  List.map (fun p -> (p, at p)) ps
+
 let median xs = percentile 50.0 xs
 
 (** Ratio of the means, the paper's "ratio" columns (GoFree / Go). *)

@@ -13,6 +13,11 @@ val min_max : float array -> float * float
     Raises [Invalid_argument] on an empty sample. *)
 val percentile : float -> float array -> float
 
+(** {!percentile} at several points, sorting the sample once; returns
+    [(p, value)] pairs in input order.
+    Raises [Invalid_argument] on an empty sample. *)
+val percentile_many : float list -> float array -> (float * float) list
+
 val median : float array -> float
 
 (** Ratio of means (the paper's "ratio" columns, treatment / control). *)

@@ -108,7 +108,7 @@ let test_source_key () =
 
 let all_schemas =
   [ Schema.Metrics; Schema.Samples; Schema.Build_stats; Schema.Explain;
-    Schema.Bench; Schema.Rpc ]
+    Schema.Bench; Schema.Rpc; Schema.Load ]
 
 let test_schema_tags () =
   List.iter
@@ -118,9 +118,12 @@ let test_schema_tags () =
         true
         (Schema.of_tag (Schema.tag s) = Some s))
     all_schemas;
-  (* every tag is distinct *)
+  (* every tag is distinct, and the local list tracks the registry *)
+  Alcotest.(check int) "registry covered" (List.length Schema.all)
+    (List.length all_schemas);
   let tags = List.sort_uniq compare (List.map Schema.tag all_schemas) in
-  Alcotest.(check int) "six distinct tags" 6 (List.length tags)
+  Alcotest.(check int) "all tags distinct" (List.length all_schemas)
+    (List.length tags)
 
 let check_msg s j =
   match Schema.check s j with

@@ -29,4 +29,5 @@ let () =
       ("compile-differential", Test_compile_differential.suite);
       ("api", Test_api.suite);
       ("server", Test_server.suite);
+      ("load", Test_load.suite);
     ]

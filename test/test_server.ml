@@ -20,9 +20,9 @@ let fresh_socket () =
     (Printf.sprintf "gofree-test-%d-%d.sock" (Unix.getpid ()) !counter)
 
 (** Run [f server socket] against a live daemon; always stops it. *)
-let with_server ?workers f =
+let with_server ?workers ?queue_capacity ?shed_watermark f =
   let socket = fresh_socket () in
-  let t = Server.start ?workers ~socket () in
+  let t = Server.start ?workers ?queue_capacity ?shed_watermark ~socket () in
   Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f t socket)
 
 let src_free =
@@ -246,6 +246,195 @@ let test_disconnect_mid_request_keeps_serving () =
           (Json.get_string "output" r)
       | Error (code, m) -> Alcotest.failf "daemon wedged: %s %s" code m)
 
+(* ---- overload: admission control, deadlines, cancellation,
+   fairness ---- *)
+
+(* A run request slow enough (tens of ms interpreted) that a 1-worker
+   server is reliably busy while more requests arrive. *)
+let src_slow =
+  {|
+func main() {
+	s := 0
+	outer := make([]int, 400)
+	for i := range outer {
+		xs := make([]int, 1200)
+		for j := range xs {
+			xs[j] = i + j
+			s = s + xs[j]
+		}
+	}
+	println(s)
+}
+|}
+
+let send_run ?deadline_ms c ~id src =
+  Client.send_line c
+    (Json.to_string
+       (Rpc.request_to_json ~id:(Json.Int id) ?deadline_ms (run_req src)))
+
+let error_code_of r = Json.get_string "code" (Json.get "error" r)
+
+(* Poll the daemon until [p stats] holds (bounded); stats answers on the
+   reader thread so a busy worker pool cannot wedge the poll. *)
+let wait_stats socket p =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go () =
+    let s =
+      match Client.call_once ~socket Rpc.Stats with
+      | Ok s -> Some s
+      | Error _ -> None
+    in
+    match s with
+    | Some s when p s -> s
+    | _ ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "stats condition never held"
+      else begin
+        Thread.delay 0.01;
+        go ()
+      end
+  in
+  go ()
+
+let by_method_count name s =
+  match Json.member name (Json.get "by_method" (Json.get "requests" s)) with
+  | Some (Json.Int k) -> k
+  | _ -> 0
+
+let test_shed_on_overload () =
+  (* one worker, queue of one: a pipelined flood must be answered with
+     [overloaded] responses, not absorbed by a blocking reader *)
+  with_server ~workers:1 ~queue_capacity:1 (fun _ socket ->
+      let c = Client.connect ~socket in
+      let n = 12 in
+      for i = 1 to n do
+        send_run c ~id:i src_slow
+      done;
+      let ok = ref 0 and shed = ref 0 and ids = ref [] in
+      for _ = 1 to n do
+        match Client.recv c with
+        | None -> Alcotest.fail "connection closed under overload"
+        | Some r ->
+          ids := Json.get_int "id" r :: !ids;
+          if Json.get "ok" r = Json.Bool true then incr ok
+          else begin
+            Alcotest.(check string) "shed code" "overloaded" (error_code_of r);
+            incr shed
+          end
+      done;
+      Client.close c;
+      (* one response per request, every id echoed exactly once *)
+      Alcotest.(check (list int)) "all ids answered"
+        (List.init n (fun i -> i + 1))
+        (List.sort compare !ids);
+      Alcotest.(check bool) "some requests served" true (!ok >= 1);
+      Alcotest.(check bool) "some requests shed" true (!shed >= 1);
+      let s = wait_stats socket (fun _ -> true) in
+      Alcotest.(check int) "shed counter matches" !shed
+        (Json.get_int "shed" (Json.get "requests" s));
+      Alcotest.(check bool) "queue high watermark recorded" true
+        (Json.get_int "high_watermark" (Json.get "queue" s) >= 1))
+
+let test_request_timeout () =
+  with_server ~workers:1 (fun _ socket ->
+      let c = Client.connect ~socket in
+      (* the slow request occupies the single worker... *)
+      send_run c ~id:1 src_slow;
+      (* ...so this one queues past its 1ms deadline *)
+      send_run c ~id:2 ~deadline_ms:1 src_slow;
+      let r1 = Option.get (Client.recv c) in
+      let r2 = Option.get (Client.recv c) in
+      Client.close c;
+      (* responses come back in submission order here: the timed-out
+         request is answered when the worker reaches it *)
+      Alcotest.(check int) "slow request id" 1 (Json.get_int "id" r1);
+      Alcotest.(check bool) "slow request succeeded" true
+        (Json.get "ok" r1 = Json.Bool true);
+      Alcotest.(check int) "timed-out id echoed" 2 (Json.get_int "id" r2);
+      Alcotest.(check string) "timed_out code" "timed_out"
+        (error_code_of r2);
+      let s = wait_stats socket (fun s ->
+          Json.get_int "timed_out" (Json.get "requests" s) >= 1)
+      in
+      Alcotest.(check int) "timed_out counted" 1
+        (Json.get_int "timed_out" (Json.get "requests" s)))
+
+let test_cancel_on_disconnect () =
+  with_server ~workers:1 (fun _ socket ->
+      let a = Client.connect ~socket in
+      send_run a ~id:1 src_slow;
+      (* b pipelines two requests and hangs up.  The two connections'
+         reader threads race to the queue, so either client's job may be
+         dequeued first — but with one worker at most one job has
+         started by the time b closes, so at least one of b's is still
+         queued, and queued work for a dead client must be cancelled at
+         dequeue, not executed. *)
+      let b = Client.connect ~socket in
+      send_run b ~id:1 src_slow;
+      send_run b ~id:2 src_slow;
+      ignore
+        (wait_stats socket (fun s -> by_method_count "run" s >= 3));
+      Client.close b;
+      (* a is served regardless *)
+      (match Client.recv a with
+      | Some r ->
+        Alcotest.(check bool) "a's request served" true
+          (Json.get "ok" r = Json.Bool true)
+      | None -> Alcotest.fail "a lost its connection");
+      Client.close a;
+      let s = wait_stats socket (fun s ->
+          Json.get_int "cancelled" (Json.get "requests" s) >= 1)
+      in
+      Alcotest.(check bool) "cancelled counted" true
+        (Json.get_int "cancelled" (Json.get "requests" s) >= 1))
+
+let test_per_client_fairness () =
+  (* one worker: a floods 10 requests, then b sends one.  Round-robin
+     draining must serve b next rotation — long before a's tail — where
+     a single FIFO would serve b 11th. *)
+  with_server ~workers:1 (fun _ socket ->
+      let n_flood = 10 in
+      let a = Client.connect ~socket in
+      for i = 1 to n_flood do
+        send_run a ~id:i src_slow
+      done;
+      ignore
+        (wait_stats socket (fun s -> by_method_count "run" s >= n_flood));
+      let b = Client.connect ~socket in
+      send_run b ~id:100 src_slow;
+      let a_done = Atomic.make 0 in
+      let a_reader =
+        Thread.create
+          (fun () ->
+            try
+              for _ = 1 to n_flood do
+                match Client.recv a with
+                | Some _ -> Atomic.incr a_done
+                | None -> raise Exit
+              done
+            with Exit | Client.Error _ -> ())
+          ()
+      in
+      (match Client.recv b with
+      | Some r ->
+        Alcotest.(check int) "b's id echoed" 100 (Json.get_int "id" r);
+        Alcotest.(check bool) "b's request served" true
+          (Json.get "ok" r = Json.Bool true)
+      | None -> Alcotest.fail "b lost its connection");
+      let a_done_when_b_finished = Atomic.get a_done in
+      Thread.join a_reader;
+      Client.close a;
+      Client.close b;
+      Alcotest.(check int) "a eventually fully served" n_flood
+        (Atomic.get a_done);
+      (* the fairness bar: b did not wait for a's whole flood *)
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "b served after %d of a's %d responses (wants round-robin, \
+            not FIFO)" a_done_when_b_finished n_flood)
+        true
+        (a_done_when_b_finished <= n_flood - 3))
+
 (* ---- shutdown ---- *)
 
 let test_shutdown_drains () =
@@ -318,7 +507,18 @@ let test_stats_counters () =
         (Json.get_int "hits" cache >= 1);
       Alcotest.(check bool) "hit ratio in range" true
         (let r = Json.get_float "hit_ratio" cache in
-         r > 0.0 && r <= 1.0))
+         r > 0.0 && r <= 1.0);
+      (* the latency summary reports the full quantile ladder, p99 and
+         max included, and it is monotone *)
+      let lat = Json.get "latency_ms" s in
+      Alcotest.(check bool) "latency samples recorded" true
+        (Json.get_int "count" lat >= 2);
+      let p50 = Json.get_float "p50_ms" lat in
+      let p95 = Json.get_float "p95_ms" lat in
+      let p99 = Json.get_float "p99_ms" lat in
+      let max_ms = Json.get_float "max_ms" lat in
+      Alcotest.(check bool) "p50 <= p95 <= p99 <= max" true
+        (p50 <= p95 && p95 <= p99 && p99 <= max_ms))
 
 let suite =
   [
@@ -336,6 +536,12 @@ let suite =
       test_malformed_line_keeps_serving;
     Alcotest.test_case "disconnect mid-request keeps serving" `Quick
       test_disconnect_mid_request_keeps_serving;
+    Alcotest.test_case "shed on overload" `Quick test_shed_on_overload;
+    Alcotest.test_case "request timeout" `Quick test_request_timeout;
+    Alcotest.test_case "cancel queued work on disconnect" `Quick
+      test_cancel_on_disconnect;
+    Alcotest.test_case "per-client fairness" `Quick
+      test_per_client_fairness;
     Alcotest.test_case "shutdown drains in-flight work" `Quick
       test_shutdown_drains;
     Alcotest.test_case "stats counters" `Quick test_stats_counters;

@@ -30,6 +30,29 @@ let test_percentiles () =
   ignore (Stats.percentile 50.0 xs2);
   Alcotest.(check bool) "input untouched" true (xs2 = [| 3.0; 1.0; 2.0 |])
 
+let test_percentile_many () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  (* one sort, same answers as the one-at-a-time form, input order kept *)
+  (match Stats.percentile_many [ 50.0; 95.0; 99.0; 0.0 ] xs with
+  | [ (p50, v50); (p95, v95); (p99, v99); (p0, v0) ] ->
+    feq "p label 50" 50.0 p50;
+    feq "p label 95" 95.0 p95;
+    feq "p label 99" 99.0 p99;
+    feq "p label 0" 0.0 p0;
+    feq "p50 matches percentile" (Stats.percentile 50.0 xs) v50;
+    feq "p95 matches percentile" (Stats.percentile 95.0 xs) v95;
+    feq "p99 matches percentile" (Stats.percentile 99.0 xs) v99;
+    feq "p0 matches percentile" (Stats.percentile 0.0 xs) v0
+  | _ -> Alcotest.fail "wrong arity");
+  (* caller's array untouched *)
+  Alcotest.(check bool) "input untouched" true (xs = [| 4.0; 1.0; 3.0; 2.0 |]);
+  (match Stats.percentile_many [ 50.0 ] [| 7.0 |] with
+  | [ (_, v) ] -> feq "singleton" 7.0 v
+  | _ -> Alcotest.fail "wrong arity");
+  Alcotest.check_raises "empty sample rejected"
+    (Invalid_argument "percentile_many: empty sample") (fun () ->
+      ignore (Stats.percentile_many [ 50.0 ] [||]))
+
 let test_ratio () =
   let control = [| 10.0; 10.0; 10.0 |] in
   let treatment = [| 9.0; 9.5; 8.5 |] in
@@ -109,6 +132,7 @@ let suite =
   [
     Alcotest.test_case "moments" `Quick test_moments;
     Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "percentile many" `Quick test_percentile_many;
     Alcotest.test_case "ratio" `Quick test_ratio;
     Alcotest.test_case "log gamma" `Quick test_log_gamma;
     Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
