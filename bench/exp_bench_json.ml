@@ -113,6 +113,7 @@ let run ~options () =
         ("workloads", Json.List workloads);
         ("incremental", Exp_incremental.measure ~options ());
         ("load", Exp_load.measure ~options ());
+        ("telemetry", Exp_telemetry.measure ~options ());
       ]
   in
   let oc = open_out "BENCH_gofree.json" in

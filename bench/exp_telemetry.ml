@@ -1,0 +1,257 @@
+(** What the telemetry layer costs and what it sees.
+
+    Two questions, one experiment each:
+
+    - {e overhead}: the runtime registry's instruments (GC pause/gap
+      histograms, tcfree counters) record only while something holds
+      [Registry.acquire_runtime]; otherwise each call site pays one
+      atomic load and a branch.  Interleaved repetitions of one
+      GC-heavy workload with the registry disabled and enabled measure
+      that cost end to end — the enabled/disabled wall-time ratio
+      should be indistinguishable from 1.
+
+    - {e decomposition}: a fresh in-process daemon per load point
+      (1/4/8 closed-loop clients), a brief harness run, then one
+      [telemetry] scrape.  The scrape's queue-wait / service / request
+      histograms decompose the client-observed latency server-side:
+      queue-wait p99 is the curve that grows with concurrency while
+      service p99 stays put, and GC pause p99 rides along from the
+      runtime registry (the daemon holds the runtime acquisition for
+      its lifetime).  Client p99 and server request p99 are reported
+      side by side — they must tell the same story.
+
+    [measure ~options ()] returns the ["telemetry"] section of
+    [BENCH_gofree.json]; [run ~options ()] prints the tables. *)
+
+module Json = Gofree_obs.Json
+module Reg = Gofree_obs.Registry
+module Server = Gofree_server.Server
+module Client = Gofree_server.Client
+module Rpc = Gofree_server.Rpc
+module Harness = Gofree_load.Harness
+module Stats = Gofree_stats.Stats
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gofree-telemetry-%d-%d.sock" (Unix.getpid ()) !n)
+
+let ok_exn = function
+  | Ok v -> v
+  | Error m -> failwith ("telemetry bench: " ^ m)
+
+(* ---- overhead: runtime registry disabled vs enabled ---- *)
+
+type overhead = {
+  o_runs : int;
+  o_disabled_ms : float;  (** mean wall ms, registry disabled *)
+  o_enabled_ms : float;  (** mean wall ms, registry recording *)
+  o_ratio : float;  (** enabled / disabled *)
+}
+
+let measure_overhead ~(options : Bench_common.options) : overhead =
+  (* per-request cost capped like the load bench: this measures the
+     instrument guards, not the workload *)
+  let options =
+    { options with Bench_common.scale = max 1 (min options.scale 25) }
+  in
+  let w = List.hd Gofree_workloads.Workloads.all in
+  let size = Bench_common.scaled_size ~options w in
+  let src = w.Gofree_workloads.Workloads.w_source ~size in
+  let run () =
+    (Bench_common.run_once ~options ~setting:Bench_common.Gofree src)
+      .Bench_common.r_time_ms
+  in
+  ignore (run ());
+  let runs = max 3 (min options.runs 7) in
+  let disabled = Array.make runs 0.0 and enabled = Array.make runs 0.0 in
+  (* interleaved so host drift biases neither side *)
+  for i = 0 to runs - 1 do
+    disabled.(i) <- run ();
+    Reg.acquire_runtime ();
+    Fun.protect
+      ~finally:(fun () -> Reg.release_runtime ())
+      (fun () -> enabled.(i) <- run ())
+  done;
+  let d = Stats.mean disabled and e = Stats.mean enabled in
+  {
+    o_runs = runs;
+    o_disabled_ms = d;
+    o_enabled_ms = e;
+    o_ratio = (if d = 0.0 then 1.0 else e /. d);
+  }
+
+let overhead_json (o : overhead) : Json.t =
+  Json.Obj
+    [
+      ("runs", Json.Int o.o_runs);
+      ("disabled_ms", Json.Float o.o_disabled_ms);
+      ("enabled_ms", Json.Float o.o_enabled_ms);
+      ("ratio", Json.Float o.o_ratio);
+    ]
+
+(* ---- decomposition: one daemon + scrape per load point ---- *)
+
+type point = {
+  p_clients : int;
+  p_ok : int;
+  p_client_p50_ms : float;  (** client-observed, harness report *)
+  p_client_p99_ms : float;
+  p_queue_wait_p50_ms : float;  (** server-side, telemetry scrape *)
+  p_queue_wait_p99_ms : float;
+  p_service_p50_ms : float;
+  p_service_p99_ms : float;
+  p_request_p99_ms : float;
+  p_gc_pause_p99_ms : float;
+  p_gc_pauses : int;
+  p_tcfree_attempts : int;
+  p_tcfree_freed : int;
+  p_tcfree_giveup : int;
+  p_responses : int;  (** gofree_rpc_responses_total at scrape time *)
+}
+
+let scrape ~socket : Reg.Snapshot.t =
+  match Client.call_once ~socket Rpc.Telemetry with
+  | Ok doc -> Reg.Snapshot.of_json doc
+  | Error (code, m) ->
+    failwith (Printf.sprintf "telemetry scrape: %s: %s" code m)
+  | exception Client.Error m -> failwith ("telemetry scrape: " ^ m)
+
+let run_point ~(options : Bench_common.options) ~clients : point =
+  let socket = fresh_socket () in
+  let t = Server.start ~socket () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop t)
+    (fun () ->
+      let cfg =
+        {
+          (Harness.default_config ~socket) with
+          Harness.clients;
+          duration_s = 1.0;
+          scale = max 1 (min options.scale 25);
+          seed = options.seed + clients;
+        }
+      in
+      let report = ok_exn (Harness.run cfg) in
+      let snap = scrape ~socket in
+      let lat = Json.get "all" (Json.get "latency_ms" report) in
+      let pct name =
+        match Json.member name lat with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int i) -> float_of_int i
+        | _ -> 0.0
+      in
+      let h name =
+        Option.value
+          (Reg.Snapshot.find_histogram name snap)
+          ~default:
+            {
+              Reg.Snapshot.buckets = [| 1.0 |];
+              counts = [| 0; 0 |];
+              sum = 0.0;
+              max_value = 0.0;
+            }
+      in
+      let c name =
+        Option.value (Reg.Snapshot.find_counter name snap) ~default:0
+      in
+      let qw = h "gofree_rpc_queue_wait_ms" in
+      let svc = h "gofree_rpc_service_ms" in
+      let req = h "gofree_rpc_request_ms" in
+      let pause = h "gofree_gc_pause_ms" in
+      {
+        p_clients = clients;
+        p_ok = Json.get_int "ok" (Json.get "achieved" report);
+        p_client_p50_ms = pct "p50_ms";
+        p_client_p99_ms = pct "p99_ms";
+        p_queue_wait_p50_ms = Reg.Snapshot.quantile qw 50.0;
+        p_queue_wait_p99_ms = Reg.Snapshot.quantile qw 99.0;
+        p_service_p50_ms = Reg.Snapshot.quantile svc 50.0;
+        p_service_p99_ms = Reg.Snapshot.quantile svc 99.0;
+        p_request_p99_ms = Reg.Snapshot.quantile req 99.0;
+        p_gc_pause_p99_ms = Reg.Snapshot.quantile pause 99.0;
+        p_gc_pauses = Reg.Snapshot.count pause;
+        p_tcfree_attempts = c "gofree_tcfree_attempts_total";
+        p_tcfree_freed = c "gofree_tcfree_freed_total";
+        p_tcfree_giveup = c "gofree_tcfree_giveup_total";
+        p_responses = c "gofree_rpc_responses_total";
+      })
+
+let point_json (p : point) : Json.t =
+  Json.Obj
+    [
+      ("clients", Json.Int p.p_clients);
+      ("ok", Json.Int p.p_ok);
+      ("client_p50_ms", Json.Float p.p_client_p50_ms);
+      ("client_p99_ms", Json.Float p.p_client_p99_ms);
+      ("queue_wait_p50_ms", Json.Float p.p_queue_wait_p50_ms);
+      ("queue_wait_p99_ms", Json.Float p.p_queue_wait_p99_ms);
+      ("service_p50_ms", Json.Float p.p_service_p50_ms);
+      ("service_p99_ms", Json.Float p.p_service_p99_ms);
+      ("request_p99_ms", Json.Float p.p_request_p99_ms);
+      ("gc_pause_p99_ms", Json.Float p.p_gc_pause_p99_ms);
+      ("gc_pauses", Json.Int p.p_gc_pauses);
+      ("tcfree_attempts", Json.Int p.p_tcfree_attempts);
+      ("tcfree_freed", Json.Int p.p_tcfree_freed);
+      ("tcfree_giveup", Json.Int p.p_tcfree_giveup);
+      ("responses_total", Json.Int p.p_responses);
+    ]
+
+type campaign = { t_overhead : overhead; t_points : point list }
+
+let measure_campaign ~(options : Bench_common.options) : campaign =
+  {
+    t_overhead = measure_overhead ~options;
+    t_points =
+      List.map (fun clients -> run_point ~options ~clients) [ 1; 4; 8 ];
+  }
+
+(** The ["telemetry"] section of [BENCH_gofree.json]. *)
+let measure ~options () : Json.t =
+  let c = measure_campaign ~options in
+  Json.Obj
+    [
+      ("overhead", overhead_json c.t_overhead);
+      ("points", Json.List (List.map point_json c.t_points));
+    ]
+
+(* ---- human-readable run ---- *)
+
+let run ~options () =
+  let c = measure_campaign ~options in
+  Bench_common.heading "telemetry: runtime registry overhead";
+  Printf.printf
+    "  %d interleaved runs — disabled %.2f ms, enabled %.2f ms, ratio \
+     %.3f\n\n"
+    c.t_overhead.o_runs c.t_overhead.o_disabled_ms
+    c.t_overhead.o_enabled_ms c.t_overhead.o_ratio;
+  Bench_common.heading
+    "telemetry: latency decomposition (closed loop, fresh daemon per \
+     point)";
+  Printf.printf "  %-8s %6s %9s %9s %9s %9s %9s %9s %8s\n" "clients" "ok"
+    "cli p99" "qw p50" "qw p99" "svc p99" "req p99" "gc p99" "tcfree";
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  %-8d %6d %9.1f %9.2f %9.2f %9.1f %9.1f %9.2f %8d\n" p.p_clients
+        p.p_ok p.p_client_p99_ms p.p_queue_wait_p50_ms p.p_queue_wait_p99_ms
+        p.p_service_p99_ms p.p_request_p99_ms p.p_gc_pause_p99_ms
+        p.p_tcfree_attempts)
+    c.t_points;
+  print_newline ();
+  (* the server-side decomposition must tell the client's story: the
+     request histogram's p99 is within the same regime as the
+     client-observed p99 (client adds socket round-trip only) *)
+  List.iter
+    (fun p ->
+      if p.p_ok > 0 && p.p_request_p99_ms > p.p_client_p99_ms *. 1.5 +. 5.0
+      then
+        failwith
+          (Printf.sprintf
+             "telemetry: server request p99 %.1f ms exceeds client p99 \
+              %.1f ms at %d clients"
+             p.p_request_p99_ms p.p_client_p99_ms p.p_clients))
+    c.t_points

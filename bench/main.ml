@@ -8,7 +8,8 @@
       dune exec bench/main.exe -- --bechamel      # bechamel pass timings
 
     Experiments: table3, fig10, fig11, table7, table8, table9,
-    compile_speed, robustness, ablation, serve, load, incremental,
+    compile_speed, robustness, ablation, serve, load, telemetry,
+    incremental,
     bench_json.
 
     [--only bench_json] writes BENCH_gofree.json: per-workload free
@@ -87,6 +88,7 @@ let () =
     if want "ablation" then Exp_ablation.run ~options ();
     if want "serve" then Exp_serve.run ~options ();
     if want "load" then Exp_load.run ~options ();
+    if want "telemetry" then Exp_telemetry.run ~options ();
     if want "incremental" then Exp_incremental.run ~options ();
     if want "bench_json" then Exp_bench_json.run ~options ()
   end

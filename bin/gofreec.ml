@@ -218,7 +218,30 @@ let serve_cmd =
            ~doc:"Server-wide queueing deadline for requests that do not \
                  carry their own $(i,deadline_ms) (0 = none)")
   in
-  let serve socket workers queue shed_watermark default_deadline_ms obs =
+  let log_json_arg =
+    Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"FILE"
+           ~doc:"Write a structured event log (one JSON object per \
+                 line) into $(docv)")
+  in
+  let log_level_arg =
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Lowest level written to --log-json: debug | info | \
+                 warn | error")
+  in
+  let serve socket workers queue shed_watermark default_deadline_ms
+      log_json log_level obs =
+    (match log_json with
+    | None -> ()
+    | Some path -> begin
+      match Gofree_obs.Log.level_of_name log_level with
+      | Some level -> Gofree_obs.Log.start ~level ~path ()
+      | None ->
+        Printf.eprintf
+          "gofreec: serve: unknown --log-level %S (debug | info | warn \
+           | error)\n"
+          log_level;
+        exit 1
+    end);
     start_trace obs;
     let t =
       try
@@ -236,6 +259,7 @@ let serve_cmd =
     Printf.printf "gofreec serve: listening on %s\n%!" socket;
     Gofree_server.Server.serve t;
     finish_trace obs;
+    Gofree_obs.Log.stop ();
     Printf.printf "gofreec serve: shut down cleanly\n%!"
   in
   Cmd.v
@@ -244,7 +268,7 @@ let serve_cmd =
              over a Unix socket)")
     Term.(
       const serve $ socket_arg $ workers_arg $ queue_arg $ shed_arg
-      $ default_deadline_arg $ obs_term)
+      $ default_deadline_arg $ log_json_arg $ log_level_arg $ obs_term)
 
 (* ---------------------------------------------------------------- *)
 (* client                                                            *)
@@ -253,7 +277,8 @@ let serve_cmd =
 let client_cmd =
   let method_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"METHOD"
-           ~doc:"analyze | build | run | explain | stats | shutdown")
+           ~doc:"analyze | build | run | explain | stats | telemetry | \
+                 shutdown")
   in
   let target_arg =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"TARGET"
@@ -284,8 +309,13 @@ let client_cmd =
     Arg.(value & flag & info [ "raw" ]
            ~doc:"Print compact single-line responses (default: pretty)")
   in
+  let prometheus_flag =
+    Arg.(value & flag & info [ "prometheus" ]
+           ~doc:"telemetry: print the snapshot in Prometheus text \
+                 exposition format instead of JSON")
+  in
   let client socket meth target preset options explain run force jobs
-      cache_dir requests concurrency raw =
+      cache_dir requests concurrency raw prometheus =
     let module C = Gofree_server.Client in
     let print_response j =
       print_string (if raw then Json.to_string j ^ "\n"
@@ -347,21 +377,13 @@ let client_cmd =
       List.iter Thread.join threads;
       (* latency summary on stderr: stdout stays pure response lines *)
       let lats = Array.to_list results |> List.concat in
-      (match lats with
-      | [] -> ()
-      | _ -> begin
-        let arr = Array.of_list lats in
-        match
-          Gofree_stats.Stats.percentile_many [ 50.0; 95.0; 99.0 ] arr
-        with
-        | [ (_, p50); (_, p95); (_, p99) ] ->
-          let _, max_ms = Gofree_stats.Stats.min_max arr in
-          Printf.eprintf
-            "gofreec client: %d request(s) over %d connection(s) — \
-             latency ms p50 %.2f p95 %.2f p99 %.2f max %.2f\n"
-            (List.length lats) (List.length shards) p50 p95 p99 max_ms
-        | _ -> ()
-      end);
+      (match Gofree_stats.Stats.latency_summary (Array.of_list lats) with
+      | None -> ()
+      | Some s ->
+        Printf.eprintf "gofreec client: %d request(s) over %d \
+                        connection(s) — %s\n"
+          s.Gofree_stats.Stats.ls_count (List.length shards)
+          (Gofree_stats.Stats.latency_summary_line s));
       if !bad then exit 1
     | None -> begin
       let source_of target =
@@ -388,10 +410,20 @@ let client_cmd =
           | None -> fail "build needs a DIR argument"
         end
         | Some "stats" -> Gofree_server.Rpc.Stats
+        | Some "telemetry" -> Gofree_server.Rpc.Telemetry
         | Some "shutdown" -> Gofree_server.Rpc.Shutdown
         | Some m -> fail (Printf.sprintf "unknown method %S" m)
       in
       match C.call_once ~socket request with
+      | Ok result when prometheus && meth = Some "telemetry" -> begin
+        (* re-derive the typed snapshot so the exposition shares the
+           registry's formatter (and validates the payload en route) *)
+        match Gofree_obs.Registry.Snapshot.of_json result with
+        | snap ->
+          print_string (Gofree_obs.Registry.Snapshot.to_prometheus snap)
+        | exception Json.Parse_error m ->
+          fail ("telemetry response did not parse: " ^ m)
+      end
       | Ok result -> print_response result
       | Error (code, message) ->
         print_response
@@ -407,7 +439,8 @@ let client_cmd =
     Term.(
       const client $ socket_arg $ method_arg $ target_arg $ preset_term
       $ run_options_term $ explain_flag $ run_flag $ force_flag $ jobs_arg
-      $ cache_arg $ requests_arg $ concurrency_arg $ raw_flag)
+      $ cache_arg $ requests_arg $ concurrency_arg $ raw_flag
+      $ prometheus_flag)
 
 (* ---------------------------------------------------------------- *)
 (* load                                                              *)
@@ -554,6 +587,11 @@ let load_cmd =
           (int_of "achieved" "timed_out")
           (int_of "achieved" "errors")
           (int_of "achieved" "dropped");
+        (match H.report_latency_summary doc with
+        | Some s ->
+          Printf.eprintf "gofreec load: %s\n"
+            (Gofree_stats.Stats.latency_summary_line s)
+        | None -> ());
         if not (H.slo_ok doc) then begin
           (match get "slo" "violations" with
           | Some (Json.List vs) ->

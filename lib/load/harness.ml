@@ -414,23 +414,51 @@ let vclient_main (v : vclient) () =
 (* Report                                                            *)
 (* ---------------------------------------------------------------- *)
 
+let summary_json (s : Stats.latency_summary) : Json.t =
+  Json.Obj
+    [
+      ("count", Json.Int s.Stats.ls_count);
+      ("p50_ms", Json.Float s.Stats.ls_p50_ms);
+      ("p95_ms", Json.Float s.Stats.ls_p95_ms);
+      ("p99_ms", Json.Float s.Stats.ls_p99_ms);
+      ("max_ms", Json.Float s.Stats.ls_max_ms);
+    ]
+
 let latency_summary (xs : float list) : Json.t =
-  match xs with
-  | [] -> Json.Obj [ ("count", Json.Int 0) ]
-  | _ ->
-    let arr = Array.of_list xs in
-    (match Stats.percentile_many [ 50.0; 95.0; 99.0 ] arr with
-    | [ (_, p50); (_, p95); (_, p99) ] ->
-      let _, max_ms = Stats.min_max arr in
-      Json.Obj
-        [
-          ("count", Json.Int (Array.length arr));
-          ("p50_ms", Json.Float p50);
-          ("p95_ms", Json.Float p95);
-          ("p99_ms", Json.Float p99);
-          ("max_ms", Json.Float max_ms);
-        ]
-    | _ -> assert false)
+  match Stats.latency_summary (Array.of_list xs) with
+  | None -> Json.Obj [ ("count", Json.Int 0) ]
+  | Some s -> summary_json s
+
+(** The overall latency ladder back out of a report, for callers that
+    only have the JSON (the [gofreec load] stderr line). *)
+let report_latency_summary (report : Json.t) : Stats.latency_summary option
+    =
+  match Json.member "latency_ms" report with
+  | None -> None
+  | Some lats -> begin
+    match Json.member "all" lats with
+    | Some all -> begin
+      match
+        ( Json.member "count" all,
+          Json.member "p50_ms" all,
+          Json.member "p95_ms" all,
+          Json.member "p99_ms" all,
+          Json.member "max_ms" all )
+      with
+      | Some (Json.Int count), Some p50, Some p95, Some p99, Some mx ->
+        let f j = Option.value (Json.to_float_opt j) ~default:0.0 in
+        Some
+          {
+            Stats.ls_count = count;
+            ls_p50_ms = f p50;
+            ls_p95_ms = f p95;
+            ls_p99_ms = f p99;
+            ls_max_ms = f mx;
+          }
+      | _ -> None
+    end
+    | None -> None
+  end
 
 let arrival_json ~clients : Schedule.arrival -> Json.t = function
   | Schedule.Closed -> Json.Obj [ ("model", Json.Str "closed") ]

@@ -1,0 +1,65 @@
+(** Leveled structured JSONL event log (see the .mli). *)
+
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_name s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type state = { oc : out_channel; mutex : Mutex.t; threshold : level }
+
+let current : state option Atomic.t = Atomic.make None
+
+let stop () =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+    Atomic.set current None;
+    Mutex.lock st.mutex;
+    (try close_out st.oc with Sys_error _ -> ());
+    Mutex.unlock st.mutex
+
+let start ?(level = Info) ~path () =
+  stop ();
+  Atomic.set current
+    (Some { oc = open_out path; mutex = Mutex.create (); threshold = level })
+
+let enabled level =
+  match Atomic.get current with
+  | None -> false
+  | Some st -> severity level >= severity st.threshold
+
+let log level event fields =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+    if severity level >= severity st.threshold then begin
+      let line =
+        Json.Obj
+          ([
+             ("ts_ms", Json.Float (Unix.gettimeofday () *. 1000.0));
+             ("level", Json.Str (level_name level));
+             ("event", Json.Str event);
+           ]
+          @ fields)
+      in
+      Mutex.lock st.mutex;
+      (try
+         output_string st.oc (Json.to_string line);
+         output_char st.oc '\n';
+         flush st.oc
+       with Sys_error _ -> ());
+      Mutex.unlock st.mutex
+    end

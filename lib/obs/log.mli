@@ -1,0 +1,37 @@
+(** Leveled structured event log: one JSON object per line (JSONL).
+
+    A process-wide singleton like {!Trace}: when disabled (the default)
+    every {!log} call is one atomic load and a branch.  When enabled,
+    events at or above the configured level are serialized under a mutex
+    and flushed per line, so a tail of the file is always whole lines —
+    including from worker domains and reader threads.
+
+    Line shape:
+    {v
+    {"ts_ms":1723111845123.4,"level":"info","event":"request",
+     "req":17,"method":"run","queue_wait_ms":0.4,...}
+    v}
+
+    Call sites that build field lists should guard with {!enabled} so
+    the arguments are only constructed when a log is being written. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+(** Case-insensitive; [None] on an unknown name. *)
+val level_of_name : string -> level option
+
+(** Open [path] (truncating) and log events at [level] and above
+    (default [Info]). *)
+val start : ?level:level -> path:string -> unit -> unit
+
+(** Flush, close, disable.  No-op when disabled. *)
+val stop : unit -> unit
+
+(** Is a log open {e and} accepting events at [level]? *)
+val enabled : level -> bool
+
+(** [log level event fields] writes one line; dropped when disabled or
+    below the configured level. *)
+val log : level -> string -> (string * Json.t) list -> unit

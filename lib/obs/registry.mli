@@ -1,0 +1,131 @@
+(** Typed metrics registry: named counters, gauges and fixed-bucket
+    histograms with per-domain accumulation and snapshot/merge.
+
+    Instruments are created once by name ({!counter} / {!gauge} /
+    {!histogram} return the existing instrument on a repeat name) and
+    then updated lock-free: counters and histogram bucket counts are
+    striped across a small array of atomics indexed by the calling
+    domain, so worker domains never contend on one cache line; float
+    accumulators (histogram sum / max) use CAS loops.  {!snapshot}
+    folds the stripes into one immutable {!Snapshot.t} that can be
+    merged with other snapshots, queried for quantiles, exported as the
+    [gofree-telemetry-v1] JSON document or as Prometheus text
+    exposition.
+
+    The process-wide {!runtime} registry carries the simulated runtime's
+    instruments (GC pause/gap histograms, tcfree counters).  Recording
+    into it is gated by {!runtime_enabled} — a single atomic load — so
+    the disabled path costs one load and a branch, like the tracer. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Instruments} *)
+
+type counter
+
+type gauge
+
+type histogram
+
+(** Create-or-return by name.  Raises [Invalid_argument] if [name]
+    already names an instrument of another kind. *)
+val counter : t -> ?help:string -> string -> counter
+
+val gauge : t -> ?help:string -> string -> gauge
+
+(** [buckets] are strictly increasing upper bounds (an implicit
+    overflow bucket catches everything above the last); defaults to
+    {!default_buckets_ms}.  Raises [Invalid_argument] on unsorted or
+    empty buckets, or if [name] exists with different buckets. *)
+val histogram : t -> ?help:string -> ?buckets:float array -> string ->
+  histogram
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** Last write wins. *)
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+(** {1 Bucket ladders} *)
+
+(** General-purpose request-latency ladder, 0.05ms .. 5s. *)
+val default_buckets_ms : float array
+
+(** [count] bounds growing geometrically from [start] by [factor].
+    Raises [Invalid_argument] unless [start > 0], [factor > 1] and
+    [count >= 1]. *)
+val exponential_buckets : start:float -> factor:float -> count:int ->
+  float array
+
+(** {1 Snapshots} *)
+
+module Snapshot : sig
+  type histo = {
+    buckets : float array;  (** upper bounds, sorted *)
+    counts : int array;  (** per bucket, length [buckets + 1] (overflow) *)
+    sum : float;
+    max_value : float;  (** largest observation; 0 when empty *)
+  }
+
+  type t = {
+    counters : (string * int) list;  (** sorted by name *)
+    gauges : (string * float) list;
+    histograms : (string * histo) list;
+    help : (string * string) list;
+  }
+
+  val empty : t
+
+  val count : histo -> int
+
+  (** Quantile estimate by linear interpolation inside the bucket the
+      rank falls in; [p] in [0, 100].  Monotone in [p], clamped to
+      [max_value] (so p99 never exceeds the tracked maximum), 0 on an
+      empty histogram. *)
+  val quantile : histo -> float -> float
+
+  (** Pointwise merge: counters add, gauges are right-biased, histogram
+      counts/sums add and maxima take the max.  Associative (counter
+      and bucket-count addition is exact; use it to fold per-domain or
+      per-registry snapshots).  Raises [Invalid_argument] when the two
+      sides define the same histogram with different buckets. *)
+  val merge : t -> t -> t
+
+  val find_counter : string -> t -> int option
+
+  val find_histogram : string -> t -> histo option
+
+  (** The [gofree-telemetry-v1] document. *)
+  val to_json : t -> Json.t
+
+  (** Inverse of {!to_json}; checks the schema tag.  Raises
+      {!Json.Parse_error} on a malformed document. *)
+  val of_json : Json.t -> t
+
+  (** Prometheus text exposition (HELP/TYPE comments, cumulative
+      [_bucket{le="..."}] ladders with [+Inf], [_sum], [_count]). *)
+  val to_prometheus : t -> string
+end
+
+val snapshot : t -> Snapshot.t
+
+(** {1 The process-wide runtime registry} *)
+
+val runtime : t
+
+(** Reference-counted enablement: the daemon acquires for its lifetime;
+    benches acquire around a measured region.  Balanced release keeps
+    concurrent in-process servers from disabling each other. *)
+val acquire_runtime : unit -> unit
+
+val release_runtime : unit -> unit
+
+(** One atomic load — the guard call sites use before recording. *)
+val runtime_enabled : unit -> bool

@@ -15,8 +15,10 @@ type t =
   | Bench  (** the BENCH_gofree.json evaluation export *)
   | Rpc  (** the [gofreec serve] wire protocol *)
   | Load  (** the [gofreec load] harness report *)
+  | Telemetry  (** metrics-registry snapshots, [Registry.Snapshot.to_json] *)
 
-let all = [ Metrics; Samples; Build_stats; Explain; Bench; Rpc; Load ]
+let all =
+  [ Metrics; Samples; Build_stats; Explain; Bench; Rpc; Load; Telemetry ]
 
 let tag = function
   | Metrics -> "gofree-metrics-v1"
@@ -26,6 +28,7 @@ let tag = function
   | Bench -> "gofree-bench-v1"
   | Rpc -> "gofree-rpc-v1"
   | Load -> "gofree-load-v1"
+  | Telemetry -> "gofree-telemetry-v1"
 
 let of_tag s = List.find_opt (fun t -> tag t = s) all
 

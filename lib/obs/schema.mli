@@ -11,6 +11,7 @@ type t =
   | Bench  (** the BENCH_gofree.json evaluation export *)
   | Rpc  (** the [gofreec serve] wire protocol *)
   | Load  (** the [gofreec load] harness report *)
+  | Telemetry  (** metrics-registry snapshots, [Registry.Snapshot.to_json] *)
 
 val all : t list
 

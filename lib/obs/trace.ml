@@ -46,6 +46,8 @@ let tid_worker i = 10 + i
 
 let tid_fiber gid = 100 + gid
 
+let tid_reader conn = 1000 + conn
+
 let domain_tid_key : int Domain.DLS.key =
   Domain.DLS.new_key (fun () -> tid_main)
 
@@ -53,12 +55,40 @@ let domain_tid () = Domain.DLS.get domain_tid_key
 
 let set_domain_tid tid = Domain.DLS.set domain_tid_key tid
 
+(* Request correlation: a per-domain ambient request id.  While set,
+   every event the domain emits (GC spans, pipeline phases, tcfree
+   instants — anything except "M" metadata) gains an {b args.req} field,
+   so one request's whole lifecycle can be filtered out of a trace.
+   Per-domain, not per-thread: only set it from contexts that own their
+   domain for the request's duration (the daemon's worker domains);
+   systhreads sharing a domain must pass [("req", ...)] explicitly. *)
+let request_id_key : int option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let request_id () = Domain.DLS.get request_id_key
+
+let with_request_id rid f =
+  let prev = Domain.DLS.get request_id_key in
+  Domain.DLS.set request_id_key rid;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set request_id_key prev)
+    f
+
 (* Serialize one event under the state's mutex.  [ph] is the trace-event
    phase letter; [extra] appends pre-rendered JSON fields. *)
 let emit ?(args = []) ~tid ~ph name =
   match Atomic.get current with
   | None -> ()
   | Some st ->
+    let args =
+      if ph = "M" then args
+      else begin
+        match Domain.DLS.get request_id_key with
+        | Some rid when not (List.mem_assoc "req" args) ->
+          ("req", Json.Int rid) :: args
+        | _ -> args
+      end
+    in
     Mutex.lock st.mutex;
     let ts =
       let raw = (Unix.gettimeofday () -. st.t0) *. 1e6 in

@@ -46,6 +46,10 @@ val tid_worker : int -> int
 (** Track of goroutine/fiber [gid] (100 + gid). *)
 val tid_fiber : int -> int
 
+(** Track of the daemon's reader thread for connection [conn]
+    (1000 + conn) — request receive/queue/respond events. *)
+val tid_reader : int -> int
+
 (** The current domain's default track: {!tid_main} unless
     {!set_domain_tid} was called on this domain (the build driver pins
     each worker domain to its own track, so pipeline spans emitted inside
@@ -53,6 +57,20 @@ val tid_fiber : int -> int
 val domain_tid : unit -> int
 
 val set_domain_tid : int -> unit
+
+(** {1 Request correlation}
+
+    While a request id is set on a domain, every event that domain emits
+    (except "M" metadata) carries [args.req = id] — the daemon's worker
+    domains wrap request execution in {!with_request_id} so pipeline,
+    GC and tcfree spans nested under a request are attributable to it.
+    The id is per-{e domain}: systhreads that share a domain (the
+    daemon's reader threads) must pass [("req", ...)] in [?args]
+    explicitly instead.  An explicit ["req"] arg always wins. *)
+
+val request_id : unit -> int option
+
+val with_request_id : int option -> (unit -> 'a) -> 'a
 
 (** {1 Emission} *)
 

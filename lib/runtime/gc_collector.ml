@@ -109,6 +109,24 @@ let sweep (heap : Heap.t) =
 
 module Trace = Gofree_obs.Trace
 module Json = Gofree_obs.Json
+module Reg = Gofree_obs.Registry
+
+(* Pause/gap instruments live on the process-global runtime registry and
+   record only while something (a daemon, a bench) holds
+   [Reg.acquire_runtime] — otherwise each [collect] pays one atomic
+   load.  Exponential rungs: simulated cycles span 10 µs "pauses" to
+   multi-second gaps between cycles. *)
+let gc_buckets_ms = Reg.exponential_buckets ~start:0.01 ~factor:2.0 ~count:18
+
+let h_gc_pause =
+  Reg.histogram Reg.runtime ~buckets:gc_buckets_ms
+    ~help:"stop-the-world GC cycle duration (mark + sweep)"
+    "gofree_gc_pause_ms"
+
+let h_gc_gap =
+  Reg.histogram Reg.runtime ~buckets:gc_buckets_ms
+    ~help:"gap between consecutive GC cycles (end to start)"
+    "gofree_gc_gap_ms"
 
 (** Run one full GC cycle and update pacing. *)
 let collect (heap : Heap.t) =
@@ -137,6 +155,13 @@ let collect (heap : Heap.t) =
   metrics.Metrics.gc_cycles <- metrics.Metrics.gc_cycles + 1;
   metrics.Metrics.gc_time_ns <-
     Int64.add metrics.Metrics.gc_time_ns (Int64.sub t1 t0);
+  if Reg.runtime_enabled () then begin
+    Reg.observe h_gc_pause (Int64.to_float (Int64.sub t1 t0) /. 1e6);
+    if heap.Heap.last_gc_end_ns <> 0L then
+      Reg.observe h_gc_gap
+        (Int64.to_float (Int64.sub t0 heap.Heap.last_gc_end_ns) /. 1e6)
+  end;
+  heap.Heap.last_gc_end_ns <- t1;
   let marked = metrics.Metrics.heap_live in
   heap.Heap.next_gc <-
     max heap.Heap.config.Heap.min_heap

@@ -79,6 +79,9 @@ type t = {
   mutable sampler : Sampler.t option;
       (** periodic metrics snapshots; attached by the runner when
           [--metrics-json]/[sample_every] asks for a time series *)
+  mutable last_gc_end_ns : int64;
+      (** wall-clock end of the previous cycle; 0 before the first —
+          feeds the inter-pause-gap histogram *)
   tombstones : (int, string) Hashtbl.t;
       (** freed address → how it died; diagnostic detail for corruption
           reports *)
@@ -102,6 +105,7 @@ let create ?(config = default_config) ?(nprocs = 4) () =
     iter_roots = (fun _ -> ());
     gc_requested = false;
     sampler = None;
+    last_gc_end_ns = 0L;
     tombstones = Hashtbl.create 64;
   }
 

@@ -54,6 +54,8 @@ type t = {
   mutable sampler : Sampler.t option;
       (** periodic metrics snapshots; attached by the runner when a
           metrics time series was requested *)
+  mutable last_gc_end_ns : int64;
+      (** wall-clock end of the previous GC cycle; 0 before the first *)
   tombstones : (int, string) Hashtbl.t;
 }
 

@@ -18,7 +18,8 @@
      "error":{"code":"compile_error","message":"..."}}
     v}
 
-    Methods: [analyze], [build], [run], [explain], [stats], [shutdown].
+    Methods: [analyze], [build], [run], [explain], [stats], [telemetry],
+    [shutdown].
     Program sources are passed either inline (["source"]) or as a path
     the {e daemon} reads (["file"]).  The pipeline configuration is the
     ["config"] preset name ([gofree] | [go] | [all-targets] | [no-ipa]);
@@ -63,6 +64,7 @@ type request =
     }
   | Explain of { src : src; preset : Gofree_api.preset }
   | Stats
+  | Telemetry  (** the full [gofree-telemetry-v1] registry snapshot *)
   | Shutdown
 
 let method_name = function
@@ -71,6 +73,7 @@ let method_name = function
   | Run _ -> "run"
   | Explain _ -> "explain"
   | Stats -> "stats"
+  | Telemetry -> "telemetry"
   | Shutdown -> "shutdown"
 
 (** A decoded request, the id to echo in its response ([Json.Null] when
@@ -195,11 +198,12 @@ let request_of_json (j : Json.t) : incoming =
       Explain
         { src = src_of_params params; preset = preset_of_params params }
     | "stats" -> Stats
+    | "telemetry" -> Telemetry
     | "shutdown" -> Shutdown
     | m ->
       bad
         "unknown method %S (analyze | build | run | explain | stats | \
-         shutdown)" m
+         telemetry | shutdown)" m
   in
   let deadline_ms =
     match Json.member "deadline_ms" params with
@@ -277,7 +281,7 @@ let request_to_json ?(id = Json.Null) ?deadline_ms (r : request) : Json.t =
     | Run { src; preset; options } ->
       src_fields src @ preset_field preset @ options_fields options
     | Explain { src; preset } -> src_fields src @ preset_field preset
-    | Stats | Shutdown -> []
+    | Stats | Telemetry | Shutdown -> []
   in
   let params =
     params

@@ -42,7 +42,8 @@
 module Json = Gofree_obs.Json
 module Trace = Gofree_obs.Trace
 module Ring = Gofree_obs.Ring
-module Stats = Gofree_stats.Stats
+module Reg = Gofree_obs.Registry
+module Log = Gofree_obs.Log
 module Pool = Gofree_sched.Pool
 
 type conn = {
@@ -65,22 +66,43 @@ type t = {
   cache : Cache.t;
   stopping : bool Atomic.t;
   t0 : float;
-  (* ---- counters (under st_mutex) ---- *)
+  (* ---- telemetry (the per-server registry; lock-free updates) ---- *)
+  reg : Reg.t;
+  m_responses : Reg.counter;  (** responses sent, errors included *)
+  m_errors : Reg.counter;  (** error responses among them *)
+  m_malformed : Reg.counter;  (** undecodable request lines *)
+  m_dropped : Reg.counter;  (** responses lost to dead connections *)
+  m_shed : Reg.counter;  (** requests refused with [overloaded] *)
+  m_timed_out : Reg.counter;  (** queued past deadline, answered so *)
+  m_cancelled : Reg.counter;  (** queued work skipped: client gone *)
+  h_queue_wait : Reg.histogram;  (** ms, receipt → dequeue *)
+  h_service : Reg.histogram;  (** ms, dequeue → response written *)
+  h_request : Reg.histogram;  (** ms, receipt → response written *)
+  g_queue_depth : Reg.gauge;
+  g_connections : Reg.gauge;
+  g_uptime : Reg.gauge;
+  next_req : int Atomic.t;  (** request ids, minted at the reader *)
+  (* ---- connection bookkeeping (under st_mutex) ---- *)
   st_mutex : Mutex.t;
-  mutable served : int;  (** responses written, errors included *)
-  mutable errored : int;  (** error responses among them *)
-  mutable malformed : int;  (** undecodable request lines *)
-  mutable dropped : int;  (** responses lost to dead connections *)
-  mutable shed : int;  (** requests refused with [overloaded] *)
-  mutable timed_out : int;  (** queued past deadline, answered [timed_out] *)
-  mutable cancelled : int;  (** queued work skipped: client disconnected *)
-  by_method : (string, int) Hashtbl.t;
-  latencies : float Ring.t;  (** ms, receipt → response, pooled requests *)
+  latencies : float Ring.t;
+      (** ms, receipt → response, pooled requests — the bounded
+          {e recent window} behind [stats.latency_recent_ms]; the
+          all-time percentiles come from [h_request] *)
   mutable conns : conn list;
   mutable conns_total : int;
   mutable threads : Thread.t list;
   mutable serve_thread : Thread.t option;
 }
+
+(* One latency ladder for queue-wait, service and total so snapshots of
+   the three merge and compare; sub-ms lower rungs resolve the
+   queue-wait of an idle daemon. *)
+let latency_buckets_ms = Reg.default_buckets_ms
+
+let method_counter_prefix = "gofree_rpc_method_"
+
+let method_counter (t : t) name =
+  Reg.counter t.reg (method_counter_prefix ^ name ^ "_total")
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
@@ -108,6 +130,13 @@ let create ?(workers = 0) ?(queue_capacity = 64) ?shed_watermark
      Unix.close listen_fd;
      raise e);
   let queue_capacity = max 1 queue_capacity in
+  (* the daemon's lifetime turns the runtime instruments (GC pause/gap,
+     tcfree counters) on; [serve] releases on the way out *)
+  Reg.acquire_runtime ();
+  let reg = Reg.create () in
+  let histo help name =
+    Reg.histogram reg ~help ~buckets:latency_buckets_ms name
+  in
   {
     socket_path = socket;
     listen_fd;
@@ -120,15 +149,46 @@ let create ?(workers = 0) ?(queue_capacity = 64) ?shed_watermark
     cache = Cache.create ();
     stopping = Atomic.make false;
     t0 = now_ms ();
+    reg;
+    m_responses =
+      Reg.counter reg ~help:"responses sent, errors included"
+        "gofree_rpc_responses_total";
+    m_errors =
+      Reg.counter reg ~help:"error responses among the responses"
+        "gofree_rpc_responses_error_total";
+    m_malformed =
+      Reg.counter reg ~help:"undecodable request lines"
+        "gofree_rpc_malformed_total";
+    m_dropped =
+      Reg.counter reg ~help:"responses lost to dead connections"
+        "gofree_rpc_responses_dropped_total";
+    m_shed =
+      Reg.counter reg ~help:"requests refused with overloaded"
+        "gofree_rpc_shed_total";
+    m_timed_out =
+      Reg.counter reg ~help:"requests queued past their deadline"
+        "gofree_rpc_timed_out_total";
+    m_cancelled =
+      Reg.counter reg ~help:"queued work skipped: client disconnected"
+        "gofree_rpc_cancelled_total";
+    h_queue_wait =
+      histo "ms from receipt to dequeue (pooled requests)"
+        "gofree_rpc_queue_wait_ms";
+    h_service =
+      histo "ms from dequeue to response written"
+        "gofree_rpc_service_ms";
+    h_request =
+      histo "ms from receipt to response written"
+        "gofree_rpc_request_ms";
+    g_queue_depth =
+      Reg.gauge reg ~help:"queue depth at last scrape"
+        "gofree_rpc_queue_depth";
+    g_connections =
+      Reg.gauge reg ~help:"active connections at last scrape"
+        "gofree_rpc_connections_active";
+    g_uptime = Reg.gauge reg ~help:"ms since create" "gofree_uptime_ms";
+    next_req = Atomic.make 1;
     st_mutex = Mutex.create ();
-    served = 0;
-    errored = 0;
-    malformed = 0;
-    dropped = 0;
-    shed = 0;
-    timed_out = 0;
-    cancelled = 0;
-    by_method = Hashtbl.create 8;
     latencies = Ring.create ~capacity:1024;
     conns = [];
     conns_total = 0;
@@ -177,11 +237,19 @@ let conn_reader_done (t : t) (c : conn) =
   Mutex.unlock c.c_wmutex;
   Mutex.lock t.st_mutex;
   t.conns <- List.filter (fun c' -> c'.c_id <> c.c_id) t.conns;
-  Mutex.unlock t.st_mutex
+  Mutex.unlock t.st_mutex;
+  if Log.enabled Log.Debug then
+    Log.log Log.Debug "conn_close"
+      [ ("conn", Json.Int c.c_id); ("served", Json.Int c.c_served) ]
 
 (** Write one response line; [false] (and counted) when the client is
     gone.  A dead connection swallows all later responses too. *)
 let send (t : t) (c : conn) (j : Json.t) : bool =
+  (* counted before the bytes go out: the moment the write lands the
+     client can already be scraping stats/telemetry on another
+     connection, and the scrape must include this response.  A failed
+     write is counted under dropped as well. *)
+  Reg.incr t.m_responses;
   Mutex.lock c.c_wmutex;
   let ok =
     c.c_alive && not c.c_closed
@@ -194,39 +262,38 @@ let send (t : t) (c : conn) (j : Json.t) : bool =
   in
   if ok then c.c_served <- c.c_served + 1;
   Mutex.unlock c.c_wmutex;
-  Mutex.lock t.st_mutex;
-  if ok then t.served <- t.served + 1 else t.dropped <- t.dropped + 1;
-  Mutex.unlock t.st_mutex;
+  if not ok then Reg.incr t.m_dropped;
   ok
 
-let count_method (t : t) name =
-  Mutex.lock t.st_mutex;
-  Hashtbl.replace t.by_method name
-    (1 + Option.value (Hashtbl.find_opt t.by_method name) ~default:0);
-  Mutex.unlock t.st_mutex
+let count_method (t : t) name = Reg.incr (method_counter t name)
 
-let count_error (t : t) =
-  Mutex.lock t.st_mutex;
-  t.errored <- t.errored + 1;
-  Mutex.unlock t.st_mutex
+let count_error (t : t) = Reg.incr t.m_errors
 
-let count_shed (t : t) =
-  Mutex.lock t.st_mutex;
-  t.shed <- t.shed + 1;
-  Mutex.unlock t.st_mutex;
-  Trace.instant ~tid:(Trace.domain_tid ()) "rpc:shed"
+(* The three overload outcomes: counter, request-correlated trace
+   instant on the connection's reader track, and a warn-level log line. *)
+let count_outcome (c : conn) ~rid ~meth counter what =
+  Reg.incr counter;
+  if Trace.enabled () then
+    Trace.instant
+      ~args:[ ("req", Json.Int rid); ("conn", Json.Int c.c_id) ]
+      ~tid:(Trace.tid_reader c.c_id)
+      ("rpc:" ^ what);
+  if Log.enabled Log.Warn then
+    Log.log Log.Warn what
+      [
+        ("req", Json.Int rid);
+        ("conn", Json.Int c.c_id);
+        ("method", Json.Str meth);
+      ]
 
-let count_timed_out (t : t) =
-  Mutex.lock t.st_mutex;
-  t.timed_out <- t.timed_out + 1;
-  Mutex.unlock t.st_mutex;
-  Trace.instant ~tid:(Trace.domain_tid ()) "rpc:timed_out"
+let count_shed (t : t) c ~rid ~meth =
+  count_outcome c ~rid ~meth t.m_shed "shed"
 
-let count_cancelled (t : t) =
-  Mutex.lock t.st_mutex;
-  t.cancelled <- t.cancelled + 1;
-  Mutex.unlock t.st_mutex;
-  Trace.instant ~tid:(Trace.domain_tid ()) "rpc:cancelled"
+let count_timed_out (t : t) c ~rid ~meth =
+  count_outcome c ~rid ~meth t.m_timed_out "timed_out"
+
+let count_cancelled (t : t) c ~rid ~meth =
+  count_outcome c ~rid ~meth t.m_cancelled "cancelled"
 
 (* A connection whose reader saw EOF (or whose last write failed) owes
    nothing: queued work for it is cancelled instead of executed. *)
@@ -275,13 +342,40 @@ let cached_compilation (t : t) ~preset src =
       ~config:(Gofree_api.config_of_preset preset)
       source
 
+(* The ladder both latency views share.  The all-time view reads the
+   request histogram — unlike the pre-telemetry ring it never forgets
+   early requests once more than the window have been served, so p99
+   keeps meaning p99 {e of the run} under pressure.  Quantiles are
+   bucket-interpolated estimates clamped to the tracked maximum. *)
+let histogram_latency_fields (h : Reg.Snapshot.histo) =
+  let count = Reg.Snapshot.count h in
+  if count = 0 then []
+  else
+    [
+      ("count", Json.Int count);
+      ("p50_ms", Json.Float (Reg.Snapshot.quantile h 50.0));
+      ("p95_ms", Json.Float (Reg.Snapshot.quantile h 95.0));
+      ("p99_ms", Json.Float (Reg.Snapshot.quantile h 99.0));
+      ("max_ms", Json.Float h.Reg.Snapshot.max_value);
+    ]
+
+(* Exact sample percentiles, but only over the ring's bounded recent
+   window — the complementary "what just happened" view. *)
+let ring_latency_fields (lats : float array) =
+  match Gofree_stats.Stats.latency_summary lats with
+  | None -> []
+  | Some s ->
+    [
+      ("window", Json.Int (Array.length lats));
+      ("p50_ms", Json.Float s.Gofree_stats.Stats.ls_p50_ms);
+      ("p95_ms", Json.Float s.Gofree_stats.Stats.ls_p95_ms);
+      ("p99_ms", Json.Float s.Gofree_stats.Stats.ls_p99_ms);
+      ("max_ms", Json.Float s.Gofree_stats.Stats.ls_max_ms);
+    ]
+
 let stats_json (t : t) : Json.t =
   let hits, misses = Cache.counts t.cache in
   Mutex.lock t.st_mutex;
-  let served = t.served and errored = t.errored in
-  let malformed = t.malformed and dropped = t.dropped in
-  let shed = t.shed and timed_out = t.timed_out in
-  let cancelled = t.cancelled in
   let active = List.length t.conns and total = t.conns_total in
   let clients =
     List.rev_map
@@ -297,27 +391,35 @@ let stats_json (t : t) : Json.t =
           ])
       t.conns
   in
-  let by_method =
-    Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) t.by_method []
-    |> List.sort compare
-  in
   let lats = Array.of_list (Ring.to_list t.latencies) in
   Mutex.unlock t.st_mutex;
+  let snap = Reg.snapshot t.reg in
+  let by_method =
+    List.filter_map
+      (fun (name, v) ->
+        let plen = String.length method_counter_prefix in
+        if
+          String.length name > plen + 6
+          && String.sub name 0 plen = method_counter_prefix
+          && Filename.check_suffix name "_total"
+        then
+          Some
+            ( String.sub name plen (String.length name - plen - 6),
+              Json.Int v )
+        else None)
+      snap.Reg.Snapshot.counters
+  in
+  let served = Reg.counter_value t.m_responses in
+  let errored = Reg.counter_value t.m_errors in
+  let malformed = Reg.counter_value t.m_malformed in
+  let dropped = Reg.counter_value t.m_dropped in
+  let shed = Reg.counter_value t.m_shed in
+  let timed_out = Reg.counter_value t.m_timed_out in
+  let cancelled = Reg.counter_value t.m_cancelled in
   let latency =
-    if Array.length lats = 0 then []
-    else begin
-      match Stats.percentile_many [ 50.0; 95.0; 99.0 ] lats with
-      | [ (_, p50); (_, p95); (_, p99) ] ->
-        let _, max_ms = Stats.min_max lats in
-        [
-          ("count", Json.Int (Array.length lats));
-          ("p50_ms", Json.Float p50);
-          ("p95_ms", Json.Float p95);
-          ("p99_ms", Json.Float p99);
-          ("max_ms", Json.Float max_ms);
-        ]
-      | _ -> assert false
-    end
+    match Reg.Snapshot.find_histogram "gofree_rpc_request_ms" snap with
+    | Some h -> histogram_latency_fields h
+    | None -> []
   in
   Json.Obj
     [
@@ -366,7 +468,22 @@ let stats_json (t : t) : Json.t =
             ("clients", Json.List clients);
           ] );
       ("latency_ms", Json.Obj latency);
+      ("latency_recent_ms", Json.Obj (ring_latency_fields lats));
     ]
+
+(** The [telemetry] verb: one [gofree-telemetry-v1] document merging
+    this server's request registry with the process-wide runtime
+    registry (GC pause/gap histograms, tcfree counters).  Gauges are
+    sampled at scrape time. *)
+let telemetry_json (t : t) : Json.t =
+  Reg.set t.g_uptime (now_ms () -. t.t0);
+  Reg.set t.g_queue_depth (float_of_int (Pool.queue_depth t.pool));
+  Mutex.lock t.st_mutex;
+  let active = List.length t.conns in
+  Mutex.unlock t.st_mutex;
+  Reg.set t.g_connections (float_of_int active);
+  Reg.Snapshot.to_json
+    (Reg.Snapshot.merge (Reg.snapshot Reg.runtime) (Reg.snapshot t.reg))
 
 (** Execute one decoded request; [Error (code, message)] becomes an
     error response. *)
@@ -374,6 +491,7 @@ let handle (t : t) (r : Rpc.request) : (Json.t, string * string) result =
   let api e = (Rpc.error_code e, Gofree_api.error_message e) in
   match r with
   | Rpc.Stats -> Ok (stats_json t)
+  | Rpc.Telemetry -> Ok (telemetry_json t)
   | Rpc.Shutdown ->
     request_shutdown t;
     Ok (Json.Obj [ ("stopping", Json.Bool true) ])
@@ -468,31 +586,77 @@ let respond (t : t) (c : conn) ~id (outcome : (Json.t, string * string) result)
   in
   ignore (send t c response)
 
-let record_latency (t : t) t_recv =
+let outcome_name = function
+  | Ok _ -> "ok"
+  | Error (code, _) -> code
+
+(* One info line per pooled response, carrying the whole latency
+   decomposition. *)
+let log_request (c : conn) ~rid ~meth ~outcome ~queue_wait_ms
+    ~service_ms ~total_ms =
+  if Log.enabled Log.Info then
+    Log.log Log.Info "request"
+      [
+        ("req", Json.Int rid);
+        ("conn", Json.Int c.c_id);
+        ("method", Json.Str meth);
+        ("outcome", Json.Str (outcome_name outcome));
+        ("queue_wait_ms", Json.Float queue_wait_ms);
+        ("service_ms", Json.Float service_ms);
+        ("total_ms", Json.Float total_ms);
+      ]
+
+let record_latency (t : t) total_ms =
+  Reg.observe t.h_request total_ms;
   Mutex.lock t.st_mutex;
-  Ring.push t.latencies (now_ms () -. t_recv);
+  Ring.push t.latencies total_ms;
   Mutex.unlock t.st_mutex
 
 let reader_loop (t : t) (c : conn) =
   let rd = Rpc.reader c.c_fd in
+  if Trace.enabled () then
+    Trace.name_thread
+      ~tid:(Trace.tid_reader c.c_id)
+      (Printf.sprintf "reader %d" c.c_id);
   let rec loop () =
     match Rpc.read_line rd with
     | None -> ()
     | Some line ->
       let t_recv = now_ms () in
+      (* the request id is minted here, at the reader, and follows the
+         request through queue, worker domain and nested spans *)
+      let rid = Atomic.fetch_and_add t.next_req 1 in
+      let rtid = Trace.tid_reader c.c_id in
       (match Rpc.decode line with
       | Error (id, message) ->
-        Mutex.lock t.st_mutex;
-        t.malformed <- t.malformed + 1;
-        Mutex.unlock t.st_mutex;
+        Reg.incr t.m_malformed;
+        if Log.enabled Log.Warn then
+          Log.log Log.Warn "malformed"
+            [
+              ("req", Json.Int rid);
+              ("conn", Json.Int c.c_id);
+              ("message", Json.Str message);
+            ];
         respond t c ~id (Error ("bad_request", message))
       | Ok { Rpc.rq_id = id; rq_request; rq_deadline_ms } -> begin
-        count_method t (Rpc.method_name rq_request);
+        let meth = Rpc.method_name rq_request in
+        count_method t meth;
+        if Trace.enabled () then
+          Trace.instant
+            ~args:[ ("req", Json.Int rid); ("method", Json.Str meth) ]
+            ~tid:rtid "rpc:recv";
         match rq_request with
-        | Rpc.Stats | Rpc.Shutdown ->
+        | Rpc.Stats | Rpc.Telemetry | Rpc.Shutdown ->
           (* cheap and latency-sensitive: answered on the reader
              thread, ahead of any queue *)
-          respond t c ~id (handle t rq_request)
+          let outcome = handle t rq_request in
+          respond t c ~id outcome;
+          if Trace.enabled () then
+            Trace.instant ~args:[ ("req", Json.Int rid) ] ~tid:rtid
+              "rpc:respond";
+          log_request c ~rid ~meth ~outcome ~queue_wait_ms:0.0
+            ~service_ms:(now_ms () -. t_recv)
+            ~total_ms:(now_ms () -. t_recv)
         | _ ->
           let deadline_ms =
             match rq_deadline_ms with
@@ -502,33 +666,70 @@ let reader_loop (t : t) (c : conn) =
           Mutex.lock c.c_wmutex;
           c.c_pending <- c.c_pending + 1;
           Mutex.unlock c.c_wmutex;
+          (* queue-wait renders as a span on the reader track: B here,
+             E at dequeue (or right below, when admission refuses) *)
+          if Trace.enabled () then
+            Trace.begin_span
+              ~args:[ ("req", Json.Int rid); ("method", Json.Str meth) ]
+              ~tid:rtid "rpc:queued";
           let job () =
-            (* decided at dequeue time, so queued work is never
-               executed for a dead client or past its deadline *)
-            if conn_gone c then count_cancelled t
-            else if deadline_ms > 0 && now_ms () -. t_recv > float_of_int deadline_ms
-            then begin
-              count_timed_out t;
-              respond t c ~id
-                (Error
-                   ( "timed_out",
-                     Printf.sprintf
-                       "request exceeded its %dms deadline while queued"
-                       deadline_ms ));
-              record_latency t t_recv
-            end
-            else begin
-              (match
-                 Trace.with_span ~tid:(Trace.domain_tid ())
-                   ("rpc:" ^ Rpc.method_name rq_request)
-                   (fun () -> handle t rq_request)
-               with
-              | outcome -> respond t c ~id outcome
-              | exception e ->
-                respond t c ~id
-                  (Error ("internal_error", Printexc.to_string e)));
-              record_latency t t_recv
-            end;
+            (* the worker domain owns this request until done: nested
+               spans (pipeline, GC, tcfree) inherit args.req *)
+            Trace.with_request_id (Some rid) (fun () ->
+                let t_deq = now_ms () in
+                let queue_wait_ms = t_deq -. t_recv in
+                if Trace.enabled () then Trace.end_span ~tid:rtid "rpc:queued";
+                (* decided at dequeue time, so queued work is never
+                   executed for a dead client or past its deadline *)
+                if conn_gone c then count_cancelled t c ~rid ~meth
+                else if
+                  deadline_ms > 0
+                  && queue_wait_ms > float_of_int deadline_ms
+                then begin
+                  Reg.observe t.h_queue_wait queue_wait_ms;
+                  count_timed_out t c ~rid ~meth;
+                  let outcome =
+                    Error
+                      ( "timed_out",
+                        Printf.sprintf
+                          "request exceeded its %dms deadline while queued"
+                          deadline_ms )
+                  in
+                  (* record before the response goes out, so a stats or
+                     telemetry call pipelined right behind the response
+                     already sees this request *)
+                  let total_ms = now_ms () -. t_recv in
+                  record_latency t total_ms;
+                  respond t c ~id outcome;
+                  log_request c ~rid ~meth ~outcome ~queue_wait_ms
+                    ~service_ms:0.0 ~total_ms
+                end
+                else begin
+                  Reg.observe t.h_queue_wait queue_wait_ms;
+                  let outcome =
+                    match
+                      Trace.with_span ~tid:(Trace.domain_tid ())
+                        ("rpc:" ^ meth)
+                        (fun () -> handle t rq_request)
+                    with
+                    | outcome -> outcome
+                    | exception e ->
+                      Error ("internal_error", Printexc.to_string e)
+                  in
+                  (* record before the response goes out (same reason as
+                     the timeout path); the write itself is not part of
+                     the service time *)
+                  let t_done = now_ms () in
+                  Reg.observe t.h_service (t_done -. t_deq);
+                  record_latency t (t_done -. t_recv);
+                  respond t c ~id outcome;
+                  if Trace.enabled () then
+                    Trace.instant ~args:[ ("req", Json.Int rid) ]
+                      ~tid:rtid "rpc:respond";
+                  log_request c ~rid ~meth ~outcome ~queue_wait_ms
+                    ~service_ms:(t_done -. t_deq)
+                    ~total_ms:(t_done -. t_recv)
+                end);
             conn_done_one c
           in
           (* admission control: keyed by connection (round-robin
@@ -539,7 +740,8 @@ let reader_loop (t : t) (c : conn) =
           with
           | `Accepted -> ()
           | `Full ->
-            count_shed t;
+            if Trace.enabled () then Trace.end_span ~tid:rtid "rpc:queued";
+            count_shed t c ~rid ~meth;
             respond t c ~id
               (Error
                  ( "overloaded",
@@ -548,6 +750,7 @@ let reader_loop (t : t) (c : conn) =
                      t.shed_watermark ));
             conn_done_one c
           | `Stopping ->
+            if Trace.enabled () then Trace.end_span ~tid:rtid "rpc:queued";
             respond t c ~id
               (Error ("shutting_down", "server is shutting down"));
             conn_done_one c
@@ -565,6 +768,12 @@ let reader_loop (t : t) (c : conn) =
     accepts connections, drains outstanding work, closes everything,
     removes the socket file. *)
 let serve (t : t) : unit =
+  if Log.enabled Log.Info then
+    Log.log Log.Info "listening"
+      [
+        ("socket", Json.Str t.socket_path);
+        ("workers", Json.Int (Pool.size t.pool));
+      ];
   let rec accept_loop () =
     if not (Atomic.get t.stopping) then begin
       match Unix.accept t.listen_fd with
@@ -590,6 +799,8 @@ let serve (t : t) : unit =
           t.conns_total <- t.conns_total + 1;
           t.conns <- c :: t.conns;
           Mutex.unlock t.st_mutex;
+          if Log.enabled Log.Debug then
+            Log.log Log.Debug "conn_open" [ ("conn", Json.Int c.c_id) ];
           let th = Thread.create (fun () -> reader_loop t c) () in
           Mutex.lock t.st_mutex;
           t.threads <- th :: t.threads;
@@ -612,7 +823,17 @@ let serve (t : t) : unit =
     conns;
   List.iter Thread.join threads;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  if Log.enabled Log.Info then
+    Log.log Log.Info "shutdown"
+      [
+        ("socket", Json.Str t.socket_path);
+        ("conns_total", Json.Int t.conns_total);
+        ("responses", Json.Int (Reg.counter_value t.m_responses));
+      ];
+  (* [create] turned the runtime instruments on for the daemon's
+     lifetime; release on the way out. *)
+  Reg.release_runtime ()
 
 (** {!create} + {!serve} on a background thread — the in-process form
     the tests and benches use.  {!wait} joins it. *)

@@ -59,6 +59,40 @@ let percentile_many ps xs =
 
 let median xs = percentile 50.0 xs
 
+(** The one latency ladder every reporter prints: p50/p95/p99/max over
+    a millisecond sample.  [gofreec client --concurrency], [gofreec
+    load] and the load harness's report all derive their summaries from
+    this record, so the percentile set and the sort behind it
+    ({!percentile_many}) cannot drift apart between surfaces. *)
+type latency_summary = {
+  ls_count : int;
+  ls_p50_ms : float;
+  ls_p95_ms : float;
+  ls_p99_ms : float;
+  ls_max_ms : float;
+}
+
+let latency_summary (xs : float array) : latency_summary option =
+  if Array.length xs = 0 then None
+  else begin
+    match percentile_many [ 50.0; 95.0; 99.0 ] xs with
+    | [ (_, p50); (_, p95); (_, p99) ] ->
+      let _, max_ms = min_max xs in
+      Some
+        {
+          ls_count = Array.length xs;
+          ls_p50_ms = p50;
+          ls_p95_ms = p95;
+          ls_p99_ms = p99;
+          ls_max_ms = max_ms;
+        }
+    | _ -> assert false
+  end
+
+let latency_summary_line (s : latency_summary) : string =
+  Printf.sprintf "latency ms p50 %.2f p95 %.2f p99 %.2f max %.2f"
+    s.ls_p50_ms s.ls_p95_ms s.ls_p99_ms s.ls_max_ms
+
 (** Ratio of the means, the paper's "ratio" columns (GoFree / Go). *)
 let ratio ~treatment ~control =
   let c = mean control in

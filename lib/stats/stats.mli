@@ -20,6 +20,25 @@ val percentile_many : float list -> float array -> (float * float) list
 
 val median : float array -> float
 
+(** The shared latency ladder (count, p50/p95/p99/max in ms) that every
+    latency reporter — [gofreec client --concurrency], [gofreec load],
+    the load harness report — derives from the same
+    {!percentile_many} call. *)
+type latency_summary = {
+  ls_count : int;
+  ls_p50_ms : float;
+  ls_p95_ms : float;
+  ls_p99_ms : float;
+  ls_max_ms : float;
+}
+
+(** [None] on an empty sample. *)
+val latency_summary : float array -> latency_summary option
+
+(** ["latency ms p50 ... p95 ... p99 ... max ..."] — callers prefix
+    their own context. *)
+val latency_summary_line : latency_summary -> string
+
 (** Ratio of means (the paper's "ratio" columns, treatment / control). *)
 val ratio : treatment:float array -> control:float array -> float
 

@@ -108,9 +108,27 @@ let test_source_key () =
 
 let all_schemas =
   [ Schema.Metrics; Schema.Samples; Schema.Build_stats; Schema.Explain;
-    Schema.Bench; Schema.Rpc; Schema.Load ]
+    Schema.Bench; Schema.Rpc; Schema.Load; Schema.Telemetry ]
+
+(* Exhaustive by construction: adding a [Schema.t] constructor breaks
+   this match, which forces [all_schemas] (and the registry list it is
+   checked against) to keep up. *)
+let constructor_index : Schema.t -> int = function
+  | Schema.Metrics -> 0
+  | Schema.Samples -> 1
+  | Schema.Build_stats -> 2
+  | Schema.Explain -> 3
+  | Schema.Bench -> 4
+  | Schema.Rpc -> 5
+  | Schema.Load -> 6
+  | Schema.Telemetry -> 7
 
 let test_schema_tags () =
+  let indexes = List.sort_uniq compare (List.map constructor_index all_schemas) in
+  Alcotest.(check (list int))
+    "all_schemas lists every constructor once"
+    (List.init (List.length all_schemas) Fun.id)
+    indexes;
   List.iter
     (fun s ->
       Alcotest.(check bool)

@@ -30,4 +30,5 @@ let () =
       ("api", Test_api.suite);
       ("server", Test_server.suite);
       ("load", Test_load.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
