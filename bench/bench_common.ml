@@ -18,9 +18,23 @@ type options = {
   runs : int;  (** repetitions per (program, setting) *)
   scale : int;  (** workload size multiplier, percent (100 = default) *)
   seed : int;
+  engine : Gofree_interp.Interp.engine;
+      (** execution engine under measurement; metrics are identical
+          across engines, wall time is what differs *)
 }
 
-let default_options = { runs = 7; scale = 100; seed = 42 }
+let default_options =
+  {
+    runs = 7;
+    scale = 100;
+    seed = 42;
+    engine = Gofree_interp.Interp.Eng_bytecode;
+  }
+
+let engine_name = function
+  | Gofree_interp.Interp.Eng_reference -> "reference"
+  | Gofree_interp.Interp.Eng_closure -> "closure"
+  | Gofree_interp.Interp.Eng_bytecode -> "bytecode"
 
 type run_result = {
   r_time_ms : float;
@@ -54,6 +68,7 @@ let run_once ?min_heap ~options ~setting source : run_result =
           min_heap = Option.value min_heap ~default:(96 * 1024);
         };
       seed = Int64.of_int options.seed;
+      engine = options.engine;
     }
   in
   let r =

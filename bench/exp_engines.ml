@@ -1,0 +1,71 @@
+(** Execution-engine comparison: the six workloads under the
+    closure-compiled engine and the bytecode VM, interleaved, with the
+    per-workload wall-time speedup and its geometric mean — the number
+    the bytecode engine exists for.  Also asserts that the two engines'
+    allocator-visible metrics are identical on every run (the bench
+    counterpart of the differential test suite).
+
+    Run with [dune exec bench/main.exe -- --only engines]. *)
+
+module W = Gofree_workloads.Workloads
+module Stats = Gofree_stats.Stats
+open Bench_common
+
+let fingerprint (r : run_result) =
+  Printf.sprintf "%.0f/%.0f/%.0f/%.0f %s" r.r_alloced r.r_freed r.r_gcs
+    r.r_maxheap (Digest.to_hex (Digest.string r.r_output))
+
+let run ~options () =
+  heading "Execution engines: closure vs bytecode (median wall ms)";
+  Printf.printf "  %-12s %12s %12s %9s  %s\n" "workload" "closure"
+    "bytecode" "speedup" "metrics";
+  let opts e = { options with engine = e } in
+  let closure = opts Gofree_interp.Interp.Eng_closure in
+  let bytecode = opts Gofree_interp.Interp.Eng_bytecode in
+  let speedups =
+    List.map
+      (fun (w : W.t) ->
+        let size = scaled_size ~options w in
+        let source = W.source_of ~size w in
+        ignore (run_once ~options:closure ~setting:Gofree source);
+        ignore (run_once ~options:bytecode ~setting:Gofree source);
+        let cl = ref [] and bc = ref [] in
+        let cl_words = ref 0.0 and bc_words = ref 0.0 in
+        for _ = 1 to options.runs do
+          let w0 = Gc.minor_words () in
+          cl := run_once ~options:closure ~setting:Gofree source :: !cl;
+          let w1 = Gc.minor_words () in
+          bc := run_once ~options:bytecode ~setting:Gofree source :: !bc;
+          let w2 = Gc.minor_words () in
+          cl_words := !cl_words +. w1 -. w0;
+          bc_words := !bc_words +. w2 -. w1
+        done;
+        let cl = Array.of_list !cl and bc = Array.of_list !bc in
+        let identical =
+          Array.for_all
+            (fun r -> fingerprint r = fingerprint cl.(0))
+            (Array.append cl bc)
+        in
+        let med rs = Stats.median (metric (fun r -> r.r_time_ms) rs) in
+        let mc = med cl and mb = med bc in
+        let speedup = mc /. mb in
+        let mw words =
+          words /. float_of_int options.runs *. 8.0 /. 1048576.0
+        in
+        Printf.printf
+          "  %-12s %10.2fms %10.2fms %8.2fx  %s (alloc %.0f vs %.0f MB)\n"
+          w.W.w_name mc mb speedup
+          (if identical then "identical" else "DIVERGED")
+          (mw !cl_words) (mw !bc_words);
+        if not identical then
+          failwith ("engine metrics diverged on workload " ^ w.W.w_name);
+        speedup)
+      W.all
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun acc s -> acc +. log s) 0.0 speedups
+      /. float_of_int (List.length speedups))
+  in
+  Printf.printf "\n  geomean speedup: %.2fx (bytecode over closure)\n"
+    geomean

@@ -9,7 +9,7 @@
 
     Experiments: table3, fig10, fig11, table7, table8, table9,
     compile_speed, robustness, ablation, serve, load, telemetry,
-    incremental,
+    incremental, engines,
     bench_json.
 
     [--only bench_json] writes BENCH_gofree.json: per-workload free
@@ -22,14 +22,25 @@ let parse_args () =
   let runs = ref Bench_common.default_options.Bench_common.runs in
   let scale = ref Bench_common.default_options.Bench_common.scale in
   let seed = ref Bench_common.default_options.Bench_common.seed in
+  let engine = ref Bench_common.default_options.Bench_common.engine in
   let only = ref [] in
   let bechamel = ref false in
+  let set_engine = function
+    | "reference" -> engine := Gofree_interp.Interp.Eng_reference
+    | "closure" -> engine := Gofree_interp.Interp.Eng_closure
+    | "bytecode" -> engine := Gofree_interp.Interp.Eng_bytecode
+    | s ->
+      raise
+        (Arg.Bad ("unknown engine " ^ s ^ " (reference|closure|bytecode)"))
+  in
   let spec =
     [
       ("--runs", Arg.Set_int runs, "N repetitions per setting (default 7)");
       ("--scale", Arg.Set_int scale,
        "PCT workload size, percent of default (default 100)");
       ("--seed", Arg.Set_int seed, "N PRNG seed for the workloads");
+      ("--engine", Arg.String set_engine,
+       "NAME execution engine: reference | closure | bytecode (default)");
       ("--only", Arg.String (fun s -> only := s :: !only),
        "NAME run only this experiment (repeatable)");
       ("--bechamel", Arg.Set bechamel, " run bechamel pass timings");
@@ -38,7 +49,8 @@ let parse_args () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
-  ( { Bench_common.runs = !runs; scale = !scale; seed = !seed },
+  ( { Bench_common.runs = !runs; scale = !scale; seed = !seed;
+      engine = !engine },
     !only,
     !bechamel )
 
@@ -73,8 +85,9 @@ let () =
   let options, only, bechamel = parse_args () in
   let want name = only = [] || List.mem name only in
   Printf.printf
-    "GoFree reproduction evaluation harness — runs=%d scale=%d%%\n"
-    options.Bench_common.runs options.Bench_common.scale;
+    "GoFree reproduction evaluation harness — runs=%d scale=%d%% engine=%s\n"
+    options.Bench_common.runs options.Bench_common.scale
+    (Bench_common.engine_name options.Bench_common.engine);
   if bechamel then run_bechamel ()
   else begin
     if want "table3" then Exp_table3.run ();
@@ -90,5 +103,6 @@ let () =
     if want "load" then Exp_load.run ~options ();
     if want "telemetry" then Exp_telemetry.run ~options ();
     if want "incremental" then Exp_incremental.run ~options ();
+    if want "engines" then Exp_engines.run ~options ();
     if want "bench_json" then Exp_bench_json.run ~options ()
   end

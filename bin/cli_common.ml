@@ -64,18 +64,37 @@ let sample_every_arg =
          ~doc:"Snapshot heap counters every $(docv) interpreter steps \
                (0 = only when --metrics-json is given, then every 1000)")
 
+let engine_conv : Gofree_api.engine Arg.conv =
+  Arg.enum
+    [
+      ("reference", Gofree_api.Eng_reference);
+      ("closure", Gofree_api.Eng_closure);
+      ("bytecode", Gofree_api.Eng_bytecode);
+    ]
+
+let engine_arg =
+  Arg.(value
+       & opt engine_conv Gofree_api.default_run_options.Gofree_api.engine
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,reference) (tree-walking), \
+                 $(b,closure) (closure-compiled) or $(b,bytecode) (flat \
+                 bytecode VM with inline caches, the default).  All \
+                 three produce identical output and metrics; they \
+                 differ only in speed.")
+
 let reference_flag =
   Arg.(value & flag & info [ "reference" ]
-         ~doc:"Execute with the reference tree-walking interpreter \
-               instead of the closure-compiled one (slower; observable \
+         ~doc:"Alias for $(b,--engine reference): execute with the \
+               reference tree-walking interpreter (slower; observable \
                behaviour and metrics are identical)")
 
 let run_options_term : Gofree_api.run_options Term.t =
   Term.(
-    const (fun gc_off poison gogc seed sample_every reference ->
-        { Gofree_api.gc_off; poison; gogc; seed; sample_every; reference })
+    const (fun gc_off poison gogc seed sample_every engine reference ->
+        let engine = if reference then Gofree_api.Eng_reference else engine in
+        { Gofree_api.gc_off; poison; gogc; seed; sample_every; engine })
     $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ sample_every_arg
-    $ reference_flag)
+    $ engine_arg $ reference_flag)
 
 (* ---------------------------------------------------------------- *)
 (* Observability outputs (--trace / --metrics-json / --metrics)       *)

@@ -4,6 +4,8 @@
     - [run FILE]      compile and execute a MiniGo program;
     - [analyze FILE]  print escape-analysis properties and points-to sets;
     - [instrument FILE]  print the program with inserted tcfree calls;
+    - [disasm FILE]   print the bytecode-engine lowering (flat
+                      instructions, resolved slots, inline-cache sites);
     - [compare FILE]  run under Go and GoFree and print both metric sets;
     - [build DIR]     compile a multi-package tree incrementally;
     - [serve]         long-running compile/analysis daemon on a Unix
@@ -96,6 +98,20 @@ let instrument_cmd =
     (Cmd.info "instrument"
        ~doc:"Print the program with inserted tcfree calls")
     Term.(const instrument $ file_arg $ preset_term)
+
+(* disasm *)
+let disasm_cmd =
+  let disasm file preset =
+    let config = Gofree_api.config_of_preset preset in
+    let c = ok (Gofree_api.analyze_file ~config file) in
+    print_string (Gofree_api.disassemble c)
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Print the bytecode-engine lowering of the program: flat \
+             instructions with resolved slot names, interned callees \
+             and inline-cache sites")
+    Term.(const disasm $ file_arg $ preset_term)
 
 (* compare *)
 let compare_cmd =
@@ -620,8 +636,8 @@ let main_cmd =
     (Cmd.info "gofreec" ~version:"1.0.0"
        ~doc:"GoFree reproduction: compiler-inserted freeing for MiniGo")
     [
-      run_cmd; analyze_cmd; instrument_cmd; compare_cmd; build_cmd;
-      serve_cmd; client_cmd; load_cmd;
+      run_cmd; analyze_cmd; instrument_cmd; disasm_cmd; compare_cmd;
+      build_cmd; serve_cmd; client_cmd; load_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -57,6 +57,26 @@ let preset_of_name = function
   | "no-ipa" -> Some No_ipa
   | _ -> None
 
+(** Which execution engine interprets function bodies.  All three are
+    observationally identical (output, metrics JSON, GC events) by
+    construction — they share the interpreter's allocation/map/call
+    helpers — and differ only in speed. *)
+type engine = Gofree_interp.Interp.engine =
+  | Eng_reference  (** tree-walking reference interpreter *)
+  | Eng_closure  (** closure-compiled bodies *)
+  | Eng_bytecode  (** flat bytecode VM with inline caches (default) *)
+
+let engine_name = function
+  | Eng_reference -> "reference"
+  | Eng_closure -> "closure"
+  | Eng_bytecode -> "bytecode"
+
+let engine_of_name = function
+  | "reference" -> Some Eng_reference
+  | "closure" -> Some Eng_closure
+  | "bytecode" -> Some Eng_bytecode
+  | _ -> None
+
 (** Options of one program execution (a subset of the interpreter's
     run_config; the rest is fixed by the config's preset). *)
 type run_options = {
@@ -65,7 +85,7 @@ type run_options = {
   gogc : int;
   seed : int;
   sample_every : int;  (** 0 = no time series *)
-  reference : bool;  (** tree-walking interpreter instead of compiled *)
+  engine : engine;  (** which engine executes function bodies *)
 }
 
 let default_run_options =
@@ -75,7 +95,7 @@ let default_run_options =
     gogc = 100;
     seed = 42;
     sample_every = 0;
-    reference = false;
+    engine = Eng_bytecode;
   }
 
 let run_config_of_options ~(config : config) (o : run_options) :
@@ -92,7 +112,7 @@ let run_config_of_options ~(config : config) (o : run_options) :
       };
     seed = Int64.of_int o.seed;
     sample_every = o.sample_every;
-    compiled = not o.reference;
+    engine = o.engine;
   }
 
 (* ---------------------------------------------------------------- *)
@@ -228,6 +248,24 @@ let function_names (c : compilation) : string list =
 let instrumented_source (c : compilation) : string =
   Minigo.Pretty.program_to_string
     c.cc_compiled.Gofree_core.Pipeline.c_program
+
+(** The bytecode-engine lowering of the compilation, disassembled with
+    resolved slot names and inline-cache sites ([gofreec disasm]). *)
+let disassemble (c : compilation) : string =
+  let program = c.cc_compiled.Gofree_core.Pipeline.c_program in
+  let decisions =
+    Gofree_interp.Decisions.of_analysis
+      c.cc_compiled.Gofree_core.Pipeline.c_analysis program
+  in
+  let layout = Gofree_interp.Layout.of_program program in
+  Gofree_interp.Bytecode.disasm
+    (Gofree_interp.Emit.lower program decisions layout)
+
+(** Compile and disassemble one source string. *)
+let disassemble_string ?config (source : string) : (string, error) result =
+  match compile_string ?config source with
+  | Error e -> Error e
+  | Ok c -> Ok (disassemble c)
 
 (* ---- analysis reports ---- *)
 

@@ -35,3 +35,39 @@ val dispatch :
 
 (** Point [state.dispatch] at the lowered code. *)
 val install : Interp.state -> t -> unit
+
+(** {2 Compilation primitives}
+
+    Exported for {!Emit}: the bytecode emitter compiles hot constructs
+    to dedicated opcodes and falls back to these closure compilers for
+    the long tail, so the two lowered engines share one semantics. *)
+
+(** Compiled expression: evaluates in a (state, frame). *)
+type ev = Interp.state -> Interp.frame -> Value.value
+
+(** Compiled statement. *)
+type ex = Interp.state -> Interp.frame -> unit
+
+(** Per-program compilation context. *)
+type ctx = {
+  tenv : Types.env;
+  decisions : Decisions.t;
+  layout : Layout.t;
+}
+
+val compile_expr : ctx -> Tast.expr -> ev
+val compile_stmt : ctx -> Tast.stmt -> ex
+
+(** Left-to-right evaluation with Go assignment copies. *)
+val eval_list_copy : ev list -> Interp.state -> Interp.frame -> Value.value list
+
+(** Declaration of a resolved variable: boxing decision baked in. *)
+val compile_declare :
+  ctx -> Tast.var -> Interp.state -> Interp.frame -> Value.value -> unit
+
+(** Assignment to an lvalue (value already copied by the caller). *)
+val compile_assign :
+  ctx -> Tast.lvalue -> Interp.state -> Interp.frame -> Value.value -> unit
+
+(** Address-of an lvalue, as [VPtr]. *)
+val compile_addr : ctx -> Tast.lvalue -> ev

@@ -51,11 +51,35 @@ type frame = {
       (** interned function id + evaluated arguments *)
   mutable stack_objs : Rt.Heap.obj list list;
       (** per open scope, innermost first *)
+  mutable lazy_scopes : int;
+      (** open scopes inside the innermost entry of [stack_objs] that
+          have no registered objects yet (see {!push_scope}) *)
   mutable temps : Value.value list;  (** GC pins for the current statement *)
   gid : int;
 }
 
-type goroutine = { g_id : int; mutable g_frames : frame list }
+type goroutine = {
+  g_id : int;
+  mutable g_frames : frame list;
+  (* Operand-stack pool for the bytecode VM.  Calls within one
+     goroutine are strictly LIFO even across yields, so each [Vm.exec]
+     carves a window out of these arrays and restores the top on exit
+     (including the unwind path).  The windows are dead at every
+     safepoint and are not simulated-GC roots. *)
+  mutable g_stk_v : Value.value array;
+  mutable g_top_v : int;
+  mutable g_stk_i : int array;
+  mutable g_top_i : int;
+}
+
+(** Which execution engine interprets function bodies.  All three share
+    the allocation/map/call/safepoint helpers in this module through the
+    state's [dispatch] hook, so observable behaviour (output, metrics,
+    GC) is identical by construction. *)
+type engine =
+  | Eng_reference  (** tree-walking reference interpreter (this module) *)
+  | Eng_closure  (** closure-compiled bodies ({!Compile}) *)
+  | Eng_bytecode  (** flat bytecode VM ({!Emit}/{!Vm}) *)
 
 type run_config = {
   heap_config : Rt.Heap.config;
@@ -67,9 +91,9 @@ type run_config = {
   sample_every : int;
       (** snapshot the heap counters every N steps (0 = off); the runner
           attaches the {!Gofree_runtime.Sampler} this feeds *)
-  compiled : bool;
-      (** execute closure-compiled bodies ({!Compile}); [false] runs the
-          reference tree-walker — slower, same observable behaviour *)
+  engine : engine;
+      (** which engine executes function bodies; the reference
+          tree-walker is slowest but is the semantic ground truth *)
 }
 
 let default_config =
@@ -84,7 +108,7 @@ let default_config =
        fibers share spans through mcentral. *)
     migrate_every = 2048;
     sample_every = 0;
-    compiled = true;
+    engine = Eng_bytecode;
   }
 
 type state = {
@@ -107,6 +131,14 @@ type state = {
   mutable unwinding : Value.value option;
       (** the active panic value while defers run during unwinding;
           [recover] clears it *)
+  mutable ic_hits : int;
+      (** bytecode-engine inline-cache hits (map-key + struct-field
+          sites); flushed into the telemetry registry by the runner *)
+  mutable ic_misses : int;
+  mutable yield_at : int;
+      (** next step count at which to yield; advances by
+          [config.yield_every] — equivalent to [steps mod yield_every]
+          without the division on the safepoint fast path *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -139,19 +171,39 @@ let cur_frame st =
 
 let cur_thread st = Sched.pid_for st.sched ~gid:st.current.g_id
 
+(* Scopes are materialized lazily: entering one only bumps a counter,
+   and the per-scope object list springs into existence when the first
+   stack object registers (most scopes register none).  LIFO order is
+   preserved because registration materializes every pending scope as
+   an empty list before prepending to the innermost. *)
 let push_scope st fr =
-  fr.stack_objs <- [] :: fr.stack_objs;
+  fr.lazy_scopes <- fr.lazy_scopes + 1;
   st.next_scope_token <- st.next_scope_token + 1;
   st.next_scope_token
 
-let pop_scope st fr =
-  match fr.stack_objs with
-  | objs :: rest ->
-    List.iter (fun o -> Rt.Heap.release_stack st.heap o) objs;
-    fr.stack_objs <- rest
+let rec release_all heap objs =
+  match objs with
   | [] -> ()
+  | o :: rest ->
+    Rt.Heap.release_stack heap o;
+    release_all heap rest
+
+let pop_scope st fr =
+  if fr.lazy_scopes > 0 then fr.lazy_scopes <- fr.lazy_scopes - 1
+  else begin
+    match fr.stack_objs with
+    | [] :: rest -> fr.stack_objs <- rest
+    | objs :: rest ->
+      release_all st.heap objs;
+      fr.stack_objs <- rest
+    | [] -> ()
+  end
 
 let register_stack_obj fr obj =
+  while fr.lazy_scopes > 0 do
+    fr.stack_objs <- [] :: fr.stack_objs;
+    fr.lazy_scopes <- fr.lazy_scopes - 1
+  done;
   match fr.stack_objs with
   | objs :: rest -> fr.stack_objs <- (obj :: objs) :: rest
   | [] -> fr.stack_objs <- [ [ obj ] ]
@@ -190,14 +242,20 @@ let safepoint st =
   if st.steps > st.config.max_steps then
     raise (Runtime_error "step budget exhausted (infinite loop?)");
   (cur_frame st).temps <- [];
-  Rt.Gc_collector.maybe_collect st.heap;
-  (match st.heap.Rt.Heap.sampler with
+  let heap = st.heap in
+  (* maybe_collect, inlined: this guard is the safepoint fast path *)
+  if heap.Rt.Heap.gc_requested && not heap.Rt.Heap.config.Rt.Heap.gc_disabled
+  then Rt.Gc_collector.collect heap;
+  (match heap.Rt.Heap.sampler with
   | Some sampler when Rt.Sampler.due sampler ~step:st.steps ->
     Rt.Sampler.record sampler ~step:st.steps
-      ~span_bytes:(Rt.Pageheap.used_bytes st.heap.Rt.Heap.pages)
-      st.heap.Rt.Heap.metrics
+      ~span_bytes:(Rt.Pageheap.used_bytes heap.Rt.Heap.pages)
+      heap.Rt.Heap.metrics
   | _ -> ());
-  if st.steps mod st.config.yield_every = 0 then Sched.yield ()
+  if st.steps >= st.yield_at then begin
+    st.yield_at <- st.steps + st.config.yield_every;
+    Sched.yield ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Allocation helpers                                                  *)
@@ -253,6 +311,7 @@ let make_map_obj st fr ~(site : Tast.alloc_site) : Value.value =
       md_nbuckets = nbuckets;
       md_count = 0;
       md_entry_size = entry_size;
+      md_version = 0;
     }
   in
   let header =
@@ -309,6 +368,7 @@ let map_grow st addr (md : Value.map_data) old_buckets =
   in
   md.Value.md_buckets <- new_obj.Rt.Heap.addr;
   md.Value.md_nbuckets <- nbuckets;
+  md.Value.md_version <- md.Value.md_version + 1;
   ignore addr;
   (* GrowMapAndFreeOld (§4.6.2): the abandoned bucket array is in the
      map's exclusive ownership — free it explicitly.  Only the GoFree
@@ -318,43 +378,72 @@ let map_grow st addr (md : Value.map_data) old_buckets =
       (Rt.Tcfree.tcfree st.heap ~thread:(cur_thread st)
          ~source:Rt.Metrics.Src_map_grow old_addr)
 
+(* Bucket-chain scans, written as top-level recursions so a map
+   operation allocates no predicate closures.  Chains stay short (Go's
+   load factor caps them at ~6.5 entries), so recursion depth is
+   trivial.  Insert keeps the original key of a replaced entry and the
+   entry order, exactly like the List.map formulation it replaces. *)
+
+let rec bucket_replace key v entries =
+  match entries with
+  | [] -> None
+  | ((k, _) as hd) :: rest ->
+    if Value.equal_key k key then Some ((k, v) :: rest)
+    else begin
+      match bucket_replace key v rest with
+      | Some rest' -> Some (hd :: rest')
+      | None -> None
+    end
+
+let rec bucket_mem key entries =
+  match entries with
+  | [] -> false
+  | (k, _) :: rest -> Value.equal_key k key || bucket_mem key rest
+
+(* Drop [key]'s entry; only called when present (no duplicate keys can
+   exist in a chain, so dropping the first match is dropping them
+   all). *)
+let rec bucket_drop key entries =
+  match entries with
+  | [] -> []
+  | ((k, _) as hd) :: rest ->
+    if Value.equal_key k key then rest else hd :: bucket_drop key rest
+
 let map_store st addr key v =
   let md, buckets = map_data st addr in
   let idx = Value.hash_key key land max_int mod md.Value.md_nbuckets in
   let entries = buckets.(idx) in
-  let existed = List.exists (fun (k, _) -> Value.equal_key k key) entries in
-  let entries =
-    if existed then
-      List.map
-        (fun (k, old) -> if Value.equal_key k key then (k, v) else (k, old))
-        entries
-    else (key, v) :: entries
-  in
-  buckets.(idx) <- entries;
-  if not existed then begin
+  match bucket_replace key v entries with
+  | Some entries' ->
+    buckets.(idx) <- entries';
+    md.Value.md_version <- md.Value.md_version + 1
+  | None ->
+    buckets.(idx) <- (key, v) :: entries;
+    md.Value.md_version <- md.Value.md_version + 1;
     md.Value.md_count <- md.Value.md_count + 1;
     (* Go grows at load factor 6.5 entries per bucket. *)
     if md.Value.md_count * 2 > 13 * md.Value.md_nbuckets then
       map_grow st addr md buckets
-  end
+
+let rec bucket_get key entries ~zero =
+  match entries with
+  | [] -> zero ()
+  | (k, v) :: rest ->
+    if Value.equal_key k key then v else bucket_get key rest ~zero
 
 let map_get st addr key ~zero =
   let md, buckets = map_data st addr in
   let idx = Value.hash_key key land max_int mod md.Value.md_nbuckets in
-  match
-    List.find_opt (fun (k, _) -> Value.equal_key k key) buckets.(idx)
-  with
-  | Some (_, v) -> v
-  | None -> zero ()
+  bucket_get key buckets.(idx) ~zero
 
 let map_delete st addr key =
   let md, buckets = map_data st addr in
   let idx = Value.hash_key key land max_int mod md.Value.md_nbuckets in
-  let before = List.length buckets.(idx) in
-  buckets.(idx) <-
-    List.filter (fun (k, _) -> not (Value.equal_key k key)) buckets.(idx);
-  if List.length buckets.(idx) < before then
+  md.Value.md_version <- md.Value.md_version + 1;
+  if bucket_mem key buckets.(idx) then begin
+    buckets.(idx) <- bucket_drop key buckets.(idx);
     md.Value.md_count <- md.Value.md_count - 1
+  end
 
 let map_len st addr =
   let md, _ = map_data st addr in
@@ -494,6 +583,8 @@ let tcfree_binding st (b : binding) (kind : Tast.free_kind) =
     (* TcfreeMap: unwrap the bucket array's address *)
     match Rt.Heap.find_obj st.heap addr with
     | Some { Rt.Heap.payload = Value.Pmap md; _ } ->
+      (* invalidate any inline cache that still points at this map *)
+      md.Value.md_version <- md.Value.md_version + 1;
       ignore
         (Rt.Tcfree.tcfree st.heap ~thread ~source:Rt.Metrics.Src_map
            md.Value.md_buckets);
@@ -513,16 +604,34 @@ let tcfree_binding st (b : binding) (kind : Tast.free_kind) =
 (* Calls, defers, panics                                               *)
 (* ------------------------------------------------------------------ *)
 
+let rec dispatch_defers st defers =
+  match defers with
+  | [] -> ()
+  | (fid, args) :: rest ->
+    ignore (st.dispatch st fid args);
+    dispatch_defers st rest
+
 let run_defers st frame =
-  let defers = frame.defers in
-  frame.defers <- [];
-  List.iter (fun (fid, args) -> ignore (st.dispatch st fid args)) defers
+  match frame.defers with
+  | [] -> ()  (* the overwhelmingly common case: allocation-free *)
+  | defers ->
+    frame.defers <- [];
+    dispatch_defers st defers
+
+let rec release_scopes heap scopes =
+  match scopes with
+  | [] -> ()
+  | objs :: rest ->
+    release_all heap objs;
+    release_scopes heap rest
 
 let pop_all_scopes st frame =
-  List.iter
-    (fun objs -> List.iter (fun o -> Rt.Heap.release_stack st.heap o) objs)
-    frame.stack_objs;
-  frame.stack_objs <- []
+  frame.lazy_scopes <- 0;
+  match frame.stack_objs with
+  | [] -> ()
+  | scopes ->
+    frame.stack_objs <- [];
+    release_scopes st.heap scopes
 
 (** The shared call protocol: push a pre-sized frame, bind parameters,
     run the body, then run defers / pop scopes on every exit path —
@@ -539,25 +648,28 @@ let call_fn st (f : Tast.func) ~nslots
       slots = Array.make nslots Bunbound;
       defers = [];
       stack_objs = [];
+      lazy_scopes = 0;
       temps = args;  (* keep args pinned until bound *)
       gid = st.current.g_id;
     }
   in
   st.current.g_frames <- frame :: st.current.g_frames;
-  let finish results =
-    run_defers st frame;
-    pop_all_scopes st frame;
-    st.current.g_frames <- List.tl st.current.g_frames;
-    results
-  in
   match
     bind st frame args;
     body st frame
   with
   | () ->
     (* fell off the end: zero values if the function declares results *)
-    finish (zeros st)
-  | exception Return_values vs -> finish vs
+    let results = zeros st in
+    run_defers st frame;
+    pop_all_scopes st frame;
+    st.current.g_frames <- List.tl st.current.g_frames;
+    results
+  | exception Return_values vs ->
+    run_defers st frame;
+    pop_all_scopes st frame;
+    st.current.g_frames <- List.tl st.current.g_frames;
+    vs
   | exception Panic v ->
     (* run this frame's defers while unwinding; a recover() inside one of
        them clears the panic and the function returns zero values *)
@@ -1122,7 +1234,10 @@ and resolve_func st name : int =
   | None -> raise (Runtime_error ("undefined function " ^ name))
 
 and spawn_goroutine st fid args =
-  let g = { g_id = Sched.fresh_gid st.sched; g_frames = [] } in
+  let g =
+    { g_id = Sched.fresh_gid st.sched; g_frames = [];
+      g_stk_v = [||]; g_top_v = 0; g_stk_i = [||]; g_top_i = 0 }
+  in
   st.goroutines <- g :: st.goroutines;
   Sched.spawn st.sched ~gid:g.g_id
     ~on_resume:(fun () -> st.current <- g)

@@ -38,12 +38,33 @@ type frame = {
   mutable defers : (int * Value.value list) list;
       (** interned function id + evaluated arguments *)
   mutable stack_objs : Rt.Heap.obj list list;
+  mutable lazy_scopes : int;
+      (** open scopes not yet materialized in [stack_objs] because no
+          stack object has registered in them *)
   mutable temps : Value.value list;
       (** GC pins for values produced in the current statement *)
   gid : int;
 }
 
-type goroutine = { g_id : int; mutable g_frames : frame list }
+type goroutine = {
+  g_id : int;
+  mutable g_frames : frame list;
+  (* operand-stack pool for the bytecode VM; windows are strictly LIFO
+     within a goroutine and never alive across a safepoint *)
+  mutable g_stk_v : Value.value array;
+  mutable g_top_v : int;
+  mutable g_stk_i : int array;
+  mutable g_top_i : int;
+}
+
+(** Which execution engine interprets function bodies.  All three share
+    the allocation/map/call/safepoint helpers exported below through the
+    state's [dispatch] hook, so observable behaviour (output, metrics,
+    GC) is identical by construction. *)
+type engine =
+  | Eng_reference  (** tree-walking reference interpreter (this module) *)
+  | Eng_closure  (** closure-compiled bodies ({!Compile}) *)
+  | Eng_bytecode  (** flat bytecode VM ({!Emit}/{!Vm}) *)
 
 type run_config = {
   heap_config : Rt.Heap.config;
@@ -54,9 +75,9 @@ type run_config = {
   migrate_every : int;  (** yields between simulated P migrations *)
   sample_every : int;
       (** snapshot the heap counters every N steps (0 = off) *)
-  compiled : bool;
-      (** execute closure-compiled bodies ({!Compile}); [false] runs
-          the reference tree-walker — slower, same observable behaviour *)
+  engine : engine;
+      (** which engine executes function bodies; the reference
+          tree-walker is slowest but is the semantic ground truth *)
 }
 
 val default_config : run_config
@@ -80,6 +101,13 @@ type state = {
   mutable next_scope_token : int;
   mutable unwinding : Value.value option;
       (** the active panic value while defers run during unwinding *)
+  mutable ic_hits : int;
+      (** bytecode-engine inline-cache hits (map-key + struct-field
+          sites); flushed into the telemetry registry by the runner *)
+  mutable ic_misses : int;
+  mutable yield_at : int;
+      (** next step count at which to yield (advances by
+          [config.yield_every]) *)
 }
 
 (** Enumerate every root address: globals, all goroutines' frame slots,
@@ -169,6 +197,13 @@ val make_slice_obj :
   Value.value
 
 val make_map_obj : state -> frame -> site:Tast.alloc_site -> Value.value
+
+(** The live header and buckets of the map at an address; raises
+    {!Value.Corruption} when either has been freed.  Exported for the
+    bytecode VM's map-site inline caches, which key on
+    [Value.map_data.md_version]. *)
+val map_data :
+  state -> int -> Value.map_data * (Value.value * Value.value) list array
 
 val map_store : state -> int -> Value.value -> Value.value -> unit
 

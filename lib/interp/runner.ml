@@ -33,7 +33,10 @@ let run_program ?(config = Interp.default_config)
       ~migrate_every:config.Interp.migrate_every
   in
   let layout = Layout.of_program program in
-  let main_g = { Interp.g_id = 0; g_frames = [] } in
+  let main_g =
+    { Interp.g_id = 0; g_frames = [];
+      g_stk_v = [||]; g_top_v = 0; g_stk_i = [||]; g_top_i = 0 }
+  in
   let st =
     {
       Interp.program;
@@ -51,12 +54,19 @@ let run_program ?(config = Interp.default_config)
       rng = config.Interp.seed;
       next_scope_token = 0;
       unwinding = None;
+      ic_hits = 0;
+      ic_misses = 0;
+      yield_at = config.Interp.yield_every;
     }
   in
   (* Lower once, before anything executes, so even the global
      initializers' calls run compiled bodies. *)
-  if config.Interp.compiled then
-    Compile.install st (Compile.lower program decisions layout);
+  (match config.Interp.engine with
+  | Interp.Eng_reference -> ()  (* the default dispatch, call_by_id *)
+  | Interp.Eng_closure ->
+    Compile.install st (Compile.lower program decisions layout)
+  | Interp.Eng_bytecode ->
+    Vm.install st (Emit.lower program decisions layout));
   heap.Rt.Heap.trace_payload <- Value.trace_payload;
   heap.Rt.Heap.poison_payload <- Value.poison_payload;
   heap.Rt.Heap.iter_roots <- (fun k -> Interp.iter_roots st k);
@@ -76,6 +86,7 @@ let run_program ?(config = Interp.default_config)
         slots = [||];  (* initializers only reference globals *)
         defers = [];
         stack_objs = [];
+        lazy_scopes = 0;
         temps = [];
         gid = 0;
       }
@@ -121,6 +132,23 @@ let run_program ?(config = Interp.default_config)
   heap.Rt.Heap.metrics.Rt.Metrics.gc_time_ns <- saved_time;
   heap.Rt.Heap.metrics.Rt.Metrics.max_heap_pages <-
     Rt.Pageheap.max_used_bytes heap.Rt.Heap.pages;
+  (* Publish the VM's inline-cache counters to the process-global
+     telemetry registry (gofree-telemetry-v1) when one is live; a plain
+     field read keeps the disabled path free. *)
+  (let module Reg = Gofree_obs.Registry in
+   if Reg.runtime_enabled () && st.Interp.ic_hits + st.Interp.ic_misses > 0
+   then begin
+     Reg.add
+       (Reg.counter Reg.runtime
+          ~help:"bytecode-engine inline cache hits (map-key + struct-field)"
+          "gofree_vm_ic_hit_total")
+       st.Interp.ic_hits;
+     Reg.add
+       (Reg.counter Reg.runtime
+          ~help:"bytecode-engine inline cache misses (map-key + struct-field)"
+          "gofree_vm_ic_miss_total")
+       st.Interp.ic_misses
+   end);
   {
     output = Buffer.contents st.Interp.output;
     metrics = heap.Rt.Heap.metrics;

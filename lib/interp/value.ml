@@ -46,6 +46,11 @@ type map_data = {
   mutable md_nbuckets : int;
   mutable md_count : int;
   md_entry_size : int;  (** key + value bytes, from the allocation site *)
+  mutable md_version : int;
+      (** bumped on every store/delete/grow/free — the shape check that
+          invalidates the bytecode engine's map-site inline caches.
+          Purely an interpreter-side fast-path guard: no allocator or GC
+          behaviour reads it *)
 }
 
 (** Heap payloads carrying interpreter values. *)
@@ -58,6 +63,16 @@ exception Corruption of string
     (** read of poisoned memory: a wrong explicit free was observed *)
 
 let cell v = { v }
+
+(* Shared boxes for small ints.  [VInt] is immutable and compared
+   structurally everywhere (maps, ==, caches), so one box can appear in
+   any number of cells; loop counters and small lengths dominate cell
+   stores, and reusing their boxes keeps those stores off the OCaml
+   allocator. *)
+let small_ints = Array.init 1024 (fun i -> VInt i)
+
+let vint n =
+  if n >= 0 && n < 1024 then Array.unsafe_get small_ints n else VInt n
 
 let read_cell c =
   match c.v with
@@ -126,7 +141,8 @@ let poison_payload (p : Gofree_runtime.Heap.payload) =
     Array.iteri (fun i _ -> buckets.(i) <- [ (VPoison, VPoison) ]) buckets
   | Pmap md ->
     md.md_buckets <- -1;
-    md.md_count <- -1
+    md.md_count <- -1;
+    md.md_version <- md.md_version + 1
   | _ -> ()
 
 (* Structural equality for map keys and '=='. *)

@@ -38,6 +38,9 @@ type map_data = {
   mutable md_nbuckets : int;
   mutable md_count : int;
   md_entry_size : int;
+  mutable md_version : int;
+      (** bumped on every store/delete/grow/free; invalidates the
+          bytecode engine's map-site inline caches *)
 }
 
 type Gofree_runtime.Heap.payload +=
@@ -49,6 +52,11 @@ exception Corruption of string
 (** read of poisoned memory: a wrong explicit free was observed *)
 
 val cell : value -> cell
+
+(** [VInt n], from a shared pool of boxes when [n] is small.  [VInt] is
+    immutable and compared structurally everywhere, so sharing is
+    invisible; small ints dominate cell stores. *)
+val vint : int -> value
 
 (** Read a cell; raises {!Corruption} on poison. *)
 val read_cell : cell -> value

@@ -50,7 +50,7 @@ let mark (heap : Heap.t) =
 let sweep (heap : Heap.t) =
   let metrics = heap.Heap.metrics in
   let dead =
-    Hashtbl.fold
+    Objtable.fold
       (fun _ (o : Heap.obj) acc ->
         if Heap.is_stack_obj o then begin
           (* stack objects are never swept, but their mark bits must be
@@ -97,7 +97,7 @@ let sweep (heap : Heap.t) =
       Heap.bury heap o.Heap.addr
         (Printf.sprintf "swept by GC cycle %d"
            (metrics.Metrics.gc_cycles + 1));
-      Hashtbl.remove heap.Heap.objects o.Heap.addr)
+      Objtable.remove heap.Heap.objects o.Heap.addr)
     dead;
   (* Step 2 of the large-object tcfree (fig. 9): dangling span structs
      join the idle pool after the mark phase. *)

@@ -63,7 +63,7 @@ type t = {
   pages : Pageheap.t;
   central : Mcentral.t;
   mutable caches : Mcache.t array;  (** one per logical processor *)
-  objects : (int, obj) Hashtbl.t;  (** live (and stack) objects by address *)
+  objects : obj Objtable.t;  (** live (and stack) objects by address *)
   mutable next_addr : int;
   mutable next_gc : int;  (** heap_live threshold for the next cycle *)
   mutable gc_window_left : int;
@@ -87,6 +87,20 @@ type t = {
           reports *)
 }
 
+(* A placeholder filling the object table's empty value slots; never
+   returned by a lookup (its address 0 is not a valid key). *)
+let dummy_obj =
+  {
+    addr = 0;
+    size = 0;
+    category = Metrics.Cat_other;
+    payload = No_payload;
+    placement = On_stack 0;
+    marked = false;
+    freed = true;
+    poisoned = false;
+  }
+
 let create ?(config = default_config) ?(nprocs = 4) () =
   let pages = Pageheap.create () in
   {
@@ -95,7 +109,7 @@ let create ?(config = default_config) ?(nprocs = 4) () =
     pages;
     central = Mcentral.create pages;
     caches = Array.init nprocs Mcache.create;
-    objects = Hashtbl.create 4096;
+    objects = Objtable.create ~capacity:4096 ~dummy:dummy_obj ();
     next_addr = 1;
     next_gc = config.min_heap;
     gc_window_left = 0;
@@ -115,7 +129,7 @@ let nprocs t = Array.length t.caches
     refuses to race it (§5). *)
 let gc_running t = t.gc_window_left > 0
 
-let find_obj t addr = Hashtbl.find_opt t.objects addr
+let find_obj t addr = Objtable.find_opt t.objects addr
 
 let fresh_addr t =
   let a = t.next_addr in
@@ -162,7 +176,7 @@ let alloc_heap t ~thread ~category ~size ~payload : obj =
       poisoned = false;
     }
   in
-  Hashtbl.replace t.objects obj.addr obj;
+  Objtable.replace t.objects obj.addr obj;
   Metrics.count_alloc t.metrics ~category ~heap:true ~bytes:size;
   obj
 
@@ -181,7 +195,7 @@ let alloc_stack t ~scope ~category ~size ~payload : obj =
       poisoned = false;
     }
   in
-  Hashtbl.replace t.objects obj.addr obj;
+  Objtable.replace t.objects obj.addr obj;
   Metrics.count_alloc t.metrics ~category ~heap:false ~bytes:size;
   obj
 
@@ -210,10 +224,10 @@ let release_stack t obj =
       t.poison_payload obj.payload
     end;
     bury t obj.addr "stack scope exit";
-    Hashtbl.remove t.objects obj.addr
+    Objtable.remove t.objects obj.addr
   end
 
 let live_heap_objects t =
-  Hashtbl.fold
+  Objtable.fold
     (fun _ o acc -> if is_stack_obj o then acc else o :: acc)
     t.objects []

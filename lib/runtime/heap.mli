@@ -42,7 +42,7 @@ type t = {
   pages : Pageheap.t;
   central : Mcentral.t;
   mutable caches : Mcache.t array;  (** one per logical processor *)
-  objects : (int, obj) Hashtbl.t;
+  objects : obj Objtable.t;
   mutable next_addr : int;
   mutable next_gc : int;
   mutable gc_window_left : int;

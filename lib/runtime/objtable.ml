@@ -1,0 +1,138 @@
+(** Open-addressing hash table from positive int keys to ['a], the
+    heap's object store.  Every simulated allocation (heap or stack)
+    inserts here and every free removes, so this sits on the hottest
+    mutator path of all three execution engines; unlike [Hashtbl] an
+    insert allocates nothing (no bucket cons, no boxed key) and a probe
+    touches two flat arrays.
+
+    Linear probing over a power-of-two capacity.  [keys] doubles as the
+    slot state: [0] = never used, [-1] = tombstone (deleted), anything
+    positive is a live key.  The table grows (or rehashes in place to
+    clear tombstones) when live + tombstones exceed half the capacity,
+    so probe chains stay short.  Values of removed slots are reset to
+    [dummy] so the table never retains a dead object. *)
+
+type 'a t = {
+  mutable keys : int array;  (* 0 empty / -1 tombstone / key *)
+  mutable vals : 'a array;
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable live : int;
+  mutable used : int;  (* live + tombstones *)
+  dummy : 'a;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(capacity = 4096) ~dummy () =
+  let cap = pow2_at_least (max 16 capacity) 16 in
+  {
+    keys = Array.make cap 0;
+    vals = Array.make cap dummy;
+    mask = cap - 1;
+    live = 0;
+    used = 0;
+    dummy;
+  }
+
+(* Multiplicative mixing: consecutive addresses (the common case —
+   [Heap.fresh_addr] is a counter) land on an odd stride that cycles
+   through the whole table, and the xor-shift spreads any structured
+   keys. *)
+let slot_of t k =
+  let h = k * 0x1E3779B97F4A7C15 in
+  (h lxor (h lsr 29)) land t.mask
+
+let length t = t.live
+
+(** Index of [k]'s slot, or [-1] if absent. *)
+let find_slot t k =
+  let keys = t.keys in
+  let mask = t.mask in
+  let rec probe i =
+    let key = Array.unsafe_get keys i in
+    if key = k then i else if key = 0 then -1 else probe ((i + 1) land mask)
+  in
+  probe (slot_of t k)
+
+let find_opt t k =
+  let i = find_slot t k in
+  if i < 0 then None else Some (Array.unsafe_get t.vals i)
+
+let mem t k = find_slot t k >= 0
+
+let iter f t =
+  let keys = t.keys in
+  for i = 0 to Array.length keys - 1 do
+    let key = Array.unsafe_get keys i in
+    if key > 0 then f key (Array.unsafe_get t.vals i)
+  done
+
+let fold f t init =
+  let keys = t.keys in
+  let acc = ref init in
+  for i = 0 to Array.length keys - 1 do
+    let key = Array.unsafe_get keys i in
+    if key > 0 then acc := f key (Array.unsafe_get t.vals i) !acc
+  done;
+  !acc
+
+(* Insert a key known to be absent, into a table with no tombstones
+   (only used right after allocating fresh arrays). *)
+let add_fresh t k v =
+  let keys = t.keys in
+  let mask = t.mask in
+  let rec probe i =
+    if Array.unsafe_get keys i = 0 then begin
+      Array.unsafe_set keys i k;
+      Array.unsafe_set t.vals i v
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (slot_of t k)
+
+let rehash t =
+  (* Grow while more than a quarter full of live entries; otherwise the
+     same capacity back, just clearing tombstones. *)
+  let old_keys = t.keys in
+  let old_vals = t.vals in
+  let cap = Array.length old_keys in
+  let new_cap = if t.live * 4 >= cap then cap * 2 else cap in
+  t.keys <- Array.make new_cap 0;
+  t.vals <- Array.make new_cap t.dummy;
+  t.mask <- new_cap - 1;
+  t.used <- t.live;
+  for i = 0 to cap - 1 do
+    let key = Array.unsafe_get old_keys i in
+    if key > 0 then add_fresh t key (Array.unsafe_get old_vals i)
+  done
+
+let replace t k v =
+  let keys = t.keys in
+  let mask = t.mask in
+  (* Probe for [k], remembering the first reusable (tombstone) slot. *)
+  let rec probe i reuse =
+    let key = Array.unsafe_get keys i in
+    if key = k then Array.unsafe_set t.vals i v
+    else if key = 0 then begin
+      let target = if reuse >= 0 then reuse else i in
+      Array.unsafe_set keys target k;
+      Array.unsafe_set t.vals target v;
+      t.live <- t.live + 1;
+      if reuse < 0 then begin
+        t.used <- t.used + 1;
+        if t.used * 2 >= Array.length keys then rehash t
+      end
+    end
+    else
+      probe ((i + 1) land mask)
+        (if reuse < 0 && key = -1 then i else reuse)
+  in
+  probe (slot_of t k) (-1)
+
+let remove t k =
+  let i = find_slot t k in
+  if i >= 0 then begin
+    Array.unsafe_set t.keys i (-1);
+    Array.unsafe_set t.vals i t.dummy;
+    t.live <- t.live - 1
+  end

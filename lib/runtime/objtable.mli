@@ -1,0 +1,27 @@
+(** Open-addressing hash table from positive int keys to ['a] — the
+    heap's object store.  Allocation-free inserts and probes; see the
+    implementation for the tombstone scheme.  Keys must be positive. *)
+
+type 'a t
+
+(** [dummy] fills empty value slots so removed entries are not
+    retained. *)
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+
+(** Number of live entries. *)
+val length : 'a t -> int
+
+val find_opt : 'a t -> int -> 'a option
+
+val mem : 'a t -> int -> bool
+
+(** Insert, overwriting any existing entry for the key. *)
+val replace : 'a t -> int -> 'a -> unit
+
+(** Remove if present. *)
+val remove : 'a t -> int -> unit
+
+(** Live entries, in unspecified order. *)
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

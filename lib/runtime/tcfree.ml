@@ -28,7 +28,7 @@ let reclaim (heap : Heap.t) (obj : Heap.obj) ~source =
   end
   else obj.Heap.payload <- Heap.No_payload;
   Heap.bury heap obj.Heap.addr "tcfree";
-  Hashtbl.remove heap.Heap.objects obj.Heap.addr;
+  Objtable.remove heap.Heap.objects obj.Heap.addr;
   Metrics.count_tcfree heap.Heap.metrics ~category:obj.Heap.category
     ~source ~bytes:obj.Heap.size;
   heap.Heap.metrics.Metrics.tcfree_success <-

@@ -24,7 +24,10 @@
     the {e daemon} reads (["file"]).  The pipeline configuration is the
     ["config"] preset name ([gofree] | [go] | [all-targets] | [no-ipa]);
     execution knobs ([gc_off], [poison], [gogc], [seed],
-    [sample_every], [reference]) mirror the CLI flags.
+    [sample_every], [engine]) mirror the CLI flags.  ["engine"] selects
+    the execution engine by name ([reference] | [closure] | [bytecode],
+    default [bytecode]); the historical boolean ["reference"] param is
+    kept as an alias for [{"engine":"reference"}].
 
     Any pooled request may carry an optional ["deadline_ms"] param: if
     the request is still {e queued} when that much time has passed since
@@ -142,7 +145,19 @@ let options_of_params params =
     seed = opt_int ~default:d.Gofree_api.seed "seed" params;
     sample_every =
       opt_int ~default:d.Gofree_api.sample_every "sample_every" params;
-    reference = opt_bool ~default:d.Gofree_api.reference "reference" params;
+    engine =
+      (match opt_string "engine" params with
+      | Some name -> begin
+        match Gofree_api.engine_of_name name with
+        | Some e -> e
+        | None ->
+          bad "unknown engine %S (reference | closure | bytecode)" name
+      end
+      | None ->
+        (* historical boolean alias for the reference tree-walker *)
+        if opt_bool ~default:false "reference" params then
+          Gofree_api.Eng_reference
+        else d.Gofree_api.engine);
   }
 
 let request_of_json (j : Json.t) : incoming =
@@ -259,8 +274,8 @@ let request_to_json ?(id = Json.Null) ?deadline_ms (r : request) : Json.t =
          [ ("sample_every", Json.Int o.Gofree_api.sample_every) ]
        else [])
     @
-    if o.Gofree_api.reference <> d.Gofree_api.reference then
-      [ ("reference", Json.Bool o.Gofree_api.reference) ]
+    if o.Gofree_api.engine <> d.Gofree_api.engine then
+      [ ("engine", Json.Str (Gofree_api.engine_name o.Gofree_api.engine)) ]
     else []
   in
   let params =

@@ -451,6 +451,27 @@ let stats_json (t : t) : Json.t =
         let uh, um = Cache.unit_counts t.cache in
         Json.Obj
           [ ("hits", Json.Int uh); ("misses", Json.Int um) ] );
+      ( "vm",
+        (* the bytecode engine's inline-cache traffic across every run
+           this process served, from the process-wide runtime registry *)
+        let rsnap = Reg.snapshot Reg.runtime in
+        let counter name =
+          Option.value ~default:0
+            (List.assoc_opt name rsnap.Reg.Snapshot.counters)
+        in
+        let ic_hits = counter "gofree_vm_ic_hit_total" in
+        let ic_misses = counter "gofree_vm_ic_miss_total" in
+        Json.Obj
+          [
+            ("ic_hits", Json.Int ic_hits);
+            ("ic_misses", Json.Int ic_misses);
+            ( "ic_hit_ratio",
+              Json.Float
+                (if ic_hits + ic_misses = 0 then 0.0
+                 else
+                   float_of_int ic_hits
+                   /. float_of_int (ic_hits + ic_misses)) );
+          ] );
       ( "queue",
         Json.Obj
           [

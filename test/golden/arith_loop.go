@@ -1,0 +1,14 @@
+func sum(n int) int {
+  total := 0
+  for i := 0; i < n; i = i + 1 {
+    if i%3 == 0 {
+      continue
+    }
+    total = total + i*i
+  }
+  return total
+}
+
+func main() {
+  println(sum(50))
+}

@@ -1,0 +1,18 @@
+type Point struct { x int; y int }
+
+func lookup(m map[string]int, k string) int {
+  return m[k]
+}
+
+func main() {
+  m := make(map[string]int)
+  m["a"] = 1
+  m["b"] = 2
+  p := Point{x: lookup(m, "a"), y: lookup(m, "b")}
+  q := &p
+  q.x = q.x + p.y
+  for k := range m {
+    delete(m, k)
+  }
+  println(p.x, q.y, len(m))
+}

@@ -1,18 +1,26 @@
-(** Differential tests for the closure-compiled interpreter: the lowered
-    execution mode must be observationally identical to the reference
-    tree-walker — same program output, same step count, and the same
-    runtime metrics down to the byte (alloc/free volumes, free ratio
-    numerator and denominator, GC cycle count, maxheap, tcfree
+(** Differential tests for the lowered execution engines: the
+    closure-compiled mode and the bytecode VM must each be
+    observationally identical to the reference tree-walker — same
+    program output, same step count, and the same runtime metrics down
+    to the byte (alloc/free volumes, free ratio numerator and
+    denominator, GC cycle count, maxheap, tcfree
     attempt/success/give-up counters).
 
-    The two modes share the allocator/map/call helpers, so a divergence
-    here means the compiler changed evaluation order or skipped/added a
-    safepoint or allocation somewhere. *)
+    The three engines share the allocator/map/call helpers, so a
+    divergence here means a lowering changed evaluation order or
+    skipped/added a safepoint or allocation somewhere. *)
 
 module Rt = Gofree_runtime
 module W = Gofree_workloads.Workloads
 
-let run_mode ~compiled ?(config = Gofree_core.Config.gofree) src =
+let engines =
+  [
+    ("reference", Gofree_interp.Interp.Eng_reference);
+    ("closure", Gofree_interp.Interp.Eng_closure);
+    ("bytecode", Gofree_interp.Interp.Eng_bytecode);
+  ]
+
+let run_mode ~engine ?(config = Gofree_core.Config.gofree) src =
   let run_config =
     {
       Gofree_interp.Interp.default_config with
@@ -22,7 +30,7 @@ let run_mode ~compiled ?(config = Gofree_core.Config.gofree) src =
           min_heap = 96 * 1024;  (* small heap: force real GC activity *)
           grow_map_free_old = config.Gofree_core.Config.insert_tcfree;
         };
-      compiled;
+      engine;
     }
   in
   Gofree_interp.Runner.compile_and_run ~gofree_config:config ~run_config src
@@ -34,22 +42,30 @@ let metrics_fingerprint (m : Rt.Metrics.t) : string =
   m.Rt.Metrics.gc_time_ns <- 0L;
   Gofree_obs.Json.to_string_pretty (Rt.Metrics.to_json m)
 
+(* Run under every engine and require byte-identical observables,
+   pairwise against the reference walker. *)
 let check_identical ~name ?config src =
-  let r_ref = run_mode ~compiled:false ?config src in
-  let r_cmp = run_mode ~compiled:true ?config src in
-  Alcotest.(check string)
-    (name ^ ": output")
-    r_ref.Gofree_interp.Runner.output r_cmp.Gofree_interp.Runner.output;
-  Alcotest.(check int)
-    (name ^ ": steps")
-    r_ref.Gofree_interp.Runner.steps r_cmp.Gofree_interp.Runner.steps;
-  Alcotest.(check bool)
-    (name ^ ": panicked")
-    r_ref.Gofree_interp.Runner.panicked r_cmp.Gofree_interp.Runner.panicked;
-  Alcotest.(check string)
-    (name ^ ": metrics")
-    (metrics_fingerprint r_ref.Gofree_interp.Runner.metrics)
-    (metrics_fingerprint r_cmp.Gofree_interp.Runner.metrics)
+  let r_ref = run_mode ~engine:Gofree_interp.Interp.Eng_reference ?config src in
+  List.iter
+    (fun (ename, engine) ->
+      if engine <> Gofree_interp.Interp.Eng_reference then begin
+        let r_cmp = run_mode ~engine ?config src in
+        Alcotest.(check string)
+          (name ^ ": output (" ^ ename ^ ")")
+          r_ref.Gofree_interp.Runner.output r_cmp.Gofree_interp.Runner.output;
+        Alcotest.(check int)
+          (name ^ ": steps (" ^ ename ^ ")")
+          r_ref.Gofree_interp.Runner.steps r_cmp.Gofree_interp.Runner.steps;
+        Alcotest.(check bool)
+          (name ^ ": panicked (" ^ ename ^ ")")
+          r_ref.Gofree_interp.Runner.panicked
+          r_cmp.Gofree_interp.Runner.panicked;
+        Alcotest.(check string)
+          (name ^ ": metrics (" ^ ename ^ ")")
+          (metrics_fingerprint r_ref.Gofree_interp.Runner.metrics)
+          (metrics_fingerprint r_cmp.Gofree_interp.Runner.metrics)
+      end)
+    engines
 
 (* ---- the six workload proxies -------------------------------------- *)
 
@@ -150,7 +166,8 @@ func main() {
 |}
 
 (* Struct/pointer traffic: nested field addresses, boxed locals, slices
-   of structs — the eval_addr / owner-of-base corner cases. *)
+   of structs — the eval_addr / owner-of-base corner cases, plus the
+   bytecode engine's struct-field inline caches. *)
 let src_structs =
   {|
 type Point struct { x int; y int }
@@ -200,6 +217,35 @@ func main() {
 }
 |}
 
+(* Repeated same-key map reads with interleaved stores and deletes: the
+   map-site inline cache's hit and invalidation paths must not change
+   what a lookup observes. *)
+let src_ic_invalidation =
+  {|
+func main() {
+  m := make(map[string]int)
+  m["hot"] = 1
+  total := 0
+  for i := 0; i < 100; i = i + 1 {
+    total = total + m["hot"]
+    if i == 30 {
+      m["hot"] = 7
+    }
+    if i == 60 {
+      delete(m, "hot")
+    }
+    if i == 80 {
+      m["hot"] = 3
+    }
+  }
+  for i := 0; i < 40; i = i + 1 {
+    m[itoa(i)] = i
+    total = total + m["hot"]
+  }
+  println(total, len(m))
+}
+|}
+
 let feature_cases =
   List.map
     (fun (name, src) ->
@@ -213,32 +259,45 @@ let feature_cases =
       ("map churn", src_map_churn);
       ("structs+pointers", src_structs);
       ("slices", src_slices);
+      ("ic invalidation", src_ic_invalidation);
     ]
 
 (* ---- random programs ----------------------------------------------- *)
 
 let prop_random_identical =
   QCheck.Test.make ~count:40
-    ~name:"random programs: compiled == reference metrics"
+    ~name:"random programs: all engines == reference metrics"
     QCheck.(make ~print:string_of_int Gen.(0 -- 1_000_000))
     (fun seed ->
       let src = Gen_program.generate seed in
-      let r_ref = run_mode ~compiled:false src in
-      let r_cmp = run_mode ~compiled:true src in
-      if
-        not
-          (String.equal r_ref.Gofree_interp.Runner.output
-             r_cmp.Gofree_interp.Runner.output)
-      then
-        QCheck.Test.fail_reportf "outputs differ for seed %d:\n%s" seed src;
-      if r_ref.Gofree_interp.Runner.steps <> r_cmp.Gofree_interp.Runner.steps
-      then QCheck.Test.fail_reportf "step counts differ for seed %d" seed;
-      if
-        not
-          (String.equal
-             (metrics_fingerprint r_ref.Gofree_interp.Runner.metrics)
-             (metrics_fingerprint r_cmp.Gofree_interp.Runner.metrics))
-      then QCheck.Test.fail_reportf "metrics differ for seed %d:\n%s" seed src;
+      let r_ref = run_mode ~engine:Gofree_interp.Interp.Eng_reference src in
+      List.iter
+        (fun (ename, engine) ->
+          if engine <> Gofree_interp.Interp.Eng_reference then begin
+            let r_cmp = run_mode ~engine src in
+            if
+              not
+                (String.equal r_ref.Gofree_interp.Runner.output
+                   r_cmp.Gofree_interp.Runner.output)
+            then
+              QCheck.Test.fail_reportf "%s output differs for seed %d:\n%s"
+                ename seed src;
+            if
+              r_ref.Gofree_interp.Runner.steps
+              <> r_cmp.Gofree_interp.Runner.steps
+            then
+              QCheck.Test.fail_reportf "%s step count differs for seed %d"
+                ename seed;
+            if
+              not
+                (String.equal
+                   (metrics_fingerprint r_ref.Gofree_interp.Runner.metrics)
+                   (metrics_fingerprint r_cmp.Gofree_interp.Runner.metrics))
+            then
+              QCheck.Test.fail_reportf "%s metrics differ for seed %d:\n%s"
+                ename seed src
+          end)
+        engines;
       true)
 
 let suite =
