@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""CI precision smoke gate.
+
+Compares a freshly produced precision_smoke.json (one run per
+workload/precision-mode pair, reduced scale) against the committed
+baseline bench/precision_smoke.json.
+
+The simulated runtime is deterministic under a fixed seed/scale and its
+allocator-visible metrics are engine-independent, so every metric must
+match the baseline EXACTLY — in particular any free-ratio drift (an
+analysis regression OR an unvetted improvement) fails the gate and asks
+for a deliberate baseline update.
+
+Two in-document invariants are also enforced on the current run:
+
+  * refined modes never insert fewer tcfrees than baseline mode
+    (precision only adds free sites, it never removes them);
+  * at least two workloads show a refined mode strictly improving the
+    free ratio over baseline mode — the precision surface must keep
+    earning its keep at smoke scale.
+
+Exit status 0 = pass, 1 = mismatch/invariant violation, 2 = bad input.
+"""
+
+import json
+import sys
+
+SCHEMA = "gofree-precision-v1"
+METRIC_KEYS = ("free_ratio", "gc_cycles", "freed_bytes", "alloced_bytes",
+               "insertions", "field_insertions")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != SCHEMA:
+        print(f"error: {path}: unexpected schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def by_name(doc):
+    return {w["name"]: w for w in doc["workloads"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} baseline current", file=sys.stderr)
+        sys.exit(2)
+    baseline, current = load(sys.argv[1]), load(sys.argv[2])
+    for key in ("scale_pct", "seed"):
+        if baseline.get(key) != current.get(key):
+            print(f"error: {key} differs (baseline {baseline.get(key)}, "
+                  f"current {current.get(key)}); run at baseline settings",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    failures = []
+    cur_workloads = by_name(current)
+    for name, base_w in by_name(baseline).items():
+        cur_w = cur_workloads.get(name)
+        if cur_w is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for mode, base_m in base_w["modes"].items():
+            cur_m = cur_w["modes"].get(mode)
+            if cur_m is None:
+                failures.append(f"{name}/{mode}: missing from current run")
+                continue
+            for key in METRIC_KEYS:
+                if base_m[key] != cur_m[key]:
+                    failures.append(
+                        f"{name}/{mode}: {key} drifted "
+                        f"{base_m[key]} -> {cur_m[key]}")
+
+    improved = 0
+    for name, w in cur_workloads.items():
+        modes = w["modes"]
+        base = modes.get("baseline")
+        if base is None:
+            failures.append(f"{name}: no baseline mode in current run")
+            continue
+        if any(m["free_ratio"] > base["free_ratio"]
+               for mode, m in modes.items() if mode != "baseline"):
+            improved += 1
+        for mode, m in modes.items():
+            if mode != "baseline" and m["insertions"] < base["insertions"]:
+                failures.append(
+                    f"{name}/{mode}: fewer insertions than baseline "
+                    f"({m['insertions']} < {base['insertions']})")
+    if improved < 2:
+        failures.append(
+            f"only {improved} workload(s) improve free ratio in a refined "
+            "mode (need >= 2)")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"precision smoke OK: {len(by_name(baseline))} workloads x "
+          f"{len(baseline.get('modes', []))} modes match baseline, "
+          f"{improved} workloads improved by a refined mode")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,13 +41,18 @@ let run ~options () =
       let source = W.source_of ~size:(scaled_size ~options w) w in
       let fr m = Table.pct1 (Rt.Metrics.free_ratio m) in
       let full = run_variant ~options ~gofree_config:Gofree_core.Config.gofree source in
-      let noipa = run_variant ~options ~gofree_config:Gofree_core.Config.no_ipa source in
+      let noipa = run_variant ~options ~gofree_config:Gofree_api.Preset.(default |> with_ipa false |> to_config)
+          source in
       let nogrow =
         run_variant ~options ~gofree_config:Gofree_core.Config.gofree
           ~grow:false source
       in
       let all =
-        run_variant ~options ~gofree_config:Gofree_core.Config.all_targets
+        run_variant ~options
+          ~gofree_config:
+            Gofree_api.Preset.(
+              default |> with_targets Gofree_core.Config.All_pointers
+              |> to_config)
           source
       in
       Table.add_row table

@@ -117,6 +117,7 @@ let run ~options () =
         ("incremental", Exp_incremental.measure ~options ());
         ("load", Exp_load.measure ~options ());
         ("telemetry", Exp_telemetry.measure ~options ());
+        ("precision", Exp_precision.measure ~options ());
       ]
   in
   let oc = open_out "BENCH_gofree.json" in

@@ -89,7 +89,10 @@ let run ~options () =
     in
     incr total;
     match
-      check ~gofree_config:Gofree_core.Config.unsound_no_backprop source
+      check
+        ~gofree_config:
+          Gofree_api.Preset.(default |> with_backprop false |> to_config)
+        source
         expected
     with
     | Clean -> ()

@@ -59,7 +59,7 @@ let run_analyze ~runs socket =
       let source = W.source_of w in
       let request =
         Rpc.Analyze
-          { src = Rpc.Inline source; preset = Gofree_api.Gofree;
+          { src = Rpc.Inline source; config = Gofree_api.Preset.(to_config default);
             explain = false }
       in
       let cold_ms, _ =
@@ -158,7 +158,7 @@ let run_build ~runs socket =
   in
   let request force =
     Rpc.Build
-      { dir = root; preset = Gofree_api.Gofree; force; jobs = 1;
+      { dir = root; config = Gofree_api.Preset.(to_config default); force; jobs = 1;
         run = false; cache_dir = None;
         options = Gofree_api.default_run_options }
   in

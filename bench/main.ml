@@ -9,12 +9,16 @@
 
     Experiments: table3, fig10, fig11, table7, table8, table9,
     compile_speed, robustness, ablation, serve, load, telemetry,
-    incremental, engines,
+    incremental, engines, precision,
     bench_json.
 
     [--only bench_json] writes BENCH_gofree.json: per-workload free
     ratio, GC cycles, max heap, wall time and compile-phase timings in
-    one machine-readable document. *)
+    one machine-readable document.
+
+    [--only precision] prints per-mode free ratios/insertions and writes
+    precision_smoke.json, the document CI gates against the committed
+    bench/precision_smoke.json. *)
 
 let usage = "bench/main.exe [--runs N] [--scale PCT] [--only NAME] [--bechamel]"
 
@@ -104,5 +108,6 @@ let () =
     if want "telemetry" then Exp_telemetry.run ~options ();
     if want "incremental" then Exp_incremental.run ~options ();
     if want "engines" then Exp_engines.run ~options ();
+    if want "precision" then Exp_precision.run ~options ();
     if want "bench_json" then Exp_bench_json.run ~options ()
   end

@@ -38,8 +38,39 @@ let preset_term : Gofree_api.preset Term.t =
         Gofree_api.preset_of_flags ~go ~all_targets ~no_ipa)
     $ go_flag $ all_targets_flag $ no_ipa_flag)
 
+(* --precision: the opt-in analysis precision modes, composable with the
+   historical preset triple (e.g. --all-targets --precision last-use). *)
+let precision_conv : Gofree_core.Config.precision Arg.conv =
+  Arg.enum
+    [
+      ("baseline", Gofree_core.Config.baseline_precision);
+      ( "field-sensitive",
+        { Gofree_core.Config.baseline_precision with
+          Gofree_core.Config.field_sensitive = true } );
+      ( "last-use",
+        { Gofree_core.Config.baseline_precision with
+          Gofree_core.Config.placement = Gofree_core.Config.Last_use } );
+      ("precise", Gofree_core.Config.precise_precision);
+    ]
+
+let precision_arg =
+  Arg.(value
+       & opt precision_conv Gofree_core.Config.baseline_precision
+       & info [ "precision" ] ~docv:"MODE"
+           ~doc:"Analysis precision mode: $(b,baseline) (the paper's \
+                 field-insensitive analysis, frees at scope exit), \
+                 $(b,field-sensitive) (per-field points-to/escape \
+                 facts), $(b,last-use) (insert tcfree at the last use \
+                 instead of scope exit) or $(b,precise) (both).  All \
+                 modes keep the paper's safety protocol (5).")
+
 let config_term : Gofree_api.config Term.t =
-  Term.(const Gofree_api.config_of_preset $ preset_term)
+  Term.(
+    const (fun preset precision ->
+        Gofree_api.Preset.(
+          of_config (Gofree_api.config_of_preset preset)
+          |> with_precision precision |> to_config))
+    $ preset_term $ precision_arg)
 
 (* ---------------------------------------------------------------- *)
 (* Execution options (--gc-off / --poison / --gogc / --seed / ...)    *)

@@ -28,8 +28,7 @@ let file_arg =
 
 (* run *)
 let run_cmd =
-  let run file preset options metrics obs =
-    let config = Gofree_api.config_of_preset preset in
+  let run file config options metrics obs =
     let options = with_effective_sampling obs options in
     let source = read_source file in
     start_trace obs;
@@ -41,7 +40,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniGo program")
     Term.(
-      const run $ file_arg $ preset_term $ run_options_term $ metrics_flag
+      const run $ file_arg $ config_term $ run_options_term $ metrics_flag
       $ obs_term)
 
 (* analyze *)
@@ -60,9 +59,26 @@ let analyze_cmd =
                  heap sites, the inserted tcfree that reclaims it or \
                  the property blocking the free")
   in
-  let analyze file preset func dot explain =
-    let config = Gofree_api.config_of_preset preset in
+  let analyze file config func dot explain delta_base =
     let c = ok (Gofree_api.analyze_file ~config file) in
+    (match delta_base with
+    | Some base_name ->
+      (* Which blocking reasons this config eliminates vs the baseline. *)
+      let base_config =
+        match Gofree_api.Preset.of_name base_name with
+        | Some p -> Gofree_api.Preset.to_config p
+        | None ->
+          Printf.eprintf "gofreec: unknown preset %S for --explain-delta\n"
+            base_name;
+          exit 1
+      in
+      let cb = ok (Gofree_api.analyze_file ~config:base_config file) in
+      let delta =
+        Gofree_api.explain_delta ~baseline:(Gofree_api.explain cb)
+          ~refined:(Gofree_api.explain c)
+      in
+      print_endline (Gofree_obs.Json.to_string delta)
+    | None ->
     if explain then
       Format.printf "%a@." Gofree_api.pp_explain (Gofree_api.explain c)
     else if dot then begin
@@ -78,31 +94,36 @@ let analyze_cmd =
           | None -> Printf.eprintf "no analysis for %s\n" name)
         funcs
     end
-    else Format.printf "%a@." (Gofree_api.pp_analysis ?func) c
+    else Format.printf "%a@." (Gofree_api.pp_analysis ?func) c)
+  in
+  let delta_arg =
+    Arg.(value & opt (some string) None & info [ "explain-delta" ]
+           ~docv:"PRESET"
+           ~doc:"Analyze under both $(docv) (baseline) and the selected \
+                 preset; print a JSON report of which blocking reasons \
+                 the selected preset eliminates")
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Print escape-analysis properties and points-to sets")
     Term.(
-      const analyze $ file_arg $ preset_term $ func_arg $ dot_flag
-      $ explain_flag)
+      const analyze $ file_arg $ config_term $ func_arg $ dot_flag
+      $ explain_flag $ delta_arg)
 
 (* instrument *)
 let instrument_cmd =
-  let instrument file preset =
-    let config = Gofree_api.config_of_preset preset in
+  let instrument file config =
     let c = ok (Gofree_api.analyze_file ~config file) in
     print_string (Gofree_api.instrumented_source c)
   in
   Cmd.v
     (Cmd.info "instrument"
        ~doc:"Print the program with inserted tcfree calls")
-    Term.(const instrument $ file_arg $ preset_term)
+    Term.(const instrument $ file_arg $ config_term)
 
 (* disasm *)
 let disasm_cmd =
-  let disasm file preset =
-    let config = Gofree_api.config_of_preset preset in
+  let disasm file config =
     let c = ok (Gofree_api.analyze_file ~config file) in
     print_string (Gofree_api.disassemble c)
   in
@@ -111,7 +132,7 @@ let disasm_cmd =
        ~doc:"Print the bytecode-engine lowering of the program: flat \
              instructions with resolved slot names, interned callees \
              and inline-cache sites")
-    Term.(const disasm $ file_arg $ preset_term)
+    Term.(const disasm $ file_arg $ config_term)
 
 (* compare *)
 let compare_cmd =
@@ -168,11 +189,10 @@ let build_cmd =
            ~doc:"Write per-package timing and cache statistics as JSON \
                  into $(docv)")
   in
-  let build dir preset jobs cache_dir force run stats options metrics obs
+  let build dir config jobs cache_dir force run stats options metrics obs
       stats_json =
     (* metrics only exist after execution *)
     let run = run || obs.metrics_json <> None in
-    let config = Gofree_api.config_of_preset preset in
     let options = with_effective_sampling obs options in
     start_trace obs;
     let b = ok (Gofree_api.build_dir ~config ?cache_dir ~jobs ~force dir) in
@@ -200,7 +220,7 @@ let build_cmd =
        ~doc:"Compile a multi-package tree (incremental, parallel); link \
              and optionally run it")
     Term.(
-      const build $ dir_arg $ preset_term $ jobs_arg $ cache_arg
+      const build $ dir_arg $ config_term $ jobs_arg $ cache_arg
       $ force_flag $ run_flag $ stats_flag $ run_options_term
       $ metrics_flag $ obs_term $ stats_json_arg)
 
@@ -330,7 +350,7 @@ let client_cmd =
            ~doc:"telemetry: print the snapshot in Prometheus text \
                  exposition format instead of JSON")
   in
-  let client socket meth target preset options explain run force jobs
+  let client socket meth target config options explain run force jobs
       cache_dir requests concurrency raw prometheus =
     let module C = Gofree_server.Client in
     let print_response j =
@@ -412,17 +432,17 @@ let client_cmd =
         | None -> fail "METHOD required (or use --requests FILE)"
         | Some "analyze" ->
           Gofree_server.Rpc.Analyze
-            { src = source_of target; preset; explain }
+            { src = source_of target; config; explain }
         | Some "run" ->
           Gofree_server.Rpc.Run
-            { src = source_of target; preset; options }
+            { src = source_of target; config; options }
         | Some "explain" ->
-          Gofree_server.Rpc.Explain { src = source_of target; preset }
+          Gofree_server.Rpc.Explain { src = source_of target; config }
         | Some "build" -> begin
           match target with
           | Some dir ->
             Gofree_server.Rpc.Build
-              { dir; preset; force; jobs; run; cache_dir; options }
+              { dir; config; force; jobs; run; cache_dir; options }
           | None -> fail "build needs a DIR argument"
         end
         | Some "stats" -> Gofree_server.Rpc.Stats
@@ -453,7 +473,7 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send requests to a serving daemon and print the responses")
     Term.(
-      const client $ socket_arg $ method_arg $ target_arg $ preset_term
+      const client $ socket_arg $ method_arg $ target_arg $ config_term
       $ run_options_term $ explain_flag $ run_flag $ force_flag $ jobs_arg
       $ cache_arg $ requests_arg $ concurrency_arg $ raw_flag
       $ prometheus_flag)

@@ -24,20 +24,84 @@ let api_version = 1
 
 type config = Gofree_core.Config.t
 
-(** The four pipeline configurations the tools expose. *)
+(** Builder-style configuration surface (API v2).  A preset is just a
+    configuration value; start from {!Preset.default} (the paper's
+    shipped system) or {!Preset.stock_go} and refine it with the
+    [with_*] combinators:
+
+    {[
+      Preset.(default |> with_field_sensitivity true
+                      |> with_placement Gofree_core.Config.Last_use
+                      |> to_config)
+    ]}
+
+    This replaces the ad-hoc preset globals ([Config.all_targets],
+    [Config.no_ipa], ...) which remain available one more release as
+    deprecated aliases (see {!preset} below). *)
+module Preset = struct
+  module C = Gofree_core.Config
+
+  type t = config
+
+  (** The paper's shipped configuration. *)
+  let default : t = C.gofree
+
+  (** Stock Go: no tcfree insertion. *)
+  let stock_go : t = C.go
+
+  let to_config (p : t) : config = p
+
+  let of_config (c : config) : t = c
+
+  let with_insertion insert_tcfree (p : t) : t = { p with C.insert_tcfree }
+
+  let with_targets targets (p : t) : t = { p with C.targets }
+
+  let with_ipa ipa (p : t) : t = { p with C.ipa }
+
+  let with_backprop backprop (p : t) : t = { p with C.backprop }
+
+  let with_precision precision (p : t) : t = { p with C.precision }
+
+  let with_field_sensitivity field_sensitive (p : t) : t =
+    { p with C.precision = { p.C.precision with C.field_sensitive } }
+
+  let with_placement placement (p : t) : t =
+    { p with C.precision = { p.C.precision with C.placement } }
+
+  (** The named configurations the CLI, RPC layer and benchmarks refer
+      to by string. *)
+  let named : (string * t) list =
+    [
+      ("gofree", default);
+      ("go", stock_go);
+      ("all-targets", with_targets C.All_pointers default);
+      ("no-ipa", with_ipa false default);
+      ("field-sensitive", with_field_sensitivity true default);
+      ("last-use", with_placement C.Last_use default);
+      ("precise", with_precision C.precise_precision default);
+    ]
+
+  let of_name (n : string) : t option = List.assoc_opt n named
+end
+
+(** Deprecated (API v1): the closed preset variant.  Kept one release
+    for callers of the historical flag triple; new code should use
+    {!Preset}. *)
 type preset =
   | Gofree  (** the paper's shipped configuration *)
   | Go  (** stock Go: no tcfree insertion *)
   | All_targets  (** also free objects through raw pointers *)
   | No_ipa  (** ablation: no inter-procedural content tags *)
 
+(** Deprecated: use {!Preset.to_config}. *)
 let config_of_preset = function
-  | Gofree -> Gofree_core.Config.gofree
-  | Go -> Gofree_core.Config.go
-  | All_targets -> Gofree_core.Config.all_targets
-  | No_ipa -> Gofree_core.Config.no_ipa
+  | Gofree -> Preset.default
+  | Go -> Preset.stock_go
+  | All_targets -> Preset.(with_targets Gofree_core.Config.All_pointers default)
+  | No_ipa -> Preset.(with_ipa false default)
 
-(** The CLI's historical flag triple, also used by the RPC layer. *)
+(** The CLI's historical flag triple, also used by the v1 RPC layer. *)
 let preset_of_flags ~go ~all_targets ~no_ipa =
   if go then Go
   else if all_targets then All_targets
@@ -50,12 +114,99 @@ let preset_name = function
   | All_targets -> "all-targets"
   | No_ipa -> "no-ipa"
 
+(** Deprecated: use {!Preset.of_name}, which also knows the precision
+    presets. *)
 let preset_of_name = function
   | "gofree" -> Some Gofree
   | "go" -> Some Go
   | "all-targets" -> Some All_targets
   | "no-ipa" -> Some No_ipa
   | _ -> None
+
+(* ---- config <-> JSON (the RPC v2 "config" object) ---- *)
+
+let targets_str = function
+  | Gofree_core.Config.Slices_and_maps -> "slices+maps"
+  | Gofree_core.Config.All_pointers -> "all"
+
+let targets_of_string = function
+  | "slices+maps" -> Some Gofree_core.Config.Slices_and_maps
+  | "all" -> Some Gofree_core.Config.All_pointers
+  | _ -> None
+
+let precision_to_json (p : Gofree_core.Config.precision) : Json.t =
+  Json.Obj
+    [
+      ("field_sensitive", Json.Bool p.Gofree_core.Config.field_sensitive);
+      ( "placement",
+        Json.Str
+          (Gofree_core.Config.placement_str p.Gofree_core.Config.placement)
+      );
+    ]
+
+(** Schema: the [config] object of [gofree-rpc-v2] requests. *)
+let config_to_json (c : config) : Json.t =
+  Json.Obj
+    [
+      ("insert_tcfree", Json.Bool c.Gofree_core.Config.insert_tcfree);
+      ("targets", Json.Str (targets_str c.Gofree_core.Config.targets));
+      ("ipa", Json.Bool c.Gofree_core.Config.ipa);
+      ("backprop", Json.Bool c.Gofree_core.Config.backprop);
+      ("precision", precision_to_json c.Gofree_core.Config.precision);
+    ]
+
+(** Parse an RPC v2 [config] object.  Every field is optional and
+    defaults to the paper's configuration, so clients send only what
+    they change; unknown field names are rejected (schema check). *)
+let config_of_json (j : Json.t) : (config, string) result =
+  let module C = Gofree_core.Config in
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.Obj fields ->
+    let bool_field name v k =
+      match v with
+      | Json.Bool b -> k b
+      | _ -> Error (Printf.sprintf "config.%s: expected bool" name)
+    in
+    let rec fold cfg = function
+      | [] -> Ok cfg
+      | ("insert_tcfree", v) :: rest ->
+        bool_field "insert_tcfree" v (fun b ->
+            fold { cfg with C.insert_tcfree = b } rest)
+      | ("ipa", v) :: rest ->
+        bool_field "ipa" v (fun b -> fold { cfg with C.ipa = b } rest)
+      | ("backprop", v) :: rest ->
+        bool_field "backprop" v (fun b ->
+            fold { cfg with C.backprop = b } rest)
+      | ("targets", Json.Str s) :: rest -> (
+        match targets_of_string s with
+        | Some t -> fold { cfg with C.targets = t } rest
+        | None -> Error (Printf.sprintf "config.targets: unknown %S" s))
+      | ("targets", _) :: _ -> Error "config.targets: expected string"
+      | ("precision", Json.Obj pf) :: rest ->
+        let rec pfold pr = function
+          | [] -> Ok pr
+          | ("field_sensitive", v) :: prest ->
+            bool_field "precision.field_sensitive" v (fun b ->
+                pfold { pr with C.field_sensitive = b } prest)
+          | ("placement", Json.Str s) :: prest -> (
+            match C.placement_of_string s with
+            | Some p -> pfold { pr with C.placement = p } prest
+            | None ->
+              Error (Printf.sprintf "config.precision.placement: unknown %S" s)
+            )
+          | ("placement", _) :: _ ->
+            Error "config.precision.placement: expected string"
+          | (k, _) :: _ ->
+            Error (Printf.sprintf "config.precision: unknown field %S" k)
+        in
+        let* pr = pfold cfg.C.precision pf in
+        fold { cfg with C.precision = pr } rest
+      | ("precision", _) :: _ -> Error "config.precision: expected object"
+      | (k, _) :: _ -> Error (Printf.sprintf "config: unknown field %S" k)
+    in
+    fold C.gofree fields
+  | _ -> Error "config: expected object"
 
 (** Which execution engine interprets function bodies.  All three are
     observationally identical (output, metrics JSON, GC events) by
@@ -182,7 +333,11 @@ let insertions_of_list l =
       {
         ins_function = i.Gofree_core.Instrument.ins_func;
         ins_variable =
-          i.Gofree_core.Instrument.ins_var.Minigo.Tast.v_name;
+          (i.Gofree_core.Instrument.ins_var.Minigo.Tast.v_name
+          ^
+          match i.Gofree_core.Instrument.ins_field with
+          | Some (_, fname) -> "." ^ fname
+          | None -> "");
         ins_kind = kind_of_tast i.Gofree_core.Instrument.ins_kind;
       })
     l
@@ -307,6 +462,18 @@ let pp_explain = Gofree_core.Report.pp_explain
 
 (** Schema [gofree-explain-v1]. *)
 let explain_to_json = Gofree_core.Report.explain_to_json
+
+(** Per-blocking-reason histogram of the GC-bound heap sites. *)
+let blocking_counts (e : explain) : (string * int) list =
+  List.map
+    (fun (b, n) -> (Gofree_core.Report.blocking_str b, n))
+    (Gofree_core.Report.blocking_counts e)
+
+(** Which blocking reasons [refined] eliminated relative to [baseline]
+    on the same program (the [analyze --explain-delta] artifact). *)
+let explain_delta ~(baseline : explain) ~(refined : explain) :
+    Gofree_obs.Json.t =
+  Gofree_core.Report.explain_delta ~baseline ~refined
 
 (* ---------------------------------------------------------------- *)
 (* Execution                                                         *)

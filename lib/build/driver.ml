@@ -243,14 +243,18 @@ let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
               | Some r ->
                 let frees =
                   List.filter_map
-                    (fun (func, rel, kind) ->
-                      if func = fn then Some (var_base fn + rel, kind)
+                    (fun (func, rel, fidx, kind) ->
+                      if func = fn then Some (var_base fn + rel, fidx, kind)
                       else None)
                     r.Store.u_frees
                 in
                 if frees = [] then []
-                else Core.Instrument.replay_function f frees
-              | None -> Core.Instrument.instrument_function analysis config f
+                else
+                  Core.Instrument.replay_function ~tenv:tp.Tast.p_tenv
+                    ~config f frees
+              | None ->
+                Core.Instrument.instrument_function ~tenv:tp.Tast.p_tenv
+                  analysis config f
             in
             Hashtbl.replace inserted_by_func fn ins;
             ins)
@@ -267,6 +271,9 @@ let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
       (fun (i : Core.Instrument.inserted) ->
         ( i.Core.Instrument.ins_func,
           i.Core.Instrument.ins_var.Tast.v_id - base_var,
+          (match i.Core.Instrument.ins_field with
+          | Some (idx, _) -> idx
+          | None -> -1),
           i.Core.Instrument.ins_kind ))
       inserted
   in
@@ -344,6 +351,9 @@ let analyze_package ~config ~key ~name ~base_var ~nvars ~nsites ~imported
                   (fun (i : Core.Instrument.inserted) ->
                     ( fn,
                       i.Core.Instrument.ins_var.Tast.v_id - var_base fn,
+                      (match i.Core.Instrument.ins_field with
+                      | Some (idx, _) -> idx
+                      | None -> -1),
                       i.Core.Instrument.ins_kind ))
                   (try Hashtbl.find inserted_by_func fn
                    with Not_found -> []))
@@ -549,13 +559,16 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
               (fun (f : Tast.func) ->
                 let frees =
                   List.filter_map
-                    (fun (fn, rel, kind) ->
-                      if fn = f.Tast.f_name then Some (base_var + rel, kind)
+                    (fun (fn, rel, fidx, kind) ->
+                      if fn = f.Tast.f_name then
+                        Some (base_var + rel, fidx, kind)
                       else None)
                     e.Store.e_frees
                 in
                 if frees = [] then []
-                else Core.Instrument.replay_function f frees)
+                else
+                  Core.Instrument.replay_function ~tenv:tp.Tast.p_tenv
+                    ~config f frees)
               tp.Tast.p_funcs
           in
           Hashtbl.replace entries name e;
@@ -652,8 +665,13 @@ let build ?(config = Core.Config.gofree) ?cache_dir ?(jobs = 0)
       p_nvars = total_vars;
     }
   in
+  (* Instrumentation temporaries (field frees, hoisted returns) carry
+     placeholder ids until the whole program is assembled; renumber
+     them now, in program order, so ids are deterministic however the
+     per-package instrumentation was scheduled.  Grows [p_nvars]. *)
+  Core.Instrument.assign_temp_ids linked;
   let site_heap = Array.make (max 1 total_sites) false in
-  let var_boxed = Array.make (max 1 total_vars) false in
+  let var_boxed = Array.make (max 1 linked.Tast.p_nvars) false in
   List.iter
     (fun name ->
       let e = Hashtbl.find entries name in

@@ -25,7 +25,7 @@ module E = Gofree_escape
 
 (* Bump when the file layout changes: a stale-format file then simply
    misses. *)
-let format_version = "gofree-sum-v1"
+let format_version = "gofree-sum-v2"
 
 type entry = {
   e_pkg : string;
@@ -33,8 +33,9 @@ type entry = {
   e_nvars : int;  (** variable ids the package allocates *)
   e_nsites : int;  (** allocation sites the package allocates *)
   e_summaries : E.Summary.t list;  (** one per function, decl order *)
-  e_frees : (string * int * Tast.free_kind) list;
-      (** inserted tcfrees: function, relative var id, kind *)
+  e_frees : (string * int * int * Tast.free_kind) list;
+      (** inserted tcfrees: function, relative var id, field index
+          ([-1] for a whole-variable free), kind *)
   e_site_heap : bool list;  (** per site, in site order *)
   e_var_boxed : int list;  (** relative ids of boxed variables *)
 }
@@ -97,9 +98,10 @@ let to_sexps (e : entry) : E.Sexp.t list =
     E.Sexp.List
       (atom "frees"
       :: List.map
-           (fun (func, rel, kind) ->
+           (fun (func, rel, fidx, kind) ->
              E.Sexp.List
-               [ atom "free"; atom func; int rel; atom (kind_atom kind) ])
+               [ atom "free"; atom func; int rel; int fidx;
+                 atom (kind_atom kind) ])
            e.e_frees);
     E.Sexp.List
       (atom "site-heap"
@@ -163,10 +165,11 @@ let of_string (s : string) : (entry, string) result =
         List.map
           (function
             | E.Sexp.List
-                [ E.Sexp.Atom "free"; E.Sexp.Atom func; rel; E.Sexp.Atom k ]
+                [ E.Sexp.Atom "free"; E.Sexp.Atom func; rel; fidx;
+                  E.Sexp.Atom k ]
               -> begin
               match kind_of_atom k with
-              | Some kind -> (func, int_atom rel, kind)
+              | Some kind -> (func, int_atom rel, int_atom fidx, kind)
               | None -> fail "bad free kind %s" k
             end
             | _ -> fail "malformed free")
@@ -199,15 +202,16 @@ let of_string (s : string) : (entry, string) result =
    {e function}'s first id (not the package base): they stay stable even
    when an earlier function in the same package grows or shrinks. *)
 
-let units_format_version = "gofree-units-v1"
+let units_format_version = "gofree-units-v2"
 
 type unit_record = {
   u_key : string;  (** {!Gofree_escape.Callgraph.unit_key} content key *)
   u_funcs : string list;  (** the unit's functions, unit order *)
   u_summaries : E.Summary.t list;
       (** extended parameter tags; empty when the build ran without IPA *)
-  u_frees : (string * int * Tast.free_kind) list;
-      (** inserted tcfrees: function, function-relative var id, kind *)
+  u_frees : (string * int * int * Tast.free_kind) list;
+      (** inserted tcfrees: function, function-relative var id, field
+          index ([-1] for a whole-variable free), kind *)
   u_sites : (string * int * bool) list;
       (** function, function-relative site id, heap decision *)
   u_boxed : (string * int) list;
@@ -227,9 +231,10 @@ let unit_record_to_sexp (u : unit_record) : E.Sexp.t =
       E.Sexp.List
         (atom "frees"
         :: List.map
-             (fun (func, rel, kind) ->
+             (fun (func, rel, fidx, kind) ->
                E.Sexp.List
-                 [ atom "free"; atom func; int rel; atom (kind_atom kind) ])
+                 [ atom "free"; atom func; int rel; int fidx;
+                   atom (kind_atom kind) ])
              u.u_frees);
       E.Sexp.List
         (atom "sites"
@@ -294,10 +299,10 @@ let unit_record_of_sexp (sx : E.Sexp.t) : (unit_record, string) result =
           List.map
             (function
               | E.Sexp.List
-                  [ E.Sexp.Atom "free"; E.Sexp.Atom func; rel;
+                  [ E.Sexp.Atom "free"; E.Sexp.Atom func; rel; fidx;
                     E.Sexp.Atom k ] -> begin
                 match kind_of_atom k with
-                | Some kind -> (func, int_atom rel, kind)
+                | Some kind -> (func, int_atom rel, int_atom fidx, kind)
                 | None -> fail "bad free kind %s" k
               end
               | _ -> fail "malformed free")

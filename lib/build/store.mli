@@ -12,8 +12,9 @@ type entry = {
   e_nvars : int;  (** variable ids the package allocates *)
   e_nsites : int;  (** allocation sites the package allocates *)
   e_summaries : E.Summary.t list;  (** one per function, decl order *)
-  e_frees : (string * int * Tast.free_kind) list;
-      (** inserted tcfrees: function, relative var id, kind *)
+  e_frees : (string * int * int * Tast.free_kind) list;
+      (** inserted tcfrees: function, relative var id, field index
+          ([-1] for a whole-variable free), kind *)
   e_site_heap : bool list;  (** per site, in site order *)
   e_var_boxed : int list;  (** relative ids of boxed variables *)
 }
@@ -47,8 +48,9 @@ type unit_record = {
   u_funcs : string list;  (** the unit's functions, unit order *)
   u_summaries : E.Summary.t list;
       (** extended parameter tags; empty when the build ran without IPA *)
-  u_frees : (string * int * Tast.free_kind) list;
-      (** inserted tcfrees: function, function-relative var id, kind *)
+  u_frees : (string * int * int * Tast.free_kind) list;
+      (** inserted tcfrees: function, function-relative var id, field
+          index ([-1] for a whole-variable free), kind *)
   u_sites : (string * int * bool) list;
       (** function, function-relative site id, heap decision *)
   u_boxed : (string * int) list;

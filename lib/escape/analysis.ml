@@ -75,6 +75,52 @@ let extract_summary ?(precise_contents = true) (f : Tast.func)
               { Summary.pf_param = i; pf_target = `Heap; pf_derefs = derefs }
               :: !flows)
         params);
+  (* Field-projected facts (field-sensitive mode): for every slot of a
+     parameter's object that the function touched, record what it did to
+     the slot — plus the param → slot flows a caller must replay. *)
+  let fields = ref [] in
+  if ctx.Build.field_mode then begin
+    let param_index = Hashtbl.create 8 in
+    List.iteri
+      (fun i (p : Tast.var) -> Hashtbl.replace param_index p.Tast.v_id i)
+      f.Tast.f_params;
+    let slots =
+      Hashtbl.fold
+        (fun (vid, fidx) (slot : Loc.t) acc ->
+          match Hashtbl.find_opt param_index vid with
+          | Some i -> ((i, fidx), slot) :: acc
+          | None -> acc)
+        ctx.Build.field_locs []
+      (* deterministic order: summaries are serialized into cache keys *)
+      |> List.sort compare
+    in
+    List.iter
+      (fun ((i, fidx), (slot : Loc.t)) ->
+        let ff =
+          {
+            Summary.ff_param = i;
+            ff_field = fidx;
+            ff_heap = slot.Loc.points_to_heap;
+            ff_content_incomplete = slot.Loc.exposes;
+            ff_slot_incomplete = slot.Loc.inc_store;
+          }
+        in
+        if ff.Summary.ff_heap || ff.Summary.ff_content_incomplete
+           || ff.Summary.ff_slot_incomplete
+        then fields := ff :: !fields;
+        (* other params' values stored into this slot *)
+        Graph.walk_one g slot (fun leaf derefs ->
+            List.iteri
+              (fun j p ->
+                if p.Loc.id = leaf.Loc.id then
+                  flows :=
+                    { Summary.pf_param = j;
+                      pf_target = `Param_field (i, fidx);
+                      pf_derefs = derefs }
+                    :: !flows)
+              params))
+      slots
+  end;
   let contents =
     Array.map
       (fun (ret : Loc.t) ->
@@ -98,6 +144,7 @@ let extract_summary ?(precise_contents = true) (f : Tast.func)
     s_nparams = List.length params;
     s_flows = !flows;
     s_contents = contents;
+    s_fields = List.rev !fields;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -106,10 +153,10 @@ let extract_summary ?(precise_contents = true) (f : Tast.func)
 
 (* Mode parameters that change analysis results must feed the unit keys
    alongside the configuration signature. *)
-let mode_signature mode use_ipa backprop =
-  Printf.sprintf "mode=%s ipa=%b backprop=%b"
+let mode_signature ?(field_sensitive = false) mode use_ipa backprop =
+  Printf.sprintf "mode=%s ipa=%b backprop=%b fields=%b"
     (match mode with Propagate.Gofree -> "gofree" | Propagate.Go_base -> "go")
-    use_ipa backprop
+    use_ipa backprop field_sensitive
 
 (** Analyze a whole program.  With [mode = Go_base] the result carries
     only stack/heap decisions (what stock Go computes); with [Gofree] it
@@ -133,8 +180,8 @@ let mode_signature mode use_ipa backprop =
     summaries are published only after the whole unit, exactly as the
     monolithic solver did. *)
 let analyze ?(mode = Propagate.Gofree) ?(use_ipa = true) ?(backprop = true)
-    ?(imported = []) ?(config_sig = "") ?pool ?unit_lookup
-    (p : Tast.program) : t =
+    ?(field_sensitive = false) ?(imported = []) ?(config_sig = "") ?pool
+    ?unit_lookup (p : Tast.program) : t =
   let summaries = Hashtbl.create 16 in
   (* Seed the table with the stored tags of already-analyzed packages:
      calls into an imported function then resolve exactly as they would
@@ -148,7 +195,7 @@ let analyze ?(mode = Propagate.Gofree) ?(use_ipa = true) ?(backprop = true)
   let cg = Callgraph.build p.Tast.p_funcs in
   let nunits = Array.length cg.Callgraph.cg_units in
   let reports = Array.make nunits None in
-  let msig = mode_signature mode use_ipa backprop in
+  let msig = mode_signature ~field_sensitive mode use_ipa backprop in
   (* Key of a unit; callable only once every dependency's summaries are
      published (deps precede the unit in reverse topological order). *)
   let key_of u =
@@ -170,13 +217,16 @@ let analyze ?(mode = Propagate.Gofree) ?(use_ipa = true) ?(backprop = true)
           Gofree_obs.Trace.with_span ~tid
             ("build:" ^ f.Tast.f_name)
             (fun () ->
-              Build.build_function ~tenv:p.Tast.p_tenv ~summaries:tbl f)
+              Build.build_function ~field_mode:field_sensitive
+                ~tenv:p.Tast.p_tenv ~summaries:tbl f)
         in
         (* completeness, outlived and points-to propagation run fused
            inside one walkall pass, so a single span covers them *)
         let stats =
           Gofree_obs.Trace.with_span ~tid ("walk:" ^ f.Tast.f_name)
-            (fun () -> Propagate.walkall ~mode ~backprop ctx.Build.g)
+            (fun () ->
+              Propagate.walkall ~mode ~backprop
+                ~field_refine:field_sensitive ctx.Build.g)
         in
         (* Go's own parameter tags exist in both modes; only their
            content-tag refinement is GoFree-specific. *)
@@ -341,7 +391,63 @@ let to_free_vars t ~func : (Tast.var * Loc.t) list =
         | _ -> acc)
       fr.fr_ctx.Build.var_locs []
 
-(** Aggregate walk statistics, for the compilation-speed experiment. *)
+(** Field slots of [func] satisfying ToFree (field-sensitive mode).
+    Beyond Def 4.17 on the slot itself, a slot is only reported when its
+    base variable is a sound anchor for the free:
+
+    - the base is a plain local (not a parameter, global or named
+      result: those objects are visible outside the frame);
+    - the base's own location is neither incomplete nor outlived (an
+      untracked rewrite of the base could swap the whole object under
+      the slot);
+    - no {e other} variable's points-to set intersects the slot's
+      (same-scope aliases such as [x := db] or [x := db.f] keep their
+      referent; outer-scope aliases are already caught by Outlived).
+
+    Returns (base, field index, field name, slot location). *)
+let to_free_fields t ~func : (Tast.var * int * string * Loc.t) list =
+  match func_result t func with
+  | None -> []
+  | Some fr ->
+    let ctx = fr.fr_ctx in
+    let g = ctx.Build.g in
+    let module IS = Set.Make (Int) in
+    let pts (l : Loc.t) =
+      List.fold_left
+        (fun acc (m : Loc.t) -> IS.add m.Loc.id acc)
+        IS.empty (Graph.points_to g l)
+    in
+    let candidates =
+      Hashtbl.fold
+        (fun _ (slot : Loc.t) acc ->
+          match slot.Loc.kind with
+          | Loc.Kfield (v, idx, fname) when Propagate.to_free slot ->
+            (v, idx, fname, slot) :: acc
+          | _ -> acc)
+        ctx.Build.field_locs []
+    in
+    let keep ((v : Tast.var), _, _, (slot : Loc.t)) =
+      v.Tast.v_kind = Tast.Vlocal
+      && (match Hashtbl.find_opt ctx.Build.var_locs v.Tast.v_id with
+         | Some base -> (not (Loc.incomplete base)) && not base.Loc.outlived
+         | None -> false)
+      &&
+      let slot_pts = pts slot in
+      Hashtbl.fold
+        (fun vid (w : Loc.t) ok ->
+          ok
+          && (vid = v.Tast.v_id
+             ||
+             match w.Loc.kind with
+             | Loc.Kvar _ -> IS.is_empty (IS.inter slot_pts (pts w))
+             | _ -> true))
+        ctx.Build.var_locs true
+    in
+    List.filter keep candidates
+    |> List.sort (fun ((a : Tast.var), i, _, _) ((b : Tast.var), j, _, _) ->
+           compare (a.Tast.v_id, i) (b.Tast.v_id, j))
+
+(** Aggregate walk statistics, for the complexity experiment. *)
 let total_walk_steps t =
   Hashtbl.fold
     (fun _ fr acc -> acc + fr.fr_ctx.Build.g.Graph.walk_steps)

@@ -38,6 +38,12 @@ val scc_order : Tast.func list -> Tast.func list list
 val extract_summary :
   ?precise_contents:bool -> Tast.func -> Build.ctx -> Summary.t
 
+(** Mode component of the units' content keys: any analysis parameter
+    that changes results must appear here (alongside the configuration
+    signature). *)
+val mode_signature :
+  ?field_sensitive:bool -> Propagate.mode -> bool -> bool -> string
+
 (** Analyze a whole program.  [mode = Go_base] computes only stack/heap
     decisions; [Gofree] adds completeness/lifetime/ToFree.
     [use_ipa = false] forces default tags everywhere (ablation);
@@ -61,6 +67,7 @@ val analyze :
   ?mode:Propagate.mode ->
   ?use_ipa:bool ->
   ?backprop:bool ->
+  ?field_sensitive:bool ->
   ?imported:Summary.t list ->
   ?config_sig:string ->
   ?pool:Gofree_sched.Pool.t ->
@@ -78,6 +85,14 @@ val site_is_heap : t -> func:string -> Tast.alloc_site -> bool
 
 (** Variables of [func] whose location satisfies ToFree (Def 4.17). *)
 val to_free_vars : t -> func:string -> (Tast.var * Loc.t) list
+
+(** Field slots of [func] satisfying ToFree whose base variable is a
+    sound anchor (field-sensitive mode): base is a plain local, itself
+    complete and not outlived, and no other variable's points-to set
+    intersects the slot's.  Deterministic (base id, field) order;
+    returns (base, field index, field name, slot). *)
+val to_free_fields :
+  t -> func:string -> (Tast.var * int * string * Loc.t) list
 
 (** Total SPFA relaxations across all functions (complexity stats). *)
 val total_walk_steps : t -> int

@@ -27,6 +27,10 @@ type ctx = {
   site_locs : (int, Loc.t) Hashtbl.t;  (** site id → location *)
   append_locs : (int, Loc.t) Hashtbl.t;  (** append site id → content loc *)
   summaries : (string, Summary.t) Hashtbl.t;
+  field_mode : bool;
+      (** field-sensitive precision: give one-hop struct fields of
+          local/parameter bases their own locations *)
+  field_locs : (int * int, Loc.t) Hashtbl.t;  (** (var id, field) → slot *)
   mutable cur_depth : int;
   mutable cur_loop : int;
   mutable call_instances : (string * Loc.t array) list;
@@ -102,6 +106,69 @@ let append_content_loc ctx (site : Tast.alloc_site) : Loc.t =
 
 let pointer_bearing ctx (ty : Types.t) = Types.contains_pointers ctx.tenv ty
 
+(* ------------------------------------------------------------------ *)
+(* Field-sensitive slots                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A field access is eligible for its own slot location when the base is a
+   one-hop non-global variable of (pointer-to-)struct type.  Deeper chains
+   and computed bases keep the field-insensitive treatment. *)
+let field_base_of_expr (e : Tast.expr) : (Tast.var * string * bool) option =
+  match e.Tast.desc with
+  | Tast.Tvar v when v.Tast.v_kind <> Tast.Vglobal -> begin
+    match e.Tast.ty with
+    | Types.Struct s -> Some (v, s, false)
+    | Types.Ptr (Types.Struct s) -> Some (v, s, true)
+    | _ -> None
+  end
+  | _ -> None
+
+(** The location of the storage of [base.f] (field-sensitive mode).  The
+    slot is genuine storage inside the base's object:
+
+    - [slot --(-1)--> base]: the slot is in [PointsTo(base)], so the
+      base's heap decision, declaration depth and exposure flow onto the
+      slot (Defs 4.10, 4.14, and rule 2 of Def 4.12);
+    - [base --(+1|0)--> slot]: the slot's value is loaded out of the base
+      (one dereference for pointer bases, a copy for struct values), so
+      whatever flows into the base — including instantiated callee tags —
+      remains visible through the field projection.
+
+    Pointer-base slots live inside a pointee object whose storage is not
+    this frame, so they are born [HeapAlloc] (anything stored into them is
+    forced off the stack, exactly as the field-insensitive analysis
+    forces [*p = q] destinations to the heap — but without the exposure
+    that made those stores untracked). *)
+let field_loc ctx (v : Tast.var) ~ptr_base idx fname : Loc.t =
+  match Hashtbl.find_opt ctx.field_locs (v.Tast.v_id, idx) with
+  | Some l -> l
+  | None ->
+    let base = var_loc ctx v in
+    let l =
+      Graph.fresh_loc ctx.g (Loc.Kfield (v, idx, fname))
+        ~loop_depth:v.Tast.v_loop_depth ~decl_depth:v.Tast.v_decl_depth
+    in
+    Graph.add_edge ctx.g ~src:l ~dst:base ~weight:(-1);
+    Graph.add_edge ctx.g ~src:base ~dst:l
+      ~weight:(if ptr_base then 1 else 0);
+    if ptr_base then l.Loc.heap_alloc <- true;
+    Hashtbl.replace ctx.field_locs (v.Tast.v_id, idx) l;
+    l
+
+(* The slot for field [fidx] of argument expression [arg], when the
+   argument is an eligible base and the field is pointer-bearing. *)
+let arg_field_slot ctx (arg : Tast.expr) fidx : Loc.t option =
+  if not ctx.field_mode then None
+  else
+    match field_base_of_expr arg with
+    | Some (v, sname, ptr_base) -> begin
+      match List.nth_opt (Types.struct_fields ctx.tenv sname) fidx with
+      | Some (fname, fty) when pointer_bearing ctx fty ->
+        Some (field_loc ctx v ~ptr_base fidx fname)
+      | _ -> None
+    end
+    | None -> None
+
 let connect ctx flows (dst : Loc.t) =
   List.iter
     (fun (src, derefs) -> Graph.add_edge ctx.g ~src ~dst ~weight:derefs)
@@ -172,11 +239,17 @@ let rec flow_expr ctx (e : Tast.expr) : (Loc.t * int) list =
     ignore (flow_expr ctx k);
     List.map (fun (l, d) -> (l, d + 1)) (flow_expr ctx m)
   | Tast.Trecover -> []
-  | Tast.Tfield (a, _, _) ->
-    let extra =
-      match a.Tast.ty with Types.Ptr _ -> 1 | _ -> 0
-    in
-    List.map (fun (l, d) -> (l, d + extra)) (flow_expr ctx a)
+  | Tast.Tfield (a, idx, fname) -> begin
+    match (if ctx.field_mode then field_base_of_expr a else None) with
+    | Some (v, _, ptr_base) when pointer_bearing ctx e.Tast.ty ->
+      (* field-sensitive load: the value comes out of the field's slot *)
+      [ (field_loc ctx v ~ptr_base idx fname, 0) ]
+    | _ ->
+      let extra =
+        match a.Tast.ty with Types.Ptr _ -> 1 | _ -> 0
+      in
+      List.map (fun (l, d) -> (l, d + extra)) (flow_expr ctx a)
+  end
   | Tast.Taddr lv -> addr_of_lvalue ctx lv
   | Tast.Tcall (name, args) -> begin
     let results = instantiate_call ctx name args in
@@ -224,9 +297,25 @@ let rec flow_expr ctx (e : Tast.expr) : (Loc.t * int) list =
         let fv = flow_expr ctx v in
         if pointer_bearing ctx elem_ty then begin
           (* The element may be stored into the existing backing array
-             (untracked indirect store) or into the fresh growth array. *)
-          connect ctx fv ctx.g.Graph.heap;
-          connect ctx fv content;
+             (untracked indirect store) or into the fresh growth array.
+             Field-sensitive mode records the store one dereference in
+             (the element lands in the array's {e cells}) and only
+             against the heap: the heap edge alone already exposes the
+             element's referents (Defs 4.11/4.12 walk through
+             [heapLoc]), while an extra 0-deref edge into the content
+             tag would merge the element's {e value} into the spine
+             holder's — marking every pointer-element spine outlived and
+             incomplete through the walk's max-0 clamp.  The
+             field-insensitive analysis keeps the paper's coarser
+             value-merge. *)
+          if ctx.field_mode then
+            connect ctx
+              (List.map (fun (l, d) -> (l, d + 1)) fv)
+              ctx.g.Graph.heap
+          else begin
+            connect ctx fv ctx.g.Graph.heap;
+            connect ctx fv content
+          end;
           expose_store_dest fs
         end)
       vs;
@@ -242,10 +331,16 @@ and addr_of_lvalue ctx (lv : Tast.lvalue) : (Loc.t * int) list =
   | Tast.Lmap (m, k) ->
     ignore (flow_expr ctx k);
     flow_expr ctx m
-  | Tast.Lfield (e, _, _) -> begin
-    match e.Tast.ty with
-    | Types.Ptr _ -> flow_expr ctx e  (* &p.f: within *p, address is p *)
-    | _ -> addr_of_base ctx e  (* &s.f: address of the base variable *)
+  | Tast.Lfield (e, idx, _) -> begin
+    match (if ctx.field_mode then arg_field_slot ctx e idx else None) with
+    | Some slot ->
+      (* &v.f: the address of the field's own slot *)
+      [ (slot, -1) ]
+    | None -> begin
+      match e.Tast.ty with
+      | Types.Ptr _ -> flow_expr ctx e  (* &p.f: within *p, address is p *)
+      | _ -> addr_of_base ctx e  (* &s.f: address of the base variable *)
+    end
   end
 
 (* Address of the storage of a struct-valued expression. *)
@@ -311,6 +406,13 @@ and instantiate_call ctx name (args : Tast.expr list) : Loc.t array =
         Graph.add_edge ctx.g ~src:m ~dst:r ~weight:(-1);
         r)
   in
+  let arg_exprs = Array.of_list args in
+  let arg_flow_arr = Array.of_list arg_flows in
+  let field_slot i fidx =
+    if i < Array.length arg_exprs then
+      arg_field_slot ctx arg_exprs.(i) fidx
+    else None
+  in
   List.iter
     (fun { Summary.pf_param; pf_target; pf_derefs } ->
       if pf_param < Array.length params then
@@ -320,11 +422,96 @@ and instantiate_call ctx name (args : Tast.expr list) : Loc.t array =
           | `Return j -> results.(j)
           | `Heap -> ctx.g.Graph.heap
           | `Defer -> ctx.g.Graph.defer
+          | `Param_field (i, f) -> begin
+            match field_slot i f with
+            | Some slot -> slot
+            | None ->
+              (* no addressable slot on the caller side: the store lands
+                 in untracked memory, like [*p = q] *)
+              (if i < Array.length arg_flow_arr then
+                 expose_store_dest arg_flow_arr.(i));
+              ctx.g.Graph.heap
+          end
         in
         Graph.add_edge ctx.g ~src ~dst ~weight:pf_derefs)
     summary.Summary.s_flows;
+  (* Field-projected facts: replay the callee's per-field conclusions on
+     the matching slot of a simple variable argument; degrade to the
+     field-insensitive indirect-store treatment otherwise. *)
+  List.iter
+    (fun (ff : Summary.field_fact) ->
+      match field_slot ff.Summary.ff_param ff.Summary.ff_field with
+      | Some slot ->
+        if ff.Summary.ff_slot_incomplete then begin
+          (* the callee leaked the slot's address: the slot may be
+             rewritten, and stores through the leaked address are
+             untracked *)
+          slot.Loc.inc_store <- true;
+          slot.Loc.exposes <- true
+        end;
+        if ff.Summary.ff_content_incomplete then
+          (* the callee wrote through the slot's value: whatever object
+             the slot points at has incomplete cells *)
+          slot.Loc.exposes <- true;
+        if ff.Summary.ff_heap then begin
+          (* stand-in for the fresh callee allocation the slot may now
+             point at; +∞ depths as for return-content tags (§4.4) *)
+          let m =
+            Graph.fresh_loc ctx.g
+              (Loc.Kcontent
+                 (Printf.sprintf "%s.param%d.field%d" name
+                    ff.Summary.ff_param ff.Summary.ff_field))
+              ~loop_depth:Loc.infinity_depth
+              ~decl_depth:Loc.infinity_depth
+          in
+          m.Loc.heap_alloc <- true;
+          m.Loc.inc_store <- ff.Summary.ff_content_incomplete;
+          Graph.add_edge ctx.g ~src:m ~dst:slot ~weight:(-1)
+        end
+      | None ->
+        if
+          (ff.Summary.ff_heap || ff.Summary.ff_slot_incomplete
+         || ff.Summary.ff_content_incomplete)
+          && ff.Summary.ff_param < Array.length arg_flow_arr
+        then expose_store_dest arg_flow_arr.(ff.Summary.ff_param))
+    summary.Summary.s_fields;
   ctx.call_instances <- (name, results) :: ctx.call_instances;
   results
+
+(* Field-sensitive routing of a struct literal bound directly to an
+   eligible base variable: each field initializer additionally flows into
+   the variable's field slot.  Single traversal — nested calls and
+   appends contribute their edges exactly once — and every baseline
+   destination (the variable, or the site for [&S{...}]) keeps its
+   edges, so no field-insensitive blocking is lost.  Returns [false]
+   when the construct is not eligible and the caller should use the
+   baseline path. *)
+let flow_struct_lit ctx (v : Tast.var) (e : Tast.expr) : bool =
+  if (not ctx.field_mode) || v.Tast.v_kind = Tast.Vglobal then false
+  else
+    let route sname ~ptr_base ~extra_dsts es =
+      let fields = Types.struct_fields ctx.tenv sname in
+      List.iteri
+        (fun i (fe : Tast.expr) ->
+          let flows = flow_expr ctx fe in
+          if pointer_bearing ctx fe.Tast.ty then begin
+            (match List.nth_opt fields i with
+            | Some (fname, fty) when pointer_bearing ctx fty ->
+              connect ctx flows (field_loc ctx v ~ptr_base i fname)
+            | _ -> ());
+            List.iter (fun dst -> connect ctx flows dst) extra_dsts
+          end)
+        es;
+      true
+    in
+    match (e.Tast.desc, e.Tast.ty) with
+    | Tast.Tstruct_lit (_, es), Types.Struct sname ->
+      route sname ~ptr_base:false ~extra_dsts:[ var_loc ctx v ] es
+    | Tast.Taddr_struct_lit (site, _, es), Types.Ptr (Types.Struct sname) ->
+      let sl = site_loc ctx site in
+      connect ctx [ (sl, -1) ] (var_loc ctx v);
+      route sname ~ptr_base:true ~extra_dsts:[ sl ] es
+    | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
@@ -334,6 +521,11 @@ and instantiate_call ctx name (args : Tast.expr list) : Loc.t array =
    ordinary edges; stores through pointers/slices/maps are the untracked
    indirect stores of Table 2. *)
 let rec store_lvalue ctx (lv : Tast.lvalue) (rhs : Tast.expr) =
+  match lv with
+  (* The guard routes eligible struct literals field-wise (and returns
+     false without traversing anything otherwise). *)
+  | Tast.Lvar v when flow_struct_lit ctx v rhs -> ()
+  | lv ->
   let frhs = flow_expr ctx rhs in
   let relevant = pointer_bearing ctx rhs.Tast.ty in
   match lv with
@@ -363,15 +555,21 @@ let rec store_lvalue ctx (lv : Tast.lvalue) (rhs : Tast.expr) =
       connect ctx frhs ctx.g.Graph.heap;
       expose_store_dest fm
     end
-  | Tast.Lfield (base, _, _) -> begin
-    match base.Tast.ty with
-    | Types.Ptr _ ->
-      let fb = flow_expr ctx base in
-      if relevant then begin
-        connect ctx frhs ctx.g.Graph.heap;
-        expose_store_dest fb
-      end
-    | _ -> store_into_base ctx base frhs relevant
+  | Tast.Lfield (base, idx, _) -> begin
+    match (if ctx.field_mode then arg_field_slot ctx base idx else None) with
+    | Some slot ->
+      (* field-sensitive store: tracked, targets the field's own slot *)
+      connect ctx frhs slot
+    | None -> begin
+      match base.Tast.ty with
+      | Types.Ptr _ ->
+        let fb = flow_expr ctx base in
+        if relevant then begin
+          connect ctx frhs ctx.g.Graph.heap;
+          expose_store_dest fb
+        end
+      | _ -> store_into_base ctx base frhs relevant
+    end
   end
 
 (* Store into the storage of a struct-valued expression. *)
@@ -400,7 +598,11 @@ let rec build_stmt ctx (s : Tast.stmt) =
   match s with
   | Tast.Sdecl (v, init) ->
     let dst = var_loc ctx v in
-    Option.iter (fun e -> connect ctx (flow_expr ctx e) dst) init
+    Option.iter
+      (fun e ->
+        if not (flow_struct_lit ctx v e) then
+          connect ctx (flow_expr ctx e) dst)
+      init
   | Tast.Smulti_decl (vars, e) -> begin
     match e.Tast.desc with
     | Tast.Tcall (name, args) ->
@@ -440,8 +642,14 @@ let rec build_stmt ctx (s : Tast.stmt) =
               let fm = flow_expr ctx m in
               Graph.add_edge ctx.g ~src:r ~dst:ctx.g.Graph.heap ~weight:0;
               expose_store_dest fm
-            | Tast.Lfield (base, _, _) ->
-              store_into_base ctx base [ (r, 0) ] true
+            | Tast.Lfield (base, idx, _) -> begin
+              match
+                if ctx.field_mode then arg_field_slot ctx base idx
+                else None
+              with
+              | Some slot -> Graph.add_edge ctx.g ~src:r ~dst:slot ~weight:0
+              | None -> store_into_base ctx base [ (r, 0) ] true
+            end
           end)
         lvs
     | _ -> ignore (flow_expr ctx e)
@@ -516,7 +724,8 @@ and build_block ctx (b : Tast.block) =
 (** Build the escape graph of one function.  [summaries] provides the
     already-computed extended parameter tags of callees (inner-to-outer
     processing order, §4.4). *)
-let build_function ~tenv ~summaries (f : Tast.func) : ctx =
+let build_function ?(field_mode = false) ~tenv ~summaries (f : Tast.func) :
+    ctx =
   let g = Graph.create () in
   g.Graph.returns <-
     Array.init (List.length f.Tast.f_results) (fun i ->
@@ -537,6 +746,8 @@ let build_function ~tenv ~summaries (f : Tast.func) : ctx =
       site_locs = Hashtbl.create 64;
       append_locs = Hashtbl.create 16;
       summaries;
+      field_mode;
+      field_locs = Hashtbl.create 16;
       cur_depth = 1;
       cur_loop = 0;
       call_instances = [];

@@ -12,6 +12,8 @@ type ctx = {
   site_locs : (int, Loc.t) Hashtbl.t;  (** site id → location *)
   append_locs : (int, Loc.t) Hashtbl.t;  (** append site → content loc *)
   summaries : (string, Summary.t) Hashtbl.t;
+  field_mode : bool;  (** field-sensitive precision enabled *)
+  field_locs : (int * int, Loc.t) Hashtbl.t;  (** (var id, field) → slot *)
   mutable cur_depth : int;
   mutable cur_loop : int;
   mutable call_instances : (string * Loc.t array) list;
@@ -35,8 +37,11 @@ val site_loc : ctx -> Tast.alloc_site -> Loc.t
 val flow_expr : ctx -> Tast.expr -> (Loc.t * int) list
 
 (** Build the escape graph of one function, using [summaries] for
-    already-analyzed callees. *)
+    already-analyzed callees.  [field_mode] enables field-sensitive
+    precision: one-hop struct fields of local/parameter bases get their
+    own slot locations, tracked loads/stores, and summary field facts. *)
 val build_function :
+  ?field_mode:bool ->
   tenv:Types.env ->
   summaries:(string, Summary.t) Hashtbl.t ->
   Tast.func ->

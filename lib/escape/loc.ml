@@ -20,6 +20,12 @@ type kind =
   | Kdefer  (** per-function sink for defer/panic arguments (§5) *)
   | Kresult of string * int
       (** caller-side instance of callee [name]'s i-th return value *)
+  | Kfield of Minigo.Tast.var * int * string
+      (** field-sensitive mode only: the storage of one struct field
+          ([base.f]) of a local/parameter base variable.  The field slot
+          is genuine storage: it is in [PointsTo(base)] (weight −1 edge
+          slot → base) and its value is loadable from the base (weight
+          +1 edge base → slot for pointer bases, 0 for struct values) *)
 
 (** Incompleteness is tracked as two independent monotone bits so that
     content tags can record only the incompleteness that originates from
@@ -57,6 +63,7 @@ let name l =
   | Kcontent what -> Printf.sprintf "content(%s)" what
   | Kdefer -> "deferLoc"
   | Kresult (f, i) -> Printf.sprintf "%s.result%d" f i
+  | Kfield (v, _, f) -> Printf.sprintf "%s.%s" v.Minigo.Tast.v_name f
 
 let pp fmt l =
   Format.fprintf fmt

@@ -12,6 +12,9 @@ type kind =
   | Kdefer  (** per-function sink for defer/panic arguments (§5) *)
   | Kresult of string * int
       (** caller-side instance of callee [name]'s i-th return value *)
+  | Kfield of Minigo.Tast.var * int * string
+      (** field-sensitive mode: the storage of one struct field of a
+          local/parameter base variable (field index, field name) *)
 
 (** Mutable, monotone analysis state per location.  Booleans only go from
     false to true; [outermost_ref] only decreases — the lattice-height

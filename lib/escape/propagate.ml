@@ -49,8 +49,8 @@ end
     [MinDerefs(leaf, root) = derefs].  Returns [(leaf_updated,
     root_updated)].  [backprop = false] disables the leaf→root rules —
     deliberately unsound, exercised by the robustness ablation. *)
-let apply_constraints ?(backprop = true) mode (root : Loc.t) (leaf : Loc.t)
-    derefs =
+let apply_constraints ?(backprop = true) ?(field_refine = false) mode
+    (root : Loc.t) (leaf : Loc.t) derefs =
   let leaf_updated = ref false in
   let root_updated = ref false in
   let set_leaf cond (get, set) =
@@ -88,14 +88,28 @@ let apply_constraints ?(backprop = true) mode (root : Loc.t) (leaf : Loc.t)
       ((fun () -> leaf.Loc.inc_store), fun () -> leaf.Loc.inc_store <- true);
     (* Def 4.12 rule 3 (back-propagation, fig. 5 lines 10–13):
        leaf ∈ Holds(root) ∧ Incomplete(leaf) ⇒ Incomplete(root),
-       component-wise. *)
+       component-wise.
+
+       [field_refine] (field-sensitive mode) restricts the rule to
+       leaves held at derefs ≥ 0.  A leaf at derefs ≥ 0 contributes its
+       {e value} to the root (a copy at 0, a load out of its cells at
+       ≥ 1), so the leaf's incompleteness genuinely taints what the
+       root may hold.  A leaf at −1 contributes only its {e address}
+       (root ∈ pointers-to-leaf), which is statically known: untracked
+       stores into the leaf change the leaf's cells, not the identity
+       of the object the root references, so the root's own points-to
+       set stays complete.  The unrefined rule conservatively merges
+       the two, which makes every slice of pointer-bearing elements
+       unfreeable (the spine inherits the cell incompleteness caused by
+       its own element stores). *)
     if backprop then begin
+      let inherits = (not field_refine) || derefs >= 0 in
       set_root
-        leaf.Loc.inc_param
+        (inherits && leaf.Loc.inc_param)
         ( (fun () -> root.Loc.inc_param),
           fun () -> root.Loc.inc_param <- true );
       set_root
-        leaf.Loc.inc_store
+        (inherits && leaf.Loc.inc_store)
         ( (fun () -> root.Loc.inc_store),
           fun () -> root.Loc.inc_store <- true )
     end;
@@ -121,7 +135,8 @@ let apply_constraints ?(backprop = true) mode (root : Loc.t) (leaf : Loc.t)
 
 (** Run the fixpoint.  All locations start queued; constraint applications
     re-queue whichever side changed. *)
-let walkall ?(mode = Gofree) ?(backprop = true) (g : Graph.t) : stats =
+let walkall ?(mode = Gofree) ?(backprop = true) ?(field_refine = false)
+    (g : Graph.t) : stats =
   let stats = { roots_walked = 0; constraint_updates = 0 } in
   let work = Unique_queue.create g.Graph.n_locs in
   List.iter (fun l -> Unique_queue.push work l) (Graph.all_locs g);
@@ -134,7 +149,7 @@ let walkall ?(mode = Gofree) ?(backprop = true) (g : Graph.t) : stats =
       Graph.walk_one g root (fun leaf derefs ->
           if not !root_changed then begin
             let leaf_updated, root_updated =
-              apply_constraints ~backprop mode root leaf derefs
+              apply_constraints ~backprop ~field_refine mode root leaf derefs
             in
             if leaf_updated then begin
               stats.constraint_updates <- stats.constraint_updates + 1;

@@ -14,13 +14,25 @@ type stats = {
 (** Apply constraints between a root and one leaf at [derefs =
     MinDerefs(leaf, root)]; returns [(leaf_updated, root_updated)].
     [backprop = false] disables the leaf→root rules of fig. 5 lines 10–13
-    — deliberately unsound, used only by the robustness ablation. *)
+    — deliberately unsound, used only by the robustness ablation.
+    [field_refine = true] (field-sensitive mode) restricts the leaf→root
+    incompleteness rule to leaves held at derefs ≥ 0: a leaf at −1
+    contributes only its statically-known address to the root, so
+    untracked stores into it cannot make the root's own points-to set
+    incomplete. *)
 val apply_constraints :
-  ?backprop:bool -> mode -> Loc.t -> Loc.t -> int -> bool * bool
+  ?backprop:bool ->
+  ?field_refine:bool ->
+  mode ->
+  Loc.t ->
+  Loc.t ->
+  int ->
+  bool * bool
 
 (** Run the fixpoint to completion.  O(N^2): each location re-enters the
     unique work queue at most a constant number of times. *)
-val walkall : ?mode:mode -> ?backprop:bool -> Graph.t -> stats
+val walkall :
+  ?mode:mode -> ?backprop:bool -> ?field_refine:bool -> Graph.t -> stats
 
 (** Def 4.17: the location is safe and worthwhile to deallocate. *)
 val to_free : Loc.t -> bool

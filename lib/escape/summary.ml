@@ -18,8 +18,27 @@
 
 type param_flow = {
   pf_param : int;  (** parameter index *)
-  pf_target : [ `Return of int | `Heap | `Defer ];
+  pf_target : [ `Return of int | `Heap | `Defer | `Param_field of int * int ];
+      (** [`Param_field (i, f)]: the flow lands in field [f] of the
+          object parameter [i] refers to (field-sensitive mode only) *)
   pf_derefs : int;  (** MinDerefs along the compressed edge *)
+}
+
+(** Field-projected fact about one parameter's field slot
+    (field-sensitive mode): everything a caller must replay onto the
+    matching field location of its argument variable. *)
+type field_fact = {
+  ff_param : int;  (** parameter index of the base object *)
+  ff_field : int;  (** field index within the base struct *)
+  ff_heap : bool;
+      (** the slot may point at a fresh callee heap allocation — a
+          deallocation opportunity for the caller *)
+  ff_content_incomplete : bool;
+      (** the pointed-at content's cells may hold untracked values
+          (indirect stores inside the callee) *)
+  ff_slot_incomplete : bool;
+      (** the slot itself may be written through an untracked path
+          inside the callee (its address leaked) *)
 }
 
 type content_tag = {
@@ -38,6 +57,9 @@ type t = {
   s_nparams : int;
   s_flows : param_flow list;
   s_contents : content_tag array;  (** one per return value *)
+  s_fields : field_fact list;
+      (** field-projected parameter facts; always empty outside
+          field-sensitive mode *)
 }
 
 (** Conservative summary for an unknown callee. *)
@@ -52,6 +74,7 @@ let default ~name ~nparams ~nresults =
       Array.init nresults (fun _ ->
           { ct_heap_alloc = true; ct_incomplete = true;
             ret_incomplete = true });
+    s_fields = [];
   }
 
 (* -------------------------------------------------------------- *)
@@ -64,6 +87,12 @@ let target_to_sexp = function
   | `Return i -> Sexp.List [ Sexp.Atom "return"; Sexp.Atom (string_of_int i) ]
   | `Heap -> Sexp.Atom "heap"
   | `Defer -> Sexp.Atom "defer"
+  | `Param_field (i, f) ->
+    Sexp.List
+      [
+        Sexp.Atom "pfield"; Sexp.Atom (string_of_int i);
+        Sexp.Atom (string_of_int f);
+      ]
 
 let to_sexp s =
   let flow f =
@@ -84,16 +113,34 @@ let to_sexp s =
         Sexp.Atom (string_of_bool ct.ret_incomplete);
       ]
   in
+  let field ff =
+    Sexp.List
+      [
+        Sexp.Atom "field";
+        Sexp.Atom (string_of_int ff.ff_param);
+        Sexp.Atom (string_of_int ff.ff_field);
+        Sexp.Atom (string_of_bool ff.ff_heap);
+        Sexp.Atom (string_of_bool ff.ff_content_incomplete);
+        Sexp.Atom (string_of_bool ff.ff_slot_incomplete);
+      ]
+  in
   Sexp.List
-    [
-      Sexp.Atom "summary";
-      Sexp.List [ Sexp.Atom "name"; Sexp.Atom s.s_name ];
-      Sexp.List [ Sexp.Atom "nparams"; Sexp.Atom (string_of_int s.s_nparams) ];
-      Sexp.List (Sexp.Atom "flows" :: List.map flow s.s_flows);
-      Sexp.List
-        (Sexp.Atom "contents"
-        :: Array.to_list (Array.map content s.s_contents));
-    ]
+    ([
+       Sexp.Atom "summary";
+       Sexp.List [ Sexp.Atom "name"; Sexp.Atom s.s_name ];
+       Sexp.List
+         [ Sexp.Atom "nparams"; Sexp.Atom (string_of_int s.s_nparams) ];
+       Sexp.List (Sexp.Atom "flows" :: List.map flow s.s_flows);
+       Sexp.List
+         (Sexp.Atom "contents"
+         :: Array.to_list (Array.map content s.s_contents));
+     ]
+    @
+    (* The fields section is omitted when empty, keeping the baseline
+       wire format byte-identical to the pre-field-sensitive one. *)
+    match s.s_fields with
+    | [] -> []
+    | ffs -> [ Sexp.List (Sexp.Atom "fields" :: List.map field ffs) ])
 
 exception Bad of string
 
@@ -116,6 +163,8 @@ let of_sexp sx =
     | Sexp.Atom "heap" -> `Heap
     | Sexp.Atom "defer" -> `Defer
     | Sexp.List [ Sexp.Atom "return"; i ] -> `Return (int_atom i)
+    | Sexp.List [ Sexp.Atom "pfield"; i; f ] ->
+      `Param_field (int_atom i, int_atom f)
     | _ -> fail "malformed flow target"
   in
   let flow = function
@@ -132,21 +181,38 @@ let of_sexp sx =
       }
     | _ -> fail "malformed content tag"
   in
+  let field = function
+    | Sexp.List [ Sexp.Atom "field"; p; f; h; ci; si ] ->
+      {
+        ff_param = int_atom p;
+        ff_field = int_atom f;
+        ff_heap = bool_atom h;
+        ff_content_incomplete = bool_atom ci;
+        ff_slot_incomplete = bool_atom si;
+      }
+    | _ -> fail "malformed field fact"
+  in
   match
     match sx with
     | Sexp.List
-        [
-          Sexp.Atom "summary";
-          Sexp.List [ Sexp.Atom "name"; Sexp.Atom name ];
-          Sexp.List [ Sexp.Atom "nparams"; np ];
-          Sexp.List (Sexp.Atom "flows" :: flows);
-          Sexp.List (Sexp.Atom "contents" :: contents);
-        ] ->
+        (Sexp.Atom "summary"
+        :: Sexp.List [ Sexp.Atom "name"; Sexp.Atom name ]
+        :: Sexp.List [ Sexp.Atom "nparams"; np ]
+        :: Sexp.List (Sexp.Atom "flows" :: flows)
+        :: Sexp.List (Sexp.Atom "contents" :: contents)
+        :: rest) ->
+      let fields =
+        match rest with
+        | [] -> []
+        | [ Sexp.List (Sexp.Atom "fields" :: ffs) ] -> List.map field ffs
+        | _ -> fail "malformed summary tail"
+      in
       {
         s_name = name;
         s_nparams = int_atom np;
         s_flows = List.map flow flows;
         s_contents = Array.of_list (List.map content contents);
+        s_fields = fields;
       }
     | _ -> fail "malformed summary"
   with
@@ -165,6 +231,7 @@ let pp fmt s =
     | `Return i -> Printf.sprintf "return%d" i
     | `Heap -> "heapLoc"
     | `Defer -> "deferLoc"
+    | `Param_field (i, f) -> Printf.sprintf "param%d.field%d" i f
   in
   Format.fprintf fmt "@[<v 2>summary %s:" s.s_name;
   List.iter
@@ -178,4 +245,12 @@ let pp fmt s =
         "@,content%d: heap_alloc=%b incomplete=%b ret_incomplete=%b" i
         ct.ct_heap_alloc ct.ct_incomplete ct.ret_incomplete)
     s.s_contents;
+  List.iter
+    (fun ff ->
+      Format.fprintf fmt
+        "@,param%d.field%d: heap=%b content_incomplete=%b \
+         slot_incomplete=%b"
+        ff.ff_param ff.ff_field ff.ff_heap ff.ff_content_incomplete
+        ff.ff_slot_incomplete)
+    s.s_fields;
   Format.fprintf fmt "@]"

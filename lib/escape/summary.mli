@@ -1,12 +1,30 @@
 (** Function summaries: Go's parameter tags extended with GoFree's
     content tags (paper §4.4). *)
 
-(** A compressed dataflow from one parameter to a return value or the
-    heap, with the [MinDerefs] weight along the path. *)
+(** A compressed dataflow from one parameter to a return value, the
+    heap, the defer sink, or (field-sensitive mode) a field slot of
+    another parameter's object, with the [MinDerefs] weight along the
+    path. *)
 type param_flow = {
   pf_param : int;
-  pf_target : [ `Return of int | `Heap | `Defer ];
+  pf_target : [ `Return of int | `Heap | `Defer | `Param_field of int * int ];
   pf_derefs : int;
+}
+
+(** Field-projected fact about one parameter's field slot
+    (field-sensitive mode): what the callee did to field [ff_field] of
+    the object parameter [ff_param] refers to. *)
+type field_fact = {
+  ff_param : int;
+  ff_field : int;
+  ff_heap : bool;
+      (** the slot may point at a fresh callee heap allocation *)
+  ff_content_incomplete : bool;
+      (** the callee wrote through the slot's value: the pointed-at
+          object's cells are incomplete *)
+  ff_slot_incomplete : bool;
+      (** the slot's address leaked inside the callee: the slot itself
+          may be rewritten through untracked paths *)
 }
 
 (** Per-return-value content tag: what the caller may assume about the
@@ -28,6 +46,10 @@ type t = {
   s_nparams : int;
   s_flows : param_flow list;
   s_contents : content_tag array;
+  s_fields : field_fact list;
+      (** always empty outside field-sensitive mode; omitted from the
+          serialized form when empty, so baseline summaries keep the
+          historical wire format *)
 }
 
 (** Conservative tag for an unknown callee (recursion, §4.4): parameters

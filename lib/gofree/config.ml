@@ -3,11 +3,32 @@
     The defaults match the paper's shipped configuration: explicit
     deallocation of slices and maps only (§6.5 motivates the choice via
     Table 8), inter-procedural content tags enabled, map-growth freeing
-    enabled. The other combinations exist for the ablation benchmarks. *)
+    enabled.  The other combinations exist for the ablation benchmarks
+    and for the opt-in precision modes (field-sensitive escape tracking
+    and last-use free placement). *)
 
 type free_targets =
   | Slices_and_maps  (** the paper's choice (§6.5) *)
   | All_pointers  (** also free [new]/[&T{}] objects through raw pointers *)
+
+type free_placement =
+  | Scope_exit
+      (** the paper's placement: tcfree at the end of the declaring
+          scope (§5) *)
+  | Last_use
+      (** liveness-extended placement: tcfree after the last syntactic
+          use of the variable (or any local alias of it), falling back
+          to scope exit when the last use is a control-transfer
+          statement that cannot be safely rewritten *)
+
+type precision = {
+  field_sensitive : bool;
+      (** key points-to/escape facts per struct field (one-hop field
+          projections of local struct / pointer-to-struct variables)
+          instead of collapsing every field into the whole object;
+          enables freeing slice/map-valued fields of local structs *)
+  placement : free_placement;
+}
 
 type t = {
   insert_tcfree : bool;
@@ -20,24 +41,43 @@ type t = {
       (** GoFree's leaf→root propagation (fig. 5 lines 10–13); disabling
           it makes the completeness analysis unsound — used only by the
           robustness ablation to show the poison test catching it *)
+  precision : precision;
 }
+
+let baseline_precision = { field_sensitive = false; placement = Scope_exit }
+
+let precise_precision = { field_sensitive = true; placement = Last_use }
 
 let gofree =
   { insert_tcfree = true; targets = Slices_and_maps; ipa = true;
-    backprop = true }
+    backprop = true; precision = baseline_precision }
 
-(** Canonical cache-key signature of a configuration.  The record
-    pattern below is deliberately exhaustive and wildcard-free: adding a
-    field to {!t} without extending the signature then fails to compile
-    instead of silently aliasing cache entries built under different
-    configurations. *)
+let placement_str = function
+  | Scope_exit -> "scope-exit"
+  | Last_use -> "last-use"
+
+let placement_of_string = function
+  | "scope-exit" -> Some Scope_exit
+  | "last-use" -> Some Last_use
+  | _ -> None
+
+(** Canonical cache-key signature of a configuration, in [key=value;]
+    form behind a [cfg-v2;] version prefix (bumping the prefix
+    invalidates every disk cache at once instead of silently aliasing
+    entries across format generations).  The record patterns below are
+    deliberately exhaustive and wildcard-free: adding a field to {!t}
+    or {!precision} without extending the signature then fails to
+    compile instead of silently aliasing cache entries built under
+    different configurations. *)
 let signature (c : t) : string =
-  let { insert_tcfree; targets; ipa; backprop } = c in
-  Printf.sprintf "tcfree=%b targets=%s ipa=%b backprop=%b" insert_tcfree
+  let { insert_tcfree; targets; ipa; backprop; precision } = c in
+  let { field_sensitive; placement } = precision in
+  Printf.sprintf "cfg-v2;tcfree=%b;targets=%s;ipa=%b;backprop=%b;fields=%b;placement=%s;"
+    insert_tcfree
     (match targets with
     | Slices_and_maps -> "slices+maps"
     | All_pointers -> "all")
-    ipa backprop
+    ipa backprop field_sensitive (placement_str placement)
 
 let go = { gofree with insert_tcfree = false }
 
@@ -46,3 +86,11 @@ let all_targets = { gofree with targets = All_pointers }
 let no_ipa = { gofree with ipa = false }
 
 let unsound_no_backprop = { gofree with backprop = false }
+
+let field_sensitive =
+  { gofree with precision = { baseline_precision with field_sensitive = true } }
+
+let last_use =
+  { gofree with precision = { baseline_precision with placement = Last_use } }
+
+let precise = { gofree with precision = precise_precision }

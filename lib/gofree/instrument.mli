@@ -1,13 +1,17 @@
-(** tcfree instrumentation (paper §4.5): inserts [Stcfree] statements at
-    the end of each ToFree variable's declaration scope — before a
-    trailing control transfer, skipped entirely when the trailing return
-    still mentions the variable. *)
+(** tcfree instrumentation (paper §4.5): inserts [Stcfree] statements
+    into each ToFree variable's declaration scope — at scope exit (the
+    paper's placement) or, under [Last_use] precision, directly after
+    the last syntactic use of the variable and its aliases.
+    Field-sensitive mode additionally frees ToFree struct-field slots by
+    loading the field into a compiler temporary and freeing that. *)
 
 open Minigo
 
 type inserted = {
   ins_func : string;
-  ins_var : Tast.var;
+  ins_var : Tast.var;  (** the base variable *)
+  ins_field : (int * string) option;
+      (** [Some (index, name)] for a field-slot free *)
   ins_kind : Tast.free_kind;
 }
 
@@ -16,11 +20,23 @@ type inserted = {
 val free_kind_of_type :
   Config.free_targets -> Types.t -> Tast.free_kind option
 
-(** Instrument one function in place; returns the inserted frees. *)
+(** Instrument one function in place; returns the inserted frees.
+    [tenv] resolves struct-field names/types for field-slot frees. *)
 val instrument_function :
-  Gofree_escape.Analysis.t -> Config.t -> Tast.func -> inserted list
+  tenv:Types.env ->
+  Gofree_escape.Analysis.t ->
+  Config.t ->
+  Tast.func ->
+  inserted list
 
-(** Instrument a whole program in place. *)
+(** Renumber the [-1] placeholder ids of instrumentation temporaries in
+    program order and grow [p_nvars] accordingly.  Must run after all
+    functions are instrumented (or replayed) and before any frame
+    layout is built.  Idempotent; deterministic regardless of how the
+    per-function instrumentation was scheduled. *)
+val assign_temp_ids : Tast.program -> unit
+
+(** Instrument a whole program in place (runs {!assign_temp_ids}). *)
 val instrument :
   Gofree_escape.Analysis.t -> Config.t -> Tast.program -> inserted list
 
@@ -28,8 +44,16 @@ val instrument :
     the basis for the build driver's function-relative id ranges. *)
 val func_vars : Tast.func -> Tast.var list
 
-(** Re-apply recorded frees — (variable id, kind) pairs from a previous
-    run — to a freshly typechecked function: the cache-hit path of the
-    incremental build driver, which has no analysis to consult. *)
+(** Re-apply recorded frees — (variable id, field index, kind) triples
+    from a previous run, field index [< 0] meaning a whole-variable
+    free — to a freshly typechecked function: the cache-hit path of the
+    incremental build driver, which has no analysis to consult.  Runs
+    the same placement rules as {!instrument_function} under the same
+    [config], so the replayed program is byte-identical to the fresh
+    one. *)
 val replay_function :
-  Tast.func -> (int * Tast.free_kind) list -> inserted list
+  tenv:Types.env ->
+  config:Config.t ->
+  Tast.func ->
+  (int * int * Tast.free_kind) list ->
+  inserted list

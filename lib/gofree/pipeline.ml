@@ -65,9 +65,16 @@ let analyze_program ?(config = Config.gofree) ?(imported = []) ?pool
   (* The escape span covers the whole abstract interpretation: building
      constraint graphs plus the fused completeness/outlived/points-to
      propagation (per-function sub-spans come from Analysis.analyze). *)
+  (* Field sensitivity only matters under the full GoFree constraint
+     set; in Go_base mode the extra slots would just be dead graph
+     nodes. *)
+  let field_sensitive =
+    config.Config.insert_tcfree
+    && config.Config.precision.Config.field_sensitive
+  in
   phase "escape" (fun () ->
       Gofree_escape.Analysis.analyze ~mode ~use_ipa:config.Config.ipa
-        ~backprop:config.Config.backprop ~imported
+        ~backprop:config.Config.backprop ~field_sensitive ~imported
         ~config_sig:(Config.signature config) ?pool ?unit_lookup program)
 
 (** Analyze and instrument an already-typechecked program.  [imported]

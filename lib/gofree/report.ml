@@ -41,10 +41,13 @@ let pp_inserted fmt (inserted : Instrument.inserted list) =
   Format.fprintf fmt "@[<v>inserted tcfree calls: %d@,"
     (List.length inserted);
   List.iter
-    (fun { Instrument.ins_func; ins_var; ins_kind } ->
-      Format.fprintf fmt "  %s: %s(%s)@," ins_func
+    (fun { Instrument.ins_func; ins_var; ins_field; ins_kind } ->
+      Format.fprintf fmt "  %s: %s(%s%s)@," ins_func
         (Pretty.free_kind_str ins_kind)
-        ins_var.Tast.v_name)
+        ins_var.Tast.v_name
+        (match ins_field with
+        | Some (_, fname) -> "." ^ fname
+        | None -> ""))
     inserted;
   Format.fprintf fmt "@]"
 
@@ -234,19 +237,56 @@ let explain_site (analysis : E.Analysis.t)
     | Some site_loc when not site_loc.E.Loc.heap_alloc -> stack_site ()
     | Some site_loc ->
       let holders = holders_of fr site_loc in
-      (* An inserted tcfree on a holder reclaims this site's objects. *)
+      (* An inserted tcfree on a holder reclaims this site's objects.  A
+         field-slot free covers the site when the site is in the
+         {e slot's} points-to set, and is reported as "var.field". *)
       let freed_by =
-        List.find_map
-          (fun { Instrument.ins_func; ins_var; _ } ->
-            if
-              String.equal ins_func site.Tast.site_func
-              && List.exists
-                   (fun ((v : Tast.var), _) ->
-                     v.Tast.v_id = ins_var.Tast.v_id)
-                   holders
-            then Some ins_var.Tast.v_name
-            else None)
-          inserted
+        let covering =
+          List.filter_map
+            (fun { Instrument.ins_func; ins_var; ins_field; _ } ->
+              if not (String.equal ins_func site.Tast.site_func) then None
+              else
+                match ins_field with
+                | Some (idx, fname) -> begin
+                  match
+                    Hashtbl.find_opt ctx.E.Build.field_locs
+                      (ins_var.Tast.v_id, idx)
+                  with
+                  | Some slot
+                    when List.exists
+                           (fun (m : E.Loc.t) ->
+                             m.E.Loc.id = site_loc.E.Loc.id)
+                           (E.Graph.points_to g slot) ->
+                    Some (ins_var.Tast.v_name ^ "." ^ fname, Some slot)
+                  | _ -> None
+                end
+                | None ->
+                  if
+                    List.exists
+                      (fun ((v : Tast.var), _) ->
+                        v.Tast.v_id = ins_var.Tast.v_id)
+                      holders
+                  then Some (ins_var.Tast.v_name, None)
+                  else None)
+            inserted
+        in
+        (* Slot points-to sets blur through the slot<->base cycle, so
+           several field frees can appear to cover one site; a direct
+           store edge (site --(-1)--> slot) pins the true owner. *)
+        let direct (_, slot_opt) =
+          match slot_opt with
+          | None -> false
+          | Some slot ->
+            List.exists
+              (fun (e : E.Graph.edge) ->
+                e.E.Graph.src.E.Loc.id = site_loc.E.Loc.id
+                && e.E.Graph.weight = -1)
+              (E.Graph.incoming_edges g slot)
+        in
+        match List.find_opt direct covering with
+        | Some (n, _) -> Some n
+        | None -> (
+          match covering with [] -> None | (n, _) :: _ -> Some n)
       in
       let blocking =
         match freed_by with
@@ -331,6 +371,41 @@ let pp_explain fmt (entries : site_explain list) =
       | true, None, None -> assert false)
     entries;
   Format.fprintf fmt "@]"
+
+let all_blocking =
+  [ Escapes_to_caller; Escapes_to_global; Incomplete_param;
+    Incomplete_store; Outlived; Not_target; Unsafe_insertion;
+    No_named_holder ]
+
+(** Histogram of why heap sites were left to the GC. *)
+let blocking_counts (entries : site_explain list) : (blocking * int) list =
+  List.map
+    (fun b ->
+      ( b,
+        List.length
+          (List.filter (fun e -> e.ex_blocking = Some b) entries) ))
+    all_blocking
+
+(** Per-reason delta between a baseline explain run and a refined one on
+    the same program: how many blocked sites each precision mode
+    eliminated (positive) or introduced (negative, which the differential
+    suite treats as a regression). *)
+let explain_delta ~(baseline : site_explain list)
+    ~(refined : site_explain list) : Json.t =
+  let base = blocking_counts baseline and refi = blocking_counts refined in
+  let freed es =
+    List.length (List.filter (fun e -> e.ex_freed_by <> None) es)
+  in
+  Json.Obj
+    [
+      ("freed_baseline", Json.Int (freed baseline));
+      ("freed_refined", Json.Int (freed refined));
+      ( "eliminated",
+        Json.Obj
+          (List.map2
+             (fun (b, nb) (_, nr) -> (blocking_str b, Json.Int (nb - nr)))
+             base refi) );
+    ]
 
 let explain_to_json (entries : site_explain list) : Json.t =
   Json.Obj

@@ -61,5 +61,15 @@ val explain :
 
 val pp_explain : Format.formatter -> site_explain list -> unit
 
+(** Histogram over [ex_blocking] of the GC-bound heap sites; every
+    [blocking] constructor appears exactly once. *)
+val blocking_counts : site_explain list -> (blocking * int) list
+
+(** How many blocked sites [refined] eliminated relative to [baseline]
+    per blocking reason (negative = regression), plus freed-site counts.
+    The per-mode artifact behind [analyze --explain] comparisons. *)
+val explain_delta :
+  baseline:site_explain list -> refined:site_explain list -> Gofree_obs.Json.t
+
 (** Schema [gofree-explain-v1]. *)
 val explain_to_json : site_explain list -> Gofree_obs.Json.t

@@ -104,17 +104,17 @@ let workload_name (cfg : config) (targets : target array)
 let request_of_event (cfg : config) (targets : target array)
     (ev : Schedule.event) : Rpc.request =
   let src = Rpc.Inline targets.(ev.Schedule.ev_workload).tg_source in
-  let preset = Gofree_api.Gofree in
+  let config = Gofree_api.Preset.(to_config default) in
   match ev.Schedule.ev_kind with
-  | Mix.Analyze -> Rpc.Analyze { src; preset; explain = false }
+  | Mix.Analyze -> Rpc.Analyze { src; config; explain = false }
   | Mix.Run ->
-    Rpc.Run { src; preset; options = Gofree_api.default_run_options }
-  | Mix.Explain -> Rpc.Explain { src; preset }
+    Rpc.Run { src; config; options = Gofree_api.default_run_options }
+  | Mix.Explain -> Rpc.Explain { src; config }
   | Mix.Build ->
     Rpc.Build
       {
         dir = Option.get cfg.build_dir;
-        preset;
+        config;
         force = false;
         jobs = 1;
         run = false;

@@ -14,7 +14,10 @@ type pos = Token.pos
 (** A resolved variable.  Parameters and globals are flagged: parameters
     seed [Incomplete] (Def 4.12) and globals behave like the heap. *)
 type var = {
-  v_id : int;
+  mutable v_id : int;
+      (** unique; the instrumentation pass creates temporaries with a
+          [-1] placeholder id and renumbers them program-wide at the end
+          of compilation ({!val:program.p_nvars} grows accordingly) *)
   v_name : string;
   v_ty : Types.t;
   v_decl_depth : int;  (** nesting depth of the declaring scope; function body = 1 *)
@@ -148,7 +151,7 @@ type program = {
   p_globals : (var * expr option) list;
   p_tenv : Types.env;
   p_sites : alloc_site list;  (** all allocation sites, by id *)
-  p_nvars : int;  (** number of allocated variable ids *)
+  mutable p_nvars : int;  (** number of allocated variable ids *)
 }
 
 let find_func program name =

@@ -16,9 +16,13 @@ type t =
   | Rpc  (** the [gofreec serve] wire protocol *)
   | Load  (** the [gofreec load] harness report *)
   | Telemetry  (** metrics-registry snapshots, [Registry.Snapshot.to_json] *)
+  | Precision  (** the precision-mode smoke export, [precision_smoke.json] *)
 
 let all =
-  [ Metrics; Samples; Build_stats; Explain; Bench; Rpc; Load; Telemetry ]
+  [
+    Metrics; Samples; Build_stats; Explain; Bench; Rpc; Load; Telemetry;
+    Precision;
+  ]
 
 let tag = function
   | Metrics -> "gofree-metrics-v1"
@@ -26,11 +30,18 @@ let tag = function
   | Build_stats -> "gofree-build-stats-v1"
   | Explain -> "gofree-explain-v1"
   | Bench -> "gofree-bench-v1"
-  | Rpc -> "gofree-rpc-v1"
+  | Rpc -> "gofree-rpc-v2"
   | Load -> "gofree-load-v1"
   | Telemetry -> "gofree-telemetry-v1"
+  | Precision -> "gofree-precision-v1"
 
-let of_tag s = List.find_opt (fun t -> tag t = s) all
+(** Older tags of the same family that consumers still accept.  RPC v1
+    (flat preset-name ["config"]) remains decodable by the v2 daemon;
+    producers always stamp the current {!tag}. *)
+let legacy_tags = function Rpc -> [ "gofree-rpc-v1" ] | _ -> []
+
+let of_tag s =
+  List.find_opt (fun t -> tag t = s || List.mem s (legacy_tags t)) all
 
 (** The [("schema", ...)] field a document of kind [t] must carry; by
     convention the first field of the object. *)
@@ -45,7 +56,7 @@ let check t (j : Json.t) : (unit, string) result =
     Error
       (Printf.sprintf "document has no \"schema\" field (expected %s)"
          (tag t))
-  | Some (Json.Str s) when s = tag t -> Ok ()
+  | Some (Json.Str s) when s = tag t || List.mem s (legacy_tags t) -> Ok ()
   | Some (Json.Str s) -> begin
     match of_tag s with
     | Some _ ->

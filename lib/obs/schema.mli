@@ -12,11 +12,17 @@ type t =
   | Rpc  (** the [gofreec serve] wire protocol *)
   | Load  (** the [gofreec load] harness report *)
   | Telemetry  (** metrics-registry snapshots, [Registry.Snapshot.to_json] *)
+  | Precision  (** the precision-mode smoke export, [precision_smoke.json] *)
 
 val all : t list
 
 (** The wire tag, e.g. [gofree-metrics-v1]. *)
 val tag : t -> string
+
+(** Older tags of the same family still accepted by {!check} (e.g. the
+    RPC daemon decodes [gofree-rpc-v1] envelopes); producers always
+    stamp the current {!tag}. *)
+val legacy_tags : t -> string list
 
 val of_tag : string -> t option
 

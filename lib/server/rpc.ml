@@ -1,4 +1,4 @@
-(** The [gofree-rpc-v1] wire protocol of [gofreec serve].
+(** The [gofree-rpc-v2] wire protocol of [gofreec serve].
 
     Transport: a Unix-domain stream socket carrying newline-delimited
     JSON — one request object per line in, one response object per line
@@ -8,13 +8,13 @@
 
     Request envelope:
     {v
-    {"schema":"gofree-rpc-v1","id":7,"method":"analyze","params":{...}}
+    {"schema":"gofree-rpc-v2","id":7,"method":"analyze","params":{...}}
     v}
 
     Response envelope:
     {v
-    {"schema":"gofree-rpc-v1","id":7,"ok":true,"result":{...}}
-    {"schema":"gofree-rpc-v1","id":7,"ok":false,
+    {"schema":"gofree-rpc-v2","id":7,"ok":true,"result":{...}}
+    {"schema":"gofree-rpc-v2","id":7,"ok":false,
      "error":{"code":"compile_error","message":"..."}}
     v}
 
@@ -22,8 +22,18 @@
     [shutdown].
     Program sources are passed either inline (["source"]) or as a path
     the {e daemon} reads (["file"]).  The pipeline configuration is the
-    ["config"] preset name ([gofree] | [go] | [all-targets] | [no-ipa]);
-    execution knobs ([gc_off], [poison], [gogc], [seed],
+    ["config"] param, either
+    - a structured object, every field optional over the paper's
+      defaults ([Gofree_api.config_of_json]):
+      {v
+      {"config":{"targets":"all",
+                 "precision":{"field_sensitive":true,
+                              "placement":"last_use"}}}
+      v}
+    - or, as in [gofree-rpc-v1] (whose envelopes the daemon still
+      decodes), a preset name string ([gofree] | [go] | [all-targets]
+      | [no-ipa] | [field-sensitive] | [last-use] | [precise]).
+    Execution knobs ([gc_off], [poison], [gogc], [seed],
     [sample_every], [engine]) mirror the CLI flags.  ["engine"] selects
     the execution engine by name ([reference] | [closure] | [bytecode],
     default [bytecode]); the historical boolean ["reference"] param is
@@ -50,10 +60,10 @@ let schema_tag = Schema.tag Schema.Rpc
 type src = Inline of string | File of string
 
 type request =
-  | Analyze of { src : src; preset : Gofree_api.preset; explain : bool }
+  | Analyze of { src : src; config : Gofree_api.config; explain : bool }
   | Build of {
       dir : string;
-      preset : Gofree_api.preset;
+      config : Gofree_api.config;
       force : bool;  (** also bypasses the daemon's resident cache *)
       jobs : int;
       run : bool;
@@ -62,10 +72,10 @@ type request =
     }
   | Run of {
       src : src;
-      preset : Gofree_api.preset;
+      config : Gofree_api.config;
       options : Gofree_api.run_options;
     }
-  | Explain of { src : src; preset : Gofree_api.preset }
+  | Explain of { src : src; config : Gofree_api.config }
   | Stats
   | Telemetry  (** the full [gofree-telemetry-v1] registry snapshot *)
   | Shutdown
@@ -125,16 +135,26 @@ let src_of_params params =
   | None, None -> bad "one of params \"source\" or \"file\" is required"
   | Some _, Some _ -> bad "params \"source\" and \"file\" are exclusive"
 
-let preset_of_params params =
-  match opt_string "config" params with
-  | None -> Gofree_api.Gofree
-  | Some name -> begin
-    match Gofree_api.preset_of_name name with
-    | Some p -> p
+(* ["config"]: a structured object (v2) or a preset name string (v1).
+   Absent means the paper's default configuration. *)
+let config_of_params params =
+  match Json.member "config" params with
+  | None | Some Json.Null -> Gofree_api.Preset.(to_config default)
+  | Some (Json.Str name) -> begin
+    match Gofree_api.Preset.of_name name with
+    | Some p -> Gofree_api.Preset.to_config p
     | None ->
-      bad "unknown config preset %S (gofree | go | all-targets | no-ipa)"
+      bad
+        "unknown config preset %S (gofree | go | all-targets | no-ipa | \
+         field-sensitive | last-use | precise)"
         name
   end
+  | Some (Json.Obj _ as j) -> begin
+    match Gofree_api.config_of_json j with
+    | Ok c -> c
+    | Error m -> bad "%s" m
+  end
+  | Some _ -> bad "param \"config\" must be an object or a preset name"
 
 let options_of_params params =
   let d = Gofree_api.default_run_options in
@@ -186,14 +206,14 @@ let request_of_json (j : Json.t) : incoming =
       Analyze
         {
           src = src_of_params params;
-          preset = preset_of_params params;
+          config = config_of_params params;
           explain = opt_bool ~default:false "explain" params;
         }
     | "build" ->
       Build
         {
           dir = req_string "dir" params;
-          preset = preset_of_params params;
+          config = config_of_params params;
           force = opt_bool ~default:false "force" params;
           (* default 1: build-internal analysis domains would multiply
              with the daemon's own worker pool *)
@@ -206,12 +226,12 @@ let request_of_json (j : Json.t) : incoming =
       Run
         {
           src = src_of_params params;
-          preset = preset_of_params params;
+          config = config_of_params params;
           options = options_of_params params;
         }
     | "explain" ->
       Explain
-        { src = src_of_params params; preset = preset_of_params params }
+        { src = src_of_params params; config = config_of_params params }
     | "stats" -> Stats
     | "telemetry" -> Telemetry
     | "shutdown" -> Shutdown
@@ -249,8 +269,11 @@ let decode (line : string) : (incoming, Json.t * string) result =
 (* ---------------------------------------------------------------- *)
 
 let request_to_json ?(id = Json.Null) ?deadline_ms (r : request) : Json.t =
-  let preset_field p =
-    [ ("config", Json.Str (Gofree_api.preset_name p)) ]
+  (* canonical v2 encoding: the structured object, elided when the
+     request runs the paper's default configuration *)
+  let config_field c =
+    if c = Gofree_api.Preset.(to_config default) then []
+    else [ ("config", Gofree_api.config_to_json c) ]
   in
   let src_fields = function
     | Inline s -> [ ("source", Json.Str s) ]
@@ -280,12 +303,12 @@ let request_to_json ?(id = Json.Null) ?deadline_ms (r : request) : Json.t =
   in
   let params =
     match r with
-    | Analyze { src; preset; explain } ->
-      src_fields src @ preset_field preset
+    | Analyze { src; config; explain } ->
+      src_fields src @ config_field config
       @ if explain then [ ("explain", Json.Bool true) ] else []
-    | Build { dir; preset; force; jobs; run; cache_dir; options } ->
+    | Build { dir; config; force; jobs; run; cache_dir; options } ->
       [ ("dir", Json.Str dir) ]
-      @ preset_field preset
+      @ config_field config
       @ (if force then [ ("force", Json.Bool true) ] else [])
       @ [ ("jobs", Json.Int jobs) ]
       @ (if run then [ ("run", Json.Bool true) ] else [])
@@ -293,9 +316,9 @@ let request_to_json ?(id = Json.Null) ?deadline_ms (r : request) : Json.t =
         | Some d -> [ ("cache_dir", Json.Str d) ]
         | None -> [])
       @ options_fields options
-    | Run { src; preset; options } ->
-      src_fields src @ preset_field preset @ options_fields options
-    | Explain { src; preset } -> src_fields src @ preset_field preset
+    | Run { src; config; options } ->
+      src_fields src @ config_field config @ options_fields options
+    | Explain { src; config } -> src_fields src @ config_field config
     | Stats | Telemetry | Shutdown -> []
   in
   let params =

@@ -334,13 +334,10 @@ let source_of_src : Rpc.src -> (string, Gofree_api.error) result = function
     | exception Sys_error m -> Error (Gofree_api.Compile_error m)
   end
 
-let cached_compilation (t : t) ~preset src =
+let cached_compilation (t : t) ~config src =
   match source_of_src src with
   | Error e -> Error e
-  | Ok source ->
-    Cache.compilation t.cache
-      ~config:(Gofree_api.config_of_preset preset)
-      source
+  | Ok source -> Cache.compilation t.cache ~config source
 
 (* The ladder both latency views share.  The all-time view reads the
    request histogram — unlike the pre-telemetry ring it never forgets
@@ -516,8 +513,8 @@ let handle (t : t) (r : Rpc.request) : (Json.t, string * string) result =
   | Rpc.Shutdown ->
     request_shutdown t;
     Ok (Json.Obj [ ("stopping", Json.Bool true) ])
-  | Rpc.Analyze { src; preset; explain } -> begin
-    match cached_compilation t ~preset src with
+  | Rpc.Analyze { src; config; explain } -> begin
+    match cached_compilation t ~config src with
     | Error e -> Error (api e)
     | Ok (c, cached) ->
       Ok
@@ -539,8 +536,8 @@ let handle (t : t) (r : Rpc.request) : (Json.t, string * string) result =
                 Gofree_api.explain_to_json (Gofree_api.explain c)) ]
            else []))
   end
-  | Rpc.Explain { src; preset } -> begin
-    match cached_compilation t ~preset src with
+  | Rpc.Explain { src; config } -> begin
+    match cached_compilation t ~config src with
     | Error e -> Error (api e)
     | Ok (c, cached) ->
       Ok
@@ -551,8 +548,8 @@ let handle (t : t) (r : Rpc.request) : (Json.t, string * string) result =
               Gofree_api.explain_to_json (Gofree_api.explain c));
            ])
   end
-  | Rpc.Run { src; preset; options } -> begin
-    match cached_compilation t ~preset src with
+  | Rpc.Run { src; config; options } -> begin
+    match cached_compilation t ~config src with
     | Error e -> Error (api e)
     | Ok (c, cached) -> begin
       match Gofree_api.run_compilation ~options c with
@@ -560,9 +557,8 @@ let handle (t : t) (r : Rpc.request) : (Json.t, string * string) result =
       | Ok o -> Ok (outcome_json ~cached o)
     end
   end
-  | Rpc.Build { dir; preset; force; jobs; run; cache_dir; options } ->
+  | Rpc.Build { dir; config; force; jobs; run; cache_dir; options } ->
   begin
-    let config = Gofree_api.config_of_preset preset in
     match Cache.build t.cache ~config ?cache_dir ~jobs ~force dir with
     | Error e -> Error (api e)
     | Ok (b, resident) -> begin

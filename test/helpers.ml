@@ -38,12 +38,18 @@ let check_all_settings_agree ~name src =
   Alcotest.(check string) (name ^ ": Go vs GoFree") go gf;
   Alcotest.(check string) (name ^ ": Go vs GoFree+poison") go gp
 
-(** Names of variables with tcfree inserted, per function. *)
+(** Names of variables with tcfree inserted, per function (field frees
+    show as ["var.field"]). *)
 let inserted_vars compiled =
   List.map
-    (fun { Gofree_core.Instrument.ins_func; ins_var; ins_kind } ->
+    (fun { Gofree_core.Instrument.ins_func; ins_var; ins_field; ins_kind }
+         ->
       ( ins_func,
-        ins_var.Minigo.Tast.v_name,
+        (ins_var.Minigo.Tast.v_name
+        ^
+        match ins_field with
+        | Some (_, fname) -> "." ^ fname
+        | None -> ""),
         match ins_kind with
         | Minigo.Tast.Free_slice -> "slice"
         | Minigo.Tast.Free_map -> "map"

@@ -72,6 +72,79 @@ let test_presets () =
   Alcotest.(check int) "stock Go inserts nothing" 0
     (List.length (Gofree_api.insertions c))
 
+(* ---- Preset builder and the config <-> JSON codec ---- *)
+
+let test_preset_builders () =
+  let module P = Gofree_api.Preset in
+  let module C = Gofree_core.Config in
+  (* every named preset resolves and its name round-trips *)
+  List.iter
+    (fun (name, cfg) ->
+      match P.of_name name with
+      | None -> Alcotest.failf "preset %S not resolvable" name
+      | Some p ->
+        Alcotest.(check string)
+          (name ^ " resolves to itself")
+          (C.signature (P.to_config p))
+          (C.signature cfg))
+    P.named;
+  Alcotest.(check bool) "unknown preset rejected" true
+    (P.of_name "nope" = None);
+  (* combinators compose left to right over the default *)
+  let built =
+    P.(
+      default |> with_targets C.All_pointers
+      |> with_field_sensitivity true
+      |> with_placement C.Last_use |> to_config)
+  in
+  Alcotest.(check bool) "with_targets applied" true
+    (built.C.targets = C.All_pointers);
+  Alcotest.(check bool) "with_field_sensitivity applied" true
+    built.C.precision.C.field_sensitive;
+  Alcotest.(check bool) "with_placement applied" true
+    (built.C.precision.C.placement = C.Last_use);
+  (* precise = field-sensitive + last-use *)
+  Alcotest.(check bool) "precise == field-sensitive + last-use" true
+    (C.precise_precision
+    = { C.field_sensitive = true; C.placement = C.Last_use })
+
+let test_config_json_roundtrip () =
+  let module P = Gofree_api.Preset in
+  let module C = Gofree_core.Config in
+  List.iter
+    (fun (name, cfg) ->
+      match Gofree_api.config_of_json (Gofree_api.config_to_json cfg) with
+      | Ok cfg' ->
+        Alcotest.(check string)
+          (name ^ " config json round-trips")
+          (C.signature cfg) (C.signature cfg')
+      | Error m -> Alcotest.failf "%s: %s" name m)
+    P.named;
+  (* partial objects default to the paper's configuration *)
+  (match
+     Gofree_api.config_of_json
+       (Json.Obj
+          [ ( "precision",
+              Json.Obj [ ("field_sensitive", Json.Bool true) ] ) ])
+   with
+  | Ok c ->
+    Alcotest.(check string) "partial config defaults"
+      (C.signature P.(to_config (with_field_sensitivity true default)))
+      (C.signature c)
+  | Error m -> Alcotest.failf "partial config rejected: %s" m);
+  (* unknown fields are schema errors, not silently dropped *)
+  (match Gofree_api.config_of_json (Json.Obj [ ("bogus", Json.Bool true) ])
+   with
+  | Ok _ -> Alcotest.fail "unknown config field accepted"
+  | Error _ -> ());
+  match
+    Gofree_api.config_of_json
+      (Json.Obj
+         [ ("precision", Json.Obj [ ("placement", Json.Str "sometime") ]) ])
+  with
+  | Ok _ -> Alcotest.fail "unknown placement accepted"
+  | Error _ -> ()
+
 let test_error_discipline () =
   (match Gofree_api.compile_string "func main( {}" with
   | Ok _ -> Alcotest.fail "garbage compiled"
@@ -108,7 +181,8 @@ let test_source_key () =
 
 let all_schemas =
   [ Schema.Metrics; Schema.Samples; Schema.Build_stats; Schema.Explain;
-    Schema.Bench; Schema.Rpc; Schema.Load; Schema.Telemetry ]
+    Schema.Bench; Schema.Rpc; Schema.Load; Schema.Telemetry;
+    Schema.Precision ]
 
 (* Exhaustive by construction: adding a [Schema.t] constructor breaks
    this match, which forces [all_schemas] (and the registry list it is
@@ -122,6 +196,7 @@ let constructor_index : Schema.t -> int = function
   | Schema.Rpc -> 5
   | Schema.Load -> 6
   | Schema.Telemetry -> 7
+  | Schema.Precision -> 8
 
 let test_schema_tags () =
   let indexes = List.sort_uniq compare (List.map constructor_index all_schemas) in
@@ -201,6 +276,9 @@ let suite =
     Alcotest.test_case "run matches interpreter" `Quick
       test_run_matches_interpreter;
     Alcotest.test_case "presets" `Quick test_presets;
+    Alcotest.test_case "preset builders" `Quick test_preset_builders;
+    Alcotest.test_case "config json round-trip" `Quick
+      test_config_json_roundtrip;
     Alcotest.test_case "error discipline" `Quick test_error_discipline;
     Alcotest.test_case "source key" `Quick test_source_key;
     Alcotest.test_case "schema tags" `Quick test_schema_tags;

@@ -236,8 +236,15 @@ let kind_str = function
 let inserted_triples inserted =
   List.sort compare
     (List.map
-       (fun { Gofree_core.Instrument.ins_func; ins_var; ins_kind } ->
-         (strip ins_func, strip ins_var.Tast.v_name, kind_str ins_kind))
+       (fun { Gofree_core.Instrument.ins_func; ins_var; ins_field;
+              ins_kind } ->
+         ( strip ins_func,
+           (strip ins_var.Tast.v_name
+           ^
+           match ins_field with
+           | Some (_, fname) -> "." ^ fname
+           | None -> ""),
+           kind_str ins_kind ))
        inserted)
 
 let triple3 = Alcotest.(triple string string string)
@@ -520,6 +527,7 @@ let sample_summary =
           ret_incomplete = false;
         };
       |];
+    s_fields = [];
   }
 
 let sample_entry =
@@ -529,20 +537,20 @@ let sample_entry =
     e_nvars = 5;
     e_nsites = 2;
     e_summaries = [ sample_summary ];
-    e_frees = [ ("util.MakeRange", 3, Tast.Free_slice) ];
+    e_frees = [ ("util.MakeRange", 3, -1, Tast.Free_slice) ];
     e_site_heap = [ true; false ];
     e_var_boxed = [ 1; 3 ];
   }
 
 let golden_entry_text =
-  "(format gofree-sum-v1)\n\
+  "(format gofree-sum-v2)\n\
    (package util)\n\
    (key 0123456789abcdef)\n\
    (nvars 5)\n\
    (nsites 2)\n\
    (summaries (summary (name util.MakeRange) (nparams 1) (flows (flow 0 \
    heap 1)) (contents (content true false false))))\n\
-   (frees (free util.MakeRange 3 slice))\n\
+   (frees (free util.MakeRange 3 -1 slice))\n\
    (site-heap true false)\n\
    (var-boxed 1 3)\n"
 

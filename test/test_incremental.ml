@@ -189,8 +189,12 @@ let fingerprint (r : B.Driver.result) =
   let insertions =
     List.sort compare
       (List.map
-         (fun { Gofree_core.Instrument.ins_func; ins_var; ins_kind } ->
-           Printf.sprintf "%s/%d/%s/%s" ins_func ins_var.Tast.v_id
+         (fun { Gofree_core.Instrument.ins_func; ins_var; ins_field;
+                ins_kind } ->
+           Printf.sprintf "%s/%d%s/%s/%s" ins_func ins_var.Tast.v_id
+             (match ins_field with
+             | Some (idx, fname) -> Printf.sprintf ".%d:%s" idx fname
+             | None -> "")
              ins_var.Tast.v_name (kind_str ins_kind))
          r.B.Driver.b_inserted)
   in
@@ -416,6 +420,7 @@ let sample_summary =
           ret_incomplete = false;
         };
       |];
+    s_fields = [];
   }
 
 let sample_units =
@@ -424,7 +429,7 @@ let sample_units =
       B.Store.u_key = "0123456789abcdef0123456789abcdef";
       u_funcs = [ "util.MakeRange" ];
       u_summaries = [ sample_summary ];
-      u_frees = [ ("util.MakeRange", 1, Tast.Free_slice) ];
+      u_frees = [ ("util.MakeRange", 1, -1, Tast.Free_slice) ];
       u_sites = [ ("util.MakeRange", 0, true) ];
       u_boxed = [ ("util.MakeRange", 2) ];
     };

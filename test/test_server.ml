@@ -48,13 +48,13 @@ let src_print n =
   Printf.sprintf "func main() {\n\txs := make([]int, %d)\n\tprintln(len(xs))\n}\n" n
 
 let analyze ?(explain = false) src =
-  Rpc.Analyze { src = Rpc.Inline src; preset = Gofree_api.Gofree; explain }
+  Rpc.Analyze { src = Rpc.Inline src; config = Gofree_api.Preset.(to_config default); explain }
 
 let run_req src =
   Rpc.Run
     {
       src = Rpc.Inline src;
-      preset = Gofree_api.Gofree;
+      config = Gofree_api.Preset.(to_config default);
       options = Gofree_api.default_run_options;
     }
 
@@ -64,6 +64,115 @@ let call_ok c request =
   | Error (code, m) -> Alcotest.failf "rpc error %s: %s" code m
 
 (* ---- protocol basics ---- *)
+
+(* encode -> decode identity for the v2 envelope, across the precision
+   surface: the structured "config" object must carry the whole Config.t
+   (checked by signature, which covers every field) *)
+let test_rpc_v2_config_roundtrip () =
+  let module C = Gofree_core.Config in
+  let requests config =
+    [
+      Rpc.Analyze { src = Rpc.Inline src_free; config; explain = true };
+      Rpc.Run
+        { src = Rpc.Inline src_free; config;
+          options = Gofree_api.default_run_options };
+      Rpc.Explain { src = Rpc.Inline src_free; config };
+      Rpc.Build
+        { dir = "/tmp/tree"; config; force = false; jobs = 1; run = false;
+          cache_dir = None; options = Gofree_api.default_run_options };
+    ]
+  in
+  let config_of = function
+    | Rpc.Analyze { config; _ } | Rpc.Run { config; _ }
+    | Rpc.Explain { config; _ } | Rpc.Build { config; _ } -> config
+    | _ -> Alcotest.fail "unexpected request"
+  in
+  List.iter
+    (fun (name, config) ->
+      List.iter
+        (fun request ->
+          let line =
+            Json.to_string (Rpc.request_to_json ~id:(Json.Int 1) request)
+          in
+          match Rpc.decode line with
+          | Error (_, m) -> Alcotest.failf "%s: decode failed: %s" name m
+          | Ok inc ->
+            Alcotest.(check string)
+              (name ^ "/" ^ Rpc.method_name request ^ " config round-trips")
+              (C.signature config)
+              (C.signature (config_of inc.Rpc.rq_request)))
+        (requests config))
+    Gofree_api.Preset.named
+
+(* v1 envelopes — the flat preset-name "config" under the old schema
+   tag — must still decode, to the same configuration *)
+let test_rpc_v1_compat () =
+  let module C = Gofree_core.Config in
+  List.iter
+    (fun (name, cfg) ->
+      let line =
+        Printf.sprintf
+          "{\"schema\":\"gofree-rpc-v1\",\"id\":1,\"method\":\"analyze\",\
+           \"params\":{\"source\":\"func main() {}\",\"config\":%S}}"
+          name
+      in
+      match Rpc.decode line with
+      | Error (_, m) -> Alcotest.failf "v1 %s rejected: %s" name m
+      | Ok { Rpc.rq_request = Rpc.Analyze { config; _ }; _ } ->
+        Alcotest.(check string)
+          ("v1 preset " ^ name ^ " maps to the same config")
+          (C.signature cfg) (C.signature config)
+      | Ok _ -> Alcotest.fail "decoded to the wrong method")
+    Gofree_api.Preset.named;
+  (* malformed structured configs are decode errors, not crashes *)
+  let bad =
+    "{\"schema\":\"gofree-rpc-v2\",\"id\":1,\"method\":\"analyze\",\
+     \"params\":{\"source\":\"x\",\"config\":{\"bogus\":true}}}"
+  in
+  (match Rpc.decode bad with
+  | Error (Json.Int 1, _) -> ()
+  | Error (id, _) ->
+    Alcotest.failf "bad config echoed wrong id %s" (Json.to_string id)
+  | Ok _ -> Alcotest.fail "unknown config field accepted");
+  Alcotest.(check bool) "rpc-v1 is a legacy tag of Rpc" true
+    (Gofree_obs.Schema.check Gofree_obs.Schema.Rpc
+       (Json.Obj [ ("schema", Json.Str "gofree-rpc-v1") ])
+    = Ok ())
+
+(* a precision config sent over the wire changes what the daemon
+   computes: field-sensitive mode frees strictly more here *)
+let test_rpc_precision_config_applies () =
+  let src =
+    "type Box struct {\n\
+     \tvals []int\n\
+     }\n\n\
+     func main() {\n\
+     \tn := 64\n\
+     \tb := Box{vals: make([]int, n)}\n\
+     \tb.vals[0] = 1\n\
+     \tprintln(b.vals[0])\n\
+     }\n"
+  in
+  with_server (fun _ socket ->
+      let c = Client.connect ~socket in
+      let count config =
+        let r =
+          call_ok c (Rpc.Analyze { src = Rpc.Inline src; config;
+                                   explain = false })
+        in
+        List.length (Json.get_list "insertions" r)
+      in
+      let baseline = count Gofree_api.Preset.(to_config default) in
+      let field =
+        count
+          Gofree_api.Preset.(
+            to_config (with_field_sensitivity true default))
+      in
+      Client.close c;
+      Alcotest.(check bool)
+        (Printf.sprintf "field-sensitive frees more (%d > %d)" field
+           baseline)
+        true (field > baseline))
 
 let test_analyze_roundtrip () =
   with_server (fun _ socket ->
@@ -118,7 +227,7 @@ let test_build_resident_cache () =
           (Rpc.Build
              {
                dir = root;
-               preset = Gofree_api.Gofree;
+               config = Gofree_api.Preset.(to_config default);
                force;
                jobs = 1;
                run = false;
@@ -522,6 +631,11 @@ let test_stats_counters () =
 
 let suite =
   [
+    Alcotest.test_case "rpc v2 config round-trip" `Quick
+      test_rpc_v2_config_roundtrip;
+    Alcotest.test_case "rpc v1 compatibility" `Quick test_rpc_v1_compat;
+    Alcotest.test_case "rpc precision config applies" `Quick
+      test_rpc_precision_config_applies;
     Alcotest.test_case "analyze round-trip" `Quick test_analyze_roundtrip;
     Alcotest.test_case "run round-trip" `Quick test_run_roundtrip;
     Alcotest.test_case "warm cache skips analysis" `Quick

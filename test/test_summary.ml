@@ -261,6 +261,7 @@ let summary_gen : Summary.t QCheck.Gen.t =
         s_nparams = nparams;
         s_flows = flows;
         s_contents = Array.of_list contents;
+        s_fields = [];
       })
     name_gen
     (pair (0 -- 4) (list_size (0 -- 6) flow_gen))
@@ -298,6 +299,7 @@ let test_golden_summary_text () =
             ret_incomplete = false;
           };
         |];
+      s_fields = [];
     }
   in
   Alcotest.(check string)

@@ -30,7 +30,7 @@ let run_req src =
   Rpc.Run
     {
       src = Rpc.Inline src;
-      preset = Gofree_api.Gofree;
+      config = Gofree_api.Preset.(to_config default);
       options = Gofree_api.default_run_options;
     }
 
