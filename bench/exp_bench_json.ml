@@ -118,6 +118,7 @@ let run ~options () =
         ("load", Exp_load.measure ~options ());
         ("telemetry", Exp_telemetry.measure ~options ());
         ("precision", Exp_precision.measure ~options ());
+        ("parallel", Exp_parallel.measure ~options ());
       ]
   in
   let oc = open_out "BENCH_gofree.json" in

@@ -9,7 +9,7 @@
 
     Experiments: table3, fig10, fig11, table7, table8, table9,
     compile_speed, robustness, ablation, serve, load, telemetry,
-    incremental, engines, precision,
+    incremental, engines, parallel, precision,
     bench_json.
 
     [--only bench_json] writes BENCH_gofree.json: per-workload free
@@ -108,6 +108,7 @@ let () =
     if want "telemetry" then Exp_telemetry.run ~options ();
     if want "incremental" then Exp_incremental.run ~options ();
     if want "engines" then Exp_engines.run ~options ();
+    if want "parallel" then Exp_parallel.run ~options ();
     if want "precision" then Exp_precision.run ~options ();
     if want "bench_json" then Exp_bench_json.run ~options ()
   end

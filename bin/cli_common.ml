@@ -119,13 +119,26 @@ let reference_flag =
                reference tree-walking interpreter (slower; observable \
                behaviour and metrics are identical)")
 
+let domains_arg =
+  Arg.(value
+       & opt int Gofree_api.default_run_options.Gofree_api.domains
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Run goroutines across $(docv) OCaml domains: \
+                 work-stealing scheduler, domain-safe allocator, \
+                 parallel stop-the-world GC.  0 (the default) keeps \
+                 the sequential cooperative scheduler; 1 runs the \
+                 domain scheduler single-threaded, byte-identical to \
+                 sequential.")
+
 let run_options_term : Gofree_api.run_options Term.t =
   Term.(
-    const (fun gc_off poison gogc seed sample_every engine reference ->
+    const (fun gc_off poison gogc seed sample_every engine reference domains
+           ->
         let engine = if reference then Gofree_api.Eng_reference else engine in
-        { Gofree_api.gc_off; poison; gogc; seed; sample_every; engine })
+        { Gofree_api.gc_off; poison; gogc; seed; sample_every; engine;
+          domains })
     $ gcoff_flag $ poison_flag $ gogc_arg $ seed_arg $ sample_every_arg
-    $ engine_arg $ reference_flag)
+    $ engine_arg $ reference_flag $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 (* Observability outputs (--trace / --metrics-json / --metrics)       *)

@@ -2,6 +2,7 @@
 
     Subcommands:
     - [run FILE]      compile and execute a MiniGo program;
+    - [workload NAME] print a benchmark workload's MiniGo source;
     - [analyze FILE]  print escape-analysis properties and points-to sets;
     - [instrument FILE]  print the program with inserted tcfree calls;
     - [disasm FILE]   print the bytecode-engine lowering (flat
@@ -42,6 +43,39 @@ let run_cmd =
     Term.(
       const run $ file_arg $ config_term $ run_options_term $ metrics_flag
       $ obs_term)
+
+(* workload *)
+let workload_cmd =
+  let module W = Gofree_workloads.Workloads in
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Workload name; omit to list the registry")
+  in
+  let size_arg =
+    Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N"
+           ~doc:"Workload size knob (default: the workload's own)")
+  in
+  let workload name size =
+    match name with
+    | None ->
+      List.iter
+        (fun (w : W.t) ->
+          Printf.printf "%-10s (size %d)  %s\n" w.W.w_name w.W.w_default_size
+            w.W.w_description)
+        (W.all @ [ W.fanout ])
+    | Some name -> begin
+      match W.find name with
+      | Some w -> print_string (W.source_of ?size w)
+      | None ->
+        Printf.eprintf "unknown workload %s (try: gofreec workload)\n" name;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Print a benchmark workload's MiniGo source (or list them); \
+             pipe into a file to run it under any flags")
+    Term.(const workload $ name_arg $ size_arg)
 
 (* analyze *)
 let analyze_cmd =
@@ -656,8 +690,8 @@ let main_cmd =
     (Cmd.info "gofreec" ~version:"1.0.0"
        ~doc:"GoFree reproduction: compiler-inserted freeing for MiniGo")
     [
-      run_cmd; analyze_cmd; instrument_cmd; disasm_cmd; compare_cmd;
-      build_cmd; serve_cmd; client_cmd; load_cmd;
+      run_cmd; workload_cmd; analyze_cmd; instrument_cmd; disasm_cmd;
+      compare_cmd; build_cmd; serve_cmd; client_cmd; load_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -237,6 +237,11 @@ type run_options = {
   seed : int;
   sample_every : int;  (** 0 = no time series *)
   engine : engine;  (** which engine executes function bodies *)
+  domains : int;
+      (** 0 = sequential scheduler; N >= 1 = run goroutines across N
+          OCaml domains (work-stealing scheduler, domain-safe
+          allocator, parallel GC).  [domains = 1] is byte-identical to
+          sequential. *)
 }
 
 let default_run_options =
@@ -247,6 +252,7 @@ let default_run_options =
     seed = 42;
     sample_every = 0;
     engine = Eng_bytecode;
+    domains = 0;
   }
 
 let run_config_of_options ~(config : config) (o : run_options) :
@@ -264,6 +270,7 @@ let run_config_of_options ~(config : config) (o : run_options) :
     seed = Int64.of_int o.seed;
     sample_every = o.sample_every;
     engine = o.engine;
+    domains = max 0 o.domains;
   }
 
 (* ---------------------------------------------------------------- *)

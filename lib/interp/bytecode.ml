@@ -163,24 +163,34 @@ let op_iinc = 132  (* slot, k, name idx: int local += k in place *)
 
 let n_opcodes = 133
 
-(** A monomorphic inline-cache record.  Map-key sites use every field:
-    a hit requires the same header address (addresses are never reused),
-    an unchanged [md_version] (bumped by every store/delete/grow/free)
-    and an equal key, and returns the cached value — the same physical
+(** A map-key site's cache contents, immutable so a reader sees one
+    coherent snapshot through a single pointer load — goroutines on
+    different domains may race on the cache, and a torn
+    address/key/value combination would return a wrong value.  A hit
+    requires the same header address (addresses are never reused), an
+    unchanged [md_version] (bumped by every store/delete/grow/free) and
+    an equal key, and returns the cached value — the same physical
     value the full lookup would find, so aliasing is unchanged and no
-    allocator event is skipped (map reads never allocate).  Struct-field
-    sites reuse [c_a] as the cached base shape (1 = struct value, 2 =
-    pointer). *)
-type cache = {
-  mutable c_a : int;  (* map header address, or field-site shape; -1 empty *)
-  mutable c_md : Value.map_data;  (* header payload; version read directly *)
-  mutable c_ver : int;
-  mutable c_key : Value.value;
-  mutable c_val : Value.value;
-  mutable c_b : (Value.value * Value.value) list array;
-      (* the map's bucket array as of [c_ver]; lets a same-map
+    allocator event is skipped (map reads never allocate). *)
+type centry = {
+  ce_a : int;  (* map header address; -1 empty *)
+  ce_md : Value.map_data;  (* header payload; version read directly *)
+  ce_ver : int;
+  ce_key : Value.value;
+  ce_val : Value.value;
+  ce_b : (Value.value * Value.value) list array;
+      (* the map's bucket array as of [ce_ver]; lets a same-map
          different-key miss probe the buckets directly, skipping both
          header/buckets object lookups *)
+}
+
+(** A monomorphic inline-cache record.  Map-key sites replace the whole
+    [c_e] snapshot on update; struct-field sites use [c_a] as the
+    cached base shape (1 = struct value, 2 = pointer) — a single
+    immediate field, so races can at worst cause a spurious miss. *)
+type cache = {
+  mutable c_a : int;  (* field-site shape; -1 empty *)
+  mutable c_e : centry;  (* map-key site snapshot *)
 }
 
 let empty_md : Value.map_data =
@@ -192,9 +202,11 @@ let empty_md : Value.map_data =
     md_version = -1;
   }
 
-let fresh_cache () =
-  { c_a = -1; c_md = empty_md; c_ver = -1; c_key = Value.VUnit;
-    c_val = Value.VUnit; c_b = [||] }
+let empty_centry =
+  { ce_a = -1; ce_md = empty_md; ce_ver = -1; ce_key = Value.VUnit;
+    ce_val = Value.VUnit; ce_b = [||] }
+
+let fresh_cache () = { c_a = -1; c_e = empty_centry }
 
 (** One lowered function: the flat code plus its side tables.  The
     header fields pre-size the frame slot array and both operand stacks

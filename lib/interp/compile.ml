@@ -752,8 +752,7 @@ and compile_stmt ctx (s : Tast.stmt) : ex =
     fun st fr ->
       safepoint st;
       let parts = List.map (fun c -> Value.to_string (c st fr)) ces in
-      Buffer.add_string st.output (String.concat " " parts);
-      Buffer.add_char st.output '\n'
+      emit_str st (String.concat " " parts ^ "\n")
   | Tast.Stcfree (v, kind) ->
     if v.Tast.v_kind = Tast.Vglobal then fun st _fr -> safepoint st
     else begin

@@ -70,6 +70,11 @@ type goroutine = {
   mutable g_top_v : int;
   mutable g_stk_i : int array;
   mutable g_top_i : int;
+  mutable g_pending : Value.value list;
+      (** arguments of a spawned goroutine that has not started yet.
+          Multi-domain runs root these (the goroutine may sit queued
+          across a GC); cleared when the body starts.  The sequential
+          scheduler leaves this empty — its root set is unchanged. *)
 }
 
 (** Which execution engine interprets function bodies.  All three share
@@ -94,6 +99,11 @@ type run_config = {
   engine : engine;
       (** which engine executes function bodies; the reference
           tree-walker is slowest but is the semantic ground truth *)
+  domains : int;
+      (** 0 = sequential effect-handler scheduler (the legacy path);
+          N >= 1 = run goroutines on N OCaml domains through the
+          work-stealing scheduler.  [domains = 1] is byte-identical to
+          sequential by construction. *)
 }
 
 let default_config =
@@ -109,8 +119,19 @@ let default_config =
     migrate_every = 2048;
     sample_every = 0;
     engine = Eng_bytecode;
+    domains = 0;
   }
 
+(** Execution state.  Sequential runs share one record across every
+    goroutine ([current] switches on yield).  Multi-domain runs give
+    each goroutine its own copy — [current] is then fixed for the
+    goroutine's lifetime and the per-goroutine mutable fields (steps,
+    yield pacing, unwinding, IC counters, rng shadow) are private to
+    it, while [program]/[heap]/[globals]/[output]/[sched] stay
+    physically shared.  The copy's [dom] is updated by the scheduler
+    before every slice, so a stolen goroutine allocates through the
+    thief domain's mcache — which is what makes the paper's
+    give-up-on-ownership-change tcfree path a real race. *)
 type state = {
   program : Tast.program;
   decisions : Decisions.t;
@@ -139,20 +160,96 @@ type state = {
       (** next step count at which to yield; advances by
           [config.yield_every] — equivalent to [steps mod yield_every]
           without the division on the safepoint fast path *)
+  mutable dom : int;
+      (** index of the domain currently executing this state's
+          goroutine (multi-domain runs; 0 otherwise).  Set by the
+          work-stealing scheduler before each slice. *)
+  mutable par : parctx option;
+      (** the shared parallel-runtime context, when goroutines run on
+          the work-stealing domain scheduler ([--domains >= 1]) *)
+}
+
+(** Shared context of one multi-domain run: per-domain run queues, the
+    goroutine registry (the GC root set), scheduler bookkeeping, and
+    the stop-the-world handshake state.  [p_mutex]/[p_work] guard every
+    mutable field except the queues (internally locked) and [p_rng]
+    (atomic). *)
+and parctx = {
+  p_nd : int;  (** number of domains *)
+  p_queues : ptask Gofree_sched.Wsq.t array;  (** one per domain *)
+  p_mutex : Mutex.t;
+  p_work : Condition.t;
+      (** new work / slice completion / GC-phase transitions *)
+  mutable p_live : int;  (** goroutines queued or running *)
+  mutable p_running : int;  (** domains currently executing a slice *)
+  mutable p_regs : (goroutine * state) list;
+      (** every live goroutine with its state copy — the parallel GC's
+          root registry (newest first, like the sequential list) *)
+  mutable p_yields : int;
+      (** total yields; drives the simulated-P drift at [--domains 1]
+          so thread ids reproduce the sequential [Sched.pid_for] *)
+  mutable p_budget : int;
+      (** [--domains 1] only: steps left in the current shared slice.
+          The sequential scheduler checks one global step counter
+          against one global yield threshold, so a goroutine that
+          finishes mid-slice passes its leftover budget to the next
+          task; the single-domain worker replays that by loading this
+          into each state copy's [yield_at] before every slice. *)
+  mutable p_steals : int;  (** goroutines moved by work stealing *)
+  mutable p_spawns : int;
+  mutable p_steps_done : int;
+      (** summed step counts of finished goroutines; plus the live
+          states' counters this reproduces the sequential total *)
+  mutable p_ic_hits : int;  (** inline-cache hits of finished goroutines *)
+  mutable p_ic_misses : int;
+  mutable p_abort : exn option;
+      (** first exception escaping a goroutine; aborts the run *)
+  mutable p_gc_active : bool;
+      (** a domain is leading a stop-the-world GC handshake *)
+  mutable p_gc_cycle : Rt.Gc_collector.Par.cycle option;
+      (** published by the leader once every mutator is stopped, so
+          parked domains can help mark and sweep *)
+  p_out_mutex : Mutex.t;  (** serializes [output] appends when nd > 1 *)
+  p_rng : int64 Atomic.t;
+      (** the shared splitmix64 stream: all goroutines draw from one
+          sequence, CAS-claimed — at one domain this reproduces the
+          sequential stream exactly *)
+  p_dls : int Domain.DLS.key;  (** executing domain's index *)
+}
+
+and ptask = {
+  tk_st : state;  (** the goroutine's state copy ([dom] set per slice) *)
+  tk_run : unit -> unit;  (** start the fiber, or resume its continuation *)
 }
 
 (* ------------------------------------------------------------------ *)
 (* RNG: splitmix64, deterministic per run                              *)
 (* ------------------------------------------------------------------ *)
 
-let rng_next st =
-  let z = Int64.add st.rng 0x9E3779B97F4A7C15L in
-  st.rng <- z;
+let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
       0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
       0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Multi-domain runs draw from one shared stream (CAS-claimed) so the
+   sequence of dispensed values is a permutation of the sequential one;
+   at one domain the claim order equals program order, reproducing the
+   sequential stream exactly. *)
+let rng_next st =
+  match st.par with
+  | None ->
+    let z = Int64.add st.rng 0x9E3779B97F4A7C15L in
+    st.rng <- z;
+    mix64 z
+  | Some p ->
+    let rec claim () =
+      let cur = Atomic.get p.p_rng in
+      let z = Int64.add cur 0x9E3779B97F4A7C15L in
+      if Atomic.compare_and_set p.p_rng cur z then z else claim ()
+    in
+    mix64 (claim ())
 
 let rand_int st bound =
   if bound <= 0 then 0
@@ -169,7 +266,24 @@ let cur_frame st =
   | f :: _ -> f
   | [] -> raise (Runtime_error "no active frame")
 
-let cur_thread st = Sched.pid_for st.sched ~gid:st.current.g_id
+(* Which simulated P (mcache index) the current goroutine allocates
+   through.  Sequential runs simulate migration via [Sched.pid_for]; a
+   single-domain parallel run reproduces that formula bit-for-bit from
+   the parctx yield counter (its only writer is the one domain, so the
+   unlocked read is exact); true multi-domain runs use the executing
+   domain's index — ownership then really changes when a goroutine is
+   stolen. *)
+let cur_thread st =
+  match st.par with
+  | None -> Sched.pid_for st.sched ~gid:st.current.g_id
+  | Some p ->
+    if p.p_nd = 1 then
+      let drift =
+        if st.config.migrate_every <= 0 then 0
+        else p.p_yields / st.config.migrate_every
+      in
+      (st.current.g_id + drift) mod st.config.nprocs
+    else st.dom
 
 (* Scopes are materialized lazily: entering one only bumps a counter,
    and the per-scope object list springs into existence when the first
@@ -236,26 +350,250 @@ let iter_roots st (k : int -> unit) =
         g.g_frames)
     st.goroutines
 
-(* Safepoint: maybe run a GC cycle; also the yield point. *)
-let safepoint st =
-  st.steps <- st.steps + 1;
+(* ------------------------------------------------------------------ *)
+(* Multi-domain runtime: context, output, fibers, STW handshake        *)
+(* ------------------------------------------------------------------ *)
+
+module Wsq = Gofree_sched.Wsq
+
+let make_parctx ~nd ~seed ~yield_every : parctx =
+  {
+    p_nd = nd;
+    p_queues = Array.init nd (fun _ -> Wsq.create ());
+    p_mutex = Mutex.create ();
+    p_work = Condition.create ();
+    p_live = 0;
+    p_running = 0;
+    p_regs = [];
+    p_yields = 0;
+    p_budget = yield_every;
+    p_steals = 0;
+    p_spawns = 0;
+    p_steps_done = 0;
+    p_ic_hits = 0;
+    p_ic_misses = 0;
+    p_abort = None;
+    p_gc_active = false;
+    p_gc_cycle = None;
+    p_out_mutex = Mutex.create ();
+    p_rng = Atomic.make seed;
+    p_dls = Domain.DLS.new_key (fun () -> 0);
+  }
+
+(* Append to the program's output.  Goroutines on different domains
+   interleave whole lines (each print site builds one string), not
+   bytes. *)
+let emit_str st s =
+  match st.par with
+  | Some p when p.p_nd > 1 ->
+    Mutex.lock p.p_out_mutex;
+    Buffer.add_string st.output s;
+    Mutex.unlock p.p_out_mutex
+  | _ -> Buffer.add_string st.output s
+
+(* Root enumeration for parallel runs: the registry in [p_regs] replaces
+   the sequential [st.goroutines] list (same newest-first order), and —
+   only when goroutines can actually sit queued across a GC, nd > 1 —
+   pending spawn arguments are rooted too. *)
+let iter_roots_par (p : parctx) ~(globals : binding array) (k : int -> unit) =
+  Array.iter (fun b -> trace_binding b k) globals;
+  List.iter
+    (fun ((g : goroutine), (_ : state)) ->
+      List.iter
+        (fun f ->
+          Array.iter (fun b -> trace_binding b k) f.slots;
+          List.iter (fun v -> Value.trace v k) f.temps;
+          List.iter
+            (fun (_, args) -> List.iter (fun v -> Value.trace v k) args)
+            f.defers)
+        g.g_frames;
+      if p.p_nd > 1 then List.iter (fun v -> Value.trace v k) g.g_pending)
+    p.p_regs
+
+let fiber_done p (g : goroutine) =
+  Mutex.lock p.p_mutex;
+  g.g_pending <- [];
+  (match List.assq_opt g p.p_regs with
+  | Some gst ->
+    p.p_steps_done <- p.p_steps_done + gst.steps;
+    p.p_ic_hits <- p.p_ic_hits + gst.ic_hits;
+    p.p_ic_misses <- p.p_ic_misses + gst.ic_misses
+  | None -> ());
+  p.p_regs <- List.filter (fun (g', _) -> g' != g) p.p_regs;
+  p.p_live <- p.p_live - 1;
+  Condition.broadcast p.p_work;
+  Mutex.unlock p.p_mutex
+
+(** Package a goroutine body as a schedulable task.  The effect handler
+    turns every [Sched.yield] into "re-enqueue my continuation on the
+    domain that is running me right now" — read from domain-local
+    storage at perform time, so a stolen goroutine requeues on the
+    thief, not on the domain that first started it. *)
+let fiber_task (p : parctx) (gst : state) (body : unit -> unit) : ptask =
+  let open Effect.Deep in
+  let g = gst.current in
+  let run () =
+    match_with body ()
+      {
+        retc = (fun () -> fiber_done p g);
+        exnc =
+          (fun e ->
+            fiber_done p g;
+            raise e);
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | Sched.Yield ->
+              Some
+                (fun (k : (c, _) continuation) ->
+                  let d = Domain.DLS.get p.p_dls in
+                  Wsq.push p.p_queues.(d)
+                    { tk_st = gst; tk_run = (fun () -> continue k ()) };
+                  Mutex.lock p.p_mutex;
+                  p.p_yields <- p.p_yields + 1;
+                  Condition.broadcast p.p_work;
+                  Mutex.unlock p.p_mutex)
+            | _ -> None);
+      }
+  in
+  { tk_st = gst; tk_run = run }
+
+(** Parallel-mode goroutine spawn.  Each goroutine gets its own [state]
+    copy — per-goroutine execution context (current goroutine, step/yield
+    counters, scope tokens, IC stats) over physically shared program,
+    heap, globals, output and scheduler — so a stolen fiber carries its
+    context with it.  The new task lands on the spawning domain's local
+    queue, Go-style. *)
+let spawn_parallel st (p : parctx) fid args =
+  Mutex.lock p.p_mutex;
+  let g =
+    { g_id = Sched.fresh_gid st.sched; g_frames = []; g_pending = args;
+      g_stk_v = [||]; g_top_v = 0; g_stk_i = [||]; g_top_i = 0 }
+  in
+  (* The sequential path burns a second counter value per spawn
+     ([Sched.spawn] also increments it); replay that so goroutine ids —
+     and through [cur_thread] their mcache assignment — coincide. *)
+  ignore (Sched.fresh_gid st.sched);
+  let gst =
+    { st with current = g; steps = 0; yield_at = st.config.yield_every;
+      next_scope_token = 0; unwinding = None; ic_hits = 0; ic_misses = 0 }
+  in
+  p.p_regs <- (g, gst) :: p.p_regs;
+  p.p_live <- p.p_live + 1;
+  p.p_spawns <- p.p_spawns + 1;
+  let body () =
+    g.g_pending <- [];
+    match gst.dispatch gst fid args with
+    | _ -> ()
+    | exception Panic v ->
+      emit_str gst ("panic: " ^ Value.to_string v ^ "\n");
+      raise (Panic v)
+  in
+  Wsq.push p.p_queues.(st.dom) (fiber_task p gst body);
+  Condition.broadcast p.p_work;
+  Mutex.unlock p.p_mutex
+
+(* Stop-the-world GC rendezvous (nd > 1; single-domain runs collect
+   sequentially).  Reached from a safepoint, i.e. from a domain counted
+   in [p_running]:
+
+   - If no handshake is active, this domain becomes the leader: it
+     stops mutating (p_running--), waits for every other running domain
+     to park at its own safepoint or drain back to the worker loop,
+     then seeds the cycle from the roots, publishes it so parked
+     domains can help, drives mark/sweep, applies, and releases.
+   - If a handshake is already active, this domain is a responder: it
+     parks here, helps the published cycle, and resumes once the leader
+     finishes.
+
+   Every allocating domain discovers GC pressure through its own pacing
+   check ([gc_requested] is also re-read here), and non-allocating
+   domains reach a safepoint at least every [yield_every] steps, so the
+   world stops within one slice. *)
+let par_gc st (p : parctx) =
+  let heap = st.heap in
+  Mutex.lock p.p_mutex;
+  if p.p_gc_active then begin
+    (* responder *)
+    p.p_running <- p.p_running - 1;
+    Condition.broadcast p.p_work;
+    while p.p_gc_active && p.p_gc_cycle = None do
+      Condition.wait p.p_work p.p_mutex
+    done;
+    (match p.p_gc_cycle with
+    | Some c when p.p_gc_active ->
+      Mutex.unlock p.p_mutex;
+      Rt.Gc_collector.Par.run_helper c;
+      Mutex.lock p.p_mutex
+    | _ -> ());
+    while p.p_gc_active do
+      Condition.wait p.p_work p.p_mutex
+    done;
+    p.p_running <- p.p_running + 1;
+    Mutex.unlock p.p_mutex
+  end
+  else if heap.Rt.Heap.gc_requested then begin
+    (* leader *)
+    p.p_gc_active <- true;
+    p.p_running <- p.p_running - 1;
+    Condition.broadcast p.p_work;
+    while p.p_running > 0 do
+      Condition.wait p.p_work p.p_mutex
+    done;
+    Mutex.unlock p.p_mutex;
+    let c = Rt.Gc_collector.Par.start heap in
+    Mutex.lock p.p_mutex;
+    p.p_gc_cycle <- Some c;
+    Condition.broadcast p.p_work;
+    Mutex.unlock p.p_mutex;
+    Rt.Gc_collector.Par.run_leader c;
+    Mutex.lock p.p_mutex;
+    p.p_gc_cycle <- None;
+    p.p_gc_active <- false;
+    p.p_running <- p.p_running + 1;
+    Condition.broadcast p.p_work;
+    Mutex.unlock p.p_mutex
+  end
+  else
+    (* another leader collected between our fast-path check and here *)
+    Mutex.unlock p.p_mutex
+
+(* Safepoint slow path: budget, GC, sampling, yield.  Shared by the
+   reference/closure engines (via [safepoint]) and the bytecode VM
+   (whose fast path replicates [safepoint]'s guard on its own step
+   counter). *)
+let safepoint_slow st =
   if st.steps > st.config.max_steps then
     raise (Runtime_error "step budget exhausted (infinite loop?)");
-  (cur_frame st).temps <- [];
   let heap = st.heap in
-  (* maybe_collect, inlined: this guard is the safepoint fast path *)
   if heap.Rt.Heap.gc_requested && not heap.Rt.Heap.config.Rt.Heap.gc_disabled
-  then Rt.Gc_collector.collect heap;
+  then begin
+    match st.par with
+    | Some p when p.p_nd > 1 -> par_gc st p
+    | _ -> Rt.Gc_collector.collect heap
+  end;
   (match heap.Rt.Heap.sampler with
   | Some sampler when Rt.Sampler.due sampler ~step:st.steps ->
     Rt.Sampler.record sampler ~step:st.steps
       ~span_bytes:(Rt.Pageheap.used_bytes heap.Rt.Heap.pages)
-      heap.Rt.Heap.metrics
+      (Rt.Heap.merged_metrics heap)
   | _ -> ());
   if st.steps >= st.yield_at then begin
     st.yield_at <- st.steps + st.config.yield_every;
     Sched.yield ()
   end
+
+(* Safepoint: maybe run a GC cycle; also the yield point. *)
+let safepoint st =
+  st.steps <- st.steps + 1;
+  (cur_frame st).temps <- [];
+  let heap = st.heap in
+  if
+    st.steps >= st.yield_at
+    || heap.Rt.Heap.gc_requested
+    || heap.Rt.Heap.sampler != None
+    || st.steps > st.config.max_steps
+  then safepoint_slow st
 
 (* ------------------------------------------------------------------ *)
 (* Allocation helpers                                                  *)
@@ -268,8 +606,8 @@ let alloc_obj st fr ~(site : Tast.alloc_site) ~category ~size ~payload :
       ~payload
   else begin
     let obj =
-      Rt.Heap.alloc_stack st.heap ~scope:st.next_scope_token ~category ~size
-        ~payload
+      Rt.Heap.alloc_stack ~thread:(cur_thread st) st.heap
+        ~scope:st.next_scope_token ~category ~size ~payload
     in
     register_stack_obj fr obj;
     obj
@@ -1217,8 +1555,7 @@ and exec_stmt st (s : Tast.stmt) =
   end
   | Tast.Sprint es ->
     let parts = List.map (fun e -> Value.to_string (eval st e)) es in
-    Buffer.add_string st.output (String.concat " " parts);
-    Buffer.add_char st.output '\n'
+    emit_str st (String.concat " " parts ^ "\n")
   | Tast.Stcfree (v, kind) ->
     (* tcfree is only inserted for locals; a global here (impossible by
        construction) indexes the wrong slot space, so guard it out *)
@@ -1234,17 +1571,20 @@ and resolve_func st name : int =
   | None -> raise (Runtime_error ("undefined function " ^ name))
 
 and spawn_goroutine st fid args =
-  let g =
-    { g_id = Sched.fresh_gid st.sched; g_frames = [];
-      g_stk_v = [||]; g_top_v = 0; g_stk_i = [||]; g_top_i = 0 }
-  in
-  st.goroutines <- g :: st.goroutines;
-  Sched.spawn st.sched ~gid:g.g_id
-    ~on_resume:(fun () -> st.current <- g)
-    (fun () ->
-      (match st.dispatch st fid args with
-      | _ -> ()
-      | exception Panic v ->
-        Buffer.add_string st.output ("panic: " ^ Value.to_string v ^ "\n");
-        raise (Panic v));
-      st.goroutines <- List.filter (fun g' -> g' != g) st.goroutines)
+  match st.par with
+  | Some p -> spawn_parallel st p fid args
+  | None ->
+    let g =
+      { g_id = Sched.fresh_gid st.sched; g_frames = []; g_pending = [];
+        g_stk_v = [||]; g_top_v = 0; g_stk_i = [||]; g_top_i = 0 }
+    in
+    st.goroutines <- g :: st.goroutines;
+    Sched.spawn st.sched ~gid:g.g_id
+      ~on_resume:(fun () -> st.current <- g)
+      (fun () ->
+        (match st.dispatch st fid args with
+        | _ -> ()
+        | exception Panic v ->
+          Buffer.add_string st.output ("panic: " ^ Value.to_string v ^ "\n");
+          raise (Panic v));
+        st.goroutines <- List.filter (fun g' -> g' != g) st.goroutines)

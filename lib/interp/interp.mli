@@ -55,6 +55,10 @@ type goroutine = {
   mutable g_top_v : int;
   mutable g_stk_i : int array;
   mutable g_top_i : int;
+  mutable g_pending : Value.value list;
+      (** spawn arguments of a not-yet-started goroutine; rooted by
+          multi-domain runs, always empty under the sequential
+          scheduler *)
 }
 
 (** Which execution engine interprets function bodies.  All three share
@@ -78,6 +82,11 @@ type run_config = {
   engine : engine;
       (** which engine executes function bodies; the reference
           tree-walker is slowest but is the semantic ground truth *)
+  domains : int;
+      (** 0 = sequential effect-handler scheduler (the legacy path);
+          N >= 1 = run goroutines on N OCaml domains through the
+          work-stealing scheduler.  [domains = 1] is byte-identical to
+          sequential by construction. *)
 }
 
 val default_config : run_config
@@ -108,11 +117,67 @@ type state = {
   mutable yield_at : int;
       (** next step count at which to yield (advances by
           [config.yield_every]) *)
+  mutable dom : int;
+      (** index of the domain currently executing this state's goroutine
+          (multi-domain runs; 0 otherwise) *)
+  mutable par : parctx option;
+      (** the shared parallel-runtime context when goroutines run on the
+          work-stealing domain scheduler ([--domains >= 1]) *)
+}
+
+(** Shared context of one multi-domain run: per-domain run queues, the
+    goroutine registry (the parallel GC's root set), scheduler
+    bookkeeping and the stop-the-world handshake state.
+    [p_mutex]/[p_work] guard every mutable field except the queues
+    (internally locked) and [p_rng] (atomic). *)
+and parctx = {
+  p_nd : int;  (** number of domains *)
+  p_queues : ptask Gofree_sched.Wsq.t array;  (** one per domain *)
+  p_mutex : Mutex.t;
+  p_work : Condition.t;
+  mutable p_live : int;  (** goroutines queued or running *)
+  mutable p_running : int;  (** domains currently executing a slice *)
+  mutable p_regs : (goroutine * state) list;
+  mutable p_yields : int;
+  mutable p_budget : int;
+      (** nd = 1 only: steps left in the shared sequential-replay slice *)
+  mutable p_steals : int;  (** goroutines moved by work stealing *)
+  mutable p_spawns : int;
+  mutable p_steps_done : int;
+      (** summed step counts of finished goroutines *)
+  mutable p_ic_hits : int;  (** inline-cache hits of finished goroutines *)
+  mutable p_ic_misses : int;
+  mutable p_abort : exn option;
+  mutable p_gc_active : bool;
+  mutable p_gc_cycle : Rt.Gc_collector.Par.cycle option;
+  p_out_mutex : Mutex.t;
+  p_rng : int64 Atomic.t;
+  p_dls : int Domain.DLS.key;
+}
+
+and ptask = {
+  tk_st : state;  (** the goroutine's state copy ([dom] set per slice) *)
+  tk_run : unit -> unit;  (** start the fiber or resume its continuation *)
 }
 
 (** Enumerate every root address: globals, all goroutines' frame slots,
     statement pins and pending defer arguments. *)
 val iter_roots : state -> (int -> unit) -> unit
+
+val make_parctx : nd:int -> seed:int64 -> yield_every:int -> parctx
+
+(** Root enumeration for parallel runs (the [p_regs] registry replaces
+    [state.goroutines]; pending spawn arguments are rooted when
+    nd > 1). *)
+val iter_roots_par :
+  parctx -> globals:binding array -> (int -> unit) -> unit
+
+(** Append to the program output; whole-string-atomic when nd > 1. *)
+val emit_str : state -> string -> unit
+
+(** Package a goroutine body as a schedulable task whose yields
+    re-enqueue on the domain executing it. *)
+val fiber_task : parctx -> state -> (unit -> unit) -> ptask
 
 val eval : state -> Tast.expr -> Value.value
 
@@ -141,6 +206,11 @@ val cur_thread : state -> int
 (** Statement boundary: step accounting, pin reset, GC poll, sampler
     poll, cooperative yield. *)
 val safepoint : state -> unit
+
+(** The safepoint's slow path (budget check, GC — stop-the-world
+    handshake in multi-domain runs —, sampling, yield); exported for the
+    bytecode VM, whose fast path replicates {!safepoint}'s guard. *)
+val safepoint_slow : state -> unit
 
 val push_scope : state -> frame -> int
 

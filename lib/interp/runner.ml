@@ -24,9 +24,15 @@ let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
     from per-package caches rather than one whole-program analysis. *)
 let run_program ?(config = Interp.default_config)
     ~(decisions : Decisions.t) (program : Tast.program) : result =
+  let nd = config.Interp.domains in
+  (* [--domains N>1] widens the allocator to one mcache/metric stripe per
+     domain and turns its internal locking on; [--domains 1] keeps the
+     sequential single-writer heap so the byte-identity gate compares
+     like with like. *)
   let heap =
     Rt.Heap.create ~config:config.Interp.heap_config
-      ~nprocs:config.Interp.nprocs ()
+      ~nprocs:(if nd > 1 then nd else config.Interp.nprocs)
+      ~shared:(nd > 1) ()
   in
   let sched =
     Sched.create ~nprocs:config.Interp.nprocs
@@ -34,8 +40,15 @@ let run_program ?(config = Interp.default_config)
   in
   let layout = Layout.of_program program in
   let main_g =
-    { Interp.g_id = 0; g_frames = [];
+    { Interp.g_id = 0; g_frames = []; g_pending = [];
       g_stk_v = [||]; g_top_v = 0; g_stk_i = [||]; g_top_i = 0 }
+  in
+  let par =
+    if nd >= 1 then
+      Some
+        (Interp.make_parctx ~nd ~seed:config.Interp.seed
+           ~yield_every:config.Interp.yield_every)
+    else None
   in
   let st =
     {
@@ -57,6 +70,8 @@ let run_program ?(config = Interp.default_config)
       ic_hits = 0;
       ic_misses = 0;
       yield_at = config.Interp.yield_every;
+      dom = 0;
+      par;
     }
   in
   (* Lower once, before anything executes, so even the global
@@ -69,7 +84,11 @@ let run_program ?(config = Interp.default_config)
     Vm.install st (Emit.lower program decisions layout));
   heap.Rt.Heap.trace_payload <- Value.trace_payload;
   heap.Rt.Heap.poison_payload <- Value.poison_payload;
-  heap.Rt.Heap.iter_roots <- (fun k -> Interp.iter_roots st k);
+  (match par with
+  | Some p ->
+    heap.Rt.Heap.iter_roots <-
+      (fun k -> Interp.iter_roots_par p ~globals:st.Interp.globals k)
+  | None -> heap.Rt.Heap.iter_roots <- (fun k -> Interp.iter_roots st k));
   if config.Interp.sample_every > 0 then
     heap.Rt.Heap.sampler <-
       Some (Rt.Sampler.create ~every:config.Interp.sample_every ());
@@ -110,8 +129,12 @@ let run_program ?(config = Interp.default_config)
         ("panic: " ^ Value.to_string v ^ "\n");
       panicked := true
   in
-  (match Sched.run sched ~on_resume:(fun () -> st.Interp.current <- main_g)
-           boot
+  (match
+     match par with
+     | Some p -> Par.run p st boot
+     | None ->
+       Sched.run sched ~on_resume:(fun () -> st.Interp.current <- main_g)
+         boot
    with
   | () -> ()
   | exception Interp.Panic v ->
@@ -120,14 +143,33 @@ let run_program ?(config = Interp.default_config)
       ("panic: " ^ Value.to_string v ^ "\n");
     panicked := true);
   let t1 = now_ns () in
+  (* In parallel mode each goroutine ran on its own state copy; finished
+     goroutines folded their counters into the context, any survivors of
+     an aborted run are still registered. *)
+  let total_steps, total_ic_hits, total_ic_misses =
+    match par with
+    | None -> (st.Interp.steps, st.Interp.ic_hits, st.Interp.ic_misses)
+    | Some p ->
+      List.fold_left
+        (fun (s, h, m) ((_ : Interp.goroutine), (gst : Interp.state)) ->
+          (s + gst.Interp.steps, h + gst.Interp.ic_hits,
+           m + gst.Interp.ic_misses))
+        (p.Interp.p_steps_done, p.Interp.p_ic_hits, p.Interp.p_ic_misses)
+        p.Interp.p_regs
+  in
   (* Final accounting sweep: everything still live is attributed to GC
      reclamation for the Table 8 denominators, without counting an extra
-     cycle. *)
+     cycle.  All domains have been joined by now, so even a shared heap
+     is quiescent; its sweep must still go through the parallel
+     collector, whose apply path maintains the atomic live count. *)
   st.Interp.goroutines <- [];
+  (match par with Some p -> p.Interp.p_regs <- [] | None -> ());
   heap.Rt.Heap.iter_roots <- (fun _ -> ());
   let saved_cycles = heap.Rt.Heap.metrics.Rt.Metrics.gc_cycles in
   let saved_time = heap.Rt.Heap.metrics.Rt.Metrics.gc_time_ns in
-  Rt.Gc_collector.collect heap;
+  if heap.Rt.Heap.shared then
+    Rt.Gc_collector.Par.run_leader (Rt.Gc_collector.Par.start heap)
+  else Rt.Gc_collector.collect heap;
   heap.Rt.Heap.metrics.Rt.Metrics.gc_cycles <- saved_cycles;
   heap.Rt.Heap.metrics.Rt.Metrics.gc_time_ns <- saved_time;
   heap.Rt.Heap.metrics.Rt.Metrics.max_heap_pages <-
@@ -136,24 +178,44 @@ let run_program ?(config = Interp.default_config)
      telemetry registry (gofree-telemetry-v1) when one is live; a plain
      field read keeps the disabled path free. *)
   (let module Reg = Gofree_obs.Registry in
-   if Reg.runtime_enabled () && st.Interp.ic_hits + st.Interp.ic_misses > 0
-   then begin
-     Reg.add
-       (Reg.counter Reg.runtime
-          ~help:"bytecode-engine inline cache hits (map-key + struct-field)"
-          "gofree_vm_ic_hit_total")
-       st.Interp.ic_hits;
-     Reg.add
-       (Reg.counter Reg.runtime
-          ~help:"bytecode-engine inline cache misses (map-key + struct-field)"
-          "gofree_vm_ic_miss_total")
-       st.Interp.ic_misses
+   if Reg.runtime_enabled () then begin
+     if total_ic_hits + total_ic_misses > 0 then begin
+       Reg.add
+         (Reg.counter Reg.runtime
+            ~help:"bytecode-engine inline cache hits (map-key + struct-field)"
+            "gofree_vm_ic_hit_total")
+         total_ic_hits;
+       Reg.add
+         (Reg.counter Reg.runtime
+            ~help:
+              "bytecode-engine inline cache misses (map-key + struct-field)"
+            "gofree_vm_ic_miss_total")
+         total_ic_misses
+     end;
+     match par with
+     | Some p ->
+       Reg.add
+         (Reg.counter Reg.runtime
+            ~help:"goroutines migrated between domains by work stealing"
+            "gofree_sched_steals_total")
+         p.Interp.p_steals;
+       Reg.add
+         (Reg.counter Reg.runtime
+            ~help:"goroutines spawned onto the domain scheduler"
+            "gofree_sched_spawns_total")
+         p.Interp.p_spawns;
+       Reg.add
+         (Reg.counter Reg.runtime
+            ~help:"goroutine yields on the domain scheduler"
+            "gofree_sched_yields_total")
+         p.Interp.p_yields
+     | None -> ()
    end);
   {
     output = Buffer.contents st.Interp.output;
-    metrics = heap.Rt.Heap.metrics;
+    metrics = Rt.Heap.merged_metrics heap;
     wall_ns = Int64.sub t1 t0;
-    steps = st.Interp.steps;
+    steps = total_steps;
     panicked = !panicked;
     sampler = heap.Rt.Heap.sampler;
   }

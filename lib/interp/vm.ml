@@ -62,25 +62,9 @@ let unbound_global (r : regs) nidx =
 
 (* The rare tail of {!Interp.safepoint}, reached only when one of the
    fast-path guards fired; [st.steps] has already been incremented and
-   the frame's temps cleared.  Must mirror interp.ml's safepoint
-   line by line: budget check, GC, sampler, yield — in that order. *)
-let safepoint_slow (r : regs) =
-  let st = r.x_st in
-  if st.steps > st.config.max_steps then
-    raise (Runtime_error "step budget exhausted (infinite loop?)");
-  let heap = st.heap in
-  if heap.Rt.Heap.gc_requested && not heap.Rt.Heap.config.Rt.Heap.gc_disabled
-  then Rt.Gc_collector.collect heap;
-  (match heap.Rt.Heap.sampler with
-  | Some sampler when Rt.Sampler.due sampler ~step:st.steps ->
-    Rt.Sampler.record sampler ~step:st.steps
-      ~span_bytes:(Rt.Pageheap.used_bytes heap.Rt.Heap.pages)
-      heap.Rt.Heap.metrics
-  | _ -> ());
-  if st.steps >= st.yield_at then begin
-    st.yield_at <- st.steps + st.config.yield_every;
-    Sched.yield ()
-  end
+   the frame's temps cleared.  The shared slow path also handles the
+   multi-domain stop-the-world handshake. *)
+let safepoint_slow (r : regs) = Interp.safepoint_slow r.x_st
 
 (* {!Interp.safepoint}, inlined for the dispatch loop: during a VM
    body the innermost frame of the current goroutine is [r.x_fr], so
@@ -169,21 +153,23 @@ let mapget_value (r : regs) (vm : Value.value) (vk : Value.value) zidx cidx :
   | Value.VMap addr ->
     let st = r.x_st in
     let c = r.x_f.B.bf_caches.(cidx) in
-    if c.B.c_a = addr && c.B.c_ver = c.B.c_md.Value.md_version then begin
-      if Value.equal_key vk c.B.c_key then begin
+    (* one pointer load = one coherent snapshot, even when goroutines
+       on other domains are racing to repopulate this site *)
+    let e = c.B.c_e in
+    if e.B.ce_a = addr && e.B.ce_ver = e.B.ce_md.Value.md_version then begin
+      if Value.equal_key vk e.B.ce_key then begin
         st.ic_hits <- st.ic_hits + 1;
-        c.B.c_val
+        e.B.ce_val
       end
       else begin
         st.ic_misses <- st.ic_misses + 1;
         (* same map, same version: probe the cached buckets directly *)
         let idx =
-          Value.hash_key vk land max_int mod c.B.c_md.Value.md_nbuckets
+          Value.hash_key vk land max_int mod e.B.ce_md.Value.md_nbuckets
         in
-        match bucket_probe vk c.B.c_b.(idx) with
+        match bucket_probe vk e.B.ce_b.(idx) with
         | Some v ->
-          c.B.c_key <- vk;
-          c.B.c_val <- v;
+          c.B.c_e <- { e with B.ce_key = vk; ce_val = v };
           v
         | None -> r.x_f.B.bf_zeros.(zidx) ()
       end
@@ -193,19 +179,18 @@ let mapget_value (r : regs) (vm : Value.value) (vk : Value.value) zidx cidx :
       (* the same probe + bucket search as Interp.map_get *)
       let md, buckets = Interp.map_data st addr in
       let idx = Value.hash_key vk land max_int mod md.Value.md_nbuckets in
-      c.B.c_a <- addr;
-      c.B.c_md <- md;
-      c.B.c_ver <- md.Value.md_version;
-      c.B.c_b <- buckets;
+      let fill ~key ~v =
+        c.B.c_e <-
+          { B.ce_a = addr; ce_md = md; ce_ver = md.Value.md_version;
+            ce_key = key; ce_val = v; ce_b = buckets }
+      in
       match bucket_probe vk buckets.(idx) with
       | Some v ->
-        c.B.c_key <- vk;
-        c.B.c_val <- v;
+        fill ~key:vk ~v;
         v
       | None ->
         (* remember the map but no pair; VUnit never equals a key *)
-        c.B.c_key <- Value.VUnit;
-        c.B.c_val <- Value.VUnit;
+        fill ~key:Value.VUnit ~v:Value.VUnit;
         r.x_f.B.bf_zeros.(zidx) ()
     end
   | Value.VNil -> r.x_f.B.bf_zeros.(zidx) ()
@@ -1021,8 +1006,7 @@ let rec loop (r : regs) pc sp_v sp_i =
   | 95 (* print *) ->
     let n = Array.unsafe_get code (pc + 1) in
     let parts = List.map Value.to_string (popped stk_v sp_v n) in
-    Buffer.add_string r.x_st.output (String.concat " " parts);
-    Buffer.add_char r.x_st.output '\n';
+    Interp.emit_str r.x_st (String.concat " " parts ^ "\n");
     loop r (pc + 2) (sp_v - n) sp_i
   | 96 (* tostr *) ->
     Array.unsafe_set stk_v (sp_v - 1)

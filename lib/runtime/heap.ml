@@ -60,11 +60,31 @@ let default_config =
 type t = {
   config : config;
   metrics : Metrics.t;
+      (** sequential heap: the one record every event updates.  Shared
+          heap: shard 0 of [metric_shards]; read {!merged_metrics}. *)
   pages : Pageheap.t;
   central : Mcentral.t;
   mutable caches : Mcache.t array;  (** one per logical processor *)
   objects : obj Objtable.t;  (** live (and stack) objects by address *)
-  mutable next_addr : int;
+  shared : bool;
+      (** true when multiple domains mutate this heap concurrently: the
+          object table is sharded+locked, mcentral/pageheap serialize
+          internally, metrics stripe per domain, and frees serialize on
+          [free_mutex] *)
+  metric_shards : Metrics.t array;
+      (** per-domain metric stripes; [metric_shards.(0) == metrics].
+          Length 1 unless [shared]. *)
+  live_atomic : int Atomic.t;
+      (** shared mode: authoritative live-byte count for GC pacing
+          (per-shard [heap_live] values only sum to it, individually
+          they are meaningless) *)
+  max_live_atomic : int Atomic.t;  (** shared mode: true concurrent peak *)
+  free_mutex : Mutex.t;
+      (** shared mode: serializes tcfree bodies so the check-then-free
+          sequence (§5) is atomic with respect to other freeing domains;
+          uncontended in the common path since most frees are local *)
+  tomb_mutex : Mutex.t;  (** guards [tombstones] in shared poison runs *)
+  next_addr : int Atomic.t;
   mutable next_gc : int;  (** heap_live threshold for the next cycle *)
   mutable gc_window_left : int;
       (** remaining bytes of the simulated concurrent-mark window *)
@@ -101,16 +121,34 @@ let dummy_obj =
     poisoned = false;
   }
 
-let create ?(config = default_config) ?(nprocs = 4) () =
+let create ?(config = default_config) ?(nprocs = 4) ?(shared = false) () =
   let pages = Pageheap.create () in
+  let central = Mcentral.create pages in
+  if shared then begin
+    pages.Pageheap.locked <- true;
+    central.Mcentral.locked <- true
+  end;
+  let metrics = Metrics.create () in
   {
     config;
-    metrics = Metrics.create ();
+    metrics;
     pages;
-    central = Mcentral.create pages;
+    central;
     caches = Array.init nprocs Mcache.create;
-    objects = Objtable.create ~capacity:4096 ~dummy:dummy_obj ();
-    next_addr = 1;
+    objects =
+      Objtable.create ~capacity:4096
+        ~shards:(if shared then max 2 nprocs else 1)
+        ~locked:shared ~dummy:dummy_obj ();
+    shared;
+    metric_shards =
+      (if shared then
+         Array.init nprocs (fun i -> if i = 0 then metrics else Metrics.create ())
+       else [| metrics |]);
+    live_atomic = Atomic.make 0;
+    max_live_atomic = Atomic.make 0;
+    free_mutex = Mutex.create ();
+    tomb_mutex = Mutex.create ();
+    next_addr = Atomic.make 1;
     next_gc = config.min_heap;
     gc_window_left = 0;
     dangling_spans = [];
@@ -131,20 +169,50 @@ let gc_running t = t.gc_window_left > 0
 
 let find_obj t addr = Objtable.find_opt t.objects addr
 
-let fresh_addr t =
-  let a = t.next_addr in
-  t.next_addr <- a + 1;
-  a
+let fresh_addr t = Atomic.fetch_and_add t.next_addr 1
+
+(** The metric stripe [thread] writes to: the single shared record on a
+    sequential heap, the domain's own shard on a shared one. *)
+let[@inline] metrics_for t thread =
+  if t.shared then
+    t.metric_shards.(thread mod Array.length t.metric_shards)
+  else t.metrics
+
+(** Authoritative live-byte count — drives GC pacing in both modes. *)
+let[@inline] live_bytes t =
+  if t.shared then Atomic.get t.live_atomic else t.metrics.Metrics.heap_live
+
+let bump_live t bytes =
+  let live = Atomic.fetch_and_add t.live_atomic bytes + bytes in
+  let rec raise_max () =
+    let m = Atomic.get t.max_live_atomic in
+    if live > m && not (Atomic.compare_and_set t.max_live_atomic m live) then
+      raise_max ()
+  in
+  raise_max ()
+
+let drop_live t bytes = ignore (Atomic.fetch_and_add t.live_atomic (-bytes))
+
+(** One coherent metrics record.  On a sequential heap this is the live
+    record itself; on a shared heap the per-domain stripes are summed
+    and the atomically tracked live/peak values overwrite the stripe
+    artifacts.  Only meaningful when no domain is mutating. *)
+let merged_metrics t =
+  if not t.shared then t.metrics
+  else begin
+    let m = Metrics.merged t.metric_shards in
+    m.Metrics.heap_live <- Atomic.get t.live_atomic;
+    m.Metrics.max_heap <- Atomic.get t.max_live_atomic;
+    m
+  end
 
 (** Allocate a heap object of [size] bytes on behalf of [thread].
     Checks GC pacing first (setting [gc_requested] — the interpreter runs
     the cycle at its next safepoint, keeping collection out of the middle
     of an allocation). *)
 let alloc_heap t ~thread ~category ~size ~payload : obj =
-  if
-    (not t.config.gc_disabled)
-    && t.metrics.Metrics.heap_live >= t.next_gc
-  then t.gc_requested <- true;
+  if (not t.config.gc_disabled) && live_bytes t >= t.next_gc then
+    t.gc_requested <- true;
   if t.gc_window_left > 0 then
     t.gc_window_left <- max 0 (t.gc_window_left - max 1 size);
   let thread = thread mod Array.length t.caches in
@@ -177,12 +245,13 @@ let alloc_heap t ~thread ~category ~size ~payload : obj =
     }
   in
   Objtable.replace t.objects obj.addr obj;
-  Metrics.count_alloc t.metrics ~category ~heap:true ~bytes:size;
+  Metrics.count_alloc (metrics_for t thread) ~category ~heap:true ~bytes:size;
+  if t.shared then bump_live t size;
   obj
 
 (** Allocate a stack object: no span, no GC cost; released when scope
     [scope] exits. *)
-let alloc_stack t ~scope ~category ~size ~payload : obj =
+let alloc_stack ?(thread = 0) t ~scope ~category ~size ~payload : obj =
   let obj =
     {
       addr = fresh_addr t;
@@ -196,7 +265,7 @@ let alloc_stack t ~scope ~category ~size ~payload : obj =
     }
   in
   Objtable.replace t.objects obj.addr obj;
-  Metrics.count_alloc t.metrics ~category ~heap:false ~bytes:size;
+  Metrics.count_alloc (metrics_for t thread) ~category ~heap:false ~bytes:size;
   obj
 
 let is_stack_obj obj =
@@ -206,7 +275,13 @@ let is_stack_obj obj =
    recorded in poison mode, where wrong frees are being hunted — normal
    runs skip the bookkeeping entirely. *)
 let bury t addr reason =
-  if t.config.poison_on_free then Hashtbl.replace t.tombstones addr reason
+  if t.config.poison_on_free then
+    if t.shared then begin
+      Mutex.lock t.tomb_mutex;
+      Hashtbl.replace t.tombstones addr reason;
+      Mutex.unlock t.tomb_mutex
+    end
+    else Hashtbl.replace t.tombstones addr reason
 
 let death_of t addr =
   match Hashtbl.find_opt t.tombstones addr with

@@ -39,11 +39,22 @@ val default_config : config
 type t = {
   config : config;
   metrics : Metrics.t;
+      (** sequential heap: the record every event updates; shared heap:
+          shard 0 of [metric_shards] — read {!merged_metrics} instead *)
   pages : Pageheap.t;
   central : Mcentral.t;
   mutable caches : Mcache.t array;  (** one per logical processor *)
   objects : obj Objtable.t;
-  mutable next_addr : int;
+  shared : bool;
+      (** multiple domains mutate this heap: table sharded+locked,
+          mcentral/pageheap internally serialized, metrics striped *)
+  metric_shards : Metrics.t array;
+      (** per-domain stripes; [metric_shards.(0) == metrics] *)
+  live_atomic : int Atomic.t;  (** shared mode: authoritative live bytes *)
+  max_live_atomic : int Atomic.t;  (** shared mode: true concurrent peak *)
+  free_mutex : Mutex.t;  (** shared mode: serializes tcfree bodies *)
+  tomb_mutex : Mutex.t;  (** guards [tombstones] in shared poison runs *)
+  next_addr : int Atomic.t;
   mutable next_gc : int;
   mutable gc_window_left : int;
   mutable dangling_spans : Mspan.t list;  (** fig. 9 step-1 output *)
@@ -59,9 +70,31 @@ type t = {
   tombstones : (int, string) Hashtbl.t;
 }
 
-val create : ?config:config -> ?nprocs:int -> unit -> t
+(** [shared:true] builds the multi-domain configuration: [nprocs]
+    metric stripes and mcaches (one per domain), a sharded+locked
+    object table, and internally locked mcentral/pageheap. *)
+val create : ?config:config -> ?nprocs:int -> ?shared:bool -> unit -> t
 
 val nprocs : t -> int
+
+(** The metric stripe [thread] writes to (the shared record on a
+    sequential heap). *)
+val metrics_for : t -> int -> Metrics.t
+
+(** Authoritative live-byte count — drives GC pacing in both modes. *)
+val live_bytes : t -> int
+
+(** Shared mode: atomically add allocated bytes to the live count and
+    update the peak. *)
+val bump_live : t -> int -> unit
+
+(** Shared mode: atomically subtract freed bytes from the live count. *)
+val drop_live : t -> int -> unit
+
+(** One coherent metrics record: the live record itself (sequential) or
+    the summed stripes with atomic live/peak patched in (shared; only
+    meaningful while no domain mutates). *)
+val merged_metrics : t -> Metrics.t
 
 (** Is the simulated concurrent collector running? (§5 give-up check.) *)
 val gc_running : t -> bool
@@ -77,9 +110,9 @@ val alloc_heap :
   payload:payload -> obj
 
 (** Allocate a stack object: no span, no GC cost; released at scope
-    exit. *)
+    exit.  [thread] only selects the metric stripe. *)
 val alloc_stack :
-  t -> scope:int -> category:Metrics.category -> size:int ->
+  ?thread:int -> t -> scope:int -> category:Metrics.category -> size:int ->
   payload:payload -> obj
 
 val is_stack_obj : obj -> bool

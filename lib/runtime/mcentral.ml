@@ -11,6 +11,10 @@ type t = {
   partial : Mspan.t list array;  (** per class: spans with free slots *)
   full : Mspan.t list array;
   pages : Pageheap.t;
+  lock : Mutex.t;
+  mutable locked : bool;
+      (** true in the shared (multi-domain) heap: span acquire/release
+          and rebucketing then serialize on [lock] *)
 }
 
 let create pages =
@@ -18,11 +22,11 @@ let create pages =
     partial = Array.make Sizeclass.n_classes [];
     full = Array.make Sizeclass.n_classes [];
     pages;
+    lock = Mutex.create ();
+    locked = false;
   }
 
-(** Take a span with free capacity for [class_idx], pulling from the
-    partial list or creating one from the page heap. *)
-let acquire_span t class_idx ~for_thread : Mspan.t =
+let acquire_span_unlocked t class_idx ~for_thread : Mspan.t =
   match t.partial.(class_idx) with
   | span :: rest ->
     t.partial.(class_idx) <- rest;
@@ -34,19 +38,33 @@ let acquire_span t class_idx ~for_thread : Mspan.t =
     span.Mspan.state <- Mspan.In_mcache for_thread;
     span
 
+(** Take a span with free capacity for [class_idx], pulling from the
+    partial list or creating one from the page heap. *)
+let acquire_span t class_idx ~for_thread : Mspan.t =
+  if t.locked then begin
+    Mutex.lock t.lock;
+    let span = acquire_span_unlocked t class_idx ~for_thread in
+    Mutex.unlock t.lock;
+    span
+  end
+  else acquire_span_unlocked t class_idx ~for_thread
+
 (** Return a span from an mcache (it filled up, or its thread exited). *)
 let release_span t (span : Mspan.t) =
+  if t.locked then Mutex.lock t.lock;
   span.Mspan.state <- Mspan.In_mcentral;
   if Mspan.is_full span then
     t.full.(span.Mspan.class_idx) <-
       span :: t.full.(span.Mspan.class_idx)
   else
     t.partial.(span.Mspan.class_idx) <-
-      span :: t.partial.(span.Mspan.class_idx)
+      span :: t.partial.(span.Mspan.class_idx);
+  if t.locked then Mutex.unlock t.lock
 
 (** After a GC sweep some full spans have free slots again and some spans
     are completely empty; rebucket them and return empty spans' pages. *)
 let rebucket_after_sweep t =
+  if t.locked then Mutex.lock t.lock;
   for c = 0 to Sizeclass.n_classes - 1 do
     let all = t.partial.(c) @ t.full.(c) in
     let keep, empty =
@@ -60,4 +78,5 @@ let rebucket_after_sweep t =
     let partial, full = List.partition (fun s -> not (Mspan.is_full s)) keep in
     t.partial.(c) <- partial;
     t.full.(c) <- full
-  done
+  done;
+  if t.locked then Mutex.unlock t.lock

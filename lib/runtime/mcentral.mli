@@ -5,6 +5,10 @@ type t = {
   partial : Mspan.t list array;  (** per class: spans with free slots *)
   full : Mspan.t list array;
   pages : Pageheap.t;
+  lock : Mutex.t;
+  mutable locked : bool;
+      (** set by the shared (multi-domain) heap; span acquire/release
+          and rebucketing then serialize on [lock] *)
 }
 
 val create : Pageheap.t -> t

@@ -122,6 +122,80 @@ let count_giveup m reason =
   let idx = giveup_index reason in
   m.giveups.(idx) <- m.giveups.(idx) + 1
 
+(* ------------------------------------------------------------------ *)
+(* Striping support: per-domain shards merged into one record           *)
+(* ------------------------------------------------------------------ *)
+
+let add_arrays dst src =
+  Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src
+
+(** Accumulate [src] into [dst].  Every counter is summed — including
+    [heap_live], which is a signed alloc-minus-free delta, so summing
+    per-domain shards yields the correct global value even though each
+    shard alone may be negative.  [max_heap]/[max_heap_pages] take the
+    max, which under-reports a true concurrent peak; the shared heap
+    tracks the real peak atomically and overwrites it after merging. *)
+let merge_into ~(dst : t) (src : t) =
+  dst.alloced_bytes <- dst.alloced_bytes + src.alloced_bytes;
+  dst.freed_bytes <- dst.freed_bytes + src.freed_bytes;
+  dst.gc_cycles <- dst.gc_cycles + src.gc_cycles;
+  dst.gc_time_ns <- Int64.add dst.gc_time_ns src.gc_time_ns;
+  dst.max_heap <- max dst.max_heap src.max_heap;
+  dst.max_heap_pages <- max dst.max_heap_pages src.max_heap_pages;
+  dst.heap_live <- dst.heap_live + src.heap_live;
+  add_arrays dst.stack_allocs src.stack_allocs;
+  add_arrays dst.heap_allocs src.heap_allocs;
+  add_arrays dst.tcfreed_objects src.tcfreed_objects;
+  add_arrays dst.gc_freed_objects src.gc_freed_objects;
+  add_arrays dst.freed_by_source src.freed_by_source;
+  dst.tcfree_calls <- dst.tcfree_calls + src.tcfree_calls;
+  dst.tcfree_success <- dst.tcfree_success + src.tcfree_success;
+  add_arrays dst.giveups src.giveups;
+  dst.heap_to_stack_pointers <-
+    dst.heap_to_stack_pointers + src.heap_to_stack_pointers;
+  dst.poison_reads <- dst.poison_reads + src.poison_reads;
+  dst.gc_marked_objects <- dst.gc_marked_objects + src.gc_marked_objects;
+  dst.gc_swept_objects <- dst.gc_swept_objects + src.gc_swept_objects
+
+let merged (shards : t array) : t =
+  let dst = create () in
+  Array.iter (fun s -> merge_into ~dst s) shards;
+  dst
+
+let sum = Array.fold_left ( + ) 0
+
+(** Conservation invariants that must hold for any completed run,
+    sequential or parallel (ISSUE 10's multi-domain gate):
+
+    - every tcfree attempt either succeeded or gave up for a counted
+      reason ([tcfree_calls] = [tcfree_success] + Σ giveups);
+    - every success freed exactly one object
+      ([tcfree_success] = Σ [tcfreed_objects]);
+    - when the caller knows the surviving object count, every heap
+      allocation is accounted for
+      (Σ [heap_allocs] = Σ [tcfreed_objects] + Σ [gc_freed_objects] +
+      [live_objects]).
+
+    Returns [Error msg] naming the first violated equation. *)
+let check_conservation ?live_objects (m : t) : (unit, string) result =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let giveups = sum m.giveups in
+  if m.tcfree_calls <> m.tcfree_success + giveups then
+    fail "tcfree_calls %d <> success %d + giveups %d" m.tcfree_calls
+      m.tcfree_success giveups
+  else if m.tcfree_success <> sum m.tcfreed_objects then
+    fail "tcfree_success %d <> tcfreed objects %d" m.tcfree_success
+      (sum m.tcfreed_objects)
+  else
+    match live_objects with
+    | Some live
+      when sum m.heap_allocs
+           <> sum m.tcfreed_objects + sum m.gc_freed_objects + live ->
+        fail "heap allocs %d <> tcfreed %d + gc_freed %d + live %d"
+          (sum m.heap_allocs) (sum m.tcfreed_objects)
+          (sum m.gc_freed_objects) live
+    | _ -> Ok ()
+
 let pp fmt m =
   Format.fprintf fmt
     "@[<v>alloced      %d bytes@,freed        %d bytes (ratio %.1f%%)@,\

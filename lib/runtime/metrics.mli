@@ -58,6 +58,20 @@ val count_gc_free : t -> category:category -> bytes:int -> unit
 
 val count_giveup : t -> giveup -> unit
 
+(** Accumulate a per-domain shard into [dst] (all counters summed;
+    peaks maxed — the shared heap overwrites peaks with its atomically
+    tracked values after merging). *)
+val merge_into : dst:t -> t -> unit
+
+(** Sum an array of per-domain shards into a fresh record. *)
+val merged : t array -> t
+
+(** Check the run-level conservation invariants (tcfree attempts =
+    successes + giveups; successes = freed objects; and, given the
+    surviving [live_objects] count, heap allocs = tcfreed + gc_freed +
+    live).  [Error msg] names the first violated equation. *)
+val check_conservation : ?live_objects:int -> t -> (unit, string) result
+
 val pp : Format.formatter -> t -> unit
 
 (** Name of a giveup counter, as used in the JSON export and the trace's

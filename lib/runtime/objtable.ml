@@ -7,12 +7,19 @@
 
     Linear probing over a power-of-two capacity.  [keys] doubles as the
     slot state: [0] = never used, [-1] = tombstone (deleted), anything
-    positive is a live key.  The table grows (or rehashes in place to
+    positive is a live key.  A shard grows (or rehashes in place to
     clear tombstones) when live + tombstones exceed half the capacity,
     so probe chains stay short.  Values of removed slots are reset to
-    [dummy] so the table never retains a dead object. *)
+    [dummy] so the table never retains a dead object.
 
-type 'a t = {
+    For the multi-domain runtime the table is internally sharded by the
+    key's low bits — addresses are a counter, so consecutive
+    allocations round-robin across shards — with an optional per-shard
+    mutex ([locked:true]).  The default single unlocked shard is the
+    sequential configuration and adds only one array load per
+    operation over the flat layout. *)
+
+type 'a shard = {
   mutable keys : int array;  (* 0 empty / -1 tombstone / key *)
   mutable vals : 'a array;
   mutable mask : int;  (* capacity - 1; capacity is a power of two *)
@@ -21,118 +28,167 @@ type 'a t = {
   dummy : 'a;
 }
 
+type 'a t = {
+  shards : 'a shard array;
+  smask : int;  (* nshards - 1; nshards is a power of two *)
+  locks : Mutex.t array;  (* same length as [shards] *)
+  locked : bool;
+}
+
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
-let create ?(capacity = 4096) ~dummy () =
-  let cap = pow2_at_least (max 16 capacity) 16 in
+let create ?(capacity = 4096) ?(shards = 1) ?(locked = false) ~dummy () =
+  let ns = pow2_at_least (max 1 shards) 1 in
+  let cap = pow2_at_least (max 16 (capacity / ns)) 16 in
+  let mk_shard () =
+    {
+      keys = Array.make cap 0;
+      vals = Array.make cap dummy;
+      mask = cap - 1;
+      live = 0;
+      used = 0;
+      dummy;
+    }
+  in
   {
-    keys = Array.make cap 0;
-    vals = Array.make cap dummy;
-    mask = cap - 1;
-    live = 0;
-    used = 0;
-    dummy;
+    shards = Array.init ns (fun _ -> mk_shard ());
+    smask = ns - 1;
+    locks = Array.init ns (fun _ -> Mutex.create ());
+    locked;
   }
+
+let nshards t = Array.length t.shards
 
 (* Multiplicative mixing: consecutive addresses (the common case —
    [Heap.fresh_addr] is a counter) land on an odd stride that cycles
-   through the whole table, and the xor-shift spreads any structured
+   through the whole shard, and the xor-shift spreads any structured
    keys. *)
-let slot_of t k =
+let slot_of s k =
   let h = k * 0x1E3779B97F4A7C15 in
-  (h lxor (h lsr 29)) land t.mask
+  (h lxor (h lsr 29)) land s.mask
 
-let length t = t.live
+let[@inline] shard_idx t k = k land t.smask
 
-(** Index of [k]'s slot, or [-1] if absent. *)
-let find_slot t k =
-  let keys = t.keys in
-  let mask = t.mask in
+let[@inline] with_shard t k f =
+  let i = shard_idx t k in
+  let s = Array.unsafe_get t.shards i in
+  if t.locked then begin
+    let l = Array.unsafe_get t.locks i in
+    Mutex.lock l;
+    let r = f s k in
+    Mutex.unlock l;
+    r
+  end
+  else f s k
+
+(** Index of [k]'s slot in its shard, or [-1] if absent. *)
+let find_slot s k =
+  let keys = s.keys in
+  let mask = s.mask in
   let rec probe i =
     let key = Array.unsafe_get keys i in
     if key = k then i else if key = 0 then -1 else probe ((i + 1) land mask)
   in
-  probe (slot_of t k)
+  probe (slot_of s k)
 
-let find_opt t k =
-  let i = find_slot t k in
-  if i < 0 then None else Some (Array.unsafe_get t.vals i)
+let s_find_opt s k =
+  let i = find_slot s k in
+  if i < 0 then None else Some (Array.unsafe_get s.vals i)
 
-let mem t k = find_slot t k >= 0
+let find_opt t k = with_shard t k s_find_opt
 
-let iter f t =
-  let keys = t.keys in
+let mem t k = with_shard t k (fun s k -> find_slot s k >= 0)
+
+let length t =
+  Array.fold_left (fun acc s -> acc + s.live) 0 t.shards
+
+let iter_shard f s =
+  let keys = s.keys in
   for i = 0 to Array.length keys - 1 do
     let key = Array.unsafe_get keys i in
-    if key > 0 then f key (Array.unsafe_get t.vals i)
+    if key > 0 then f key (Array.unsafe_get s.vals i)
   done
 
-let fold f t init =
-  let keys = t.keys in
+let iter f t = Array.iter (iter_shard f) t.shards
+
+let fold_over_shard f s init =
+  let keys = s.keys in
   let acc = ref init in
   for i = 0 to Array.length keys - 1 do
     let key = Array.unsafe_get keys i in
-    if key > 0 then acc := f key (Array.unsafe_get t.vals i) !acc
+    if key > 0 then acc := f key (Array.unsafe_get s.vals i) !acc
   done;
   !acc
 
-(* Insert a key known to be absent, into a table with no tombstones
+let fold f t init =
+  Array.fold_left (fun acc s -> fold_over_shard f s acc) init t.shards
+
+(** Fold one shard by index — the parallel sweep's unit of work.  The
+    caller must guarantee no concurrent mutation of that shard (the GC
+    runs it under stop-the-world). *)
+let fold_shard f t i init = fold_over_shard f t.shards.(i) init
+
+(* Insert a key known to be absent, into a shard with no tombstones
    (only used right after allocating fresh arrays). *)
-let add_fresh t k v =
-  let keys = t.keys in
-  let mask = t.mask in
+let add_fresh s k v =
+  let keys = s.keys in
+  let mask = s.mask in
   let rec probe i =
     if Array.unsafe_get keys i = 0 then begin
       Array.unsafe_set keys i k;
-      Array.unsafe_set t.vals i v
+      Array.unsafe_set s.vals i v
     end
     else probe ((i + 1) land mask)
   in
-  probe (slot_of t k)
+  probe (slot_of s k)
 
-let rehash t =
+let rehash s =
   (* Grow while more than a quarter full of live entries; otherwise the
      same capacity back, just clearing tombstones. *)
-  let old_keys = t.keys in
-  let old_vals = t.vals in
+  let old_keys = s.keys in
+  let old_vals = s.vals in
   let cap = Array.length old_keys in
-  let new_cap = if t.live * 4 >= cap then cap * 2 else cap in
-  t.keys <- Array.make new_cap 0;
-  t.vals <- Array.make new_cap t.dummy;
-  t.mask <- new_cap - 1;
-  t.used <- t.live;
+  let new_cap = if s.live * 4 >= cap then cap * 2 else cap in
+  s.keys <- Array.make new_cap 0;
+  s.vals <- Array.make new_cap s.dummy;
+  s.mask <- new_cap - 1;
+  s.used <- s.live;
   for i = 0 to cap - 1 do
     let key = Array.unsafe_get old_keys i in
-    if key > 0 then add_fresh t key (Array.unsafe_get old_vals i)
+    if key > 0 then add_fresh s key (Array.unsafe_get old_vals i)
   done
 
-let replace t k v =
-  let keys = t.keys in
-  let mask = t.mask in
+let s_replace s k v =
+  let keys = s.keys in
+  let mask = s.mask in
   (* Probe for [k], remembering the first reusable (tombstone) slot. *)
   let rec probe i reuse =
     let key = Array.unsafe_get keys i in
-    if key = k then Array.unsafe_set t.vals i v
+    if key = k then Array.unsafe_set s.vals i v
     else if key = 0 then begin
       let target = if reuse >= 0 then reuse else i in
       Array.unsafe_set keys target k;
-      Array.unsafe_set t.vals target v;
-      t.live <- t.live + 1;
+      Array.unsafe_set s.vals target v;
+      s.live <- s.live + 1;
       if reuse < 0 then begin
-        t.used <- t.used + 1;
-        if t.used * 2 >= Array.length keys then rehash t
+        s.used <- s.used + 1;
+        if s.used * 2 >= Array.length keys then rehash s
       end
     end
     else
       probe ((i + 1) land mask)
         (if reuse < 0 && key = -1 then i else reuse)
   in
-  probe (slot_of t k) (-1)
+  probe (slot_of s k) (-1)
 
-let remove t k =
-  let i = find_slot t k in
+let replace t k v = with_shard t k (fun s k -> s_replace s k v)
+
+let s_remove s k =
+  let i = find_slot s k in
   if i >= 0 then begin
-    Array.unsafe_set t.keys i (-1);
-    Array.unsafe_set t.vals i t.dummy;
-    t.live <- t.live - 1
+    Array.unsafe_set s.keys i (-1);
+    Array.unsafe_set s.vals i s.dummy;
+    s.live <- s.live - 1
   end
+
+let remove t k = with_shard t k s_remove

@@ -1,14 +1,23 @@
 (** Open-addressing hash table from positive int keys to ['a] — the
     heap's object store.  Allocation-free inserts and probes; see the
-    implementation for the tombstone scheme.  Keys must be positive. *)
+    implementation for the tombstone scheme.  Keys must be positive.
+
+    Internally sharded by the key's low bits.  The default is one
+    unlocked shard (the sequential configuration); the multi-domain
+    heap creates it with [~shards:(ndomains)] and [~locked:true], which
+    guards every shard with its own mutex. *)
 
 type 'a t
 
 (** [dummy] fills empty value slots so removed entries are not
-    retained. *)
-val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+    retained.  [shards] is rounded up to a power of two. *)
+val create :
+  ?capacity:int -> ?shards:int -> ?locked:bool -> dummy:'a -> unit -> 'a t
 
-(** Number of live entries. *)
+val nshards : 'a t -> int
+
+(** Number of live entries (sums shard counts without locking — exact
+    only when no domain is mutating). *)
 val length : 'a t -> int
 
 val find_opt : 'a t -> int -> 'a option
@@ -25,3 +34,8 @@ val remove : 'a t -> int -> unit
 val iter : (int -> 'a -> unit) -> 'a t -> unit
 
 val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+(** Fold the [i]th shard only — the parallel sweep's unit of work.
+    Skips the shard lock: callers must guarantee no concurrent mutation
+    (the GC holds the world stopped). *)
+val fold_shard : (int -> 'a -> 'b -> 'b) -> 'a t -> int -> 'b -> 'b

@@ -13,13 +13,18 @@ type t = {
           process sees it, which only shrinks when whole spans release
           their pages *)
   mutable idle_spans : Mspan.t list;  (** recycled span structs *)
+  lock : Mutex.t;
+  mutable locked : bool;
+      (** true in the shared (multi-domain) heap: page transitions then
+          take [lock], since every domain's mcache refill ends here *)
 }
 
 let create () =
   { mapped_pages = 0; free_pages = 0; used_pages = 0; max_used_pages = 0;
-    idle_spans = [] }
+    idle_spans = []; lock = Mutex.create (); locked = false }
 
 let alloc_pages t n =
+  if t.locked then Mutex.lock t.lock;
   if t.free_pages >= n then t.free_pages <- t.free_pages - n
   else begin
     let fresh = n - t.free_pages in
@@ -27,11 +32,14 @@ let alloc_pages t n =
     t.mapped_pages <- t.mapped_pages + fresh
   end;
   t.used_pages <- t.used_pages + n;
-  if t.used_pages > t.max_used_pages then t.max_used_pages <- t.used_pages
+  if t.used_pages > t.max_used_pages then t.max_used_pages <- t.used_pages;
+  if t.locked then Mutex.unlock t.lock
 
 let free_pages t n =
+  if t.locked then Mutex.lock t.lock;
   t.free_pages <- t.free_pages + n;
-  t.used_pages <- t.used_pages - n
+  t.used_pages <- t.used_pages - n;
+  if t.locked then Mutex.unlock t.lock
 
 let mapped_bytes t = t.mapped_pages * Sizeclass.page_size
 

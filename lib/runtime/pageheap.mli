@@ -8,6 +8,10 @@ type t = {
   mutable max_used_pages : int;
       (** peak pages backing live spans — the paper's "maxheap" *)
   mutable idle_spans : Mspan.t list;
+  lock : Mutex.t;
+  mutable locked : bool;
+      (** set by the shared (multi-domain) heap; page transitions then
+          take [lock] *)
 }
 
 val create : unit -> t

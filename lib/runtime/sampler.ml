@@ -15,11 +15,15 @@ type sample = {
   sm_freed_bytes : int;  (** cumulative, tcfree only *)
 }
 
-type t = { every : int; ring : sample Ring.t }
+(* [lock] guards the ring: with goroutines running on multiple domains,
+   several mutators can reach a sampling safepoint concurrently, and
+   [Ring.push] mutates head/length state that would corrupt under a
+   race.  Uncontended in sequential runs. *)
+type t = { every : int; ring : sample Ring.t; lock : Mutex.t }
 
 let create ?(capacity = 4096) ~every () =
   if every <= 0 then invalid_arg "Sampler.create: every must be positive";
-  { every; ring = Ring.create ~capacity }
+  { every; ring = Ring.create ~capacity; lock = Mutex.create () }
 
 let every t = t.every
 
@@ -27,7 +31,7 @@ let every t = t.every
 let due t ~step = step mod t.every = 0
 
 let record t ~step ~span_bytes (m : Metrics.t) =
-  Ring.push t.ring
+  let s =
     {
       sm_step = step;
       sm_heap_live = m.Metrics.heap_live;
@@ -37,8 +41,16 @@ let record t ~step ~span_bytes (m : Metrics.t) =
       sm_alloced_bytes = m.Metrics.alloced_bytes;
       sm_freed_bytes = m.Metrics.freed_bytes;
     }
+  in
+  Mutex.lock t.lock;
+  Ring.push t.ring s;
+  Mutex.unlock t.lock
 
-let samples t = Ring.to_list t.ring
+let samples t =
+  Mutex.lock t.lock;
+  let l = Ring.to_list t.ring in
+  Mutex.unlock t.lock;
+  l
 
 let sample_to_json s =
   Json.Obj

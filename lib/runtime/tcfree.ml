@@ -19,8 +19,9 @@ type outcome =
   | Freed of int  (** bytes reclaimed *)
   | Gave_up of Metrics.giveup
 
-(* Shared bookkeeping once a free has been decided. *)
-let reclaim (heap : Heap.t) (obj : Heap.obj) ~source =
+(* Shared bookkeeping once a free has been decided.  [metrics] is the
+   calling thread's stripe ([Heap.metrics_for]). *)
+let reclaim (heap : Heap.t) (metrics : Metrics.t) (obj : Heap.obj) ~source =
   obj.Heap.freed <- true;
   if heap.Heap.config.Heap.poison_on_free then begin
     obj.Heap.poisoned <- true;
@@ -29,34 +30,34 @@ let reclaim (heap : Heap.t) (obj : Heap.obj) ~source =
   else obj.Heap.payload <- Heap.No_payload;
   Heap.bury heap obj.Heap.addr "tcfree";
   Objtable.remove heap.Heap.objects obj.Heap.addr;
-  Metrics.count_tcfree heap.Heap.metrics ~category:obj.Heap.category
+  Metrics.count_tcfree metrics ~category:obj.Heap.category
     ~source ~bytes:obj.Heap.size;
-  heap.Heap.metrics.Metrics.tcfree_success <-
-    heap.Heap.metrics.Metrics.tcfree_success + 1;
+  if heap.Heap.shared then Heap.drop_live heap obj.Heap.size;
+  metrics.Metrics.tcfree_success <- metrics.Metrics.tcfree_success + 1;
   Freed obj.Heap.size
 
-let tcfree_small (heap : Heap.t) ~thread (obj : Heap.obj) span slot ~source
-    =
+let tcfree_small (heap : Heap.t) metrics ~thread (obj : Heap.obj) span slot
+    ~source =
   let cache = heap.Heap.caches.(thread mod Array.length heap.Heap.caches) in
   match span.Mspan.state with
   | Mspan.In_mcache owner
     when owner = cache.Mcache.thread_id && Mcache.owns cache span ->
     Mspan.free_slot span slot;
-    reclaim heap obj ~source
+    reclaim heap metrics obj ~source
   | Mspan.In_mcache _ -> Gave_up Metrics.Ownership_changed
   | Mspan.In_mcentral | Mspan.Dangling | Mspan.Free ->
     (* span filled up and was swapped out since the allocation: freeing
        would require locking mcentral, so give up (§5) *)
     Gave_up Metrics.Span_swapped_out
 
-let tcfree_large (heap : Heap.t) (obj : Heap.obj) span slot ~source =
+let tcfree_large (heap : Heap.t) metrics (obj : Heap.obj) span slot ~source =
   (* Step 1 of fig. 9: return the pages and mark the span dangling; the
      GC mark phase skips dangling spans and the sweep retires them. *)
   Mspan.free_slot span slot;
   span.Mspan.state <- Mspan.Dangling;
   Pageheap.free_pages heap.Heap.pages span.Mspan.npages;
   heap.Heap.dangling_spans <- span :: heap.Heap.dangling_spans;
-  reclaim heap obj ~source
+  reclaim heap metrics obj ~source
 
 module Trace = Gofree_obs.Trace
 module Json = Gofree_obs.Json
@@ -124,7 +125,7 @@ let trace_outcome ~source addr = function
     Table 4.  [source] records the Table 9 attribution
     (slice / map / map-growth). *)
 let tcfree_impl (heap : Heap.t) ~thread ~source addr : outcome =
-  let metrics = heap.Heap.metrics in
+  let metrics = Heap.metrics_for heap thread in
   metrics.Metrics.tcfree_calls <- metrics.Metrics.tcfree_calls + 1;
   let give_up reason =
     Metrics.count_giveup metrics reason;
@@ -143,16 +144,33 @@ let tcfree_impl (heap : Heap.t) ~thread ~source addr : outcome =
         | Heap.On_stack _ -> give_up Metrics.Stack_object
         | Heap.On_heap (span, slot) ->
           if span.Mspan.class_idx >= 0 then
-            let outcome = tcfree_small heap ~thread obj span slot ~source in
+            let outcome =
+              tcfree_small heap metrics ~thread obj span slot ~source
+            in
             (match outcome with
             | Gave_up reason -> Metrics.count_giveup metrics reason
             | Freed _ -> ());
             outcome
-          else tcfree_large heap obj span slot ~source
+          else tcfree_large heap metrics obj span slot ~source
       end
 
+(* On a shared heap the whole check-then-free sequence serializes on
+   [free_mutex]: two domains may race to free the same address (or a
+   free may race a concurrent span swap), and the span/objtable edits
+   must be atomic with respect to each other.  The ownership and
+   GC-running *checks* stay inside the lock too — they are exactly the
+   §5 give-up conditions this runtime exists to exercise, and the lock
+   makes their answer definitive rather than best-effort. *)
 let tcfree (heap : Heap.t) ~thread ~source addr : outcome =
-  let outcome = tcfree_impl heap ~thread ~source addr in
+  let outcome =
+    if heap.Heap.shared then begin
+      Mutex.lock heap.Heap.free_mutex;
+      let o = tcfree_impl heap ~thread ~source addr in
+      Mutex.unlock heap.Heap.free_mutex;
+      o
+    end
+    else tcfree_impl heap ~thread ~source addr
+  in
   if Reg.runtime_enabled () then count_outcome outcome;
   if Trace.enabled () then trace_outcome ~source addr outcome;
   outcome

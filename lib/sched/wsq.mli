@@ -1,0 +1,23 @@
+(** Per-domain run queue for the work-stealing goroutine scheduler.
+
+    Owner operations keep FIFO order ([push] at the back, [pop] from
+    the front), so a single-domain scheduler built on one queue is
+    observationally identical to the sequential [Queue]-based one.
+    Thieves take the oldest half of a victim's queue with
+    {!steal_half}.  All operations are safe to call from any domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Enqueue at the back. *)
+val push : 'a t -> 'a -> unit
+
+(** Dequeue from the front; [None] when empty. *)
+val pop : 'a t -> 'a option
+
+val length : 'a t -> int
+
+(** Move the front half (ceil) of [victim] to the back of [into],
+    preserving order; returns how many items moved. *)
+val steal_half : victim:'a t -> into:'a t -> int

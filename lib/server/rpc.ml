@@ -34,7 +34,8 @@
       decodes), a preset name string ([gofree] | [go] | [all-targets]
       | [no-ipa] | [field-sensitive] | [last-use] | [precise]).
     Execution knobs ([gc_off], [poison], [gogc], [seed],
-    [sample_every], [engine]) mirror the CLI flags.  ["engine"] selects
+    [sample_every], [engine], [domains]) mirror the CLI flags.
+    ["engine"] selects
     the execution engine by name ([reference] | [closure] | [bytecode],
     default [bytecode]); the historical boolean ["reference"] param is
     kept as an alias for [{"engine":"reference"}].
@@ -178,6 +179,10 @@ let options_of_params params =
         if opt_bool ~default:false "reference" params then
           Gofree_api.Eng_reference
         else d.Gofree_api.engine);
+    domains =
+      (let n = opt_int ~default:d.Gofree_api.domains "domains" params in
+       if n < 0 || n > 64 then bad "param \"domains\" must be in 0..64"
+       else n);
   }
 
 let request_of_json (j : Json.t) : incoming =
@@ -296,9 +301,12 @@ let request_to_json ?(id = Json.Null) ?deadline_ms (r : request) : Json.t =
     @ (if o.Gofree_api.sample_every <> d.Gofree_api.sample_every then
          [ ("sample_every", Json.Int o.Gofree_api.sample_every) ]
        else [])
+    @ (if o.Gofree_api.engine <> d.Gofree_api.engine then
+         [ ("engine", Json.Str (Gofree_api.engine_name o.Gofree_api.engine)) ]
+       else [])
     @
-    if o.Gofree_api.engine <> d.Gofree_api.engine then
-      [ ("engine", Json.Str (Gofree_api.engine_name o.Gofree_api.engine)) ]
+    if o.Gofree_api.domains <> d.Gofree_api.domains then
+      [ ("domains", Json.Int o.Gofree_api.domains) ]
     else []
   in
   let params =

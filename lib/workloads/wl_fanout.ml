@@ -1,0 +1,61 @@
+(** Goroutine fan-out workload for the multi-domain runtime.
+
+    Unlike the six Table 6 proxies (whose main functions are
+    sequential), this program spawns [size] goroutines with deliberately
+    unbalanced iteration counts, so on [--domains N > 1] the later, long
+    goroutines are stolen by idle domains.  Each iteration churns
+    tcfree-eligible heap allocations — factory-returned buffers and
+    scope maps, the Table 8 pattern that escape analysis sends to the
+    heap but instrumentation frees at last use — and periodically
+    escapes a larger slice into a global, keeping the GC paced.  A
+    stolen goroutine frees buffers it allocated on the victim domain's
+    mcache, which is exactly the paper's give-up-on-ownership-change
+    tcfree race. *)
+
+let default_size = 8
+
+let source ~size =
+  Printf.sprintf
+    {|
+var sink []int
+
+// Factory: the returned buffer is a fresh heap allocation the caller
+// provably drops each iteration, so the compiler frees it (§4).
+func scratch(n int, fill int) []int {
+  buf := make([]int, n)
+  buf[0] = fill
+  return buf
+}
+
+func newTab() map[int]int {
+  return make(map[int]int)
+}
+
+func burn(id int, iters int) {
+  acc := 0
+  for i := 0; i < iters; i++ {
+    buf := scratch(256, id+i)
+    tab := newTab()
+    for j := 0; j < 6; j++ {
+      tab[j] = acc + j
+    }
+    acc = acc + tab[2] + buf[0]
+    if i%%11 == 0 {
+      esc := make([]int, 1024)
+      esc[0] = acc
+      sink = esc
+    }
+  }
+  println("burn", id, acc)
+}
+
+func main() {
+  n := %d
+  for g := 0; g < n; g++ {
+    go burn(g, 120+g*60)
+  }
+  burn(999, 200)
+  println("fanout done")
+}
+|}
+    (max 1 size)

@@ -52,7 +52,22 @@ let all : t list =
     };
   ]
 
-let find name = List.find_opt (fun w -> String.equal w.w_name name) all
+(** Goroutine fan-out churn for the multi-domain runtime ([--domains]).
+    Deliberately NOT part of {!all}: the six Table 6 proxies have
+    sequential mains, and the committed single-domain bench baselines
+    must not change. *)
+let fanout : t =
+  {
+    w_name = "fanout";
+    w_description =
+      "goroutine fan-out churn exercising work stealing and cross-domain \
+       frees";
+    w_source = Wl_fanout.source;
+    w_default_size = Wl_fanout.default_size;
+  }
+
+let find name =
+  List.find_opt (fun w -> String.equal w.w_name name) (all @ [ fanout ])
 
 let source_of ?size (w : t) =
   w.w_source ~size:(Option.value size ~default:w.w_default_size)

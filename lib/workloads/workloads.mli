@@ -10,6 +10,11 @@ type t = {
 (** All six, in the paper's Table 6 order. *)
 val all : t list
 
+(** Goroutine fan-out churn for the multi-domain runtime; not part of
+    {!all} (the Table 6 proxies have sequential mains). *)
+val fanout : t
+
+(** Looks up {!all} plus {!fanout}. *)
 val find : string -> t option
 
 (** MiniGo source at [size] (default: the workload's default size). *)

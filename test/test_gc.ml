@@ -182,6 +182,132 @@ let test_poison_mode_marks_payload () =
   Gc_collector.collect heap;
   Alcotest.(check bool) "poisoned on sweep" true obj.Heap.poisoned
 
+(* -------------------------------------------------------------- *)
+(* Parallel collector (shared-heap configuration)                   *)
+(* -------------------------------------------------------------- *)
+
+let test_parallel_collect_equivalence () =
+  (* 4 domains build linked chains concurrently on a shared heap; half
+     the chain heads stay rooted.  A parallel cycle (leader + 3 helper
+     domains racing over the same grey list and sweep shards) must keep
+     exactly the rooted chains alive and sweep the rest — same verdict
+     the sequential collector would reach. *)
+  let nd = 4 and chains_per = 8 and chain_len = 25 in
+  let heap = Heap.create ~nprocs:nd ~shared:true () in
+  heap.Heap.trace_payload <- trace_children;
+  let heads = Array.make_matrix nd chains_per None in
+  let doms =
+    Array.init nd (fun d ->
+        Domain.spawn (fun () ->
+            for c = 0 to chains_per - 1 do
+              let tail = ref [] in
+              for _ = 1 to chain_len do
+                let o =
+                  Heap.alloc_heap heap ~thread:d ~category:Metrics.Cat_other
+                    ~size:64 ~payload:(Children (ref !tail))
+                in
+                tail := [ o.Heap.addr ]
+              done;
+              heads.(d).(c) <- Some !tail
+            done))
+  in
+  Array.iter Domain.join doms;
+  (* root the even-numbered chains only *)
+  heap.Heap.iter_roots <-
+    (fun k ->
+      Array.iter
+        (fun row ->
+          Array.iteri
+            (fun c head ->
+              if c mod 2 = 0 then
+                match head with
+                | Some addrs -> List.iter k addrs
+                | None -> ())
+            row)
+        heads);
+  (* STW rendezvous: leader starts the cycle, then everyone helps *)
+  let cycle = Gc_collector.Par.start heap in
+  let helpers =
+    Array.init (nd - 1) (fun _ ->
+        Domain.spawn (fun () -> Gc_collector.Par.run_helper cycle))
+  in
+  Gc_collector.Par.run_leader cycle;
+  Array.iter Domain.join helpers;
+  let m = Heap.merged_metrics heap in
+  let total = nd * chains_per * chain_len in
+  let live = total / 2 and dead = total / 2 in
+  Alcotest.(check int) "marked exactly the rooted half" live
+    m.Metrics.gc_marked_objects;
+  Alcotest.(check int) "swept exactly the unrooted half" dead
+    m.Metrics.gc_swept_objects;
+  Alcotest.(check int) "live bytes" (live * 64) m.Metrics.heap_live;
+  (* rooted chain members survived, down to the deepest link *)
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun c head ->
+          match head with
+          | Some [ addr ] ->
+            Alcotest.(check bool) "head fate matches rooting"
+              (c mod 2 = 0)
+              (Heap.find_obj heap addr <> None)
+          | _ -> ())
+        row)
+    heads;
+  match Metrics.check_conservation ~live_objects:live m with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("conservation violated: " ^ msg)
+
+let test_parallel_collect_during_allocation_pressure () =
+  (* Repeated STW cycles interleaved with fresh allocation from every
+     domain: mark bits must reset between cycles and the accounting
+     must stay conserved across the whole history. *)
+  let nd = 4 in
+  let heap = Heap.create ~nprocs:nd ~shared:true () in
+  heap.Heap.trace_payload <- trace_children;
+  let rooted = ref [] in
+  let rooted_mutex = Mutex.create () in
+  heap.Heap.iter_roots <- (fun k -> List.iter k !rooted);
+  for _round = 1 to 3 do
+    let doms =
+      Array.init nd (fun d ->
+          Domain.spawn (fun () ->
+              for i = 1 to 150 do
+                let o =
+                  Heap.alloc_heap heap ~thread:d ~category:Metrics.Cat_other
+                    ~size:64 ~payload:(Children (ref []))
+                in
+                (* keep every 10th object; the rest are garbage *)
+                if i mod 10 = 0 then begin
+                  Mutex.lock rooted_mutex;
+                  rooted := o.Heap.addr :: !rooted;
+                  Mutex.unlock rooted_mutex
+                end
+              done))
+    in
+    Array.iter Domain.join doms;
+    let cycle = Gc_collector.Par.start heap in
+    let helpers =
+      Array.init (nd - 1) (fun _ ->
+          Domain.spawn (fun () -> Gc_collector.Par.run_helper cycle))
+    in
+    Gc_collector.Par.run_leader cycle;
+    Array.iter Domain.join helpers
+  done;
+  let m = Heap.merged_metrics heap in
+  let live = List.length !rooted in
+  Alcotest.(check int) "rooted objects survive all cycles" (live * 64)
+    m.Metrics.heap_live;
+  Alcotest.(check int) "three cycles ran" 3 m.Metrics.gc_cycles;
+  List.iter
+    (fun addr ->
+      Alcotest.(check bool) "rooted object present" true
+        (Heap.find_obj heap addr <> None))
+    !rooted;
+  match Metrics.check_conservation ~live_objects:live m with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("conservation violated: " ^ msg)
+
 let suite =
   [
     Alcotest.test_case "mark-sweep chain" `Quick test_mark_sweep_chain;
@@ -199,4 +325,8 @@ let suite =
     Alcotest.test_case "empty spans return pages" `Quick
       test_empty_spans_return_pages;
     Alcotest.test_case "poison mode" `Quick test_poison_mode_marks_payload;
+    Alcotest.test_case "parallel collect = sequential verdict" `Quick
+      test_parallel_collect_equivalence;
+    Alcotest.test_case "parallel collect under allocation pressure" `Quick
+      test_parallel_collect_during_allocation_pressure;
   ]

@@ -169,6 +169,88 @@ let test_giveup_metrics () =
   Alcotest.(check int) "not-an-object counted" 1
     m.Metrics.giveups.(Metrics.giveup_index Metrics.Not_an_object)
 
+(* -------------------------------------------------------------- *)
+(* Multi-domain stress (the shared-heap configuration)              *)
+(* -------------------------------------------------------------- *)
+
+let test_cross_domain_ownership_stress () =
+  (* 4 domains allocate on their own mcaches, then every domain frees
+     its neighbour's objects: the span-ownership check must make each
+     of those a give-up (ownership changed, or span already swapped
+     out), local frees keep succeeding, and the striped counters must
+     balance exactly. *)
+  let nd = 4 and per = 400 in
+  let heap = Heap.create ~nprocs:nd ~shared:true () in
+  let objs = Array.make_matrix nd per 0 in
+  let doms =
+    Array.init nd (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              objs.(d).(i) <- (alloc heap ~thread:d ()).Heap.addr
+            done))
+  in
+  Array.iter Domain.join doms;
+  let freers =
+    Array.init nd (fun d ->
+        Domain.spawn (fun () ->
+            (* neighbour's objects first (cross-domain), then own *)
+            for i = 0 to per - 1 do
+              ignore (free heap ~thread:d objs.((d + 1) mod nd).(i))
+            done;
+            for i = 0 to per - 1 do
+              ignore (free heap ~thread:d objs.(d).(i))
+            done))
+  in
+  Array.iter Domain.join freers;
+  let m = Heap.merged_metrics heap in
+  Alcotest.(check int) "every free attempted" (2 * nd * per)
+    m.Metrics.tcfree_calls;
+  Alcotest.(check int) "attempts = successes + giveups"
+    m.Metrics.tcfree_calls
+    (m.Metrics.tcfree_success + Array.fold_left ( + ) 0 m.Metrics.giveups);
+  let cross_giveups =
+    m.Metrics.giveups.(Metrics.giveup_index Metrics.Ownership_changed)
+    + m.Metrics.giveups.(Metrics.giveup_index Metrics.Span_swapped_out)
+  in
+  Alcotest.(check bool)
+    "cross-domain frees hit the ownership protocol" true (cross_giveups > 0);
+  (* nothing was GC'd, so whatever tcfree could not take is still live *)
+  let live = (nd * per) - m.Metrics.tcfree_success in
+  (match Metrics.check_conservation ~live_objects:live m with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("conservation violated: " ^ msg))
+
+let test_gc_concurrent_tcfree_giveup () =
+  (* Open the simulated concurrent-GC window on a shared heap, then
+     free from several domains at once: every attempt inside the window
+     must back off with Gc_running (§5) and nothing may be freed. *)
+  let nd = 4 and per = 200 in
+  let heap = Heap.create ~nprocs:nd ~shared:true () in
+  let objs = Array.make_matrix nd per 0 in
+  for d = 0 to nd - 1 do
+    for i = 0 to per - 1 do
+      objs.(d).(i) <- (alloc heap ~thread:d ()).Heap.addr
+    done
+  done;
+  (* a parallel GC cycle (everything rooted, so nothing dies) opens the
+     window *)
+  heap.Heap.iter_roots <-
+    (fun k -> Array.iter (fun row -> Array.iter k row) objs);
+  Gc_collector.Par.run_leader (Gc_collector.Par.start heap);
+  Alcotest.(check bool) "window open" true (Heap.gc_running heap);
+  let freers =
+    Array.init nd (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (free heap ~thread:d objs.(d).(i))
+            done))
+  in
+  Array.iter Domain.join freers;
+  let m = Heap.merged_metrics heap in
+  Alcotest.(check int) "all gave up on the running GC" (nd * per)
+    m.Metrics.giveups.(Metrics.giveup_index Metrics.Gc_running);
+  Alcotest.(check int) "nothing freed" 0 m.Metrics.tcfree_success
+
 let suite =
   [
     Alcotest.test_case "small fast path" `Quick test_small_fast_path;
@@ -189,4 +271,8 @@ let suite =
     Alcotest.test_case "slot reuse after tcfree" `Quick
       test_slot_reuse_after_tcfree;
     Alcotest.test_case "give-up metrics" `Quick test_giveup_metrics;
+    Alcotest.test_case "cross-domain ownership stress" `Quick
+      test_cross_domain_ownership_stress;
+    Alcotest.test_case "GC-concurrent frees all back off" `Quick
+      test_gc_concurrent_tcfree_giveup;
   ]
